@@ -1,0 +1,108 @@
+"""T1 — Table I: the two anomaly categories on the paper's own examples.
+
+The paper's Table I lists four messages (L1–L4) and uses them to define
+*sequential* anomalies (the flow L1 → L4 → L2 deviates from normal) and
+*quantitative* anomalies (L3: normal flow, absurd byte count).  This
+bench trains DeepLog on the normal transfer flow and checks both
+examples land in the right category — plus the ablation DESIGN.md calls
+out: with the quantitative head disabled, L3 escapes.
+"""
+
+from conftest import once
+from repro.detection import DeepLogDetector
+from repro.eval import Table
+from repro.logs.record import LogRecord, ParsedLog, Severity, WILDCARD
+
+
+SEND = f"Sending {WILDCARD} bytes src: {WILDCARD} dest: {WILDCARD}"
+ACK = f"Transfer acknowledged by {WILDCARD}"
+RECV_ERROR = f"Error while receiving data src: {WILDCARD} dest: {WILDCARD}"
+VERIFY_FAIL = f"Failed to verify data integrity src: {WILDCARD} dest: {WILDCARD}"
+
+TEMPLATE_IDS = {SEND: 0, ACK: 1, RECV_ERROR: 2, VERIFY_FAIL: 3}
+
+
+def _event(template: str, variables: tuple[str, ...], session: str,
+           severity=Severity.INFO) -> ParsedLog:
+    message = template
+    for value in variables:
+        message = message.replace(WILDCARD, value, 1)
+    return ParsedLog(
+        record=LogRecord(timestamp=0.0, source="net", severity=severity,
+                         message=message, session_id=session),
+        template_id=TEMPLATE_IDS[template],
+        template=template,
+        variables=variables,
+    )
+
+
+def _normal_session(index: int, size: int = 138):
+    """The normal flow behind Table I: send → ack, repeated."""
+    session = f"n{index}"
+    ip = "10.250.11.53"
+    events = []
+    for repeat in range(3):
+        events.append(
+            _event(SEND, (str(size + repeat * 7), ip, f"/{ip}"), session)
+        )
+        events.append(_event(ACK, (f"/{ip}",), session))
+    return events
+
+
+def bench_table1_sequential_vs_quantitative(benchmark, emit):
+    training = [_normal_session(index) for index in range(60)]
+
+    def build():
+        full = DeepLogDetector(window=4, top_g=1, epochs=12, seed=0,
+                               min_value_observations=30)
+        full.fit(training)
+        ablated = DeepLogDetector(window=4, top_g=1, epochs=12, seed=0,
+                                  quantitative=False)
+        ablated.fit(training)
+        return full, ablated
+
+    full, ablated = once(benchmark, build)
+
+    ip = "10.250.11.53"
+    # L1 -> L4 -> L2: the paper's sequential anomaly example.
+    sequential = [
+        _event(SEND, ("138", ip, f"/{ip}"), "seq"),
+        _event(VERIFY_FAIL, (ip, f"/{ip}"), "seq", Severity.ERROR),
+        _event(RECV_ERROR, (ip, f"/{ip}"), "seq", Severity.ERROR),
+    ]
+    # L3: normal flow, absurd transfer size (745675869 bytes).
+    quantitative = _normal_session(999)
+    quantitative[2] = _event(SEND, ("745675869", ip, f"/{ip}"), "n999")
+
+    normal = _normal_session(1000)
+
+    rows = [
+        ("L1->L4->L2 (sequential)", sequential, True),
+        ("L3 oversized transfer (quantitative)", quantitative, True),
+        ("normal flow", normal, False),
+    ]
+    table = Table(
+        "Table I — anomaly categories (DeepLog, quantitative head ablation)",
+        ["case", "expected", "full model", "no quantitative head"],
+    )
+    outcomes = {}
+    for label, session, expected in rows:
+        full_verdict = full.detect(session).anomalous
+        ablated_verdict = ablated.detect(session).anomalous
+        outcomes[label] = (full_verdict, ablated_verdict)
+        table.add_row(
+            label,
+            "anomaly" if expected else "normal",
+            "flagged" if full_verdict else "passed",
+            "flagged" if ablated_verdict else "passed",
+        )
+    emit()
+    emit(table.render())
+
+    # Shape: both models catch the sequential case; only the full model
+    # catches L3; neither fires on the normal flow.
+    assert outcomes["L1->L4->L2 (sequential)"][0]
+    assert outcomes["L1->L4->L2 (sequential)"][1]
+    assert outcomes["L3 oversized transfer (quantitative)"][0]
+    assert not outcomes["L3 oversized transfer (quantitative)"][1]
+    assert not outcomes["normal flow"][0]

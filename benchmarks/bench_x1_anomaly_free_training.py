@@ -1,0 +1,66 @@
+"""X1 — planned experiment: anomaly-free vs anomaly-rich training.
+
+"We are interested in studying their precision if trained using an
+anomaly-free dataset" (§III).  LogRobust's published numbers come from
+50 %-anomalous training sets; deployments rarely have that.  This bench
+trains DeepLog, LogAnomaly (unsupervised) and LogRobust (supervised) in
+both regimes on the HDFS corpus and reports P/R/F1.
+"""
+
+from conftest import once
+from repro.detection import (
+    DeepLogDetector,
+    LogAnomalyDetector,
+    LogRobustDetector,
+)
+from repro.eval import DetectionExperiment, Table, evaluate_detector
+
+
+def _detectors():
+    return {
+        "deeplog": DeepLogDetector(epochs=8, seed=0),
+        "loganomaly": LogAnomalyDetector(epochs=8, seed=0),
+        "logrobust": LogRobustDetector(epochs=25, seed=0),
+    }
+
+
+def bench_x1_anomaly_free_training(benchmark, hdfs_bench, emit):
+    def run():
+        results = {}
+        for regime, anomaly_free in (
+            ("anomaly-free", True),
+            ("50%-capable (anomalies in training)", False),
+        ):
+            experiment = DetectionExperiment.from_dataset(
+                hdfs_bench,
+                anomaly_free_training=anomaly_free,
+                train_fraction=0.6,
+                seed=2,
+            )
+            for name, detector in _detectors().items():
+                results[(regime, name)] = evaluate_detector(
+                    detector, experiment
+                )
+        return results
+
+    results = once(benchmark, run)
+
+    table = Table(
+        "X1 — training-regime study (HDFS)",
+        ["training regime", "detector", "precision", "recall", "f1"],
+    )
+    for (regime, name), report in results.items():
+        table.add_row(regime, name, report.precision, report.recall,
+                      report.f1)
+    emit()
+    emit(table.render())
+
+    # Shape (DESIGN.md): unsupervised models keep high recall trained
+    # anomaly-free; supervised LogRobust collapses without labelled
+    # anomalies but is competitive with them.
+    assert results[("anomaly-free", "deeplog")].recall >= 0.8
+    assert results[("anomaly-free", "loganomaly")].recall >= 0.5
+    assert results[("anomaly-free", "logrobust")].recall == 0.0
+    assert results[
+        ("50%-capable (anomalies in training)", "logrobust")
+    ].f1 > 0.5

@@ -1,0 +1,142 @@
+"""X3 — planned experiment: LSTMs vs counter models on mixed streams.
+
+"LSTMs are good at learning sequences, but in a multi-source
+environment, execution flows from each source are mixed.  We want to
+compare LSTM with PCA, IM, and LogClustering approaches using a
+dataset extracted from such environment." (§III)
+
+Two windowing regimes over the cloud-platform corpus, which doubles as
+the windowing ablation from DESIGN.md:
+
+* **session windows** — events grouped by request id: clean execution
+  flows (the substrate does the demultiplexing);
+* **sliding windows** — fixed-count windows over the time-interleaved
+  multi-source stream: flows from concurrent requests are mixed, the
+  situation the paper warns about.
+"""
+
+from conftest import once
+from repro.datasets import train_test_split
+from repro.detection import (
+    DETECTORS,
+    sessions_from_parsed,
+    sliding_windows,
+)
+from repro.eval import Table
+from repro.metrics.detection import confusion_counts
+from repro.parsing import DrainParser, default_masker
+
+WINDOW = 40
+
+
+def _split_parse(dataset):
+    train, test = train_test_split(
+        dataset, train_fraction=0.6, anomaly_free_training=False, seed=6
+    )
+    parser = DrainParser(masker=default_masker())
+    return (
+        train,
+        test,
+        parser.parse_all(train.records),
+        parser.parse_all(test.records),
+    )
+
+
+def _session_setting(split):
+    train, test, train_parsed, test_parsed = split
+    train_map = sessions_from_parsed(train_parsed)
+    test_map = sessions_from_parsed(test_parsed)
+    train_sessions = [s for s in train_map.values() if len(s) >= 2]
+    train_labels = [
+        train.sessions[sid].anomalous
+        for sid, s in train_map.items()
+        if len(s) >= 2
+    ]
+    test_sessions = [s for s in test_map.values() if len(s) >= 2]
+    test_labels = [
+        test.sessions[sid].anomalous
+        for sid, s in test_map.items()
+        if len(s) >= 2
+    ]
+    return train_sessions, train_labels, test_sessions, test_labels
+
+
+def _sliding_setting(split):
+    train, test, train_parsed, test_parsed = split
+
+    def windows_and_labels(parsed, truths):
+        windows = list(sliding_windows(parsed, WINDOW))
+        labels = [
+            any(
+                truths[event.session_id].anomalous
+                for event in window
+                if event.session_id in truths
+            )
+            for window in windows
+        ]
+        return windows, labels
+
+    train_windows, train_labels = windows_and_labels(
+        train_parsed, train.sessions
+    )
+    test_windows, test_labels = windows_and_labels(test_parsed, test.sessions)
+    return train_windows, train_labels, test_windows, test_labels
+
+
+def bench_x3_multisource_comparison(benchmark, cloud_bench, emit):
+    def run():
+        split = _split_parse(cloud_bench)
+        settings = {
+            "session windows (demuxed flows)": _session_setting(split),
+            "sliding windows (mixed stream)": _sliding_setting(split),
+        }
+        results = {}
+        for setting_name, (train_x, train_y, test_x, test_y) in (
+            settings.items()
+        ):
+            for name, factory in DETECTORS.items():
+                kwargs = {"epochs": 8, "seed": 0} if name in (
+                    "deeplog", "loganomaly") else (
+                    {"epochs": 25, "seed": 0} if name == "logrobust" else {}
+                )
+                detector = factory(**kwargs)
+                detector.fit(train_x, train_y)
+                predictions = detector.predict_many(test_x)
+                results[(setting_name, name)] = confusion_counts(
+                    predictions, test_y
+                )
+        return results
+
+    results = once(benchmark, run)
+
+    for setting_name in (
+        "session windows (demuxed flows)",
+        "sliding windows (mixed stream)",
+    ):
+        table = Table(
+            f"X3 — detector comparison: {setting_name}",
+            ["detector", "precision", "recall", "f1"],
+        )
+        for name in DETECTORS:
+            report = results[(setting_name, name)]
+            table.add_row(name, report.precision, report.recall, report.f1)
+        emit()
+        emit(table.render())
+
+    # Shape: mixing flows hurts the sequence models more than the
+    # counter-based ones (paper's hypothesis).
+    lstm = ("deeplog", "loganomaly")
+    counter = ("pca", "invariants", "logclustering")
+
+    def average_drop(names):
+        drops = []
+        for name in names:
+            clean = results[("session windows (demuxed flows)", name)].f1
+            mixed = results[("sliding windows (mixed stream)", name)].f1
+            drops.append(clean - mixed)
+        return sum(drops) / len(drops)
+
+    assert average_drop(lstm) >= average_drop(counter) - 0.05, (
+        f"LSTM drop {average_drop(lstm):.3f} vs "
+        f"counter drop {average_drop(counter):.3f}"
+    )

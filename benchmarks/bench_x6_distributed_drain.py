@@ -1,0 +1,88 @@
+"""X6 — planned contribution: the distributed tree-based parser.
+
+"We plan to provide a distributed version of research tree-based log
+parsing method as we already have some encouraging results." (§IV)
+
+Shard-count sweep of :class:`repro.parsing.distributed.DistributedDrain`
+against a single-instance Drain on the multi-source cloud corpus:
+template-set agreement (Jaccard), grouping accuracy, load balance, and
+single-thread throughput (the in-process runtime can't show wall-clock
+speedup; a real deployment runs shards on separate cores — load
+balance is the transferable measurement).
+"""
+
+import time
+
+from conftest import once
+from repro.eval import Table
+from repro.metrics.parsing import grouping_accuracy
+from repro.parsing import DistributedDrain, DrainParser, default_masker
+
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def bench_x6_distributed_drain(benchmark, cloud_bench, emit):
+    records = cloud_bench.records
+    library = cloud_bench.library
+
+    def run():
+        reference = DrainParser(masker=default_masker())
+        start = time.perf_counter()
+        reference_parsed = reference.parse_all(records)
+        reference_elapsed = time.perf_counter() - start
+        reference_templates = set(reference.store.templates())
+        rows = {}
+        for shards in SHARD_COUNTS:
+            parser = DistributedDrain(
+                shards=shards, route_by="source", masker=default_masker()
+            )
+            start = time.perf_counter()
+            parsed = parser.parse_all(records)
+            elapsed = time.perf_counter() - start
+            templates = set(parser.global_templates())
+            jaccard = len(templates & reference_templates) / len(
+                templates | reference_templates
+            )
+            loads = [load for load in parser.shard_loads]
+            busy = [load for load in loads if load > 0]
+            balance = min(busy) / max(busy) if busy else 0.0
+            rows[shards] = {
+                "jaccard": jaccard,
+                "accuracy": grouping_accuracy(parsed, library),
+                "templates": parser.template_count,
+                "loads": "/".join(str(load) for load in loads),
+                "balance": balance,
+                "relative_time": elapsed / reference_elapsed,
+            }
+        rows["reference"] = {
+            "accuracy": grouping_accuracy(reference_parsed, library),
+            "templates": len(reference_templates),
+        }
+        return rows
+
+    rows = once(benchmark, run)
+
+    table = Table(
+        "X6 — distributed Drain vs single instance (cloud corpus)",
+        ["shards", "template jaccard", "grouping acc", "templates",
+         "shard loads", "balance", "time vs single"],
+    )
+    table.add_row(
+        "single", 1.0, rows["reference"]["accuracy"],
+        rows["reference"]["templates"], "-", "-", 1.0,
+    )
+    for shards in SHARD_COUNTS:
+        row = rows[shards]
+        table.add_row(
+            shards, row["jaccard"], row["accuracy"], row["templates"],
+            row["loads"], row["balance"], row["relative_time"],
+        )
+    emit()
+    emit(table.render())
+
+    # Shape: sharding by source preserves the template set and the
+    # grouping accuracy; 1-shard is exactly the single instance.
+    assert rows[1]["jaccard"] == 1.0
+    for shards in SHARD_COUNTS:
+        assert rows[shards]["jaccard"] >= 0.9
+        assert rows[shards]["accuracy"] >= rows["reference"]["accuracy"] - 0.02

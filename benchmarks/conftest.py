@@ -1,0 +1,56 @@
+"""Shared benchmark fixtures.
+
+Every bench prints its result tables live (bypassing pytest capture via
+``emit``) so that ``pytest benchmarks/ --benchmark-only | tee ...``
+records the same rows the paper's tables would hold, and runs its
+heavyweight computation exactly once via ``benchmark.pedantic`` —
+pytest-benchmark measures that single round's wall clock.
+
+Dataset sizes are chosen so the full bench suite completes in minutes
+on a laptop while keeping every result qualitatively stable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_bgl, generate_cloud_platform, generate_hdfs
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print through pytest's capture so tee'd output keeps the tables."""
+
+    def _emit(text: str = "") -> None:
+        with capsys.disabled():
+            print(text)
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def hdfs_bench():
+    return generate_hdfs(sessions=500, anomaly_rate=0.06, seed=5)
+
+
+@pytest.fixture(scope="session")
+def bgl_bench():
+    return generate_bgl(records=8000, alert_episodes=10, seed=5)
+
+
+@pytest.fixture(scope="session")
+def cloud_bench():
+    return generate_cloud_platform(sessions=400, anomaly_rate=0.06, seed=5)
+
+
+@pytest.fixture(scope="session")
+def cloud_json_bench():
+    return generate_cloud_platform(
+        sessions=300, anomaly_rate=0.05, json_suffix=True, seed=5
+    )
+
+
+def once(benchmark, function):
+    """Run ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, rounds=1, iterations=1,
+                              warmup_rounds=0)

@@ -1,0 +1,79 @@
+"""Cloud monitoring scenario: noisy multi-source stream + admin feedback.
+
+The deployment the paper motivates: a cloud platform's api / network /
+storage sources feed one stream that arrives duplicated and out of
+order (§I's production noise), the pipeline detects anomalous request
+sessions, and the monitoring team's routine actions (moving alerts
+between team pools, editing criticalities) passively train the
+classifier (§V).  Watch the routing accuracy improve round after round
+with zero labelling effort.
+
+Run:  python examples/cloud_monitoring.py
+"""
+
+from repro import MoniLog
+from repro.classify.feedback import AdministratorSimulator, source_based_policy
+from repro.datasets import generate_cloud_platform
+from repro.detection import DeepLogDetector
+from repro.logs.sources import ReplaySource
+from repro.logs.stream import DuplicationNoise, LogStream, ReorderingNoise
+
+
+def noisy(records, seed):
+    """Deliver records the way a real transport would: late and twice."""
+    stream = LogStream(
+        [ReplaySource("platform", records)],
+        noises=[
+            ReorderingNoise(max_delay=0.05, seed=seed),
+            DuplicationNoise(rate=0.01, delay=0.2, seed=seed + 1),
+        ],
+    )
+    return stream.collect()
+
+
+def main() -> None:
+    system = MoniLog(detector=DeepLogDetector(epochs=8, seed=0))
+
+    # The monitoring organization: API team and infrastructure team.
+    system.pools.create_pool("team-api", "API front-end on-call")
+    system.pools.create_pool("team-infra", "network + storage on-call")
+    policy = source_based_policy(
+        {"api": "team-api", "network": "team-infra", "storage": "team-infra"}
+    )
+    admin = AdministratorSimulator(system.pools, policy, diligence=0.8, seed=7)
+
+    history = generate_cloud_platform(sessions=500, seed=100)
+    print(f"training on {len(history.records)} historical records ...\n")
+    system.train(noisy(history.records, seed=0))
+
+    print(f"{'round':>5s} | {'alerts':>6s} | {'routed correctly':>16s} | admin moves")
+    print("-" * 55)
+    for round_index in range(5):
+        live = generate_cloud_platform(
+            sessions=400, anomaly_rate=0.08, seed=200 + round_index
+        )
+        moves_before = admin.pool_moves
+        correct = 0
+        total = 0
+        for alert in system.run(noisy(live.records, seed=round_index)):
+            total += 1
+            if alert.pool == policy.correct_pool(alert.report):
+                correct += 1
+            admin.review(alert)
+        routed = f"{correct}/{total}" if total else "-"
+        print(
+            f"{round_index:>5d} | {total:>6d} | {routed:>16s} | "
+            f"{admin.pool_moves - moves_before}"
+        )
+
+    print(
+        f"\nafter {admin.reviews} reviews the classifier has absorbed "
+        f"{system.classifier.feedback_count} passive training signals."
+    )
+    print("pool contents:")
+    for name in system.pools.pool_names:
+        print(f"  {name:10s}: {len(system.pools.pool(name))} alerts")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: train MoniLog on a cloud log stream and catch anomalies.
+
+Runs the full three-stage pipeline of the paper's Fig. 1 on a synthetic
+multi-source cloud platform: parse the stream with Drain, learn the
+normal execution flows with DeepLog, then flag and classify anomalous
+request sessions.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MoniLog
+from repro.datasets import generate_cloud_platform
+from repro.detection import DeepLogDetector
+
+
+def main() -> None:
+    # A multi-source stream: api + network + storage logs, ~5 % of the
+    # request sessions anomalous (scheduler failures, cross-source
+    # incidents, absurd latencies).
+    data = generate_cloud_platform(sessions=500, anomaly_rate=0.05, seed=42)
+    split = len(data.records) * 6 // 10
+    history, live = data.records[:split], data.records[split:]
+
+    system = MoniLog(detector=DeepLogDetector(epochs=8, seed=0))
+
+    print(f"training on {len(history)} historical records ...")
+    system.train(history)
+    print(f"  parser discovered {system.stats.templates_discovered} templates")
+
+    print(f"processing {len(live)} live records ...")
+    alerts = system.run_all(live)
+
+    print(f"\n{len(alerts)} anomalies detected:\n")
+    for alert in alerts:
+        report = alert.report
+        truth = data.sessions.get(report.session_id)
+        kind = truth.kind if truth and truth.anomalous else "FALSE ALARM"
+        print(f"  [{kind:>12s}] {report.summary()}")
+        for reason in report.detection.reasons[:2]:
+            print(f"                 - {reason}")
+
+    true_positives = sum(
+        1
+        for alert in alerts
+        if data.sessions.get(alert.report.session_id)
+        and data.sessions[alert.report.session_id].anomalous
+    )
+    print(
+        f"\nprecision: {true_positives}/{len(alerts)} flagged sessions "
+        "are real anomalies"
+    )
+
+
+if __name__ == "__main__":
+    main()

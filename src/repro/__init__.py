@@ -1,0 +1,43 @@
+"""MoniLog reproduction: automated log-based anomaly detection.
+
+This package reproduces *MoniLog: An Automated Log-Based Anomaly
+Detection System for Cloud Computing Infrastructures* (Vervaet,
+ICDE 2021): a three-stage pipeline that structures a multi-source log
+stream, detects sequential and quantitative anomalies, and classifies
+them into team pools with criticalities learned passively from
+administrator actions.
+
+Quickstart::
+
+    from repro import MoniLog
+    from repro.datasets import generate_cloud_platform
+
+    data = generate_cloud_platform(sessions=500)
+    system = MoniLog()
+    system.train(data.records[: len(data.records) // 2])
+    for alert in system.run(data.records[len(data.records) // 2:]):
+        print(alert.report.summary(), "->", alert.pool, alert.criticality)
+
+Subpackages: :mod:`repro.logs` (data model & streams),
+:mod:`repro.datasets` (ground-truthed generators),
+:mod:`repro.parsing` (8 template miners + distribution),
+:mod:`repro.nn` (numpy LSTM stack), :mod:`repro.detection`
+(6 detectors), :mod:`repro.classify` (pool system & passive learning),
+:mod:`repro.metrics`, :mod:`repro.core` (pipeline), :mod:`repro.eval`.
+"""
+
+from repro.core.config import MoniLogConfig
+from repro.core.pipeline import MoniLog
+from repro.core.distributed import ShardedMoniLog
+from repro.core.reports import AnomalyReport, ClassifiedAlert
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnomalyReport",
+    "ClassifiedAlert",
+    "MoniLog",
+    "MoniLogConfig",
+    "ShardedMoniLog",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Anomaly classification (MoniLog stage 3, paper §V).
+
+Detected anomalies receive a *type* (which team pool handles them) and
+a *criticality* level.  Both taxonomies are defined by monitoring
+teams, so the module is built around a customizable pool system
+(Fig. 3): one default pool plus administrator-created pools.
+
+The classifier is trained *passively*: "Each time an alert is moved
+from a pool to another, it is used as an assessment signal [...] every
+time the level of criticality is manually modified, it is used to
+improve further anomaly evaluation."  No labelling campaign is
+required; the admin's routine actions are the supervision.
+"""
+
+from repro.classify.pools import Pool, PoolManager, RoutedAlert
+from repro.classify.features import featurize_report
+from repro.classify.classifier import AnomalyClassifier, Criticality
+from repro.classify.feedback import AdministratorSimulator, AdminPolicy
+from repro.classify.suppression import AlertDeduplicator, alert_signature
+
+__all__ = [
+    "AdminPolicy",
+    "AlertDeduplicator",
+    "AdministratorSimulator",
+    "AnomalyClassifier",
+    "Criticality",
+    "Pool",
+    "PoolManager",
+    "RoutedAlert",
+    "alert_signature",
+    "featurize_report",
+]

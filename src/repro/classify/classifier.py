@@ -1,0 +1,145 @@
+"""The online anomaly classifier (type + criticality).
+
+A multinomial naive Bayes over report features, updated online from
+admin actions: each pool move or criticality edit adds the report's
+feature bag to the corrected class.  Naive Bayes is the right tool for
+passive learning: updates are counter increments, predictions stay
+calibrated with very few examples per class, and new classes (new
+pools) can appear at any time — all properties the paper's design
+needs.
+
+Criticality uses a second, independent NB over the same features with
+the levels as classes (the paper's example scale: low / moderate /
+high).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from repro.classify.features import featurize_report
+from repro.classify.pools import DEFAULT_POOL
+from repro.core.reports import AnomalyReport, ClassifiedAlert
+
+
+class Criticality:
+    """The default criticality scale from the paper (§V)."""
+
+    LOW = "low"
+    MODERATE = "moderate"
+    HIGH = "high"
+    SCALE = (LOW, MODERATE, HIGH)
+
+
+class _OnlineNaiveBayes:
+    """Multinomial NB with Laplace smoothing and online counter updates."""
+
+    def __init__(self, smoothing: float = 1.0):
+        self.smoothing = smoothing
+        self.class_counts: Counter[str] = Counter()
+        self.feature_counts: dict[str, Counter[str]] = {}
+        self.feature_totals: Counter[str] = Counter()
+        self.vocabulary: set[str] = set()
+
+    @property
+    def classes(self) -> list[str]:
+        return list(self.class_counts)
+
+    def observe(self, features: Counter[str], label: str) -> None:
+        self.class_counts[label] += 1
+        per_class = self.feature_counts.setdefault(label, Counter())
+        for feature, count in features.items():
+            per_class[feature] += count
+            self.feature_totals[label] += count
+            self.vocabulary.add(feature)
+
+    def log_posterior(self, features: Counter[str]) -> dict[str, float]:
+        total_observations = sum(self.class_counts.values())
+        if total_observations == 0:
+            return {}
+        vocabulary_size = max(1, len(self.vocabulary))
+        scores: dict[str, float] = {}
+        for label, class_count in self.class_counts.items():
+            score = math.log(class_count / total_observations)
+            per_class = self.feature_counts.get(label, Counter())
+            denominator = self.feature_totals[label] + self.smoothing * vocabulary_size
+            for feature, count in features.items():
+                likelihood = (per_class[feature] + self.smoothing) / denominator
+                score += count * math.log(likelihood)
+            scores[label] = score
+        return scores
+
+    def predict(self, features: Counter[str]) -> tuple[str | None, float]:
+        """(best class, posterior probability); (None, 0) if untrained."""
+        scores = self.log_posterior(features)
+        if not scores:
+            return None, 0.0
+        best = max(scores, key=lambda label: scores[label])
+        # Convert to a proper posterior for the confidence signal.
+        peak = scores[best]
+        total = sum(math.exp(score - peak) for score in scores.values())
+        return best, 1.0 / total
+
+
+class AnomalyClassifier:
+    """Pool + criticality classifier with passive learning.
+
+    Wire it to a :class:`~repro.classify.pools.PoolManager` with
+    :meth:`attach`; every admin action then becomes a training example
+    without further code.  Until it has seen any feedback it routes
+    everything to the default pool at the lowest criticality — honest
+    behaviour for a cold start.
+    """
+
+    def __init__(self, smoothing: float = 1.0):
+        self._pool_model = _OnlineNaiveBayes(smoothing)
+        self._criticality_model = _OnlineNaiveBayes(smoothing)
+        self.feedback_count = 0
+
+    # -- classification -------------------------------------------------------
+
+    def classify(self, report: AnomalyReport) -> ClassifiedAlert:
+        features = featurize_report(report)
+        pool, pool_confidence = self._pool_model.predict(features)
+        criticality, _ = self._criticality_model.predict(features)
+        return ClassifiedAlert(
+            report=report,
+            pool=pool if pool is not None else DEFAULT_POOL,
+            criticality=(
+                criticality if criticality is not None else Criticality.LOW
+            ),
+            confidence=pool_confidence,
+        )
+
+    # -- passive learning -------------------------------------------------------
+
+    def attach(self, manager) -> "AnomalyClassifier":
+        """Subscribe to a PoolManager's admin actions."""
+        manager.subscribe(self.on_admin_action)
+        return self
+
+    def on_admin_action(
+        self, alert: ClassifiedAlert, kind: str, old: str, new: str
+    ) -> None:
+        """Feedback listener: learn from one admin correction."""
+        features = featurize_report(alert.report)
+        if kind == "pool":
+            self._pool_model.observe(features, new)
+        elif kind == "criticality":
+            self._criticality_model.observe(features, new)
+        else:
+            raise ValueError(f"unknown admin action kind: {kind!r}")
+        self.feedback_count += 1
+
+    def confirm(self, alert: ClassifiedAlert) -> None:
+        """Learn from an implicit confirmation.
+
+        An alert the admin *left where it was delivered* is also a
+        signal (the placement was acceptable); pipelines may call this
+        periodically for aged, untouched alerts.
+        """
+        features = featurize_report(alert.report)
+        self._pool_model.observe(features, alert.pool)
+        self._criticality_model.observe(features, alert.criticality)
+        self.feedback_count += 1

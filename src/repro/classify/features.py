@@ -1,0 +1,39 @@
+"""Featurization of anomaly reports for the classifier.
+
+An anomaly report is turned into a bag-of-features counting the
+signals a monitoring team member actually looks at when routing an
+alert: the tokens of the involved templates, the sources, the
+severity profile, and the detector's stated reasons.  The bag
+representation lets the online naive-Bayes classifier update in O(#
+features) per admin action — passive learning must be cheap.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.reports import AnomalyReport
+from repro.logs.record import WILDCARD, tokenize
+
+
+def featurize_report(report: AnomalyReport) -> Counter[str]:
+    """Bag-of-features of one anomaly report.
+
+    Feature namespaces are prefixed (``token:``, ``source:`` ...) so
+    the classifier never confuses a source named "error" with the word
+    "error" in a template.
+    """
+    features: Counter[str] = Counter()
+    for template in report.templates:
+        for token in tokenize(template):
+            if token != WILDCARD:
+                features[f"token:{token.lower()}"] += 1
+    for source in report.sources:
+        features[f"source:{source}"] += 1
+    for event in report.events:
+        features[f"severity:{event.record.severity.name}"] += 1
+    for reason in report.detection.reasons:
+        for token in tokenize(reason)[:8]:
+            features[f"reason:{token.lower()}"] += 1
+    features[f"span:{'multi' if len(report.sources) > 1 else 'single'}-source"] += 1
+    return features

@@ -1,0 +1,152 @@
+"""The pool system (paper Fig. 3).
+
+"Initially, there is just one default pool, but additional pools can be
+created or deleted by administrators."  A pool is where a team receives
+the alerts it is responsible for; moving an alert between pools is both
+a workflow action and a training signal.
+
+:class:`PoolManager` owns the pool set and the alert placements, and
+notifies registered feedback listeners (the classifier) on every admin
+action — the passive-learning hook.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.reports import ClassifiedAlert
+
+DEFAULT_POOL = "default"
+
+#: Listener signature: (alert, kind, old_value, new_value).  ``kind``
+#: is ``"pool"`` or ``"criticality"``.
+FeedbackListener = Callable[[ClassifiedAlert, str, str, str], None]
+
+
+@dataclass
+class Pool:
+    """One alert pool, typically owned by one team."""
+
+    name: str
+    description: str = ""
+    alerts: list[ClassifiedAlert] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.alerts)
+
+
+class PoolManager:
+    """Pools, alert placement, and admin actions.
+
+    All mutation goes through admin-action methods (:meth:`move_alert`,
+    :meth:`set_criticality`) so every correction reaches the feedback
+    listeners exactly once.
+    """
+
+    def __init__(self) -> None:
+        self._pools: dict[str, Pool] = {
+            DEFAULT_POOL: Pool(DEFAULT_POOL, "unrouted alerts")
+        }
+        self._listeners: list[FeedbackListener] = []
+
+    # -- pool administration -------------------------------------------------
+
+    def create_pool(self, name: str, description: str = "") -> Pool:
+        if name in self._pools:
+            raise ValueError(f"pool {name!r} already exists")
+        pool = Pool(name, description)
+        self._pools[name] = pool
+        return pool
+
+    def delete_pool(self, name: str) -> None:
+        """Delete a pool; its alerts return to the default pool."""
+        if name == DEFAULT_POOL:
+            raise ValueError("the default pool cannot be deleted")
+        pool = self._pools.pop(name, None)
+        if pool is None:
+            raise KeyError(f"no pool named {name!r}")
+        for alert in pool.alerts:
+            self._pools[DEFAULT_POOL].alerts.append(alert.moved_to(DEFAULT_POOL))
+
+    def pool(self, name: str) -> Pool:
+        return self._pools[name]
+
+    @property
+    def pool_names(self) -> list[str]:
+        return list(self._pools)
+
+    # -- alert flow ------------------------------------------------------------
+
+    def deliver(self, alert: ClassifiedAlert) -> ClassifiedAlert:
+        """Place a freshly classified alert into its predicted pool.
+
+        Unknown pools fall back to the default pool (a classifier may
+        have learned a pool that an admin later deleted).
+        """
+        pool_name = alert.pool if alert.pool in self._pools else DEFAULT_POOL
+        placed = alert.moved_to(pool_name)
+        self._pools[pool_name].alerts.append(placed)
+        return placed
+
+    def subscribe(self, listener: FeedbackListener) -> None:
+        self._listeners.append(listener)
+
+    def _notify(
+        self, alert: ClassifiedAlert, kind: str, old: str, new: str
+    ) -> None:
+        for listener in self._listeners:
+            listener(alert, kind, old, new)
+
+    # -- admin actions (the passive training signals) ---------------------------
+
+    def move_alert(
+        self, alert: ClassifiedAlert, to_pool: str
+    ) -> ClassifiedAlert:
+        """Admin action: move an alert to another pool.
+
+        Returns the relocated alert; listeners receive the assessment
+        signal.
+        """
+        if to_pool not in self._pools:
+            raise KeyError(f"no pool named {to_pool!r}")
+        source_pool = self._pools[alert.pool]
+        try:
+            source_pool.alerts.remove(alert)
+        except ValueError:
+            raise KeyError(
+                f"alert #{alert.report.report_id} is not in pool {alert.pool!r}"
+            ) from None
+        moved = alert.moved_to(to_pool)
+        self._pools[to_pool].alerts.append(moved)
+        self._notify(moved, "pool", alert.pool, to_pool)
+        return moved
+
+    def set_criticality(
+        self, alert: ClassifiedAlert, criticality: str
+    ) -> ClassifiedAlert:
+        """Admin action: correct an alert's criticality level."""
+        pool = self._pools[alert.pool]
+        try:
+            index = pool.alerts.index(alert)
+        except ValueError:
+            raise KeyError(
+                f"alert #{alert.report.report_id} is not in pool {alert.pool!r}"
+            ) from None
+        updated = alert.with_criticality(criticality)
+        pool.alerts[index] = updated
+        self._notify(updated, "criticality", alert.criticality, criticality)
+        return updated
+
+
+@dataclass(frozen=True)
+class RoutedAlert:
+    """An alert with its final placement, for experiment bookkeeping."""
+
+    alert: ClassifiedAlert
+    predicted_pool: str
+    final_pool: str
+
+    @property
+    def correct(self) -> bool:
+        return self.predicted_pool == self.final_pool

@@ -1,0 +1,91 @@
+"""Alert deduplication and suppression.
+
+At "millions of log lines each second" (§II), one incident produces a
+*storm* of near-identical anomaly reports; paging a team once per
+report buries the signal.  The deduplicator sits between the
+classifier and the pools and folds repeats:
+
+* two alerts are *duplicates* when they share a signature — the set of
+  involved templates plus the involved sources — within
+  ``window`` seconds of stream time;
+* the first alert of a signature passes through; repeats within the
+  window are suppressed and counted on the surviving alert's
+  :class:`SuppressionRecord`;
+* a signature quiet for ``window`` seconds fires again (incidents that
+  resume deserve a fresh page).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.reports import ClassifiedAlert
+
+
+def alert_signature(alert: ClassifiedAlert) -> tuple:
+    """The identity used for deduplication."""
+    return (
+        tuple(sorted(set(alert.report.templates))),
+        tuple(sorted(set(alert.report.sources))),
+    )
+
+
+@dataclass
+class SuppressionRecord:
+    """Bookkeeping for one live signature."""
+
+    first_alert: ClassifiedAlert
+    last_seen: float
+    suppressed: int = 0
+
+
+class AlertDeduplicator:
+    """Fold repeated alerts within a stream-time window.
+
+    Args:
+        window: seconds of stream time a signature stays suppressed
+            after its last occurrence.
+    """
+
+    def __init__(self, window: float = 300.0):
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window}")
+        self.window = window
+        self._live: dict[tuple, SuppressionRecord] = {}
+        self.total_seen = 0
+        self.total_suppressed = 0
+
+    def offer(self, alert: ClassifiedAlert) -> ClassifiedAlert | None:
+        """Pass the alert through, or ``None`` if it is a duplicate."""
+        self.total_seen += 1
+        signature = alert_signature(alert)
+        now = alert.report.end_time
+        record = self._live.get(signature)
+        if record is not None and now - record.last_seen <= self.window:
+            record.last_seen = now
+            record.suppressed += 1
+            self.total_suppressed += 1
+            return None
+        self._live[signature] = SuppressionRecord(
+            first_alert=alert, last_seen=now
+        )
+        return alert
+
+    def suppressed_count(self, alert: ClassifiedAlert) -> int:
+        """How many repeats were folded into ``alert`` so far."""
+        record = self._live.get(alert_signature(alert))
+        return record.suppressed if record is not None else 0
+
+    @property
+    def live_signatures(self) -> int:
+        return len(self._live)
+
+    def expire(self, now: float) -> None:
+        """Drop signatures quiet for longer than the window."""
+        stale = [
+            signature
+            for signature, record in self._live.items()
+            if now - record.last_seen > self.window
+        ]
+        for signature in stale:
+            del self._live[signature]

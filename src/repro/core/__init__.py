@@ -1,0 +1,31 @@
+"""MoniLog core: the end-to-end pipeline and its runtime concerns.
+
+* :mod:`repro.core.reports` — anomaly reports and classified alerts,
+  the data flowing between stages 2 and 3.
+* :mod:`repro.core.config` — pipeline configuration.
+* :mod:`repro.core.pipeline` — :class:`MoniLog`, the three-stage
+  system of Fig. 1.
+* :mod:`repro.core.distributed` — the sharded runtime demonstrating
+  that each stage is distributable (paper §II).
+* :mod:`repro.core.calibration` — unsupervised auto-parametrization of
+  parsers (paper §IV's acquire → calibrate → parse flow).
+"""
+
+from repro.core.reports import AnomalyReport, ClassifiedAlert
+from repro.core.config import MoniLogConfig
+from repro.core.pipeline import MoniLog
+from repro.core.distributed import ShardedMoniLog
+from repro.core.calibration import AutoCalibrator, CalibrationResult
+from repro.core.streaming import StreamingMoniLog, StreamingSessionizer
+
+__all__ = [
+    "AnomalyReport",
+    "AutoCalibrator",
+    "CalibrationResult",
+    "ClassifiedAlert",
+    "MoniLog",
+    "MoniLogConfig",
+    "ShardedMoniLog",
+    "StreamingMoniLog",
+    "StreamingSessionizer",
+]

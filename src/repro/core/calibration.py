@@ -1,0 +1,119 @@
+"""Unsupervised auto-parametrization of parsers (paper §IV).
+
+The deployment flow the paper sketches: "First, it acquires a fixed
+quantity of loglines within its environment.  Then it calibrates the
+value of its parameters by estimating its performance using an
+unsupervised metric.  Once it detects the supposed optimal values, it
+starts parsing logs."
+
+:class:`AutoCalibrator` implements exactly that: given a parser
+factory, a parameter grid, and a sample of records, it parses the
+sample under every candidate configuration, scores each with
+:func:`repro.metrics.unsupervised.unsupervised_quality`, and returns
+the winning parameters.  Experiment X5 validates the approach by
+correlating the unsupervised score with the supervised metrics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.logs.record import LogRecord
+from repro.metrics.unsupervised import unsupervised_quality
+from repro.parsing.base import Parser
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of a calibration sweep."""
+
+    best_parameters: dict[str, object]
+    best_score: float
+    trials: tuple[tuple[dict[str, object], float], ...]
+
+    def ranking(self) -> list[tuple[dict[str, object], float]]:
+        """Trials sorted best-first."""
+        return sorted(self.trials, key=lambda trial: -trial[1])
+
+
+#: Default parameter grids per parser short-name, covering the ranges
+#: the original papers recommend.
+DEFAULT_GRIDS: dict[str, dict[str, list[object]]] = {
+    "drain": {
+        "depth": [1, 2, 3, 4],
+        "similarity_threshold": [0.2, 0.3, 0.4, 0.5, 0.6, 0.7],
+    },
+    "spell": {"tau": [0.3, 0.4, 0.5, 0.6, 0.7, 0.8]},
+    "lenma": {"threshold": [0.7, 0.8, 0.85, 0.9, 0.95]},
+    "shiso": {
+        "similarity_threshold": [0.7, 0.8, 0.875, 0.95],
+        "max_children": [2, 4, 8],
+    },
+    "logram": {
+        "doublet_threshold": [2, 4, 8, 16],
+        "triplet_threshold": [2, 4, 8],
+    },
+}
+
+
+def parameter_grid(grid: dict[str, list[object]]) -> list[dict[str, object]]:
+    """Expand an axis dict into the list of all combinations."""
+    if not grid:
+        return [{}]
+    names = sorted(grid)
+    combinations = itertools.product(*(grid[name] for name in names))
+    return [dict(zip(names, values)) for values in combinations]
+
+
+class AutoCalibrator:
+    """Pick parser parameters by unsupervised score on a sample.
+
+    Args:
+        parser_factory: callable building a fresh parser from keyword
+            parameters (e.g. ``lambda **p: DrainParser(**p)``).
+        grid: parameter axes to sweep; see :data:`DEFAULT_GRIDS`.
+        seed: seed for the sampling inside the unsupervised metric.
+    """
+
+    def __init__(
+        self,
+        parser_factory: Callable[..., Parser],
+        grid: dict[str, list[object]],
+        seed: int = 0,
+    ) -> None:
+        self.parser_factory = parser_factory
+        self.grid = grid
+        self.seed = seed
+
+    def calibrate(self, sample: Sequence[LogRecord]) -> CalibrationResult:
+        """Sweep the grid over ``sample``; returns the ranked outcome."""
+        if not sample:
+            raise ValueError("calibration requires a non-empty sample")
+        trials: list[tuple[dict[str, object], float]] = []
+        best_parameters: dict[str, object] | None = None
+        best_score = -1.0
+        for parameters in parameter_grid(self.grid):
+            parser = self.parser_factory(**parameters)
+            parsed = parser.parse_all(sample)
+            score = unsupervised_quality(parsed, seed=self.seed)
+            trials.append((parameters, score))
+            if score > best_score:
+                best_parameters, best_score = parameters, score
+        assert best_parameters is not None
+        return CalibrationResult(
+            best_parameters=best_parameters,
+            best_score=best_score,
+            trials=tuple(trials),
+        )
+
+    def calibrated_parser(self, sample: Sequence[LogRecord]) -> Parser:
+        """The paper's flow in one call: calibrate, then build fresh.
+
+        The returned parser is *unfitted* (template tree empty): the
+        calibration parses are throwaways; deployment starts clean with
+        the chosen parameters.
+        """
+        result = self.calibrate(sample)
+        return self.parser_factory(**result.best_parameters)

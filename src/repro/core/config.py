@@ -1,0 +1,48 @@
+"""Pipeline configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MoniLogConfig:
+    """Knobs of the end-to-end MoniLog pipeline.
+
+    Attributes:
+        windowing: ``"session"`` (group by session id) or
+            ``"sliding"`` (fixed-count windows, for streams without
+            session ids).
+        window_size: events per window when ``windowing="sliding"``.
+        extract_structured: run the JSON/XML extraction preliminary
+            step before parsing (paper §IV recommendation).
+        use_masking: apply the expert regex masker before template
+            mining.  Off means fully-automated deployment — the regime
+            the paper targets.
+        auto_calibrate: calibrate parser parameters on the first
+            ``calibration_sample`` records using the unsupervised
+            metric before parsing begins (paper §IV's deployment flow).
+        calibration_sample: records acquired for calibration.
+        min_window_events: windows shorter than this are not scored
+            (too little evidence either way).
+    """
+
+    windowing: str = "session"
+    window_size: int = 50
+    extract_structured: bool = False
+    use_masking: bool = True
+    auto_calibrate: bool = False
+    calibration_sample: int = 2000
+    min_window_events: int = 2
+
+    def __post_init__(self) -> None:
+        if self.windowing not in ("session", "sliding"):
+            raise ValueError(
+                f"windowing must be 'session' or 'sliding', got {self.windowing!r}"
+            )
+        if self.window_size < 1:
+            raise ValueError(f"window_size must be >= 1, got {self.window_size}")
+        if self.calibration_sample < 1:
+            raise ValueError(
+                f"calibration_sample must be >= 1, got {self.calibration_sample}"
+            )

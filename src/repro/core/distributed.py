@@ -1,0 +1,165 @@
+"""The sharded MoniLog runtime (paper §II).
+
+"It is important for MoniLog components to be distributable in order
+to ensure scalability."  This module demonstrates the partitioning
+strategy for each stage inside one process:
+
+* **parser shards** — records route by source (one code base's
+  statements stay on one shard; see
+  :class:`~repro.parsing.distributed.DistributedDrain`);
+* **detector shards** — structured events route by session id hash, so
+  a session's whole window lands on one detector shard and sequence
+  models stay correct;
+* **classifier** — stateless per alert given the shared model, so a
+  single instance suffices here; a real deployment would replicate it
+  behind the feedback bus.
+
+The runtime exists to *measure* distribution effects (experiment X6
+uses the parser half; the pipeline bench F1 reports shard balance),
+not to hide them: shard template tables are reconciled, and
+:meth:`consistency_with` quantifies agreement with a single-instance
+run.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Iterable, Iterator
+
+from repro.classify.classifier import AnomalyClassifier
+from repro.classify.pools import PoolManager
+from repro.core.config import MoniLogConfig
+from repro.core.reports import AnomalyReport, ClassifiedAlert
+from repro.detection.base import Detector
+from repro.detection.deeplog import DeepLogDetector
+from repro.detection.windows import sessions_from_parsed
+from repro.logs.record import LogRecord, ParsedLog
+from repro.parsing.distributed import DistributedDrain
+from repro.parsing.masking import default_masker, no_masker
+
+
+def _shard_of(session_id: str, shards: int) -> int:
+    return zlib.crc32(session_id.encode("utf-8")) % shards
+
+
+class ShardedMoniLog:
+    """MoniLog with sharded parsing and detection.
+
+    Args:
+        parser_shards: Drain shards (stage 1).
+        detector_shards: detector replicas (stage 2), each fitted on
+            its own partition of training sessions.
+        detector_factory: builds one detector per shard; defaults to
+            DeepLog with a shard-specific seed.
+        config: shared pipeline configuration (session windowing only —
+            sliding windows have no session key to route by; a real
+            deployment routes those by source instead).
+    """
+
+    def __init__(
+        self,
+        parser_shards: int = 4,
+        detector_shards: int = 2,
+        detector_factory=None,
+        config: MoniLogConfig | None = None,
+    ) -> None:
+        self.config = config or MoniLogConfig()
+        if self.config.windowing != "session":
+            raise ValueError(
+                "ShardedMoniLog routes detector work by session id and "
+                "therefore requires session windowing"
+            )
+        masker = default_masker() if self.config.use_masking else no_masker()
+        self.parser = DistributedDrain(
+            shards=parser_shards,
+            route_by="source",
+            masker=masker,
+            extract_structured=self.config.extract_structured,
+        )
+        if detector_factory is None:
+            def detector_factory(shard: int) -> Detector:
+                return DeepLogDetector(seed=shard)
+        self.detectors: list[Detector] = [
+            detector_factory(shard) for shard in range(detector_shards)
+        ]
+        self.pools = PoolManager()
+        self.classifier = AnomalyClassifier().attach(self.pools)
+        self._trained = False
+        self._report_counter = 0
+
+    @property
+    def detector_shards(self) -> int:
+        return len(self.detectors)
+
+    # -- training ----------------------------------------------------------------
+
+    def train(self, records: Iterable[LogRecord]) -> "ShardedMoniLog":
+        """Parse and fit each detector shard on its session partition."""
+        parsed = self.parser.parse_all(records)
+        sessions = sessions_from_parsed(parsed)
+        partitions: list[list[list[ParsedLog]]] = [
+            [] for _ in range(self.detector_shards)
+        ]
+        for session_id, events in sessions.items():
+            if len(events) < self.config.min_window_events:
+                continue
+            partitions[_shard_of(session_id, self.detector_shards)].append(events)
+        for shard, (detector, partition) in enumerate(
+            zip(self.detectors, partitions)
+        ):
+            if not partition:
+                raise ValueError(
+                    f"detector shard {shard} received no training sessions; "
+                    "use fewer shards or more training data"
+                )
+            detector.fit(partition)
+        self._trained = True
+        return self
+
+    # -- running -------------------------------------------------------------------
+
+    def run(self, records: Iterable[LogRecord]) -> Iterator[ClassifiedAlert]:
+        if not self._trained:
+            raise RuntimeError("ShardedMoniLog.train() must run before run()")
+        parsed = self.parser.parse_all(records)
+        for session_id, events in sessions_from_parsed(parsed).items():
+            if len(events) < self.config.min_window_events:
+                continue
+            detector = self.detectors[_shard_of(session_id, self.detector_shards)]
+            result = detector.detect(events)
+            if not result.anomalous:
+                continue
+            report = AnomalyReport(
+                report_id=self._report_counter,
+                session_id=session_id,
+                events=tuple(events),
+                detection=result,
+            )
+            self._report_counter += 1
+            alert = self.pools.deliver(self.classifier.classify(report))
+            yield alert
+
+    def run_all(self, records: Iterable[LogRecord]) -> list[ClassifiedAlert]:
+        return list(self.run(records))
+
+    # -- measurement -----------------------------------------------------------------
+
+    def consistency_with(
+        self,
+        reference_verdicts: dict[str, bool],
+        records: Iterable[LogRecord],
+    ) -> float:
+        """Fraction of sessions where this runtime agrees with a reference.
+
+        ``reference_verdicts`` maps session id → anomalous from a
+        single-instance run over the same records.
+        """
+        flagged = {alert.report.session_id for alert in self.run(records)}
+        if not reference_verdicts:
+            return 1.0
+        agreements = sum(
+            1
+            for session_id, verdict in reference_verdicts.items()
+            if (session_id in flagged) == verdict
+        )
+        return agreements / len(reference_verdicts)

@@ -1,0 +1,189 @@
+"""The MoniLog pipeline: parse → detect → classify (Fig. 1).
+
+:class:`MoniLog` wires the three stages over a multi-source log
+stream:
+
+1. a streaming parser structures records into
+   :class:`~repro.logs.record.ParsedLog` events;
+2. windows of the structured stream go through an anomaly detector,
+   producing :class:`~repro.core.reports.AnomalyReport` objects;
+3. the report stream is classified into pools with criticalities,
+   learning passively from admin actions on the attached
+   :class:`~repro.classify.pools.PoolManager`.
+
+Usage is two-phase, matching deployment: :meth:`train` consumes a
+(normal-dominated) historical stream to fit the detector, then
+:meth:`run` processes live records and yields classified alerts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.classify.classifier import AnomalyClassifier
+from repro.classify.pools import PoolManager
+from repro.core.calibration import DEFAULT_GRIDS, AutoCalibrator
+from repro.core.config import MoniLogConfig
+from repro.core.reports import AnomalyReport, ClassifiedAlert
+from repro.detection.base import Detector
+from repro.detection.deeplog import DeepLogDetector
+from repro.detection.windows import sessions_from_parsed, sliding_windows
+from repro.logs.record import LogRecord, ParsedLog
+from repro.parsing.base import Parser
+from repro.parsing.drain import DrainParser
+from repro.parsing.masking import default_masker, no_masker
+
+
+@dataclass
+class PipelineStats:
+    """Counters MoniLog keeps while running (Fig. 1 bench rows)."""
+
+    records_parsed: int = 0
+    templates_discovered: int = 0
+    windows_scored: int = 0
+    anomalies_detected: int = 0
+    alerts_classified: int = 0
+
+
+class MoniLog:
+    """The three-stage anomaly detection system.
+
+    Args:
+        parser: stage-1 template miner; defaults to Drain (the paper's
+            §IV pick), configured per ``config``.
+        detector: stage-2 anomaly detector; defaults to DeepLog.
+        config: pipeline configuration; see
+            :class:`~repro.core.config.MoniLogConfig`.
+
+    The pool manager and classifier are always constructed and exposed
+    so callers can create pools and attach admin simulators before or
+    during a run.
+    """
+
+    def __init__(
+        self,
+        parser: Parser | None = None,
+        detector: Detector | None = None,
+        config: MoniLogConfig | None = None,
+    ) -> None:
+        self.config = config or MoniLogConfig()
+        if parser is None:
+            parser = DrainParser(
+                masker=default_masker() if self.config.use_masking else no_masker(),
+                extract_structured=self.config.extract_structured,
+            )
+        self.parser = parser
+        self.detector = detector if detector is not None else DeepLogDetector()
+        self.pools = PoolManager()
+        self.classifier = AnomalyClassifier().attach(self.pools)
+        self.stats = PipelineStats()
+        self._trained = False
+        self._report_counter = 0
+
+    # -- stage 1 ---------------------------------------------------------------
+
+    def maybe_calibrate(self, sample: list[LogRecord]) -> None:
+        """Replace the parser after a calibration sweep, if configured.
+
+        Implements the acquire → calibrate → parse flow for Drain; only
+        meaningful before any parsing happened.
+        """
+        if not self.config.auto_calibrate:
+            return
+        if not isinstance(self.parser, DrainParser):
+            raise ValueError(
+                "auto-calibration is wired for DrainParser; pass a "
+                "calibrated parser explicitly for other algorithms"
+            )
+        masker = self.parser.masker
+        extract = self.parser.extract_structured
+
+        def factory(**parameters) -> Parser:
+            return DrainParser(
+                masker=masker, extract_structured=extract, **parameters
+            )
+
+        calibrator = AutoCalibrator(factory, DEFAULT_GRIDS["drain"])
+        self.parser = calibrator.calibrated_parser(
+            sample[: self.config.calibration_sample]
+        )
+
+    def _parse(self, records: Iterable[LogRecord]) -> Iterator[ParsedLog]:
+        for record in records:
+            parsed = self.parser.parse_record(record)
+            self.stats.records_parsed += 1
+            yield parsed
+
+    def _window(self, parsed: Iterable[ParsedLog]) -> Iterator[list[ParsedLog]]:
+        if self.config.windowing == "session":
+            # Session windowing must see the whole stream before
+            # closing sessions; materializing per-session lists is the
+            # batch equivalent of a session-timeout flush.
+            for session in sessions_from_parsed(parsed).values():
+                yield session
+        else:
+            yield from sliding_windows(parsed, self.config.window_size)
+
+    # -- training ---------------------------------------------------------------
+
+    def train(
+        self,
+        records: Iterable[LogRecord],
+        labels_by_session: dict[str, bool] | None = None,
+    ) -> "MoniLog":
+        """Fit the detector on a historical stream.
+
+        ``labels_by_session`` provides anomaly labels for supervised
+        detectors (LogRobust); unsupervised detectors ignore them.
+        """
+        record_list = list(records)
+        self.maybe_calibrate(record_list)
+        parsed = list(self._parse(record_list))
+        windows = list(self._window(parsed))
+        windows = [
+            window
+            for window in windows
+            if len(window) >= self.config.min_window_events
+        ]
+        labels: list[bool] | None = None
+        if labels_by_session is not None:
+            labels = [
+                labels_by_session.get(window[0].session_id or "", False)
+                for window in windows
+            ]
+        self.detector.fit(windows, labels)
+        self.stats.templates_discovered = self.parser.template_count
+        self._trained = True
+        return self
+
+    # -- running -----------------------------------------------------------------
+
+    def run(self, records: Iterable[LogRecord]) -> Iterator[ClassifiedAlert]:
+        """Process a stream; yields classified alerts as windows close."""
+        if not self._trained:
+            raise RuntimeError("MoniLog.train() must run before run()")
+        parsed = self._parse(records)
+        for window in self._window(parsed):
+            if len(window) < self.config.min_window_events:
+                continue
+            self.stats.windows_scored += 1
+            result = self.detector.detect(window)
+            if not result.anomalous:
+                continue
+            self.stats.anomalies_detected += 1
+            report = AnomalyReport(
+                report_id=self._report_counter,
+                session_id=window[0].session_id or f"window-{self.stats.windows_scored}",
+                events=tuple(window),
+                detection=result,
+            )
+            self._report_counter += 1
+            alert = self.classifier.classify(report)
+            alert = self.pools.deliver(alert)
+            self.stats.alerts_classified += 1
+            yield alert
+
+    def run_all(self, records: Iterable[LogRecord]) -> list[ClassifiedAlert]:
+        """Materialized :meth:`run`, for scripts and tests."""
+        return list(self.run(records))

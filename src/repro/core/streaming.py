@@ -1,0 +1,178 @@
+"""Real-time streaming runtime: record in, alerts out.
+
+:class:`repro.core.pipeline.MoniLog` materializes sessions per call,
+which suits experiments; a deployed MoniLog must emit alerts *while
+the stream flows* (the paper's real-time requirement).  This module
+adds the missing piece:
+
+* :class:`StreamingSessionizer` — incremental session windowing with
+  an idle timeout: a session closes (and is released downstream) when
+  no event arrives for ``session_timeout`` seconds of *stream time*,
+  or when it reaches ``max_session_events``.  Memory stays bounded by
+  the number of concurrently open sessions.
+* :class:`StreamingMoniLog` — wraps a *trained* pipeline and exposes
+  ``process(record) -> list[ClassifiedAlert]``: feed records as they
+  arrive, collect alerts the moment their session closes, ``flush()``
+  at shutdown.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterable, Iterator
+
+from repro.core.pipeline import MoniLog
+from repro.core.reports import AnomalyReport, ClassifiedAlert
+from repro.logs.record import LogRecord, ParsedLog
+
+
+class StreamingSessionizer:
+    """Incremental session windowing with idle timeout.
+
+    Sessions are keyed by the record's session id; events without one
+    fall into per-source pseudo-sessions (source name as key), which
+    the timeout then chops into activity bursts — a pragmatic stand-in
+    for sliding windows in streaming mode.
+
+    ``push`` returns the sessions *closed by* the new event's arrival
+    time; ``flush`` closes everything (end of stream).
+    """
+
+    def __init__(
+        self,
+        session_timeout: float = 30.0,
+        max_session_events: int = 1000,
+    ) -> None:
+        if session_timeout <= 0:
+            raise ValueError(
+                f"session_timeout must be > 0, got {session_timeout}"
+            )
+        if max_session_events < 1:
+            raise ValueError(
+                f"max_session_events must be >= 1, got {max_session_events}"
+            )
+        self.session_timeout = session_timeout
+        self.max_session_events = max_session_events
+        # Ordered by last activity: expiry scans stop at the first
+        # still-fresh session.
+        self._open: OrderedDict[str, list[ParsedLog]] = OrderedDict()
+        self._last_seen: dict[str, float] = {}
+
+    @property
+    def open_sessions(self) -> int:
+        return len(self._open)
+
+    def push(self, event: ParsedLog) -> list[list[ParsedLog]]:
+        """Add one event; return sessions closed by the advancing clock."""
+        key = event.session_id or f"source:{event.source}"
+        closed = self._expire(event.timestamp)
+        bucket = self._open.get(key)
+        if bucket is None:
+            bucket = []
+            self._open[key] = bucket
+        bucket.append(event)
+        self._last_seen[key] = event.timestamp
+        self._open.move_to_end(key)
+        if len(bucket) >= self.max_session_events:
+            closed.append(self._close(key))
+        return closed
+
+    def _expire(self, now: float) -> list[list[ParsedLog]]:
+        closed: list[list[ParsedLog]] = []
+        deadline = now - self.session_timeout
+        while self._open:
+            key = next(iter(self._open))
+            if self._last_seen[key] > deadline:
+                break
+            closed.append(self._close(key))
+        return closed
+
+    def _close(self, key: str) -> list[ParsedLog]:
+        self._last_seen.pop(key, None)
+        return self._open.pop(key)
+
+    def flush(self) -> list[list[ParsedLog]]:
+        """Close every open session (stream shutdown)."""
+        remaining = [self._close(key) for key in list(self._open)]
+        return remaining
+
+
+class StreamingMoniLog:
+    """Record-at-a-time façade over a trained :class:`MoniLog`.
+
+    The wrapped pipeline supplies the parser, detector, classifier and
+    pool manager (so passive learning keeps working); this class owns
+    only the incremental windowing.
+
+    >>> system = MoniLog().train(history)          # doctest: +SKIP
+    >>> live = StreamingMoniLog(system, session_timeout=10.0)
+    >>> for record in tail_the_stream():           # doctest: +SKIP
+    ...     for alert in live.process(record):
+    ...         page_someone(alert)
+    >>> live.flush()                               # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        system: MoniLog,
+        session_timeout: float = 30.0,
+        max_session_events: int = 1000,
+    ) -> None:
+        if not system._trained:
+            raise RuntimeError(
+                "StreamingMoniLog wraps a trained MoniLog; call train() first"
+            )
+        self.system = system
+        self.sessionizer = StreamingSessionizer(
+            session_timeout=session_timeout,
+            max_session_events=max_session_events,
+        )
+        self._report_counter = 0
+
+    def _score(self, session: list[ParsedLog]) -> ClassifiedAlert | None:
+        if len(session) < self.system.config.min_window_events:
+            return None
+        self.system.stats.windows_scored += 1
+        result = self.system.detector.detect(session)
+        if not result.anomalous:
+            return None
+        self.system.stats.anomalies_detected += 1
+        report = AnomalyReport(
+            report_id=self._report_counter,
+            session_id=session[0].session_id or f"burst-{self._report_counter}",
+            events=tuple(session),
+            detection=result,
+        )
+        self._report_counter += 1
+        alert = self.system.classifier.classify(report)
+        alert = self.system.pools.deliver(alert)
+        self.system.stats.alerts_classified += 1
+        return alert
+
+    def process(self, record: LogRecord) -> list[ClassifiedAlert]:
+        """Feed one record; return alerts for sessions it closed."""
+        parsed = self.system.parser.parse_record(record)
+        self.system.stats.records_parsed += 1
+        alerts = []
+        for session in self.sessionizer.push(parsed):
+            alert = self._score(session)
+            if alert is not None:
+                alerts.append(alert)
+        return alerts
+
+    def process_stream(
+        self, records: Iterable[LogRecord]
+    ) -> Iterator[ClassifiedAlert]:
+        """Generator form of :meth:`process` + terminal :meth:`flush`."""
+        for record in records:
+            yield from self.process(record)
+        yield from self.flush()
+
+    def flush(self) -> list[ClassifiedAlert]:
+        """Close all open sessions and score them (stream shutdown)."""
+        alerts = []
+        for session in self.sessionizer.flush():
+            alert = self._score(session)
+            if alert is not None:
+                alerts.append(alert)
+        return alerts

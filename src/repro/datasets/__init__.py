@@ -1,0 +1,38 @@
+"""Synthetic, ground-truthed log datasets.
+
+The paper evaluates on production streams (3DS OUTSCALE) and the
+standard public corpora used by the cited detectors (HDFS, BGL).
+Neither is available offline, so this subpackage generates synthetic
+equivalents that preserve the structural properties the experiments
+depend on (see DESIGN.md, substitutions table):
+
+* :mod:`repro.datasets.hdfs` — block-session structured stream with the
+  classic HDFS template set and session-level anomalies.
+* :mod:`repro.datasets.bgl` — supercomputer-style stream labelled per
+  record, for time-window detection.
+* :mod:`repro.datasets.cloud` — a multi-source cloud platform (API,
+  network, storage sources) with cross-source anomalies, the setting
+  that motivates MoniLog.
+
+Every generator returns a :class:`LabeledDataset` carrying records,
+session ground truth, and the exact template library used, so both
+parsing metrics (Eq. 1 needs token-level truth) and detection metrics
+(P/R/F1 need sequence-level truth) can be computed.
+"""
+
+from repro.datasets.common import LabeledDataset, SessionTruth, train_test_split
+from repro.datasets.hdfs import HdfsDataset, generate_hdfs
+from repro.datasets.bgl import BglDataset, generate_bgl
+from repro.datasets.cloud import CloudPlatformDataset, generate_cloud_platform
+
+__all__ = [
+    "BglDataset",
+    "CloudPlatformDataset",
+    "HdfsDataset",
+    "LabeledDataset",
+    "SessionTruth",
+    "generate_bgl",
+    "generate_cloud_platform",
+    "generate_hdfs",
+    "train_test_split",
+]

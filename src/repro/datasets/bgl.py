@@ -1,0 +1,197 @@
+"""Synthetic BGL-like dataset.
+
+BGL (Blue Gene/L supercomputer logs) is the second standard corpus in
+the log anomaly detection literature.  Unlike HDFS it has *no* session
+ids: records are labelled individually (alert vs non-alert) and
+detectors window the stream by time or by count.  This generator
+reproduces that structure: a per-node hardware/kernel template set,
+per-record ground-truth labels, and bursty alert episodes (real alerts
+cluster in time — a property sliding-window detectors rely on).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datasets.common import LabeledDataset, SessionTruth
+from repro.logs.record import LogRecord, Severity
+from repro.logs.sources import TemplateLibrary
+
+
+@dataclass
+class BglDataset(LabeledDataset):
+    """Alias carrying the dataset name for type clarity."""
+
+
+def _node(rng: random.Random) -> str:
+    return (
+        f"R{rng.randint(0, 63):02d}-M{rng.randint(0, 1)}"
+        f"-N{rng.randint(0, 15):x}-C:J{rng.randint(0, 17):02d}-U{rng.randint(0, 3):02d}"
+    )
+
+
+def _hexaddr(rng: random.Random) -> str:
+    return f"0x{rng.randint(0, 2**32 - 1):08x}"
+
+
+def _count(rng: random.Random) -> str:
+    return str(rng.randint(1, 64))
+
+
+def _build_library() -> tuple[TemplateLibrary, dict[str, int]]:
+    library = TemplateLibrary()
+    ids: dict[str, int] = {}
+
+    def add(name: str, template: str, samplers=(), severity=Severity.INFO) -> None:
+        ids[name] = library.add(template, samplers, severity).template_id
+
+    # Normal operational chatter.
+    add("boot", "ciod: Node <*> booted successfully", (_node,))
+    add(
+        "cache",
+        "instruction cache parity error corrected on <*>",
+        (_node,),
+        Severity.WARNING,
+    )
+    add(
+        "generating",
+        "generating core file <*> on node <*>",
+        (_count, _node),
+    )
+    add(
+        "job_start",
+        "ciod: Job <*> started on <*> processors",
+        (_count, _count),
+    )
+    add(
+        "job_end",
+        "ciod: Job <*> terminated normally exit status <*>",
+        (_count, lambda rng: "0"),
+    )
+    add(
+        "sync",
+        "mmcs_server: node <*> synchronized at barrier <*>",
+        (_node, _count),
+    )
+    add(
+        "heartbeat",
+        "idoproxy: heartbeat from <*> received",
+        (_node,),
+    )
+    add(
+        "temp",
+        "monitor: temperature reading <*> on <*> within range",
+        (_count, _node),
+    )
+    # Alert statements (per-record anomalies).
+    add(
+        "kernel_panic",
+        "KERNEL FATAL kernel panic on <*> at address <*>",
+        (_node, _hexaddr),
+        Severity.CRITICAL,
+    )
+    add(
+        "ddr_failure",
+        "KERNEL FATAL data storage interrupt on <*> ddr error at <*>",
+        (_node, _hexaddr),
+        Severity.CRITICAL,
+    )
+    add(
+        "torus_error",
+        "KERNEL ERROR torus sender <*> retransmission error count <*>",
+        (_node, _count),
+        Severity.ERROR,
+    )
+    add(
+        "link_failure",
+        "MMCS ERROR link card <*> failed power status <*>",
+        (_node, _hexaddr),
+        Severity.ERROR,
+    )
+    return library, ids
+
+
+_NORMAL = (
+    "boot", "cache", "generating", "job_start", "job_end",
+    "sync", "heartbeat", "temp",
+)
+_NORMAL_WEIGHTS = (1, 2, 1, 3, 3, 4, 6, 4)
+_ALERTS = ("kernel_panic", "ddr_failure", "torus_error", "link_failure")
+
+
+def generate_bgl(
+    *,
+    records: int = 20_000,
+    alert_episodes: int = 12,
+    episode_length: tuple[int, int] = (20, 60),
+    rate: float = 25.0,
+    seed: int = 0,
+) -> BglDataset:
+    """Generate a synthetic BGL-like stream with bursty alert episodes.
+
+    Args:
+        records: total number of log records.
+        alert_episodes: number of alert bursts scattered in the stream.
+        episode_length: (min, max) records per burst; inside a burst,
+            roughly half the records are alert statements.
+        rate: average records per second.
+        seed: RNG seed.
+
+    Session ground truth: since BGL has no sessions, each record's
+    ``session_id`` is set to a fixed-size window bucket (``win-N``,
+    100 records per bucket) and a bucket is anomalous if it contains at
+    least one alert record — the standard BGL evaluation protocol.
+    """
+    if episode_length[0] > episode_length[1]:
+        raise ValueError("episode_length must be (min, max) with min <= max")
+    library, ids = _build_library()
+    rng = random.Random(seed)
+
+    # Choose episode start offsets spread over the stream.
+    episode_starts = sorted(
+        rng.sample(range(0, max(1, records - episode_length[1])), k=min(alert_episodes, records))
+    )
+    episode_plan: dict[int, int] = {}
+    for start in episode_starts:
+        episode_plan[start] = rng.randint(*episode_length)
+
+    bucket_size = 100
+    out: list[LogRecord] = []
+    truths: dict[str, SessionTruth] = {}
+    clock = 0.0
+    in_episode = 0
+
+    for index in range(records):
+        if index in episode_plan:
+            in_episode = episode_plan[index]
+        alert = in_episode > 0 and rng.random() < 0.5
+        if in_episode > 0:
+            in_episode -= 1
+        if alert:
+            name = rng.choice(_ALERTS)
+        else:
+            name = rng.choices(_NORMAL, weights=_NORMAL_WEIGHTS, k=1)[0]
+        template = library[ids[name]]
+        message, _ = template.instantiate(rng)
+        clock += rng.expovariate(rate)
+        bucket = f"win-{index // bucket_size:05d}"
+        record = LogRecord(
+            timestamp=clock,
+            source="bgl",
+            severity=template.severity,
+            message=message,
+            session_id=bucket,
+            sequence=index,
+            labels=frozenset({"anomaly"}) if alert else frozenset(),
+        )
+        out.append(record)
+        existing = truths.get(bucket)
+        if existing is None or (alert and not existing.anomalous):
+            truths[bucket] = SessionTruth(
+                session_id=bucket,
+                anomalous=alert or (existing.anomalous if existing else False),
+                kind="alert" if alert else (existing.kind if existing else None),
+            )
+
+    return BglDataset(name="bgl", records=out, library=library, sessions=truths)

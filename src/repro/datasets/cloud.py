@@ -1,0 +1,253 @@
+"""Synthetic multi-source cloud platform dataset.
+
+This is the setting that motivates MoniLog (paper §I–II): one system
+fed by many log sources, where "certain patterns within storage logs
+are anomalous only if certain actions are logged by network logs at the
+same time".  The generator models three sources of a small IaaS
+platform —
+
+* ``api`` — the request front-end (optionally emits JSON-suffixed
+  messages, the §IV observation behind experiment X7),
+* ``network`` — port/link management,
+* ``storage`` — volume attach/detach and replication,
+
+— and emits *request sessions* that span sources.  Anomaly kinds:
+
+* ``api_failure``      — sequential anomaly inside one source,
+* ``cross_source``     — storage retry burst coinciding with network
+  link flaps; each half also occurs alone in normal traffic, so only a
+  multi-source detector scope can separate it (experiment X3),
+* ``quantitative``     — normal flow with an absurd latency value.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+
+from repro.datasets.common import LabeledDataset, SessionTruth
+from repro.logs.record import LogRecord, Severity
+from repro.logs.sources import TemplateLibrary
+
+
+#: Normal API latency in milliseconds; quantitative anomalies exceed
+#: this by 100x or more.
+NORMAL_LATENCY_MS = (1, 500)
+
+
+@dataclass
+class CloudPlatformDataset(LabeledDataset):
+    """Alias carrying the dataset name for type clarity."""
+
+
+def _vm(rng: random.Random) -> str:
+    return f"vm-{rng.randint(10**6, 10**7 - 1):x}"
+
+
+def _volume(rng: random.Random) -> str:
+    return f"vol-{rng.randint(10**6, 10**7 - 1):x}"
+
+
+def _port(rng: random.Random) -> str:
+    return str(rng.randint(1024, 65535))
+
+
+def _host(rng: random.Random) -> str:
+    return f"host-{rng.randint(1, 48):02d}"
+
+
+def _ip(rng: random.Random) -> str:
+    return f"10.{rng.randint(0, 255)}.{rng.randint(0, 255)}.{rng.randint(1, 254)}"
+
+
+def _latency(rng: random.Random) -> str:
+    return str(rng.randint(*NORMAL_LATENCY_MS))
+
+
+def _user(rng: random.Random) -> str:
+    return f"user{rng.randint(1, 500)}"
+
+
+def _build_library() -> tuple[TemplateLibrary, dict[str, tuple[str, int]]]:
+    """Register templates; map name → (source, template id)."""
+    library = TemplateLibrary()
+    ids: dict[str, tuple[str, int]] = {}
+
+    def add(name: str, source: str, template: str, samplers=(),
+            severity=Severity.INFO) -> None:
+        ids[name] = (source, library.add(template, samplers, severity).template_id)
+
+    # API front-end.
+    add("api_recv", "api", "Received request RunInstances for <*> from <*>",
+        (_user, _ip))
+    add("api_sched", "api", "Scheduler placed instance <*> on <*>",
+        (_vm, _host))
+    add("api_ok", "api", "Request completed status 200 in <*> ms", (_latency,))
+    add("api_term_recv", "api", "Received request TerminateInstances for <*> from <*>",
+        (_user, _ip))
+    add("api_term_ok", "api", "Instance <*> terminated status 200 in <*> ms",
+        (_vm, _latency), Severity.INFO)
+    add("api_err", "api", "Request failed status 500 internal error in <*> ms",
+        (_latency,), Severity.ERROR)
+    add("api_retry", "api", "Retrying placement for instance <*> attempt <*>",
+        (_vm, lambda rng: str(rng.randint(2, 5))), Severity.WARNING)
+    # Network service.
+    add("net_alloc", "network", "Allocated port <*> for instance <*> on <*>",
+        (_port, _vm, _host))
+    add("net_up", "network", "Link up for instance <*> ip <*>", (_vm, _ip))
+    add("net_release", "network", "Released port <*> for instance <*>",
+        (_port, _vm))
+    add("net_flap", "network", "Link flap detected on <*> port <*>",
+        (_host, _port), Severity.WARNING)
+    add("net_down", "network", "Link down for instance <*> ip <*>",
+        (_vm, _ip), Severity.WARNING)
+    # Storage service.
+    add("sto_create", "storage", "Creating volume <*> size <*> GiB",
+        (_volume, lambda rng: str(rng.randint(8, 512))))
+    add("sto_attach", "storage", "Attached volume <*> to instance <*>",
+        (_volume, _vm))
+    add("sto_detach", "storage", "Detached volume <*> from instance <*>",
+        (_volume, _vm))
+    add("sto_repl", "storage", "Replication completed for volume <*> to <*>",
+        (_volume, _host))
+    add("sto_retry", "storage", "Replication retry <*> for volume <*>",
+        (lambda rng: str(rng.randint(1, 3)), _volume), Severity.WARNING)
+    add("sto_degraded", "storage", "Volume <*> entered degraded state",
+        (_volume,), Severity.ERROR)
+    return library, ids
+
+
+# Request flows, as (template name, ...) sequences.  Names map to their
+# source via the library ids, so one session naturally spans sources.
+_FLOWS_NORMAL: dict[str, tuple[str, ...]] = {
+    "run_instance": (
+        "api_recv", "api_sched", "net_alloc", "sto_create",
+        "sto_attach", "net_up", "api_ok",
+    ),
+    "terminate_instance": (
+        "api_term_recv", "sto_detach", "net_release", "api_term_ok",
+    ),
+    # Benign background maintenance: a retry or a flap alone is normal.
+    "replication_cycle": ("sto_create", "sto_repl", "sto_retry", "sto_repl"),
+    "net_maintenance": ("net_flap", "net_up"),
+}
+_FLOW_WEIGHTS = {"run_instance": 6, "terminate_instance": 4,
+                 "replication_cycle": 2, "net_maintenance": 2}
+
+_FLOWS_ANOMALOUS: dict[str, tuple[str, ...]] = {
+    # Scheduler melts down: retries then a 500.
+    "api_failure": (
+        "api_recv", "api_sched", "api_retry", "api_retry",
+        "api_retry", "api_err",
+    ),
+    # The cross-source pattern: storage retries *because* the network is
+    # flapping; each half appears alone in normal flows above.
+    "cross_source": (
+        "sto_retry", "net_flap", "sto_retry", "net_flap",
+        "net_down", "sto_retry", "sto_degraded",
+    ),
+    # Normal run_instance flow — the latency value is inflated instead.
+    "quantitative": (
+        "api_recv", "api_sched", "net_alloc", "sto_create",
+        "sto_attach", "net_up", "api_ok",
+    ),
+}
+
+
+def _inflate_latency(message: str, rng: random.Random) -> str:
+    """Multiply the latency field far beyond the normal range."""
+    tokens = message.split(" ")
+    for index, token in enumerate(tokens):
+        if token.isdigit() and int(token) <= NORMAL_LATENCY_MS[1]:
+            tokens[index] = str(rng.randint(
+                NORMAL_LATENCY_MS[1] * 100, NORMAL_LATENCY_MS[1] * 1000))
+            break
+    return " ".join(tokens)
+
+
+def generate_cloud_platform(
+    *,
+    sessions: int = 800,
+    anomaly_rate: float = 0.05,
+    json_suffix: bool = False,
+    seed: int = 0,
+) -> CloudPlatformDataset:
+    """Generate the multi-source cloud platform corpus.
+
+    Args:
+        sessions: number of request sessions.
+        anomaly_rate: fraction of anomalous sessions, split evenly
+            across the three anomaly kinds.
+        json_suffix: when ``True``, ``api`` records carry a trailing
+            JSON payload (request id, user, region) — the §IV
+            "API-like services" practice that experiment X7 measures.
+        seed: RNG seed.
+    """
+    if not 0.0 <= anomaly_rate <= 1.0:
+        raise ValueError(f"anomaly_rate must be in [0, 1], got {anomaly_rate}")
+    library, ids = _build_library()
+    rng = random.Random(seed)
+    records: list[LogRecord] = []
+    truths: dict[str, SessionTruth] = {}
+    clock = 0.0
+    sequence = 0
+    normal_names = sorted(_FLOWS_NORMAL)
+    normal_weights = [_FLOW_WEIGHTS[name] for name in normal_names]
+    anomaly_names = sorted(_FLOWS_ANOMALOUS)
+
+    for index in range(sessions):
+        session_id = f"req-{index:06d}"
+        anomalous = rng.random() < anomaly_rate
+        if anomalous:
+            kind = anomaly_names[index % len(anomaly_names)]
+            flow = _FLOWS_ANOMALOUS[kind]
+        else:
+            kind = None
+            flow = _FLOWS_NORMAL[
+                rng.choices(normal_names, weights=normal_weights, k=1)[0]
+            ]
+        labels = frozenset({"anomaly"}) if anomalous else frozenset()
+        for step in flow:
+            source, template_id = ids[step]
+            template = library[template_id]
+            message, _ = template.instantiate(rng)
+            if kind == "quantitative" and step == "api_ok":
+                message = _inflate_latency(message, rng)
+            if json_suffix and source == "api":
+                # Real API payloads vary in keys and length; that token
+                # churn is exactly why the paper recommends extracting
+                # them before template mining (experiment X7).
+                fields: dict[str, object] = {"request_id": session_id}
+                if rng.random() < 0.8:
+                    fields["user"] = f"user{rng.randint(1, 500)}"
+                if rng.random() < 0.6:
+                    fields["region"] = rng.choice(
+                        ["eu-west-2", "us-east-1", "cloudgouv"]
+                    )
+                if rng.random() < 0.4:
+                    fields["latency_ms"] = rng.randint(1, 500)
+                if rng.random() < 0.3:
+                    fields["retries"] = rng.randint(0, 3)
+                payload = json.dumps(fields, separators=(", ", ": "))
+                message = f"{message} {payload}"
+            clock += rng.expovariate(40.0)
+            records.append(
+                LogRecord(
+                    timestamp=clock,
+                    source=source,
+                    severity=template.severity,
+                    message=message,
+                    session_id=session_id,
+                    sequence=sequence,
+                    labels=labels,
+                )
+            )
+            sequence += 1
+        truths[session_id] = SessionTruth(
+            session_id=session_id, anomalous=anomalous, kind=kind
+        )
+
+    return CloudPlatformDataset(
+        name="cloud", records=records, library=library, sessions=truths
+    )

@@ -1,0 +1,137 @@
+"""Shared dataset machinery: labels, splits, and session ground truth."""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.logs.record import LogRecord
+from repro.logs.sources import TemplateLibrary
+
+
+@dataclass(frozen=True)
+class SessionTruth:
+    """Ground truth for one session (e.g. one HDFS block).
+
+    ``anomalous`` is the session-level label the detection metrics use;
+    ``kind`` describes the anomaly family (``None`` for normal
+    sessions) so experiments can break results down.
+    """
+
+    session_id: str
+    anomalous: bool
+    kind: str | None = None
+
+
+@dataclass
+class LabeledDataset:
+    """A generated corpus with full parsing and detection ground truth.
+
+    Attributes:
+        name: dataset identifier (``"hdfs"``, ``"bgl"``, ``"cloud"``).
+        records: all records in delivery order.
+        library: the exact template library used for generation —
+            supervised parsing metrics look templates up here.
+        sessions: session-level ground truth, keyed by session id.
+    """
+
+    name: str
+    records: list[LogRecord]
+    library: TemplateLibrary
+    sessions: dict[str, SessionTruth] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def anomaly_rate(self) -> float:
+        """Fraction of sessions labelled anomalous (0 if no sessions)."""
+        if not self.sessions:
+            return 0.0
+        anomalous = sum(1 for truth in self.sessions.values() if truth.anomalous)
+        return anomalous / len(self.sessions)
+
+    def session_records(self) -> dict[str, list[LogRecord]]:
+        """Group records by session id, preserving delivery order.
+
+        Records without a session id are grouped under ``""``.
+        """
+        grouped: dict[str, list[LogRecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.session_id or "", []).append(record)
+        return grouped
+
+    def normal_sessions(self) -> list[str]:
+        return [
+            session_id
+            for session_id, truth in self.sessions.items()
+            if not truth.anomalous
+        ]
+
+    def anomalous_sessions(self) -> list[str]:
+        return [
+            session_id
+            for session_id, truth in self.sessions.items()
+            if truth.anomalous
+        ]
+
+    def subset(self, session_ids: Iterable[str]) -> "LabeledDataset":
+        """Project the dataset onto a set of sessions."""
+        wanted = set(session_ids)
+        return LabeledDataset(
+            name=self.name,
+            records=[
+                record for record in self.records if record.session_id in wanted
+            ],
+            library=self.library,
+            sessions={
+                session_id: truth
+                for session_id, truth in self.sessions.items()
+                if session_id in wanted
+            },
+        )
+
+
+def train_test_split(
+    dataset: LabeledDataset,
+    *,
+    train_fraction: float = 0.5,
+    anomaly_free_training: bool = True,
+    seed: int = 0,
+) -> tuple[LabeledDataset, LabeledDataset]:
+    """Split a dataset by session into train and test parts.
+
+    With ``anomaly_free_training=True`` (the deployment-realistic regime
+    the paper wants to study in experiment X1) the training split
+    contains only normal sessions; all anomalous sessions go to test.
+    With ``False``, anomalous sessions are split proportionally — the
+    LogRobust-style 50/50-capable regime.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+    rng = random.Random(seed)
+    normal = dataset.normal_sessions()
+    anomalous = dataset.anomalous_sessions()
+    rng.shuffle(normal)
+    rng.shuffle(anomalous)
+
+    train_ids: list[str] = normal[: int(len(normal) * train_fraction)]
+    test_ids: list[str] = normal[int(len(normal) * train_fraction):]
+    if anomaly_free_training:
+        test_ids += anomalous
+    else:
+        cut = int(len(anomalous) * train_fraction)
+        train_ids += anomalous[:cut]
+        test_ids += anomalous[cut:]
+    return dataset.subset(train_ids), dataset.subset(test_ids)
+
+
+def records_as_sessions(
+    records: Sequence[LogRecord],
+) -> dict[str, list[LogRecord]]:
+    """Group arbitrary records by session id (order-preserving)."""
+    grouped: dict[str, list[LogRecord]] = {}
+    for record in records:
+        grouped.setdefault(record.session_id or "", []).append(record)
+    return grouped

@@ -1,0 +1,317 @@
+"""Synthetic HDFS-like dataset.
+
+The public HDFS corpus (Xu et al., SOSP'09) is the standard benchmark
+for DeepLog / LogAnomaly / LogRobust: ~11 M lines grouped into block
+sessions by ``blk_`` id, with ~2.9 % of blocks labelled anomalous.  No
+network access is available here, so this generator reproduces the
+corpus *structure*: the well-known block-lifecycle template set, block
+sessions as the unit of labelling, rare session anomalies of both
+kinds the paper distinguishes —
+
+* **sequential** anomalies: sessions whose template sequence deviates
+  from the write/replicate/commit flow (exceptions, truncated
+  replication, redundant delete);
+* **quantitative** anomalies: sessions that follow the normal flow but
+  carry wildly abnormal variable values (e.g. a transfer size far
+  outside the seen range — Table I's L3 case).
+
+Ground truth (session labels + template library) is attached so every
+metric in :mod:`repro.metrics` can be computed exactly.
+
+Templates use whole-token wildcards: a variable always occupies a full
+space-delimited token, matching the paper's token definition used by
+the Eq. 1 metric.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datasets.common import LabeledDataset, SessionTruth
+from repro.logs.record import LogRecord, Severity
+from repro.logs.sources import TemplateLibrary
+
+
+#: Normal transfer sizes are drawn from this range; quantitative
+#: anomalies multiply the upper bound by up to ``QUANT_FACTOR``.
+NORMAL_BYTES = (512, 67_108_864)
+QUANT_FACTOR = 1_000
+
+
+@dataclass
+class HdfsDataset(LabeledDataset):
+    """Alias carrying the dataset name for type clarity."""
+
+
+def _block_id(rng: random.Random) -> str:
+    return f"blk_{rng.randint(10**9, 10**10 - 1)}"
+
+
+def _slash_ip(rng: random.Random) -> str:
+    return f"/10.{rng.randint(0, 255)}.{rng.randint(0, 255)}.{rng.randint(1, 254)}"
+
+
+def _part_path(rng: random.Random) -> str:
+    return f"/user/job/part-{rng.randint(0, 9999)}"
+
+
+def _size(rng: random.Random) -> str:
+    return str(rng.randint(*NORMAL_BYTES))
+
+
+def _responder(rng: random.Random) -> str:
+    return str(rng.randint(0, 2))
+
+
+def _build_library() -> tuple[TemplateLibrary, dict[str, int]]:
+    """Register the HDFS block-lifecycle template set.
+
+    Returns the library plus a name → template id map used by the flow
+    definitions below.
+    """
+    library = TemplateLibrary()
+    ids: dict[str, int] = {}
+
+    def add(name: str, template: str, samplers=(), severity=Severity.INFO) -> None:
+        ids[name] = library.add(template, samplers, severity).template_id
+
+    add(
+        "allocate",
+        "BLOCK* NameSystem.allocateBlock: <*> <*>",
+        (_part_path, _block_id),
+    )
+    add(
+        "receiving",
+        "Receiving block <*> src: <*> dest: <*>",
+        (_block_id, _slash_ip, _slash_ip),
+    )
+    add(
+        "received",
+        "Received block <*> of size <*> from <*>",
+        (_block_id, _size, _slash_ip),
+    )
+    add(
+        "responder_term",
+        "PacketResponder <*> for block <*> terminating",
+        (_responder, _block_id),
+    )
+    add(
+        "stored",
+        "BLOCK* NameSystem.addStoredBlock: blockMap updated: <*> is added to <*> size <*>",
+        (_slash_ip, _block_id, _size),
+    )
+    add("verify", "Verification succeeded for <*>", (_block_id,))
+    add("serving", "Served block <*> to <*>", (_block_id, _slash_ip))
+    add(
+        "delete",
+        "BLOCK* NameSystem.delete: <*> is added to invalidSet of <*>",
+        (_block_id, _slash_ip),
+    )
+    # Anomalous statements (sequential anomalies use these).
+    add(
+        "write_exception",
+        "writeBlock <*> received exception java.io.IOException: Connection reset by peer",
+        (_block_id,),
+        Severity.ERROR,
+    )
+    add(
+        "receive_exception",
+        "Exception in receiveBlock for block <*> java.io.EOFException",
+        (_block_id,),
+        Severity.ERROR,
+    )
+    add(
+        "responder_exception",
+        "PacketResponder <*> <*> Exception java.io.InterruptedIOException",
+        (_block_id, _responder),
+        Severity.ERROR,
+    )
+    add(
+        "redundant_request",
+        "Redundant addStoredBlock request received for <*> on <*> size <*>",
+        (_block_id, _slash_ip, _size),
+        Severity.WARNING,
+    )
+    add(
+        "failed_transfer",
+        "Failed to transfer <*> to <*> got java.net.SocketTimeoutException",
+        (_block_id, _slash_ip),
+        Severity.ERROR,
+    )
+    return library, ids
+
+
+# Flow definitions: sequences of template names.  Each session plays one
+# flow; replication steps repeat three times as HDFS writes 3 replicas.
+_NORMAL_FLOW = (
+    "allocate",
+    "receiving", "receiving", "receiving",
+    "received", "received", "received",
+    "responder_term", "responder_term", "responder_term",
+    "stored", "stored", "stored",
+)
+_NORMAL_READ_SUFFIX = ("verify", "serving")
+
+_SEQUENTIAL_ANOMALIES: dict[str, tuple[str, ...]] = {
+    "write_failure": (
+        "allocate",
+        "receiving", "receiving",
+        "write_exception",
+        "failed_transfer",
+    ),
+    "receive_failure": (
+        "allocate",
+        "receiving", "receiving", "receiving",
+        "receive_exception",
+        "responder_exception",
+        "delete",
+    ),
+    "truncated_replication": (
+        "allocate",
+        "receiving",
+        "received",
+        "responder_term",
+        "stored",
+    ),
+    "redundant_storage": (
+        "allocate",
+        "receiving", "receiving", "receiving",
+        "received", "received", "received",
+        "responder_term", "responder_term", "responder_term",
+        "stored", "stored", "stored",
+        "redundant_request", "redundant_request",
+    ),
+}
+
+
+def _pin_block_id(message: str, block_id: str) -> str:
+    """Replace any sampled ``blk_...`` token with the session's id.
+
+    Every statement about a block must reference the same block id, and
+    the session id doubles as that block id.
+    """
+    tokens = message.split(" ")
+    for index, token in enumerate(tokens):
+        if token.startswith("blk_"):
+            tokens[index] = block_id
+    return " ".join(tokens)
+
+
+def _inflate_size(message: str, rng: random.Random) -> str:
+    """Blow up the size field to create a quantitative anomaly (L3)."""
+    tokens = message.split(" ")
+    for index in range(len(tokens) - 1, -1, -1):
+        if tokens[index].isdigit() and int(tokens[index]) <= NORMAL_BYTES[1]:
+            tokens[index] = str(
+                rng.randint(NORMAL_BYTES[1] * 10, NORMAL_BYTES[1] * QUANT_FACTOR)
+            )
+            break
+    return " ".join(tokens)
+
+
+def _emit_flow(
+    *,
+    flow: tuple[str, ...],
+    library: TemplateLibrary,
+    ids: dict[str, int],
+    session_id: str,
+    clock: float,
+    rng: random.Random,
+    sequence_start: int,
+    quantitative: bool,
+    anomalous: bool,
+) -> tuple[list[LogRecord], float, int]:
+    """Instantiate one flow for one block; returns records, clock, seq."""
+    records: list[LogRecord] = []
+    sequence = sequence_start
+    labels = frozenset({"anomaly"}) if anomalous else frozenset()
+    for step in flow:
+        template = library[ids[step]]
+        message, _ = template.instantiate(rng)
+        message = _pin_block_id(message, session_id)
+        if quantitative and step in ("received", "stored"):
+            message = _inflate_size(message, rng)
+        clock += rng.expovariate(50.0)
+        records.append(
+            LogRecord(
+                timestamp=clock,
+                source="hdfs",
+                severity=template.severity,
+                message=message,
+                session_id=session_id,
+                sequence=sequence,
+                labels=labels,
+            )
+        )
+        sequence += 1
+    return records, clock, sequence
+
+
+def generate_hdfs(
+    *,
+    sessions: int = 1000,
+    anomaly_rate: float = 0.03,
+    quantitative_share: float = 0.25,
+    read_probability: float = 0.6,
+    seed: int = 0,
+) -> HdfsDataset:
+    """Generate a synthetic HDFS-like dataset.
+
+    Args:
+        sessions: number of block sessions.
+        anomaly_rate: fraction of anomalous sessions (public corpus:
+            ~2.9 %).
+        quantitative_share: among anomalous sessions, the fraction that
+            are quantitative (normal flow, abnormal size values) rather
+            than sequential.
+        read_probability: chance a normal session appends the
+            verify/serve read suffix — this yields *two* normal flow
+            variants, so detectors must learn more than one pattern.
+        seed: RNG seed; generation is fully deterministic.
+    """
+    if not 0.0 <= anomaly_rate <= 1.0:
+        raise ValueError(f"anomaly_rate must be in [0, 1], got {anomaly_rate}")
+    library, ids = _build_library()
+    rng = random.Random(seed)
+    records: list[LogRecord] = []
+    truths: dict[str, SessionTruth] = {}
+    clock = 0.0
+    sequence = 0
+
+    for _ in range(sessions):
+        session_id = _block_id(rng)
+        while session_id in truths:
+            session_id = _block_id(rng)
+        anomalous = rng.random() < anomaly_rate
+        quantitative = anomalous and rng.random() < quantitative_share
+        if not anomalous:
+            flow = _NORMAL_FLOW
+            if rng.random() < read_probability:
+                flow = flow + _NORMAL_READ_SUFFIX
+            kind = None
+        elif quantitative:
+            flow = _NORMAL_FLOW
+            kind = "quantitative"
+        else:
+            kind = rng.choice(sorted(_SEQUENTIAL_ANOMALIES))
+            flow = _SEQUENTIAL_ANOMALIES[kind]
+        session_records, clock, sequence = _emit_flow(
+            flow=flow,
+            library=library,
+            ids=ids,
+            session_id=session_id,
+            clock=clock,
+            rng=rng,
+            sequence_start=sequence,
+            quantitative=quantitative,
+            anomalous=anomalous,
+        )
+        records.extend(session_records)
+        truths[session_id] = SessionTruth(
+            session_id=session_id, anomalous=anomalous, kind=kind
+        )
+
+    return HdfsDataset(
+        name="hdfs", records=records, library=library, sessions=truths
+    )

@@ -1,0 +1,64 @@
+"""Anomaly detection over structured log streams (MoniLog stage 2).
+
+Implements the paper's §III study set on a common
+:class:`~repro.detection.base.Detector` API:
+
+* counter-based — :class:`~repro.detection.pca.PcaDetector`,
+  :class:`~repro.detection.invariants.InvariantMiningDetector`,
+  :class:`~repro.detection.log_clustering.LogClusteringDetector`;
+* deep-learning — :class:`~repro.detection.deeplog.DeepLogDetector`,
+  :class:`~repro.detection.loganomaly.LogAnomalyDetector`,
+  :class:`~repro.detection.logrobust.LogRobustDetector`.
+
+Shared infrastructure: session/sliding windowing
+(:mod:`repro.detection.windows`), event count matrices
+(:mod:`repro.detection.count_vector`) and semantic vectorization
+(:mod:`repro.detection.semantics`).
+"""
+
+from repro.detection.base import Detector, DetectionResult
+from repro.detection.windows import (
+    sessions_from_parsed,
+    sliding_windows,
+    time_windows,
+)
+from repro.detection.count_vector import CountVectorizer
+from repro.detection.semantics import SemanticVectorizer
+from repro.detection.pca import PcaDetector
+from repro.detection.invariants import InvariantMiningDetector
+from repro.detection.log_clustering import LogClusteringDetector
+from repro.detection.deeplog import DeepLogDetector
+from repro.detection.loganomaly import LogAnomalyDetector
+from repro.detection.logrobust import LogRobustDetector
+from repro.detection.keyword import KeywordMatchDetector
+from repro.detection.markov import MarkovDetector
+
+#: The paper's §III study set by short name (the keyword baseline is
+#: exported separately — it is the §I practice the study set replaces).
+DETECTORS = {
+    "pca": PcaDetector,
+    "invariants": InvariantMiningDetector,
+    "logclustering": LogClusteringDetector,
+    "deeplog": DeepLogDetector,
+    "loganomaly": LogAnomalyDetector,
+    "logrobust": LogRobustDetector,
+}
+
+__all__ = [
+    "CountVectorizer",
+    "KeywordMatchDetector",
+    "MarkovDetector",
+    "DETECTORS",
+    "DeepLogDetector",
+    "DetectionResult",
+    "Detector",
+    "InvariantMiningDetector",
+    "LogAnomalyDetector",
+    "LogClusteringDetector",
+    "LogRobustDetector",
+    "PcaDetector",
+    "SemanticVectorizer",
+    "sessions_from_parsed",
+    "sliding_windows",
+    "time_windows",
+]

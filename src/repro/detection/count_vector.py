@@ -1,0 +1,65 @@
+"""Event count vectors: the counter-based detectors' input.
+
+PCA, Invariant Mining and LogClustering all consume the *event count
+matrix*: one row per session, one column per template, cell = how many
+times the template occurred.  The vectorizer learns its column
+vocabulary at fit time; templates first seen at detection time go to a
+shared overflow column, so vector length never changes after fit (the
+closed-world limitation the paper discusses for DeepLog applies to
+these models too, and the overflow column is how we surface rather
+than hide it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detection.base import Session, template_sequence
+
+
+class CountVectorizer:
+    """Template-count featurizer with a fixed post-fit vocabulary."""
+
+    def __init__(self) -> None:
+        self._column_of: dict[int, int] | None = None
+
+    @property
+    def dimension(self) -> int:
+        """Columns in the output (known templates + 1 overflow)."""
+        self._require_fitted()
+        assert self._column_of is not None
+        return len(self._column_of) + 1
+
+    def _require_fitted(self) -> None:
+        if self._column_of is None:
+            raise RuntimeError("CountVectorizer is not fitted; call fit() first")
+
+    def fit(self, sessions: list[Session]) -> "CountVectorizer":
+        """Learn the template vocabulary from training sessions."""
+        seen: dict[int, int] = {}
+        for session in sessions:
+            for template_id in template_sequence(session):
+                if template_id not in seen:
+                    seen[template_id] = len(seen)
+        self._column_of = seen
+        return self
+
+    def transform(self, session: Session) -> np.ndarray:
+        """Count vector of one session (unseen templates → overflow)."""
+        self._require_fitted()
+        assert self._column_of is not None
+        vector = np.zeros(self.dimension)
+        overflow = self.dimension - 1
+        for template_id in template_sequence(session):
+            vector[self._column_of.get(template_id, overflow)] += 1.0
+        return vector
+
+    def transform_many(self, sessions: list[Session]) -> np.ndarray:
+        """Count matrix: one row per session."""
+        self._require_fitted()
+        if not sessions:
+            return np.zeros((0, self.dimension))
+        return np.stack([self.transform(session) for session in sessions])
+
+    def fit_transform(self, sessions: list[Session]) -> np.ndarray:
+        return self.fit(sessions).transform_many(sessions)

@@ -1,0 +1,146 @@
+"""Invariant Mining (Lou et al., USENIX ATC'10).
+
+Program flows impose linear relations on event counts: every "open"
+has a matching "close", every block allocation is followed by exactly
+three replica receipts, and so on.  The miner searches for sparse
+integer invariants ``a * count[i] - b * count[j] = 0`` (pairs, the
+dominant form in the original) that hold on (nearly) all training
+sessions; a session violating any mined invariant is anomalous.
+
+The search follows the original's shape at laptop scale: hypothesize
+small integer coefficient pairs from observed count ratios, then keep
+hypotheses whose support exceeds ``support``.  Invariants involving an
+event that rarely co-occurs with its partner are filtered by a minimum
+co-occurrence count to avoid spurious ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from repro.detection.base import DetectionResult, Detector, Session
+from repro.detection.count_vector import CountVectorizer
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """``a * count[i] == b * count[j]`` with small integers a, b."""
+
+    column_i: int
+    column_j: int
+    a: int
+    b: int
+
+    def holds(self, vector: np.ndarray) -> bool:
+        return self.a * vector[self.column_i] == self.b * vector[self.column_j]
+
+    def describe(self) -> str:
+        return (
+            f"{self.a} * count(template#{self.column_i}) == "
+            f"{self.b} * count(template#{self.column_j})"
+        )
+
+
+class InvariantMiningDetector(Detector):
+    """The linear-invariant detector.
+
+    Args:
+        support: minimum fraction of training sessions an invariant
+            must satisfy (the original uses 98 %).
+        max_coefficient: largest integer coefficient hypothesized.
+        min_cooccurrence: minimum number of training sessions where
+            both events appear before a ratio hypothesis is formed.
+    """
+
+    name = "invariants"
+    supervised = False
+
+    def __init__(
+        self,
+        support: float = 0.98,
+        max_coefficient: int = 5,
+        min_cooccurrence: int = 5,
+    ) -> None:
+        if not 0.0 < support <= 1.0:
+            raise ValueError(f"support must be in (0, 1], got {support}")
+        if max_coefficient < 1:
+            raise ValueError(f"max_coefficient must be >= 1, got {max_coefficient}")
+        self.support = support
+        self.max_coefficient = max_coefficient
+        self.min_cooccurrence = min_cooccurrence
+        self.vectorizer = CountVectorizer()
+        self.invariants: list[Invariant] | None = None
+
+    def fit(
+        self, sessions: list[Session], labels: list[bool] | None = None
+    ) -> "InvariantMiningDetector":
+        matrix = self.vectorizer.fit_transform(sessions)
+        rows, columns = matrix.shape
+        if rows == 0:
+            raise ValueError("InvariantMiningDetector needs training sessions")
+        invariants: list[Invariant] = []
+        for i in range(columns):
+            for j in range(i + 1, columns):
+                invariant = self._mine_pair(matrix, i, j)
+                if invariant is not None:
+                    invariants.append(invariant)
+        self.invariants = invariants
+        return self
+
+    def _mine_pair(
+        self, matrix: np.ndarray, i: np.intp | int, j: np.intp | int
+    ) -> Invariant | None:
+        counts_i = matrix[:, i]
+        counts_j = matrix[:, j]
+        both = (counts_i > 0) & (counts_j > 0)
+        if both.sum() < self.min_cooccurrence:
+            return None
+        # Hypothesize from the most common exact ratio among co-occurring
+        # sessions, with small-integer coefficients.
+        ratios: dict[tuple[int, int], int] = {}
+        for x, y in zip(counts_i[both], counts_j[both]):
+            fraction = Fraction(int(y)).limit_denominator() / Fraction(int(x))
+            a, b = fraction.numerator, fraction.denominator
+            # Invariant form: a * x == b * y  means ratio y/x == a/b.
+            if a <= self.max_coefficient and b <= self.max_coefficient:
+                ratios[(a, b)] = ratios.get((a, b), 0) + 1
+        if not ratios:
+            return None
+        (a, b), _ = max(ratios.items(), key=lambda item: item[1])
+        candidate = Invariant(column_i=int(i), column_j=int(j), a=a, b=b)
+        satisfied = np.fromiter(
+            (candidate.holds(row) for row in matrix), dtype=bool, count=len(matrix)
+        )
+        if satisfied.mean() >= self.support:
+            return candidate
+        return None
+
+    def detect(self, session: Session) -> DetectionResult:
+        if self.invariants is None:
+            raise RuntimeError(
+                "InvariantMiningDetector is not fitted; call fit() first"
+            )
+        vector = self.vectorizer.transform(session)
+        violations = [
+            invariant
+            for invariant in self.invariants
+            if not invariant.holds(vector)
+        ]
+        # Unseen templates landing in the overflow column also indicate
+        # a flow never observed during training.
+        overflow = vector[-1]
+        score = float(len(violations) + overflow)
+        reasons = tuple(
+            f"invariant violated: {invariant.describe()}"
+            for invariant in violations[:5]
+        )
+        if overflow:
+            reasons += (f"{int(overflow)} events with unseen templates",)
+        return DetectionResult(
+            anomalous=bool(violations) or overflow > 0,
+            score=score,
+            reasons=reasons,
+        )

@@ -1,0 +1,98 @@
+"""Keyword-matching baseline (the practice the paper's §I critiques).
+
+"The use of keyword matching and regular expression helps to detect
+simple and well-known anomalous events.  Still, it is unable to
+identify a large portion of the anomalies, as many of them are
+sequences of 'non-anomalous' logs leading to an undesired outcome."
+
+This detector is that practice, implemented honestly: flag a session
+when any event's message matches a configured keyword/regex or its
+severity reaches a threshold.  It needs no training, catches the easy
+cases instantly, and — as the ablation bench measures — misses exactly
+the anomaly families the paper says it must: quantitative anomalies
+and sequential anomalies composed of individually-normal events.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+
+from repro.detection.base import DetectionResult, Detector, Session
+from repro.logs.record import Severity
+
+#: The keywords every operations team greps for first.
+DEFAULT_KEYWORDS: tuple[str, ...] = (
+    "error", "exception", "fatal", "fail", "failed", "failure",
+    "panic", "crash", "timeout", "denied", "refused",
+)
+
+
+class KeywordMatchDetector(Detector):
+    """Flag sessions containing alarm keywords or high-severity events.
+
+    Args:
+        keywords: case-insensitive substrings to look for.
+        patterns: additional regexes (strings), each searched per
+            message.
+        severity_threshold: events at or above this HEADER level flag
+            the session regardless of message content.
+    """
+
+    name = "keyword"
+    supervised = False
+
+    def __init__(
+        self,
+        keywords: Iterable[str] = DEFAULT_KEYWORDS,
+        patterns: Iterable[str] = (),
+        severity_threshold: Severity = Severity.ERROR,
+    ) -> None:
+        self.keywords = tuple(keyword.lower() for keyword in keywords)
+        self.patterns = tuple(re.compile(pattern) for pattern in patterns)
+        self.severity_threshold = severity_threshold
+
+    def fit(
+        self, sessions: list[Session], labels: list[bool] | None = None
+    ) -> "KeywordMatchDetector":
+        """No-op: keyword matching has nothing to learn."""
+        return self
+
+    def detect(self, session: Session) -> DetectionResult:
+        reasons: list[str] = []
+        hits = 0
+        for event in session:
+            message = event.record.message
+            lowered = message.lower()
+            matched_keyword = next(
+                (keyword for keyword in self.keywords if keyword in lowered),
+                None,
+            )
+            matched_pattern = next(
+                (
+                    pattern.pattern
+                    for pattern in self.patterns
+                    if pattern.search(message)
+                ),
+                None,
+            )
+            severe = event.record.severity >= self.severity_threshold
+            if matched_keyword or matched_pattern or severe:
+                hits += 1
+                if len(reasons) < 5:
+                    if matched_keyword:
+                        reasons.append(
+                            f"keyword {matched_keyword!r} in {message!r}"
+                        )
+                    elif matched_pattern:
+                        reasons.append(
+                            f"pattern {matched_pattern!r} in {message!r}"
+                        )
+                    else:
+                        reasons.append(
+                            f"severity {event.record.severity.name} event"
+                        )
+        score = hits / len(session) if session else 0.0
+        return DetectionResult(
+            anomalous=hits > 0, score=score, reasons=tuple(reasons)
+        )

@@ -1,0 +1,121 @@
+"""LogClustering (Lin et al., ICSE-C'16).
+
+Cluster the normal sessions' count vectors; keep one representative
+vector per cluster.  At detection time, a session whose distance to the
+nearest representative exceeds a threshold belongs to no known normal
+behaviour and is flagged.
+
+Clustering is the original's online agglomerative scheme: scan
+sessions, join the nearest cluster if within ``cluster_threshold``
+(updating the representative as the running mean), otherwise open a new
+cluster.  Distances are cosine-based on TF-IDF-weighted count vectors,
+as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detection.base import DetectionResult, Detector, Session
+from repro.detection.count_vector import CountVectorizer
+
+
+def _cosine_distance(left: np.ndarray, right: np.ndarray) -> float:
+    norm_left = float(np.linalg.norm(left))
+    norm_right = float(np.linalg.norm(right))
+    if norm_left == 0.0 or norm_right == 0.0:
+        return 0.0 if norm_left == norm_right else 1.0
+    return 1.0 - float(left @ right) / (norm_left * norm_right)
+
+
+class LogClusteringDetector(Detector):
+    """The knowledge-base clustering detector.
+
+    Args:
+        cluster_threshold: max cosine distance to join a cluster while
+            building the knowledge base.
+        detect_threshold: max cosine distance to the nearest
+            representative for a session to count as normal; defaults
+            to ``cluster_threshold``.
+    """
+
+    name = "logclustering"
+    supervised = False
+
+    def __init__(
+        self,
+        cluster_threshold: float = 0.3,
+        detect_threshold: float | None = None,
+    ) -> None:
+        if not 0.0 < cluster_threshold < 1.0:
+            raise ValueError(
+                f"cluster_threshold must be in (0, 1), got {cluster_threshold}"
+            )
+        self.cluster_threshold = cluster_threshold
+        self.detect_threshold = (
+            detect_threshold if detect_threshold is not None else cluster_threshold
+        )
+        self.vectorizer = CountVectorizer()
+        self._idf: np.ndarray | None = None
+        self._representatives: np.ndarray | None = None
+        self._members: list[int] | None = None
+
+    def _weight(self, matrix: np.ndarray) -> np.ndarray:
+        assert self._idf is not None
+        return matrix * self._idf
+
+    def fit(
+        self, sessions: list[Session], labels: list[bool] | None = None
+    ) -> "LogClusteringDetector":
+        matrix = self.vectorizer.fit_transform(sessions)
+        if matrix.shape[0] == 0:
+            raise ValueError("LogClusteringDetector needs training sessions")
+        document_frequency = (matrix > 0).sum(axis=0)
+        self._idf = np.log((1 + matrix.shape[0]) / (1 + document_frequency)) + 1.0
+        weighted = self._weight(matrix)
+
+        representatives: list[np.ndarray] = []
+        members: list[int] = []
+        for row in weighted:
+            best_index = -1
+            best_distance = float("inf")
+            for index, representative in enumerate(representatives):
+                distance = _cosine_distance(row, representative)
+                if distance < best_distance:
+                    best_index, best_distance = index, distance
+            if best_index >= 0 and best_distance <= self.cluster_threshold:
+                count = members[best_index]
+                representatives[best_index] = (
+                    representatives[best_index] * count + row
+                ) / (count + 1)
+                members[best_index] += 1
+            else:
+                representatives.append(row.copy())
+                members.append(1)
+        self._representatives = np.stack(representatives)
+        self._members = members
+        return self
+
+    @property
+    def cluster_count(self) -> int:
+        self._require_fitted("_representatives")
+        assert self._representatives is not None
+        return self._representatives.shape[0]
+
+    def detect(self, session: Session) -> DetectionResult:
+        self._require_fitted("_representatives")
+        assert self._representatives is not None
+        vector = self._weight(self.vectorizer.transform(session))
+        distances = [
+            _cosine_distance(vector, representative)
+            for representative in self._representatives
+        ]
+        nearest = min(distances)
+        anomalous = nearest > self.detect_threshold
+        reasons = ()
+        if anomalous:
+            reasons = (
+                f"distance {nearest:.3f} to nearest normal cluster exceeds "
+                f"{self.detect_threshold:.3f}",
+            )
+        return DetectionResult(anomalous=anomalous, score=nearest, reasons=reasons)

@@ -1,0 +1,162 @@
+"""LogRobust (Zhang et al., ESEC/FSE'19).
+
+A *supervised* classifier over whole sessions: each event becomes a
+semantic vector (TF-IDF-weighted token embeddings — robust to template
+edits), the session's vector sequence feeds an attention-equipped
+BiLSTM, and a dense head produces the anomaly probability.
+
+Because it is supervised, LogRobust needs labelled anomalous sessions
+in its training data — the original trains on sets with up to 50 %
+anomalies.  Experiment X1 probes exactly this: trained anomaly-free,
+the classifier has only one class to learn and degrades, while the
+unsupervised models are unaffected.  When fit() receives no anomalous
+labels it falls back to predicting "normal" for everything and says so
+in the detection reasons, rather than failing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detection.base import DetectionResult, Detector, Session
+from repro.detection.semantics import SemanticVectorizer
+from repro.nn.attention import AdditiveAttention
+from repro.nn.layers import Dense
+from repro.nn.losses import binary_cross_entropy_with_logits
+from repro.nn.lstm import BiLstm
+from repro.nn.network import Module, Trainer
+from repro.nn.optim import Adam
+
+
+class _AttentionBiLstm(Module):
+    """Semantic sequence → BiLSTM → attention → logit."""
+
+    def __init__(self, semantic_dim: int, hidden: int, attention_size: int,
+                 *, seed: int):
+        self.bilstm = BiLstm(semantic_dim, hidden, seed=seed)
+        self.attention = AdditiveAttention(2 * hidden, attention_size,
+                                           seed=seed + 2)
+        self.head = Dense(2 * hidden, 1, seed=seed + 3)
+
+    def logits(self, sequences: np.ndarray) -> np.ndarray:
+        states = self.bilstm.forward(sequences)
+        context = self.attention.forward(states)
+        return self.head.forward(context)[:, 0]
+
+    def backward(self, grad_logits: np.ndarray) -> None:
+        grad_context = self.head.backward(grad_logits[:, None])
+        grad_states = self.attention.backward(grad_context)
+        self.bilstm.backward(grad_states)
+
+
+class LogRobustDetector(Detector):
+    """The attention-BiLSTM session classifier.
+
+    Args:
+        max_length: sessions are truncated/padded to this many events.
+        hidden: BiLSTM hidden size per direction.
+        attention_size: attention projection size.
+        semantic_dim: semantic vector dimension.
+        threshold: probability above which a session is anomalous.
+        epochs / seed: training controls.
+    """
+
+    name = "logrobust"
+    supervised = True
+
+    def __init__(
+        self,
+        max_length: int = 30,
+        hidden: int = 32,
+        attention_size: int = 24,
+        semantic_dim: int = 48,
+        threshold: float = 0.5,
+        epochs: int = 25,
+        seed: int = 0,
+    ) -> None:
+        if max_length < 1:
+            raise ValueError(f"max_length must be >= 1, got {max_length}")
+        self.max_length = max_length
+        self.hidden = hidden
+        self.attention_size = attention_size
+        self.semantic_dim = semantic_dim
+        self.threshold = threshold
+        self.epochs = epochs
+        self.seed = seed
+        self.vectorizer = SemanticVectorizer(dimension=semantic_dim)
+        self._model: _AttentionBiLstm | None = None
+        self._degenerate = False
+
+    def _featurize(self, session: Session) -> np.ndarray:
+        """Pad/truncate a session into a (max_length, dim) matrix."""
+        matrix = np.zeros((self.max_length, self.semantic_dim))
+        for slot, event in enumerate(session[: self.max_length]):
+            matrix[slot] = self.vectorizer.vectorize(event.template)
+        return matrix
+
+    def fit(
+        self, sessions: list[Session], labels: list[bool] | None = None
+    ) -> "LogRobustDetector":
+        if labels is None:
+            labels = [False] * len(sessions)
+        if len(labels) != len(sessions):
+            raise ValueError(
+                f"labels ({len(labels)}) and sessions ({len(sessions)}) disagree"
+            )
+        if not sessions:
+            raise ValueError("LogRobustDetector needs training sessions")
+        templates = sorted(
+            {event.template for session in sessions for event in session}
+        )
+        self.vectorizer.fit(templates)
+        self._model = _AttentionBiLstm(
+            self.semantic_dim, self.hidden, self.attention_size, seed=self.seed
+        )
+        self._degenerate = not any(labels)
+        if self._degenerate:
+            # One-class training data: a discriminative model cannot
+            # learn a boundary.  X1 measures this failure mode; detect()
+            # reports it honestly.
+            return self
+
+        x = np.stack([self._featurize(session) for session in sessions])
+        y = np.asarray(labels, dtype=np.float64)
+        model = self._model
+
+        def loss_fn(x_batch: np.ndarray, y_batch: np.ndarray):
+            logits = model.logits(x_batch)
+            loss, grad, probabilities = binary_cross_entropy_with_logits(
+                logits, y_batch
+            )
+            model.backward(grad)
+            correct = int(((probabilities > 0.5) == (y_batch > 0.5)).sum())
+            return loss, correct
+
+        trainer = Trainer(
+            model, Adam(learning_rate=0.01), batch_size=32,
+            epochs=self.epochs, seed=self.seed,
+        )
+        trainer.fit(x, y, loss_fn)
+        return self
+
+    def detect(self, session: Session) -> DetectionResult:
+        self._require_fitted("_model")
+        assert self._model is not None
+        if self._degenerate:
+            return DetectionResult(
+                anomalous=False,
+                score=0.0,
+                reasons=(
+                    "trained without labelled anomalies: supervised "
+                    "classifier degenerates to always-normal",
+                ),
+            )
+        logit = float(self._model.logits(self._featurize(session)[None])[0])
+        probability = 1.0 / (1.0 + np.exp(-np.clip(logit, -500, 500)))
+        anomalous = probability > self.threshold
+        reasons = ()
+        if anomalous:
+            reasons = (f"classifier probability {probability:.3f}",)
+        return DetectionResult(
+            anomalous=anomalous, score=probability, reasons=reasons
+        )

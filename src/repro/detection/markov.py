@@ -1,0 +1,120 @@
+"""Markov-chain sequential baseline.
+
+A first-order transition model over template ids: learn
+P(next template | current template) from normal sessions, flag a
+session when it contains transitions rarer than ``threshold``.
+
+This sits between the §I keyword grep and the LSTM models: it sees
+*sequence* (unlike count vectors) but only one step of context (unlike
+an LSTM), trains in one pass with no gradient work, and is the honest
+"simplest thing that could work" yardstick the deep models must beat.
+Exported beside :data:`repro.detection.DETECTORS` rather than inside
+it — it is this reproduction's baseline, not part of the paper's §III
+study set.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.detection.base import (
+    DetectionResult,
+    Detector,
+    Session,
+    template_sequence,
+)
+
+#: Sentinel states marking session boundaries, so "starts with X" and
+#: "ends with Y" are themselves learned transitions.
+_START = -1
+_END = -2
+
+
+class MarkovDetector(Detector):
+    """First-order template-transition detector.
+
+    Args:
+        threshold: minimum training probability for a transition to
+            count as normal.  Transitions never seen in training have
+            probability 0 and always violate.
+        smoothing: Laplace smoothing added per known next-state; keeps
+            rare-but-seen transitions above zero.
+    """
+
+    name = "markov"
+    supervised = False
+
+    def __init__(self, threshold: float = 0.02, smoothing: float = 0.0):
+        if not 0.0 <= threshold < 1.0:
+            raise ValueError(f"threshold must be in [0, 1), got {threshold}")
+        if smoothing < 0.0:
+            raise ValueError(f"smoothing must be >= 0, got {smoothing}")
+        self.threshold = threshold
+        self.smoothing = smoothing
+        self._transitions: dict[int, Counter[int]] | None = None
+        self._totals: Counter[int] = Counter()
+        self._states: set[int] = set()
+
+    @staticmethod
+    def _path(session: Session) -> list[int]:
+        return [_START] + template_sequence(session) + [_END]
+
+    def fit(
+        self, sessions: list[Session], labels: list[bool] | None = None
+    ) -> "MarkovDetector":
+        transitions: dict[int, Counter[int]] = {}
+        totals: Counter[int] = Counter()
+        states: set[int] = set()
+        for session in sessions:
+            path = self._path(session)
+            states.update(path)
+            for current, following in zip(path, path[1:]):
+                transitions.setdefault(current, Counter())[following] += 1
+                totals[current] += 1
+        if not totals:
+            raise ValueError("MarkovDetector needs non-empty training sessions")
+        self._transitions = transitions
+        self._totals = totals
+        self._states = states
+        return self
+
+    def probability(self, current: int, following: int) -> float:
+        """Smoothed training probability of one transition."""
+        if self._transitions is None:
+            raise RuntimeError("MarkovDetector is not fitted; call fit() first")
+        row = self._transitions.get(current)
+        if row is None:
+            return 0.0
+        count = row[following] + self.smoothing
+        total = self._totals[current] + self.smoothing * max(1, len(self._states))
+        return count / total if total else 0.0
+
+    def detect(self, session: Session) -> DetectionResult:
+        if self._transitions is None:
+            raise RuntimeError("MarkovDetector is not fitted; call fit() first")
+        path = self._path(session)
+        violations = 0
+        worst = 1.0
+        reasons: list[str] = []
+        for position, (current, following) in enumerate(zip(path, path[1:])):
+            probability = self.probability(current, following)
+            worst = min(worst, probability)
+            if probability < self.threshold:
+                violations += 1
+                if len(reasons) < 5:
+                    def describe(state: int) -> str:
+                        if state == _START:
+                            return "<start>"
+                        if state == _END:
+                            return "<end>"
+                        return f"template#{state}"
+
+                    reasons.append(
+                        f"transition {describe(current)} -> "
+                        f"{describe(following)} has probability "
+                        f"{probability:.4f} (< {self.threshold})"
+                    )
+        score = violations / max(1, len(path) - 1)
+        return DetectionResult(
+            anomalous=violations > 0, score=score, reasons=tuple(reasons)
+        )

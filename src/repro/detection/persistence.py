@@ -1,0 +1,194 @@
+"""Detector persistence: save and restore trained deep models.
+
+Training the LSTM detectors is the expensive step of a deployment;
+restarts must not repeat it.  Each saver writes a directory holding
+
+* ``config.json`` — constructor arguments plus the learned discrete
+  state (template vocabularies, IDF statistics, value-model metadata);
+* one ``.npz`` per neural module (via :mod:`repro.nn.serialize`), so
+  weight shapes are validated on load.
+
+Covered detectors: :class:`~repro.detection.deeplog.DeepLogDetector`
+and :class:`~repro.detection.logrobust.LogRobustDetector` (the two
+whose training dominates pipeline start-up).  Counter-based detectors
+retrain in milliseconds and need no persistence.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.detection.deeplog import (
+    DeepLogDetector,
+    _GaussianValueModel,
+    _SequenceModel,
+    _ValueModel,
+)
+from repro.detection.logrobust import LogRobustDetector, _AttentionBiLstm
+from repro.nn.serialize import load_module, save_module
+
+_FORMAT_VERSION = 1
+
+
+def _write_config(directory: Path, payload: dict) -> None:
+    payload = {"version": _FORMAT_VERSION, **payload}
+    (directory / "config.json").write_text(json.dumps(payload, indent=2))
+
+
+def _read_config(directory: Path, expected_kind: str) -> dict:
+    payload = json.loads((directory / "config.json").read_text())
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported detector archive version: {payload.get('version')!r}"
+        )
+    if payload.get("kind") != expected_kind:
+        raise ValueError(
+            f"archive holds a {payload.get('kind')!r} detector, "
+            f"expected {expected_kind!r}"
+        )
+    return payload
+
+
+# -- DeepLog -----------------------------------------------------------------
+
+
+def save_deeplog(detector: DeepLogDetector,
+                 directory: str | os.PathLike[str]) -> None:
+    """Persist a fitted DeepLog detector to ``directory``."""
+    if detector._model is None or detector._index_of is None:
+        raise ValueError("cannot save an unfitted DeepLogDetector")
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+
+    value_models: dict[str, dict] = {}
+    for template_id, model in detector._value_models.items():
+        key = str(template_id)
+        if isinstance(model, _GaussianValueModel):
+            value_models[key] = {
+                "type": "gaussian",
+                "mean": model.mean.tolist(),
+                "std": model.std.tolist(),
+                "sigmas": model.sigmas,
+            }
+        else:
+            value_models[key] = {
+                "type": "lstm",
+                "dimension": model.dimension,
+                "window": model.window,
+                "mean": model.mean.tolist(),
+                "std": model.std.tolist(),
+                "error_mean": model.error_mean,
+                "error_std": model.error_std,
+            }
+            save_module(model, path / f"value_{key}.npz")
+
+    _write_config(path, {
+        "kind": "deeplog",
+        "hyperparameters": {
+            "window": detector.window,
+            "top_g": detector.top_g,
+            "hidden": detector.hidden,
+            "embedding_dim": detector.embedding_dim,
+            "value_window": detector.value_window,
+            "value_sigmas": detector.value_sigmas,
+            "min_value_observations": detector.min_value_observations,
+            "quantitative": detector.quantitative,
+            "epochs": detector.epochs,
+            "seed": detector.seed,
+        },
+        "vocabulary": {
+            str(template_id): index
+            for template_id, index in detector._index_of.items()
+        },
+        "value_models": value_models,
+    })
+    save_module(detector._model, path / "sequence.npz")
+
+
+def load_deeplog(directory: str | os.PathLike[str]) -> DeepLogDetector:
+    """Restore a DeepLog detector saved by :func:`save_deeplog`."""
+    path = Path(directory)
+    payload = _read_config(path, "deeplog")
+    detector = DeepLogDetector(**payload["hyperparameters"])
+    detector._index_of = {
+        int(template_id): index
+        for template_id, index in payload["vocabulary"].items()
+    }
+    model_vocabulary = len(detector._index_of) + 2
+    detector._model = _SequenceModel(
+        model_vocabulary, detector.embedding_dim, detector.hidden,
+        seed=detector.seed,
+    )
+    load_module(detector._model, path / "sequence.npz")
+
+    for key, entry in payload["value_models"].items():
+        template_id = int(key)
+        if entry["type"] == "gaussian":
+            model = _GaussianValueModel.__new__(_GaussianValueModel)
+            model.mean = np.asarray(entry["mean"])
+            model.std = np.asarray(entry["std"])
+            model.sigmas = entry["sigmas"]
+        else:
+            model = _ValueModel(
+                entry["dimension"], entry["window"], hidden=8,
+                seed=detector.seed + template_id,
+            )
+            model.mean = np.asarray(entry["mean"])
+            model.std = np.asarray(entry["std"])
+            model.error_mean = entry["error_mean"]
+            model.error_std = entry["error_std"]
+            load_module(model, path / f"value_{key}.npz")
+        detector._value_models[template_id] = model
+    return detector
+
+
+# -- LogRobust ----------------------------------------------------------------
+
+
+def save_logrobust(detector: LogRobustDetector,
+                   directory: str | os.PathLike[str]) -> None:
+    """Persist a fitted LogRobust detector to ``directory``."""
+    if detector._model is None:
+        raise ValueError("cannot save an unfitted LogRobustDetector")
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    _write_config(path, {
+        "kind": "logrobust",
+        "hyperparameters": {
+            "max_length": detector.max_length,
+            "hidden": detector.hidden,
+            "attention_size": detector.attention_size,
+            "semantic_dim": detector.semantic_dim,
+            "threshold": detector.threshold,
+            "epochs": detector.epochs,
+            "seed": detector.seed,
+        },
+        "degenerate": detector._degenerate,
+        "idf": {
+            "document_count": detector.vectorizer._document_count,
+            "document_frequency": detector.vectorizer._document_frequency,
+        },
+    })
+    save_module(detector._model, path / "classifier.npz")
+
+
+def load_logrobust(directory: str | os.PathLike[str]) -> LogRobustDetector:
+    """Restore a LogRobust detector saved by :func:`save_logrobust`."""
+    path = Path(directory)
+    payload = _read_config(path, "logrobust")
+    detector = LogRobustDetector(**payload["hyperparameters"])
+    detector._degenerate = payload["degenerate"]
+    detector.vectorizer._document_count = payload["idf"]["document_count"]
+    detector.vectorizer._document_frequency = dict(
+        payload["idf"]["document_frequency"]
+    )
+    detector._model = _AttentionBiLstm(
+        detector.semantic_dim, detector.hidden, detector.attention_size,
+        seed=detector.seed,
+    )
+    load_module(detector._model, path / "classifier.npz")
+    return detector

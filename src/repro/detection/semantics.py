@@ -1,0 +1,142 @@
+"""Semantic vectorization of log templates.
+
+LogRobust's answer to log instability (paper §III): instead of feeding
+the LSTM template *indices* — which break whenever a statement changes
+— each template is embedded into a fixed-length semantic vector built
+from its tokens, so a slightly-edited statement lands near its old
+self and the model generalizes across the edit.
+
+The original uses pretrained FastText word vectors; none are available
+offline, so this module substitutes *seeded random indexing*: each
+token deterministically hashes to a fixed random unit vector.  The
+substitution preserves the property the detectors rely on — templates
+sharing most tokens have high cosine similarity, templates sharing few
+have low — because the vectors of distinct tokens are near-orthogonal
+in high dimension.  What it loses is cross-word synonymy ("send" vs
+"transmit" are unrelated here); the instability injector's synonym
+twists therefore land slightly farther than FastText would place them,
+making our X2 robustness measurement *conservative* for LogRobust.
+
+Token weights follow LogRobust: TF-IDF over the training templates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+import numpy as np
+
+from repro.logs.record import WILDCARD, tokenize
+
+
+def _token_vector(token: str, dimension: int) -> np.ndarray:
+    """Deterministic unit vector for a token (seeded random indexing)."""
+    digest = hashlib.sha256(token.lower().encode("utf-8")).digest()
+    seed = int.from_bytes(digest[:8], "little")
+    rng = np.random.default_rng(seed)
+    vector = rng.standard_normal(dimension)
+    norm = np.linalg.norm(vector)
+    return vector / norm if norm > 0 else vector
+
+
+class SemanticVectorizer:
+    """Template → fixed-length semantic vector.
+
+    Args:
+        dimension: embedding dimension (default 48 — small enough for
+            numpy LSTMs, large enough for near-orthogonality).
+        use_tfidf: weight tokens by TF-IDF learned over the fit corpus
+            (LogRobust's weighting).  When ``False``, tokens weight
+            equally — the ablation knob.
+    """
+
+    def __init__(self, dimension: int = 48, use_tfidf: bool = True):
+        if dimension < 1:
+            raise ValueError(f"dimension must be >= 1, got {dimension}")
+        self.dimension = dimension
+        self.use_tfidf = use_tfidf
+        self._document_count = 0
+        self._document_frequency: dict[str, int] = {}
+        self._cache: dict[str, np.ndarray] = {}
+
+    @staticmethod
+    def _tokens(template: str) -> list[str]:
+        return [token for token in tokenize(template) if token != WILDCARD]
+
+    def fit(self, templates: list[str]) -> "SemanticVectorizer":
+        """Learn document frequencies from the training template set."""
+        for template in templates:
+            self._document_count += 1
+            for token in set(self._tokens(template)):
+                self._document_frequency[token] = (
+                    self._document_frequency.get(token, 0) + 1
+                )
+        self._cache.clear()
+        return self
+
+    def observe(self, template: str) -> None:
+        """Incrementally fold one template into the IDF statistics.
+
+        Streams keep discovering templates after training; observing
+        them keeps IDF meaningful without refitting from scratch.
+        """
+        self._document_count += 1
+        for token in set(self._tokens(template)):
+            self._document_frequency[token] = (
+                self._document_frequency.get(token, 0) + 1
+            )
+
+    def _idf(self, token: str) -> float:
+        if not self.use_tfidf or self._document_count == 0:
+            return 1.0
+        frequency = self._document_frequency.get(token, 0)
+        return math.log((1 + self._document_count) / (1 + frequency)) + 1.0
+
+    def vectorize(self, template: str) -> np.ndarray:
+        """The (cached) semantic vector of a template, L2-normalized."""
+        cached = self._cache.get(template)
+        if cached is not None:
+            return cached
+        tokens = self._tokens(template)
+        if not tokens:
+            vector = np.zeros(self.dimension)
+        else:
+            counts: dict[str, int] = {}
+            for token in tokens:
+                counts[token] = counts.get(token, 0) + 1
+            vector = np.zeros(self.dimension)
+            for token, count in counts.items():
+                weight = (count / len(tokens)) * self._idf(token)
+                vector += weight * _token_vector(token, self.dimension)
+            norm = np.linalg.norm(vector)
+            if norm > 0:
+                vector = vector / norm
+        self._cache[template] = vector
+        return vector
+
+    def vectorize_many(self, templates: list[str]) -> np.ndarray:
+        if not templates:
+            return np.zeros((0, self.dimension))
+        return np.stack([self.vectorize(template) for template in templates])
+
+    def similarity(self, left: str, right: str) -> float:
+        """Cosine similarity between two template vectors."""
+        return float(self.vectorize(left) @ self.vectorize(right))
+
+    def nearest(
+        self, template: str, candidates: list[str]
+    ) -> tuple[str | None, float]:
+        """The most similar candidate template and its similarity.
+
+        This is LogAnomaly's template-matching step for unseen
+        templates ("the majority of the new templates are just a minor
+        variant of an existing one", paper §III).
+        """
+        if not candidates:
+            return None, 0.0
+        query = self.vectorize(template)
+        matrix = self.vectorize_many(candidates)
+        scores = matrix @ query
+        best = int(np.argmax(scores))
+        return candidates[best], float(scores[best])

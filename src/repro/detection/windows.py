@@ -1,0 +1,83 @@
+"""Windowing: turning a parsed stream into detector sessions.
+
+Three strategies, matching the literature:
+
+* :func:`sessions_from_parsed` — group by session identifier (HDFS
+  blocks, cloud request ids).  The natural unit when the substrate
+  provides an execution context.
+* :func:`sliding_windows` — fixed-count windows with a step, for
+  streams without session ids (BGL).
+* :func:`time_windows` — fixed-duration windows.
+
+Windowing strategy is a design choice DESIGN.md flags for ablation
+(experiment X3 runs both session and sliding windows).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.logs.record import ParsedLog
+
+
+def sessions_from_parsed(
+    parsed: Iterable[ParsedLog],
+) -> dict[str, list[ParsedLog]]:
+    """Group parsed events by session id (delivery order preserved).
+
+    Events without a session id group under ``""``.
+    """
+    sessions: dict[str, list[ParsedLog]] = {}
+    for event in parsed:
+        sessions.setdefault(event.session_id or "", []).append(event)
+    return sessions
+
+
+def sliding_windows(
+    parsed: Iterable[ParsedLog],
+    size: int,
+    step: int | None = None,
+) -> Iterator[list[ParsedLog]]:
+    """Yield fixed-count windows of ``size`` events every ``step``.
+
+    ``step`` defaults to ``size`` (tumbling windows).  The final
+    partial window is yielded if non-empty.
+    """
+    if size < 1:
+        raise ValueError(f"window size must be >= 1, got {size}")
+    step = size if step is None else step
+    if step < 1:
+        raise ValueError(f"window step must be >= 1, got {step}")
+    events = list(parsed)
+    for start in range(0, len(events), step):
+        window = events[start:start + size]
+        if window:
+            yield window
+        if start + size >= len(events):
+            break
+
+
+def time_windows(
+    parsed: Iterable[ParsedLog],
+    span: float,
+) -> Iterator[list[ParsedLog]]:
+    """Yield windows of ``span`` seconds (tumbling, aligned on arrival).
+
+    Window boundaries are anchored at the first event's timestamp.
+    """
+    if span <= 0:
+        raise ValueError(f"window span must be > 0, got {span}")
+    window: list[ParsedLog] = []
+    window_end: float | None = None
+    for event in parsed:
+        if window_end is None:
+            window_end = event.timestamp + span
+        if event.timestamp >= window_end:
+            if window:
+                yield window
+            window = []
+            while event.timestamp >= window_end:
+                window_end += span
+        window.append(event)
+    if window:
+        yield window

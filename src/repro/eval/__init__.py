@@ -1,0 +1,18 @@
+"""Experiment harness and table rendering for the benchmarks."""
+
+from repro.eval.harness import (
+    DetectionExperiment,
+    evaluate_detector,
+    fit_and_score,
+    parse_dataset,
+)
+from repro.eval.tables import Table, render_table
+
+__all__ = [
+    "DetectionExperiment",
+    "Table",
+    "evaluate_detector",
+    "fit_and_score",
+    "parse_dataset",
+    "render_table",
+]

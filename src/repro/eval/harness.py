@@ -1,0 +1,121 @@
+"""Shared experiment plumbing for the benchmarks.
+
+Every detection benchmark repeats the same skeleton: generate a
+dataset, split it, parse it, window it, fit detectors, score the test
+sessions.  :func:`fit_and_score` is that skeleton;
+:class:`DetectionExperiment` carries the pieces benchmarks want to
+inspect (parsed events, session maps, ground truth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.common import LabeledDataset, train_test_split
+from repro.detection.base import Detector, Session
+from repro.detection.windows import sessions_from_parsed
+from repro.logs.record import LogRecord, ParsedLog
+from repro.metrics.detection import BinaryReport, confusion_counts
+from repro.parsing.base import Parser
+from repro.parsing.drain import DrainParser
+from repro.parsing.masking import default_masker
+
+
+def parse_dataset(
+    records: list[LogRecord], parser: Parser | None = None
+) -> list[ParsedLog]:
+    """Parse records with a fresh default Drain unless one is supplied."""
+    if parser is None:
+        parser = DrainParser(masker=default_masker())
+    return parser.parse_all(records)
+
+
+@dataclass
+class DetectionExperiment:
+    """A prepared train/test detection setting."""
+
+    train_sessions: list[Session]
+    train_labels: list[bool]
+    test_sessions: list[Session]
+    test_labels: list[bool]
+    test_session_ids: list[str]
+
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset: LabeledDataset,
+        *,
+        parser: Parser | None = None,
+        train_fraction: float = 0.6,
+        anomaly_free_training: bool = True,
+        min_session_events: int = 2,
+        seed: int = 0,
+    ) -> "DetectionExperiment":
+        """Split, parse and window a labelled dataset.
+
+        One parser instance handles train then test, matching a
+        deployment where the miner keeps learning across the split.
+        """
+        train, test = train_test_split(
+            dataset,
+            train_fraction=train_fraction,
+            anomaly_free_training=anomaly_free_training,
+            seed=seed,
+        )
+        if parser is None:
+            parser = DrainParser(masker=default_masker())
+        train_map = sessions_from_parsed(parser.parse_all(train.records))
+        test_map = sessions_from_parsed(parser.parse_all(test.records))
+
+        def keep(events: Session) -> bool:
+            return len(events) >= min_session_events
+
+        train_sessions = [s for s in train_map.values() if keep(s)]
+        train_labels = [
+            train.sessions[session_id].anomalous
+            for session_id, events in train_map.items()
+            if keep(events)
+        ]
+        test_sessions = []
+        test_labels = []
+        test_ids = []
+        for session_id, events in test_map.items():
+            if not keep(events):
+                continue
+            test_sessions.append(events)
+            test_labels.append(test.sessions[session_id].anomalous)
+            test_ids.append(session_id)
+        return cls(
+            train_sessions=train_sessions,
+            train_labels=train_labels,
+            test_sessions=test_sessions,
+            test_labels=test_labels,
+            test_session_ids=test_ids,
+        )
+
+
+def evaluate_detector(
+    detector: Detector, experiment: DetectionExperiment
+) -> BinaryReport:
+    """Fit on the experiment's training split and score the test split."""
+    detector.fit(experiment.train_sessions, experiment.train_labels)
+    predictions = detector.predict_many(experiment.test_sessions)
+    return confusion_counts(predictions, experiment.test_labels)
+
+
+def fit_and_score(
+    detector: Detector,
+    dataset: LabeledDataset,
+    *,
+    anomaly_free_training: bool = True,
+    train_fraction: float = 0.6,
+    seed: int = 0,
+) -> BinaryReport:
+    """The full skeleton in one call (fresh default parser)."""
+    experiment = DetectionExperiment.from_dataset(
+        dataset,
+        train_fraction=train_fraction,
+        anomaly_free_training=anomaly_free_training,
+        seed=seed,
+    )
+    return evaluate_detector(detector, experiment)

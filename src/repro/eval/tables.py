@@ -1,0 +1,61 @@
+"""Fixed-width table rendering for benchmark output.
+
+Benchmarks print the same row/series structure the paper's tables
+would; this module keeps the formatting in one place so every bench
+looks the same and EXPERIMENTS.md can paste the output verbatim.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table accumulated row by row."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[object]] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        return render_table(self.title, self.columns, self.rows)
+
+    def print(self) -> None:
+        print(self.render())
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Render a fixed-width ASCII table with a title banner."""
+    formatted = [[_format_cell(value) for value in row] for row in rows]
+    widths = [len(column) for column in columns]
+    for row in formatted:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    body = [line(list(columns)), separator]
+    body += [line(row) for row in formatted]
+    banner = f"== {title} =="
+    return "\n".join([banner] + body)

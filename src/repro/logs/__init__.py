@@ -1,0 +1,61 @@
+"""Log data model, sources, streams, and stream perturbations.
+
+This subpackage implements the input side of MoniLog (paper section II):
+the raw :class:`~repro.logs.record.LogRecord` model, individual
+:class:`~repro.logs.sources.LogSource` emitters, the multi-source
+:class:`~repro.logs.stream.LogStream` multiplexer with the production
+noise the paper describes (duplication, reordering), the preliminary
+JSON/XML structured-data extraction step recommended in section IV, and
+the LogRobust-style instability injection used by experiment X2.
+"""
+
+from repro.logs.formats import (
+    BUILTIN_FORMATS,
+    LineFormat,
+    detect_format,
+    read_log_lines,
+    render_line,
+)
+from repro.logs.instability import InstabilityInjector, InstabilityKind
+from repro.logs.record import LogRecord, ParsedLog, Severity
+from repro.logs.sessions import DEFAULT_SESSION_PATTERNS, SessionKeyExtractor
+from repro.logs.sources import (
+    LogSource,
+    ReplaySource,
+    ScriptedSource,
+    TemplateLibrary,
+)
+from repro.logs.stream import (
+    DuplicationNoise,
+    LogStream,
+    ReorderingNoise,
+    StreamNoise,
+    interleave,
+)
+from repro.logs.structured import StructuredExtraction, extract_structured_payload
+
+__all__ = [
+    "BUILTIN_FORMATS",
+    "DEFAULT_SESSION_PATTERNS",
+    "DuplicationNoise",
+    "InstabilityInjector",
+    "InstabilityKind",
+    "LogRecord",
+    "LogSource",
+    "LogStream",
+    "ParsedLog",
+    "ReorderingNoise",
+    "ReplaySource",
+    "ScriptedSource",
+    "LineFormat",
+    "SessionKeyExtractor",
+    "Severity",
+    "StreamNoise",
+    "StructuredExtraction",
+    "TemplateLibrary",
+    "detect_format",
+    "extract_structured_payload",
+    "interleave",
+    "read_log_lines",
+    "render_line",
+]

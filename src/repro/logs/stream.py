@@ -1,0 +1,155 @@
+"""Multi-source log stream with production noise.
+
+The paper's §I lists two characteristics of the OUTSCALE platform that
+MoniLog must survive: (1) log statements evolve quickly (handled by
+:mod:`repro.logs.instability`) and (2) "the spatial distance between log
+sources and the different storage systems is variable.  This
+configuration induces noise, as logs can arrive in mixed order or
+sometimes be duplicated."
+
+:func:`interleave` merges per-source record iterators by timestamp —
+the MoniLog input model of Fig. 1.  :class:`ReorderingNoise` and
+:class:`DuplicationNoise` perturb a merged stream the way unreliable
+transport does.  :class:`LogStream` bundles sources plus a noise chain
+into a reusable, restartable stream object.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from collections.abc import Iterable, Iterator
+from dataclasses import replace
+
+from repro.logs.record import LogRecord
+from repro.logs.sources import LogSource
+
+
+def interleave(sources: Iterable[LogSource]) -> Iterator[LogRecord]:
+    """Merge several sources into one stream ordered by timestamp.
+
+    This is a streaming k-way merge: it holds one pending record per
+    source, so memory stays O(#sources) however long the streams are.
+    """
+    heap: list[tuple[float, int, LogRecord, Iterator[LogRecord]]] = []
+    for index, source in enumerate(sources):
+        iterator = iter(source)
+        first = next(iterator, None)
+        if first is not None:
+            heapq.heappush(heap, (first.timestamp, index, first, iterator))
+    while heap:
+        _, index, record, iterator = heapq.heappop(heap)
+        yield record
+        following = next(iterator, None)
+        if following is not None:
+            heapq.heappush(heap, (following.timestamp, index, following, iterator))
+
+
+class StreamNoise:
+    """Base class for stream perturbations.
+
+    A noise transforms a record iterator into another record iterator.
+    Implementations must be deterministic given their seed so that
+    experiments are reproducible.
+    """
+
+    def apply(self, records: Iterator[LogRecord]) -> Iterator[LogRecord]:
+        raise NotImplementedError
+
+
+class DuplicationNoise(StreamNoise):
+    """Randomly re-deliver records, as unreliable transport does.
+
+    Each record is duplicated with probability ``rate``; the duplicate
+    is delivered ``delay`` seconds later (it keeps its original
+    ``sequence`` number, which is how a downstream consumer could detect
+    it — MoniLog does not assume it can).
+    """
+
+    def __init__(self, rate: float = 0.01, delay: float = 0.5, seed: int = 0):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"duplication rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.delay = delay
+        self.seed = seed
+
+    def apply(self, records: Iterator[LogRecord]) -> Iterator[LogRecord]:
+        rng = random.Random(self.seed)
+        pending: list[tuple[float, int, LogRecord]] = []
+        counter = 0
+        for record in records:
+            while pending and pending[0][0] <= record.timestamp:
+                yield heapq.heappop(pending)[2]
+            yield record
+            if rng.random() < self.rate:
+                duplicate = replace(record, timestamp=record.timestamp + self.delay)
+                heapq.heappush(pending, (duplicate.timestamp, counter, duplicate))
+                counter += 1
+        while pending:
+            yield heapq.heappop(pending)[2]
+
+
+class ReorderingNoise(StreamNoise):
+    """Deliver records in mixed order, simulating variable network delay.
+
+    Each record receives an independent random delay uniform in
+    ``[0, max_delay]`` seconds; records are then re-emitted in delayed
+    order.  Records closer together than the typical delay may swap.
+    """
+
+    def __init__(self, max_delay: float = 1.0, seed: int = 0):
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        self.max_delay = max_delay
+        self.seed = seed
+
+    def apply(self, records: Iterator[LogRecord]) -> Iterator[LogRecord]:
+        rng = random.Random(self.seed)
+        pending: list[tuple[float, int, LogRecord]] = []
+        counter = 0
+        for record in records:
+            delivery = record.timestamp + rng.uniform(0.0, self.max_delay)
+            heapq.heappush(pending, (delivery, counter, record))
+            counter += 1
+            # Anything scheduled before the earliest possible delivery of
+            # future records (record.timestamp) can be flushed safely.
+            while pending and pending[0][0] <= record.timestamp:
+                yield heapq.heappop(pending)[2]
+        while pending:
+            yield heapq.heappop(pending)[2]
+
+
+class LogStream:
+    """A restartable multi-source stream with an optional noise chain.
+
+    Iterating a :class:`LogStream` re-runs the sources from scratch, so
+    the same stream object can feed several experiments.
+
+    >>> stream = LogStream([source_a, source_b],
+    ...                    noises=[ReorderingNoise(max_delay=0.2)])
+    >>> for record in stream:  # doctest: +SKIP
+    ...     handle(record)
+    """
+
+    def __init__(
+        self,
+        sources: Iterable[LogSource],
+        noises: Iterable[StreamNoise] = (),
+    ) -> None:
+        self.sources = list(sources)
+        self.noises = list(noises)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        records: Iterator[LogRecord] = interleave(self.sources)
+        for noise in self.noises:
+            records = noise.apply(records)
+        return records
+
+    def collect(self, limit: int | None = None) -> list[LogRecord]:
+        """Materialize up to ``limit`` records (all records if ``None``)."""
+        output: list[LogRecord] = []
+        for record in self:
+            output.append(record)
+            if limit is not None and len(output) >= limit:
+                break
+        return output

@@ -1,0 +1,169 @@
+"""Preliminary extraction of JSON/XML payloads from log messages.
+
+While studying internal services the paper found "almost 60% of the
+tokens composing log messages are coming from JSON or XML-formatted
+data" appended to the free text (§IV), e.g.::
+
+    Send 42 bytes to 121.13.4.26 {user_id=125, service_name=dart_vader}
+
+It therefore recommends "a preliminary step to extract potential data
+coming from a structured format", which shortens messages and raises
+the discovery rate of log parsing algorithms.  Experiment X7 measures
+exactly that effect.
+
+:func:`extract_structured_payload` splits a message into its free-text
+prefix and a parsed payload dictionary.  It understands:
+
+* JSON objects / arrays (strict, via :mod:`json`),
+* relaxed ``{key=value, ...}`` bags (common in Java/Python reprs),
+* trailing XML elements.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+
+_RELAXED_PAIR = re.compile(
+    r"""
+    \s*
+    (?P<key>[A-Za-z_][\w.-]*)
+    \s*[=:]\s*
+    (?P<value>"[^"]*"|'[^']*'|[^,{}]+?)
+    \s*(?:,|$)
+    """,
+    re.VERBOSE,
+)
+
+_XML_ELEMENT = re.compile(
+    r"<(?P<tag>[A-Za-z_][\w.-]*)(?:\s[^>]*)?>(?P<body>[^<]*)</(?P=tag)>"
+)
+
+
+@dataclass(frozen=True)
+class StructuredExtraction:
+    """Result of the structured-data extraction step.
+
+    ``text`` is the free-text remainder (what the parser should see);
+    ``payload`` holds the recovered key/values; ``fmt`` is ``"json"``,
+    ``"relaxed"``, ``"xml"`` or ``None`` when nothing was extracted.
+    """
+
+    text: str
+    payload: dict[str, object] = field(default_factory=dict)
+    fmt: str | None = None
+
+    @property
+    def extracted(self) -> bool:
+        return self.fmt is not None
+
+
+def _find_json_start(message: str) -> int | None:
+    """Locate the start of a trailing JSON object/array, if any."""
+    for opener in "{[":
+        index = message.find(opener)
+        while index != -1:
+            candidate = message[index:].strip()
+            try:
+                json.loads(candidate)
+            except (ValueError, TypeError):
+                index = message.find(opener, index + 1)
+            else:
+                return index
+    return None
+
+
+def _parse_relaxed(body: str) -> dict[str, object] | None:
+    """Parse a ``{key=value, key: value}`` bag; None if it doesn't fit."""
+    inner = body.strip()
+    if not (inner.startswith("{") and inner.endswith("}")):
+        return None
+    inner = inner[1:-1].strip()
+    if not inner:
+        return {}
+    payload: dict[str, object] = {}
+    position = 0
+    while position < len(inner):
+        match = _RELAXED_PAIR.match(inner, position)
+        if match is None:
+            return None
+        value = match.group("value").strip().strip("\"'")
+        payload[match.group("key")] = _coerce(value)
+        position = match.end()
+    return payload or None
+
+
+def _coerce(value: str) -> object:
+    """Coerce a scalar string to int/float/bool when unambiguous."""
+    lowered = value.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("null", "none"):
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    return value
+
+
+def extract_structured_payload(message: str) -> StructuredExtraction:
+    """Split ``message`` into free text and a structured payload.
+
+    The free-text part is what should be fed to the template miner; the
+    payload keeps the data available to downstream consumers (e.g. the
+    quantitative anomaly detector can watch payload values).
+
+    >>> result = extract_structured_payload(
+    ...     'Send 42 bytes {"user_id": 125}')
+    >>> result.text
+    'Send 42 bytes'
+    >>> result.payload
+    {'user_id': 125}
+    """
+    # 1. Strict JSON suffix.
+    json_start = _find_json_start(message)
+    if json_start is not None:
+        prefix = message[:json_start].rstrip()
+        raw = message[json_start:].strip()
+        loaded = json.loads(raw)
+        payload = loaded if isinstance(loaded, dict) else {"_items": loaded}
+        return StructuredExtraction(text=prefix, payload=payload, fmt="json")
+
+    # 2. Relaxed {k=v, ...} bag.
+    brace = message.find("{")
+    if brace != -1 and message.rstrip().endswith("}"):
+        payload = _parse_relaxed(message[brace:])
+        if payload is not None:
+            return StructuredExtraction(
+                text=message[:brace].rstrip(), payload=payload, fmt="relaxed"
+            )
+
+    # 3. Trailing XML element(s): take the maximal run of adjacent
+    # elements that extends to the end of the message.
+    elements = list(_XML_ELEMENT.finditer(message))
+    if elements and message[elements[-1].end():].strip() == "":
+        run_start = elements[-1].start()
+        for element in reversed(elements[:-1]):
+            if message[element.end():run_start].strip() == "":
+                run_start = element.start()
+            else:
+                break
+        payload = {
+            element.group("tag"): _coerce(element.group("body").strip())
+            for element in elements
+            if element.start() >= run_start
+        }
+        if payload:
+            return StructuredExtraction(
+                text=message[:run_start].rstrip(),
+                payload=payload,
+                fmt="xml",
+            )
+
+    return StructuredExtraction(text=message)

@@ -1,0 +1,42 @@
+"""Evaluation metrics.
+
+* :mod:`repro.metrics.detection` — precision / recall / F1 exactly as
+  the paper defines them in §III.
+* :mod:`repro.metrics.parsing` — supervised parsing quality: grouping
+  accuracy (the literature's reference metric) and the paper's own
+  **token accuracy** contribution (Eq. 1).
+* :mod:`repro.metrics.unsupervised` — label-free parsing quality
+  scores used for auto-parametrization (paper §IV, experiment X5).
+"""
+
+from repro.metrics.detection import (
+    BinaryReport,
+    confusion_counts,
+    precision_recall_f1,
+)
+from repro.metrics.parsing import (
+    grouping_accuracy,
+    token_accuracy,
+    parsing_report,
+    ParsingReport,
+)
+from repro.metrics.unsupervised import (
+    cluster_cohesion,
+    mdl_score,
+    template_separation,
+    unsupervised_quality,
+)
+
+__all__ = [
+    "BinaryReport",
+    "ParsingReport",
+    "cluster_cohesion",
+    "confusion_counts",
+    "grouping_accuracy",
+    "mdl_score",
+    "parsing_report",
+    "precision_recall_f1",
+    "template_separation",
+    "token_accuracy",
+    "unsupervised_quality",
+]

@@ -1,0 +1,89 @@
+"""Detection metrics: precision, recall, F1 (paper §III).
+
+The paper's definitions, verbatim: TP = abnormal sequences correctly
+detected, FP = normal sequences wrongly identified as anomalies, FN =
+abnormal sequences not detected.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BinaryReport:
+    """Precision / recall / F1 with the underlying confusion counts."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        precision = self.precision
+        recall = self.recall
+        if precision + recall == 0.0:
+            return 0.0
+        return 2.0 * precision * recall / (precision + recall)
+
+    @property
+    def accuracy(self) -> float:
+        total = (
+            self.true_positives + self.false_positives
+            + self.false_negatives + self.true_negatives
+        )
+        return (self.true_positives + self.true_negatives) / total if total else 0.0
+
+    def as_row(self) -> dict[str, float]:
+        """The (P, R, F1) row the paper's comparison tables report."""
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+        }
+
+
+def confusion_counts(
+    predictions: Sequence[bool], truths: Sequence[bool]
+) -> BinaryReport:
+    """Build a :class:`BinaryReport` from aligned boolean sequences."""
+    if len(predictions) != len(truths):
+        raise ValueError(
+            f"predictions ({len(predictions)}) and truths ({len(truths)}) disagree"
+        )
+    tp = fp = fn = tn = 0
+    for predicted, truth in zip(predictions, truths):
+        if predicted and truth:
+            tp += 1
+        elif predicted and not truth:
+            fp += 1
+        elif not predicted and truth:
+            fn += 1
+        else:
+            tn += 1
+    return BinaryReport(
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+        true_negatives=tn,
+    )
+
+
+def precision_recall_f1(
+    predictions: Sequence[bool], truths: Sequence[bool]
+) -> tuple[float, float, float]:
+    """The (precision, recall, F1) triple of §III."""
+    report = confusion_counts(predictions, truths)
+    return report.precision, report.recall, report.f1

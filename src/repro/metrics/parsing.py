@@ -1,0 +1,163 @@
+"""Supervised parsing metrics: grouping accuracy and Eq. 1 token accuracy.
+
+Two views of parsing quality, mirroring the paper's §IV argument:
+
+* **Grouping accuracy** — the literature's reference metric (Zhu et
+  al., ICSE-SEIP'19): a message is correctly parsed iff its predicted
+  cluster contains exactly the messages of its ground-truth cluster.
+  Sufficient for *sequential* anomaly detection, where only the log
+  class matters.
+* **Token accuracy (Eq. 1)** — the paper's proposed metric: the mean,
+  over messages, of the fraction of tokens whose static/variable
+  decomposition matches ground truth.  This is what *quantitative*
+  anomaly detection needs, since variables must be correctly located
+  to be monitored.
+
+Eq. 1 implementation note: ``t_j`` is the parser's assignment of token
+``j`` (the static word it kept, or the wildcard if it declared the
+position variable) and ``T_j`` the ground-truth assignment; a token
+counts as correct when the two agree.  Messages whose ground truth is
+unknown (e.g. instability-injected lines) are skipped and reported.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.logs.record import ParsedLog, WILDCARD, tokenize
+from repro.logs.sources import TemplateLibrary
+
+#: Optional message normalizer applied before ground-truth lookup.
+#: Used when the corpus carries payloads the library's templates do not
+#: describe (e.g. the JSON suffixes of experiment X7): pass
+#: ``lambda m: extract_structured_payload(m).text``.
+MessageNormalizer = Callable[[str], str]
+
+
+@dataclass(frozen=True)
+class ParsingReport:
+    """Joint supervised parsing metrics for one parser run."""
+
+    grouping_accuracy: float
+    token_accuracy: float
+    predicted_templates: int
+    true_templates: int
+    evaluated_messages: int
+    skipped_messages: int
+
+
+def grouping_accuracy(
+    parsed: Sequence[ParsedLog],
+    library: TemplateLibrary,
+    normalize_message: MessageNormalizer | None = None,
+) -> float:
+    """Fraction of messages whose predicted cluster == true cluster.
+
+    A predicted cluster is correct for a message iff the set of
+    messages sharing its predicted template id equals the set sharing
+    its ground-truth template id.  Messages without ground truth are
+    excluded from both sides.
+    """
+    truth_of: list[int | None] = []
+    for event in parsed:
+        message = event.record.message
+        if normalize_message is not None:
+            message = normalize_message(message)
+        truth = library.truth_for(message)
+        truth_of.append(truth.template_id if truth is not None else None)
+
+    by_predicted: dict[int, set[int]] = defaultdict(set)
+    by_truth: dict[int, set[int]] = defaultdict(set)
+    for index, (event, truth) in enumerate(zip(parsed, truth_of)):
+        if truth is None:
+            continue
+        by_predicted[event.template_id].add(index)
+        by_truth[truth].add(index)
+
+    correct = 0
+    evaluated = 0
+    for index, (event, truth) in enumerate(zip(parsed, truth_of)):
+        if truth is None:
+            continue
+        evaluated += 1
+        if by_predicted[event.template_id] == by_truth[truth]:
+            correct += 1
+    return correct / evaluated if evaluated else 0.0
+
+
+def _token_labels(template: str, length: int) -> list[str] | None:
+    """Template tokens as per-position labels; None on length mismatch."""
+    tokens = tokenize(template)
+    if len(tokens) != length:
+        return None
+    return tokens
+
+
+def token_accuracy(
+    parsed: Sequence[ParsedLog],
+    library: TemplateLibrary,
+    normalize_message: MessageNormalizer | None = None,
+) -> float:
+    """The paper's Eq. 1: mean per-message token classification accuracy.
+
+    For each evaluated message i with ``l_i`` tokens, the inner sum
+    scores 1 for token j when the parser's assignment equals the
+    expected one; the outer mean runs over messages.  A parser whose
+    template length disagrees with the message (it merged or split
+    tokens) scores 0 for that message — every token is misassigned.
+    """
+    per_message: list[float] = []
+    for event in parsed:
+        message = event.record.message
+        if normalize_message is not None:
+            message = normalize_message(message)
+        truth = library.truth_for(message)
+        if truth is None:
+            continue
+        message_tokens = tokenize(message)
+        if not message_tokens:
+            continue
+        expected = _token_labels(truth.template, len(message_tokens))
+        if expected is None:
+            # Ground-truth templates always match their messages; this
+            # would be a library bug, not a parser error.
+            continue
+        predicted = _token_labels(event.template, len(message_tokens))
+        if predicted is None:
+            per_message.append(0.0)
+            continue
+        correct = sum(
+            1
+            for predicted_token, expected_token in zip(predicted, expected)
+            if predicted_token == expected_token
+        )
+        per_message.append(correct / len(message_tokens))
+    return sum(per_message) / len(per_message) if per_message else 0.0
+
+
+def parsing_report(
+    parsed: Sequence[ParsedLog],
+    library: TemplateLibrary,
+    normalize_message: MessageNormalizer | None = None,
+) -> ParsingReport:
+    """Compute both supervised metrics plus bookkeeping counts."""
+
+    def normalized(event: ParsedLog) -> str:
+        if normalize_message is None:
+            return event.record.message
+        return normalize_message(event.record.message)
+
+    skipped = sum(
+        1 for event in parsed if library.truth_for(normalized(event)) is None
+    )
+    predicted_templates = len({event.template_id for event in parsed})
+    return ParsingReport(
+        grouping_accuracy=grouping_accuracy(parsed, library, normalize_message),
+        token_accuracy=token_accuracy(parsed, library, normalize_message),
+        predicted_templates=predicted_templates,
+        true_templates=len(library),
+        evaluated_messages=len(parsed) - skipped,
+        skipped_messages=skipped,
+    )

@@ -1,0 +1,184 @@
+"""Unsupervised parsing-quality metrics (paper §IV, experiment X5).
+
+"Unsupervised metrics opens promising perspectives for
+auto-parametrizing log parser."  Two label-free scores are provided;
+both reward the balance a good parse strikes between over-merging
+(few templates, everything variable) and over-splitting (one template
+per message, everything static):
+
+* :func:`mdl_score` — a description-length score: encoding the corpus
+  as (template table + per-message variables) should be much cheaper
+  than storing raw messages.  Over-splitting bloats the template
+  table; over-merging bloats the variable stream; the true parse
+  minimizes the sum.
+* :func:`cluster_cohesion` — mean intra-cluster token agreement: for
+  each predicted cluster, how consistently do member messages agree on
+  the positions the template claims are static?
+
+:func:`unsupervised_quality` combines them (geometric mean), and is
+the objective :class:`repro.core.calibration.AutoCalibrator` optimizes.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.logs.record import ParsedLog, WILDCARD, tokenize
+
+
+def mdl_score(parsed: Sequence[ParsedLog]) -> float:
+    """Description-length score in (0, 1]; higher is better.
+
+    Cost model (token-denominated): the template table costs its total
+    static+wildcard token count once; every message then costs one
+    token per variable.  The raw corpus costs its full token count.
+    The score is ``1 - encoded_cost / raw_cost`` clamped to [0, 1] —
+    0 when parsing bought nothing, approaching the corpus' true
+    redundancy when the parse is right.
+    """
+    if not parsed:
+        return 0.0
+    templates: dict[int, str] = {}
+    variable_tokens = 0
+    raw_tokens = 0
+    wildcard_counts: dict[int, int] = {}
+    for event in parsed:
+        templates[event.template_id] = event.template
+        count = wildcard_counts.get(event.template_id)
+        if count is None:
+            count = tokenize(event.template).count(WILDCARD)
+            wildcard_counts[event.template_id] = count
+        # Each message pays one token per wildcard slot of its template
+        # (counted from the template, so the score is meaningful even
+        # for events whose variable values were not materialized).
+        variable_tokens += count
+        raw_tokens += len(tokenize(event.record.message))
+    if raw_tokens == 0:
+        return 0.0
+    table_tokens = sum(len(tokenize(template)) for template in templates.values())
+    encoded = table_tokens + variable_tokens
+    return max(0.0, 1.0 - encoded / raw_tokens)
+
+
+def cluster_cohesion(
+    parsed: Sequence[ParsedLog],
+    *,
+    max_pairs_per_cluster: int = 50,
+    seed: int = 0,
+) -> float:
+    """Mean intra-cluster agreement on static positions, in [0, 1].
+
+    For sampled message pairs within each predicted cluster, the
+    agreement is the fraction of template-static positions where both
+    messages carry the same token.  Over-merged clusters mix different
+    statements and disagree on "static" positions; correctly merged
+    clusters agree fully.  Singleton clusters are perfectly cohesive
+    but diluted by a cluster-count-weighted average, so degenerate
+    one-message-per-cluster parses do not get a free 1.0: the average
+    weights each cluster by its message count.
+    """
+    if not parsed:
+        return 0.0
+    rng = random.Random(seed)
+    clusters: dict[int, list[ParsedLog]] = {}
+    for event in parsed:
+        clusters.setdefault(event.template_id, []).append(event)
+
+    weighted_sum = 0.0
+    weight_total = 0
+    for members in clusters.values():
+        weight = len(members)
+        if len(members) == 1:
+            weighted_sum += 1.0 * weight
+            weight_total += weight
+            continue
+        template_tokens = tokenize(members[0].template)
+        static_positions = [
+            position
+            for position, token in enumerate(template_tokens)
+            if token != WILDCARD
+        ]
+        pairs = min(max_pairs_per_cluster, len(members) * (len(members) - 1) // 2)
+        agreements: list[float] = []
+        for _ in range(pairs):
+            left, right = rng.sample(members, 2)
+            left_tokens = tokenize(left.record.message)
+            right_tokens = tokenize(right.record.message)
+            if not static_positions:
+                # A fully-wildcard template asserts nothing; treat as
+                # zero cohesion (it explains nothing about members).
+                agreements.append(0.0)
+                continue
+            agreeing = sum(
+                1
+                for position in static_positions
+                if (
+                    position < len(left_tokens)
+                    and position < len(right_tokens)
+                    and left_tokens[position] == right_tokens[position]
+                )
+            )
+            agreements.append(agreeing / len(static_positions))
+        cohesion = sum(agreements) / len(agreements) if agreements else 1.0
+        weighted_sum += cohesion * weight
+        weight_total += weight
+    return weighted_sum / weight_total if weight_total else 0.0
+
+
+def template_separation(parsed: Sequence[ParsedLog]) -> float:
+    """Mean pairwise dissimilarity between discovered templates, [0, 1].
+
+    A Logan-style *separation* view: distinct templates should not look
+    alike.  Over-splitting a statement produces many near-identical
+    templates (low separation); a correct parse's templates describe
+    different statements (high separation).  Dissimilarity is 1 minus
+    the token-set Jaccard similarity of the template strings
+    (wildcards excluded — shared wildcards carry no meaning).
+
+    A parse with fewer than two templates has nothing to separate and
+    scores 1.0 by convention.
+    """
+    token_sets: list[frozenset[str]] = []
+    seen: set[int] = set()
+    for event in parsed:
+        if event.template_id in seen:
+            continue
+        seen.add(event.template_id)
+        token_sets.append(
+            frozenset(
+                token for token in tokenize(event.template)
+                if token != WILDCARD
+            )
+        )
+    if len(token_sets) < 2:
+        return 1.0
+    total = 0.0
+    pairs = 0
+    for index, left in enumerate(token_sets):
+        for right in token_sets[index + 1:]:
+            union = left | right
+            if union:
+                jaccard = len(left & right) / len(union)
+            else:
+                jaccard = 1.0  # two all-wildcard templates are identical
+            total += 1.0 - jaccard
+            pairs += 1
+    return total / pairs if pairs else 1.0
+
+
+def unsupervised_quality(
+    parsed: Sequence[ParsedLog],
+    *,
+    seed: int = 0,
+) -> float:
+    """Combined label-free quality: geometric mean of MDL and cohesion.
+
+    The geometric mean punishes parses that game one component: a
+    degenerate all-in-one cluster may score decent MDL but near-zero
+    cohesion, and one-cluster-per-message scores high cohesion but
+    near-zero MDL.
+    """
+    mdl = mdl_score(parsed)
+    cohesion = cluster_cohesion(parsed, seed=seed)
+    return (mdl * cohesion) ** 0.5

@@ -1,0 +1,50 @@
+"""From-scratch neural substrate (numpy).
+
+The deep detectors the paper studies (DeepLog, LogAnomaly, LogRobust)
+are LSTM models.  PyTorch is not available in this environment, so this
+subpackage implements the required stack directly on numpy:
+
+* :mod:`repro.nn.network` — :class:`Parameter` / :class:`Module` base,
+  the :class:`Trainer` minibatch loop;
+* :mod:`repro.nn.layers` — dense, embedding, activations, dropout;
+* :mod:`repro.nn.lstm` — LSTM and bidirectional LSTM layers with full
+  backpropagation through time;
+* :mod:`repro.nn.attention` — the additive attention used by LogRobust;
+* :mod:`repro.nn.losses` — softmax cross-entropy and MSE with
+  analytical gradients;
+* :mod:`repro.nn.optim` — SGD (momentum) and Adam;
+* :mod:`repro.nn.serialize` — save/load parameters as ``.npz``.
+
+Gradient correctness of every layer is property-tested against central
+finite differences in ``tests/test_nn_gradients.py``.
+"""
+
+from repro.nn.network import Module, Parameter, Trainer
+from repro.nn.layers import Dense, Dropout, Embedding, relu, sigmoid, tanh
+from repro.nn.lstm import BiLstm, Lstm
+from repro.nn.attention import AdditiveAttention
+from repro.nn.losses import mse_loss, softmax, softmax_cross_entropy
+from repro.nn.optim import Adam, Sgd
+from repro.nn.serialize import load_module, save_module
+
+__all__ = [
+    "Adam",
+    "AdditiveAttention",
+    "BiLstm",
+    "Dense",
+    "Dropout",
+    "Embedding",
+    "Lstm",
+    "Module",
+    "Parameter",
+    "Sgd",
+    "Trainer",
+    "load_module",
+    "mse_loss",
+    "relu",
+    "save_module",
+    "sigmoid",
+    "softmax",
+    "softmax_cross_entropy",
+    "tanh",
+]

@@ -1,0 +1,86 @@
+"""Additive (Bahdanau-style) attention, as used by LogRobust.
+
+LogRobust pools the BiLSTM states with a learned attention so the
+classifier focuses on the few events that matter in a long session.
+Scores: ``score_t = v . tanh(h_t W + b)``; weights are the softmax over
+time; the output is the weighted sum of states.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.losses import softmax
+from repro.nn.network import Module, Parameter, glorot
+
+
+class AdditiveAttention(Module):
+    """Attention pooling over a state sequence.
+
+    Args:
+        state_size: dimension of each timestep state.
+        attention_size: dimension of the score projection.
+        seed: initialization seed.
+    """
+
+    def __init__(self, state_size: int, attention_size: int = 32, *, seed: int = 0):
+        if state_size < 1 or attention_size < 1:
+            raise ValueError("attention dimensions must be >= 1")
+        rng = np.random.default_rng(seed)
+        self.weight = Parameter(
+            "attention.weight", glorot(rng, state_size, attention_size)
+        )
+        self.bias = Parameter("attention.bias", np.zeros(attention_size))
+        self.vector = Parameter(
+            "attention.vector",
+            rng.normal(0.0, 0.1, size=attention_size),
+        )
+        self._cache: dict[str, np.ndarray] | None = None
+
+    def forward(self, states: np.ndarray) -> np.ndarray:
+        """Pool ``(batch, time, state)`` into ``(batch, state)``."""
+        projected = np.tanh(states @ self.weight.value + self.bias.value)
+        scores = projected @ self.vector.value  # (batch, time)
+        weights = softmax(scores)
+        context = np.einsum("bt,bts->bs", weights, states)
+        self._cache = {
+            "states": states,
+            "projected": projected,
+            "weights": weights,
+        }
+        return context
+
+    def attention_weights(self) -> np.ndarray:
+        """The last computed attention distribution (for inspection)."""
+        if self._cache is None:
+            raise RuntimeError("attention_weights called before forward")
+        return self._cache["weights"]
+
+    def backward(self, grad_context: np.ndarray) -> np.ndarray:
+        """Returns the gradient with respect to the input states."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        states = self._cache["states"]
+        projected = self._cache["projected"]
+        weights = self._cache["weights"]
+
+        # context = sum_t weights_t * states_t
+        grad_weights = np.einsum("bs,bts->bt", grad_context, states)
+        grad_states = weights[:, :, None] * grad_context[:, None, :]
+
+        # Softmax backward.
+        dot = (grad_weights * weights).sum(axis=1, keepdims=True)
+        grad_scores = weights * (grad_weights - dot)
+
+        # scores = projected @ vector
+        self.vector.grad += np.einsum("bt,bta->a", grad_scores, projected)
+        grad_projected = grad_scores[:, :, None] * self.vector.value[None, None, :]
+
+        # projected = tanh(states @ W + b)
+        grad_raw = grad_projected * (1.0 - projected ** 2)
+        flat_states = states.reshape(-1, states.shape[-1])
+        flat_raw = grad_raw.reshape(-1, grad_raw.shape[-1])
+        self.weight.grad += flat_states.T @ flat_raw
+        self.bias.grad += flat_raw.sum(axis=0)
+        grad_states += grad_raw @ self.weight.value.T
+        return grad_states

@@ -1,0 +1,77 @@
+"""Losses with analytical gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, numerically stabilized."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, targets: np.ndarray
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Mean cross-entropy of integer targets under softmax(logits).
+
+    Returns ``(loss, grad_logits, probabilities)``; the gradient is
+    already averaged over the batch, so callers backpropagate it as-is.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    targets = np.asarray(targets)
+    if logits.ndim != 2:
+        raise ValueError(f"expected (batch, classes) logits, got {logits.shape}")
+    if targets.shape != (logits.shape[0],):
+        raise ValueError(
+            f"targets shape {targets.shape} does not match batch {logits.shape[0]}"
+        )
+    probabilities = softmax(logits)
+    batch = logits.shape[0]
+    picked = probabilities[np.arange(batch), targets]
+    loss = float(-np.log(np.clip(picked, 1e-12, None)).mean())
+    grad = probabilities.copy()
+    grad[np.arange(batch), targets] -= 1.0
+    grad /= batch
+    return loss, grad, probabilities
+
+
+def binary_cross_entropy_with_logits(
+    logits: np.ndarray, targets: np.ndarray
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Mean BCE of 0/1 targets under sigmoid(logits).
+
+    Returns ``(loss, grad_logits, probabilities)``.
+    """
+    logits = np.asarray(logits, dtype=np.float64).reshape(-1)
+    targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+    if logits.shape != targets.shape:
+        raise ValueError(
+            f"logits {logits.shape} and targets {targets.shape} disagree"
+        )
+    # log(1 + e^{-|x|}) formulation avoids overflow.
+    loss_terms = np.maximum(logits, 0.0) - logits * targets + np.log1p(
+        np.exp(-np.abs(logits))
+    )
+    loss = float(loss_terms.mean())
+    probabilities = 1.0 / (1.0 + np.exp(-np.clip(logits, -500, 500)))
+    grad = (probabilities - targets) / len(logits)
+    return loss, grad, probabilities
+
+
+def mse_loss(
+    predictions: np.ndarray, targets: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean squared error and its gradient w.r.t. predictions."""
+    predictions = np.asarray(predictions, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if predictions.shape != targets.shape:
+        raise ValueError(
+            f"predictions {predictions.shape} and targets {targets.shape} disagree"
+        )
+    difference = predictions - targets
+    loss = float((difference ** 2).mean())
+    grad = 2.0 * difference / difference.size
+    return loss, grad

@@ -1,0 +1,156 @@
+"""LSTM and bidirectional LSTM with full backpropagation through time.
+
+The gate math follows Hochreiter & Schmidhuber as used by every deep
+log-anomaly model the paper cites: input, forget, cell-candidate and
+output gates computed from ``[x_t, h_{t-1}]``; forget-gate bias
+initialized to 1 (the standard trick that stabilizes early training).
+
+Shapes are batch-first: inputs ``(batch, time, features)``, outputs
+``(batch, time, hidden)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import sigmoid
+from repro.nn.network import Module, Parameter, glorot
+
+
+class Lstm(Module):
+    """A single-layer LSTM.
+
+    Args:
+        input_size: feature dimension of each timestep.
+        hidden_size: dimension of the hidden/cell state.
+        seed: parameter initialization seed.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, *, seed: int = 0):
+        if input_size < 1 or hidden_size < 1:
+            raise ValueError("Lstm dimensions must be >= 1")
+        rng = np.random.default_rng(seed)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        # Gate order along the last axis: input, forget, cell, output.
+        self.w_x = Parameter(
+            "lstm.w_x", glorot(rng, input_size, 4 * hidden_size)
+        )
+        self.w_h = Parameter(
+            "lstm.w_h", glorot(rng, hidden_size, 4 * hidden_size)
+        )
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size:2 * hidden_size] = 1.0  # forget-gate bias
+        self.bias = Parameter("lstm.bias", bias)
+        self._cache: dict[str, np.ndarray] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the full sequence; returns all hidden states."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 3:
+            raise ValueError(f"expected (batch, time, features), got {x.shape}")
+        batch, steps, _ = x.shape
+        hidden = self.hidden_size
+        h = np.zeros((batch, steps + 1, hidden))
+        c = np.zeros((batch, steps + 1, hidden))
+        gates = np.zeros((batch, steps, 4 * hidden))
+        for t in range(steps):
+            raw = x[:, t] @ self.w_x.value + h[:, t] @ self.w_h.value + self.bias.value
+            i = sigmoid(raw[:, :hidden])
+            f = sigmoid(raw[:, hidden:2 * hidden])
+            g = np.tanh(raw[:, 2 * hidden:3 * hidden])
+            o = sigmoid(raw[:, 3 * hidden:])
+            c[:, t + 1] = f * c[:, t] + i * g
+            h[:, t + 1] = o * np.tanh(c[:, t + 1])
+            gates[:, t] = np.concatenate([i, f, g, o], axis=1)
+        self._cache = {"x": x, "h": h, "c": c, "gates": gates}
+        return h[:, 1:]
+
+    def last_hidden(self, x: np.ndarray) -> np.ndarray:
+        """Convenience: forward and return only the final hidden state."""
+        return self.forward(x)[:, -1]
+
+    def backward(self, grad_outputs: np.ndarray) -> np.ndarray:
+        """BPTT.  ``grad_outputs`` matches the forward output shape.
+
+        Returns the gradient with respect to the input sequence.
+        """
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x = self._cache["x"]
+        h = self._cache["h"]
+        c = self._cache["c"]
+        gates = self._cache["gates"]
+        batch, steps, _ = x.shape
+        hidden = self.hidden_size
+
+        grad_x = np.zeros_like(x)
+        grad_h_next = np.zeros((batch, hidden))
+        grad_c_next = np.zeros((batch, hidden))
+        for t in range(steps - 1, -1, -1):
+            i = gates[:, t, :hidden]
+            f = gates[:, t, hidden:2 * hidden]
+            g = gates[:, t, 2 * hidden:3 * hidden]
+            o = gates[:, t, 3 * hidden:]
+            c_t = c[:, t + 1]
+            tanh_c = np.tanh(c_t)
+
+            grad_h = grad_outputs[:, t] + grad_h_next
+            grad_o = grad_h * tanh_c
+            grad_c = grad_h * o * (1.0 - tanh_c ** 2) + grad_c_next
+            grad_i = grad_c * g
+            grad_f = grad_c * c[:, t]
+            grad_g = grad_c * i
+
+            # Through the gate nonlinearities.
+            raw_i = grad_i * i * (1.0 - i)
+            raw_f = grad_f * f * (1.0 - f)
+            raw_g = grad_g * (1.0 - g ** 2)
+            raw_o = grad_o * o * (1.0 - o)
+            raw = np.concatenate([raw_i, raw_f, raw_g, raw_o], axis=1)
+
+            self.w_x.grad += x[:, t].T @ raw
+            self.w_h.grad += h[:, t].T @ raw
+            self.bias.grad += raw.sum(axis=0)
+
+            grad_x[:, t] = raw @ self.w_x.value.T
+            grad_h_next = raw @ self.w_h.value.T
+            grad_c_next = grad_c * f
+        return grad_x
+
+    def backward_last(self, grad_last: np.ndarray) -> np.ndarray:
+        """BPTT when only the final hidden state fed the loss."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        steps = self._cache["x"].shape[1]
+        grad_outputs = np.zeros(
+            (grad_last.shape[0], steps, self.hidden_size)
+        )
+        grad_outputs[:, -1] = grad_last
+        return self.backward(grad_outputs)
+
+
+class BiLstm(Module):
+    """Bidirectional LSTM: forward and reversed passes, concatenated.
+
+    Output shape ``(batch, time, 2 * hidden)`` — forward states in the
+    first half of the last axis, backward states in the second.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, *, seed: int = 0):
+        self.forward_lstm = Lstm(input_size, hidden_size, seed=seed)
+        self.backward_lstm = Lstm(input_size, hidden_size, seed=seed + 1)
+        self.hidden_size = hidden_size
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        forward_states = self.forward_lstm.forward(x)
+        backward_states = self.backward_lstm.forward(x[:, ::-1])[:, ::-1]
+        return np.concatenate([forward_states, backward_states], axis=2)
+
+    def backward(self, grad_outputs: np.ndarray) -> np.ndarray:
+        hidden = self.hidden_size
+        grad_forward = grad_outputs[:, :, :hidden]
+        grad_backward = grad_outputs[:, :, hidden:]
+        grad_x = self.forward_lstm.backward(grad_forward)
+        grad_x_reversed = self.backward_lstm.backward(grad_backward[:, ::-1])
+        return grad_x + grad_x_reversed[:, ::-1]

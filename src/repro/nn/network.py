@@ -1,0 +1,185 @@
+"""Parameters, modules, and the training loop."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with its accumulated gradient."""
+
+    __slots__ = ("name", "value", "grad")
+
+    def __init__(self, name: str, value: np.ndarray):
+        self.name = name
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Parameter({self.name}, shape={self.value.shape})"
+
+
+class Module:
+    """Base class for layers and models.
+
+    Sub-modules and parameters are discovered by attribute scan, the
+    way small autograd libraries do it; there is no registration API to
+    forget.  ``forward`` signatures are layer-specific; every layer
+    also exposes a ``backward`` that consumes the upstream gradient and
+    accumulates into its parameters.
+    """
+
+    training: bool = True
+
+    def parameters(self) -> list[Parameter]:
+        found: list[Parameter] = []
+        seen: set[int] = set()
+        for value in vars(self).values():
+            for parameter in _parameters_of(value):
+                if id(parameter) not in seen:
+                    seen.add(id(parameter))
+                    found.append(parameter)
+        return found
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def train_mode(self, training: bool = True) -> "Module":
+        self.training = training
+        for value in vars(self).values():
+            for module in _modules_of(value):
+                module.train_mode(training)
+        return self
+
+    def eval_mode(self) -> "Module":
+        return self.train_mode(False)
+
+    def parameter_count(self) -> int:
+        return sum(parameter.value.size for parameter in self.parameters())
+
+
+def _parameters_of(value: object) -> Iterator[Parameter]:
+    if isinstance(value, Parameter):
+        yield value
+    elif isinstance(value, Module):
+        yield from value.parameters()
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _parameters_of(item)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _parameters_of(item)
+
+
+def _modules_of(value: object) -> Iterator[Module]:
+    if isinstance(value, Module):
+        yield value
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _modules_of(item)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _modules_of(item)
+
+
+def glorot(rng: np.random.Generator, fan_in: int, fan_out: int,
+           shape: tuple[int, ...] | None = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape or (fan_in, fan_out))
+
+
+@dataclass
+class EpochStats:
+    """Loss/accuracy summary for one training epoch."""
+
+    epoch: int
+    loss: float
+    accuracy: float | None = None
+
+
+class Trainer:
+    """Minibatch trainer for next-event / classification models.
+
+    The model contract: ``loss_fn(x_batch, y_batch) -> (loss, correct)``
+    must run forward + backward (accumulating parameter gradients) and
+    return the scalar loss plus the number of correct predictions (or
+    ``None`` when accuracy is meaningless, e.g. regression).
+
+    Args:
+        model: the module whose parameters are optimized.
+        optimizer: an object with ``step(parameters)``.
+        batch_size: minibatch size.
+        epochs: training epochs.
+        shuffle: reshuffle sample order each epoch.
+        seed: RNG seed for shuffling.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer,
+        *,
+        batch_size: int = 64,
+        epochs: int = 5,
+        shuffle: bool = True,
+        seed: int = 0,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.batch_size = batch_size
+        self.epochs = epochs
+        self.shuffle = shuffle
+        self.seed = seed
+        self.history: list[EpochStats] = []
+
+    def fit(
+        self,
+        inputs: np.ndarray,
+        targets: np.ndarray,
+        loss_fn: Callable[[np.ndarray, np.ndarray], tuple[float, int | None]],
+    ) -> list[EpochStats]:
+        """Run the training loop; returns per-epoch statistics."""
+        if len(inputs) != len(targets):
+            raise ValueError(
+                f"inputs ({len(inputs)}) and targets ({len(targets)}) disagree"
+            )
+        if len(inputs) == 0:
+            return []
+        rng = np.random.default_rng(self.seed)
+        order = np.arange(len(inputs))
+        self.model.train_mode(True)
+        for epoch in range(self.epochs):
+            if self.shuffle:
+                rng.shuffle(order)
+            total_loss = 0.0
+            total_correct = 0
+            saw_accuracy = False
+            for start in range(0, len(order), self.batch_size):
+                batch = order[start:start + self.batch_size]
+                self.model.zero_grad()
+                loss, correct = loss_fn(inputs[batch], targets[batch])
+                self.optimizer.step(self.model.parameters())
+                total_loss += loss * len(batch)
+                if correct is not None:
+                    saw_accuracy = True
+                    total_correct += correct
+            stats = EpochStats(
+                epoch=epoch,
+                loss=total_loss / len(order),
+                accuracy=(total_correct / len(order)) if saw_accuracy else None,
+            )
+            self.history.append(stats)
+        self.model.train_mode(False)
+        return self.history

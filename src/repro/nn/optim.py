@@ -1,0 +1,99 @@
+"""Optimizers: SGD with momentum and Adam."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.network import Parameter
+
+
+def clip_gradients(parameters: list[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm.  LSTM training is unstable without this.
+    """
+    total = 0.0
+    for parameter in parameters:
+        total += float((parameter.grad ** 2).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for parameter in parameters:
+            parameter.grad *= scale
+    return norm
+
+
+class Sgd:
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        momentum: float = 0.9,
+        max_grad_norm: float = 5.0,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be > 0, got {learning_rate}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.max_grad_norm = max_grad_norm
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self, parameters: list[Parameter]) -> None:
+        clip_gradients(parameters, self.max_grad_norm)
+        for parameter in parameters:
+            velocity = self._velocity.get(id(parameter))
+            if velocity is None:
+                velocity = np.zeros_like(parameter.value)
+            velocity = self.momentum * velocity - self.learning_rate * parameter.grad
+            self._velocity[id(parameter)] = velocity
+            parameter.value += velocity
+
+
+class Adam:
+    """Adam (Kingma & Ba) with bias correction and gradient clipping."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        max_grad_norm: float = 5.0,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be > 0, got {learning_rate}")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.max_grad_norm = max_grad_norm
+        self._first: dict[int, np.ndarray] = {}
+        self._second: dict[int, np.ndarray] = {}
+        self._step_count = 0
+
+    def step(self, parameters: list[Parameter]) -> None:
+        clip_gradients(parameters, self.max_grad_norm)
+        self._step_count += 1
+        correction1 = 1.0 - self.beta1 ** self._step_count
+        correction2 = 1.0 - self.beta2 ** self._step_count
+        for parameter in parameters:
+            key = id(parameter)
+            first = self._first.get(key)
+            second = self._second.get(key)
+            if first is None:
+                first = np.zeros_like(parameter.value)
+                second = np.zeros_like(parameter.value)
+            first = self.beta1 * first + (1.0 - self.beta1) * parameter.grad
+            second = self.beta2 * second + (1.0 - self.beta2) * parameter.grad ** 2
+            self._first[key] = first
+            self._second[key] = second
+            corrected_first = first / correction1
+            corrected_second = second / correction2
+            parameter.value -= (
+                self.learning_rate
+                * corrected_first
+                / (np.sqrt(corrected_second) + self.epsilon)
+            )

@@ -1,0 +1,49 @@
+"""Save and load module parameters as ``.npz`` archives.
+
+Parameters are addressed positionally (the discovery order of
+:meth:`repro.nn.network.Module.parameters` is deterministic for a given
+model class), with shapes verified at load time so a mismatched
+architecture fails loudly instead of silently mis-assigning weights.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.network import Module
+
+
+def save_module(module: Module, path: str | os.PathLike[str]) -> None:
+    """Write all parameters of ``module`` to ``path`` (npz)."""
+    parameters = module.parameters()
+    arrays = {
+        f"parameter_{index:04d}": parameter.value
+        for index, parameter in enumerate(parameters)
+    }
+    names = np.array([parameter.name for parameter in parameters])
+    np.savez(path, __names__=names, **arrays)
+
+
+def load_module(module: Module, path: str | os.PathLike[str]) -> Module:
+    """Load parameters saved by :func:`save_module` into ``module``.
+
+    Raises ``ValueError`` on count or shape mismatch.
+    """
+    archive = np.load(path, allow_pickle=False)
+    parameters = module.parameters()
+    keys = sorted(key for key in archive.files if key.startswith("parameter_"))
+    if len(keys) != len(parameters):
+        raise ValueError(
+            f"archive has {len(keys)} parameters, module has {len(parameters)}"
+        )
+    for key, parameter in zip(keys, parameters):
+        stored = archive[key]
+        if stored.shape != parameter.value.shape:
+            raise ValueError(
+                f"shape mismatch for {parameter.name}: archive {stored.shape} "
+                f"vs module {parameter.value.shape}"
+            )
+        parameter.value[...] = stored
+    return module

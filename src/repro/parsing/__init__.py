@@ -1,0 +1,81 @@
+"""Log parsing: template miners, masking, and distribution.
+
+Implements the paper's §IV study set:
+
+* online (streaming) parsers — :class:`~repro.parsing.drain.DrainParser`,
+  :class:`~repro.parsing.spell.SpellParser`,
+  :class:`~repro.parsing.lenma.LenMaParser`,
+  :class:`~repro.parsing.shiso.ShisoParser`,
+  :class:`~repro.parsing.logram.LogramParser`;
+* batch parsers — :class:`~repro.parsing.iplom.IplomParser`,
+  :class:`~repro.parsing.slct.SlctParser`,
+  :class:`~repro.parsing.logcluster.LogClusterParser`;
+* the regex *masking* preprocessing step every published parser relies
+  on (:mod:`repro.parsing.masking`), kept explicit and optional because
+  the paper identifies it as an automation limit;
+* the distributed tree-based parser the paper plans
+  (:mod:`repro.parsing.distributed`).
+
+All parsers share the :class:`~repro.parsing.base.Parser` API: feed
+:class:`~repro.logs.record.LogRecord` objects, receive
+:class:`~repro.logs.record.ParsedLog` events.
+"""
+
+from repro.parsing.base import (
+    BatchParser,
+    MinedTemplate,
+    OnlineParser,
+    Parser,
+    TemplateStore,
+)
+from repro.parsing.masking import MaskingRule, Masker, default_masker, no_masker
+from repro.parsing.drain import DrainParser
+from repro.parsing.spell import SpellParser
+from repro.parsing.lenma import LenMaParser
+from repro.parsing.shiso import ShisoParser
+from repro.parsing.logram import LogramParser
+from repro.parsing.iplom import IplomParser
+from repro.parsing.slct import SlctParser
+from repro.parsing.logcluster import LogClusterParser
+from repro.parsing.distributed import DistributedDrain
+from repro.parsing.persistence import load_templates, save_templates, seed_drain
+
+ONLINE_PARSERS = {
+    "drain": DrainParser,
+    "spell": SpellParser,
+    "lenma": LenMaParser,
+    "shiso": ShisoParser,
+    "logram": LogramParser,
+}
+
+BATCH_PARSERS = {
+    "iplom": IplomParser,
+    "slct": SlctParser,
+    "logcluster": LogClusterParser,
+}
+
+__all__ = [
+    "BATCH_PARSERS",
+    "BatchParser",
+    "DistributedDrain",
+    "DrainParser",
+    "IplomParser",
+    "LenMaParser",
+    "LogClusterParser",
+    "LogramParser",
+    "Masker",
+    "MaskingRule",
+    "MinedTemplate",
+    "ONLINE_PARSERS",
+    "OnlineParser",
+    "Parser",
+    "ShisoParser",
+    "SlctParser",
+    "SpellParser",
+    "TemplateStore",
+    "default_masker",
+    "load_templates",
+    "no_masker",
+    "save_templates",
+    "seed_drain",
+]

@@ -1,0 +1,235 @@
+"""Shared parser machinery: templates, stores, and the Parser API.
+
+A template miner groups log messages into log classes and decides, per
+token position, whether the position is static (part of the template)
+or variable.  :class:`MinedTemplate` is the mutable cluster object the
+miners maintain; :class:`TemplateStore` assigns stable ids and tracks
+evolution; :class:`Parser` is the user-facing API shared by online and
+batch algorithms.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.logs.record import LogRecord, ParsedLog, WILDCARD, tokenize
+from repro.logs.structured import extract_structured_payload
+from repro.parsing.masking import Masker, no_masker
+
+
+class MinedTemplate:
+    """One discovered log class.
+
+    ``tokens`` is the current template token list (``<*>`` marks
+    variable positions); it can only *generalize* over time — once a
+    position becomes a wildcard it stays one.  ``count`` tracks how many
+    messages matched.
+    """
+
+    __slots__ = ("template_id", "tokens", "count")
+
+    def __init__(self, template_id: int, tokens: Sequence[str], count: int = 1):
+        self.template_id = template_id
+        self.tokens = list(tokens)
+        self.count = count
+
+    @property
+    def template(self) -> str:
+        return " ".join(self.tokens)
+
+    def merge(self, tokens: Sequence[str]) -> None:
+        """Generalize this template against a new token sequence.
+
+        Positions that disagree become wildcards.  Lengths must match —
+        miners only merge same-length sequences (per the standard Drain
+        assumption that a template has a fixed token count).
+        """
+        if len(tokens) != len(self.tokens):
+            raise ValueError(
+                f"cannot merge length {len(tokens)} into template of "
+                f"length {len(self.tokens)}"
+            )
+        for index, (mine, theirs) in enumerate(zip(self.tokens, tokens)):
+            if mine != theirs:
+                self.tokens[index] = WILDCARD
+        self.count += 1
+
+    def extract_variables(self, tokens: Sequence[str]) -> tuple[str, ...]:
+        """Pull the variable values of ``tokens`` under this template."""
+        return tuple(
+            value
+            for position, value in zip(self.tokens, tokens)
+            if position == WILDCARD
+        )
+
+    def similarity(self, tokens: Sequence[str]) -> float:
+        """Fraction of positions where the static token matches.
+
+        Drain's ``seqDist``: wildcards do not count as matches, so a
+        fully-wildcarded template has similarity 0 and never greedily
+        absorbs everything.
+        """
+        if len(tokens) != len(self.tokens):
+            return 0.0
+        if not tokens:
+            return 1.0
+        matches = sum(
+            1
+            for mine, theirs in zip(self.tokens, tokens)
+            if mine == theirs and mine != WILDCARD
+        )
+        return matches / len(tokens)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MinedTemplate(id={self.template_id}, {self.template!r}, n={self.count})"
+
+
+class TemplateStore:
+    """Assigns template ids and records every mined template.
+
+    The store is append-only: ids are never reused, and templates that
+    later generalize keep their id — downstream detectors depend on id
+    stability (the paper's DeepLog discussion: the event-index vector
+    length is the number of known templates).
+    """
+
+    def __init__(self) -> None:
+        self._templates: list[MinedTemplate] = []
+
+    def create(self, tokens: Sequence[str]) -> MinedTemplate:
+        template = MinedTemplate(template_id=len(self._templates), tokens=tokens)
+        self._templates.append(template)
+        return template
+
+    def __len__(self) -> int:
+        return len(self._templates)
+
+    def __iter__(self) -> Iterator[MinedTemplate]:
+        return iter(self._templates)
+
+    def __getitem__(self, template_id: int) -> MinedTemplate:
+        return self._templates[template_id]
+
+    def templates(self) -> list[str]:
+        """The current template strings, in id order."""
+        return [template.template for template in self._templates]
+
+
+class Parser:
+    """Common parser API.
+
+    ``parse_record`` is the single-record entry point.  The optional
+    preprocessing chain is applied in paper order: first the
+    structured-payload extraction step (§IV recommendation), then the
+    regex masker.  Both are off by default so that experiments measure
+    the raw algorithms unless they opt in.
+    """
+
+    def __init__(
+        self,
+        masker: Masker | None = None,
+        extract_structured: bool = False,
+    ) -> None:
+        self.masker = masker if masker is not None else no_masker()
+        self.extract_structured = extract_structured
+        self.store = TemplateStore()
+
+    # -- to be provided by concrete miners ---------------------------------
+
+    def _classify(self, tokens: list[str]) -> MinedTemplate:
+        """Map a token sequence to its (possibly new) template."""
+        raise NotImplementedError
+
+    # -- public API ---------------------------------------------------------
+
+    def parse_record(self, record: LogRecord) -> ParsedLog:
+        """Parse one record into a structured event."""
+        message = record.message
+        payload: dict[str, object] = {}
+        if self.extract_structured:
+            extraction = extract_structured_payload(message)
+            message = extraction.text
+            payload = dict(extraction.payload)
+        masked = self.masker.mask(message)
+        tokens = tokenize(masked)
+        template = self._classify(tokens)
+        # Classification runs on masked tokens, but variable *values*
+        # must come from the original message (masking would otherwise
+        # erase them and quantitative detection with it).  Positions
+        # align whenever masking preserved the token count, which the
+        # default rules do (they never match across whitespace).
+        original_tokens = tokenize(message)
+        value_tokens = (
+            original_tokens if len(original_tokens) == len(tokens) else tokens
+        )
+        return ParsedLog(
+            record=record,
+            template_id=template.template_id,
+            template=template.template,
+            variables=template.extract_variables(value_tokens),
+            payload=payload,
+        )
+
+    def parse_stream(self, records: Iterable[LogRecord]) -> Iterator[ParsedLog]:
+        """Parse a stream lazily, in delivery order."""
+        for record in records:
+            yield self.parse_record(record)
+
+    def parse_all(self, records: Iterable[LogRecord]) -> list[ParsedLog]:
+        """Parse and materialize a full corpus."""
+        return list(self.parse_stream(records))
+
+    @property
+    def template_count(self) -> int:
+        return len(self.store)
+
+
+class OnlineParser(Parser):
+    """Marker base for streaming miners (discover templates on the job)."""
+
+
+class BatchParser(Parser):
+    """Base for batch miners: require a :meth:`fit` pass before parsing.
+
+    ``fit`` mines templates from a corpus; ``parse_record`` then
+    assigns messages to the mined templates (unseen shapes fall back to
+    a one-off template, counted as a parse miss by the metrics).
+    """
+
+    def __init__(self, masker: Masker | None = None,
+                 extract_structured: bool = False) -> None:
+        super().__init__(masker, extract_structured)
+        self._fitted = False
+
+    def _mine(self, token_lists: list[list[str]]) -> None:
+        """Populate ``self.store`` from the training token lists."""
+        raise NotImplementedError
+
+    def fit(self, records: Iterable[LogRecord]) -> "BatchParser":
+        """Mine templates from a corpus (one batch pass)."""
+        token_lists = []
+        for record in records:
+            message = record.message
+            if self.extract_structured:
+                message = extract_structured_payload(message).text
+            token_lists.append(tokenize(self.masker.mask(message)))
+        self._mine(token_lists)
+        self._fitted = True
+        return self
+
+    def _classify(self, tokens: list[str]) -> MinedTemplate:
+        if not self._fitted:
+            raise RuntimeError(
+                f"{type(self).__name__} must be fitted before parsing; "
+                "call fit(records) first"
+            )
+        best: MinedTemplate | None = None
+        best_score = -1.0
+        for template in self.store:
+            score = template.similarity(tokens)
+            if score > best_score and len(template.tokens) == len(tokens):
+                best, best_score = template, score
+        if best is not None and best_score > 0.0:
+            return best
+        # Unseen shape: emit a one-off, fully-static template.
+        return self.store.create(tokens)

@@ -1,0 +1,147 @@
+"""Distributed tree-based parsing (the paper's planned contribution).
+
+"Drain method, which show the best performances, is not distributable.
+We plan to provide a distributed version of research tree-based log
+parsing method as we already have some encouraging results." (§IV)
+
+:class:`DistributedDrain` runs ``shards`` independent
+:class:`~repro.parsing.drain.DrainParser` instances behind a router and
+adds the two pieces a real deployment needs:
+
+* **routing** — records are partitioned deterministically; the default
+  routes by source name (each source's statements come from one code
+  base, so its templates live on one shard), with a hash of the first
+  message token for unattributed records.
+* **reconciliation** — shards discover templates independently, so the
+  same statement may receive different local ids on different shards.
+  :meth:`global_templates` merges the shard template sets into a global
+  table (exact-match on template string after per-shard mining), and
+  parsed events carry global ids.
+
+Experiment X6 measures the cost of distribution: template-set agreement
+with a single-instance Drain and the per-shard load balance.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Iterable, Iterator
+
+from repro.logs.record import LogRecord, ParsedLog
+from repro.parsing.drain import DrainParser
+from repro.parsing.masking import Masker
+
+
+def _stable_hash(text: str) -> int:
+    """Deterministic string hash (``hash()`` is salted per process)."""
+    return zlib.crc32(text.encode("utf-8"))
+
+
+class DistributedDrain:
+    """A sharded Drain with template reconciliation.
+
+    Args:
+        shards: number of parser shards.
+        route_by: ``"source"`` (default) or ``"token"`` — the partition
+            key.  Routing by source keeps each code base's statements
+            on one shard (best template consistency); routing by first
+            token balances load for single-source streams.
+        Remaining arguments are forwarded to every shard's
+        :class:`~repro.parsing.drain.DrainParser`.
+    """
+
+    def __init__(
+        self,
+        shards: int = 4,
+        route_by: str = "source",
+        depth: int = 2,
+        similarity_threshold: float = 0.4,
+        max_children: int = 100,
+        masker: Masker | None = None,
+        extract_structured: bool = False,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if route_by not in ("source", "token"):
+            raise ValueError(f"route_by must be 'source' or 'token', got {route_by!r}")
+        self.shards = shards
+        self.route_by = route_by
+        self.parsers = [
+            DrainParser(
+                depth=depth,
+                similarity_threshold=similarity_threshold,
+                max_children=max_children,
+                masker=masker,
+                extract_structured=extract_structured,
+            )
+            for _ in range(shards)
+        ]
+        # Global id table: (shard, local id) -> global id, plus the
+        # reverse map from template string for cross-shard dedup.
+        self._global_ids: dict[tuple[int, int], int] = {}
+        self._by_template: dict[str, int] = {}
+        self._shard_loads = [0] * shards
+
+    def shard_for(self, record: LogRecord) -> int:
+        """The shard a record routes to (deterministic)."""
+        if self.route_by == "source":
+            key = record.source
+        else:
+            tokens = record.tokens
+            key = tokens[0] if tokens else ""
+        return _stable_hash(key) % self.shards
+
+    def _globalize(self, shard: int, parsed: ParsedLog) -> ParsedLog:
+        key = (shard, parsed.template_id)
+        global_id = self._global_ids.get(key)
+        if global_id is None:
+            # First sighting of this shard-local template: dedup by
+            # template string across shards.
+            global_id = self._by_template.setdefault(
+                parsed.template, len(self._by_template)
+            )
+            self._global_ids[key] = global_id
+        return ParsedLog(
+            record=parsed.record,
+            template_id=global_id,
+            template=parsed.template,
+            variables=parsed.variables,
+            payload=parsed.payload,
+        )
+
+    def parse_record(self, record: LogRecord) -> ParsedLog:
+        shard = self.shard_for(record)
+        self._shard_loads[shard] += 1
+        return self._globalize(shard, self.parsers[shard].parse_record(record))
+
+    def parse_stream(self, records: Iterable[LogRecord]) -> Iterator[ParsedLog]:
+        for record in records:
+            yield self.parse_record(record)
+
+    def parse_all(self, records: Iterable[LogRecord]) -> list[ParsedLog]:
+        return list(self.parse_stream(records))
+
+    def global_templates(self) -> list[str]:
+        """The reconciled global template table (current, deduplicated).
+
+        Shard-local templates keep generalizing after their first
+        sighting, so reconciliation reads the shards' *current*
+        template strings and deduplicates exact matches across shards —
+        the periodic merge a deployed sharded parser would broadcast.
+        (Global *ids* on parsed events remain first-sighting-stable;
+        this table is the template inventory, not the id map.)
+        """
+        seen: dict[str, None] = {}
+        for parser in self.parsers:
+            for template in parser.store.templates():
+                seen.setdefault(template)
+        return list(seen)
+
+    @property
+    def shard_loads(self) -> list[int]:
+        """Records routed per shard (load-balance measurement for X6)."""
+        return list(self._shard_loads)
+
+    @property
+    def template_count(self) -> int:
+        return len(self._by_template)

@@ -1,0 +1,107 @@
+"""Drain: online log parsing with a fixed-depth tree (He et al., ICWS'17).
+
+Drain routes each message through a fixed-depth prefix tree: the first
+level branches on token count, the next ``depth`` levels branch on the
+leading tokens (with a special ``<*>`` child for tokens containing
+digits), and leaves hold lists of template clusters.  A message joins
+the most similar cluster at its leaf if the similarity exceeds the
+``similarity_threshold``; otherwise it seeds a new cluster.
+
+The paper (§IV) identifies Drain's two hyper-parameters — tree depth
+and similarity threshold — as its automation limit: "their values have
+a significant impact on precision.  Therefore, Drain cannot be deployed
+in an unknown system with a high level of confidence."  Both are
+exposed as constructor arguments and swept by experiments X4/X5.
+"""
+
+from __future__ import annotations
+
+from repro.logs.record import WILDCARD
+from repro.parsing.base import MinedTemplate, OnlineParser
+from repro.parsing.masking import Masker
+
+
+def _has_digit(token: str) -> bool:
+    return any(character.isdigit() for character in token)
+
+
+class _Node:
+    """Internal tree node: children keyed by token (or wildcard)."""
+
+    __slots__ = ("children", "clusters")
+
+    def __init__(self) -> None:
+        self.children: dict[str, _Node] = {}
+        self.clusters: list[MinedTemplate] = []
+
+
+class DrainParser(OnlineParser):
+    """The fixed-depth-tree online parser.
+
+    Args:
+        depth: number of leading tokens used for tree routing (the
+            paper's ``depth`` minus the root/length levels; Drain's
+            common default is 4, i.e. 2 routing tokens — here the
+            argument counts routing tokens directly, default 2).
+        similarity_threshold: minimum :meth:`MinedTemplate.similarity`
+            for a message to join an existing cluster (default 0.4).
+        max_children: cap on children per internal node; overflow
+            tokens route through the wildcard child (default 100).
+        masker / extract_structured: preprocessing, see
+            :class:`repro.parsing.base.Parser`.
+    """
+
+    def __init__(
+        self,
+        depth: int = 2,
+        similarity_threshold: float = 0.4,
+        max_children: int = 100,
+        masker: Masker | None = None,
+        extract_structured: bool = False,
+    ) -> None:
+        super().__init__(masker, extract_structured)
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        if not 0.0 < similarity_threshold <= 1.0:
+            raise ValueError(
+                f"similarity_threshold must be in (0, 1], got {similarity_threshold}"
+            )
+        if max_children < 1:
+            raise ValueError(f"max_children must be >= 1, got {max_children}")
+        self.depth = depth
+        self.similarity_threshold = similarity_threshold
+        self.max_children = max_children
+        self._length_roots: dict[int, _Node] = {}
+
+    def _route(self, tokens: list[str]) -> _Node:
+        """Walk (creating) the tree path for a token sequence."""
+        node = self._length_roots.setdefault(len(tokens), _Node())
+        for level in range(min(self.depth, len(tokens))):
+            token = tokens[level]
+            if _has_digit(token):
+                token = WILDCARD
+            child = node.children.get(token)
+            if child is None:
+                if token != WILDCARD and len(node.children) >= self.max_children:
+                    token = WILDCARD
+                    child = node.children.get(token)
+                if child is None:
+                    child = _Node()
+                    node.children[token] = child
+            node = child
+        return node
+
+    def _classify(self, tokens: list[str]) -> MinedTemplate:
+        leaf = self._route(tokens)
+        best: MinedTemplate | None = None
+        best_score = 0.0
+        for cluster in leaf.clusters:
+            score = cluster.similarity(tokens)
+            if score > best_score:
+                best, best_score = cluster, score
+        if best is not None and best_score >= self.similarity_threshold:
+            best.merge(tokens)
+            return best
+        template = self.store.create(tokens)
+        leaf.clusters.append(template)
+        return template

@@ -1,0 +1,150 @@
+"""IPLoM: iterative partitioning log mining (Makanju et al., KDD'09).
+
+IPLoM mines templates in three batch partitioning steps:
+
+1. **Partition by event size** — messages with different token counts
+   never share a template.
+2. **Partition by token position** — within a size partition, split on
+   the position with the fewest distinct tokens (most likely static).
+3. **Partition by search-for-bijection** — find the pair of positions
+   whose value mapping is closest to 1:1 and split on that relation.
+
+Each final partition becomes a template: positions with a single
+distinct value are static, the rest are wildcards.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.logs.record import WILDCARD
+from repro.parsing.base import BatchParser
+from repro.parsing.masking import Masker
+
+
+class IplomParser(BatchParser):
+    """The iterative partitioning batch miner.
+
+    Args:
+        partition_support: minimum fraction of a parent partition a
+            child must hold to stand alone; smaller children are pooled
+            into an "outlier" partition (IPLoM's PST parameter).
+        upper_bound / lower_bound: the bijection-step thresholds that
+            decide whether a position pair relation is 1:1, 1:M or M:M
+            (defaults follow the paper: 0.9 / 0.25).
+        masker / extract_structured: see :class:`repro.parsing.base.Parser`.
+    """
+
+    def __init__(
+        self,
+        partition_support: float = 0.05,
+        upper_bound: float = 0.9,
+        lower_bound: float = 0.25,
+        masker: Masker | None = None,
+        extract_structured: bool = False,
+    ) -> None:
+        super().__init__(masker, extract_structured)
+        if not 0.0 <= partition_support < 1.0:
+            raise ValueError(
+                f"partition_support must be in [0, 1), got {partition_support}"
+            )
+        self.partition_support = partition_support
+        self.upper_bound = upper_bound
+        self.lower_bound = lower_bound
+
+    # -- step 2 -------------------------------------------------------------
+
+    def _split_by_position(
+        self, partition: list[list[str]]
+    ) -> list[list[list[str]]]:
+        length = len(partition[0])
+        if length == 0:
+            return [partition]
+        cardinalities = [
+            len({tokens[position] for tokens in partition})
+            for position in range(length)
+        ]
+        split_position = cardinalities.index(min(cardinalities))
+        if cardinalities[split_position] == 1:
+            # Fully static position: nothing to split on.
+            if min(cardinalities) == max(cardinalities):
+                return [partition]
+        groups: dict[str, list[list[str]]] = defaultdict(list)
+        for tokens in partition:
+            groups[tokens[split_position]].append(tokens)
+        if len(groups) == 1:
+            return [partition]
+        threshold = self.partition_support * len(partition)
+        keep: list[list[list[str]]] = []
+        outliers: list[list[str]] = []
+        for group in groups.values():
+            if len(group) >= threshold:
+                keep.append(group)
+            else:
+                outliers.extend(group)
+        if outliers:
+            keep.append(outliers)
+        return keep
+
+    # -- step 3 -------------------------------------------------------------
+
+    def _split_by_bijection(
+        self, partition: list[list[str]]
+    ) -> list[list[list[str]]]:
+        length = len(partition[0])
+        if length < 2 or len(partition) < 2:
+            return [partition]
+        # Pick the two positions with the lowest (>1) cardinality.
+        cardinalities = [
+            (len({tokens[position] for tokens in partition}), position)
+            for position in range(length)
+        ]
+        varying = sorted(c for c in cardinalities if c[0] > 1)
+        if len(varying) < 2:
+            return [partition]
+        position_a = varying[0][1]
+        position_b = varying[1][1]
+        mapping: dict[str, set[str]] = defaultdict(set)
+        for tokens in partition:
+            mapping[tokens[position_a]].add(tokens[position_b])
+        one_to_one = sum(1 for values in mapping.values() if len(values) == 1)
+        ratio = one_to_one / len(mapping)
+        if ratio < self.lower_bound:
+            return [partition]
+        # Split on the relation: group by the position-a value when the
+        # relation is (near) bijective, else by position-b.
+        split_position = position_a if ratio >= self.upper_bound else position_b
+        groups: dict[str, list[list[str]]] = defaultdict(list)
+        for tokens in partition:
+            groups[tokens[split_position]].append(tokens)
+        threshold = self.partition_support * len(partition)
+        keep: list[list[list[str]]] = []
+        outliers: list[list[str]] = []
+        for group in groups.values():
+            if len(group) >= threshold:
+                keep.append(group)
+            else:
+                outliers.extend(group)
+        if outliers:
+            keep.append(outliers)
+        return keep
+
+    # -- template extraction -------------------------------------------------
+
+    @staticmethod
+    def _template_tokens(partition: list[list[str]]) -> list[str]:
+        length = len(partition[0])
+        tokens: list[str] = []
+        for position in range(length):
+            values = {row[position] for row in partition}
+            tokens.append(values.pop() if len(values) == 1 else WILDCARD)
+        return tokens
+
+    def _mine(self, token_lists: list[list[str]]) -> None:
+        by_size: dict[int, list[list[str]]] = defaultdict(list)
+        for tokens in token_lists:
+            by_size[len(tokens)].append(tokens)
+        for partition in by_size.values():
+            for second in self._split_by_position(partition):
+                for third in self._split_by_bijection(second):
+                    self.store.create(self._template_tokens(third))

@@ -1,0 +1,104 @@
+"""LenMa: clustering log messages by word lengths (Shima, 2016).
+
+LenMa's insight: for two messages of the same statement, the *lengths*
+of the words at each position are similar even when the words differ
+(variable values tend to keep their width class).  A message joins the
+cluster whose word-length vector has the highest cosine similarity,
+subject to a threshold, with an additional positional exact-match
+heuristic for short messages.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.parsing.base import MinedTemplate, OnlineParser
+from repro.parsing.masking import Masker
+
+
+def _length_vector(tokens: list[str]) -> list[int]:
+    return [len(token) for token in tokens]
+
+
+def _cosine(left: list[int], right: list[int]) -> float:
+    dot = sum(a * b for a, b in zip(left, right))
+    norm_left = math.sqrt(sum(a * a for a in left))
+    norm_right = math.sqrt(sum(b * b for b in right))
+    if norm_left == 0.0 or norm_right == 0.0:
+        return 1.0 if norm_left == norm_right else 0.0
+    return dot / (norm_left * norm_right)
+
+
+class _LenMaCluster:
+    """A template plus its evolving word-length vector."""
+
+    __slots__ = ("template", "lengths")
+
+    def __init__(self, template: MinedTemplate, lengths: list[int]):
+        self.template = template
+        self.lengths = lengths
+
+    def update(self, tokens: list[str]) -> None:
+        self.template.merge(tokens)
+        # The cluster vector tracks the latest lengths at variable
+        # positions (Shima's incremental update keeps the new value).
+        self.lengths = _length_vector(tokens)
+
+
+class LenMaParser(OnlineParser):
+    """The word-length clustering parser.
+
+    Args:
+        threshold: minimum cosine similarity between word-length
+            vectors for a merge (Shima's default 0.9).
+        positional_weight: fraction of positions that must match
+            exactly for short messages (<= 3 tokens), guarding the
+            length heuristic where it is weakest.
+        masker / extract_structured: see :class:`repro.parsing.base.Parser`.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.9,
+        positional_weight: float = 0.5,
+        masker: Masker | None = None,
+        extract_structured: bool = False,
+    ) -> None:
+        super().__init__(masker, extract_structured)
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        self.threshold = threshold
+        self.positional_weight = positional_weight
+        self._by_length: dict[int, list[_LenMaCluster]] = {}
+
+    def _positional_match(self, cluster: _LenMaCluster, tokens: list[str]) -> float:
+        if not tokens:
+            return 1.0
+        matches = sum(
+            1
+            for mine, theirs in zip(cluster.template.tokens, tokens)
+            if mine == theirs
+        )
+        return matches / len(tokens)
+
+    def _classify(self, tokens: list[str]) -> MinedTemplate:
+        candidates = self._by_length.get(len(tokens), [])
+        vector = _length_vector(tokens)
+        best: _LenMaCluster | None = None
+        best_score = 0.0
+        for cluster in candidates:
+            score = _cosine(cluster.lengths, vector)
+            if score > best_score:
+                best, best_score = cluster, score
+        if best is not None and best_score >= self.threshold:
+            if (
+                len(tokens) > 3
+                or self._positional_match(best, tokens) >= self.positional_weight
+            ):
+                best.update(tokens)
+                return best.template
+        template = self.store.create(tokens)
+        self._by_length.setdefault(len(tokens), []).append(
+            _LenMaCluster(template, vector)
+        )
+        return template

@@ -1,0 +1,74 @@
+"""LogCluster: data clustering for event logs (Vaarandi & Pihelgas, CNSM'15).
+
+LogCluster generalizes SLCT: frequent words are counted *globally*
+(independent of position), and a message's cluster candidate is its
+subsequence of frequent words; infrequent stretches between them become
+variable-length wildcards.  Candidates above the support threshold
+become clusters.
+
+To keep positional variable extraction exact (required by Eq. 1 and the
+quantitative detectors), templates are materialized per token count: a
+candidate seen with several token counts yields one template per count,
+with the wildcard stretches expanded to the right fixed width.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.logs.record import WILDCARD
+from repro.parsing.base import BatchParser
+from repro.parsing.masking import Masker
+
+
+class LogClusterParser(BatchParser):
+    """The frequent-word-sequence batch miner.
+
+    Args:
+        support: absolute occurrence threshold for frequent words and
+            for cluster candidates (LogCluster's ``--support``).
+        masker / extract_structured: see :class:`repro.parsing.base.Parser`.
+    """
+
+    def __init__(
+        self,
+        support: int = 10,
+        masker: Masker | None = None,
+        extract_structured: bool = False,
+    ) -> None:
+        super().__init__(masker, extract_structured)
+        if support < 1:
+            raise ValueError(f"support must be >= 1, got {support}")
+        self.support = support
+
+    def _mine(self, token_lists: list[list[str]]) -> None:
+        word_counts: Counter[str] = Counter()
+        for tokens in token_lists:
+            # LogCluster counts a word once per line.
+            for token in set(tokens):
+                word_counts[token] += 1
+        frequent = {
+            token for token, count in word_counts.items() if count >= self.support
+        }
+
+        # Candidate key: the frequent-word subsequence plus the message
+        # token count (to materialize fixed-width templates).
+        candidates: Counter[tuple[tuple[str, ...], int]] = Counter()
+        masks: dict[tuple[tuple[str, ...], int], tuple[str, ...]] = {}
+        for tokens in token_lists:
+            sequence = tuple(token for token in tokens if token in frequent)
+            if not sequence:
+                continue
+            mask = tuple(
+                token if token in frequent else WILDCARD for token in tokens
+            )
+            key = (sequence, len(tokens))
+            candidates[key] += 1
+            masks.setdefault(key, mask)
+
+        merged: dict[tuple[tuple[str, ...], int], list[str]] = {}
+        for key, count in candidates.items():
+            if count >= self.support:
+                merged[key] = list(masks[key])
+        for key in sorted(merged):
+            self.store.create(merged[key])

@@ -1,0 +1,74 @@
+"""Regex masking: the expert-crafted preprocessing step.
+
+"During the preprocessing step, algorithms use human crafted regular
+expressions to identify common variables such as URLs or IP addresses.
+Preprocessing needs experts to define the regular expressions, which
+has a cost in time and can lead to mistakes impacting the parsing
+efficiency." (paper §IV)
+
+Masking is therefore modelled as an explicit, optional component so the
+parser benchmark (experiment X4) can ablate it: every parser accepts a
+:class:`Masker`, and :func:`default_masker` provides the usual
+community rule set (IPs, numbers, hex ids, paths).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.logs.record import WILDCARD
+
+
+@dataclass(frozen=True)
+class MaskingRule:
+    """One masking regex with a descriptive name."""
+
+    name: str
+    pattern: re.Pattern[str]
+
+    @classmethod
+    def make(cls, name: str, pattern: str) -> "MaskingRule":
+        return cls(name=name, pattern=re.compile(pattern))
+
+
+class Masker:
+    """Applies masking rules, replacing matches with the wildcard token.
+
+    Rules run in order; earlier rules win on overlaps (the replacement
+    text cannot be re-matched because the wildcard contains no word
+    characters the rules look for).
+    """
+
+    def __init__(self, rules: list[MaskingRule] | None = None):
+        self.rules = list(rules or [])
+
+    def mask(self, message: str) -> str:
+        for rule in self.rules:
+            message = rule.pattern.sub(WILDCARD, message)
+        return message
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+
+#: Community-standard masking rules, mirroring the preprocessing used by
+#: the LogHub / logparser benchmarks for HDFS-like corpora.
+DEFAULT_RULES: list[MaskingRule] = [
+    MaskingRule.make("ip_port", r"(?<![\w.])\d{1,3}(?:\.\d{1,3}){3}(?::\d+)?(?![\w.])"),
+    MaskingRule.make("block_id", r"\bblk_-?\d+\b"),
+    MaskingRule.make("resource_id", r"\b(?:vm|vol|req|host)-[0-9a-f\d]+\b"),
+    MaskingRule.make("hex_value", r"\b0x[0-9a-fA-F]+\b"),
+    MaskingRule.make("path", r"(?<!\w)/[\w./-]+"),
+    MaskingRule.make("number", r"(?<![\w.])-?\d+(?:\.\d+)?(?![\w.])"),
+]
+
+
+def default_masker() -> Masker:
+    """The expert rule set (IPs, ids, hex, paths, numbers)."""
+    return Masker(list(DEFAULT_RULES))
+
+
+def no_masker() -> Masker:
+    """A pass-through masker: what full automation would have to use."""
+    return Masker([])

@@ -1,0 +1,101 @@
+"""Parser persistence: export and warm-restart template inventories.
+
+Deployments restart; losing the mined template inventory on every
+restart means detectors' template ids shift and models must retrain —
+the id-stability concern behind the paper's DeepLog discussion.  This
+module makes inventories durable:
+
+* :func:`save_templates` / :func:`load_templates` — JSON round-trip of
+  a :class:`~repro.parsing.base.TemplateStore` (ids, templates,
+  counts);
+* :func:`seed_drain` — rebuild a :class:`~repro.parsing.drain.
+  DrainParser` whose tree already contains a saved inventory, so a
+  restarted parser assigns the *same ids* to known statements and only
+  mints new ids for genuinely new ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.logs.record import tokenize
+from repro.parsing.base import MinedTemplate, Parser, TemplateStore
+from repro.parsing.drain import DrainParser
+from repro.parsing.masking import Masker
+
+_FORMAT_VERSION = 1
+
+
+def save_templates(parser: Parser, path: str | os.PathLike[str]) -> None:
+    """Write a parser's template inventory to ``path`` (JSON)."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "parser": type(parser).__name__,
+        "templates": [
+            {
+                "id": template.template_id,
+                "tokens": template.tokens,
+                "count": template.count,
+            }
+            for template in parser.store
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def load_templates(path: str | os.PathLike[str]) -> TemplateStore:
+    """Read an inventory saved by :func:`save_templates`.
+
+    Raises ``ValueError`` on version or structure problems — a corrupt
+    inventory must not silently become an empty parser.
+    """
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported template inventory version: {payload.get('version')!r}"
+        )
+    entries = payload.get("templates")
+    if not isinstance(entries, list):
+        raise ValueError("template inventory missing 'templates' list")
+    store = TemplateStore()
+    for expected_id, entry in enumerate(entries):
+        if entry.get("id") != expected_id:
+            raise ValueError(
+                f"template ids must be dense and ordered; "
+                f"expected {expected_id}, found {entry.get('id')!r}"
+            )
+        template = store.create(list(entry["tokens"]))
+        template.count = int(entry.get("count", 1))
+    return store
+
+
+def seed_drain(
+    store: TemplateStore,
+    *,
+    depth: int = 2,
+    similarity_threshold: float = 0.4,
+    max_children: int = 100,
+    masker: Masker | None = None,
+    extract_structured: bool = False,
+) -> DrainParser:
+    """Build a DrainParser pre-loaded with a saved inventory.
+
+    The returned parser's store *is* the given store object: known
+    statements re-match their historical ids, and new statements
+    receive fresh ids after the saved range.
+    """
+    parser = DrainParser(
+        depth=depth,
+        similarity_threshold=similarity_threshold,
+        max_children=max_children,
+        masker=masker,
+        extract_structured=extract_structured,
+    )
+    parser.store = store
+    for template in store:
+        leaf = parser._route(template.tokens)
+        leaf.clusters.append(template)
+    return parser

@@ -1,0 +1,124 @@
+"""SHISO: incremental mining of log formats (Mizutani, SCC'13).
+
+SHISO grows a search tree of clusters.  Each node holds one format
+(template); a new message descends the tree looking for a node whose
+*character-class composition* is close enough (the ``similarity``
+threshold), comparing per-position vectors counting uppercase,
+lowercase, digit and other characters.  If no node within the first
+``max_children`` children matches, the message becomes a new child.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.logs.record import WILDCARD
+from repro.parsing.base import MinedTemplate, OnlineParser
+from repro.parsing.masking import Masker
+
+
+def _char_class_vector(token: str) -> tuple[int, int, int, int]:
+    """(uppercase, lowercase, digit, other) counts of a token."""
+    upper = lower = digit = other = 0
+    for character in token:
+        if character.isupper():
+            upper += 1
+        elif character.islower():
+            lower += 1
+        elif character.isdigit():
+            digit += 1
+        else:
+            other += 1
+    return upper, lower, digit, other
+
+
+def _token_distance(left: str, right: str) -> float:
+    """Normalized euclidean distance between char-class vectors."""
+    left_vector = _char_class_vector(left)
+    right_vector = _char_class_vector(right)
+    squared = sum((a - b) ** 2 for a, b in zip(left_vector, right_vector))
+    scale = max(len(left), len(right))
+    if scale == 0:
+        return 0.0
+    return min(1.0, math.sqrt(squared) / (2.0 * scale))
+
+
+def _sequence_similarity(template_tokens: list[str], tokens: list[str]) -> float:
+    """1 - mean per-position char-class distance (same lengths only).
+
+    Positions the template already generalized to a wildcard accept any
+    token at distance 0 — a wildcard slot carries no character-class
+    expectation.
+    """
+    if len(template_tokens) != len(tokens):
+        return 0.0
+    if not tokens:
+        return 1.0
+    total = sum(
+        0.0 if mine == WILDCARD else _token_distance(mine, theirs)
+        for mine, theirs in zip(template_tokens, tokens)
+    )
+    return 1.0 - total / len(tokens)
+
+
+class _ShisoNode:
+    __slots__ = ("template", "children")
+
+    def __init__(self, template: MinedTemplate | None):
+        self.template = template
+        self.children: list[_ShisoNode] = []
+
+
+class ShisoParser(OnlineParser):
+    """The incremental format-tree parser.
+
+    Args:
+        similarity_threshold: minimum sequence similarity (char-class
+            based) to adopt a node's format (default 0.875, mirroring
+            the original's recommended region).
+        max_children: children scanned per node before descending
+            (SHISO's ``c`` parameter, default 4).
+        masker / extract_structured: see :class:`repro.parsing.base.Parser`.
+    """
+
+    def __init__(
+        self,
+        similarity_threshold: float = 0.875,
+        max_children: int = 4,
+        masker: Masker | None = None,
+        extract_structured: bool = False,
+    ) -> None:
+        super().__init__(masker, extract_structured)
+        if not 0.0 < similarity_threshold <= 1.0:
+            raise ValueError(
+                f"similarity_threshold must be in (0, 1], got {similarity_threshold}"
+            )
+        if max_children < 1:
+            raise ValueError(f"max_children must be >= 1, got {max_children}")
+        self.similarity_threshold = similarity_threshold
+        self.max_children = max_children
+        self._root = _ShisoNode(template=None)
+
+    def _classify(self, tokens: list[str]) -> MinedTemplate:
+        node = self._root
+        while True:
+            best_child: _ShisoNode | None = None
+            best_score = 0.0
+            for child in node.children[: self.max_children]:
+                assert child.template is not None
+                score = _sequence_similarity(child.template.tokens, tokens)
+                if score > best_score:
+                    best_child, best_score = child, score
+            if best_child is not None and best_score >= self.similarity_threshold:
+                assert best_child.template is not None
+                best_child.template.merge(tokens)
+                return best_child.template
+            if len(node.children) < self.max_children:
+                template = self.store.create(tokens)
+                node.children.append(_ShisoNode(template))
+                return template
+            # Node is full and nothing matched: descend into the most
+            # similar child and retry (SHISO's search step).
+            if best_child is None:
+                best_child = node.children[0]
+            node = best_child

@@ -1,0 +1,65 @@
+"""SLCT: simple logfile clustering tool (Vaarandi, IPOM'03).
+
+The original frequent-pattern miner for logs.  Two passes:
+
+1. Count (position, word) pair frequencies.
+2. Each message's *cluster candidate* keeps the words whose
+   (position, word) count meets the ``support`` threshold and wildcards
+   the rest; candidates seen at least ``support`` times become
+   clusters/templates.
+
+Messages that fall in no cluster are outliers (assigned one-off
+templates at parse time by the :class:`~repro.parsing.base.BatchParser`
+fallback).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.logs.record import WILDCARD
+from repro.parsing.base import BatchParser
+from repro.parsing.masking import Masker
+
+
+class SlctParser(BatchParser):
+    """The frequent-word clustering batch miner.
+
+    Args:
+        support: absolute occurrence threshold for both frequent words
+            and cluster candidates (SLCT's ``-s``).
+        masker / extract_structured: see :class:`repro.parsing.base.Parser`.
+    """
+
+    def __init__(
+        self,
+        support: int = 10,
+        masker: Masker | None = None,
+        extract_structured: bool = False,
+    ) -> None:
+        super().__init__(masker, extract_structured)
+        if support < 1:
+            raise ValueError(f"support must be >= 1, got {support}")
+        self.support = support
+
+    def _mine(self, token_lists: list[list[str]]) -> None:
+        word_counts: Counter[tuple[int, str]] = Counter()
+        for tokens in token_lists:
+            for position, token in enumerate(tokens):
+                word_counts[(position, token)] += 1
+
+        candidate_counts: Counter[tuple[str, ...]] = Counter()
+        for tokens in token_lists:
+            candidate = tuple(
+                token
+                if word_counts[(position, token)] >= self.support
+                else WILDCARD
+                for position, token in enumerate(tokens)
+            )
+            # A candidate with no frequent word carries no information.
+            if any(token != WILDCARD for token in candidate):
+                candidate_counts[candidate] += 1
+
+        for candidate, count in sorted(candidate_counts.items()):
+            if count >= self.support:
+                self.store.create(list(candidate))

@@ -1,0 +1,59 @@
+"""Shared fixtures: small, deterministic datasets and parsed corpora."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_bgl, generate_cloud_platform, generate_hdfs
+from repro.logs.record import LogRecord, Severity
+from repro.parsing import DrainParser, default_masker
+
+
+def make_record(
+    message: str,
+    *,
+    timestamp: float = 0.0,
+    source: str = "test",
+    severity: Severity = Severity.INFO,
+    session_id: str | None = None,
+    sequence: int = 0,
+    labels: frozenset[str] = frozenset(),
+) -> LogRecord:
+    """Concise record builder used across test modules."""
+    return LogRecord(
+        timestamp=timestamp,
+        source=source,
+        severity=severity,
+        message=message,
+        session_id=session_id,
+        sequence=sequence,
+        labels=labels,
+    )
+
+
+@pytest.fixture(scope="session")
+def hdfs_small():
+    # anomaly_rate above the paper-realistic 3 % so that even this
+    # small fixture reliably contains anomalies of both kinds.
+    return generate_hdfs(sessions=120, anomaly_rate=0.1, seed=11)
+
+
+@pytest.fixture(scope="session")
+def bgl_small():
+    return generate_bgl(records=3000, alert_episodes=5, seed=11)
+
+
+@pytest.fixture(scope="session")
+def cloud_small():
+    return generate_cloud_platform(sessions=150, seed=11)
+
+
+@pytest.fixture(scope="session")
+def cloud_json():
+    return generate_cloud_platform(sessions=120, json_suffix=True, seed=11)
+
+
+@pytest.fixture(scope="session")
+def hdfs_parsed(hdfs_small):
+    parser = DrainParser(masker=default_masker())
+    return parser.parse_all(hdfs_small.records)

@@ -1,0 +1,276 @@
+"""Tests for the classification stage: pools, features, passive learning."""
+
+import pytest
+
+from repro.classify import (
+    AdministratorSimulator,
+    AnomalyClassifier,
+    Criticality,
+    PoolManager,
+    featurize_report,
+)
+from repro.classify.feedback import source_based_policy
+from repro.classify.pools import DEFAULT_POOL
+from repro.core.reports import AnomalyReport, ClassifiedAlert
+from repro.detection.base import DetectionResult
+from repro.logs.record import ParsedLog, Severity
+
+from conftest import make_record
+
+
+def _report(report_id=0, source="api", severity=Severity.ERROR,
+            template="request failed with code", session="s1",
+            reasons=("unexpected event",)):
+    event = ParsedLog(
+        record=make_record(template, source=source, severity=severity,
+                           session_id=session),
+        template_id=0,
+        template=template,
+    )
+    return AnomalyReport(
+        report_id=report_id,
+        session_id=session,
+        events=(event,),
+        detection=DetectionResult(anomalous=True, score=1.0, reasons=reasons),
+    )
+
+
+def _multi_source_report(report_id=0):
+    events = tuple(
+        ParsedLog(
+            record=make_record(f"{source} trouble detected", source=source,
+                               severity=Severity.WARNING, session_id="s2",
+                               timestamp=float(index)),
+            template_id=index,
+            template=f"{source} trouble detected",
+        )
+        for index, source in enumerate(("storage", "network"))
+    )
+    return AnomalyReport(
+        report_id=report_id,
+        session_id="s2",
+        events=events,
+        detection=DetectionResult(anomalous=True, score=2.0),
+    )
+
+
+class TestAnomalyReport:
+    def test_sources_in_first_seen_order(self):
+        report = _multi_source_report()
+        assert report.sources == ("storage", "network")
+
+    def test_time_span(self):
+        report = _multi_source_report()
+        assert report.start_time == 0.0
+        assert report.end_time == 1.0
+        assert report.duration == 1.0
+
+    def test_max_severity(self):
+        report = _report(severity=Severity.CRITICAL)
+        assert report.max_severity is Severity.CRITICAL
+
+    def test_summary_mentions_key_fields(self):
+        summary = _report(session="blk_42").summary()
+        assert "blk_42" in summary
+        assert "api" in summary
+
+
+class TestFeaturization:
+    def test_namespaced_features(self):
+        features = featurize_report(_report())
+        assert features["source:api"] == 1
+        assert features["token:request"] == 1
+        assert features["severity:ERROR"] == 1
+        assert features["span:single-source"] == 1
+
+    def test_multi_source_span_feature(self):
+        features = featurize_report(_multi_source_report())
+        assert features["span:multi-source"] == 1
+
+    def test_reason_tokens_included(self):
+        features = featurize_report(_report(reasons=("invariant violated",)))
+        assert features["reason:invariant"] == 1
+
+
+class TestPoolManager:
+    def test_default_pool_exists(self):
+        manager = PoolManager()
+        assert manager.pool_names == [DEFAULT_POOL]
+
+    def test_create_and_delete(self):
+        manager = PoolManager()
+        manager.create_pool("team-a")
+        assert "team-a" in manager.pool_names
+        manager.delete_pool("team-a")
+        assert "team-a" not in manager.pool_names
+
+    def test_duplicate_pool_rejected(self):
+        manager = PoolManager()
+        manager.create_pool("team-a")
+        with pytest.raises(ValueError, match="already exists"):
+            manager.create_pool("team-a")
+
+    def test_default_pool_protected(self):
+        with pytest.raises(ValueError, match="default"):
+            PoolManager().delete_pool(DEFAULT_POOL)
+
+    def test_delete_returns_alerts_to_default(self):
+        manager = PoolManager()
+        manager.create_pool("team-a")
+        alert = ClassifiedAlert(report=_report(), pool="team-a",
+                                criticality="low")
+        manager.deliver(alert)
+        manager.delete_pool("team-a")
+        assert len(manager.pool(DEFAULT_POOL)) == 1
+
+    def test_deliver_unknown_pool_falls_back(self):
+        manager = PoolManager()
+        alert = ClassifiedAlert(report=_report(), pool="ghost",
+                                criticality="low")
+        placed = manager.deliver(alert)
+        assert placed.pool == DEFAULT_POOL
+
+    def test_move_alert_notifies_listeners(self):
+        manager = PoolManager()
+        manager.create_pool("team-a")
+        actions = []
+        manager.subscribe(lambda alert, kind, old, new: actions.append(
+            (kind, old, new)))
+        alert = manager.deliver(
+            ClassifiedAlert(report=_report(), pool=DEFAULT_POOL,
+                            criticality="low")
+        )
+        manager.move_alert(alert, "team-a")
+        assert actions == [("pool", DEFAULT_POOL, "team-a")]
+
+    def test_set_criticality_notifies(self):
+        manager = PoolManager()
+        actions = []
+        manager.subscribe(lambda alert, kind, old, new: actions.append(kind))
+        alert = manager.deliver(
+            ClassifiedAlert(report=_report(), pool=DEFAULT_POOL,
+                            criticality="low")
+        )
+        manager.set_criticality(alert, "high")
+        assert actions == ["criticality"]
+
+    def test_move_unknown_alert_raises(self):
+        manager = PoolManager()
+        manager.create_pool("team-a")
+        stranger = ClassifiedAlert(report=_report(), pool=DEFAULT_POOL,
+                                   criticality="low")
+        with pytest.raises(KeyError, match="not in pool"):
+            manager.move_alert(stranger, "team-a")
+
+
+class TestClassifier:
+    def test_cold_start_routes_to_default(self):
+        classifier = AnomalyClassifier()
+        alert = classifier.classify(_report())
+        assert alert.pool == DEFAULT_POOL
+        assert alert.criticality == Criticality.LOW
+
+    def test_learns_from_pool_moves(self):
+        manager = PoolManager()
+        manager.create_pool("team-api")
+        classifier = AnomalyClassifier().attach(manager)
+        for index in range(3):
+            alert = manager.deliver(classifier.classify(_report(index)))
+            manager.move_alert(alert, "team-api")
+        prediction = classifier.classify(_report(99))
+        assert prediction.pool == "team-api"
+        assert classifier.feedback_count == 3
+
+    def test_learns_criticality_edits(self):
+        manager = PoolManager()
+        classifier = AnomalyClassifier().attach(manager)
+        for index in range(3):
+            alert = manager.deliver(classifier.classify(_report(index)))
+            manager.set_criticality(alert, Criticality.HIGH)
+        assert classifier.classify(_report(99)).criticality == Criticality.HIGH
+
+    def test_distinguishes_sources_after_feedback(self):
+        manager = PoolManager()
+        manager.create_pool("team-api")
+        manager.create_pool("team-storage")
+        classifier = AnomalyClassifier().attach(manager)
+        for index in range(4):
+            api_alert = manager.deliver(
+                classifier.classify(_report(index, source="api"))
+            )
+            manager.move_alert(api_alert, "team-api")
+            storage_alert = manager.deliver(
+                classifier.classify(
+                    _report(100 + index, source="storage",
+                            template="volume stuck in degraded state")
+                )
+            )
+            manager.move_alert(storage_alert, "team-storage")
+        assert classifier.classify(_report(999, source="api")).pool == "team-api"
+        assert classifier.classify(
+            _report(998, source="storage",
+                    template="volume stuck in degraded state")
+        ).pool == "team-storage"
+
+    def test_confirm_counts_as_feedback(self):
+        classifier = AnomalyClassifier()
+        alert = ClassifiedAlert(report=_report(), pool="ops",
+                                criticality="moderate")
+        classifier.confirm(alert)
+        assert classifier.feedback_count == 1
+        assert classifier.classify(_report(5)).pool == "ops"
+
+
+class TestAdministratorSimulator:
+    def test_moves_misrouted_alerts(self):
+        manager = PoolManager()
+        manager.create_pool("team-api")
+        policy = source_based_policy({"api": "team-api"})
+        admin = AdministratorSimulator(manager, policy, diligence=1.0)
+        alert = manager.deliver(
+            ClassifiedAlert(report=_report(source="api"), pool=DEFAULT_POOL,
+                            criticality="low")
+        )
+        final = admin.review(alert)
+        assert final.pool == "team-api"
+        assert admin.pool_moves == 1
+
+    def test_corrects_criticality(self):
+        manager = PoolManager()
+        policy = source_based_policy({})
+        admin = AdministratorSimulator(manager, policy, diligence=1.0)
+        alert = manager.deliver(
+            ClassifiedAlert(report=_report(severity=Severity.ERROR),
+                            pool=DEFAULT_POOL, criticality="low")
+        )
+        final = admin.review(alert)
+        assert final.criticality == "high"
+        assert admin.criticality_edits == 1
+
+    def test_lazy_admin_skips_reviews(self):
+        manager = PoolManager()
+        policy = source_based_policy({})
+        admin = AdministratorSimulator(manager, policy, diligence=0.0, seed=1)
+        alert = manager.deliver(
+            ClassifiedAlert(report=_report(), pool=DEFAULT_POOL,
+                            criticality="low")
+        )
+        final = admin.review(alert)
+        assert final is alert
+        assert admin.reviews == 0
+
+    def test_cross_source_escalates(self):
+        manager = PoolManager()
+        policy = source_based_policy({"storage": "default"})
+        admin = AdministratorSimulator(manager, policy, diligence=1.0)
+        alert = manager.deliver(
+            ClassifiedAlert(report=_multi_source_report(), pool=DEFAULT_POOL,
+                            criticality="low")
+        )
+        final = admin.review(alert)
+        assert final.criticality == "high"
+
+    def test_diligence_validation(self):
+        with pytest.raises(ValueError, match="diligence"):
+            AdministratorSimulator(PoolManager(), source_based_policy({}),
+                                   diligence=1.5)

@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def corpus_file(tmp_path):
+    path = tmp_path / "cloud.log"
+    labels = tmp_path / "labels.tsv"
+    exit_code = main([
+        "generate", "--dataset", "cloud", "--sessions", "150",
+        "--anomaly-rate", "0.08", "--seed", "3",
+        "--output", str(path), "--labels", str(labels),
+    ])
+    assert exit_code == 0
+    return path, labels
+
+
+class TestGenerate:
+    def test_writes_parseable_log_file(self, corpus_file, capsys):
+        path, labels = corpus_file
+        lines = path.read_text().splitlines()
+        assert len(lines) > 300
+        assert " - api - " in "\n".join(lines[:50]) or " - storage - " in \
+            "\n".join(lines[:50]) or " - network - " in "\n".join(lines[:50])
+        label_lines = labels.read_text().splitlines()
+        assert len(label_lines) == 150
+        assert any(line.split("\t")[1] == "1" for line in label_lines)
+
+
+class TestParse:
+    def test_prints_template_table(self, corpus_file, capsys):
+        path, _ = corpus_file
+        exit_code = main([
+            "parse", "--input", str(path), "--parser", "drain", "--masking",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "templates" in output
+        assert "<*>" in output
+
+    def test_batch_parser_supported(self, corpus_file, capsys):
+        path, _ = corpus_file
+        assert main([
+            "parse", "--input", str(path), "--parser", "slct", "--masking",
+        ]) == 0
+        assert "templates" in capsys.readouterr().out
+
+    def test_unknown_parser_rejected(self, corpus_file):
+        path, _ = corpus_file
+        with pytest.raises(SystemExit):
+            main(["parse", "--input", str(path), "--parser", "nonsense"])
+
+
+class TestDetect:
+    def test_keyword_detector_runs(self, corpus_file, capsys):
+        path, _ = corpus_file
+        exit_code = main([
+            "detect", "--input", str(path), "--detector", "keyword",
+            "--masking",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "sessions flagged by keyword" in output
+
+    def test_counter_detector_runs(self, corpus_file, capsys):
+        path, _ = corpus_file
+        exit_code = main([
+            "detect", "--input", str(path), "--detector", "invariants",
+            "--masking",
+        ])
+        assert exit_code == 0
+        assert "invariants" in capsys.readouterr().out
+
+
+class TestPipeline:
+    def test_full_pipeline_over_files(self, tmp_path, capsys):
+        history = tmp_path / "history.log"
+        live = tmp_path / "live.log"
+        main(["generate", "--dataset", "cloud", "--sessions", "200",
+              "--anomaly-rate", "0.0", "--seed", "1",
+              "--output", str(history)])
+        main(["generate", "--dataset", "cloud", "--sessions", "80",
+              "--anomaly-rate", "0.1", "--seed", "2",
+              "--output", str(live)])
+        capsys.readouterr()
+        exit_code = main([
+            "pipeline", "--history", str(history), "--live", str(live),
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "parsed" in output
+        assert "anomalies" in output

@@ -1,0 +1,173 @@
+"""Unit tests for the synthetic dataset generators and split machinery."""
+
+import pytest
+
+from repro.datasets import (
+    generate_bgl,
+    generate_cloud_platform,
+    generate_hdfs,
+    train_test_split,
+)
+from repro.datasets.common import records_as_sessions
+from repro.logs.structured import extract_structured_payload
+
+
+class TestHdfs:
+    def test_session_count(self, hdfs_small):
+        assert len(hdfs_small.sessions) == 120
+
+    def test_anomaly_rate_near_target(self):
+        data = generate_hdfs(sessions=2000, anomaly_rate=0.03, seed=0)
+        assert 0.015 <= data.anomaly_rate <= 0.05
+
+    def test_every_record_has_its_session_label(self, hdfs_small):
+        for record in hdfs_small.records:
+            truth = hdfs_small.sessions[record.session_id]
+            assert record.is_anomalous == truth.anomalous
+
+    def test_block_id_consistent_within_session(self, hdfs_small):
+        for session_id, records in hdfs_small.session_records().items():
+            for record in records:
+                blk_tokens = [
+                    token for token in record.tokens if token.startswith("blk_")
+                ]
+                assert all(token == session_id for token in blk_tokens)
+
+    def test_ground_truth_templates_match_messages(self, hdfs_small):
+        for record in hdfs_small.records[:200]:
+            assert hdfs_small.library.truth_for(record.message) is not None
+
+    def test_quantitative_anomalies_have_normal_flow(self):
+        data = generate_hdfs(sessions=800, anomaly_rate=0.2,
+                             quantitative_share=1.0, seed=2)
+        sessions = data.session_records()
+        normal_lengths = {
+            len(sessions[sid]) for sid in data.normal_sessions()
+        }
+        for session_id in data.anomalous_sessions():
+            assert data.sessions[session_id].kind == "quantitative"
+            assert len(sessions[session_id]) in normal_lengths
+
+    def test_deterministic(self):
+        one = generate_hdfs(sessions=50, seed=9)
+        two = generate_hdfs(sessions=50, seed=9)
+        assert [r.message for r in one.records] == [r.message for r in two.records]
+
+    def test_invalid_anomaly_rate(self):
+        with pytest.raises(ValueError, match="anomaly_rate"):
+            generate_hdfs(sessions=10, anomaly_rate=2.0)
+
+
+class TestBgl:
+    def test_record_count(self, bgl_small):
+        assert len(bgl_small) == 3000
+
+    def test_per_record_labels_bucket_truth(self, bgl_small):
+        for bucket_id, records in bgl_small.session_records().items():
+            truth = bgl_small.sessions[bucket_id]
+            assert truth.anomalous == any(r.is_anomalous for r in records)
+
+    def test_alerts_are_bursty(self):
+        data = generate_bgl(records=10_000, alert_episodes=5, seed=1)
+        positions = [
+            index for index, record in enumerate(data.records)
+            if record.is_anomalous
+        ]
+        assert positions
+        # Within a burst, consecutive alerts are a couple of records
+        # apart; uniform placement would put them ~100 apart.  The
+        # median gap separates the two regimes robustly.
+        import statistics
+
+        gaps = [b - a for a, b in zip(positions, positions[1:])]
+        assert statistics.median(gaps) <= 5
+        assert len(data.records) / len(positions) > 20
+
+    def test_timestamps_monotonic(self, bgl_small):
+        times = [record.timestamp for record in bgl_small.records]
+        assert times == sorted(times)
+
+
+class TestCloud:
+    def test_sources_span_sessions(self, cloud_small):
+        sessions = cloud_small.session_records()
+        multi_source = sum(
+            1
+            for records in sessions.values()
+            if len({record.source for record in records}) > 1
+        )
+        assert multi_source > len(sessions) / 2
+
+    def test_three_sources_present(self, cloud_small):
+        sources = {record.source for record in cloud_small.records}
+        assert sources == {"api", "network", "storage"}
+
+    def test_cross_source_anomaly_uses_two_sources(self):
+        data = generate_cloud_platform(sessions=300, anomaly_rate=0.2, seed=4)
+        sessions = data.session_records()
+        cross = [
+            sid for sid, truth in data.sessions.items()
+            if truth.kind == "cross_source"
+        ]
+        assert cross
+        for session_id in cross:
+            sources = {record.source for record in sessions[session_id]}
+            assert {"storage", "network"} <= sources
+
+    def test_json_suffix_extractable(self, cloud_json):
+        api_records = [r for r in cloud_json.records if r.source == "api"]
+        assert api_records
+        for record in api_records[:50]:
+            extraction = extract_structured_payload(record.message)
+            assert extraction.fmt == "json"
+            assert "request_id" in extraction.payload
+
+    def test_no_json_by_default(self, cloud_small):
+        api_records = [r for r in cloud_small.records if r.source == "api"]
+        for record in api_records[:50]:
+            assert not extract_structured_payload(record.message).extracted
+
+
+class TestSplit:
+    def test_anomaly_free_training(self, hdfs_small):
+        train, test = train_test_split(
+            hdfs_small, train_fraction=0.5, anomaly_free_training=True, seed=1
+        )
+        assert not train.anomalous_sessions()
+        assert set(test.anomalous_sessions()) == set(
+            hdfs_small.anomalous_sessions()
+        )
+
+    def test_proportional_split(self):
+        data = generate_hdfs(sessions=400, anomaly_rate=0.2, seed=3)
+        train, test = train_test_split(
+            data, train_fraction=0.5, anomaly_free_training=False, seed=1
+        )
+        assert train.anomalous_sessions()
+        assert test.anomalous_sessions()
+
+    def test_partition_is_exact(self, hdfs_small):
+        train, test = train_test_split(hdfs_small, seed=2)
+        train_ids = set(train.sessions)
+        test_ids = set(test.sessions)
+        assert train_ids.isdisjoint(test_ids)
+        assert train_ids | test_ids == set(hdfs_small.sessions)
+        assert len(train.records) + len(test.records) == len(hdfs_small.records)
+
+    def test_invalid_fraction(self, hdfs_small):
+        with pytest.raises(ValueError, match="train_fraction"):
+            train_test_split(hdfs_small, train_fraction=1.0)
+
+    def test_subset_consistency(self, hdfs_small):
+        some = list(hdfs_small.sessions)[:10]
+        subset = hdfs_small.subset(some)
+        assert set(subset.sessions) == set(some)
+        assert all(record.session_id in set(some) for record in subset.records)
+
+
+class TestHelpers:
+    def test_records_as_sessions_preserves_order(self, hdfs_small):
+        grouped = records_as_sessions(hdfs_small.records)
+        for records in grouped.values():
+            sequences = [record.sequence for record in records]
+            assert sequences == sorted(sequences)

@@ -1,0 +1,181 @@
+"""Tests for detection infrastructure: windows, count vectors, semantics."""
+
+import numpy as np
+import pytest
+
+from repro.detection import (
+    CountVectorizer,
+    SemanticVectorizer,
+    sessions_from_parsed,
+    sliding_windows,
+    time_windows,
+)
+from repro.logs.record import ParsedLog, WILDCARD
+
+from conftest import make_record
+
+
+def _event(template_id: int, template: str, *, session: str = "s",
+           time: float = 0.0) -> ParsedLog:
+    return ParsedLog(
+        record=make_record(template.replace(WILDCARD, "7"),
+                           session_id=session, timestamp=time),
+        template_id=template_id,
+        template=template,
+    )
+
+
+class TestSessionWindows:
+    def test_groups_by_session_preserving_order(self):
+        events = [
+            _event(0, "a", session="x", time=0),
+            _event(1, "b", session="y", time=1),
+            _event(2, "c", session="x", time=2),
+        ]
+        sessions = sessions_from_parsed(events)
+        assert [e.template for e in sessions["x"]] == ["a", "c"]
+        assert [e.template for e in sessions["y"]] == ["b"]
+
+    def test_missing_session_groups_under_empty(self):
+        events = [_event(0, "a", session=None)]
+        # session=None via make_record default requires explicit build:
+        event = ParsedLog(record=make_record("a"), template_id=0, template="a")
+        sessions = sessions_from_parsed([event])
+        assert "" in sessions
+
+
+class TestSlidingWindows:
+    def test_tumbling_by_default(self):
+        events = [_event(i, f"t{i}") for i in range(10)]
+        windows = list(sliding_windows(events, size=4))
+        assert [len(window) for window in windows] == [4, 4, 2]
+
+    def test_overlapping_step(self):
+        events = [_event(i, f"t{i}") for i in range(6)]
+        windows = list(sliding_windows(events, size=4, step=2))
+        # Two windows cover all six events; no redundant suffix window.
+        assert [len(w) for w in windows] == [4, 4]
+        assert windows[1][0].template_id == 2
+        covered = {e.template_id for w in windows for e in w}
+        assert covered == set(range(6))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="size"):
+            list(sliding_windows([], size=0))
+        with pytest.raises(ValueError, match="step"):
+            list(sliding_windows([], size=2, step=0))
+
+
+class TestTimeWindows:
+    def test_splits_on_span(self):
+        events = [_event(i, "t", time=float(i)) for i in range(10)]
+        windows = list(time_windows(events, span=3.0))
+        assert [len(window) for window in windows] == [3, 3, 3, 1]
+
+    def test_gap_skips_empty_windows(self):
+        events = [_event(0, "t", time=0.0), _event(1, "t", time=100.0)]
+        windows = list(time_windows(events, span=1.0))
+        assert len(windows) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="span"):
+            list(time_windows([], span=0.0))
+
+
+class TestCountVectorizer:
+    def test_fit_transform_counts(self):
+        sessions = [
+            [_event(0, "a"), _event(0, "a"), _event(1, "b")],
+            [_event(1, "b")],
+        ]
+        vectorizer = CountVectorizer()
+        matrix = vectorizer.fit_transform(sessions)
+        assert matrix.shape == (2, 3)  # 2 templates + overflow
+        assert matrix[0].tolist() == [2.0, 1.0, 0.0]
+        assert matrix[1].tolist() == [0.0, 1.0, 0.0]
+
+    def test_unseen_template_goes_to_overflow(self):
+        vectorizer = CountVectorizer()
+        vectorizer.fit([[_event(0, "a")]])
+        vector = vectorizer.transform([_event(99, "new"), _event(0, "a")])
+        assert vector.tolist() == [1.0, 1.0]
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            CountVectorizer().transform([])
+
+    def test_empty_sessions_matrix(self):
+        vectorizer = CountVectorizer()
+        vectorizer.fit([[_event(0, "a")]])
+        assert vectorizer.transform_many([]).shape == (0, 2)
+
+
+class TestSemanticVectorizer:
+    def test_identical_templates_identical_vectors(self):
+        vectorizer = SemanticVectorizer()
+        a = vectorizer.vectorize("Sending bytes to host")
+        b = vectorizer.vectorize("Sending bytes to host")
+        assert np.array_equal(a, b)
+
+    def test_vectors_are_unit_norm(self):
+        vectorizer = SemanticVectorizer()
+        vector = vectorizer.vectorize("some log template here")
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_similar_templates_closer_than_different(self):
+        vectorizer = SemanticVectorizer()
+        base = "Receiving block from source address"
+        near = "Receiving block from destination address"
+        far = "Kernel panic unrecoverable hardware fault"
+        assert vectorizer.similarity(base, near) > vectorizer.similarity(
+            base, far
+        )
+
+    def test_wildcards_ignored(self):
+        vectorizer = SemanticVectorizer()
+        with_wildcard = vectorizer.vectorize(f"send {WILDCARD} bytes")
+        without = vectorizer.vectorize("send bytes")
+        assert np.allclose(with_wildcard, without)
+
+    def test_tfidf_downweights_ubiquitous_tokens(self):
+        corpus = [f"common prefix event{i}" for i in range(20)]
+        weighted = SemanticVectorizer(use_tfidf=True).fit(corpus)
+        unweighted = SemanticVectorizer(use_tfidf=False).fit(corpus)
+        # Two templates sharing only the ubiquitous words look less
+        # similar under TF-IDF weighting.
+        left = "common prefix alpha"
+        right = "common prefix omega"
+        assert weighted.similarity(left, right) < unweighted.similarity(
+            left, right
+        )
+
+    def test_nearest_match(self):
+        vectorizer = SemanticVectorizer()
+        candidates = [
+            "Connection established to peer",
+            "Disk write failed on volume",
+        ]
+        match, similarity = vectorizer.nearest(
+            "Disk write failed on device", candidates
+        )
+        assert match == candidates[1]
+        assert similarity > 0.5
+
+    def test_nearest_with_no_candidates(self):
+        vectorizer = SemanticVectorizer()
+        match, similarity = vectorizer.nearest("anything", [])
+        assert match is None
+        assert similarity == 0.0
+
+    def test_empty_template_zero_vector(self):
+        vectorizer = SemanticVectorizer()
+        assert np.all(vectorizer.vectorize("") == 0.0)
+
+    def test_observe_updates_idf(self):
+        vectorizer = SemanticVectorizer()
+        vectorizer.fit(["alpha beta"])
+        before = vectorizer._idf("gamma")  # unseen: maximal idf
+        for _ in range(10):
+            vectorizer.observe("gamma delta")
+        after = vectorizer._idf("gamma")
+        assert after < before

@@ -1,0 +1,122 @@
+"""Tests for deep-detector save/load round-trips."""
+
+import pytest
+
+from repro.detection import DeepLogDetector, LogRobustDetector
+from repro.detection.persistence import (
+    load_deeplog,
+    load_logrobust,
+    save_deeplog,
+    save_logrobust,
+)
+from repro.logs.record import ParsedLog, WILDCARD
+
+from conftest import make_record
+
+
+TEMPLATES = {
+    0: "worker started",
+    1: f"request served in {WILDCARD} ms",
+    2: "worker stopped",
+    3: "hard crash detected",
+}
+
+
+def _event(template_id, value=None, session="s"):
+    template = TEMPLATES[template_id]
+    message = template.replace(WILDCARD, str(value)) if value is not None \
+        else template
+    return ParsedLog(
+        record=make_record(message, session_id=session),
+        template_id=template_id,
+        template=template,
+        variables=(str(value),) if value is not None else (),
+    )
+
+
+def _normal_session(index):
+    events = [_event(0, session=f"s{index}")]
+    events += [
+        _event(1, value=40 + step, session=f"s{index}") for step in range(5)
+    ]
+    events.append(_event(2, session=f"s{index}"))
+    return events
+
+
+class TestDeepLogPersistence:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        detector = DeepLogDetector(window=4, top_g=2, epochs=6, hidden=16,
+                                   min_value_observations=20, seed=0)
+        detector.fit([_normal_session(index) for index in range(40)])
+        return detector
+
+    def test_roundtrip_preserves_verdicts(self, fitted, tmp_path):
+        save_deeplog(fitted, tmp_path / "deeplog")
+        restored = load_deeplog(tmp_path / "deeplog")
+        sessions = [_normal_session(0)]
+        bad = _normal_session(1)
+        bad.insert(3, _event(3, session="bad"))
+        sessions.append(bad)
+        quantitative = _normal_session(2)
+        quantitative[3] = _event(1, value=9_999_999, session="s2")
+        sessions.append(quantitative)
+        for session in sessions:
+            assert restored.detect(session).anomalous == \
+                fitted.detect(session).anomalous
+
+    def test_roundtrip_preserves_scores(self, fitted, tmp_path):
+        save_deeplog(fitted, tmp_path / "deeplog")
+        restored = load_deeplog(tmp_path / "deeplog")
+        session = _normal_session(5)
+        assert restored.detect(session).score == pytest.approx(
+            fitted.detect(session).score
+        )
+
+    def test_unfitted_save_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unfitted"):
+            save_deeplog(DeepLogDetector(), tmp_path / "nope")
+
+    def test_wrong_kind_rejected(self, fitted, tmp_path):
+        save_deeplog(fitted, tmp_path / "deeplog")
+        with pytest.raises(ValueError, match="expected 'logrobust'"):
+            load_logrobust(tmp_path / "deeplog")
+
+
+class TestLogRobustPersistence:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        sessions = [_normal_session(index) for index in range(25)]
+        labels = [False] * 25
+        for index in range(8):
+            bad = _normal_session(100 + index)
+            bad.insert(3, _event(3, session=f"bad{index}"))
+            sessions.append(bad)
+            labels.append(True)
+        detector = LogRobustDetector(max_length=10, epochs=25, hidden=16,
+                                     seed=0)
+        detector.fit(sessions, labels)
+        return detector
+
+    def test_roundtrip_preserves_probability(self, fitted, tmp_path):
+        save_logrobust(fitted, tmp_path / "logrobust")
+        restored = load_logrobust(tmp_path / "logrobust")
+        bad = _normal_session(0)
+        bad.insert(3, _event(3))
+        assert restored.detect(bad).score == pytest.approx(
+            fitted.detect(bad).score
+        )
+        assert restored.detect(bad).anomalous == fitted.detect(bad).anomalous
+
+    def test_degenerate_flag_roundtrips(self, tmp_path):
+        detector = LogRobustDetector(epochs=2)
+        detector.fit([_normal_session(0)], [False])
+        save_logrobust(detector, tmp_path / "degenerate")
+        restored = load_logrobust(tmp_path / "degenerate")
+        result = restored.detect(_normal_session(1))
+        assert not result.anomalous
+        assert any("without labelled anomalies" in r for r in result.reasons)
+
+    def test_unfitted_save_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unfitted"):
+            save_logrobust(LogRobustDetector(), tmp_path / "nope")

@@ -1,0 +1,148 @@
+"""Tests for the counter-based detectors: PCA, IM, LogClustering."""
+
+import pytest
+
+from repro.detection import (
+    InvariantMiningDetector,
+    LogClusteringDetector,
+    PcaDetector,
+)
+from repro.detection.invariants import Invariant
+from repro.logs.record import ParsedLog
+
+from conftest import make_record
+
+
+def _session(template_ids, session="s"):
+    return [
+        ParsedLog(
+            record=make_record(f"event {template_id}", session_id=session),
+            template_id=template_id,
+            template=f"event {template_id}",
+        )
+        for template_id in template_ids
+    ]
+
+
+def _normal_sessions(count=60):
+    """Sessions following two normal flows: [0,1,1,2] and [0,1,1,2,3]."""
+    sessions = []
+    for index in range(count):
+        flow = [0, 1, 1, 2] if index % 2 == 0 else [0, 1, 1, 2, 3]
+        sessions.append(_session(flow, session=f"s{index}"))
+    return sessions
+
+
+class TestPcaDetector:
+    def test_flags_deviant_count_vector(self):
+        detector = PcaDetector(alpha=0.01)
+        detector.fit(_normal_sessions())
+        anomalous = _session([0, 1, 1, 1, 1, 1, 1, 2])  # wild counts
+        assert detector.detect(anomalous).anomalous
+
+    def test_accepts_normal_sessions(self):
+        detector = PcaDetector(alpha=0.001)
+        sessions = _normal_sessions()
+        detector.fit(sessions)
+        false_alarms = sum(
+            detector.detect(session).anomalous for session in sessions
+        )
+        assert false_alarms <= len(sessions) * 0.05
+
+    def test_needs_two_sessions(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            PcaDetector().fit([_session([0])])
+
+    def test_reasons_mention_threshold(self):
+        detector = PcaDetector()
+        detector.fit(_normal_sessions())
+        result = detector.detect(_session([2, 2, 2, 2, 2, 2, 2, 2]))
+        if result.anomalous:
+            assert "Q-threshold" in result.reasons[0]
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            PcaDetector().detect(_session([0]))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="variance_retained"):
+            PcaDetector(variance_retained=0.0)
+
+
+class TestInvariantMining:
+    def test_mines_ratio_invariants(self):
+        detector = InvariantMiningDetector(min_cooccurrence=3)
+        detector.fit(_normal_sessions())
+        mined = {
+            (invariant.a, invariant.b)
+            for invariant in detector.invariants
+        }
+        # Every session has one '0' and two '1': invariant 2*x0 == 1*x1.
+        assert (2, 1) in mined or (1, 2) in {
+            (invariant.b, invariant.a) for invariant in detector.invariants
+        }
+
+    def test_flags_violations(self):
+        detector = InvariantMiningDetector(min_cooccurrence=3)
+        detector.fit(_normal_sessions())
+        result = detector.detect(_session([0, 1, 2]))  # only one '1'
+        assert result.anomalous
+        assert any("invariant violated" in reason for reason in result.reasons)
+
+    def test_flags_unseen_templates(self):
+        detector = InvariantMiningDetector()
+        detector.fit(_normal_sessions())
+        result = detector.detect(_session([0, 1, 1, 2, 99]))
+        assert result.anomalous
+        assert any("unseen" in reason for reason in result.reasons)
+
+    def test_accepts_normal(self):
+        detector = InvariantMiningDetector(min_cooccurrence=3)
+        sessions = _normal_sessions()
+        detector.fit(sessions)
+        assert not any(
+            detector.detect(session).anomalous for session in sessions
+        )
+
+    def test_invariant_holds(self):
+        import numpy as np
+
+        invariant = Invariant(column_i=0, column_j=1, a=2, b=1)
+        assert invariant.holds(np.array([1.0, 2.0]))
+        assert not invariant.holds(np.array([1.0, 3.0]))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="support"):
+            InvariantMiningDetector(support=0.0)
+
+
+class TestLogClustering:
+    def test_builds_clusters_for_flow_variants(self):
+        detector = LogClusteringDetector(cluster_threshold=0.1)
+        detector.fit(_normal_sessions())
+        assert detector.cluster_count == 2
+
+    def test_flags_far_sessions(self):
+        detector = LogClusteringDetector(cluster_threshold=0.3)
+        detector.fit(_normal_sessions())
+        result = detector.detect(_session([7, 7, 7, 8, 8]))
+        assert result.anomalous
+        assert result.score > 0.3
+
+    def test_accepts_near_sessions(self):
+        detector = LogClusteringDetector(cluster_threshold=0.3)
+        sessions = _normal_sessions()
+        detector.fit(sessions)
+        assert not detector.detect(_session([0, 1, 1, 2])).anomalous
+
+    def test_detect_threshold_separate_from_cluster(self):
+        detector = LogClusteringDetector(
+            cluster_threshold=0.1, detect_threshold=0.9
+        )
+        detector.fit(_normal_sessions())
+        # Very lenient detection accepts even odd sessions.
+        assert not detector.detect(_session([0, 2, 2, 2])).anomalous
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="cluster_threshold"):
+            LogClusteringDetector(cluster_threshold=0.0)

@@ -1,0 +1,204 @@
+"""Tests for the deep detectors: DeepLog, LogAnomaly, LogRobust.
+
+Training uses tiny models/epochs; the assertions target behaviour
+(learns normal flow, flags deviations, handles unseen templates), not
+benchmark-grade accuracy — that's what benchmarks/ measures.
+"""
+
+import pytest
+
+from repro.detection import (
+    DeepLogDetector,
+    LogAnomalyDetector,
+    LogRobustDetector,
+)
+from repro.logs.record import ParsedLog, WILDCARD
+
+from conftest import make_record
+
+
+def _event(template_id, template, value=None, session="s"):
+    message = template.replace(WILDCARD, str(value) if value is not None else "7")
+    variables = (str(value),) if value is not None else ()
+    return ParsedLog(
+        record=make_record(message, session_id=session),
+        template_id=template_id,
+        template=template,
+        variables=variables,
+    )
+
+
+TEMPLATES = {
+    0: "service starting up",
+    1: f"handled request in {WILDCARD} ms",
+    2: "service shutting down",
+    3: "unexpected fatal crash",
+}
+
+
+def _normal_session(index, length=6, latency=50):
+    events = [_event(0, TEMPLATES[0], session=f"s{index}")]
+    for step in range(length):
+        events.append(
+            _event(1, TEMPLATES[1], value=latency + step, session=f"s{index}")
+        )
+    events.append(_event(2, TEMPLATES[2], session=f"s{index}"))
+    return events
+
+
+def _training_sessions(count=40):
+    return [_normal_session(index) for index in range(count)]
+
+
+class TestDeepLog:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        detector = DeepLogDetector(window=4, top_g=2, epochs=8,
+                                   hidden=16, min_value_observations=20)
+        detector.fit(_training_sessions())
+        return detector
+
+    def test_accepts_normal_sessions(self, fitted):
+        false_alarms = sum(
+            fitted.detect(session).anomalous
+            for session in _training_sessions(10)
+        )
+        assert false_alarms <= 1
+
+    def test_flags_sequence_deviation(self, fitted):
+        session = _normal_session(0)
+        # Crash template in the middle of the flow.
+        session.insert(3, _event(3, TEMPLATES[3], session="bad"))
+        result = fitted.detect(session)
+        assert result.anomalous
+        assert any("unexpected event" in reason for reason in result.reasons)
+
+    def test_flags_unseen_template_as_violation(self, fitted):
+        session = _normal_session(0)
+        session.insert(
+            3, _event(42, "never seen statement before", session="bad")
+        )
+        assert fitted.detect(session).anomalous
+
+    def test_flags_quantitative_anomaly(self, fitted):
+        session = [_event(0, TEMPLATES[0])]
+        for step in range(6):
+            session.append(_event(1, TEMPLATES[1], value=50 + step))
+        session[-1] = _event(1, TEMPLATES[1], value=5_000_000)
+        session.append(_event(2, TEMPLATES[2]))
+        result = fitted.detect(session)
+        assert result.anomalous
+        assert any("abnormal values" in reason for reason in result.reasons)
+
+    def test_quantitative_head_ablation(self):
+        detector = DeepLogDetector(window=4, top_g=2, epochs=6,
+                                   quantitative=False)
+        detector.fit(_training_sessions())
+        session = _normal_session(0)
+        session[3] = _event(1, TEMPLATES[1], value=5_000_000, session="s0")
+        assert not detector.detect(session).anomalous
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            DeepLogDetector().detect([])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            DeepLogDetector(window=0)
+        with pytest.raises(ValueError, match="top_g"):
+            DeepLogDetector(top_g=0)
+
+
+class TestLogAnomaly:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        detector = LogAnomalyDetector(window=4, top_g=2, epochs=8, hidden=16)
+        detector.fit(_training_sessions())
+        return detector
+
+    def test_accepts_normal_sessions(self, fitted):
+        false_alarms = sum(
+            fitted.detect(session).anomalous
+            for session in _training_sessions(10)
+        )
+        assert false_alarms <= 1
+
+    def test_flags_sequence_deviation(self, fitted):
+        session = _normal_session(0)
+        session.insert(3, _event(3, TEMPLATES[3], session="bad"))
+        assert fitted.detect(session).anomalous
+
+    def test_unseen_variant_matched_semantically(self, fitted):
+        # A minor variant of the request template (one token changed):
+        # LogAnomaly should match it to the known template, not treat
+        # it as an unpredictable unknown.
+        session = _normal_session(0)
+        variant = ParsedLog(
+            record=make_record("handled query in 55 ms", session_id="s0"),
+            template_id=77,
+            template=f"handled query in {WILDCARD} ms",
+            variables=("55",),
+        )
+        session[3] = variant
+        result = fitted.detect(session)
+        assert not any(
+            "no semantically similar" in reason for reason in result.reasons
+        )
+
+    def test_totally_alien_template_is_a_violation(self, fitted):
+        session = _normal_session(0)
+        alien = ParsedLog(
+            record=make_record("zzz qqq xxx yyy", session_id="s0"),
+            template_id=88,
+            template="zzz qqq xxx yyy",
+        )
+        session.insert(3, alien)
+        result = fitted.detect(session)
+        assert result.anomalous
+
+
+class TestLogRobust:
+    def _labelled_training(self):
+        sessions = _training_sessions(30)
+        labels = [False] * len(sessions)
+        for index in range(10):
+            bad = _normal_session(100 + index)
+            bad.insert(3, _event(3, TEMPLATES[3], session=f"bad{index}"))
+            sessions.append(bad)
+            labels.append(True)
+        return sessions, labels
+
+    def test_supervised_training_detects(self):
+        detector = LogRobustDetector(max_length=12, epochs=30, hidden=16)
+        sessions, labels = self._labelled_training()
+        detector.fit(sessions, labels)
+        bad = _normal_session(0)
+        bad.insert(3, _event(3, TEMPLATES[3]))
+        assert detector.detect(bad).anomalous
+        assert not detector.detect(_normal_session(1)).anomalous
+
+    def test_anomaly_free_training_degenerates(self):
+        detector = LogRobustDetector(epochs=2)
+        detector.fit(_training_sessions(10), [False] * 10)
+        result = detector.detect(_normal_session(0))
+        assert not result.anomalous
+        assert any("without labelled anomalies" in r for r in result.reasons)
+
+    def test_robust_to_template_edit(self):
+        # The statement-change instability: a synonym-edited template
+        # should still classify like the original (semantic vectors).
+        detector = LogRobustDetector(max_length=12, epochs=30, hidden=16)
+        sessions, labels = self._labelled_training()
+        detector.fit(sessions, labels)
+        bad = _normal_session(0)
+        bad.insert(3, ParsedLog(
+            record=make_record("unexpected fatal breakdown"),
+            template_id=55,
+            template="unexpected fatal breakdown",
+        ))
+        assert detector.detect(bad).anomalous
+
+    def test_label_length_validation(self):
+        detector = LogRobustDetector()
+        with pytest.raises(ValueError, match="disagree"):
+            detector.fit(_training_sessions(5), [False] * 3)

@@ -1,0 +1,56 @@
+"""Tests for the experiment harness and table rendering."""
+
+import pytest
+
+from repro.eval import (
+    DetectionExperiment,
+    Table,
+    evaluate_detector,
+    fit_and_score,
+    render_table,
+)
+from repro.detection import InvariantMiningDetector
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("demo", ["name", "value"])
+        table.add_row("alpha", 0.5)
+        table.add_row("b", 12)
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "== demo =="
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "0.500" in rendered  # floats formatted to 3 places
+        assert "12" in rendered
+
+    def test_row_arity_checked(self):
+        table = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError, match="cells"):
+            table.add_row("only-one")
+
+    def test_render_table_function(self):
+        rendered = render_table("t", ["c"], [["x"]])
+        assert "== t ==" in rendered
+        assert "x" in rendered
+
+
+class TestDetectionExperiment:
+    def test_anomaly_free_training_split(self, hdfs_small):
+        experiment = DetectionExperiment.from_dataset(
+            hdfs_small, anomaly_free_training=True, seed=3
+        )
+        assert not any(experiment.train_labels)
+        assert any(experiment.test_labels)
+        assert len(experiment.test_sessions) == len(experiment.test_labels)
+        assert len(experiment.test_session_ids) == len(experiment.test_labels)
+
+    def test_evaluate_detector_produces_report(self, hdfs_small):
+        experiment = DetectionExperiment.from_dataset(hdfs_small, seed=3)
+        report = evaluate_detector(InvariantMiningDetector(), experiment)
+        assert report.recall > 0.0
+        assert report.precision > 0.5
+
+    def test_fit_and_score_one_call(self, hdfs_small):
+        report = fit_and_score(InvariantMiningDetector(), hdfs_small, seed=3)
+        assert 0.0 <= report.f1 <= 1.0

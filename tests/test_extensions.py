@@ -1,0 +1,202 @@
+"""Tests for the extension modules: Markov baseline, parser
+persistence, alert deduplication."""
+
+import pytest
+
+from repro.classify import AlertDeduplicator, alert_signature
+from repro.core.reports import AnomalyReport, ClassifiedAlert
+from repro.detection import MarkovDetector
+from repro.detection.base import DetectionResult
+from repro.logs.record import ParsedLog
+from repro.parsing import (
+    DrainParser,
+    default_masker,
+    load_templates,
+    save_templates,
+    seed_drain,
+)
+
+from conftest import make_record
+
+
+def _session(template_ids, session="s"):
+    return [
+        ParsedLog(
+            record=make_record(f"event {tid}", session_id=session),
+            template_id=tid,
+            template=f"event {tid}",
+        )
+        for tid in template_ids
+    ]
+
+
+class TestMarkovDetector:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        sessions = [_session([0, 1, 1, 2]) for _ in range(30)]
+        sessions += [_session([0, 1, 1, 1, 2]) for _ in range(30)]
+        return MarkovDetector(threshold=0.01).fit(sessions)
+
+    def test_accepts_trained_flows(self, fitted):
+        assert not fitted.detect(_session([0, 1, 1, 2])).anomalous
+        assert not fitted.detect(_session([0, 1, 1, 1, 2])).anomalous
+
+    def test_flags_unseen_transition(self, fitted):
+        result = fitted.detect(_session([0, 2, 1]))
+        assert result.anomalous
+        assert any("transition" in reason for reason in result.reasons)
+
+    def test_flags_wrong_start_and_end(self, fitted):
+        assert fitted.detect(_session([1, 1, 2])).anomalous  # starts at 1
+        assert fitted.detect(_session([0, 1, 1])).anomalous  # ends at 1
+
+    def test_probability_api(self, fitted):
+        assert fitted.probability(0, 1) == pytest.approx(1.0)
+        assert fitted.probability(0, 2) == 0.0
+
+    def test_smoothing_keeps_rare_transitions_positive(self):
+        sessions = [_session([0, 1]) for _ in range(99)]
+        sessions.append(_session([0, 2]))
+        detector = MarkovDetector(threshold=0.001, smoothing=0.5)
+        detector.fit(sessions)
+        assert detector.probability(0, 2) > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="threshold"):
+            MarkovDetector(threshold=1.0)
+        with pytest.raises(ValueError, match="non-empty"):
+            MarkovDetector().fit([])
+
+    def test_hdfs_behaviour(self, hdfs_parsed, hdfs_small):
+        from repro.detection import sessions_from_parsed
+        from repro.metrics.detection import confusion_counts
+
+        session_map = sessions_from_parsed(hdfs_parsed)
+        normal_train = [
+            session
+            for session_id, session in session_map.items()
+            if not hdfs_small.sessions[session_id].anomalous
+        ][:50]
+        detector = MarkovDetector(threshold=0.01).fit(normal_train)
+        predictions = []
+        truths = []
+        for session_id, session in session_map.items():
+            predictions.append(detector.predict(session))
+            truths.append(hdfs_small.sessions[session_id].anomalous)
+        report = confusion_counts(predictions, truths)
+        # A one-step model catches the exception flows (unseen
+        # transitions) with decent precision.
+        assert report.recall >= 0.5
+        assert report.precision >= 0.5
+
+
+class TestParserPersistence:
+    def test_roundtrip_preserves_inventory(self, tmp_path, hdfs_small):
+        parser = DrainParser(masker=default_masker())
+        parser.parse_all(hdfs_small.records)
+        path = tmp_path / "templates.json"
+        save_templates(parser, path)
+        store = load_templates(path)
+        assert store.templates() == parser.store.templates()
+        assert [t.count for t in store] == [t.count for t in parser.store]
+
+    def test_seeded_parser_keeps_ids(self, tmp_path, hdfs_small):
+        original = DrainParser(masker=default_masker())
+        original_parsed = original.parse_all(hdfs_small.records)
+        path = tmp_path / "templates.json"
+        save_templates(original, path)
+
+        restarted = seed_drain(load_templates(path), masker=default_masker())
+        restarted_parsed = restarted.parse_all(hdfs_small.records)
+        assert [event.template_id for event in restarted_parsed] == [
+            event.template_id for event in original_parsed
+        ]
+        # No duplicate templates minted for known statements.
+        assert restarted.template_count == original.template_count
+
+    def test_seeded_parser_extends_for_new_statements(self, tmp_path):
+        original = DrainParser()
+        original.parse_record(make_record("alpha beta 1"))
+        path = tmp_path / "templates.json"
+        save_templates(original, path)
+        restarted = seed_drain(load_templates(path))
+        parsed = restarted.parse_record(make_record("totally new statement"))
+        assert parsed.template_id == 1  # after the saved range
+
+    def test_corrupt_inventory_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "templates": []}')
+        with pytest.raises(ValueError, match="version"):
+            load_templates(path)
+        path.write_text(
+            '{"version": 1, "templates": [{"id": 5, "tokens": ["a"]}]}'
+        )
+        with pytest.raises(ValueError, match="dense"):
+            load_templates(path)
+
+
+def _alert(report_id, template, source="api", start=0.0):
+    event = ParsedLog(
+        record=make_record(template, source=source, timestamp=start,
+                           session_id=f"s{report_id}"),
+        template_id=0,
+        template=template,
+    )
+    report = AnomalyReport(
+        report_id=report_id,
+        session_id=f"s{report_id}",
+        events=(event,),
+        detection=DetectionResult(anomalous=True, score=1.0),
+    )
+    return ClassifiedAlert(report=report, pool="default", criticality="low")
+
+
+class TestAlertDeduplicator:
+    def test_first_alert_passes(self):
+        dedup = AlertDeduplicator(window=60.0)
+        alert = _alert(0, "disk failing")
+        assert dedup.offer(alert) is alert
+
+    def test_repeat_within_window_suppressed(self):
+        dedup = AlertDeduplicator(window=60.0)
+        first = _alert(0, "disk failing", start=0.0)
+        repeat = _alert(1, "disk failing", start=30.0)
+        dedup.offer(first)
+        assert dedup.offer(repeat) is None
+        assert dedup.suppressed_count(first) == 1
+        assert dedup.total_suppressed == 1
+
+    def test_different_signature_passes(self):
+        dedup = AlertDeduplicator(window=60.0)
+        dedup.offer(_alert(0, "disk failing", source="storage"))
+        other = _alert(1, "link down", source="network")
+        assert dedup.offer(other) is other
+
+    def test_quiet_signature_fires_again(self):
+        dedup = AlertDeduplicator(window=10.0)
+        dedup.offer(_alert(0, "disk failing", start=0.0))
+        resumed = _alert(1, "disk failing", start=100.0)
+        assert dedup.offer(resumed) is resumed
+
+    def test_repeats_extend_the_window(self):
+        dedup = AlertDeduplicator(window=10.0)
+        dedup.offer(_alert(0, "disk failing", start=0.0))
+        assert dedup.offer(_alert(1, "disk failing", start=8.0)) is None
+        # 8s + 10s window: still suppressed at t=16 (last_seen moved).
+        assert dedup.offer(_alert(2, "disk failing", start=16.0)) is None
+
+    def test_expire_drops_stale_state(self):
+        dedup = AlertDeduplicator(window=10.0)
+        dedup.offer(_alert(0, "disk failing", start=0.0))
+        dedup.offer(_alert(1, "link down", start=5.0))
+        dedup.expire(now=100.0)
+        assert dedup.live_signatures == 0
+
+    def test_signature_ignores_event_order(self):
+        left = _alert(0, "a b c")
+        right = _alert(1, "a b c")
+        assert alert_signature(left) == alert_signature(right)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            AlertDeduplicator(window=0.0)

@@ -1,0 +1,121 @@
+"""Tests for raw-line header parsing (the Fig. 2 HEADER step)."""
+
+import pytest
+
+from repro.logs.formats import (
+    BUILTIN_FORMATS,
+    DASHED_FORMAT,
+    EPOCH_FORMAT,
+    SYSLOG_FORMAT,
+    detect_format,
+    read_log_lines,
+    render_line,
+)
+from repro.logs.record import LogRecord, Severity
+
+
+PAPER_LINE = (
+    "2020-03-19 15:38:55,977 - serviceManager - INFO - "
+    "New process started: process x92 started on port 42"
+)
+
+
+class TestDashedFormat:
+    def test_parses_the_paper_example(self):
+        record = DASHED_FORMAT.parse(PAPER_LINE)
+        assert record is not None
+        assert record.source == "serviceManager"
+        assert record.severity is Severity.INFO
+        assert record.message.startswith("New process started")
+
+    def test_timestamp_decoded(self):
+        record = DASHED_FORMAT.parse(PAPER_LINE)
+        assert record is not None
+        # 2020-03-19 15:38:55.977 UTC
+        assert record.timestamp == pytest.approx(1584632335.977, abs=1.0)
+
+    def test_rejects_other_layouts(self):
+        assert DASHED_FORMAT.parse("free text line") is None
+
+    def test_render_roundtrip(self):
+        record = DASHED_FORMAT.parse(PAPER_LINE)
+        assert record is not None
+        rendered = render_line(record)
+        reparsed = DASHED_FORMAT.parse(rendered)
+        assert reparsed is not None
+        assert reparsed.message == record.message
+        assert reparsed.source == record.source
+        assert reparsed.timestamp == pytest.approx(record.timestamp, abs=0.01)
+
+
+class TestSyslogFormat:
+    def test_parses_classic_syslog(self):
+        record = SYSLOG_FORMAT.parse(
+            "Mar 19 15:38:55 web01 sshd[4242]: Accepted publickey for root"
+        )
+        assert record is not None
+        assert record.source == "sshd"
+        assert record.message == "Accepted publickey for root"
+
+    def test_without_pid(self):
+        record = SYSLOG_FORMAT.parse(
+            "Jan  7 03:01:12 db02 cron: job finished"
+        )
+        assert record is not None
+        assert record.source == "cron"
+
+
+class TestEpochFormat:
+    def test_parses_epoch_lines(self):
+        record = EPOCH_FORMAT.parse("1584625135.977 scheduler WARN queue full")
+        assert record is not None
+        assert record.timestamp == pytest.approx(1584625135.977)
+        assert record.severity is Severity.WARNING
+        assert record.message == "queue full"
+
+
+class TestDetectFormat:
+    def test_picks_matching_format(self):
+        sample = [PAPER_LINE] * 10
+        assert detect_format(sample) is DASHED_FORMAT
+
+    def test_mixed_sample_picks_majority(self):
+        sample = [PAPER_LINE] * 8 + ["garbage line"] * 2
+        assert detect_format(sample) is DASHED_FORMAT
+
+    def test_no_match_returns_none(self):
+        assert detect_format(["free text"] * 10) is None
+        assert detect_format([]) is None
+
+    def test_all_builtin_formats_detectable(self):
+        lines = {
+            DASHED_FORMAT: PAPER_LINE,
+            SYSLOG_FORMAT: "Mar 19 15:38:55 web01 sshd[1]: hello",
+            EPOCH_FORMAT: "1584625135.9 svc INFO hello",
+        }
+        for expected, line in lines.items():
+            assert detect_format([line] * 5, BUILTIN_FORMATS) is expected
+
+
+class TestReadLogLines:
+    def test_autodetects_and_converts(self):
+        lines = [PAPER_LINE + "\n"] * 5
+        records = list(read_log_lines(lines))
+        assert len(records) == 5
+        assert all(record.source == "serviceManager" for record in records)
+        assert [record.sequence for record in records] == list(range(5))
+
+    def test_unparseable_lines_become_messages(self):
+        records = list(read_log_lines(["no header at all\n"] * 3))
+        assert len(records) == 3
+        assert records[0].message == "no header at all"
+
+    def test_blank_lines_skipped(self):
+        records = list(read_log_lines([PAPER_LINE, "", "   ", PAPER_LINE]))
+        assert len(records) == 2
+
+    def test_long_streams_past_detection_buffer(self):
+        lines = [PAPER_LINE] * 250
+        records = list(read_log_lines(lines))
+        assert len(records) == 250
+        assert records[-1].source == "serviceManager"

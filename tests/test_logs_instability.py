@@ -1,0 +1,144 @@
+"""Unit tests for LogRobust-style instability injection."""
+
+import pytest
+
+from repro.logs.instability import InstabilityInjector, InstabilityKind
+
+from conftest import make_record
+
+
+def _records(count: int = 100):
+    return [
+        make_record(f"Sending {i} bytes to host", sequence=i, session_id="s")
+        for i in range(count)
+    ]
+
+
+class TestValidation:
+    def test_ratio_bounds(self):
+        with pytest.raises(ValueError, match="ratio"):
+            InstabilityInjector(ratio=1.5)
+        with pytest.raises(ValueError, match="ratio"):
+            InstabilityInjector(ratio=-0.1)
+
+    def test_kinds_required(self):
+        with pytest.raises(ValueError, match="kind"):
+            InstabilityInjector(ratio=0.1, kinds=())
+
+
+class TestZeroRatio:
+    def test_identity(self):
+        records = _records()
+        output = list(InstabilityInjector(ratio=0.0).apply(records))
+        assert output == records
+
+
+class TestParsingError:
+    def test_corrupts_token_boundaries(self):
+        injector = InstabilityInjector(
+            ratio=1.0, kinds=(InstabilityKind.PARSING_ERROR,), seed=1
+        )
+        output = list(injector.apply(_records(20)))
+        assert len(output) == 20
+        changed = [
+            record for record in output
+            if "unstable:parsing_error" in record.labels
+        ]
+        assert len(changed) == 20
+        # Token counts moved by exactly one (merge or split).
+        for record in changed:
+            assert len(record.tokens) in (4, 6)  # original is 5 tokens
+
+
+class TestStatementChange:
+    def test_twists_statements(self):
+        injector = InstabilityInjector(
+            ratio=1.0, kinds=(InstabilityKind.STATEMENT_CHANGE,), seed=2
+        )
+        originals = _records(30)
+        output = list(injector.apply(originals))
+        assert len(output) == 30
+        differing = sum(
+            1
+            for original, altered in zip(originals, output)
+            if original.message != altered.message
+        )
+        assert differing == 30
+
+    def test_preserves_anomaly_label(self):
+        records = [
+            make_record("failure detected here", labels=frozenset({"anomaly"}))
+        ]
+        injector = InstabilityInjector(
+            ratio=1.0, kinds=(InstabilityKind.STATEMENT_CHANGE,), seed=0
+        )
+        output = list(injector.apply(records))
+        assert output[0].is_anomalous
+
+
+class TestNoise:
+    def test_duplicates_or_swaps(self):
+        injector = InstabilityInjector(
+            ratio=1.0, kinds=(InstabilityKind.NOISE,), seed=3
+        )
+        originals = _records(40)
+        output = list(injector.apply(originals))
+        # Duplication grows the stream; swaps keep length.
+        assert len(output) >= 40
+        tagged = [r for r in output if "unstable:noise" in r.labels]
+        assert tagged
+
+    def test_multiset_of_messages_preserved_up_to_duplicates(self):
+        injector = InstabilityInjector(
+            ratio=1.0, kinds=(InstabilityKind.NOISE,), seed=3
+        )
+        originals = _records(40)
+        output = list(injector.apply(originals))
+        original_messages = {record.message for record in originals}
+        assert {record.message for record in output} == original_messages
+
+
+class TestRatioControl:
+    @pytest.mark.parametrize("ratio", [0.05, 0.1, 0.2])
+    def test_alteration_rate_tracks_ratio(self, ratio):
+        # Content alterations track the ratio exactly; NOISE events tag
+        # two records (duplicate pair / swapped pair), so the all-kinds
+        # rate runs slightly above ratio — checked separately below.
+        injector = InstabilityInjector(
+            ratio=ratio,
+            kinds=(InstabilityKind.PARSING_ERROR,
+                   InstabilityKind.STATEMENT_CHANGE),
+            seed=5,
+        )
+        output = list(injector.apply(_records(2000)))
+        altered = sum(
+            1 for record in output
+            if any(label.startswith("unstable:") for label in record.labels)
+        )
+        observed = altered / len(output)
+        assert abs(observed - ratio) < 0.03
+
+    def test_all_kinds_rate_bounded_by_double_ratio(self):
+        injector = InstabilityInjector(ratio=0.2, seed=5)
+        output = list(injector.apply(_records(2000)))
+        altered = sum(
+            1 for record in output
+            if any(label.startswith("unstable:") for label in record.labels)
+        )
+        observed = altered / len(output)
+        assert 0.2 - 0.03 <= observed <= 2 * 0.2 + 0.03
+
+    def test_deterministic(self):
+        one = [r.message for r in InstabilityInjector(0.2, seed=9).apply(_records())]
+        two = [r.message for r in InstabilityInjector(0.2, seed=9).apply(_records())]
+        assert one == two
+
+
+class TestSequenceApi:
+    def test_applies_within_sessions(self):
+        sessions = [_records(10), _records(10)]
+        injector = InstabilityInjector(ratio=0.5, seed=4)
+        output = list(injector.apply_to_sequences(sessions))
+        assert len(output) == 2
+        for altered in output:
+            assert len(altered) >= 10

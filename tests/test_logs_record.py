@@ -1,0 +1,144 @@
+"""Unit tests for the core log data model."""
+
+import pytest
+
+from repro.logs.record import (
+    LogRecord,
+    ParsedLog,
+    Severity,
+    WILDCARD,
+    template_of,
+    tokenize,
+)
+
+from conftest import make_record
+
+
+class TestSeverity:
+    def test_ordering_expresses_criticality(self):
+        assert Severity.ERROR > Severity.INFO
+        assert Severity.CRITICAL > Severity.ERROR
+        assert Severity.TRACE < Severity.DEBUG
+
+    def test_from_text_case_insensitive(self):
+        assert Severity.from_text("info") is Severity.INFO
+        assert Severity.from_text("ERROR") is Severity.ERROR
+        assert Severity.from_text("  Warning ") is Severity.WARNING
+
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("warn", Severity.WARNING),
+            ("err", Severity.ERROR),
+            ("fatal", Severity.CRITICAL),
+            ("crit", Severity.CRITICAL),
+            ("severe", Severity.ERROR),
+            ("notice", Severity.INFO),
+            ("fine", Severity.DEBUG),
+        ],
+    )
+    def test_common_aliases(self, alias, expected):
+        assert Severity.from_text(alias) is expected
+
+    def test_unknown_severity_raises(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.from_text("loud")
+
+
+class TestTokenize:
+    def test_splits_on_single_spaces(self):
+        assert tokenize("Sending 138 bytes") == ["Sending", "138", "bytes"]
+
+    def test_collapses_repeated_whitespace(self):
+        assert tokenize("a  b\tc") == ["a", "b", "c"]
+
+    def test_strips_leading_trailing(self):
+        assert tokenize("  x y  ") == ["x", "y"]
+
+    def test_empty_message(self):
+        assert tokenize("") == []
+        assert tokenize("   ") == []
+
+
+class TestLogRecord:
+    def test_tokens_property(self):
+        record = make_record("Error while receiving data")
+        assert record.tokens == ["Error", "while", "receiving", "data"]
+
+    def test_is_anomalous_from_labels(self):
+        normal = make_record("ok")
+        anomalous = make_record("bad", labels=frozenset({"anomaly"}))
+        assert not normal.is_anomalous
+        assert anomalous.is_anomalous
+
+    def test_with_message_preserves_other_fields(self):
+        record = make_record("original", session_id="s1", sequence=7)
+        changed = record.with_message("changed")
+        assert changed.message == "changed"
+        assert changed.session_id == "s1"
+        assert changed.sequence == 7
+        assert record.message == "original"  # frozen original untouched
+
+    def test_with_labels_accumulates(self):
+        record = make_record("m", labels=frozenset({"a"}))
+        tagged = record.with_labels("b", "c")
+        assert tagged.labels == frozenset({"a", "b", "c"})
+
+    def test_render_contains_header_fields(self):
+        record = make_record("New process started", source="svc",
+                             severity=Severity.WARNING, timestamp=12.5)
+        rendered = record.render()
+        assert "svc" in rendered
+        assert "WARNING" in rendered
+        assert "New process started" in rendered
+
+    def test_records_are_hashable_and_frozen(self):
+        record = make_record("m")
+        assert hash(record)  # usable in sets
+        with pytest.raises(AttributeError):
+            record.message = "changed"
+
+
+class TestParsedLog:
+    def _parsed(self) -> ParsedLog:
+        record = make_record("Sending 138 bytes", timestamp=3.0,
+                             source="net", session_id="s9")
+        return ParsedLog(
+            record=record,
+            template_id=4,
+            template=f"Sending {WILDCARD} bytes",
+            variables=("138",),
+        )
+
+    def test_delegated_properties(self):
+        parsed = self._parsed()
+        assert parsed.timestamp == 3.0
+        assert parsed.source == "net"
+        assert parsed.session_id == "s9"
+
+    def test_reconstruct_roundtrips(self):
+        parsed = self._parsed()
+        assert parsed.reconstruct() == "Sending 138 bytes"
+
+    def test_reconstruct_with_missing_variables_keeps_wildcard(self):
+        record = make_record("a b")
+        parsed = ParsedLog(record=record, template_id=0,
+                           template=f"a {WILDCARD}", variables=())
+        assert parsed.reconstruct() == f"a {WILDCARD}"
+
+
+class TestTemplateOf:
+    def test_marks_variable_positions(self):
+        template, variables = template_of("Sending 138 bytes", {1})
+        assert template == f"Sending {WILDCARD} bytes"
+        assert variables == ("138",)
+
+    def test_no_variables(self):
+        template, variables = template_of("fixed message", set())
+        assert template == "fixed message"
+        assert variables == ()
+
+    def test_all_variables(self):
+        template, variables = template_of("a b", {0, 1})
+        assert template == f"{WILDCARD} {WILDCARD}"
+        assert variables == ("a", "b")

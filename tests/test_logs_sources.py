@@ -1,0 +1,169 @@
+"""Unit tests for log sources and the ground-truth template library."""
+
+import random
+
+import pytest
+
+from repro.logs.record import Severity, WILDCARD
+from repro.logs.sources import (
+    Flow,
+    GroundTruthTemplate,
+    ReplaySource,
+    ScriptedSource,
+    TemplateLibrary,
+    choice,
+    constant,
+    hex_id,
+    integer,
+    ip_address,
+)
+
+from conftest import make_record
+
+
+class TestSamplers:
+    def setup_method(self):
+        self.rng = random.Random(0)
+
+    def test_constant(self):
+        assert constant("x")(self.rng) == "x"
+
+    def test_integer_in_range(self):
+        for _ in range(50):
+            value = int(integer(5, 9)(self.rng))
+            assert 5 <= value <= 9
+
+    def test_choice_from_pool(self):
+        sampler = choice(["a", "b"])
+        assert all(sampler(self.rng) in ("a", "b") for _ in range(20))
+
+    def test_ip_address_shape(self):
+        parts = ip_address()(self.rng).split(".")
+        assert len(parts) == 4
+        assert parts[0] == "10"
+
+    def test_hex_id_length_and_alphabet(self):
+        value = hex_id(12)(self.rng)
+        assert len(value) == 12
+        assert all(character in "0123456789abcdef" for character in value)
+
+
+class TestGroundTruthTemplate:
+    def test_sampler_count_must_match_wildcards(self):
+        with pytest.raises(ValueError, match="wildcards"):
+            GroundTruthTemplate(0, f"a {WILDCARD} b", samplers=())
+
+    def test_variable_positions(self):
+        template = GroundTruthTemplate(
+            0, f"a {WILDCARD} b {WILDCARD}",
+            samplers=(constant("1"), constant("2")),
+        )
+        assert template.variable_positions == {1, 3}
+
+    def test_instantiate_substitutes_in_order(self):
+        template = GroundTruthTemplate(
+            0, f"x {WILDCARD} y {WILDCARD}",
+            samplers=(constant("1"), constant("2")),
+        )
+        message, values = template.instantiate(random.Random(0))
+        assert message == "x 1 y 2"
+        assert values == ("1", "2")
+
+
+class TestTemplateLibrary:
+    def _library(self) -> TemplateLibrary:
+        library = TemplateLibrary()
+        library.add(f"Sending {WILDCARD} bytes", (integer(1, 9),))
+        library.add("Connection closed")
+        return library
+
+    def test_sequential_ids(self):
+        library = self._library()
+        assert [entry.template_id for entry in library] == [0, 1]
+        assert len(library) == 2
+
+    def test_truth_for_matches_static_and_wildcards(self):
+        library = self._library()
+        truth = library.truth_for("Sending 7 bytes")
+        assert truth is not None and truth.template_id == 0
+        truth = library.truth_for("Connection closed")
+        assert truth is not None and truth.template_id == 1
+
+    def test_truth_for_unknown_message(self):
+        library = self._library()
+        assert library.truth_for("Unrelated line here") is None
+
+    def test_truth_for_respects_token_count(self):
+        library = self._library()
+        assert library.truth_for("Sending 7 bytes now") is None
+
+
+class TestReplaySource:
+    def test_replays_in_order_and_restarts(self):
+        records = [make_record(f"m{i}", sequence=i) for i in range(3)]
+        source = ReplaySource("replay", records)
+        first = list(source)
+        second = list(source)
+        assert [r.message for r in first] == ["m0", "m1", "m2"]
+        assert first == second
+        assert len(source) == 3
+
+
+class TestScriptedSource:
+    def _source(self, **kwargs) -> ScriptedSource:
+        library = TemplateLibrary()
+        start = library.add("job started", severity=Severity.INFO)
+        end = library.add("job finished", severity=Severity.INFO)
+        fail = library.add("job crashed", severity=Severity.ERROR)
+        flows = [
+            Flow("ok", (start.template_id, end.template_id), weight=9.0),
+            Flow("bad", (start.template_id, fail.template_id), weight=1.0,
+                 anomalous=True),
+        ]
+        defaults = dict(sessions=50, seed=3)
+        defaults.update(kwargs)
+        return ScriptedSource("svc", library, flows, **defaults)
+
+    def test_requires_flows(self):
+        library = TemplateLibrary()
+        with pytest.raises(ValueError, match="at least one flow"):
+            ScriptedSource("svc", library, [])
+
+    def test_emits_expected_record_count(self):
+        records = list(self._source())
+        assert len(records) == 50 * 2  # every flow has 2 steps
+
+    def test_timestamps_monotonic(self):
+        records = list(self._source())
+        times = [record.timestamp for record in records]
+        assert times == sorted(times)
+
+    def test_sessions_play_complete_flows(self):
+        records = list(self._source(concurrency=1))
+        by_session = {}
+        for record in records:
+            by_session.setdefault(record.session_id, []).append(record.message)
+        for messages in by_session.values():
+            assert messages[0] == "job started"
+            assert messages[1] in ("job finished", "job crashed")
+
+    def test_anomalous_flows_label_records(self):
+        records = list(self._source(sessions=200))
+        anomalous = [record for record in records if record.is_anomalous]
+        assert anomalous, "weight-1 flow should appear in 200 sessions"
+        assert all(record.message in ("job started", "job crashed")
+                   for record in anomalous)
+
+    def test_deterministic_for_seed(self):
+        first = [(r.message, r.timestamp) for r in self._source(seed=5)]
+        second = [(r.message, r.timestamp) for r in self._source(seed=5)]
+        assert first == second
+
+    def test_concurrency_interleaves_sessions(self):
+        records = list(self._source(sessions=30, concurrency=5))
+        transitions = 0
+        for earlier, later in zip(records, records[1:]):
+            if earlier.session_id != later.session_id:
+                transitions += 1
+        # With concurrency, far more session switches than sessions.
+        assert transitions > 30

@@ -1,0 +1,127 @@
+"""Unit tests for stream interleaving and noise injection."""
+
+import pytest
+
+from repro.logs.sources import ReplaySource
+from repro.logs.stream import (
+    DuplicationNoise,
+    LogStream,
+    ReorderingNoise,
+    interleave,
+)
+
+from conftest import make_record
+
+
+def _source(name: str, times: list[float]) -> ReplaySource:
+    return ReplaySource(
+        name,
+        [
+            make_record(f"{name}-{index}", timestamp=time, source=name,
+                        sequence=index)
+            for index, time in enumerate(times)
+        ],
+    )
+
+
+class TestInterleave:
+    def test_merges_by_timestamp(self):
+        a = _source("a", [0.0, 2.0, 4.0])
+        b = _source("b", [1.0, 3.0])
+        merged = list(interleave([a, b]))
+        assert [record.message for record in merged] == [
+            "a-0", "b-0", "a-1", "b-1", "a-2",
+        ]
+
+    def test_empty_sources_are_fine(self):
+        a = _source("a", [])
+        b = _source("b", [1.0])
+        assert [r.message for r in interleave([a, b])] == ["b-0"]
+
+    def test_no_sources(self):
+        assert list(interleave([])) == []
+
+    def test_preserves_all_records(self):
+        a = _source("a", [float(i) for i in range(100)])
+        b = _source("b", [i + 0.5 for i in range(100)])
+        merged = list(interleave([a, b]))
+        assert len(merged) == 200
+
+
+class TestDuplicationNoise:
+    def test_zero_rate_is_identity(self):
+        source = _source("a", [float(i) for i in range(20)])
+        noise = DuplicationNoise(rate=0.0)
+        assert list(noise.apply(iter(source))) == list(source)
+
+    def test_full_rate_doubles_stream(self):
+        source = _source("a", [float(i) for i in range(20)])
+        noise = DuplicationNoise(rate=1.0, delay=0.1, seed=1)
+        output = list(noise.apply(iter(source)))
+        assert len(output) == 40
+
+    def test_duplicates_keep_sequence_number(self):
+        source = _source("a", [0.0, 1.0])
+        noise = DuplicationNoise(rate=1.0, delay=0.5, seed=0)
+        output = list(noise.apply(iter(source)))
+        sequences = sorted(record.sequence for record in output)
+        assert sequences == [0, 0, 1, 1]
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            DuplicationNoise(rate=1.5)
+
+    def test_deterministic(self):
+        source = _source("a", [float(i) for i in range(50)])
+        one = [r.message for r in DuplicationNoise(0.3, seed=7).apply(iter(source))]
+        two = [r.message for r in DuplicationNoise(0.3, seed=7).apply(iter(source))]
+        assert one == two
+
+
+class TestReorderingNoise:
+    def test_zero_delay_is_identity(self):
+        source = _source("a", [float(i) for i in range(20)])
+        noise = ReorderingNoise(max_delay=0.0)
+        assert list(noise.apply(iter(source))) == list(source)
+
+    def test_preserves_record_multiset(self):
+        source = _source("a", [float(i) * 0.1 for i in range(100)])
+        noise = ReorderingNoise(max_delay=1.0, seed=3)
+        output = list(noise.apply(iter(source)))
+        assert sorted(r.message for r in output) == sorted(
+            r.message for r in source
+        )
+
+    def test_actually_reorders_close_records(self):
+        source = _source("a", [float(i) * 0.01 for i in range(200)])
+        noise = ReorderingNoise(max_delay=0.5, seed=3)
+        output = [record.sequence for record in noise.apply(iter(source))]
+        assert output != sorted(output)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="max_delay"):
+            ReorderingNoise(max_delay=-1.0)
+
+
+class TestLogStream:
+    def test_is_restartable(self):
+        stream = LogStream([_source("a", [0.0, 1.0])])
+        assert [r.message for r in stream] == [r.message for r in stream]
+
+    def test_applies_noise_chain_in_order(self):
+        source = _source("a", [float(i) for i in range(30)])
+        stream = LogStream(
+            [source],
+            noises=[DuplicationNoise(rate=1.0, seed=1),
+                    ReorderingNoise(max_delay=0.2, seed=2)],
+        )
+        output = stream.collect()
+        assert len(output) == 60  # duplication ran before reordering
+
+    def test_collect_limit(self):
+        stream = LogStream([_source("a", [float(i) for i in range(30)])])
+        assert len(stream.collect(limit=5)) == 5
+
+    def test_multi_source_merge(self):
+        stream = LogStream([_source("a", [0.0, 2.0]), _source("b", [1.0])])
+        assert [r.message for r in stream] == ["a-0", "b-0", "a-1"]

@@ -1,0 +1,96 @@
+"""Unit tests for JSON/XML payload extraction (paper §IV)."""
+
+import pytest
+
+from repro.logs.structured import extract_structured_payload
+
+
+class TestJsonExtraction:
+    def test_trailing_json_object(self):
+        result = extract_structured_payload(
+            'Send 42 bytes {"user_id": 125, "service": "dart_vader"}'
+        )
+        assert result.fmt == "json"
+        assert result.text == "Send 42 bytes"
+        assert result.payload == {"user_id": 125, "service": "dart_vader"}
+
+    def test_trailing_json_array_wraps_items(self):
+        result = extract_structured_payload("values are [1, 2, 3]")
+        assert result.fmt == "json"
+        assert result.payload == {"_items": [1, 2, 3]}
+
+    def test_nested_json(self):
+        result = extract_structured_payload(
+            'req done {"meta": {"region": "eu", "zone": 2}}'
+        )
+        assert result.payload["meta"] == {"region": "eu", "zone": 2}
+
+    def test_whole_message_is_json(self):
+        result = extract_structured_payload('{"a": 1}')
+        assert result.text == ""
+        assert result.payload == {"a": 1}
+
+
+class TestRelaxedExtraction:
+    def test_paper_example(self):
+        # The exact example from §IV.
+        result = extract_structured_payload(
+            "Send 42 bytes to 121.13.4.26 {user_id=125, service_name=dart_vader}"
+        )
+        assert result.fmt == "relaxed"
+        assert result.text == "Send 42 bytes to 121.13.4.26"
+        assert result.payload == {"user_id": 125, "service_name": "dart_vader"}
+
+    def test_colon_separated_pairs(self):
+        result = extract_structured_payload("done {a: 1, b: two}")
+        assert result.payload == {"a": 1, "b": "two"}
+
+    def test_value_coercion(self):
+        result = extract_structured_payload(
+            "x {i=3, f=2.5, t=true, n=null, s=word}"
+        )
+        assert result.payload == {
+            "i": 3, "f": 2.5, "t": True, "n": None, "s": "word",
+        }
+
+    def test_quoted_values_keep_spaces_out(self):
+        result = extract_structured_payload('x {name="dart vader"}')
+        assert result.payload == {"name": "dart vader"}
+
+
+class TestXmlExtraction:
+    def test_trailing_xml_elements(self):
+        result = extract_structured_payload(
+            "request logged <user>125</user><region>eu</region>"
+        )
+        assert result.fmt == "xml"
+        assert result.text == "request logged"
+        assert result.payload == {"user": 125, "region": "eu"}
+
+    def test_xml_with_attributes(self):
+        result = extract_structured_payload(
+            'saved <item id="4">disk</item>'
+        )
+        assert result.fmt == "xml"
+        assert result.payload == {"item": "disk"}
+
+
+class TestNoExtraction:
+    @pytest.mark.parametrize(
+        "message",
+        [
+            "plain message with no payload",
+            "odd braces { not a payload",
+            "math uses {x} sometimes",  # unparsable bag
+            "",
+        ],
+    )
+    def test_passthrough(self, message):
+        result = extract_structured_payload(message)
+        assert not result.extracted
+        assert result.text == message
+        assert result.payload == {}
+
+    def test_extracted_flag(self):
+        assert extract_structured_payload('a {"b": 1}').extracted
+        assert not extract_structured_payload("a b").extracted

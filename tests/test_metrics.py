@@ -1,0 +1,225 @@
+"""Tests for detection, parsing (Eq. 1), and unsupervised metrics."""
+
+import pytest
+
+from repro.logs.record import ParsedLog, WILDCARD
+from repro.logs.sources import TemplateLibrary, constant, integer
+from repro.metrics import (
+    confusion_counts,
+    cluster_cohesion,
+    grouping_accuracy,
+    mdl_score,
+    parsing_report,
+    precision_recall_f1,
+    template_separation,
+    token_accuracy,
+    unsupervised_quality,
+)
+
+from conftest import make_record
+
+
+class TestDetectionMetrics:
+    def test_perfect_predictions(self):
+        predictions = [True, False, True, False]
+        truths = [True, False, True, False]
+        assert precision_recall_f1(predictions, truths) == (1.0, 1.0, 1.0)
+
+    def test_paper_definitions(self):
+        # 2 TP, 1 FP, 1 FN, 1 TN.
+        predictions = [True, True, True, False, False]
+        truths = [True, True, False, True, False]
+        report = confusion_counts(predictions, truths)
+        assert report.true_positives == 2
+        assert report.false_positives == 1
+        assert report.false_negatives == 1
+        assert report.true_negatives == 1
+        assert report.precision == pytest.approx(2 / 3)
+        assert report.recall == pytest.approx(2 / 3)
+        assert report.f1 == pytest.approx(2 / 3)
+
+    def test_degenerate_cases(self):
+        report = confusion_counts([False, False], [False, False])
+        assert report.precision == 0.0
+        assert report.recall == 0.0
+        assert report.f1 == 0.0
+        assert report.accuracy == 1.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="disagree"):
+            confusion_counts([True], [True, False])
+
+    def test_as_row(self):
+        row = confusion_counts([True], [True]).as_row()
+        assert set(row) == {"precision", "recall", "f1"}
+
+
+def _library() -> TemplateLibrary:
+    library = TemplateLibrary()
+    library.add(f"send {WILDCARD} bytes", (integer(1, 99),))
+    library.add("link down")
+    return library
+
+
+def _parsed(message: str, template_id: int, template: str) -> ParsedLog:
+    return ParsedLog(
+        record=make_record(message),
+        template_id=template_id,
+        template=template,
+        variables=(),
+    )
+
+
+class TestGroupingAccuracy:
+    def test_perfect_grouping(self):
+        library = _library()
+        parsed = [
+            _parsed("send 1 bytes", 0, f"send {WILDCARD} bytes"),
+            _parsed("send 2 bytes", 0, f"send {WILDCARD} bytes"),
+            _parsed("link down", 1, "link down"),
+        ]
+        assert grouping_accuracy(parsed, library) == 1.0
+
+    def test_split_cluster_penalized(self):
+        library = _library()
+        parsed = [
+            _parsed("send 1 bytes", 0, "send 1 bytes"),
+            _parsed("send 2 bytes", 5, "send 2 bytes"),  # split!
+            _parsed("link down", 1, "link down"),
+        ]
+        # The two send messages are each in a wrong (partial) cluster.
+        assert grouping_accuracy(parsed, library) == pytest.approx(1 / 3)
+
+    def test_merged_cluster_penalized(self):
+        library = _library()
+        parsed = [
+            _parsed("send 1 bytes", 0, WILDCARD),
+            _parsed("link down", 0, WILDCARD),  # merged!
+        ]
+        assert grouping_accuracy(parsed, library) == 0.0
+
+    def test_unknown_messages_skipped(self):
+        library = _library()
+        parsed = [
+            _parsed("send 1 bytes", 0, f"send {WILDCARD} bytes"),
+            _parsed("alien message entirely", 9, "alien message entirely"),
+        ]
+        assert grouping_accuracy(parsed, library) == 1.0
+
+
+class TestTokenAccuracyEq1:
+    def test_perfect_parse(self):
+        library = _library()
+        parsed = [_parsed("send 42 bytes", 0, f"send {WILDCARD} bytes")]
+        assert token_accuracy(parsed, library) == 1.0
+
+    def test_missed_variable_costs_one_token(self):
+        library = _library()
+        # Parser kept '42' static: 2 of 3 tokens correctly assigned
+        # (the wildcard position is wrong).
+        parsed = [_parsed("send 42 bytes", 0, "send 42 bytes")]
+        assert token_accuracy(parsed, library) == pytest.approx(2 / 3)
+
+    def test_over_masked_static_costs_one_token(self):
+        library = _library()
+        # Parser wildcarded the static word 'bytes' as well.
+        parsed = [
+            _parsed("send 42 bytes", 0, f"send {WILDCARD} {WILDCARD}")
+        ]
+        assert token_accuracy(parsed, library) == pytest.approx(2 / 3)
+
+    def test_length_mismatch_scores_zero(self):
+        library = _library()
+        parsed = [_parsed("send 42 bytes", 0, f"send {WILDCARD}")]
+        assert token_accuracy(parsed, library) == 0.0
+
+    def test_mean_over_messages(self):
+        library = _library()
+        parsed = [
+            _parsed("send 42 bytes", 0, f"send {WILDCARD} bytes"),  # 1.0
+            _parsed("send 43 bytes", 0, "send 43 bytes"),           # 2/3
+        ]
+        assert token_accuracy(parsed, library) == pytest.approx((1 + 2 / 3) / 2)
+
+    def test_parsing_report_bundles_everything(self):
+        library = _library()
+        parsed = [
+            _parsed("send 42 bytes", 0, f"send {WILDCARD} bytes"),
+            _parsed("alien words", 7, "alien words"),
+        ]
+        report = parsing_report(parsed, library)
+        assert report.grouping_accuracy == 1.0
+        assert report.token_accuracy == 1.0
+        assert report.evaluated_messages == 1
+        assert report.skipped_messages == 1
+        assert report.predicted_templates == 2
+        assert report.true_templates == 2
+
+
+class TestUnsupervisedMetrics:
+    def _good_parse(self, count=30):
+        return [
+            _parsed(f"send {i} bytes", 0, f"send {WILDCARD} bytes")
+            for i in range(count)
+        ]
+
+    def _oversplit_parse(self, count=30):
+        return [
+            _parsed(f"send {i} bytes", i, f"send {i} bytes")
+            for i in range(count)
+        ]
+
+    def _overmerged_parse(self, count=30):
+        return [
+            _parsed(f"send {i} bytes", 0,
+                    f"{WILDCARD} {WILDCARD} {WILDCARD}")
+            for i in range(count)
+        ]
+
+    def test_mdl_prefers_good_parse_over_oversplit(self):
+        assert mdl_score(self._good_parse()) > mdl_score(
+            self._oversplit_parse()
+        )
+
+    def test_mdl_prefers_good_parse_over_overmerge(self):
+        assert mdl_score(self._good_parse()) > mdl_score(
+            self._overmerged_parse()
+        )
+
+    def test_cohesion_detects_impure_clusters(self):
+        library_good = self._good_parse()
+        impure = [
+            _parsed("send 1 bytes", 0, f"send {WILDCARD} bytes"),
+            _parsed("link down now", 0, f"send {WILDCARD} bytes"),
+        ] * 10
+        assert cluster_cohesion(library_good) > cluster_cohesion(impure)
+
+    def test_combined_quality_ranks_good_parse_first(self):
+        good = unsupervised_quality(self._good_parse())
+        oversplit = unsupervised_quality(self._oversplit_parse())
+        overmerged = unsupervised_quality(self._overmerged_parse())
+        assert good > oversplit
+        assert good > overmerged
+
+    def test_bounds(self):
+        for parse in (self._good_parse(), self._oversplit_parse(),
+                      self._overmerged_parse(), []):
+            assert 0.0 <= mdl_score(parse) <= 1.0
+            assert 0.0 <= cluster_cohesion(parse) <= 1.0
+            assert 0.0 <= unsupervised_quality(parse) <= 1.0
+            assert 0.0 <= template_separation(parse) <= 1.0
+
+    def test_separation_penalizes_near_duplicate_templates(self):
+        distinct = [
+            _parsed("send 1 bytes", 0, f"send {WILDCARD} bytes"),
+            _parsed("link down now", 1, "link down now"),
+        ]
+        oversplit = [
+            _parsed("send 1 bytes", 0, "send 1 bytes"),
+            _parsed("send 2 bytes", 1, "send 2 bytes"),
+        ]
+        assert template_separation(distinct) > template_separation(oversplit)
+
+    def test_separation_single_template_is_one(self):
+        parse = [_parsed("send 1 bytes", 0, f"send {WILDCARD} bytes")]
+        assert template_separation(parse) == 1.0

@@ -1,0 +1,218 @@
+"""Gradient correctness: analytical vs central finite differences.
+
+These are the load-bearing tests for the numpy neural substrate — if
+backpropagation is right here, the detectors above it train correctly.
+Hypothesis drives the shapes and inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import (
+    AdditiveAttention,
+    BiLstm,
+    Dense,
+    Lstm,
+    mse_loss,
+    softmax_cross_entropy,
+)
+from repro.nn.losses import binary_cross_entropy_with_logits
+
+
+def numeric_gradient(function, parameter, epsilon=1e-6):
+    """Central finite differences over a Parameter's value."""
+    grad = np.zeros_like(parameter.value)
+    flat_value = parameter.value.reshape(-1)
+    flat_grad = grad.reshape(-1)
+    for index in range(flat_value.size):
+        original = flat_value[index]
+        flat_value[index] = original + epsilon
+        upper = function()
+        flat_value[index] = original - epsilon
+        lower = function()
+        flat_value[index] = original
+        flat_grad[index] = (upper - lower) / (2.0 * epsilon)
+    return grad
+
+
+def assert_gradients_match(parameters, function, tolerance=1e-5):
+    for parameter in parameters:
+        numeric = numeric_gradient(function, parameter)
+        scale = max(np.abs(numeric).max(), 1e-8)
+        error = np.abs(numeric - parameter.grad).max() / scale
+        assert error < tolerance, f"{parameter.name}: rel error {error:.2e}"
+
+
+small_dims = st.integers(min_value=1, max_value=4)
+
+
+class TestDenseGradients:
+    @given(batch=small_dims, fan_in=small_dims, fan_out=small_dims,
+           seed=st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_dense_with_mse(self, batch, fan_in, fan_out, seed):
+        rng = np.random.default_rng(seed)
+        layer = Dense(fan_in, fan_out, seed=seed)
+        x = rng.normal(size=(batch, fan_in))
+        target = rng.normal(size=(batch, fan_out))
+
+        def loss():
+            predictions = layer.forward(x)
+            value, _ = mse_loss(predictions, target)
+            return value
+
+        layer.zero_grad()
+        predictions = layer.forward(x)
+        _, grad = mse_loss(predictions, target)
+        layer.backward(grad)
+        assert_gradients_match(layer.parameters(), loss)
+
+    def test_dense_input_gradient(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(3, 2, seed=0)
+        x = rng.normal(size=(2, 3))
+        target = rng.normal(size=(2, 2))
+        layer.zero_grad()
+        predictions = layer.forward(x)
+        _, grad = mse_loss(predictions, target)
+        grad_x = layer.backward(grad)
+
+        numeric = np.zeros_like(x)
+        epsilon = 1e-6
+        for i in range(x.shape[0]):
+            for j in range(x.shape[1]):
+                x[i, j] += epsilon
+                up, _ = mse_loss(layer.forward(x), target)
+                x[i, j] -= 2 * epsilon
+                down, _ = mse_loss(layer.forward(x), target)
+                x[i, j] += epsilon
+                numeric[i, j] = (up - down) / (2 * epsilon)
+        assert np.abs(numeric - grad_x).max() < 1e-6
+
+
+class TestLstmGradients:
+    @given(batch=small_dims, steps=st.integers(1, 5), features=small_dims,
+           hidden=small_dims, seed=st.integers(0, 100))
+    @settings(max_examples=8, deadline=None)
+    def test_lstm_last_hidden_cross_entropy(self, batch, steps, features,
+                                            hidden, seed):
+        rng = np.random.default_rng(seed)
+        lstm = Lstm(features, hidden, seed=seed)
+        head = Dense(hidden, 3, seed=seed + 1)
+        x = rng.normal(size=(batch, steps, features))
+        y = rng.integers(0, 3, size=batch)
+
+        def loss():
+            logits = head.forward(lstm.last_hidden(x))
+            value, _, _ = softmax_cross_entropy(logits, y)
+            return value
+
+        lstm.zero_grad()
+        head.zero_grad()
+        logits = head.forward(lstm.last_hidden(x))
+        _, grad, _ = softmax_cross_entropy(logits, y)
+        lstm.backward_last(head.backward(grad))
+        assert_gradients_match(lstm.parameters() + head.parameters(), loss)
+
+    def test_lstm_all_steps_gradient(self):
+        rng = np.random.default_rng(1)
+        lstm = Lstm(2, 3, seed=1)
+        x = rng.normal(size=(2, 4, 2))
+        target = rng.normal(size=(2, 4, 3))
+
+        def loss():
+            value, _ = mse_loss(lstm.forward(x), target)
+            return value
+
+        lstm.zero_grad()
+        outputs = lstm.forward(x)
+        _, grad = mse_loss(outputs, target)
+        lstm.backward(grad)
+        assert_gradients_match(lstm.parameters(), loss)
+
+    def test_lstm_input_gradient(self):
+        rng = np.random.default_rng(2)
+        lstm = Lstm(2, 2, seed=2)
+        x = rng.normal(size=(1, 3, 2))
+        target = rng.normal(size=(1, 3, 2))
+        lstm.zero_grad()
+        outputs = lstm.forward(x)
+        _, grad = mse_loss(outputs, target)
+        grad_x = lstm.backward(grad)
+
+        numeric = np.zeros_like(x)
+        epsilon = 1e-6
+        flat = x.reshape(-1)
+        numeric_flat = numeric.reshape(-1)
+        for index in range(flat.size):
+            original = flat[index]
+            flat[index] = original + epsilon
+            up, _ = mse_loss(lstm.forward(x), target)
+            flat[index] = original - epsilon
+            down, _ = mse_loss(lstm.forward(x), target)
+            flat[index] = original
+            numeric_flat[index] = (up - down) / (2 * epsilon)
+        assert np.abs(numeric - grad_x).max() < 1e-6
+
+
+class TestBiLstmAttentionGradients:
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=5, deadline=None)
+    def test_full_logrobust_stack(self, seed):
+        rng = np.random.default_rng(seed)
+        bilstm = BiLstm(3, 2, seed=seed)
+        attention = AdditiveAttention(4, 3, seed=seed + 10)
+        head = Dense(4, 1, seed=seed + 20)
+        x = rng.normal(size=(2, 5, 3))
+        y = np.array([1.0, 0.0])
+
+        def loss():
+            states = bilstm.forward(x)
+            context = attention.forward(states)
+            logits = head.forward(context)[:, 0]
+            value, _, _ = binary_cross_entropy_with_logits(logits, y)
+            return value
+
+        for module in (bilstm, attention, head):
+            module.zero_grad()
+        states = bilstm.forward(x)
+        context = attention.forward(states)
+        logits = head.forward(context)[:, 0]
+        _, grad, _ = binary_cross_entropy_with_logits(logits, y)
+        grad_context = head.backward(grad[:, None])
+        grad_states = attention.backward(grad_context)
+        bilstm.backward(grad_states)
+        assert_gradients_match(
+            bilstm.parameters() + attention.parameters() + head.parameters(),
+            loss,
+            tolerance=1e-4,
+        )
+
+
+class TestEmbeddingGradients:
+    def test_embedding_through_lstm(self):
+        from repro.nn import Embedding
+
+        rng = np.random.default_rng(3)
+        embedding = Embedding(5, 3, seed=3)
+        lstm = Lstm(3, 2, seed=4)
+        head = Dense(2, 4, seed=5)
+        ids = rng.integers(0, 5, size=(2, 4))
+        y = rng.integers(0, 4, size=2)
+
+        def loss():
+            hidden = lstm.last_hidden(embedding.forward(ids))
+            value, _, _ = softmax_cross_entropy(head.forward(hidden), y)
+            return value
+
+        for module in (embedding, lstm, head):
+            module.zero_grad()
+        hidden = lstm.last_hidden(embedding.forward(ids))
+        _, grad, _ = softmax_cross_entropy(head.forward(hidden), y)
+        grad_embedded = lstm.backward_last(head.backward(grad))
+        embedding.backward(grad_embedded)
+        assert_gradients_match(
+            embedding.parameters() + lstm.parameters() + head.parameters(),
+            loss,
+        )

@@ -1,0 +1,124 @@
+"""Behavioural tests for the batch parsers (IPLoM, SLCT, LogCluster)."""
+
+import pytest
+
+from repro.logs.record import WILDCARD
+from repro.metrics.parsing import grouping_accuracy
+from repro.parsing import (
+    BATCH_PARSERS,
+    IplomParser,
+    LogClusterParser,
+    SlctParser,
+    default_masker,
+)
+
+from conftest import make_record
+
+
+def _corpus(repetitions: int = 20):
+    records = []
+    for index in range(repetitions):
+        records.append(make_record(f"job {index} started on node{index % 4}"))
+        records.append(make_record(f"job {index} finished with code 0"))
+        records.append(make_record("scheduler heartbeat"))
+    return records
+
+
+@pytest.mark.parametrize("name", sorted(BATCH_PARSERS))
+class TestBatchContract:
+    def test_fit_then_parse_groups(self, name):
+        parser = BATCH_PARSERS[name](masker=default_masker())
+        corpus = _corpus()
+        parser.fit(corpus)
+        parsed = parser.parse_all(corpus)
+        heartbeat_ids = {
+            event.template_id
+            for event in parsed
+            if event.record.message == "scheduler heartbeat"
+        }
+        assert len(heartbeat_ids) == 1
+
+    def test_hdfs_grouping_reasonable(self, name, hdfs_small):
+        parser = BATCH_PARSERS[name](masker=default_masker())
+        parser.fit(hdfs_small.records)
+        parsed = parser.parse_all(hdfs_small.records)
+        accuracy = grouping_accuracy(parsed, hdfs_small.library)
+        assert accuracy >= 0.85, f"{name}: {accuracy:.3f}"
+
+    def test_deterministic(self, name, hdfs_small):
+        def run():
+            parser = BATCH_PARSERS[name](masker=default_masker())
+            parser.fit(hdfs_small.records)
+            return [e.template for e in parser.parse_all(hdfs_small.records[:200])]
+
+        assert run() == run()
+
+
+class TestIplomSpecific:
+    def test_partitions_by_token_count_first(self):
+        parser = IplomParser()
+        parser.fit([make_record("a b"), make_record("c d e")] * 5)
+        lengths = {
+            len(template.split()) for template in parser.store.templates()
+        }
+        assert lengths == {2, 3}
+
+    def test_variable_position_becomes_wildcard(self):
+        parser = IplomParser()
+        parser.fit([make_record(f"load {i} done") for i in range(10)])
+        templates = parser.store.templates()
+        assert f"load {WILDCARD} done" in templates
+
+    def test_partition_support_pools_outliers(self):
+        records = [make_record(f"evt common {i}") for i in range(95)]
+        records += [make_record(f"evt rare{j} {j}") for j in range(5)]
+        parser = IplomParser(partition_support=0.2)
+        parser.fit(records)
+        # Rare branches pooled rather than one template each.
+        assert parser.template_count <= 3
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="partition_support"):
+            IplomParser(partition_support=1.0)
+
+
+class TestSlctSpecific:
+    def test_support_threshold_controls_clusters(self):
+        records = [make_record(f"common event {i}") for i in range(20)]
+        records += [make_record("rare event once")]
+        low = SlctParser(support=2)
+        low.fit(records)
+        high = SlctParser(support=25)
+        high.fit(records)
+        assert low.template_count >= 1
+        assert high.template_count == 0  # nothing frequent enough
+
+    def test_infrequent_words_become_wildcards(self):
+        parser = SlctParser(support=5)
+        parser.fit([make_record(f"send {i} bytes") for i in range(10)])
+        assert parser.store.templates() == [f"send {WILDCARD} bytes"]
+
+    def test_support_validation(self):
+        with pytest.raises(ValueError, match="support"):
+            SlctParser(support=0)
+
+
+class TestLogClusterSpecific:
+    def test_position_independent_word_counting(self):
+        # "status" is frequent though it moves position.
+        records = [make_record(f"status {i} ok") for i in range(10)]
+        records += [make_record(f"final status {i}") for i in range(10)]
+        parser = LogClusterParser(support=8)
+        parser.fit(records)
+        templates = parser.store.templates()
+        assert any("status" in template for template in templates)
+
+    def test_templates_fixed_width_per_length(self):
+        records = [make_record(f"connect from {i}") for i in range(12)]
+        parser = LogClusterParser(support=10)
+        parser.fit(records)
+        assert parser.store.templates() == [f"connect from {WILDCARD}"]
+
+    def test_support_validation(self):
+        with pytest.raises(ValueError, match="support"):
+            LogClusterParser(support=0)

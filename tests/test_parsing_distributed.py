@@ -1,0 +1,111 @@
+"""Tests for the distributed Drain (paper §IV planned contribution)."""
+
+import pytest
+
+from repro.parsing import DistributedDrain, DrainParser, default_masker
+
+from conftest import make_record
+
+
+def _multi_source_records(count_per_source: int = 40):
+    records = []
+    clock = 0.0
+    for index in range(count_per_source):
+        for source in ("api", "net", "disk"):
+            clock += 0.01
+            records.append(
+                make_record(
+                    f"{source} event {index} processed",
+                    timestamp=clock,
+                    source=source,
+                    sequence=len(records),
+                )
+            )
+    return records
+
+
+class TestRouting:
+    def test_route_by_source_is_sticky(self):
+        parser = DistributedDrain(shards=3, route_by="source")
+        records = _multi_source_records()
+        shard_of_source = {}
+        for record in records:
+            shard = parser.shard_for(record)
+            previous = shard_of_source.setdefault(record.source, shard)
+            assert previous == shard
+
+    def test_route_by_token_uses_first_token(self):
+        parser = DistributedDrain(shards=4, route_by="token")
+        one = parser.shard_for(make_record("alpha x"))
+        two = parser.shard_for(make_record("alpha y z"))
+        assert one == two
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError, match="shards"):
+            DistributedDrain(shards=0)
+        with pytest.raises(ValueError, match="route_by"):
+            DistributedDrain(route_by="round_robin")
+
+
+class TestReconciliation:
+    def test_global_ids_stable_per_template(self):
+        parser = DistributedDrain(shards=3, route_by="source")
+        parsed = parser.parse_all(_multi_source_records())
+        ids_by_template = {}
+        for event in parsed:
+            ids_by_template.setdefault(event.template, set()).add(
+                event.template_id
+            )
+        for template, ids in ids_by_template.items():
+            assert len(ids) == 1, f"{template} got ids {ids}"
+
+    def test_cross_shard_dedup(self):
+        # Same statement from two sources on different shards must
+        # share a global id once reconciled.
+        records = []
+        for index in range(30):
+            for source in ("a", "b", "c", "d", "e"):
+                records.append(
+                    make_record(f"ping {index} ok", source=source,
+                                timestamp=index)
+                )
+        parser = DistributedDrain(shards=4, route_by="source")
+        parsed = parser.parse_all(records)
+        ping_ids = {event.template_id for event in parsed[-10:]}
+        assert len(ping_ids) == 1
+
+    def test_single_shard_matches_plain_drain(self, hdfs_small):
+        distributed = DistributedDrain(shards=1, masker=default_masker())
+        plain = DrainParser(masker=default_masker())
+        distributed_parsed = distributed.parse_all(hdfs_small.records)
+        plain_parsed = plain.parse_all(hdfs_small.records)
+        assert [event.template for event in distributed_parsed] == [
+            event.template for event in plain_parsed
+        ]
+
+    def test_template_set_agreement_with_single_instance(self, hdfs_small):
+        distributed = DistributedDrain(shards=4, route_by="token",
+                                       masker=default_masker())
+        plain = DrainParser(masker=default_masker())
+        distributed.parse_all(hdfs_small.records)
+        plain.parse_all(hdfs_small.records)
+        sharded_templates = set(distributed.global_templates())
+        plain_templates = set(plain.store.templates())
+        jaccard = len(sharded_templates & plain_templates) / len(
+            sharded_templates | plain_templates
+        )
+        assert jaccard >= 0.8, f"template agreement {jaccard:.2f}"
+
+
+class TestLoadAccounting:
+    def test_shard_loads_sum_to_records(self, hdfs_small):
+        parser = DistributedDrain(shards=4, route_by="token",
+                                  masker=default_masker())
+        parser.parse_all(hdfs_small.records)
+        assert sum(parser.shard_loads) == len(hdfs_small.records)
+
+    def test_source_routing_balances_multi_source(self):
+        parser = DistributedDrain(shards=3, route_by="source")
+        parser.parse_all(_multi_source_records(100))
+        loads = [load for load in parser.shard_loads if load > 0]
+        assert len(loads) >= 2

@@ -1,0 +1,96 @@
+"""Edge-case coverage for the pipeline, reports, and eval surfaces."""
+
+import pytest
+
+from repro import MoniLog, MoniLogConfig
+from repro.core.reports import AnomalyReport, ClassifiedAlert
+from repro.detection import InvariantMiningDetector, LogRobustDetector
+from repro.detection.base import DetectionResult
+from repro.logs.record import ParsedLog, Severity
+
+from conftest import make_record
+
+
+def _report(events):
+    return AnomalyReport(
+        report_id=0,
+        session_id="s",
+        events=tuple(events),
+        detection=DetectionResult(anomalous=True, score=1.0),
+    )
+
+
+class TestReportEdges:
+    def test_single_event_duration_zero(self):
+        event = ParsedLog(
+            record=make_record("x", timestamp=5.0),
+            template_id=0, template="x",
+        )
+        report = _report([event])
+        assert report.duration == 0.0
+        assert report.start_time == report.end_time == 5.0
+
+    def test_templates_deduplicated_in_order(self):
+        events = [
+            ParsedLog(record=make_record("a"), template_id=0, template="a"),
+            ParsedLog(record=make_record("b"), template_id=1, template="b"),
+            ParsedLog(record=make_record("a"), template_id=0, template="a"),
+        ]
+        assert _report(events).templates == ("a", "b")
+
+    def test_alert_transitions_are_pure(self):
+        event = ParsedLog(record=make_record("x"), template_id=0, template="x")
+        alert = ClassifiedAlert(report=_report([event]), pool="default",
+                                criticality="low")
+        moved = alert.moved_to("team-a")
+        edited = moved.with_criticality("high")
+        assert alert.pool == "default"
+        assert moved.pool == "team-a" and moved.criticality == "low"
+        assert edited.criticality == "high"
+
+
+class TestPipelineEdges:
+    def test_training_twice_replaces_detector_state(self, cloud_small):
+        system = MoniLog(detector=InvariantMiningDetector())
+        cut = len(cloud_small.records) // 2
+        system.train(cloud_small.records[:cut])
+        first_templates = system.stats.templates_discovered
+        system.train(cloud_small.records)
+        assert system.stats.templates_discovered >= first_templates
+
+    def test_supervised_detector_receives_session_labels(self, cloud_small):
+        system = MoniLog(detector=LogRobustDetector(epochs=2))
+        labels = {
+            session_id: truth.anomalous
+            for session_id, truth in cloud_small.sessions.items()
+        }
+        system.train(cloud_small.records, labels_by_session=labels)
+        # With real labels present the classifier must not degenerate.
+        assert not system.detector._degenerate
+
+    def test_min_window_events_filters_tiny_sessions(self, cloud_small):
+        config = MoniLogConfig(min_window_events=10_000)
+        system = MoniLog(detector=InvariantMiningDetector(), config=config)
+        with pytest.raises(ValueError):
+            # Everything filtered: the detector sees no sessions.
+            system.train(cloud_small.records)
+
+    def test_run_on_empty_stream(self, cloud_small):
+        system = MoniLog(detector=InvariantMiningDetector())
+        system.train(cloud_small.records)
+        assert system.run_all([]) == []
+
+    def test_structured_extraction_config_reaches_parser(self, cloud_json):
+        config = MoniLogConfig(extract_structured=True)
+        system = MoniLog(detector=InvariantMiningDetector(), config=config)
+        system.train(cloud_json.records)
+        assert system.parser.extract_structured
+
+    def test_stats_accumulate_across_runs(self, cloud_small):
+        system = MoniLog(detector=InvariantMiningDetector())
+        cut = len(cloud_small.records) // 2
+        system.train(cloud_small.records[:cut])
+        system.run_all(cloud_small.records[cut:])
+        first = system.stats.windows_scored
+        system.run_all(cloud_small.records[cut:])
+        assert system.stats.windows_scored == 2 * first

@@ -1,0 +1,262 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.detection import CountVectorizer, SemanticVectorizer
+from repro.logs.instability import InstabilityInjector
+from repro.logs.record import (
+    LogRecord,
+    ParsedLog,
+    Severity,
+    WILDCARD,
+    template_of,
+    tokenize,
+)
+from repro.logs.sources import ReplaySource
+from repro.logs.stream import DuplicationNoise, ReorderingNoise, interleave
+from repro.metrics.detection import confusion_counts
+from repro.metrics.unsupervised import (
+    cluster_cohesion,
+    mdl_score,
+    unsupervised_quality,
+)
+from repro.parsing.base import MinedTemplate
+from repro.parsing.spell import _lcs_length
+
+token_text = st.text(
+    alphabet=st.characters(whitelist_categories=("L", "N"), max_codepoint=0x24F),
+    min_size=1,
+    max_size=8,
+)
+message_text = st.lists(token_text, min_size=0, max_size=12).map(" ".join)
+
+
+def _record(message: str, timestamp: float = 0.0, sequence: int = 0) -> LogRecord:
+    return LogRecord(
+        timestamp=timestamp,
+        source="prop",
+        severity=Severity.INFO,
+        message=message,
+        sequence=sequence,
+    )
+
+
+class TestTokenizeProperties:
+    @given(message_text)
+    def test_tokens_contain_no_whitespace(self, message):
+        assert all(" " not in token for token in tokenize(message))
+
+    @given(message_text)
+    def test_join_of_tokens_retokenizes_identically(self, message):
+        tokens = tokenize(message)
+        assert tokenize(" ".join(tokens)) == tokens
+
+
+class TestTemplateOfProperties:
+    @given(st.lists(token_text, min_size=1, max_size=10), st.data())
+    def test_reconstruction_roundtrip(self, tokens, data):
+        message = " ".join(tokens)
+        positions = data.draw(
+            st.sets(st.integers(0, len(tokens) - 1))
+        )
+        template, variables = template_of(message, positions)
+        parsed = ParsedLog(
+            record=_record(message),
+            template_id=0,
+            template=template,
+            variables=variables,
+        )
+        assert parsed.reconstruct() == " ".join(tokenize(message))
+
+    @given(st.lists(token_text, min_size=1, max_size=10), st.data())
+    def test_variable_count_matches_positions(self, tokens, data):
+        positions = data.draw(st.sets(st.integers(0, len(tokens) - 1)))
+        template, variables = template_of(" ".join(tokens), positions)
+        assert len(variables) == len(positions)
+        assert tokenize(template).count(WILDCARD) == len(positions)
+
+
+class TestMinedTemplateProperties:
+    @given(st.lists(token_text, min_size=1, max_size=8), st.data())
+    def test_merge_only_generalizes(self, tokens, data):
+        template = MinedTemplate(0, list(tokens))
+        other = data.draw(
+            st.lists(token_text, min_size=len(tokens), max_size=len(tokens))
+        )
+        before = list(template.tokens)
+        template.merge(other)
+        for old, new in zip(before, template.tokens):
+            assert new == old or new == WILDCARD
+
+    @given(st.lists(token_text, min_size=1, max_size=8))
+    def test_merge_identical_is_identity(self, tokens):
+        template = MinedTemplate(0, list(tokens))
+        template.merge(list(tokens))
+        assert template.tokens == list(tokens)
+
+    @given(st.lists(token_text, min_size=1, max_size=8), st.data())
+    def test_similarity_bounds(self, tokens, data):
+        template = MinedTemplate(0, list(tokens))
+        other = data.draw(st.lists(token_text, max_size=10))
+        similarity = template.similarity(other)
+        assert 0.0 <= similarity <= 1.0
+
+
+class TestLcsProperties:
+    @given(st.lists(token_text, max_size=10), st.lists(token_text, max_size=10))
+    def test_lcs_bounded_by_shorter(self, left, right):
+        lcs = _lcs_length(left, right)
+        assert 0 <= lcs <= min(len(left), len(right))
+
+    @given(st.lists(token_text, max_size=10))
+    def test_lcs_with_self_is_length(self, tokens):
+        assert _lcs_length(tokens, tokens) == len(tokens)
+
+    @given(st.lists(token_text, max_size=8), st.lists(token_text, max_size=8))
+    def test_lcs_symmetric(self, left, right):
+        assert _lcs_length(left, right) == _lcs_length(right, left)
+
+
+class TestStreamProperties:
+    @given(
+        st.lists(st.floats(0, 1000, allow_nan=False), max_size=30),
+        st.lists(st.floats(0, 1000, allow_nan=False), max_size=30),
+    )
+    def test_interleave_sorted_and_complete(self, times_a, times_b):
+        source_a = ReplaySource(
+            "a", [_record(f"a{i}", t, i) for i, t in enumerate(sorted(times_a))]
+        )
+        source_b = ReplaySource(
+            "b", [_record(f"b{i}", t, i) for i, t in enumerate(sorted(times_b))]
+        )
+        merged = list(interleave([source_a, source_b]))
+        assert len(merged) == len(times_a) + len(times_b)
+        timestamps = [record.timestamp for record in merged]
+        assert timestamps == sorted(timestamps)
+
+    @given(
+        st.integers(0, 50),
+        st.floats(0.0, 1.0),
+        st.integers(0, 10),
+    )
+    @settings(max_examples=25)
+    def test_reordering_preserves_multiset(self, count, max_delay, seed):
+        records = [_record(f"m{i}", float(i), i) for i in range(count)]
+        noise = ReorderingNoise(max_delay=max_delay, seed=seed)
+        output = list(noise.apply(iter(records)))
+        assert sorted(r.message for r in output) == sorted(
+            r.message for r in records
+        )
+
+    @given(st.integers(0, 50), st.floats(0.0, 1.0), st.integers(0, 10))
+    @settings(max_examples=25)
+    def test_duplication_never_loses_records(self, count, rate, seed):
+        records = [_record(f"m{i}", float(i), i) for i in range(count)]
+        noise = DuplicationNoise(rate=rate, seed=seed)
+        output = [r.message for r in noise.apply(iter(records))]
+        for record in records:
+            assert record.message in output
+        assert len(output) <= 2 * count
+
+
+class TestInstabilityProperties:
+    @given(st.floats(0.0, 1.0), st.integers(0, 20))
+    @settings(max_examples=25)
+    def test_never_loses_content_entirely(self, ratio, seed):
+        records = [
+            _record(f"event number {i} occurred", float(i), i)
+            for i in range(30)
+        ]
+        injector = InstabilityInjector(ratio=ratio, seed=seed)
+        output = list(injector.apply(records))
+        assert len(output) >= 30  # only NOISE duplicates, never drops
+        # Anomaly labels survive alteration.
+        assert not any(record.is_anomalous for record in output)
+
+
+class TestConfusionProperties:
+    @given(st.lists(st.tuples(st.booleans(), st.booleans()), max_size=60))
+    def test_counts_partition_the_data(self, pairs):
+        predictions = [p for p, _ in pairs]
+        truths = [t for _, t in pairs]
+        report = confusion_counts(predictions, truths)
+        total = (
+            report.true_positives + report.false_positives
+            + report.false_negatives + report.true_negatives
+        )
+        assert total == len(pairs)
+        assert 0.0 <= report.precision <= 1.0
+        assert 0.0 <= report.recall <= 1.0
+        epsilon = 1e-12
+        low = min(report.precision, report.recall) - epsilon
+        high = max(report.precision, report.recall) + epsilon
+        assert (low <= report.f1 <= high) or report.f1 == 0.0
+
+
+class TestCountVectorProperties:
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 6), min_size=1, max_size=10),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_row_sum_equals_session_length(self, id_sessions):
+        sessions = [
+            [
+                ParsedLog(record=_record(f"t{i}"), template_id=i,
+                          template=f"t{i}")
+                for i in ids
+            ]
+            for ids in id_sessions
+        ]
+        vectorizer = CountVectorizer()
+        matrix = vectorizer.fit_transform(sessions)
+        for row, session in zip(matrix, sessions):
+            assert row.sum() == len(session)
+
+
+class TestSemanticProperties:
+    @given(st.lists(token_text, min_size=1, max_size=8))
+    @settings(max_examples=30)
+    def test_self_similarity_is_one(self, tokens):
+        vectorizer = SemanticVectorizer()
+        template = " ".join(tokens)
+        np.testing.assert_allclose(
+            vectorizer.similarity(template, template), 1.0, atol=1e-9
+        )
+
+    @given(st.lists(token_text, min_size=1, max_size=8),
+           st.lists(token_text, min_size=1, max_size=8))
+    @settings(max_examples=30)
+    def test_similarity_symmetric_and_bounded(self, left, right):
+        vectorizer = SemanticVectorizer()
+        a = " ".join(left)
+        b = " ".join(right)
+        assert vectorizer.similarity(a, b) == vectorizer.similarity(b, a)
+        assert -1.0 - 1e-9 <= vectorizer.similarity(a, b) <= 1.0 + 1e-9
+
+
+class TestUnsupervisedMetricProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.lists(token_text, min_size=1,
+                                                  max_size=6)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=25)
+    def test_scores_bounded(self, items):
+        parsed = [
+            ParsedLog(
+                record=_record(" ".join(tokens)),
+                template_id=template_id,
+                template=" ".join(tokens),
+            )
+            for template_id, tokens in items
+        ]
+        assert 0.0 <= mdl_score(parsed) <= 1.0
+        assert 0.0 <= cluster_cohesion(parsed) <= 1.0
+        assert 0.0 <= unsupervised_quality(parsed) <= 1.0

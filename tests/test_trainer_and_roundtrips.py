@@ -1,0 +1,116 @@
+"""Trainer-loop behaviour and property-based format round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logs.formats import DASHED_FORMAT
+from repro.logs.record import LogRecord, Severity
+from repro.nn import Adam, Dense, Trainer, mse_loss
+from repro.nn.network import EpochStats
+
+
+class TestTrainer:
+    def _fit(self, **kwargs):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 3))
+        true_weight = np.array([[1.0], [-2.0], [0.5]])
+        y = x @ true_weight
+        model = Dense(3, 1, seed=1)
+
+        def loss_fn(x_batch, y_batch):
+            predictions = model.forward(x_batch)
+            loss, grad = mse_loss(predictions, y_batch)
+            model.backward(grad)
+            return loss, None
+
+        trainer = Trainer(model, Adam(learning_rate=0.05), **kwargs)
+        history = trainer.fit(x, y, loss_fn)
+        return model, history, true_weight
+
+    def test_learns_linear_map(self):
+        model, history, true_weight = self._fit(epochs=60, batch_size=16)
+        assert model.weight.value == pytest.approx(true_weight, abs=0.05)
+
+    def test_loss_decreases(self):
+        _, history, _ = self._fit(epochs=30, batch_size=16)
+        assert history[-1].loss < history[0].loss
+
+    def test_history_structure(self):
+        _, history, _ = self._fit(epochs=5, batch_size=16)
+        assert len(history) == 5
+        assert all(isinstance(entry, EpochStats) for entry in history)
+        assert [entry.epoch for entry in history] == list(range(5))
+        assert all(entry.accuracy is None for entry in history)
+
+    def test_deterministic_given_seed(self):
+        model_a, _, _ = self._fit(epochs=10, batch_size=8, seed=4)
+        model_b, _, _ = self._fit(epochs=10, batch_size=8, seed=4)
+        assert np.array_equal(model_a.weight.value, model_b.weight.value)
+
+    def test_empty_dataset_is_noop(self):
+        model = Dense(2, 1)
+        trainer = Trainer(model, Adam())
+        history = trainer.fit(
+            np.zeros((0, 2)), np.zeros((0, 1)), lambda x, y: (0.0, None)
+        )
+        assert history == []
+
+    def test_length_mismatch_rejected(self):
+        trainer = Trainer(Dense(2, 1), Adam())
+        with pytest.raises(ValueError, match="disagree"):
+            trainer.fit(np.zeros((3, 2)), np.zeros((2, 1)),
+                        lambda x, y: (0.0, None))
+
+    def test_eval_mode_after_fit(self):
+        model, _, _ = self._fit(epochs=1, batch_size=16)
+        assert model.training is False
+
+
+message_text = st.text(
+    alphabet=st.characters(whitelist_categories=("L", "N"),
+                           max_codepoint=0x24F),
+    min_size=1,
+    max_size=40,
+).map(str.strip).filter(bool)
+
+source_text = st.text(
+    alphabet=st.characters(whitelist_categories=("L",), max_codepoint=0x7A),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestFormatRoundtripProperties:
+    @given(
+        message=message_text,
+        source=source_text,
+        severity=st.sampled_from(list(Severity)),
+        timestamp=st.floats(0.0, 4_000_000_000.0, allow_nan=False),
+    )
+    @settings(max_examples=60)
+    def test_dashed_roundtrip(self, message, source, severity, timestamp):
+        record = LogRecord(
+            timestamp=timestamp,
+            source=source,
+            severity=severity,
+            message=message,
+        )
+        rendered = DASHED_FORMAT.render(record)
+        parsed = DASHED_FORMAT.parse(rendered)
+        assert parsed is not None
+        assert parsed.source == source
+        assert parsed.severity is severity
+        # Messages collapse internal whitespace at tokenization, but
+        # the rendered message must round-trip verbatim.
+        assert parsed.message == message
+        assert parsed.timestamp == pytest.approx(timestamp, abs=0.01)
+
+    @given(message=message_text)
+    @settings(max_examples=40)
+    def test_session_extractor_never_crashes(self, message):
+        from repro.logs.sessions import SessionKeyExtractor
+
+        extractor = SessionKeyExtractor()
+        key = extractor.key_for(message)
+        assert key is None or isinstance(key, str)
