@@ -7,14 +7,25 @@ heavyweight computation exactly once via ``benchmark.pedantic`` —
 pytest-benchmark measures that single round's wall clock.
 
 Dataset sizes are chosen so the full bench suite completes in minutes
-on a laptop while keeping every result qualitatively stable.
+on a laptop while keeping every result qualitatively stable.  Setting
+``MONILOG_BENCH_SMOKE=1`` shrinks the shared fixtures (and the X8
+stream) so a bench doubles as a seconds-scale smoke test —
+``scripts/check.sh`` uses this for its one-command gate.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.datasets import generate_bgl, generate_cloud_platform, generate_hdfs
+
+_SMOKE = bool(os.environ.get("MONILOG_BENCH_SMOKE"))
+
+
+def _scaled(full: int, smoke: int) -> int:
+    return smoke if _SMOKE else full
 
 
 @pytest.fixture
@@ -30,23 +41,24 @@ def emit(capsys):
 
 @pytest.fixture(scope="session")
 def hdfs_bench():
-    return generate_hdfs(sessions=500, anomaly_rate=0.06, seed=5)
+    return generate_hdfs(sessions=_scaled(500, 150), anomaly_rate=0.06, seed=5)
 
 
 @pytest.fixture(scope="session")
 def bgl_bench():
-    return generate_bgl(records=8000, alert_episodes=10, seed=5)
+    return generate_bgl(records=_scaled(8000, 2500), alert_episodes=10, seed=5)
 
 
 @pytest.fixture(scope="session")
 def cloud_bench():
-    return generate_cloud_platform(sessions=400, anomaly_rate=0.06, seed=5)
+    return generate_cloud_platform(sessions=_scaled(400, 150),
+                                   anomaly_rate=0.06, seed=5)
 
 
 @pytest.fixture(scope="session")
 def cloud_json_bench():
     return generate_cloud_platform(
-        sessions=300, anomaly_rate=0.05, json_suffix=True, seed=5
+        sessions=_scaled(300, 120), anomaly_rate=0.05, json_suffix=True, seed=5
     )
 
 

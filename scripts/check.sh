@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# One-command gate for builders: the tier-1 test suite plus a
+# seconds-scale smoke run of the Fig. 1 pipeline bench.
+#
+#   scripts/check.sh            # full gate
+#   scripts/check.sh -k drain   # extra args go to the tier-1 pytest
+#
+# The tier-1 invocation matches ROADMAP.md exactly; the bench smoke
+# runs with MONILOG_BENCH_SMOKE=1 (shrunken fixtures, see
+# benchmarks/conftest.py) so it finishes in roughly two seconds while
+# still exercising the full parse → detect → classify path and the
+# sharded runtime.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: python -m pytest -x -q =="
+python -m pytest -x -q "$@"
+
+echo
+echo "== smoke: benchmarks/bench_fig1_pipeline.py =="
+MONILOG_BENCH_SMOKE=1 python -m pytest benchmarks/bench_fig1_pipeline.py \
+    -q -p no:cacheprovider --benchmark-disable
+
+echo
+echo "check.sh: all gates passed"

@@ -14,6 +14,14 @@ stream:
 Usage is two-phase, matching deployment: :meth:`train` consumes a
 (normal-dominated) historical stream to fit the detector, then
 :meth:`run` processes live records and yields classified alerts.
+
+:meth:`process_batch` is the batched fast path: it accepts a finite
+record list, feeds the parser micro-batches through
+:meth:`~repro.parsing.base.Parser.parse_batch` (activating the
+exact-match template cache and intra-batch dedup), and returns exactly
+the alerts :meth:`run` would yield over the same records — same
+sessions, same order, same classifications.  Both entry points share
+one window-scoring routine, so parity is structural, not coincidental.
 """
 
 from __future__ import annotations
@@ -30,7 +38,7 @@ from repro.detection.base import Detector
 from repro.detection.deeplog import DeepLogDetector
 from repro.detection.windows import sessions_from_parsed, sliding_windows
 from repro.logs.record import LogRecord, ParsedLog
-from repro.parsing.base import Parser
+from repro.parsing.base import Parser, parse_in_batches
 from repro.parsing.drain import DrainParser
 from repro.parsing.masking import default_masker, no_masker
 
@@ -139,7 +147,11 @@ class MoniLog:
         """
         record_list = list(records)
         self.maybe_calibrate(record_list)
-        parsed = list(self._parse(record_list))
+        # Training materializes the stream anyway, so it always takes
+        # the batched parse path (identical output to a per-record
+        # loop; see Parser.parse_batch).
+        parsed = self.parser.parse_batch(record_list)
+        self.stats.records_parsed += len(parsed)
         windows = list(self._window(parsed))
         windows = [
             window
@@ -159,31 +171,66 @@ class MoniLog:
 
     # -- running -----------------------------------------------------------------
 
+    def _score_window(self, window: list[ParsedLog]) -> ClassifiedAlert | None:
+        """Detect + classify one closed window; None when not alerted.
+
+        The single scoring routine behind :meth:`run` and
+        :meth:`process_batch` — both paths produce identical alerts
+        because both call this.
+        """
+        if len(window) < self.config.min_window_events:
+            return None
+        self.stats.windows_scored += 1
+        result = self.detector.detect(window)
+        if not result.anomalous:
+            return None
+        self.stats.anomalies_detected += 1
+        report = AnomalyReport(
+            report_id=self._report_counter,
+            session_id=window[0].session_id or f"window-{self.stats.windows_scored}",
+            events=tuple(window),
+            detection=result,
+        )
+        self._report_counter += 1
+        alert = self.classifier.classify(report)
+        alert = self.pools.deliver(alert)
+        self.stats.alerts_classified += 1
+        return alert
+
     def run(self, records: Iterable[LogRecord]) -> Iterator[ClassifiedAlert]:
         """Process a stream; yields classified alerts as windows close."""
         if not self._trained:
             raise RuntimeError("MoniLog.train() must run before run()")
         parsed = self._parse(records)
         for window in self._window(parsed):
-            if len(window) < self.config.min_window_events:
-                continue
-            self.stats.windows_scored += 1
-            result = self.detector.detect(window)
-            if not result.anomalous:
-                continue
-            self.stats.anomalies_detected += 1
-            report = AnomalyReport(
-                report_id=self._report_counter,
-                session_id=window[0].session_id or f"window-{self.stats.windows_scored}",
-                events=tuple(window),
-                detection=result,
-            )
-            self._report_counter += 1
-            alert = self.classifier.classify(report)
-            alert = self.pools.deliver(alert)
-            self.stats.alerts_classified += 1
-            yield alert
+            alert = self._score_window(window)
+            if alert is not None:
+                yield alert
 
     def run_all(self, records: Iterable[LogRecord]) -> list[ClassifiedAlert]:
         """Materialized :meth:`run`, for scripts and tests."""
         return list(self.run(records))
+
+    def process_batch(
+        self,
+        records: Iterable[LogRecord],
+        batch_size: int | None = None,
+    ) -> list[ClassifiedAlert]:
+        """Batched fast path over a finite record list.
+
+        Parses ``records`` in micro-batches of ``batch_size`` (default:
+        one batch for the whole list) through the parser's amortized
+        :meth:`~repro.parsing.base.Parser.parse_batch`, then windows and
+        scores exactly like :meth:`run`.  Alerts are identical to
+        ``run_all(records)`` — same sessions, order, criticalities.
+        """
+        if not self._trained:
+            raise RuntimeError("MoniLog.train() must run before process_batch()")
+        parsed = parse_in_batches(self.parser, records, batch_size)
+        self.stats.records_parsed += len(parsed)
+        alerts = []
+        for window in self._window(parsed):
+            alert = self._score_window(window)
+            if alert is not None:
+                alerts.append(alert)
+        return alerts

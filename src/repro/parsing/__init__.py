@@ -26,7 +26,9 @@ from repro.parsing.base import (
     MinedTemplate,
     OnlineParser,
     Parser,
+    TemplateCache,
     TemplateStore,
+    parse_in_batches,
 )
 from repro.parsing.masking import MaskingRule, Masker, default_masker, no_masker
 from repro.parsing.drain import DrainParser

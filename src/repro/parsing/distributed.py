@@ -59,6 +59,7 @@ class DistributedDrain:
         max_children: int = 100,
         masker: Masker | None = None,
         extract_structured: bool = False,
+        cache_size: int = 65536,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -73,6 +74,7 @@ class DistributedDrain:
                 max_children=max_children,
                 masker=masker,
                 extract_structured=extract_structured,
+                cache_size=cache_size,
             )
             for _ in range(shards)
         ]
@@ -120,6 +122,34 @@ class DistributedDrain:
 
     def parse_all(self, records: Iterable[LogRecord]) -> list[ParsedLog]:
         return list(self.parse_stream(records))
+
+    def parse_batch(self, records: Iterable[LogRecord]) -> list[ParsedLog]:
+        """Batched fast path: route once, drain each shard in one call.
+
+        Records are partitioned per shard up front, each shard parses
+        its sub-sequence through
+        :meth:`~repro.parsing.base.Parser.parse_batch` (keeping the
+        shard's intra-batch dedup effective), and results are
+        reassembled into delivery order before globalization.  Output —
+        events, global ids, shard loads — is identical to a
+        ``parse_record`` loop: every shard sees exactly its own records
+        in the same relative order, and global ids are still assigned
+        at first sighting in delivery order.
+        """
+        records = list(records)
+        shard_of = [self.shard_for(record) for record in records]
+        groups: list[list[LogRecord]] = [[] for _ in range(self.shards)]
+        for record, shard in zip(records, shard_of):
+            groups[shard].append(record)
+            self._shard_loads[shard] += 1
+        parsed_per_shard = [
+            iter(parser.parse_batch(group))
+            for parser, group in zip(self.parsers, groups)
+        ]
+        return [
+            self._globalize(shard, next(parsed_per_shard[shard]))
+            for shard in shard_of
+        ]
 
     def global_templates(self) -> list[str]:
         """The reconciled global template table (current, deduplicated).

@@ -12,6 +12,16 @@ and similarity threshold — as its automation limit: "their values have
 a significant impact on precision.  Therefore, Drain cannot be deployed
 in an unknown system with a high level of confidence."  Both are
 exposed as constructor arguments and swept by experiments X4/X5.
+
+Drain enables the exact-match template cache
+(:class:`~repro.parsing.base.TemplateCache`) by default: repeated
+masked lines skip the tree walk and the per-cluster similarity scan.
+Hits are byte-identical to a cold classification because entries are
+invalidated (via the store's generation counter) whenever any template
+is created or refined — the only events that can change which cluster
+wins the scan — and because re-merging a previously merged token
+sequence never mutates a cluster (after the first merge, every
+position is either a wildcard or that sequence's token).
 """
 
 from __future__ import annotations
@@ -49,6 +59,8 @@ class DrainParser(OnlineParser):
             tokens route through the wildcard child (default 100).
         masker / extract_structured: preprocessing, see
             :class:`repro.parsing.base.Parser`.
+        cache_size: capacity of the exact-match template cache on
+            masked content (0 disables it; default 65536 entries).
     """
 
     def __init__(
@@ -58,8 +70,9 @@ class DrainParser(OnlineParser):
         max_children: int = 100,
         masker: Masker | None = None,
         extract_structured: bool = False,
+        cache_size: int = 65536,
     ) -> None:
-        super().__init__(masker, extract_structured)
+        super().__init__(masker, extract_structured, cache_size=cache_size)
         if depth < 1:
             raise ValueError(f"depth must be >= 1, got {depth}")
         if not 0.0 < similarity_threshold <= 1.0:

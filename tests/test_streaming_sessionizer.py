@@ -1,0 +1,128 @@
+"""Edge cases of the incremental sessionizer.
+
+Pins the boundary semantics the streaming runtime depends on: what
+happens when a session lands exactly on ``max_session_events``, when an
+arrival ties the idle deadline to the second, and how ``flush`` drains
+open sessions at shutdown.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import make_record
+from repro.core.streaming import StreamingSessionizer
+from repro.logs.record import ParsedLog
+
+
+def _event(timestamp: float, session_id: str | None = None,
+           source: str = "svc") -> ParsedLog:
+    record = make_record("tick", timestamp=timestamp, source=source,
+                         session_id=session_id)
+    return ParsedLog(record=record, template_id=0, template="tick")
+
+
+class TestMaxEventsBoundary:
+    def test_session_closes_exactly_at_max_session_events(self):
+        sessionizer = StreamingSessionizer(session_timeout=100.0,
+                                           max_session_events=3)
+        assert sessionizer.push(_event(0.0, "s")) == []
+        assert sessionizer.push(_event(1.0, "s")) == []
+        closed = sessionizer.push(_event(2.0, "s"))
+        assert len(closed) == 1
+        assert len(closed[0]) == 3
+        assert sessionizer.open_sessions == 0
+
+    def test_capped_session_reopens_fresh(self):
+        sessionizer = StreamingSessionizer(session_timeout=100.0,
+                                           max_session_events=2)
+        sessionizer.push(_event(0.0, "s"))
+        assert sessionizer.push(_event(1.0, "s"))  # closed at the cap
+        # The next event under the same id starts a brand-new bucket.
+        assert sessionizer.push(_event(2.0, "s")) == []
+        assert sessionizer.open_sessions == 1
+        [session] = sessionizer.flush()
+        assert [e.timestamp for e in session] == [2.0]
+
+    def test_max_one_closes_on_every_push(self):
+        sessionizer = StreamingSessionizer(session_timeout=100.0,
+                                           max_session_events=1)
+        for index in range(4):
+            closed = sessionizer.push(_event(float(index), "s"))
+            assert [len(s) for s in closed] == [1]
+        assert sessionizer.open_sessions == 0
+
+
+class TestIdleTimeoutBoundary:
+    def test_arrival_exactly_at_deadline_closes_the_idle_session(self):
+        # Last activity at t=0 with timeout 30: an arrival at exactly
+        # t=30 makes the deadline tie (last_seen == now - timeout) and
+        # the idle session closes — the timeout is inclusive.
+        sessionizer = StreamingSessionizer(session_timeout=30.0)
+        sessionizer.push(_event(0.0, "a"))
+        closed = sessionizer.push(_event(30.0, "b"))
+        assert [s[0].session_id for s in closed] == ["a"]
+        assert sessionizer.open_sessions == 1  # only b remains
+
+    def test_arrival_just_inside_the_deadline_keeps_the_session(self):
+        sessionizer = StreamingSessionizer(session_timeout=30.0)
+        sessionizer.push(_event(0.0, "a"))
+        assert sessionizer.push(_event(29.999, "b")) == []
+        assert sessionizer.open_sessions == 2
+
+    def test_closing_event_is_not_part_of_the_closed_session(self):
+        sessionizer = StreamingSessionizer(session_timeout=10.0)
+        sessionizer.push(_event(0.0, "a"))
+        [closed] = sessionizer.push(_event(50.0, "b"))
+        assert all(e.session_id == "a" for e in closed)
+        assert len(closed) == 1
+
+    def test_simultaneous_expiries_close_in_activity_order(self):
+        sessionizer = StreamingSessionizer(session_timeout=10.0)
+        sessionizer.push(_event(0.0, "a"))
+        sessionizer.push(_event(1.0, "b"))
+        sessionizer.push(_event(2.0, "a"))  # a is now the most recent
+        closed = sessionizer.push(_event(100.0, "c"))
+        assert [s[0].session_id for s in closed] == ["b", "a"]
+
+    def test_events_without_session_id_bucket_by_source(self):
+        sessionizer = StreamingSessionizer(session_timeout=10.0)
+        sessionizer.push(_event(0.0, source="db"))
+        sessionizer.push(_event(1.0, source="web"))
+        assert sessionizer.open_sessions == 2
+        # Both bursts are idle past the deadline at t=20; the arriving
+        # web event starts a *new* burst rather than joining the old.
+        closed = sessionizer.push(_event(20.0, source="web"))
+        assert [s[0].source for s in closed] == ["db", "web"]
+        assert sessionizer.open_sessions == 1
+
+
+class TestFlush:
+    def test_flush_returns_all_open_sessions_and_empties(self):
+        sessionizer = StreamingSessionizer(session_timeout=100.0)
+        sessionizer.push(_event(0.0, "a"))
+        sessionizer.push(_event(1.0, "b"))
+        sessionizer.push(_event(2.0, "a"))
+        flushed = sessionizer.flush()
+        assert sorted(s[0].session_id for s in flushed) == ["a", "b"]
+        assert {len(s) for s in flushed} == {1, 2}
+        assert sessionizer.open_sessions == 0
+        assert sessionizer.flush() == []
+
+    def test_flush_then_reuse(self):
+        sessionizer = StreamingSessionizer(session_timeout=100.0)
+        sessionizer.push(_event(0.0, "a"))
+        sessionizer.flush()
+        # Flushing must fully reset per-session bookkeeping: the same
+        # key starts over with an empty bucket and a fresh clock.
+        assert sessionizer.push(_event(1000.0, "a")) == []
+        [session] = sessionizer.flush()
+        assert [e.timestamp for e in session] == [1000.0]
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            StreamingSessionizer(session_timeout=0.0)
+        with pytest.raises(ValueError):
+            StreamingSessionizer(max_session_events=0)
