@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
-# One-command gate for builders: the tier-1 test suite plus a
-# seconds-scale smoke run of the Fig. 1 pipeline bench.
+# One-command gate for builders: the tier-1 test suite (twice: serial
+# and threaded shard execution) plus seconds-scale smoke runs of the
+# Fig. 1 pipeline bench and the X9 parallel-shards bench.
 #
 #   scripts/check.sh            # full gate
 #   scripts/check.sh -k drain   # extra args go to the tier-1 pytest
 #
-# The tier-1 invocation matches ROADMAP.md exactly; the bench smoke
-# runs with MONILOG_BENCH_SMOKE=1 (shrunken fixtures, see
-# benchmarks/conftest.py) so it finishes in roughly two seconds while
-# still exercising the full parse → detect → classify path and the
-# sharded runtime.
+# The tier-1 invocation matches ROADMAP.md exactly; the second run
+# exports MONILOG_EXECUTOR=thread (the suite-wide equivalent of the
+# CLI's --executor flag) so every default-constructed sharded runtime
+# executes its shards on a thread pool — results must not change, and
+# a run that deadlocks, races, or diverges here is a concurrency
+# regression.  Bench smokes run with MONILOG_BENCH_SMOKE=1 (shrunken
+# fixtures, see benchmarks/conftest.py) so each finishes in seconds
+# while still exercising the full parse → detect → classify path, the
+# sharded runtime, and the >=1.5x concurrent-shard throughput claim.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -18,8 +23,17 @@ echo "== tier-1: python -m pytest -x -q =="
 python -m pytest -x -q "$@"
 
 echo
+echo "== tier-1 under the threaded executor: MONILOG_EXECUTOR=thread =="
+MONILOG_EXECUTOR=thread python -m pytest -x -q "$@"
+
+echo
 echo "== smoke: benchmarks/bench_fig1_pipeline.py =="
 MONILOG_BENCH_SMOKE=1 python -m pytest benchmarks/bench_fig1_pipeline.py \
+    -q -p no:cacheprovider --benchmark-disable
+
+echo
+echo "== smoke: benchmarks/bench_x9_parallel_shards.py =="
+MONILOG_BENCH_SMOKE=1 python -m pytest benchmarks/bench_x9_parallel_shards.py \
     -q -p no:cacheprovider --benchmark-disable
 
 echo

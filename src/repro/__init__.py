@@ -30,6 +30,7 @@ from repro.core.config import MoniLogConfig
 from repro.core.pipeline import MoniLog
 from repro.core.distributed import ShardedMoniLog
 from repro.core.reports import AnomalyReport, ClassifiedAlert
+from repro.core.streaming import StreamingShardedMoniLog
 
 __version__ = "1.0.0"
 
@@ -39,5 +40,6 @@ __all__ = [
     "MoniLog",
     "MoniLogConfig",
     "ShardedMoniLog",
+    "StreamingShardedMoniLog",
     "__version__",
 ]

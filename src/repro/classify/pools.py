@@ -59,15 +59,27 @@ class PoolManager:
         self._pools[name] = pool
         return pool
 
-    def delete_pool(self, name: str) -> None:
-        """Delete a pool; its alerts return to the default pool."""
+    def delete_pool(self, name: str, *, notify: bool = True) -> None:
+        """Delete a pool; its alerts return to the default pool.
+
+        Deleting a pool is an admin action, so by default every
+        relocated alert reaches the feedback listeners as a pool move
+        (``name`` → default) — the classifier must unlearn routes into
+        a pool that no longer exists.  Pass ``notify=False`` when the
+        deletion is housekeeping that should not count as an assessment
+        of where those alerts belong (e.g. re-organizing teams before
+        re-creating the pool under another name).
+        """
         if name == DEFAULT_POOL:
             raise ValueError("the default pool cannot be deleted")
         pool = self._pools.pop(name, None)
         if pool is None:
             raise KeyError(f"no pool named {name!r}")
         for alert in pool.alerts:
-            self._pools[DEFAULT_POOL].alerts.append(alert.moved_to(DEFAULT_POOL))
+            moved = alert.moved_to(DEFAULT_POOL)
+            self._pools[DEFAULT_POOL].alerts.append(moved)
+            if notify:
+                self._notify(moved, "pool", name, DEFAULT_POOL)
 
     def pool(self, name: str) -> Pool:
         return self._pools[name]

@@ -14,8 +14,10 @@ Four commands covering the adoption path of a downstream user:
 Every command reads plain text logs; headers are auto-detected via
 :func:`repro.logs.formats.detect_format`.  ``parse`` and ``pipeline``
 take ``--batch-size`` to run the amortized batched fast path (template
-cache + intra-batch dedup); output is identical to per-record mode
-(``--batch-size 0``).
+cache + intra-batch dedup) and ``--shards``/``--executor`` to run the
+sharded runtimes with concurrent shard execution (serial / thread pool
+/ process pool).  Output is identical across all of these modes —
+batching, sharding, and the executor change wall-clock only.
 """
 
 from __future__ import annotations
@@ -25,6 +27,8 @@ import sys
 from collections.abc import Sequence
 
 from repro.core.config import MoniLogConfig
+from repro.core.distributed import ShardedMoniLog
+from repro.core.executors import EXECUTORS, default_executor_name
 from repro.core.pipeline import MoniLog
 from repro.datasets import generate_bgl, generate_cloud_platform, generate_hdfs
 from repro.detection import DETECTORS, sessions_from_parsed
@@ -34,6 +38,7 @@ from repro.logs.formats import read_log_lines, render_line
 from repro.logs.sessions import SessionKeyExtractor
 from repro.parsing import (
     BATCH_PARSERS,
+    DistributedDrain,
     ONLINE_PARSERS,
     LogramParser,
     default_masker,
@@ -73,6 +78,22 @@ def _batch_size(text: str) -> int:
     return value
 
 
+def _shard_count(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"shard count must be >= 0 (0 disables sharding), got {value}"
+        )
+    return value
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected >= 1, got {value}")
+    return value
+
+
 def _build_parser_instance(name: str, masking: bool, extract: bool):
     factories = dict(ONLINE_PARSERS) | dict(BATCH_PARSERS)
     if name not in factories:
@@ -104,11 +125,27 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 def _command_parse(args: argparse.Namespace) -> int:
     records = _read_records(args.input)
-    parser = _build_parser_instance(args.parser, args.masking, args.extract)
-    if args.parser in BATCH_PARSERS:
-        parser.fit(records)
-    if isinstance(parser, LogramParser):
-        parser.warmup(records)
+    if args.shards:
+        if args.parser != "drain":
+            raise SystemExit(
+                "--shards runs the distributed Drain; "
+                f"it cannot shard {args.parser!r}"
+            )
+        masker = default_masker() if args.masking else no_masker()
+        parser = DistributedDrain(
+            shards=args.shards,
+            masker=masker,
+            extract_structured=args.extract,
+            executor=args.executor,
+        )
+        template_of = parser.template_string
+    else:
+        parser = _build_parser_instance(args.parser, args.masking, args.extract)
+        template_of = lambda template_id: parser.store[template_id].template
+        if args.parser in BATCH_PARSERS:
+            parser.fit(records)
+        if isinstance(parser, LogramParser):
+            parser.warmup(records)
     if args.batch_size:
         parsed = parse_in_batches(parser, records, args.batch_size)
     else:
@@ -121,8 +158,15 @@ def _command_parse(args: argparse.Namespace) -> int:
         ["id", "count", "template"],
     )
     for template_id, count in sorted(counts.items(), key=lambda kv: -kv[1]):
-        table.add_row(template_id, count, parser.store[template_id].template)
+        table.add_row(template_id, count, template_of(template_id))
     table.print()
+    if args.shards:
+        # --batch-size 0 parses record by record, which never fans out
+        # to the executor; attribute the run to the path that ran.
+        mode = f"{args.executor} executor" if args.batch_size else "per-record"
+        loads = ", ".join(str(load) for load in parser.shard_loads)
+        print(f"\nshard loads ({mode}): {loads}")
+        parser.executor.close()
     return 0
 
 
@@ -155,7 +199,33 @@ def _command_pipeline(args: argparse.Namespace) -> int:
     history = _read_records(args.history, sessionize=True)
     live = _read_records(args.live, sessionize=True)
     config = MoniLogConfig(use_masking=args.masking,
-                           extract_structured=args.extract)
+                           extract_structured=args.extract,
+                           executor=args.executor)
+    if args.shards:
+        with ShardedMoniLog(
+            parser_shards=args.shards,
+            detector_shards=args.detector_shards,
+            config=config,
+            # --batch-size 0 means per-record; the sharded runtime's
+            # equivalent is micro-batches of one record.
+            batch_size=args.batch_size or 1,
+        ) as sharded:
+            sharded.train(history)
+            alerts = sharded.run_all(live)
+            for alert in alerts:
+                print(
+                    f"[{alert.criticality:>8s}] pool={alert.pool} "
+                    f"{alert.report.summary()}"
+                )
+            loads = ", ".join(str(load)
+                              for load in sharded.parser.shard_loads)
+            print(
+                f"\nparsed {sum(sharded.parser.shard_loads)} records "
+                f"across {args.shards} shards ({args.executor} executor, "
+                f"loads {loads}), {sharded.parser.template_count} templates, "
+                f"{len(alerts)} anomalies"
+            )
+        return 0
     system = MoniLog(config=config)
     system.train(history)
     if args.batch_size:
@@ -203,6 +273,18 @@ def build_argument_parser() -> argparse.ArgumentParser:
         "--batch-size", type=_batch_size, default=512,
         help="parse via the amortized batch path (0 = per-record)",
     )
+    parse.add_argument(
+        "--shards", type=_shard_count, default=0,
+        help="parse through this many distributed Drain shards "
+             "(0 = single instance; requires --parser drain)",
+    )
+    parse.add_argument(
+        "--executor", choices=sorted(EXECUTORS),
+        default=default_executor_name(),
+        help="how shard work runs with --shards: serially, on a "
+             "thread pool, or on a process pool (output is identical; "
+             "default honors MONILOG_EXECUTOR)",
+    )
     parse.set_defaults(handler=_command_parse)
 
     detect = commands.add_parser("detect", help="find anomalous sessions")
@@ -225,12 +307,34 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="micro-batch size for the amortized parse path "
              "(0 = per-record processing; alerts are identical either way)",
     )
+    pipeline.add_argument(
+        "--shards", type=_shard_count, default=0,
+        help="run the sharded MoniLog with this many parser shards "
+             "(0 = single-instance pipeline)",
+    )
+    pipeline.add_argument(
+        "--detector-shards", type=_positive_int, default=1,
+        help="detector replicas in the sharded runtime (with --shards)",
+    )
+    pipeline.add_argument(
+        "--executor", choices=sorted(EXECUTORS),
+        default=default_executor_name(),
+        help="how shard work runs with --shards: serially, on a "
+             "thread pool, or on a process pool (alerts are identical; "
+             "default honors MONILOG_EXECUTOR)",
+    )
     pipeline.set_defaults(handler=_command_pipeline)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    arguments = build_argument_parser().parse_args(argv)
+    try:
+        parser = build_argument_parser()
+    except ValueError as error:
+        # A bad MONILOG_EXECUTOR surfaces while argparse defaults are
+        # built; report it like a usage error, not a traceback.
+        raise SystemExit(f"repro: {error}") from None
+    arguments = parser.parse_args(argv)
     return arguments.handler(arguments)
 
 

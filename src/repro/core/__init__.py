@@ -5,27 +5,48 @@
 * :mod:`repro.core.config` — pipeline configuration.
 * :mod:`repro.core.pipeline` — :class:`MoniLog`, the three-stage
   system of Fig. 1.
-* :mod:`repro.core.distributed` — the sharded runtime demonstrating
-  that each stage is distributable (paper §II).
+* :mod:`repro.core.distributed` — the sharded runtime running each
+  stage's shards concurrently (paper §II).
+* :mod:`repro.core.executors` — pluggable shard executors (serial /
+  thread pool / process pool) behind the sharded runtimes.
 * :mod:`repro.core.calibration` — unsupervised auto-parametrization of
   parsers (paper §IV's acquire → calibrate → parse flow).
 """
 
 from repro.core.reports import AnomalyReport, ClassifiedAlert
 from repro.core.config import MoniLogConfig
+from repro.core.executors import (
+    EXECUTORS,
+    ProcessExecutor,
+    SerialExecutor,
+    ShardExecutor,
+    ThreadedExecutor,
+    resolve_executor,
+)
 from repro.core.pipeline import MoniLog
 from repro.core.distributed import ShardedMoniLog
 from repro.core.calibration import AutoCalibrator, CalibrationResult
-from repro.core.streaming import StreamingMoniLog, StreamingSessionizer
+from repro.core.streaming import (
+    StreamingMoniLog,
+    StreamingSessionizer,
+    StreamingShardedMoniLog,
+)
 
 __all__ = [
     "AnomalyReport",
     "AutoCalibrator",
     "CalibrationResult",
     "ClassifiedAlert",
+    "EXECUTORS",
     "MoniLog",
     "MoniLogConfig",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ShardExecutor",
     "ShardedMoniLog",
     "StreamingMoniLog",
     "StreamingSessionizer",
+    "StreamingShardedMoniLog",
+    "ThreadedExecutor",
+    "resolve_executor",
 ]

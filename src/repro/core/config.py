@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.executors import EXECUTORS, default_executor_name
+
 
 @dataclass
 class MoniLogConfig:
@@ -25,6 +27,11 @@ class MoniLogConfig:
         calibration_sample: records acquired for calibration.
         min_window_events: windows shorter than this are not scored
             (too little evidence either way).
+        executor: how the sharded runtimes execute per-shard work —
+            ``"serial"``, ``"thread"``, or ``"process"`` (see
+            :mod:`repro.core.executors`).  Defaults to the
+            ``MONILOG_EXECUTOR`` environment variable, else serial.
+            Results are executor-independent; only wall-clock changes.
     """
 
     windowing: str = "session"
@@ -34,11 +41,17 @@ class MoniLogConfig:
     auto_calibrate: bool = False
     calibration_sample: int = 2000
     min_window_events: int = 2
+    executor: str = field(default_factory=default_executor_name)
 
     def __post_init__(self) -> None:
         if self.windowing not in ("session", "sliding"):
             raise ValueError(
                 f"windowing must be 'session' or 'sliding', got {self.windowing!r}"
+            )
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {sorted(EXECUTORS)}, "
+                f"got {self.executor!r}"
             )
         if self.window_size < 1:
             raise ValueError(f"window_size must be >= 1, got {self.window_size}")

@@ -1,15 +1,19 @@
 """The sharded MoniLog runtime (paper §II).
 
 "It is important for MoniLog components to be distributable in order
-to ensure scalability."  This module demonstrates the partitioning
-strategy for each stage inside one process:
+to ensure scalability."  This module implements the partitioning
+strategy for each stage and actually runs the shards concurrently on a
+pluggable :class:`~repro.core.executors.ShardExecutor` (thread pool,
+process pool, or serial reference):
 
 * **parser shards** — records route by source (one code base's
   statements stay on one shard; see
-  :class:`~repro.parsing.distributed.DistributedDrain`);
+  :class:`~repro.parsing.distributed.DistributedDrain`) and the shard
+  sub-batches parse side by side;
 * **detector shards** — structured events route by session id hash, so
   a session's whole window lands on one detector shard and sequence
-  models stay correct;
+  models stay correct; shards fit and score their partitions in
+  parallel;
 * **classifier** — stateless per alert given the shared model, so a
   single instance suffices here; a real deployment would replicate it
   behind the feedback bus.
@@ -18,28 +22,34 @@ Shards drain **micro-batches** rather than single records: the runtime
 chops the stream into ``batch_size`` slices and hands each to
 :meth:`DistributedDrain.parse_batch`, which routes the slice once and
 lets every parser shard exploit its template cache and intra-batch
-dedup.  Results are independent of the batch size — ``batch_size=1``
-reproduces the per-record behavior exactly.
+dedup.  Determinism is preserved by construction — routing fixes which
+shard sees which records in which relative order, and all merging
+(delivery-order reassembly, report numbering, pool delivery) happens
+on the caller's thread — so results are independent of both the batch
+size and the executor: ``batch_size=1`` under the serial executor
+reproduces the per-record behavior exactly, and every other
+configuration reproduces *that*.
 
-The runtime exists to *measure* distribution effects (experiment X6
-uses the parser half; the pipeline bench F1 reports shard balance),
-not to hide them: shard template tables are reconciled, and
+The runtime also *measures* distribution effects (experiment X6 uses
+the parser half; X9 benches the concurrent speedup; the pipeline bench
+F1 reports shard balance): shard template tables are reconciled, and
 :meth:`consistency_with` quantifies agreement with a single-instance
-run.
+run — against a snapshot, so measurement never perturbs live state.
 """
 
 from __future__ import annotations
 
+import copy
 import zlib
 from collections.abc import Iterable, Iterator
 
 from repro.classify.classifier import AnomalyClassifier
 from repro.classify.pools import PoolManager
 from repro.core.config import MoniLogConfig
+from repro.core.executors import ShardExecutor, resolve_executor
 from repro.core.reports import AnomalyReport, ClassifiedAlert
-from repro.detection.base import Detector
+from repro.detection.base import DetectionResult, Detector
 from repro.detection.deeplog import DeepLogDetector
-from repro.detection.windows import sessions_from_parsed
 from repro.logs.record import LogRecord, ParsedLog
 from repro.parsing.base import parse_in_batches
 from repro.parsing.distributed import DistributedDrain
@@ -50,8 +60,56 @@ def _shard_of(session_id: str, shards: int) -> int:
     return zlib.crc32(session_id.encode("utf-8")) % shards
 
 
+def _session_key(events: list[ParsedLog]) -> str:
+    """The routing key of a closed window.
+
+    Delegates to :attr:`~repro.logs.record.ParsedLog.windowing_key` so
+    detector-shard routing and the streaming sessionizer's bucketing
+    share one key scheme by construction.
+    """
+    return events[0].windowing_key
+
+
+def _sessions_by_key(parsed: Iterable[ParsedLog]) -> dict[str, list[ParsedLog]]:
+    """Group events by windowing key, in delivery order.
+
+    The sharded runtime's batch equivalent of the streaming
+    sessionizer's bucketing: unsessioned events split into per-source
+    pseudo-sessions (one per ``windowing_key``), never into a single
+    catch-all, so every window's events all carry the key it routes
+    by and batch and streaming operation train/score the same shards.
+    For fully-sessioned streams this is exactly
+    :func:`~repro.detection.windows.sessions_from_parsed`.
+    """
+    sessions: dict[str, list[ParsedLog]] = {}
+    for event in parsed:
+        sessions.setdefault(event.windowing_key, []).append(event)
+    return sessions
+
+
+def _fit_shard(task: tuple[Detector, list[list[ParsedLog]]]) -> Detector:
+    """Fit one detector shard on its partition (executor task shape).
+
+    Returns the fitted detector so the caller can reinstall it — the
+    same object under in-memory executors, the fitted copy from the
+    worker under the process executor.  Module-level so the process
+    executor can pickle a reference to it.
+    """
+    detector, partition = task
+    detector.fit(partition)
+    return detector
+
+
+def _detect_shard(
+    task: tuple[Detector, list[list[ParsedLog]]],
+) -> list[DetectionResult]:
+    """Score one detector shard's sessions, in their given order."""
+    detector, sessions = task
+    return [detector.detect(events) for events in sessions]
+
+
 class ShardedMoniLog:
-    """MoniLog with sharded parsing and detection.
+    """MoniLog with sharded parsing and detection, executed concurrently.
 
     Args:
         parser_shards: Drain shards (stage 1).
@@ -68,6 +126,12 @@ class ShardedMoniLog:
             which amortizes routing and activates each shard's template
             cache and intra-batch dedup.  Output is identical for every
             batch size (including 1, the old per-record behavior).
+        executor: a :class:`~repro.core.executors.ShardExecutor`
+            instance or name; ``None`` falls back to
+            ``config.executor`` (itself defaulting to the
+            ``MONILOG_EXECUTOR`` environment variable, else serial).
+            Shared with the parser shards.  Alerts are identical under
+            every executor; only wall-clock changes.
     """
 
     def __init__(
@@ -77,8 +141,13 @@ class ShardedMoniLog:
         detector_factory=None,
         config: MoniLogConfig | None = None,
         batch_size: int = 512,
+        executor: str | ShardExecutor | None = None,
     ) -> None:
         self.config = config or MoniLogConfig()
+        if detector_shards < 1:
+            raise ValueError(
+                f"detector_shards must be >= 1, got {detector_shards}"
+            )
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.batch_size = batch_size
@@ -87,12 +156,16 @@ class ShardedMoniLog:
                 "ShardedMoniLog routes detector work by session id and "
                 "therefore requires session windowing"
             )
+        self.executor = resolve_executor(
+            executor if executor is not None else self.config.executor
+        )
         masker = default_masker() if self.config.use_masking else no_masker()
         self.parser = DistributedDrain(
             shards=parser_shards,
             route_by="source",
             masker=masker,
             extract_structured=self.config.extract_structured,
+            executor=self.executor,
         )
         if detector_factory is None:
             def detector_factory(shard: int) -> Detector:
@@ -109,6 +182,24 @@ class ShardedMoniLog:
     def detector_shards(self) -> int:
         return len(self.detectors)
 
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the executor's worker pool.
+
+        Safe to call on a shared executor — pools rebuild lazily on
+        next use — and on the serial executor it is a no-op, so callers
+        can close unconditionally (or use the runtime as a context
+        manager).
+        """
+        self.executor.close()
+
+    def __enter__(self) -> "ShardedMoniLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -- training ----------------------------------------------------------------
 
     def _parse_batched(self, records: Iterable[LogRecord]) -> list[ParsedLog]:
@@ -116,50 +207,105 @@ class ShardedMoniLog:
         return parse_in_batches(self.parser, records, self.batch_size)
 
     def train(self, records: Iterable[LogRecord]) -> "ShardedMoniLog":
-        """Parse and fit each detector shard on its session partition."""
+        """Parse and fit the detector shards, each on its own partition.
+
+        Shard fits run concurrently on the configured executor; every
+        shard's partition (and hence its fitted model) is determined by
+        routing alone, so training is executor-independent.
+        """
         parsed = self._parse_batched(records)
-        sessions = sessions_from_parsed(parsed)
+        sessions = _sessions_by_key(parsed)
         partitions: list[list[list[ParsedLog]]] = [
             [] for _ in range(self.detector_shards)
         ]
-        for session_id, events in sessions.items():
+        for key, events in sessions.items():
             if len(events) < self.config.min_window_events:
                 continue
-            partitions[_shard_of(session_id, self.detector_shards)].append(events)
-        for shard, (detector, partition) in enumerate(
-            zip(self.detectors, partitions)
-        ):
+            partitions[_shard_of(key, self.detector_shards)].append(events)
+        for shard, partition in enumerate(partitions):
             if not partition:
                 raise ValueError(
                     f"detector shard {shard} received no training sessions; "
                     "use fewer shards or more training data"
                 )
-            detector.fit(partition)
+        self.detectors = list(self.executor.map(
+            _fit_shard, list(zip(self.detectors, partitions))
+        ))
         self._trained = True
         return self
 
     # -- running -------------------------------------------------------------------
 
-    def run(self, records: Iterable[LogRecord]) -> Iterator[ClassifiedAlert]:
+    def _detect_keyed(
+        self, keyed_sessions: list[tuple[str, list[ParsedLog]]]
+    ) -> list[DetectionResult]:
+        """Detection results for (key, events) pairs, in input order.
+
+        Sessions group by detector shard and the shard groups score
+        concurrently; each shard sees its own sessions in input order,
+        so results are executor-independent even for stateful
+        detectors.  ``detect`` itself is read-only on every shipped
+        detector, which is what makes concurrent scoring safe alongside
+        in-place shard state.
+        """
+        shards = self.detector_shards
+        shard_of = [_shard_of(key, shards) for key, _ in keyed_sessions]
+        groups: list[list[list[ParsedLog]]] = [[] for _ in range(shards)]
+        for (_, events), shard in zip(keyed_sessions, shard_of):
+            groups[shard].append(events)
+        busy = [shard for shard in range(shards) if groups[shard]]
+        outcomes = self.executor.map(
+            _detect_shard,
+            [(self.detectors[shard], groups[shard]) for shard in busy],
+        )
+        per_shard = {shard: iter(results)
+                     for shard, results in zip(busy, outcomes)}
+        return [next(per_shard[shard]) for shard in shard_of]
+
+    def score_sessions(
+        self, sessions: Iterable[list[ParsedLog]]
+    ) -> list[ClassifiedAlert]:
+        """Detect, report, classify, and deliver closed windows.
+
+        The single scoring routine behind :meth:`run` and
+        :class:`~repro.core.streaming.StreamingShardedMoniLog`.
+        Detection fans out per shard; report numbering, classification,
+        and pool delivery run on the calling thread in window order, so
+        alert identity and order never depend on the executor.
+        """
         if not self._trained:
-            raise RuntimeError("ShardedMoniLog.train() must run before run()")
-        parsed = self._parse_batched(records)
-        for session_id, events in sessions_from_parsed(parsed).items():
-            if len(events) < self.config.min_window_events:
-                continue
-            detector = self.detectors[_shard_of(session_id, self.detector_shards)]
-            result = detector.detect(events)
+            raise RuntimeError("ShardedMoniLog.train() must run before scoring")
+        keyed = [
+            (_session_key(events), events)
+            for events in sessions
+            if len(events) >= self.config.min_window_events
+        ]
+        results = self._detect_keyed(keyed)
+        alerts: list[ClassifiedAlert] = []
+        for (key, events), result in zip(keyed, results):
             if not result.anomalous:
                 continue
             report = AnomalyReport(
                 report_id=self._report_counter,
-                session_id=session_id,
+                session_id=key,
                 events=tuple(events),
                 detection=result,
             )
             self._report_counter += 1
-            alert = self.pools.deliver(self.classifier.classify(report))
-            yield alert
+            alerts.append(self.pools.deliver(self.classifier.classify(report)))
+        return alerts
+
+    def run(self, records: Iterable[LogRecord]) -> Iterator[ClassifiedAlert]:
+        """Process a record stream; yields the classified alerts.
+
+        Parsing and detection are batched across shards (and therefore
+        eager); alerts yield in session first-seen order, identical
+        under every executor and batch size.
+        """
+        if not self._trained:
+            raise RuntimeError("ShardedMoniLog.train() must run before run()")
+        parsed = self._parse_batched(records)
+        yield from self.score_sessions(_sessions_by_key(parsed).values())
 
     def run_all(self, records: Iterable[LogRecord]) -> list[ClassifiedAlert]:
         return list(self.run(records))
@@ -175,8 +321,31 @@ class ShardedMoniLog:
 
         ``reference_verdicts`` maps session id → anomalous from a
         single-instance run over the same records.
+
+        Measurement is strictly read-only: records parse through a
+        *snapshot* of the shard parsers (the live Drain trees learn
+        nothing from the probe), detection uses the shards'
+        side-effect-free ``detect``, and nothing is reported, numbered,
+        classified, or delivered — pool contents and the report counter
+        are untouched afterwards.
         """
-        flagged = {alert.report.session_id for alert in self.run(records)}
+        if not self._trained:
+            raise RuntimeError(
+                "ShardedMoniLog.train() must run before consistency_with()"
+            )
+        parser = copy.deepcopy(self.parser)
+        parsed = parse_in_batches(parser, records, self.batch_size)
+        keyed = [
+            (key, events)
+            for key, events in _sessions_by_key(parsed).items()
+            if len(events) >= self.config.min_window_events
+        ]
+        results = self._detect_keyed(keyed)
+        flagged = {
+            key
+            for (key, _), result in zip(keyed, results)
+            if result.anomalous
+        }
         if not reference_verdicts:
             return 1.0
         agreements = sum(

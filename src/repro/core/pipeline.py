@@ -48,6 +48,10 @@ class PipelineStats:
     """Counters MoniLog keeps while running (Fig. 1 bench rows)."""
 
     records_parsed: int = 0
+    #: Current size of the parser's template inventory.  Refreshed by
+    #: every parsing path — training *and* inference — so templates
+    #: discovered online during ``run``/``process_batch``/streaming
+    #: operation show up here, not just the training-time count.
     templates_discovered: int = 0
     windows_scored: int = 0
     anomalies_detected: int = 0
@@ -202,10 +206,15 @@ class MoniLog:
         if not self._trained:
             raise RuntimeError("MoniLog.train() must run before run()")
         parsed = self._parse(records)
-        for window in self._window(parsed):
-            alert = self._score_window(window)
-            if alert is not None:
-                yield alert
+        try:
+            for window in self._window(parsed):
+                alert = self._score_window(window)
+                if alert is not None:
+                    yield alert
+        finally:
+            # Inference discovers templates too; keep the stat current
+            # even when the caller abandons the generator early.
+            self.stats.templates_discovered = self.parser.template_count
 
     def run_all(self, records: Iterable[LogRecord]) -> list[ClassifiedAlert]:
         """Materialized :meth:`run`, for scripts and tests."""
@@ -228,6 +237,7 @@ class MoniLog:
             raise RuntimeError("MoniLog.train() must run before process_batch()")
         parsed = parse_in_batches(self.parser, records, batch_size)
         self.stats.records_parsed += len(parsed)
+        self.stats.templates_discovered = self.parser.template_count
         alerts = []
         for window in self._window(parsed):
             alert = self._score_window(window)

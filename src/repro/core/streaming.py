@@ -3,7 +3,7 @@
 :class:`repro.core.pipeline.MoniLog` materializes sessions per call,
 which suits experiments; a deployed MoniLog must emit alerts *while
 the stream flows* (the paper's real-time requirement).  This module
-adds the missing piece:
+adds the missing pieces:
 
 * :class:`StreamingSessionizer` — incremental session windowing with
   an idle timeout: a session closes (and is released downstream) when
@@ -14,6 +14,11 @@ adds the missing piece:
   ``process(record) -> list[ClassifiedAlert]``: feed records as they
   arrive, collect alerts the moment their session closes, ``flush()``
   at shutdown.
+* :class:`StreamingShardedMoniLog` — the same façade over a trained
+  :class:`~repro.core.distributed.ShardedMoniLog`: micro-batches parse
+  across the parser shards concurrently, closed sessions score across
+  the detector shards concurrently, and alert identity and order stay
+  executor-independent.
 
 For high-throughput ingestion, ``process_batch(records)`` is the
 amortized entry point: a micro-batch is parsed in one
@@ -30,9 +35,11 @@ from __future__ import annotations
 from collections import OrderedDict
 from collections.abc import Iterable, Iterator
 
+from repro.core.distributed import ShardedMoniLog
 from repro.core.pipeline import MoniLog
-from repro.core.reports import AnomalyReport, ClassifiedAlert
+from repro.core.reports import ClassifiedAlert
 from repro.logs.record import LogRecord, ParsedLog
+from repro.parsing.base import parse_in_batches
 
 
 class StreamingSessionizer:
@@ -45,6 +52,23 @@ class StreamingSessionizer:
 
     ``push`` returns the sessions *closed by* the new event's arrival
     time; ``flush`` closes everything (end of stream).
+
+    Stream time is taken from event timestamps, which real streams
+    deliver out of order (multi-node skew, replayed backlogs).  The
+    sessionizer measures idleness against the stream's **high-water
+    clock** — the maximum timestamp seen so far: every arrival marks
+    its session active *as of that clock*, and a session closes when
+    no event has arrived for ``session_timeout`` seconds of high-water
+    time.  For in-order streams this is exactly the per-event clock;
+    under clock regressions it is deliberately conservative: a stale
+    event neither closes sessions (the clock does not advance) nor
+    makes any session — its own or a new one — look idle (sessions
+    are marked active at the clock, never at a stale timestamp, so
+    nothing closes early and no stale-stamped session can wedge the
+    expiry queue).  This is also what makes expiry cheap: activity
+    marks are monotone, so the open table stays ordered by last
+    activity and the expiry scan stops at the first fresh session.
+    Late events still join their session's bucket normally.
     """
 
     def __init__(
@@ -63,9 +87,11 @@ class StreamingSessionizer:
         self.session_timeout = session_timeout
         self.max_session_events = max_session_events
         # Ordered by last activity: expiry scans stop at the first
-        # still-fresh session.
+        # still-fresh session.  Sorted by construction because every
+        # activity mark is the (monotone) high-water clock.
         self._open: OrderedDict[str, list[ParsedLog]] = OrderedDict()
         self._last_seen: dict[str, float] = {}
+        self._clock = float("-inf")
 
     @property
     def open_sessions(self) -> int:
@@ -73,14 +99,21 @@ class StreamingSessionizer:
 
     def push(self, event: ParsedLog) -> list[list[ParsedLog]]:
         """Add one event; return sessions closed by the advancing clock."""
-        key = event.session_id or f"source:{event.source}"
-        closed = self._expire(event.timestamp)
+        key = event.windowing_key
+        self._clock = max(self._clock, event.timestamp)
+        closed = self._expire(self._clock)
         bucket = self._open.get(key)
         if bucket is None:
             bucket = []
             self._open[key] = bucket
         bucket.append(event)
-        self._last_seen[key] = event.timestamp
+        # Mark the session active as of the high-water clock (not the
+        # event's own, possibly stale, timestamp): activity marks stay
+        # monotone, so ``_open`` remains sorted by last activity — the
+        # invariant that lets ``_expire`` stop at the first fresh
+        # session — and a late event can never make a session look
+        # idle or park a fresh session behind a stale one.
+        self._last_seen[key] = self._clock
         self._open.move_to_end(key)
         if len(bucket) >= self.max_session_events:
             closed.append(self._close(key))
@@ -109,9 +142,12 @@ class StreamingSessionizer:
 class StreamingMoniLog:
     """Record-at-a-time façade over a trained :class:`MoniLog`.
 
-    The wrapped pipeline supplies the parser, detector, classifier and
-    pool manager (so passive learning keeps working); this class owns
-    only the incremental windowing.
+    The wrapped pipeline supplies the parser, detector, classifier,
+    pool manager, *and the scoring routine* — closed sessions go
+    through :meth:`MoniLog._score_window`, the same code path
+    ``run``/``process_batch`` use, so report numbering and the
+    fallback window ids of unsessioned bursts are identical between
+    batch and streaming operation by construction.
 
     >>> system = MoniLog().train(history)          # doctest: +SKIP
     >>> live = StreamingMoniLog(system, session_timeout=10.0)
@@ -136,32 +172,16 @@ class StreamingMoniLog:
             session_timeout=session_timeout,
             max_session_events=max_session_events,
         )
-        self._report_counter = 0
 
     def _score(self, session: list[ParsedLog]) -> ClassifiedAlert | None:
-        if len(session) < self.system.config.min_window_events:
-            return None
-        self.system.stats.windows_scored += 1
-        result = self.system.detector.detect(session)
-        if not result.anomalous:
-            return None
-        self.system.stats.anomalies_detected += 1
-        report = AnomalyReport(
-            report_id=self._report_counter,
-            session_id=session[0].session_id or f"burst-{self._report_counter}",
-            events=tuple(session),
-            detection=result,
-        )
-        self._report_counter += 1
-        alert = self.system.classifier.classify(report)
-        alert = self.system.pools.deliver(alert)
-        self.system.stats.alerts_classified += 1
-        return alert
+        return self.system._score_window(session)
 
     def process(self, record: LogRecord) -> list[ClassifiedAlert]:
         """Feed one record; return alerts for sessions it closed."""
         parsed = self.system.parser.parse_record(record)
-        self.system.stats.records_parsed += 1
+        stats = self.system.stats
+        stats.records_parsed += 1
+        stats.templates_discovered = self.system.parser.template_count
         alerts = []
         for session in self.sessionizer.push(parsed):
             alert = self._score(session)
@@ -179,7 +199,9 @@ class StreamingMoniLog:
         """
         records = list(records)
         parsed = self.system.parser.parse_batch(records)
-        self.system.stats.records_parsed += len(parsed)
+        stats = self.system.stats
+        stats.records_parsed += len(parsed)
+        stats.templates_discovered = self.system.parser.template_count
         alerts = []
         for event in parsed:
             for session in self.sessionizer.push(event):
@@ -204,3 +226,81 @@ class StreamingMoniLog:
             if alert is not None:
                 alerts.append(alert)
         return alerts
+
+
+class StreamingShardedMoniLog:
+    """Record-at-a-time façade over a trained :class:`ShardedMoniLog`.
+
+    Combines the two scalability levers: micro-batches drain into the
+    parser shards concurrently (one routed
+    :meth:`~repro.parsing.distributed.DistributedDrain.parse_batch`
+    per ``batch_size`` slice, shard sub-batches side by side on the
+    system's executor), and the sessions a batch closes score across
+    the detector shards concurrently via
+    :meth:`ShardedMoniLog.score_sessions`.  Sessionization sits between
+    the two stages on the calling thread, so alert identity and order
+    match a record-at-a-time loop exactly, under every executor.
+
+    Args:
+        system: a *trained* sharded runtime; supplies parser shards,
+            detector shards, classifier, pools, and the executor.
+        session_timeout / max_session_events: see
+            :class:`StreamingSessionizer`.
+        batch_size: micro-batch size for :meth:`process_batch`;
+            defaults to the system's ``batch_size``.
+    """
+
+    def __init__(
+        self,
+        system: ShardedMoniLog,
+        session_timeout: float = 30.0,
+        max_session_events: int = 1000,
+        batch_size: int | None = None,
+    ) -> None:
+        if not system._trained:
+            raise RuntimeError(
+                "StreamingShardedMoniLog wraps a trained ShardedMoniLog; "
+                "call train() first"
+            )
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.system = system
+        self.batch_size = batch_size or system.batch_size
+        self.sessionizer = StreamingSessionizer(
+            session_timeout=session_timeout,
+            max_session_events=max_session_events,
+        )
+
+    def process(self, record: LogRecord) -> list[ClassifiedAlert]:
+        """Feed one record; return alerts for sessions it closed."""
+        parsed = self.system.parser.parse_record(record)
+        closed = self.sessionizer.push(parsed)
+        return self.system.score_sessions(closed) if closed else []
+
+    def process_batch(self, records: Iterable[LogRecord]) -> list[ClassifiedAlert]:
+        """Feed a micro-batch; return alerts for sessions it closed.
+
+        The batch parses ``batch_size`` records at a time across the
+        parser shards, events push through the sessionizer in delivery
+        order, and every session the batch closes scores in one
+        concurrent :meth:`ShardedMoniLog.score_sessions` call — in
+        close order, so output equals a :meth:`process` loop exactly.
+        """
+        parsed = parse_in_batches(self.system.parser, records, self.batch_size)
+        closed: list[list[ParsedLog]] = []
+        for event in parsed:
+            closed.extend(self.sessionizer.push(event))
+        return self.system.score_sessions(closed) if closed else []
+
+    def process_stream(
+        self, records: Iterable[LogRecord]
+    ) -> Iterator[ClassifiedAlert]:
+        """Generator form of :meth:`process` + terminal :meth:`flush`."""
+        for record in records:
+            yield from self.process(record)
+        yield from self.flush()
+
+    def flush(self) -> list[ClassifiedAlert]:
+        """Close all open sessions and score them (stream shutdown)."""
+        closed = self.sessionizer.flush()
+        return self.system.score_sessions(closed) if closed else []

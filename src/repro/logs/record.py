@@ -154,6 +154,19 @@ class ParsedLog:
     def session_id(self) -> str | None:
         return self.record.session_id
 
+    @property
+    def windowing_key(self) -> str:
+        """The session key windowing groups this event under.
+
+        The session id when the substrate provides one, else a
+        per-source pseudo-session key.  The streaming sessionizer
+        buckets by this key and the sharded runtime routes windows to
+        detector shards by hashing it, so the two MUST agree — that is
+        why the scheme lives here, on the event, and not in either
+        consumer.
+        """
+        return self.record.session_id or f"source:{self.record.source}"
+
     def reconstruct(self) -> str:
         """Re-substitute variables into the template.
 

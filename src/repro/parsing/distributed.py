@@ -6,20 +6,29 @@ parsing method as we already have some encouraging results." (§IV)
 
 :class:`DistributedDrain` runs ``shards`` independent
 :class:`~repro.parsing.drain.DrainParser` instances behind a router and
-adds the two pieces a real deployment needs:
+adds the pieces a real deployment needs:
 
 * **routing** — records are partitioned deterministically; the default
   routes by source name (each source's statements come from one code
   base, so its templates live on one shard), with a hash of the first
   message token for unattributed records.
+* **concurrent execution** — :meth:`parse_batch` routes a batch once
+  and then drains every shard's sub-sequence through a pluggable
+  :class:`~repro.core.executors.ShardExecutor`: serially, on a thread
+  pool, or on a process pool.  Each shard task touches only that
+  shard's parser, so shards genuinely run side by side; the merge back
+  into delivery order and the global-id assignment stay single-threaded
+  and deterministic, which makes the output byte-identical across
+  executors (and to a ``parse_record`` loop).
 * **reconciliation** — shards discover templates independently, so the
   same statement may receive different local ids on different shards.
   :meth:`global_templates` merges the shard template sets into a global
   table (exact-match on template string after per-shard mining), and
   parsed events carry global ids.
 
-Experiment X6 measures the cost of distribution: template-set agreement
-with a single-instance Drain and the per-shard load balance.
+Experiment X6 measures the cost of distribution (template-set agreement
+with a single-instance Drain, per-shard load balance); X9 measures its
+payoff (parse throughput under concurrent shard execution).
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ from __future__ import annotations
 import zlib
 from collections.abc import Iterable, Iterator
 
+from repro.core.executors import ShardExecutor, resolve_executor
 from repro.logs.record import LogRecord, ParsedLog
 from repro.parsing.drain import DrainParser
 from repro.parsing.masking import Masker
@@ -35,6 +45,18 @@ from repro.parsing.masking import Masker
 def _stable_hash(text: str) -> int:
     """Deterministic string hash (``hash()`` is salted per process)."""
     return zlib.crc32(text.encode("utf-8"))
+
+
+def _parse_shard(task: tuple[DrainParser, list[LogRecord]]):
+    """One shard's batch parse, in the executor's uniform task shape.
+
+    Returns ``(parser, parsed)`` so the caller can reinstall the parser:
+    in-memory executors hand back the same (mutated-in-place) object,
+    the process executor hands back the advanced copy from the worker.
+    Module-level so the process executor can pickle a reference to it.
+    """
+    parser, group = task
+    return parser, parser.parse_batch(group)
 
 
 class DistributedDrain:
@@ -46,6 +68,10 @@ class DistributedDrain:
             key.  Routing by source keeps each code base's statements
             on one shard (best template consistency); routing by first
             token balances load for single-source streams.
+        executor: a :class:`~repro.core.executors.ShardExecutor`
+            instance or name (``"serial"``, ``"thread"``,
+            ``"process"``); ``None`` resolves the process-wide default.
+            Output is identical under every executor.
         Remaining arguments are forwarded to every shard's
         :class:`~repro.parsing.drain.DrainParser`.
     """
@@ -60,6 +86,7 @@ class DistributedDrain:
         masker: Masker | None = None,
         extract_structured: bool = False,
         cache_size: int = 65536,
+        executor: str | ShardExecutor | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -67,6 +94,7 @@ class DistributedDrain:
             raise ValueError(f"route_by must be 'source' or 'token', got {route_by!r}")
         self.shards = shards
         self.route_by = route_by
+        self.executor = resolve_executor(executor)
         self.parsers = [
             DrainParser(
                 depth=depth,
@@ -79,9 +107,12 @@ class DistributedDrain:
             for _ in range(shards)
         ]
         # Global id table: (shard, local id) -> global id, plus the
-        # reverse map from template string for cross-shard dedup.
+        # reverse map from template string for cross-shard dedup and
+        # the first-sighting (shard, local id) per global id so the
+        # current template string of a global id stays addressable.
         self._global_ids: dict[tuple[int, int], int] = {}
         self._by_template: dict[str, int] = {}
+        self._gid_first_seen: list[tuple[int, int]] = []
         self._shard_loads = [0] * shards
 
     def shard_for(self, record: LogRecord) -> int:
@@ -103,6 +134,8 @@ class DistributedDrain:
                 parsed.template, len(self._by_template)
             )
             self._global_ids[key] = global_id
+            if global_id == len(self._gid_first_seen):
+                self._gid_first_seen.append(key)
         return ParsedLog(
             record=parsed.record,
             template_id=global_id,
@@ -124,17 +157,20 @@ class DistributedDrain:
         return list(self.parse_stream(records))
 
     def parse_batch(self, records: Iterable[LogRecord]) -> list[ParsedLog]:
-        """Batched fast path: route once, drain each shard in one call.
+        """Batched fast path: route once, drain the shards concurrently.
 
-        Records are partitioned per shard up front, each shard parses
-        its sub-sequence through
-        :meth:`~repro.parsing.base.Parser.parse_batch` (keeping the
+        Records are partitioned per shard up front, the non-empty shard
+        groups are parsed side by side on the configured executor (each
+        task drains one shard's sub-sequence through
+        :meth:`~repro.parsing.base.Parser.parse_batch`, keeping that
         shard's intra-batch dedup effective), and results are
-        reassembled into delivery order before globalization.  Output —
-        events, global ids, shard loads — is identical to a
-        ``parse_record`` loop: every shard sees exactly its own records
-        in the same relative order, and global ids are still assigned
-        at first sighting in delivery order.
+        reassembled into delivery order before globalization.  The
+        merge order and global-id assignment are fixed by the routing
+        decision, not by task completion order, so output — events,
+        global ids, shard loads — is identical under every executor and
+        to a ``parse_record`` loop: every shard sees exactly its own
+        records in the same relative order, and global ids are still
+        assigned at first sighting in delivery order.
         """
         records = list(records)
         shard_of = [self.shard_for(record) for record in records]
@@ -142,10 +178,16 @@ class DistributedDrain:
         for record, shard in zip(records, shard_of):
             groups[shard].append(record)
             self._shard_loads[shard] += 1
-        parsed_per_shard = [
-            iter(parser.parse_batch(group))
-            for parser, group in zip(self.parsers, groups)
-        ]
+        busy = [shard for shard in range(self.shards) if groups[shard]]
+        outcomes = self.executor.map(
+            _parse_shard, [(self.parsers[shard], groups[shard]) for shard in busy]
+        )
+        parsed_per_shard: list[Iterator[ParsedLog] | None] = [None] * self.shards
+        for shard, (parser, parsed) in zip(busy, outcomes):
+            # Reinstall the shard parser: a no-op for in-memory
+            # executors, the state hand-back for the process executor.
+            self.parsers[shard] = parser
+            parsed_per_shard[shard] = iter(parsed)
         return [
             self._globalize(shard, next(parsed_per_shard[shard]))
             for shard in shard_of
@@ -166,6 +208,16 @@ class DistributedDrain:
             for template in parser.store.templates():
                 seen.setdefault(template)
         return list(seen)
+
+    def template_string(self, global_id: int) -> str:
+        """The current template string behind a global id.
+
+        Resolves through the first-sighting shard-local template, so
+        the string reflects any generalization that shard has done
+        since the id was assigned.
+        """
+        shard, local_id = self._gid_first_seen[global_id]
+        return self.parsers[shard].store[local_id].template
 
     @property
     def shard_loads(self) -> list[int]:

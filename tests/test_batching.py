@@ -10,6 +10,8 @@ paths on the same stream and compares full structured output.
 
 from __future__ import annotations
 
+import dataclasses
+
 from conftest import make_record
 from repro.core.config import MoniLogConfig
 from repro.core.distributed import ShardedMoniLog
@@ -17,6 +19,7 @@ from repro.core.pipeline import MoniLog
 from repro.core.streaming import StreamingMoniLog
 from repro.detection.deeplog import DeepLogDetector
 from repro.detection.invariants import InvariantMiningDetector
+from repro.detection.keyword import KeywordMatchDetector
 from repro.parsing import DistributedDrain, DrainParser, default_masker
 
 
@@ -108,6 +111,12 @@ class TestPipelineBatchParity:
         ]
         assert batched.stats.records_parsed == per_record.stats.records_parsed
         assert batched.stats.windows_scored == per_record.stats.windows_scored
+        # Inference paths keep the template stat current (templates can
+        # be discovered online, after training).
+        assert batched.stats.templates_discovered == \
+            batched.parser.template_count
+        assert per_record.stats.templates_discovered == \
+            per_record.parser.template_count
 
     def test_process_batch_micro_batches_are_invariant(self, hdfs_small):
         records = hdfs_small.records
@@ -165,6 +174,101 @@ class TestPipelineBatchParity:
             _alert_shape(a) for a in expected
         ]
         assert batched.parser.shard_loads == per_record.parser.shard_loads
+
+
+class TestOnlineTemplateStat:
+    def test_templates_discovered_tracks_online_discovery(self, hdfs_small):
+        records = hdfs_small.records
+        cut = len(records) * 6 // 10
+        system = MoniLog(detector=InvariantMiningDetector())
+        system.train(records[:cut])
+        trained_count = system.stats.templates_discovered
+        novel = [
+            make_record(f"totally new subsystem event kind {kind}",
+                        session_id=f"novel-{kind}", sequence=kind)
+            for kind in range(6)
+            for _ in range(3)
+        ]
+        system.process_batch(records[cut:] + novel)
+        assert system.stats.templates_discovered == system.parser.template_count
+        assert system.stats.templates_discovered > trained_count
+
+    def test_run_refreshes_template_stat(self, hdfs_small):
+        records = hdfs_small.records
+        cut = len(records) * 6 // 10
+        system = MoniLog(detector=InvariantMiningDetector())
+        system.train(records[:cut])
+        system.run_all(records[cut:])
+        assert system.stats.templates_discovered == system.parser.template_count
+
+    def test_streaming_refreshes_template_stat(self, hdfs_small):
+        records = hdfs_small.records
+        cut = len(records) * 6 // 10
+        system = MoniLog(detector=InvariantMiningDetector())
+        system.train(records[:cut])
+        live = StreamingMoniLog(system, session_timeout=1e9)
+        live.process(make_record("never seen statement shape", sequence=1))
+        assert system.stats.templates_discovered == system.parser.template_count
+
+
+class TestUnsessionedFallbackIds:
+    """Batch and streaming must agree on ids for records without a
+    session id: both paths now derive ``window-{windows_scored}`` from
+    the shared scoring routine."""
+
+    def _sessionless(self, records):
+        return [dataclasses.replace(record, session_id=None)
+                for record in records]
+
+    def _trained(self, train_records, window: int) -> MoniLog:
+        config = MoniLogConfig(windowing="sliding", window_size=window)
+        system = MoniLog(detector=KeywordMatchDetector(), config=config)
+        system.train(train_records)
+        return system
+
+    def test_batch_and_streaming_agree_on_fallback_ids(self, bgl_small):
+        # One source, no session ids, tumbling windows of exactly
+        # ``window`` events: the streaming sessionizer (event cap =
+        # window, unreachable timeout) closes precisely the windows the
+        # batch path scores, so ids must match one for one.
+        window = 40
+        records = self._sessionless(bgl_small.records)
+        cut = len(records) // 2
+        batch = self._trained(records[:cut], window)
+        expected = batch.run_all(records[cut:])
+        assert expected, "the BGL alert episodes must produce alerts"
+        assert all(a.report.session_id.startswith("window-")
+                   for a in expected)
+
+        streaming_host = self._trained(records[:cut], window)
+        live = StreamingMoniLog(streaming_host, session_timeout=1e9,
+                                max_session_events=window)
+        actual = []
+        for record in records[cut:]:
+            actual.extend(live.process(record))
+        actual.extend(live.flush())
+        assert [_alert_shape(a) for a in actual] == [
+            _alert_shape(a) for a in expected
+        ]
+
+    def test_fallback_ids_are_dense_across_entry_points(self, bgl_small):
+        # Interleaving run and streaming on one system keeps drawing
+        # from the same windows_scored sequence — no id collisions, no
+        # separate burst numbering.
+        window = 40
+        records = self._sessionless(bgl_small.records)
+        cut = len(records) // 2
+        system = self._trained(records[:cut], window)
+        first = system.run_all(records[cut:cut + 10 * window])
+        live = StreamingMoniLog(system, session_timeout=1e9,
+                                max_session_events=window)
+        second = []
+        for record in records[cut + 10 * window:]:
+            second.extend(live.process(record))
+        second.extend(live.flush())
+        ids = [a.report.session_id for a in first + second]
+        assert len(ids) == len(set(ids)), "fallback ids must never collide"
+        assert all(identifier.startswith("window-") for identifier in ids)
 
 
 class TestCliBatchFlag:

@@ -162,6 +162,47 @@ class TestPoolManager:
         with pytest.raises(KeyError, match="not in pool"):
             manager.move_alert(stranger, "team-a")
 
+    def test_delete_pool_notifies_relocations(self):
+        manager = PoolManager()
+        manager.create_pool("team-a")
+        actions = []
+        manager.subscribe(lambda alert, kind, old, new: actions.append(
+            (alert.report.report_id, kind, old, new)))
+        for report_id in range(2):
+            manager.deliver(ClassifiedAlert(report=_report(report_id),
+                                            pool="team-a",
+                                            criticality="low"))
+        manager.delete_pool("team-a")
+        # Every relocated alert reaches the passive-learning hook as a
+        # pool move into the default pool.
+        assert actions == [
+            (0, "pool", "team-a", DEFAULT_POOL),
+            (1, "pool", "team-a", DEFAULT_POOL),
+        ]
+        assert all(a.pool == DEFAULT_POOL
+                   for a in manager.pool(DEFAULT_POOL).alerts)
+
+    def test_delete_pool_notify_opt_out(self):
+        manager = PoolManager()
+        manager.create_pool("team-a")
+        actions = []
+        manager.subscribe(lambda alert, kind, old, new: actions.append(kind))
+        manager.deliver(ClassifiedAlert(report=_report(), pool="team-a",
+                                        criticality="low"))
+        manager.delete_pool("team-a", notify=False)
+        assert actions == []
+        assert len(manager.pool(DEFAULT_POOL)) == 1
+
+    def test_delete_pool_feedback_reaches_the_classifier(self):
+        manager = PoolManager()
+        manager.create_pool("team-a")
+        classifier = AnomalyClassifier().attach(manager)
+        manager.deliver(ClassifiedAlert(report=_report(), pool="team-a",
+                                        criticality="low"))
+        before = classifier.feedback_count
+        manager.delete_pool("team-a")
+        assert classifier.feedback_count == before + 1
+
 
 class TestClassifier:
     def test_cold_start_routes_to_default(self):

@@ -53,6 +53,36 @@ class TestParse:
         with pytest.raises(SystemExit):
             main(["parse", "--input", str(path), "--parser", "nonsense"])
 
+    def test_sharded_parse_output_is_executor_invariant(self, corpus_file,
+                                                        capsys):
+        path, _ = corpus_file
+        outputs = []
+        for executor in ("serial", "thread"):
+            capsys.readouterr()
+            exit_code = main([
+                "parse", "--input", str(path), "--parser", "drain",
+                "--masking", "--shards", "3", "--executor", executor,
+            ])
+            assert exit_code == 0
+            output = capsys.readouterr().out
+            assert "shard loads" in output
+            outputs.append(output.replace(executor, "<executor>"))
+        assert outputs[0] == outputs[1]
+
+    def test_shards_require_drain(self, corpus_file):
+        path, _ = corpus_file
+        with pytest.raises(SystemExit, match="distributed Drain"):
+            main(["parse", "--input", str(path), "--parser", "spell",
+                  "--shards", "2"])
+
+    def test_bad_shard_counts_rejected_at_the_flag(self, corpus_file):
+        path, _ = corpus_file
+        with pytest.raises(SystemExit):
+            main(["parse", "--input", str(path), "--shards", "-1"])
+        with pytest.raises(SystemExit):
+            main(["pipeline", "--history", str(path), "--live", str(path),
+                  "--shards", "2", "--detector-shards", "0"])
+
 
 class TestDetect:
     def test_keyword_detector_runs(self, corpus_file, capsys):
@@ -93,3 +123,36 @@ class TestPipeline:
         output = capsys.readouterr().out
         assert "parsed" in output
         assert "anomalies" in output
+
+    def test_sharded_pipeline_is_executor_invariant(self, tmp_path, capsys):
+        history = tmp_path / "history.log"
+        live = tmp_path / "live.log"
+        main(["generate", "--dataset", "cloud", "--sessions", "120",
+              "--anomaly-rate", "0.0", "--seed", "5",
+              "--output", str(history)])
+        main(["generate", "--dataset", "cloud", "--sessions", "50",
+              "--anomaly-rate", "0.1", "--seed", "6",
+              "--output", str(live)])
+        outputs = []
+        for executor in ("serial", "thread"):
+            capsys.readouterr()
+            exit_code = main([
+                "pipeline", "--history", str(history), "--live", str(live),
+                "--shards", "3", "--detector-shards", "1",
+                "--executor", executor,
+            ])
+            assert exit_code == 0
+            output = capsys.readouterr().out
+            assert "across 3 shards" in output
+            outputs.append(output.replace(executor, "<executor>"))
+        assert outputs[0] == outputs[1]
+        # --batch-size 0 means per-record; for the sharded runtime that
+        # is micro-batches of one, and alerts must not change.
+        capsys.readouterr()
+        assert main([
+            "pipeline", "--history", str(history), "--live", str(live),
+            "--shards", "3", "--detector-shards", "1",
+            "--executor", "serial", "--batch-size", "0",
+        ]) == 0
+        assert capsys.readouterr().out.replace("serial", "<executor>") == \
+            outputs[0]

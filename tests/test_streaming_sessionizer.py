@@ -97,6 +97,89 @@ class TestIdleTimeoutBoundary:
         assert sessionizer.open_sessions == 1
 
 
+class TestOutOfOrderTimestamps:
+    """Clock regressions happen on real streams (multi-node skew,
+    replayed backlogs); the sessionizer must stay conservative: a stale
+    event closes nothing fresh and never rewinds a session's idle
+    clock."""
+
+    def test_stale_event_does_not_close_fresh_sessions(self):
+        sessionizer = StreamingSessionizer(session_timeout=30.0)
+        sessionizer.push(_event(100.0, "a"))
+        # A regressed clock (t=10 after t=100) reaches back before
+        # everything; nothing may close and _expire must not crash.
+        assert sessionizer.push(_event(10.0, "b")) == []
+        assert sessionizer.open_sessions == 2
+
+    def test_late_event_does_not_rewind_the_idle_clock(self):
+        sessionizer = StreamingSessionizer(session_timeout=30.0)
+        sessionizer.push(_event(100.0, "a"))
+        # A late-arriving old event joins the session...
+        assert sessionizer.push(_event(5.0, "a")) == []
+        # ...but must not make it look idle since t=5: an arrival at
+        # t=129 is within 30s of the session's true last activity, so
+        # the session survives.
+        assert sessionizer.push(_event(129.0, "b")) == []
+        assert sessionizer.open_sessions == 2
+        flushed = {s[0].session_id: len(s) for s in sessionizer.flush()}
+        assert flushed == {"a": 2, "b": 1}
+
+    def test_late_events_still_join_their_session_bucket(self):
+        sessionizer = StreamingSessionizer(session_timeout=30.0)
+        sessionizer.push(_event(100.0, "a"))
+        sessionizer.push(_event(90.0, "a"))
+        [session] = sessionizer.flush()
+        assert [e.timestamp for e in session] == [100.0, 90.0]
+
+    def test_expiry_after_regression_uses_the_true_last_seen(self):
+        sessionizer = StreamingSessionizer(session_timeout=30.0)
+        sessionizer.push(_event(100.0, "a"))
+        sessionizer.push(_event(5.0, "a"))       # regression, clock stays 100
+        closed = sessionizer.push(_event(131.0, "b"))
+        # 100 <= 131 - 30, so the session is genuinely idle and closes.
+        assert [s[0].session_id for s in closed] == ["a"]
+
+    def test_late_event_counts_as_activity_at_the_stream_clock(self):
+        # An arrival — even a stale-stamped one — marks its session
+        # active as of the high-water clock, so the session neither
+        # closes early nor ends up parked behind fresher sessions in
+        # the expiry order.
+        sessionizer = StreamingSessionizer(session_timeout=30.0)
+        sessionizer.push(_event(100.0, "a"))
+        sessionizer.push(_event(120.0, "b"))
+        assert sessionizer.push(_event(5.0, "a")) == []  # active as of 120
+        assert sessionizer.push(_event(135.0, "c")) == []  # deadline 105
+        closed = sessionizer.push(_event(151.0, "d"))      # deadline 121
+        assert sorted(s[0].session_id for s in closed) == ["a", "b"]
+        [session] = [s for s in closed if s[0].session_id == "a"]
+        assert [e.timestamp for e in session] == [100.0, 5.0]
+
+    def test_new_session_with_stale_timestamp_cannot_wedge_expiry(self):
+        # A brand-new session born from a replayed old event must not
+        # sit at the tail of the expiry queue with an ancient activity
+        # mark: it is marked active at the clock, so it closes with its
+        # contemporaries instead of hours late (or never).
+        sessionizer = StreamingSessionizer(session_timeout=30.0)
+        sessionizer.push(_event(100.0, "a"))
+        assert sessionizer.push(_event(10.0, "b")) == []   # backlog replay
+        closed = sessionizer.push(_event(145.0, "c"))      # deadline 115
+        assert sorted(s[0].session_id for s in closed) == ["a", "b"]
+        assert sessionizer.open_sessions == 1
+
+    def test_interleaved_regressions_do_not_crash_expiry(self):
+        sessionizer = StreamingSessionizer(session_timeout=10.0,
+                                           max_session_events=4)
+        timestamps = [50.0, 3.0, 47.0, 1.0, 49.0, 2.0, 48.0, 0.5]
+        closed_total = 0
+        for index, timestamp in enumerate(timestamps):
+            closed_total += len(
+                sessionizer.push(_event(timestamp, f"s{index % 3}"))
+            )
+        closed_total += len(sessionizer.flush())
+        assert sessionizer.open_sessions == 0
+        assert closed_total >= 3
+
+
 class TestFlush:
     def test_flush_returns_all_open_sessions_and_empties(self):
         sessionizer = StreamingSessionizer(session_timeout=100.0)
