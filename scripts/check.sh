@@ -11,10 +11,15 @@
 # CLI's --executor flag) so every default-constructed sharded runtime
 # executes its shards on a thread pool — results must not change, and
 # a run that deadlocks, races, or diverges here is a concurrency
-# regression.  Bench smokes run with MONILOG_BENCH_SMOKE=1 (shrunken
-# fixtures, see benchmarks/conftest.py) so each finishes in seconds
-# while still exercising the full parse → detect → classify path, the
-# sharded runtime, and the >=1.5x concurrent-shard throughput claim.
+# regression.  The ingestion tests additionally run as their own
+# threaded pass: the async front-end layers an event loop over the
+# executor machinery, which is exactly where loop/pool interactions
+# would deadlock.  Bench smokes run with MONILOG_BENCH_SMOKE=1
+# (shrunken fixtures, see benchmarks/conftest.py) so each finishes in
+# seconds while still exercising the full parse → detect → classify
+# path, the sharded runtime, the >=1.5x concurrent-shard throughput
+# claim, and X10's >=2x concurrent-ingestion claim with byte-identical
+# alerts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -26,6 +31,18 @@ echo
 echo "== tier-1 under the threaded executor: MONILOG_EXECUTOR=thread =="
 MONILOG_EXECUTOR=thread python -m pytest -x -q "$@"
 
+# The threaded tier-1 pass above already collects every ingestion
+# test; re-run them explicitly only when the caller filtered tier-1
+# (e.g. `check.sh -k drain`), so the async-over-executor coverage is
+# never silently deselected but default runs pay for it once.
+if [ "$#" -gt 0 ]; then
+    echo
+    echo "== ingestion tests under the threaded executor =="
+    MONILOG_EXECUTOR=thread python -m pytest -x -q \
+        tests/test_ingest_merge.py tests/test_ingest_sources.py \
+        tests/test_ingest_service.py tests/test_ingest_failures.py
+fi
+
 echo
 echo "== smoke: benchmarks/bench_fig1_pipeline.py =="
 MONILOG_BENCH_SMOKE=1 python -m pytest benchmarks/bench_fig1_pipeline.py \
@@ -34,6 +51,12 @@ MONILOG_BENCH_SMOKE=1 python -m pytest benchmarks/bench_fig1_pipeline.py \
 echo
 echo "== smoke: benchmarks/bench_x9_parallel_shards.py =="
 MONILOG_BENCH_SMOKE=1 python -m pytest benchmarks/bench_x9_parallel_shards.py \
+    -q -p no:cacheprovider --benchmark-disable
+
+echo
+echo "== smoke: benchmarks/bench_x10_async_ingestion.py =="
+MONILOG_BENCH_SMOKE=1 python -m pytest \
+    benchmarks/bench_x10_async_ingestion.py \
     -q -p no:cacheprovider --benchmark-disable
 
 echo

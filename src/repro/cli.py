@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands covering the adoption path of a downstream user:
+Five commands covering the adoption path of a downstream user:
 
 * ``generate`` — write a synthetic ground-truthed corpus to a log file
   (dashed Fig. 2 layout) for trying the tools on disk;
@@ -9,7 +9,11 @@ Four commands covering the adoption path of a downstream user:
 * ``detect``   — train a detector on the head of a log file and report
   anomalous sessions in the tail;
 * ``pipeline`` — run the full MoniLog system over a history file and a
-  live file, printing classified alerts.
+  live file, printing classified alerts;
+* ``tail``     — train on a history file, then *live-ingest* N files
+  and/or sockets concurrently through the async front-end
+  (:mod:`repro.ingest`): watermark merge, micro-batching, credit-based
+  back-pressure, and per-source checkpoints for exact resume.
 
 Every command reads plain text logs; headers are auto-detected via
 :func:`repro.logs.formats.detect_format`.  ``parse`` and ``pipeline``
@@ -23,13 +27,22 @@ batching, sharding, and the executor change wall-clock only.
 from __future__ import annotations
 
 import argparse
+import asyncio
+import signal
 import sys
 from collections.abc import Sequence
 
-from repro.core.config import MoniLogConfig
+from repro.core.config import IngestConfig, MoniLogConfig
 from repro.core.distributed import ShardedMoniLog
 from repro.core.executors import EXECUTORS, default_executor_name
 from repro.core.pipeline import MoniLog
+from repro.core.streaming import StreamingMoniLog, StreamingShardedMoniLog
+from repro.ingest import (
+    CheckpointStore,
+    FileTailSource,
+    IngestService,
+    SocketSource,
+)
 from repro.datasets import generate_bgl, generate_cloud_platform, generate_hdfs
 from repro.detection import DETECTORS, sessions_from_parsed
 from repro.detection.keyword import KeywordMatchDetector
@@ -92,6 +105,34 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"expected >= 1, got {value}")
     return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected > 0, got {value}")
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"expected >= 0, got {value}")
+    return value
+
+
+def _socket_spec(text: str) -> tuple[str, int]:
+    host, separator, port = text.rpartition(":")
+    if not separator or not host:
+        raise argparse.ArgumentTypeError(
+            f"socket spec must be host:port, got {text!r}"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"socket port must be an integer, got {port!r}"
+        ) from None
 
 
 def _build_parser_instance(name: str, masking: bool, extract: bool):
@@ -246,6 +287,88 @@ def _command_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_tail(args: argparse.Namespace) -> int:
+    if not args.source and not args.socket:
+        raise SystemExit("tail needs at least one --source or --socket")
+    history = _read_records(args.history, sessionize=True)
+    config = MoniLogConfig(use_masking=args.masking,
+                           extract_structured=args.extract,
+                           executor=args.executor)
+    ingest_config = IngestConfig(
+        batch_size=args.batch_size,
+        max_batch_age=args.max_batch_age,
+        lateness=args.lateness,
+        credits=args.credits,
+        poll_interval=args.poll_interval,
+    )
+    if args.shards:
+        system = ShardedMoniLog(
+            parser_shards=args.shards,
+            detector_shards=args.detector_shards,
+            config=config,
+            batch_size=args.batch_size,
+        )
+        system.train(history)
+        streaming = StreamingShardedMoniLog(
+            system, session_timeout=args.session_timeout)
+    else:
+        system = MoniLog(config=config)
+        system.train(history)
+        streaming = StreamingMoniLog(
+            system, session_timeout=args.session_timeout)
+    sources = [
+        FileTailSource(path, follow=not args.once,
+                       poll_interval=args.poll_interval)
+        for path in args.source
+    ] + [
+        # --once must terminate even when nothing is listening: cap the
+        # dial attempts instead of retrying forever.
+        SocketSource(host, port, reconnect=not args.once,
+                     max_connect_attempts=3 if args.once else None)
+        for host, port in args.socket
+    ]
+    checkpoint = CheckpointStore(args.checkpoint) if args.checkpoint else None
+
+    def print_alert(alert) -> None:
+        print(
+            f"[{alert.criticality:>8s}] pool={alert.pool} "
+            f"{alert.report.summary()}",
+            flush=True,
+        )
+
+    service = IngestService(
+        sources, streaming,
+        config=ingest_config,
+        checkpoint=checkpoint,
+        on_alert=print_alert,
+    )
+
+    async def tail_main() -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, service.stop)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix loops: Ctrl-C falls through as KeyboardInterrupt
+        try:
+            await service.run()
+        finally:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.remove_signal_handler(signum)
+                except (NotImplementedError, RuntimeError):
+                    pass
+
+    try:
+        asyncio.run(tail_main())
+    except KeyboardInterrupt:
+        pass
+    print(f"\n{service.stats().summary()}")
+    if args.shards:
+        system.close()
+    return 0
+
+
 def build_argument_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -324,6 +447,72 @@ def build_argument_parser() -> argparse.ArgumentParser:
              "default honors MONILOG_EXECUTOR)",
     )
     pipeline.set_defaults(handler=_command_pipeline)
+
+    tail = commands.add_parser(
+        "tail",
+        help="live-ingest files/sockets through the async front-end",
+    )
+    tail.add_argument("--history", required=True,
+                      help="training log file (offline history)")
+    tail.add_argument(
+        "--source", action="append", default=[], metavar="PATH",
+        help="log file to tail (repeatable; tail -F semantics)",
+    )
+    tail.add_argument(
+        "--socket", action="append", default=[], type=_socket_spec,
+        metavar="HOST:PORT",
+        help="newline-delimited TCP stream to ingest (repeatable)",
+    )
+    tail.add_argument(
+        "--batch-size", type=_positive_int, default=256,
+        help="records per micro-batch handed to the pipeline",
+    )
+    tail.add_argument(
+        "--max-batch-age", type=_positive_float, default=0.25,
+        help="seconds a non-empty batch may wait before flushing",
+    )
+    tail.add_argument(
+        "--lateness", type=_nonnegative_float, default=0.5,
+        help="out-of-order tolerance of the live merge (event seconds)",
+    )
+    tail.add_argument(
+        "--credits", type=_positive_int, default=4096,
+        help="max records in flight between readers and the pipeline",
+    )
+    tail.add_argument(
+        "--poll-interval", type=_positive_float, default=0.05,
+        help="idle-poll cadence for file tails (seconds)",
+    )
+    tail.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="offset checkpoint file; resume skips processed records",
+    )
+    tail.add_argument(
+        "--once", action="store_true",
+        help="drain sources to their current end and exit (no follow)",
+    )
+    tail.add_argument(
+        "--session-timeout", type=_positive_float, default=30.0,
+        help="idle seconds of stream time before a session closes",
+    )
+    tail.add_argument("--masking", action="store_true", default=True)
+    tail.add_argument("--extract", action="store_true")
+    tail.add_argument(
+        "--shards", type=_shard_count, default=0,
+        help="score through the sharded runtime with this many parser "
+             "shards (0 = single-instance pipeline)",
+    )
+    tail.add_argument(
+        "--detector-shards", type=_positive_int, default=1,
+        help="detector replicas in the sharded runtime (with --shards)",
+    )
+    tail.add_argument(
+        "--executor", choices=sorted(EXECUTORS),
+        default=default_executor_name(),
+        help="how shard work runs with --shards (default honors "
+             "MONILOG_EXECUTOR)",
+    )
+    tail.set_defaults(handler=_command_tail)
     return parser
 
 

@@ -1,4 +1,4 @@
-"""Pipeline configuration."""
+"""Pipeline and ingestion configuration."""
 
 from __future__ import annotations
 
@@ -58,4 +58,52 @@ class MoniLogConfig:
         if self.calibration_sample < 1:
             raise ValueError(
                 f"calibration_sample must be >= 1, got {self.calibration_sample}"
+            )
+
+
+@dataclass
+class IngestConfig:
+    """Knobs of the async ingestion front-end (:mod:`repro.ingest`).
+
+    Attributes:
+        batch_size: records per micro-batch handed to the pipeline's
+            ``process_batch``; a batch also flushes early when it ages
+            out.
+        max_batch_age: seconds of wall clock a non-empty batch may wait
+            before flushing regardless of size — the latency bound a
+            trickle source gets.
+        lateness: out-of-order tolerance of the live k-way merge, in
+            seconds of *event* time: arrival skew between sources up
+            to this budget is reordered into exact timestamp order;
+            later arrivals are counted late and delivered immediately
+            (never dropped).
+        credits: total records allowed in flight between the source
+            readers and the pipeline (merge buffer + open batch +
+            queued work).  When exhausted, readers block — the
+            back-pressure that stops fast sources from overrunning a
+            slow consumer.
+        poll_interval: idle-poll cadence for file tails, and the
+            service's watchdog cadence for age flushes.
+    """
+
+    batch_size: int = 256
+    max_batch_age: float = 0.25
+    lateness: float = 0.5
+    credits: int = 4096
+    poll_interval: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.max_batch_age <= 0:
+            raise ValueError(
+                f"max_batch_age must be > 0, got {self.max_batch_age}"
+            )
+        if self.lateness < 0:
+            raise ValueError(f"lateness must be >= 0, got {self.lateness}")
+        if self.credits < 1:
+            raise ValueError(f"credits must be >= 1, got {self.credits}")
+        if self.poll_interval <= 0:
+            raise ValueError(
+                f"poll_interval must be > 0, got {self.poll_interval}"
             )

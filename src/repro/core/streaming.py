@@ -19,6 +19,10 @@ adds the missing pieces:
   across the parser shards concurrently, closed sessions score across
   the detector shards concurrently, and alert identity and order stay
   executor-independent.
+* :class:`BatchHandoff` — the thread-safe hand-off point between an
+  asynchronous ingestion front-end (:mod:`repro.ingest`) and either
+  streaming façade, with a live queue-depth signal the front-end's
+  credit-based back-pressure keys off.
 
 For high-throughput ingestion, ``process_batch(records)`` is the
 amortized entry point: a micro-batch is parsed in one
@@ -32,6 +36,7 @@ order.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Iterable, Iterator
 
@@ -304,3 +309,63 @@ class StreamingShardedMoniLog:
         """Close all open sessions and score them (stream shutdown)."""
         closed = self.sessionizer.flush()
         return self.system.score_sessions(closed) if closed else []
+
+
+class BatchHandoff:
+    """Hand micro-batches to a streaming pipeline; expose queue depth.
+
+    The async ingestion service scores off the event loop: batches are
+    submitted from executor threads while readers keep filling buffers
+    on the loop.  This class is the boundary object between the two
+    worlds.  It delegates to the wrapped pipeline's ``process_batch``
+    and ``flush`` and maintains a **depth signal** — records submitted
+    but not yet fully processed — that producers read to decide how
+    hard to push (the credit gate sizes itself against exactly this
+    window).
+
+    Depth accounting is thread-safe; the *pipeline* is not expected to
+    be.  Callers must serialize ``submit`` calls (the ingestion
+    service awaits each batch before dispatching the next), which also
+    keeps alert order deterministic.  ``depth``/``in_flight`` may be
+    read from any thread at any time.
+    """
+
+    def __init__(self, pipeline) -> None:
+        self.pipeline = pipeline
+        self._lock = threading.Lock()
+        self._depth = 0
+        self._in_flight = 0
+        self.peak_depth = 0
+        self.batches = 0
+        self.records = 0
+
+    @property
+    def depth(self) -> int:
+        """Records submitted and not yet fully processed."""
+        return self._depth
+
+    @property
+    def in_flight(self) -> int:
+        """Batches currently inside ``process_batch``."""
+        return self._in_flight
+
+    def submit(self, records: Iterable[LogRecord]) -> list[ClassifiedAlert]:
+        """Process one micro-batch; returns the alerts it closed."""
+        records = list(records)
+        with self._lock:
+            self._depth += len(records)
+            self._in_flight += 1
+            self.peak_depth = max(self.peak_depth, self._depth)
+        try:
+            return self.pipeline.process_batch(records)
+        finally:
+            with self._lock:
+                self._depth -= len(records)
+                self._in_flight -= 1
+                self.batches += 1
+                self.records += len(records)
+
+    def flush(self) -> list[ClassifiedAlert]:
+        """Flush the wrapped pipeline's open sessions, if it has any."""
+        flush = getattr(self.pipeline, "flush", None)
+        return flush() if flush is not None else []

@@ -1,0 +1,41 @@
+"""Async multi-source ingestion with back-pressure (live front-end).
+
+The offline pipeline consumes pre-materialized record lists; this
+package is the live front door: tail N files and sockets concurrently,
+merge them with watermark-based bounded lateness, group the merged
+stream into micro-batches, and feed a trained streaming pipeline under
+credit-based back-pressure — with per-source offset checkpoints so a
+restarted ingestor resumes without re-emitting processed records.
+
+Entry point: build :class:`IngestService` over some
+:class:`AsyncLogSource`\\ s and ``await service.run()``.  The ``tail``
+CLI command wraps exactly that.
+"""
+
+from repro.ingest.backpressure import CreditGate
+from repro.ingest.batcher import MicroBatcher
+from repro.ingest.checkpoint import CheckpointStore, OffsetTracker
+from repro.ingest.merge import BoundedLatenessMerger
+from repro.ingest.service import IngestService, IngestStats
+from repro.ingest.sources import (
+    AsyncLogSource,
+    AsyncSourceAdapter,
+    FileTailSource,
+    SocketSource,
+    SourceItem,
+)
+
+__all__ = [
+    "AsyncLogSource",
+    "AsyncSourceAdapter",
+    "BoundedLatenessMerger",
+    "CheckpointStore",
+    "CreditGate",
+    "FileTailSource",
+    "IngestService",
+    "IngestStats",
+    "MicroBatcher",
+    "OffsetTracker",
+    "SocketSource",
+    "SourceItem",
+]

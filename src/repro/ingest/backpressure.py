@@ -1,0 +1,101 @@
+"""Credit-based flow control for the ingestion front-end.
+
+MoniLog's input model is many live sources feeding one analysis
+stream; a single slow consumer (the streaming pipeline scoring off the
+event loop) must be able to slow *every* producer down, or fast
+sources overrun the process with buffered records.  The classic
+mechanism is credits: each record occupies one credit from the moment
+its reader emits it until the pipeline has fully processed the batch
+containing it.  When credits run out, readers block in
+:meth:`CreditGate.acquire` — back-pressure propagates to the tail
+loops and socket reads themselves, bounding end-to-end memory by the
+credit budget however unbalanced the source rates are.
+
+The gate is a plain asyncio primitive (single event loop, no locks):
+``acquire`` is awaitable and FIFO-fair, ``release`` is synchronous so
+completion paths — including executor-thread callbacks marshalled via
+``call_soon_threadsafe`` — can hand credits back without awaiting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+
+
+class CreditGate:
+    """An async counting gate with FIFO hand-off and wait accounting.
+
+    ``capacity`` is the total credit budget.  :meth:`acquire` takes
+    credits, blocking while the gate is exhausted; :meth:`release`
+    returns them and wakes waiters in arrival order.  ``waits`` counts
+    the times a producer actually had to block — the signal that
+    back-pressure engaged, which the ingestion stats surface.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._available = capacity
+        self._waiters: deque[tuple[int, asyncio.Future]] = deque()
+        self.waits = 0
+
+    @property
+    def available(self) -> int:
+        return self._available
+
+    @property
+    def in_use(self) -> int:
+        return self.capacity - self._available
+
+    async def acquire(self, amount: int = 1) -> None:
+        """Take ``amount`` credits, waiting while the gate is exhausted.
+
+        Requests larger than the whole budget are clamped to it — a
+        single oversized item must not deadlock the gate.  Waiters are
+        served strictly in arrival order, so no source can starve the
+        others by being fast.
+        """
+        if amount < 1:
+            raise ValueError(f"amount must be >= 1, got {amount}")
+        amount = min(amount, self.capacity)
+        if not self._waiters and self._available >= amount:
+            self._available -= amount
+            return
+        future = asyncio.get_running_loop().create_future()
+        entry = (amount, future)
+        self._waiters.append(entry)
+        self.waits += 1
+        try:
+            await future
+        except asyncio.CancelledError:
+            if future.done() and not future.cancelled():
+                # Credits were granted between the grant and the
+                # cancellation landing; hand them straight back.
+                self.release(amount)
+            else:
+                try:
+                    self._waiters.remove(entry)
+                except ValueError:
+                    pass
+            raise
+
+    def release(self, amount: int = 1) -> None:
+        """Return ``amount`` credits and wake eligible waiters in order."""
+        if amount < 0:
+            raise ValueError(f"amount must be >= 0, got {amount}")
+        self._available = min(self.capacity, self._available + amount)
+        self._grant()
+
+    def _grant(self) -> None:
+        while self._waiters:
+            amount, future = self._waiters[0]
+            if future.cancelled():
+                self._waiters.popleft()
+                continue
+            if self._available < amount:
+                break
+            self._waiters.popleft()
+            self._available -= amount
+            future.set_result(None)

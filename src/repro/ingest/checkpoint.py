@@ -1,0 +1,118 @@
+"""Per-source offset checkpoints: resume ingestion without replay.
+
+A restarted ``tail`` must pick up where the previous process stopped
+— re-emitting already-processed records would re-alert on sessions the
+operator has already seen.  Two pieces cooperate:
+
+* :class:`OffsetTracker` — per-source bookkeeping of which offsets
+  have been *read* versus *processed*.  Because the merge stage
+  reorders records across (and, for out-of-order timestamps, within)
+  sources, a batch finishing does not mean every earlier offset of its
+  sources was processed; the tracker therefore commits only the
+  highest **contiguous** processed offset, exactly the position a
+  restart may safely resume from.
+* :class:`CheckpointStore` — a small JSON file mapping source name to
+  committed offset, written atomically (temp file + ``os.replace``) so
+  an interruption mid-save can never leave a torn checkpoint behind.
+
+Offset semantics are per source kind: byte position after the record's
+line for file tails, a monotone record count for socket streams and
+adapted in-memory sources.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from pathlib import Path
+
+
+class OffsetTracker:
+    """Commit the highest contiguous processed offset of one source.
+
+    ``note_read`` records offsets in the order the source emitted them
+    (sources emit sequentially, so this order is the resume order);
+    ``note_processed`` marks an offset's record as fully processed by
+    the pipeline.  :attr:`committed` advances only while the *oldest*
+    outstanding read offset is processed — offsets processed out of
+    order (batches assembled across the merge's reordering) wait until
+    the gap before them closes.
+
+    A read offset lower than its predecessor signals that the source
+    restarted its numbering (file rotation/truncation).  Outstanding
+    state from before the regression is discarded — those offsets
+    belong to a file that no longer exists — and commitment restarts
+    in the new numbering.
+    """
+
+    def __init__(self, committed: int = 0) -> None:
+        self.committed = committed
+        self._outstanding: deque[int] = deque()
+        self._processed: set[int] = set()
+
+    @property
+    def outstanding(self) -> int:
+        """Read-but-not-yet-committed offsets."""
+        return len(self._outstanding)
+
+    def note_read(self, offset: int) -> None:
+        if self._outstanding and offset <= self._outstanding[-1]:
+            # Offset regression: the source re-numbered (rotation).
+            self._outstanding.clear()
+            self._processed.clear()
+            self.committed = 0
+        self._outstanding.append(offset)
+
+    def note_processed(self, offset: int) -> None:
+        if not self._outstanding or offset < self._outstanding[0]:
+            # Pre-regression stragglers: their file is gone; ignore.
+            return
+        self._processed.add(offset)
+        while self._outstanding and self._outstanding[0] in self._processed:
+            self.committed = self._outstanding.popleft()
+            self._processed.discard(self.committed)
+
+
+class CheckpointStore:
+    """Atomic JSON persistence of per-source committed offsets."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._offsets: dict[str, int] = {}
+        self._dirty = False
+        if self.path.exists():
+            try:
+                loaded = json.loads(self.path.read_text(encoding="utf-8"))
+            except (OSError, ValueError) as error:
+                raise ValueError(
+                    f"unreadable checkpoint file {self.path}: {error}"
+                ) from error
+            if not isinstance(loaded, dict):
+                raise ValueError(
+                    f"checkpoint file {self.path} must hold a JSON object"
+                )
+            self._offsets = {str(name): int(offset)
+                             for name, offset in loaded.items()}
+
+    def get(self, source: str) -> int:
+        """Committed offset for ``source`` (0 when never checkpointed)."""
+        return self._offsets.get(source, 0)
+
+    def update(self, source: str, offset: int) -> None:
+        """Record a new committed offset (no-op unless it advanced)."""
+        if self._offsets.get(source, 0) != offset:
+            self._offsets[source] = offset
+            self._dirty = True
+
+    def save(self) -> None:
+        """Persist atomically; cheap no-op when nothing changed."""
+        if not self._dirty:
+            return
+        temporary = self.path.with_name(self.path.name + ".tmp")
+        temporary.write_text(
+            json.dumps(self._offsets, indent=0, sort_keys=True),
+            encoding="utf-8",
+        )
+        os.replace(temporary, self.path)
+        self._dirty = False

@@ -1,0 +1,114 @@
+"""Watermark-based bounded-lateness merge of live source streams.
+
+The offline merge (:func:`repro.logs.stream.interleave`) requires
+finite, already-available iterators: it holds one pending record per
+source and always knows which source owns the globally-oldest record.
+Live sources break that model — a tailed file that is momentarily
+quiet must not stall the merged stream, and a source read over slow
+storage delivers its records *after* faster peers have already moved
+the stream forward.
+
+:class:`BoundedLatenessMerger` is the live replacement.  It buffers
+arriving items in a heap and tracks the stream's **high-water event
+time** (the maximum timestamp seen across all sources).  Items are
+released once the *watermark* — high water minus a configurable
+``lateness`` budget — passes them, in timestamp order.  The lateness
+budget is therefore the out-of-order tolerance: arrival skew between
+sources up to ``lateness`` seconds of event time is reordered
+perfectly; items arriving even later than that are **never dropped**
+(MoniLog's robustness stance) — they are counted in ``late`` and
+released immediately, joining the stream where it currently is.
+
+The merger is deliberately synchronous and loop-free: the async
+ingestion service drives it by calling :meth:`push` per arriving item
+and :meth:`flush` at shutdown, which keeps the ordering policy
+unit-testable without an event loop.  Ties on equal timestamps break
+by arrival order, so each source's records stay FIFO relative to each
+other — the same per-source contract :func:`interleave` honors.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.ingest.sources import SourceItem
+
+
+class BoundedLatenessMerger:
+    """K-way merge of live streams with bounded out-of-order tolerance.
+
+    Args:
+        lateness: out-of-order budget in seconds of event time.  ``0``
+            buffers nothing — every item releases on arrival (pure
+            arrival-order passthrough); larger budgets buffer more but
+            reorder deeper arrival skew.
+    """
+
+    def __init__(self, lateness: float = 0.0) -> None:
+        if lateness < 0:
+            raise ValueError(f"lateness must be >= 0, got {lateness}")
+        self.lateness = lateness
+        self._heap: list[tuple[float, int, "SourceItem"]] = []
+        self._arrivals = 0
+        self._high_water = float("-inf")
+        self.emitted = 0
+        self.late = 0
+
+    @property
+    def high_water(self) -> float:
+        """Maximum event timestamp seen so far."""
+        return self._high_water
+
+    @property
+    def watermark(self) -> float:
+        """Event time up to which the stream is considered complete."""
+        return self._high_water - self.lateness
+
+    @property
+    def pending(self) -> int:
+        """Items buffered awaiting the watermark."""
+        return len(self._heap)
+
+    def push(self, item: "SourceItem") -> list["SourceItem"]:
+        """Buffer one arriving item; return everything now releasable.
+
+        Returns the (possibly empty) list of items whose timestamps the
+        advancing watermark has passed, oldest first.
+        """
+        timestamp = item.record.timestamp
+        if self._arrivals and timestamp < self.watermark:
+            # Arrived beyond the lateness budget: counted, not dropped.
+            self.late += 1
+        self._high_water = max(self._high_water, timestamp)
+        heapq.heappush(self._heap, (timestamp, self._arrivals, item))
+        self._arrivals += 1
+        return self._release(self.watermark)
+
+    def drain_oldest(self, count: int) -> list["SourceItem"]:
+        """Force-release up to ``count`` buffered items, oldest first.
+
+        The escape hatch for credit pressure: when every credit is held
+        by items parked behind the watermark (quiet sources stop the
+        high water from advancing), the service drains the oldest
+        buffered items so the pipeline — and with it the credit pool —
+        keeps moving.  Ordering within the drained prefix is still by
+        timestamp.
+        """
+        out: list["SourceItem"] = []
+        while self._heap and len(out) < count:
+            out.append(heapq.heappop(self._heap)[2])
+        self.emitted += len(out)
+        return out
+
+    def flush(self) -> list["SourceItem"]:
+        """Release everything still buffered (stream shutdown)."""
+        return self._release(float("inf"))
+
+    def _release(self, limit: float) -> list["SourceItem"]:
+        out: list["SourceItem"] = []
+        while self._heap and self._heap[0][0] <= limit:
+            out.append(heapq.heappop(self._heap)[2])
+        self.emitted += len(out)
+        return out

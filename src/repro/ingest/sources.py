@@ -1,0 +1,388 @@
+"""Async live log sources: file tails, sockets, adapted iterators.
+
+The offline model (:class:`~repro.logs.sources.LogSource`) is a finite
+iterator of records; a deployed MoniLog instead tails N *live* inputs
+concurrently — the paper's platform connects 24 sources to one system.
+This module provides the async counterparts:
+
+* :class:`FileTailSource` — follows a log file the way ``tail -F``
+  does: incremental reads, partial lines held until their newline
+  arrives, rotation (inode change / file vanishing) and truncation
+  (file shrinking) detected and survived, byte-offset checkpoints for
+  exact resume.
+* :class:`SocketSource` — a newline-delimited TCP client with
+  automatic reconnect and back-off; the transport model of a log
+  shipper feeding MoniLog over the network.
+* :class:`AsyncSourceAdapter` — lifts any synchronous
+  :class:`~repro.logs.sources.LogSource` into the async world
+  (cooperatively yielding so one in-memory source cannot monopolize
+  the event loop).  :meth:`LogSource.as_async
+  <repro.logs.sources.LogSource.as_async>` is the discoverable hook.
+
+Every source yields :class:`SourceItem` — the record plus the offset
+token that the checkpoint machinery commits once the record has been
+fully processed.  Line → record conversion mirrors
+:func:`repro.logs.formats.read_log_lines` (format auto-detection,
+unparseable lines kept as whole-line messages, per-source sequence
+numbering) so a tailed file produces byte-identical records to reading
+the same file offline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from collections.abc import AsyncIterator
+from dataclasses import dataclass
+
+from repro.logs.formats import LineFormat, detect_format
+from repro.logs.record import LogRecord, Severity
+from repro.logs.sources import LogSource
+
+
+@dataclass(frozen=True, slots=True)
+class SourceItem:
+    """One live record plus its resume token.
+
+    ``offset`` is the source-specific position *after* this record —
+    byte offset for file tails, record count for sockets and adapted
+    sources.  Committing it (see :mod:`repro.ingest.checkpoint`) means
+    "everything up to and including this record was processed".
+    """
+
+    record: LogRecord
+    source: str
+    offset: int
+
+
+class AsyncLogSource:
+    """Abstract live source: an async iterator of :class:`SourceItem`.
+
+    ``items(start_offset)`` must resume *after* the given offset token
+    (sources that cannot replay, like sockets, start live but keep
+    their offsets monotone from the baseline).  Implementations stop
+    iterating when the source is exhausted and not in follow mode, or
+    when cancelled by the ingestion service.
+    """
+
+    name: str
+
+    def items(self, start_offset: int = 0) -> AsyncIterator[SourceItem]:
+        raise NotImplementedError
+
+
+class _LineConverter:
+    """Incremental line → record conversion, ``read_log_lines``-compatible.
+
+    Keeps the per-source state the offline reader keeps per file: the
+    detected (or imposed) :class:`LineFormat`, the running sequence
+    number, and the fallback clock that stamps unparseable lines.
+    Format detection is one-shot, on the first sample of lines the
+    source sees — for a pre-existing file that is the same leading
+    sample the offline reader detects on.
+    """
+
+    def __init__(self, source_name: str,
+                 line_format: LineFormat | None = None) -> None:
+        self._source_name = source_name
+        self._format = line_format
+        self._detected = line_format is not None
+        self._sequence = 0
+        self._fallback_clock = 0.0
+
+    def detect_on(self, sample: list[str]) -> None:
+        """Fix the line format from the first available sample."""
+        if not self._detected:
+            self._format = detect_format(sample[:100])
+            self._detected = True
+
+    def convert(self, line: str) -> LogRecord | None:
+        """One line to one record; ``None`` for blank lines."""
+        # Normalize one line terminator: sources split raw bytes on
+        # \n, so a CRLF file would otherwise leave a trailing \r that
+        # the offline text-mode reader (universal newlines) never sees
+        # — and parity with read_log_lines is the contract here.
+        if line.endswith("\n"):
+            line = line[:-1]
+        if line.endswith("\r"):
+            line = line[:-1]
+        if not line.strip():
+            return None
+        self.detect_on([line])
+        record = self._format.parse(line) if self._format is not None else None
+        if record is None:
+            self._fallback_clock += 1e-3
+            record = LogRecord(
+                timestamp=self._fallback_clock,
+                source=self._source_name,
+                severity=Severity.INFO,
+                message=line,
+            )
+        record = LogRecord(
+            timestamp=record.timestamp,
+            source=record.source,
+            severity=record.severity,
+            message=record.message,
+            session_id=record.session_id,
+            sequence=self._sequence,
+            labels=record.labels,
+        )
+        self._sequence += 1
+        return record
+
+
+class FileTailSource(AsyncLogSource):
+    """Follow a log file like ``tail -F``, with checkpointable offsets.
+
+    Args:
+        path: the file to tail; it may not exist yet (the source waits
+            for it in follow mode).
+        name: source name for stats and checkpoints; defaults to the
+            file's basename.
+        line_format: header layout; auto-detected from the first lines
+            when omitted.
+        follow: keep polling for growth, rotation, and truncation
+            (live mode).  ``False`` drains to end-of-file once and
+            stops — the replay/catch-up mode benchmarks and ``tail
+            --once`` use.
+        poll_interval: seconds between checks while the file is idle.
+        chunk_size: bytes per read; the unit the bench's storage-
+            latency simulation charges for.
+
+    A partial line at end-of-file stays buffered until its newline
+    arrives (mid-line EOF is how live files look mid-write); in drain
+    mode, or when the file rotates underneath the tail, the buffered
+    partial is emitted as a final line so no bytes are ever dropped.
+    ``rotations`` and ``truncations`` count the restarts.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        name: str | None = None,
+        *,
+        line_format: LineFormat | None = None,
+        follow: bool = True,
+        poll_interval: float = 0.05,
+        chunk_size: int = 65536,
+    ) -> None:
+        if poll_interval <= 0:
+            raise ValueError(f"poll_interval must be > 0, got {poll_interval}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.path = os.fspath(path)
+        self.name = name or os.path.basename(self.path)
+        self.line_format = line_format
+        self.follow = follow
+        self.poll_interval = poll_interval
+        self.chunk_size = chunk_size
+        self.rotations = 0
+        self.truncations = 0
+
+    async def _read_chunk(self, handle) -> bytes:
+        """One incremental read; subclassable to model storage latency."""
+        return handle.read(self.chunk_size)
+
+    def _open(self, offset: int):
+        """Open at ``offset``; returns ``(handle, offset)`` or ``None``.
+
+        An offset beyond the current size means the file was rotated or
+        truncated since the checkpoint — start over from the top.
+        """
+        try:
+            handle = open(self.path, "rb")
+        except (FileNotFoundError, PermissionError):
+            return None
+        size = os.fstat(handle.fileno()).st_size
+        if size < offset:
+            self.truncations += 1
+            offset = 0
+        handle.seek(offset)
+        return handle, offset
+
+    def _stale(self, handle, consumed: int) -> str | None:
+        """``"rotated"``/``"truncated"``/``None`` for an EOF'd handle."""
+        try:
+            on_disk = os.stat(self.path)
+        except (FileNotFoundError, PermissionError):
+            return "rotated"
+        open_file = os.fstat(handle.fileno())
+        if (on_disk.st_ino, on_disk.st_dev) != (
+                open_file.st_ino, open_file.st_dev):
+            return "rotated"
+        if on_disk.st_size < consumed:
+            return "truncated"
+        return None
+
+    async def items(self, start_offset: int = 0) -> AsyncIterator[SourceItem]:
+        offset = start_offset
+        buffer = b""
+        handle = None
+        converter = _LineConverter(self.name, self.line_format)
+        try:
+            while True:
+                if handle is None:
+                    opened = self._open(offset)
+                    if opened is None:
+                        if not self.follow:
+                            return
+                        await asyncio.sleep(self.poll_interval)
+                        continue
+                    handle, offset = opened
+                    buffer = b""
+                chunk = await self._read_chunk(handle)
+                if chunk:
+                    buffer += chunk
+                    *lines, buffer = buffer.split(b"\n")
+                    if lines:
+                        decoded = [raw.decode("utf-8", "replace")
+                                   for raw in lines]
+                        converter.detect_on(decoded)
+                        for raw, line in zip(lines, decoded):
+                            offset += len(raw) + 1
+                            record = converter.convert(line)
+                            if record is not None:
+                                yield SourceItem(record, self.name, offset)
+                    continue
+                # End of file: decide between waiting, restarting, stopping.
+                stale = self._stale(handle, offset + len(buffer))
+                if stale is not None or not self.follow:
+                    if buffer:
+                        # Trailing bytes with no newline: the writer is
+                        # gone (rotation) or done (drain) — emit them.
+                        offset += len(buffer)
+                        record = converter.convert(
+                            buffer.decode("utf-8", "replace"))
+                        buffer = b""
+                        if record is not None:
+                            yield SourceItem(record, self.name, offset)
+                    if stale is None:
+                        return
+                    if stale == "rotated":
+                        self.rotations += 1
+                    else:
+                        self.truncations += 1
+                    handle.close()
+                    handle = None
+                    offset = 0
+                    continue
+                await asyncio.sleep(self.poll_interval)
+        finally:
+            if handle is not None:
+                handle.close()
+
+
+class SocketSource(AsyncLogSource):
+    """Newline-delimited TCP log stream with automatic reconnect.
+
+    Args:
+        host / port: the peer emitting one log line per ``\\n``.
+        name: source name; defaults to ``host:port``.
+        line_format: header layout; auto-detected when omitted.
+        reconnect: dial again after a disconnect (live mode); ``False``
+            stops at the first clean disconnect.
+        reconnect_delay: back-off between connection attempts.
+        max_connect_attempts: give up after this many *consecutive*
+            failed dials (``None``: retry forever).  A successful
+            connection resets the counter.
+
+    Offsets count records emitted (a socket cannot be replayed from a
+    byte position); ``start_offset`` seeds the counter so checkpoint
+    offsets stay monotone across restarts.  ``connects`` and
+    ``disconnects`` expose the transport's health for stats.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        name: str | None = None,
+        *,
+        line_format: LineFormat | None = None,
+        reconnect: bool = True,
+        reconnect_delay: float = 0.05,
+        max_connect_attempts: int | None = None,
+    ) -> None:
+        if reconnect_delay <= 0:
+            raise ValueError(
+                f"reconnect_delay must be > 0, got {reconnect_delay}")
+        if max_connect_attempts is not None and max_connect_attempts < 1:
+            raise ValueError(
+                "max_connect_attempts must be >= 1 or None, "
+                f"got {max_connect_attempts}")
+        self.host = host
+        self.port = port
+        self.name = name or f"{host}:{port}"
+        self.line_format = line_format
+        self.reconnect = reconnect
+        self.reconnect_delay = reconnect_delay
+        self.max_connect_attempts = max_connect_attempts
+        self.connects = 0
+        self.disconnects = 0
+
+    async def items(self, start_offset: int = 0) -> AsyncIterator[SourceItem]:
+        offset = start_offset
+        converter = _LineConverter(self.name, self.line_format)
+        failures = 0
+        while True:
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self.host, self.port)
+            except OSError:
+                failures += 1
+                if (self.max_connect_attempts is not None
+                        and failures >= self.max_connect_attempts):
+                    return
+                await asyncio.sleep(self.reconnect_delay)
+                continue
+            failures = 0
+            self.connects += 1
+            try:
+                while True:
+                    raw = await reader.readline()
+                    if not raw:
+                        break
+                    offset += 1
+                    record = converter.convert(
+                        raw.decode("utf-8", "replace"))
+                    if record is not None:
+                        yield SourceItem(record, self.name, offset)
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (OSError, asyncio.CancelledError):
+                    pass
+            self.disconnects += 1
+            if not self.reconnect:
+                return
+            await asyncio.sleep(self.reconnect_delay)
+
+
+class AsyncSourceAdapter(AsyncLogSource):
+    """Lift a synchronous :class:`LogSource` into the async world.
+
+    The adapter replays the wrapped source's records, yielding control
+    to the event loop every ``yield_every`` records so an in-memory
+    source cannot starve live tails of loop time.  Offsets count
+    records, so ``start_offset`` skips an already-processed prefix —
+    which makes replayed corpora resumable just like files.
+    """
+
+    def __init__(self, source: LogSource, name: str | None = None,
+                 *, yield_every: int = 64) -> None:
+        if yield_every < 1:
+            raise ValueError(f"yield_every must be >= 1, got {yield_every}")
+        self.source = source
+        self.name = name or getattr(source, "name", type(source).__name__)
+        self.yield_every = yield_every
+
+    async def items(self, start_offset: int = 0) -> AsyncIterator[SourceItem]:
+        emitted = 0
+        for count, record in enumerate(self.source, start=1):
+            if count <= start_offset:
+                continue
+            emitted += 1
+            if emitted % self.yield_every == 0:
+                await asyncio.sleep(0)
+            yield SourceItem(record, self.name, count)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import re
+
 import pytest
 
 from repro.cli import main
@@ -156,3 +158,102 @@ class TestPipeline:
         ]) == 0
         assert capsys.readouterr().out.replace("serial", "<executor>") == \
             outputs[0]
+
+
+class TestTail:
+    @pytest.fixture
+    def corpus(self, tmp_path):
+        history = tmp_path / "history.log"
+        live = tmp_path / "live.log"
+        main(["generate", "--dataset", "cloud", "--sessions", "150",
+              "--anomaly-rate", "0.0", "--seed", "7",
+              "--output", str(history)])
+        main(["generate", "--dataset", "cloud", "--sessions", "60",
+              "--anomaly-rate", "0.12", "--seed", "8",
+              "--output", str(live)])
+        return history, live
+
+    @staticmethod
+    def _ingested(output: str) -> int:
+        match = re.search(r"ingested (\d+) records", output)
+        assert match, f"no ingest summary in output:\n{output}"
+        return int(match.group(1))
+
+    def test_once_drains_file_and_reports(self, corpus, capsys):
+        history, live = corpus
+        exit_code = main([
+            "tail", "--history", str(history), "--source", str(live),
+            "--once", "--session-timeout", "10", "--batch-size", "64",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        total = len(live.read_text().splitlines())
+        assert self._ingested(output) == total
+        assert "pool=" in output  # the anomalous sessions must alert
+        assert "credit waits" in output
+
+    def test_checkpoint_resume_skips_processed_records(self, corpus, tmp_path,
+                                                       capsys):
+        history, live = corpus
+        checkpoint = tmp_path / "offsets.json"
+        lines = live.read_text().splitlines(keepends=True)
+        cut = len(lines) * 2 // 3
+        live.write_text("".join(lines[:cut]), encoding="utf-8")
+
+        base = ["tail", "--history", str(history), "--source", str(live),
+                "--once", "--session-timeout", "10",
+                "--checkpoint", str(checkpoint)]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert self._ingested(first) == cut
+        first_alerts = [l for l in first.splitlines() if "pool=" in l]
+        assert checkpoint.exists()
+
+        # Interrupted-and-restarted: the writer appended the rest.
+        live.write_text("".join(lines), encoding="utf-8")
+        assert main(base) == 0
+        second = capsys.readouterr().out
+        assert self._ingested(second) == len(lines) - cut, \
+            "resume must not re-emit already-processed records"
+        second_alerts = [l for l in second.splitlines() if "pool=" in l]
+        # Re-run over the appended suffix only: no alert from the first
+        # run may reappear.
+        assert not set(first_alerts) & set(second_alerts)
+
+        # A third run with nothing appended ingests nothing.
+        assert main(base) == 0
+        assert self._ingested(capsys.readouterr().out) == 0
+
+    def test_sharded_tail_runs(self, corpus, capsys):
+        history, live = corpus
+        exit_code = main([
+            "tail", "--history", str(history), "--source", str(live),
+            "--once", "--session-timeout", "10",
+            "--shards", "2", "--detector-shards", "1",
+            "--executor", "thread",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert self._ingested(output) == len(live.read_text().splitlines())
+
+    def test_tail_requires_a_source(self, corpus):
+        history, _ = corpus
+        with pytest.raises(SystemExit, match="--source or --socket"):
+            main(["tail", "--history", str(history), "--once"])
+
+    def test_bad_socket_spec_rejected(self, corpus):
+        history, _ = corpus
+        with pytest.raises(SystemExit):
+            main(["tail", "--history", str(history),
+                  "--socket", "no-port-here", "--once"])
+
+    def test_once_with_unreachable_socket_terminates(self, corpus, capsys):
+        # --once promises termination; a dead peer must give up after
+        # bounded dial attempts instead of retrying forever.
+        history, _ = corpus
+        exit_code = main([
+            "tail", "--history", str(history),
+            "--socket", "127.0.0.1:1", "--once",
+        ])
+        assert exit_code == 0
+        assert self._ingested(capsys.readouterr().out) == 0

@@ -1,0 +1,282 @@
+"""Unit tests for the ingestion flow-control cores.
+
+The watermark merge, the micro-batcher, the credit gate, and the
+offset-checkpoint bookkeeping are all synchronous, clock-explicit
+state machines — these tests pin their contracts without an event
+loop (the service-level tests drive them live).
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.ingest import (
+    BoundedLatenessMerger,
+    CheckpointStore,
+    CreditGate,
+    MicroBatcher,
+    OffsetTracker,
+)
+from repro.ingest.sources import SourceItem
+
+from conftest import make_record
+
+
+def item(timestamp: float, source: str = "s", offset: int = 0,
+         message: str | None = None) -> SourceItem:
+    record = make_record(message or f"{source}@{timestamp}",
+                         timestamp=timestamp, source=source)
+    return SourceItem(record=record, source=source, offset=offset)
+
+
+def stamps(items):
+    return [entry.record.timestamp for entry in items]
+
+
+class TestBoundedLatenessMerger:
+    def test_zero_lateness_is_arrival_order_passthrough(self):
+        merger = BoundedLatenessMerger(lateness=0.0)
+        assert stamps(merger.push(item(1.0))) == [1.0]
+        assert stamps(merger.push(item(2.0))) == [2.0]
+        assert merger.pending == 0
+
+    def test_reorders_within_the_lateness_budget(self):
+        merger = BoundedLatenessMerger(lateness=5.0)
+        merger.push(item(3.0, "a"))
+        merger.push(item(1.0, "b"))  # out of order, within budget
+        merger.push(item(2.0, "c"))
+        assert stamps(merger.flush()) == [1.0, 2.0, 3.0]
+        assert merger.late == 0
+
+    def test_watermark_tracks_high_water_minus_lateness(self):
+        merger = BoundedLatenessMerger(lateness=2.0)
+        merger.push(item(10.0))
+        assert merger.high_water == 10.0
+        assert merger.watermark == 8.0
+        released = merger.push(item(20.0))
+        assert stamps(released) == [10.0]
+
+    def test_late_arrivals_counted_and_released_immediately(self):
+        merger = BoundedLatenessMerger(lateness=1.0)
+        merger.push(item(10.0))
+        released = merger.push(item(3.0))  # far beyond the budget
+        assert stamps(released) == [3.0]  # not dropped
+        assert merger.late == 1
+
+    def test_per_source_fifo_on_equal_timestamps(self):
+        merger = BoundedLatenessMerger(lateness=10.0)
+        merger.push(item(1.0, "a", message="a-first"))
+        merger.push(item(1.0, "a", message="a-second"))
+        out = merger.flush()
+        assert [entry.record.message for entry in out] == [
+            "a-first", "a-second",
+        ]
+
+    def test_drain_oldest_force_releases_a_prefix(self):
+        merger = BoundedLatenessMerger(lateness=100.0)
+        for timestamp in (5.0, 1.0, 3.0):
+            merger.push(item(timestamp))
+        drained = merger.drain_oldest(2)
+        assert stamps(drained) == [1.0, 3.0]
+        assert merger.pending == 1
+        assert stamps(merger.flush()) == [5.0]
+
+    def test_emitted_counter(self):
+        merger = BoundedLatenessMerger(lateness=0.0)
+        merger.push(item(1.0))
+        merger.push(item(2.0))
+        merger.flush()
+        assert merger.emitted == 2
+
+    def test_negative_lateness_rejected(self):
+        with pytest.raises(ValueError, match="lateness"):
+            BoundedLatenessMerger(lateness=-1.0)
+
+
+class TestMicroBatcher:
+    def test_size_flush(self):
+        batcher = MicroBatcher(max_size=2, max_age=100.0)
+        assert batcher.add(item(1.0), now=0.0) is None
+        batch = batcher.add(item(2.0), now=0.0)
+        assert batch is not None and len(batch) == 2
+        assert batcher.size_flushes == 1
+        assert batcher.pending == 0
+
+    def test_age_flush_via_poll(self):
+        batcher = MicroBatcher(max_size=100, max_age=0.5)
+        batcher.add(item(1.0), now=10.0)
+        assert batcher.poll(now=10.4) is None
+        batch = batcher.poll(now=10.5)
+        assert batch is not None and len(batch) == 1
+        assert batcher.age_flushes == 1
+
+    def test_age_measured_from_first_item(self):
+        batcher = MicroBatcher(max_size=100, max_age=1.0)
+        batcher.add(item(1.0), now=0.0)
+        batcher.add(item(2.0), now=0.9)  # does not reset the clock
+        assert batcher.poll(now=1.0) is not None
+
+    def test_deadline_property(self):
+        batcher = MicroBatcher(max_size=10, max_age=2.0)
+        assert batcher.deadline is None
+        batcher.add(item(1.0), now=5.0)
+        assert batcher.deadline == 7.0
+        batcher.flush()
+        assert batcher.deadline is None
+
+    def test_flush_returns_remainder_and_none_when_empty(self):
+        batcher = MicroBatcher(max_size=10, max_age=1.0)
+        assert batcher.flush() is None
+        batcher.add(item(1.0), now=0.0)
+        batch = batcher.flush()
+        assert batch is not None and len(batch) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_size"):
+            MicroBatcher(max_size=0, max_age=1.0)
+        with pytest.raises(ValueError, match="max_age"):
+            MicroBatcher(max_size=1, max_age=0.0)
+
+
+class TestCreditGate:
+    def test_acquire_release_bookkeeping(self):
+        async def scenario():
+            gate = CreditGate(4)
+            await gate.acquire(3)
+            assert gate.available == 1
+            assert gate.in_use == 3
+            gate.release(2)
+            assert gate.available == 3
+
+        asyncio.run(scenario())
+
+    def test_exhaustion_blocks_until_release(self):
+        async def scenario():
+            gate = CreditGate(1)
+            await gate.acquire()
+            order = []
+
+            async def blocked():
+                await gate.acquire()
+                order.append("acquired")
+
+            task = asyncio.ensure_future(blocked())
+            await asyncio.sleep(0)
+            assert order == []
+            assert gate.waits == 1
+            gate.release()
+            await task
+            assert order == ["acquired"]
+
+        asyncio.run(scenario())
+
+    def test_fifo_wakeup_order(self):
+        async def scenario():
+            gate = CreditGate(1)
+            await gate.acquire()
+            order = []
+
+            async def waiter(tag):
+                await gate.acquire()
+                order.append(tag)
+                gate.release()
+
+            tasks = [asyncio.ensure_future(waiter(index))
+                     for index in range(3)]
+            await asyncio.sleep(0)
+            gate.release()
+            await asyncio.gather(*tasks)
+            assert order == [0, 1, 2]
+
+        asyncio.run(scenario())
+
+    def test_oversized_request_clamped_to_capacity(self):
+        async def scenario():
+            gate = CreditGate(2)
+            await gate.acquire(10)  # must not deadlock
+            assert gate.available == 0
+            gate.release(2)
+            assert gate.available == 2
+
+        asyncio.run(scenario())
+
+    def test_cancelled_waiter_does_not_leak_credits(self):
+        async def scenario():
+            gate = CreditGate(1)
+            await gate.acquire()
+            task = asyncio.ensure_future(gate.acquire())
+            await asyncio.sleep(0)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            gate.release()
+            assert gate.available == 1  # the cancelled waiter took nothing
+
+        asyncio.run(scenario())
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            CreditGate(0)
+
+
+class TestOffsetTracker:
+    def test_commits_only_contiguous_prefix(self):
+        tracker = OffsetTracker()
+        for offset in (10, 20, 30):
+            tracker.note_read(offset)
+        tracker.note_processed(20)
+        assert tracker.committed == 0  # 10 still outstanding
+        tracker.note_processed(10)
+        assert tracker.committed == 20
+        tracker.note_processed(30)
+        assert tracker.committed == 30
+        assert tracker.outstanding == 0
+
+    def test_starts_from_checkpointed_offset(self):
+        tracker = OffsetTracker(committed=100)
+        tracker.note_read(110)
+        tracker.note_processed(110)
+        assert tracker.committed == 110
+
+    def test_offset_regression_resets_bookkeeping(self):
+        tracker = OffsetTracker()
+        tracker.note_read(50)
+        tracker.note_read(5)  # rotation: numbering restarted
+        assert tracker.committed == 0
+        tracker.note_processed(50)  # pre-rotation straggler: ignored
+        assert tracker.committed == 0
+        tracker.note_processed(5)
+        assert tracker.committed == 5
+
+
+class TestCheckpointStore:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        store = CheckpointStore(path)
+        assert store.get("a") == 0
+        store.update("a", 42)
+        store.update("b", 7)
+        store.save()
+        reloaded = CheckpointStore(path)
+        assert reloaded.get("a") == 42
+        assert reloaded.get("b") == 7
+
+    def test_save_is_atomic_and_lazy(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        store = CheckpointStore(path)
+        store.save()  # nothing dirty: no file appears
+        assert not path.exists()
+        store.update("a", 1)
+        store.save()
+        assert path.exists()
+        assert not (tmp_path / "ckpt.json.tmp").exists()
+
+    def test_rejects_corrupt_checkpoint(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="unreadable checkpoint"):
+            CheckpointStore(path)
+        path.write_text(json.dumps([1, 2]), encoding="utf-8")
+        with pytest.raises(ValueError, match="JSON object"):
+            CheckpointStore(path)

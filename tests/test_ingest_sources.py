@@ -1,0 +1,168 @@
+"""Tests for the async live sources (happy paths).
+
+Failure paths — rotation mid-read, mid-line EOF, socket disconnects,
+cancellation — live in ``test_ingest_failures.py``; these tests pin
+the basic contracts: offline/online record parity, offset-based
+resume, and the adapter hook on :class:`LogSource`.
+"""
+
+import asyncio
+
+from repro.ingest import AsyncSourceAdapter, FileTailSource, SocketSource
+from repro.ingest.sources import SourceItem
+from repro.logs.formats import read_log_lines, render_line
+from repro.logs.sources import ReplaySource
+
+from conftest import make_record
+
+
+def drain(source, start_offset=0):
+    """Collect a non-following source's items synchronously."""
+
+    async def collect():
+        return [item async for item in source.items(start_offset=start_offset)]
+
+    return asyncio.run(collect())
+
+
+def write_corpus(path, count=20, source="svc"):
+    records = [
+        make_record(f"request {index} handled", timestamp=float(index),
+                    source=source, sequence=index)
+        for index in range(count)
+    ]
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(render_line(record) + "\n")
+    return records
+
+
+class TestFileTailSource:
+    def test_drain_matches_offline_reader(self, tmp_path):
+        path = tmp_path / "svc.log"
+        write_corpus(path, count=25)
+        with open(path, encoding="utf-8") as handle:
+            offline = list(read_log_lines(handle))
+        items = drain(FileTailSource(path, follow=False))
+        assert [item.record for item in items] == offline
+
+    def test_offsets_are_byte_positions_after_each_line(self, tmp_path):
+        path = tmp_path / "svc.log"
+        write_corpus(path, count=3)
+        items = drain(FileTailSource(path, follow=False))
+        assert items[-1].offset == path.stat().st_size
+        assert all(earlier.offset < later.offset
+                   for earlier, later in zip(items, items[1:]))
+
+    def test_resume_from_offset_skips_processed_prefix(self, tmp_path):
+        path = tmp_path / "svc.log"
+        write_corpus(path, count=10)
+        first = drain(FileTailSource(path, follow=False))
+        cut = first[6].offset
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(render_line(make_record(
+                "request 99 handled", timestamp=99.0, source="svc")) + "\n")
+        resumed = drain(FileTailSource(path, follow=False), start_offset=cut)
+        assert [item.record.message for item in resumed] == [
+            "request 7 handled", "request 8 handled", "request 9 handled",
+            "request 99 handled",
+        ]
+
+    def test_blank_lines_skipped_but_offsets_advance(self, tmp_path):
+        path = tmp_path / "svc.log"
+        first = make_record("hello world", timestamp=1.0, source="svc")
+        second = make_record("goodbye", timestamp=2.0, source="svc")
+        path.write_text(
+            f"{render_line(first)}\n\n{render_line(second)}\n\n",
+            encoding="utf-8",
+        )
+        items = drain(FileTailSource(path, follow=False))
+        assert [item.record.message for item in items] == [
+            "hello world", "goodbye",
+        ]
+        # The final offset covers the trailing blank line's bytes too.
+        assert items[-1].offset == path.stat().st_size - 1
+
+    def test_unparseable_lines_fall_back_like_offline_reader(self, tmp_path):
+        path = tmp_path / "raw.log"
+        path.write_text("plain one\nplain two\n", encoding="utf-8")
+        with open(path, encoding="utf-8") as handle:
+            offline = list(read_log_lines(handle, source="raw.log"))
+        items = drain(FileTailSource(path, follow=False))
+        assert [item.record for item in items] == offline
+
+    def test_missing_file_in_drain_mode_yields_nothing(self, tmp_path):
+        items = drain(FileTailSource(tmp_path / "never.log", follow=False))
+        assert items == []
+
+    def test_source_name_defaults_to_basename(self, tmp_path):
+        source = FileTailSource(tmp_path / "api.log")
+        assert source.name == "api.log"
+
+
+class TestAsyncSourceAdapter:
+    def test_replays_wrapped_source_with_record_count_offsets(self):
+        records = [make_record(f"m{index}", timestamp=float(index))
+                   for index in range(5)]
+        adapter = AsyncSourceAdapter(ReplaySource("replay", records))
+        items = drain(adapter)
+        assert [item.record for item in items] == records
+        assert [item.offset for item in items] == [1, 2, 3, 4, 5]
+        assert all(item.source == "replay" for item in items)
+
+    def test_start_offset_skips_prefix(self):
+        records = [make_record(f"m{index}", timestamp=float(index))
+                   for index in range(5)]
+        adapter = AsyncSourceAdapter(ReplaySource("replay", records))
+        items = drain(adapter, start_offset=3)
+        assert [item.record.message for item in items] == ["m3", "m4"]
+
+    def test_as_async_hook_on_log_source(self):
+        source = ReplaySource("replay", [make_record("m", timestamp=0.0)])
+        adapter = source.as_async(yield_every=8)
+        assert isinstance(adapter, AsyncSourceAdapter)
+        assert adapter.name == "replay"
+        assert adapter.yield_every == 8
+        assert [item.record.message for item in drain(adapter)] == ["m"]
+
+
+class TestSocketSource:
+    def test_receives_lines_until_clean_disconnect(self):
+        records = [make_record(f"request {index} ok", timestamp=float(index),
+                               source="shipper", sequence=index)
+                   for index in range(8)]
+
+        async def scenario():
+            async def serve(reader, writer):
+                for record in records:
+                    writer.write((render_line(record) + "\n").encode())
+                await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_server(serve, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            source = SocketSource("127.0.0.1", port, name="shipper",
+                                  reconnect=False)
+            items = [item async for item in source.items()]
+            server.close()
+            await server.wait_closed()
+            return source, items
+
+        source, items = asyncio.run(scenario())
+        assert [item.record for item in items] == records
+        assert [item.offset for item in items] == list(range(1, 9))
+        assert source.connects == 1
+        assert source.disconnects == 1
+
+    def test_gives_up_after_max_connect_attempts(self):
+        async def scenario():
+            source = SocketSource("127.0.0.1", 1, reconnect_delay=0.01,
+                                  max_connect_attempts=3)
+            return [item async for item in source.items()]
+
+        assert asyncio.run(scenario()) == []
+
+    def test_items_are_source_items(self):
+        record = make_record("x", timestamp=0.0)
+        item = SourceItem(record=record, source="s", offset=1)
+        assert item.record is record

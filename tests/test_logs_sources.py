@@ -97,6 +97,53 @@ class TestTemplateLibrary:
         library = self._library()
         assert library.truth_for("Sending 7 bytes now") is None
 
+    def test_truth_for_index_tracks_additions(self):
+        # truth_for consults a token-count index, which must stay
+        # consistent as templates are registered incrementally.
+        library = self._library()
+        assert library.truth_for("Sending 7 widgets") is None
+        added = library.add(f"Sending {WILDCARD} widgets", (integer(1, 9),))
+        truth = library.truth_for("Sending 7 widgets")
+        assert truth is added
+
+    def test_truth_for_prefers_earlier_registration_on_ambiguity(self):
+        # Two templates can both match a message (wildcards overlap
+        # static tokens); the linear scan always returned the earlier
+        # registration, and the indexed lookup must preserve that.
+        library = TemplateLibrary()
+        first = library.add(f"job {WILDCARD} done", (integer(1, 9),))
+        library.add(f"job {WILDCARD} {WILDCARD}",
+                    (integer(1, 9), constant("done")))
+        assert library.truth_for("job 3 done") is first
+
+    def test_truth_for_index_matches_linear_scan(self):
+        # The index is a pure optimization: on a mixed library, every
+        # probe must agree with the brute-force definition.
+        library = TemplateLibrary()
+        library.add("alpha beta")
+        library.add(f"alpha {WILDCARD}", (integer(0, 99),))
+        library.add(f"{WILDCARD} beta gamma", (integer(0, 99),))
+        library.add("one two three four")
+
+        def linear(message):
+            from repro.logs.record import tokenize
+            tokens = tokenize(message)
+            for entry in library:
+                template_tokens = tokenize(entry.template)
+                if len(template_tokens) != len(tokens):
+                    continue
+                if all(expected == WILDCARD or expected == actual
+                       for expected, actual in zip(template_tokens, tokens)):
+                    return entry
+            return None
+
+        probes = [
+            "alpha beta", "alpha 42", "17 beta gamma",
+            "one two three four", "no match at all here", "alpha",
+        ]
+        for probe in probes:
+            assert library.truth_for(probe) is linear(probe)
+
 
 class TestReplaySource:
     def test_replays_in_order_and_restarts(self):

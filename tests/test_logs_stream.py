@@ -47,6 +47,40 @@ class TestInterleave:
         merged = list(interleave([a, b]))
         assert len(merged) == 200
 
+    # The following tests lock the merge contract the live
+    # bounded-lateness merge (repro.ingest.merge) must also honor.
+
+    def test_per_source_fifo_under_equal_timestamps(self):
+        a = _source("a", [1.0, 1.0, 1.0])
+        b = _source("b", [1.0, 1.0])
+        merged = [record.message for record in interleave([a, b])]
+        assert [m for m in merged if m.startswith("a")] == \
+            ["a-0", "a-1", "a-2"]
+        assert [m for m in merged if m.startswith("b")] == ["b-0", "b-1"]
+
+    def test_equal_timestamps_tie_break_by_source_listing_order(self):
+        a = _source("a", [1.0])
+        b = _source("b", [1.0])
+        assert [r.message for r in interleave([a, b])] == ["a-0", "b-0"]
+        assert [r.message for r in interleave([b, a])] == ["b-0", "a-0"]
+
+    def test_single_source_passthrough_preserves_emission_order(self):
+        # With one source the merge holds one pending record at a time,
+        # so emission order is source order even when timestamps
+        # regress — a contract the streaming sessionizer relies on.
+        a = _source("a", [3.0, 1.0, 2.0])
+        assert [r.message for r in interleave([a])] == ["a-0", "a-1", "a-2"]
+
+    def test_all_sources_empty(self):
+        assert list(interleave([_source("a", []), _source("b", [])])) == []
+
+    def test_exhausted_source_does_not_stall_the_merge(self):
+        a = _source("a", [0.0])
+        b = _source("b", [1.0, 2.0, 3.0])
+        assert [r.message for r in interleave([a, b])] == [
+            "a-0", "b-0", "b-1", "b-2",
+        ]
+
 
 class TestDuplicationNoise:
     def test_zero_rate_is_identity(self):
