@@ -9,8 +9,7 @@ timeout settings.
 """
 
 from conftest import once
-from repro import MoniLog
-from repro.core.streaming import StreamingMoniLog
+from repro import Pipeline
 from repro.detection import DeepLogDetector
 from repro.eval import Table
 
@@ -22,14 +21,15 @@ def bench_ablation_streaming(benchmark, cloud_bench, emit):
     cut = len(data.records) * 6 // 10
     train, live = data.records[:cut], data.records[cut:]
 
-    system = MoniLog(detector=DeepLogDetector(epochs=8, seed=0))
-    system.train(train)
-    batch_flagged = {alert.report.session_id for alert in system.run(live)}
+    system = Pipeline(detector=DeepLogDetector(epochs=8, seed=0))
+    system.fit(train)
+    batch_flagged = {alert.report.session_id
+                     for alert in system.run_offline(live)}
 
     def run():
         rows = {}
         for timeout in TIMEOUTS:
-            streaming = StreamingMoniLog(system, session_timeout=timeout)
+            streaming = system.stream(session_timeout=timeout)
             last_seen: dict[str, float] = {}
             latencies = []
             flagged = set()
@@ -37,7 +37,7 @@ def bench_ablation_streaming(benchmark, cloud_bench, emit):
             for record in live:
                 if record.session_id:
                     last_seen[record.session_id] = record.timestamp
-                for alert in streaming.process(record):
+                for alert in streaming.process_record(record):
                     session_id = alert.report.session_id
                     flagged.add(session_id)
                     if session_id in last_seen:

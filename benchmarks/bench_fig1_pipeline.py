@@ -10,7 +10,7 @@ events out, throughput) plus the sharded runtime's load balance — the
 import time
 
 from conftest import once
-from repro import MoniLog, ShardedMoniLog
+from repro import Pipeline, PipelineSpec
 from repro.detection import DeepLogDetector, InvariantMiningDetector
 from repro.eval import Table
 
@@ -20,8 +20,8 @@ def bench_fig1_pipeline_stages(benchmark, cloud_bench, emit):
     cut = len(data.records) * 6 // 10
     train, live = data.records[:cut], data.records[cut:]
 
-    system = MoniLog(detector=DeepLogDetector(epochs=8, seed=0))
-    system.train(train)
+    system = Pipeline(detector=DeepLogDetector(epochs=8, seed=0))
+    system.fit(train)
 
     def run():
         return system.run_all(live)
@@ -34,19 +34,19 @@ def bench_fig1_pipeline_stages(benchmark, cloud_bench, emit):
         "Fig. 1 — pipeline stages on the live stream",
         ["stage", "input", "output", "throughput"],
     )
-    parsed = system.stats.records_parsed - cut
+    parsed = system.stats().records_parsed - cut
     table.add_row(
         "1. log parser", f"{len(live)} records",
-        f"{parsed} events / {system.stats.templates_discovered} templates",
+        f"{parsed} events / {system.stats().templates_discovered} templates",
         f"{int(len(live) / elapsed)} rec/s (full pipeline)",
     )
     table.add_row(
-        "2. anomaly detector", f"{system.stats.windows_scored} windows",
-        f"{system.stats.anomalies_detected} anomaly reports", "",
+        "2. anomaly detector", f"{system.stats().windows_scored} windows",
+        f"{system.stats().anomalies_detected} anomaly reports", "",
     )
     table.add_row(
-        "3. anomaly classifier", f"{system.stats.anomalies_detected} reports",
-        f"{system.stats.alerts_classified} classified alerts", "",
+        "3. anomaly classifier", f"{system.stats().anomalies_detected} reports",
+        f"{system.stats().alerts_classified} classified alerts", "",
     )
     emit()
     emit(table.render())
@@ -65,12 +65,10 @@ def bench_fig1_sharded_runtime(benchmark, cloud_bench, emit):
     cut = len(data.records) * 6 // 10
     train, live = data.records[:cut], data.records[cut:]
 
-    sharded = ShardedMoniLog(
-        parser_shards=3,
-        detector_shards=2,
-        detector_factory=lambda shard: InvariantMiningDetector(),
+    sharded = Pipeline(
+        PipelineSpec(shards=3, detector_shards=2, detector="invariants"),
     )
-    sharded.train(train)
+    sharded.fit(train)
 
     alerts = once(benchmark, lambda: sharded.run_all(live))
 

@@ -32,10 +32,8 @@ import os
 import time
 
 from conftest import once
+from repro.api import Pipeline, PipelineSpec
 from repro.core.config import IngestConfig
-from repro.core.pipeline import MoniLog
-from repro.core.streaming import StreamingMoniLog
-from repro.detection.keyword import KeywordMatchDetector
 from repro.eval import Table
 from repro.ingest import FileTailSource, IngestService
 from repro.logs.formats import read_log_lines, render_line
@@ -129,9 +127,8 @@ class _RemoteStorageTail(FileTailSource):
         return handle.read(self.chunk_size)
 
 
-def _trained_streaming(base: MoniLog) -> StreamingMoniLog:
-    return StreamingMoniLog(copy.deepcopy(base),
-                            session_timeout=_SESSION_TIMEOUT)
+def _trained_streaming(base: Pipeline) -> Pipeline:
+    return copy.deepcopy(base).stream(session_timeout=_SESSION_TIMEOUT)
 
 
 def _ingest_config() -> IngestConfig:
@@ -151,8 +148,8 @@ def bench_x10_concurrent_tailing(benchmark, emit, tmp_path_factory):
     root = tmp_path_factory.mktemp("x10")
     history, paths = _write_corpora(root)
 
-    base = MoniLog(detector=KeywordMatchDetector())
-    base.train(history)
+    base = Pipeline(PipelineSpec(detector="keyword"))
+    base.fit(history)
 
     # Reference: the offline LogStream path over the same files.
     replay = []
@@ -160,7 +157,7 @@ def bench_x10_concurrent_tailing(benchmark, emit, tmp_path_factory):
         with open(path, encoding="utf-8") as handle:
             replay.append(ReplaySource(name, list(read_log_lines(handle))))
     offline = _trained_streaming(base)
-    expected = offline.process_batch(list(LogStream(replay))) + offline.flush()
+    expected = offline.process(list(LogStream(replay))) + offline.flush()
     assert expected, "the injected error sessions must produce alerts"
 
     # Sequential source draining: one source at a time, same storage

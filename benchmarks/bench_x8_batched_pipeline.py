@@ -21,7 +21,7 @@ import random
 import time
 
 from conftest import once
-from repro.core.pipeline import MoniLog
+from repro.api.pipeline import Pipeline
 from repro.detection.keyword import KeywordMatchDetector
 from repro.eval import Table
 from repro.logs.record import LogRecord, Severity
@@ -138,15 +138,15 @@ def bench_x8_pipeline_batched(benchmark, emit):
     cut = len(records) * 2 // 10
     train, live = records[:cut], records[cut:]
 
-    def build(cache: bool) -> MoniLog:
+    def build(cache: bool) -> Pipeline:
         # The keyword baseline keeps stage 2 deterministic and equally
         # priced on both paths, so the comparison isolates batching.
-        system = MoniLog(
+        system = Pipeline(
             parser=DrainParser(masker=default_masker(),
                                cache_size=65536 if cache else 0),
             detector=KeywordMatchDetector(),
         )
-        system.train(train)
+        system.fit(train)
         return system
 
     per_record = build(cache=False)
@@ -156,7 +156,7 @@ def bench_x8_pipeline_batched(benchmark, emit):
 
     batched = build(cache=True)
     start = time.perf_counter()
-    actual = once(benchmark, lambda: batched.process_batch(live, batch_size=2048))
+    actual = once(benchmark, lambda: batched.process(live, batch_size=2048))
     batched_s = time.perf_counter() - start
 
     assert [

@@ -31,9 +31,8 @@ import threading
 import time
 
 from conftest import once
-from repro.core.distributed import ShardedMoniLog
+from repro.api import Pipeline, PipelineSpec
 from repro.core.executors import SerialExecutor, ThreadedExecutor
-from repro.detection.keyword import KeywordMatchDetector
 from repro.eval import Table
 from repro.logs.record import LogRecord, Severity
 from repro.parsing import DistributedDrain, default_masker, parse_in_batches
@@ -204,20 +203,18 @@ def bench_x9_parse_throughput(benchmark, emit):
     )
 
 
-def _build_sharded(train, executor) -> ShardedMoniLog:
+def _build_sharded(train, executor) -> Pipeline:
     # The keyword detector keeps stage 2 deterministic and equally
     # priced under both executors, isolating the concurrency claim.
-    system = ShardedMoniLog(
-        parser_shards=_SHARDS,
-        detector_shards=2,
-        detector_factory=lambda shard: KeywordMatchDetector(),
+    system = Pipeline(
+        PipelineSpec(shards=_SHARDS, detector_shards=2, detector="keyword"),
         executor=executor,
     )
-    system.train(train)
+    system.fit(train)
     return system
 
 
-def _pool_sizes(system: ShardedMoniLog) -> dict[str, int]:
+def _pool_sizes(system: Pipeline) -> dict[str, int]:
     return {name: len(system.pools.pool(name))
             for name in system.pools.pool_names}
 

@@ -11,10 +11,9 @@ with zero labelling effort.
 Run:  python examples/cloud_monitoring.py
 """
 
-from repro import MoniLog
+from repro import Pipeline, PipelineSpec
 from repro.classify.feedback import AdministratorSimulator, source_based_policy
 from repro.datasets import generate_cloud_platform
-from repro.detection import DeepLogDetector
 from repro.logs.sources import ReplaySource
 from repro.logs.stream import DuplicationNoise, LogStream, ReorderingNoise
 
@@ -32,7 +31,9 @@ def noisy(records, seed):
 
 
 def main() -> None:
-    system = MoniLog(detector=DeepLogDetector(epochs=8, seed=0))
+    system = Pipeline.from_spec(PipelineSpec(
+        detector="deeplog", detector_options={"epochs": 8, "seed": 0},
+    ))
 
     # The monitoring organization: API team and infrastructure team.
     system.pools.create_pool("team-api", "API front-end on-call")
@@ -44,7 +45,7 @@ def main() -> None:
 
     history = generate_cloud_platform(sessions=500, seed=100)
     print(f"training on {len(history.records)} historical records ...\n")
-    system.train(noisy(history.records, seed=0))
+    system.fit(noisy(history.records, seed=0))
 
     print(f"{'round':>5s} | {'alerts':>6s} | {'routed correctly':>16s} | admin moves")
     print("-" * 55)

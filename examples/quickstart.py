@@ -8,9 +8,8 @@ request sessions.
 Run:  python examples/quickstart.py
 """
 
-from repro import MoniLog
+from repro import Pipeline, PipelineSpec
 from repro.datasets import generate_cloud_platform
-from repro.detection import DeepLogDetector
 
 
 def main() -> None:
@@ -21,11 +20,17 @@ def main() -> None:
     split = len(data.records) * 6 // 10
     history, live = data.records[:split], data.records[split:]
 
-    system = MoniLog(detector=DeepLogDetector(epochs=8, seed=0))
+    # One declarative spec builds the whole pipeline: components are
+    # named, knobs are fields, and the same spec could come from a
+    # TOML file (see examples/pipeline.toml).
+    spec = PipelineSpec(detector="deeplog",
+                        detector_options={"epochs": 8, "seed": 0})
+    system = Pipeline.from_spec(spec)
 
     print(f"training on {len(history)} historical records ...")
-    system.train(history)
-    print(f"  parser discovered {system.stats.templates_discovered} templates")
+    system.fit(history)
+    print(f"  parser discovered "
+          f"{system.stats().templates_discovered} templates")
 
     print(f"processing {len(live)} live records ...")
     alerts = system.run_all(live)

@@ -2,18 +2,16 @@
 
 The batch API (`MoniLog.run`) scores sessions after the stream ends;
 a production MoniLog must page the on-call team the moment an
-anomalous session goes quiet.  This example drives the
-:class:`~repro.core.streaming.StreamingMoniLog` façade record by
-record and reports each alert's *detection latency*: the stream time
-between the anomaly's last log line and the alert firing.
+anomalous session goes quiet.  This example drives a streaming-mode
+:class:`~repro.api.pipeline.Pipeline` record by record and reports
+each alert's *detection latency*: the stream time between the
+anomaly's last log line and the alert firing.
 
 Run:  python examples/realtime_stream.py
 """
 
-from repro import MoniLog
-from repro.core.streaming import StreamingMoniLog
+from repro import Pipeline, PipelineSpec
 from repro.datasets import generate_cloud_platform
-from repro.detection import DeepLogDetector
 
 
 def main() -> None:
@@ -23,11 +21,12 @@ def main() -> None:
     history = generate_cloud_platform(sessions=400, anomaly_rate=0.0, seed=10)
     live = generate_cloud_platform(sessions=300, anomaly_rate=0.06, seed=77)
 
-    system = MoniLog(detector=DeepLogDetector(epochs=8, seed=0))
+    spec = PipelineSpec(detector="deeplog",
+                        detector_options={"epochs": 8, "seed": 0},
+                        streaming=True, session_timeout=5.0)
+    streaming = Pipeline.from_spec(spec)
     print(f"training on {len(history.records)} historical records ...")
-    system.train(history.records)
-
-    streaming = StreamingMoniLog(system, session_timeout=5.0)
+    streaming.fit(history.records)
     print(f"streaming {len(live.records)} live records ...\n")
 
     session_last_event: dict[str, float] = {}
@@ -35,7 +34,7 @@ def main() -> None:
     for record in live.records:
         if record.session_id:
             session_last_event[record.session_id] = record.timestamp
-        for alert in streaming.process(record):
+        for alert in streaming.process_record(record):
             alerts += 1
             session_id = alert.report.session_id
             latency = record.timestamp - session_last_event.get(
@@ -54,7 +53,7 @@ def main() -> None:
     print(
         f"\n{alerts} alerts; peak concurrent open sessions: "
         f"{streaming.sessionizer.open_sessions} at shutdown, "
-        f"{system.stats.windows_scored} windows scored in total"
+        f"{streaming.stats().windows_scored} windows scored in total"
     )
 
 

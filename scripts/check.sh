@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# One-command gate for builders: the tier-1 test suite (twice: serial
-# and threaded shard execution) plus seconds-scale smoke runs of the
-# Fig. 1 pipeline bench and the X9 parallel-shards bench.
+# One-command gate for builders: the tier-1 test suite (three times:
+# serial, with DeprecationWarning-as-error so internal code never
+# calls the legacy facade shims, and under threaded shard execution)
+# plus seconds-scale smoke runs of the Fig. 1 pipeline bench, the X9
+# parallel-shards bench, the X10 async-ingestion bench, and a
+# spec-file-driven CLI pipeline run (examples/pipeline.toml).
 #
 #   scripts/check.sh            # full gate
 #   scripts/check.sh -k drain   # extra args go to the tier-1 pytest
@@ -26,6 +29,13 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== tier-1: python -m pytest -x -q =="
 python -m pytest -x -q "$@"
+
+echo
+echo "== tier-1 with DeprecationWarning as error (no internal shim use) =="
+# The four legacy facades are deprecated shims over repro.api.Pipeline;
+# internal code and tests must construct through the new API (tests
+# that cover the shims themselves catch the warning via pytest.warns).
+python -m pytest -x -q -W error::DeprecationWarning "$@"
 
 echo
 echo "== tier-1 under the threaded executor: MONILOG_EXECUTOR=thread =="
@@ -58,6 +68,18 @@ echo "== smoke: benchmarks/bench_x10_async_ingestion.py =="
 MONILOG_BENCH_SMOKE=1 python -m pytest \
     benchmarks/bench_x10_async_ingestion.py \
     -q -p no:cacheprovider --benchmark-disable
+
+echo
+echo "== smoke: repro pipeline --spec examples/pipeline.toml =="
+spec_tmp="$(mktemp -d)"
+trap 'rm -rf "$spec_tmp"' EXIT
+python -m repro generate --dataset cloud --sessions 60 --anomaly-rate 0.0 \
+    --seed 1 --output "$spec_tmp/history.log" > /dev/null
+python -m repro generate --dataset cloud --sessions 30 --anomaly-rate 0.1 \
+    --seed 2 --output "$spec_tmp/live.log" > /dev/null
+python -m repro pipeline --history "$spec_tmp/history.log" \
+    --live "$spec_tmp/live.log" --spec examples/pipeline.toml \
+    | tail -n 1
 
 echo
 echo "check.sh: all gates passed"

@@ -9,25 +9,33 @@ administrator actions.
 
 Quickstart::
 
-    from repro import MoniLog
+    from repro import Pipeline, PipelineSpec
     from repro.datasets import generate_cloud_platform
 
     data = generate_cloud_platform(sessions=500)
-    system = MoniLog()
-    system.train(data.records[: len(data.records) // 2])
-    for alert in system.run(data.records[len(data.records) // 2:]):
+    pipeline = Pipeline.from_spec(PipelineSpec())
+    pipeline.fit(data.records[: len(data.records) // 2])
+    for alert in pipeline.run(data.records[len(data.records) // 2:]):
         print(alert.report.summary(), "->", alert.pool, alert.criticality)
 
-Subpackages: :mod:`repro.logs` (data model & streams),
-:mod:`repro.datasets` (ground-truthed generators),
-:mod:`repro.parsing` (8 template miners + distribution),
+Subpackages: :mod:`repro.api` (component registry, PipelineSpec, and
+the unified Pipeline facade), :mod:`repro.logs` (data model &
+streams), :mod:`repro.datasets` (ground-truthed generators),
+:mod:`repro.parsing` (9 template miners + distribution),
 :mod:`repro.nn` (numpy LSTM stack), :mod:`repro.detection`
-(6 detectors), :mod:`repro.classify` (pool system & passive learning),
-:mod:`repro.metrics`, :mod:`repro.core` (pipeline), :mod:`repro.eval`.
+(detectors), :mod:`repro.classify` (pool system & passive learning),
+:mod:`repro.metrics`, :mod:`repro.core` (pipeline runtime),
+:mod:`repro.ingest` (async live ingestion), :mod:`repro.eval`.
+
+The legacy facades (``MoniLog``, ``ShardedMoniLog``, and the streaming
+variants) remain importable as deprecated shims delegating to
+``Pipeline``; see ``docs/api.md`` for the migration table.
 """
 
-from repro.core.config import MoniLogConfig
-from repro.core.pipeline import MoniLog
+from repro.api.pipeline import Pipeline
+from repro.api.spec import PipelineSpec
+from repro.core.config import IngestConfig, MoniLogConfig
+from repro.core.pipeline import MoniLog, PipelineStats
 from repro.core.distributed import ShardedMoniLog
 from repro.core.reports import AnomalyReport, ClassifiedAlert
 from repro.core.streaming import StreamingShardedMoniLog
@@ -37,8 +45,12 @@ __version__ = "1.0.0"
 __all__ = [
     "AnomalyReport",
     "ClassifiedAlert",
+    "IngestConfig",
     "MoniLog",
     "MoniLogConfig",
+    "Pipeline",
+    "PipelineSpec",
+    "PipelineStats",
     "ShardedMoniLog",
     "StreamingShardedMoniLog",
     "__version__",

@@ -1,0 +1,51 @@
+"""The unified MoniLog pipeline API.
+
+Three pieces, layered::
+
+    registry  —  component kinds (parser / detector / sessionizer /
+                 source / executor), self-registered under string names
+    spec      —  PipelineSpec: one declarative description of a
+                 pipeline (dict / TOML / JSON / env overrides)
+    pipeline  —  Pipeline: the builder/facade with one lifecycle
+                 (fit, process, process_record, stream, stats, close)
+
+Every entry point — offline scripts, the CLI, the async ingestion
+service, benchmarks — constructs the same graph from the same spec::
+
+    from repro.api import Pipeline, PipelineSpec
+
+    spec = PipelineSpec(detector="deeplog", shards=4, executor="thread")
+    with Pipeline.from_spec(spec) as pipeline:
+        pipeline.fit(history)
+        alerts = pipeline.process(live)
+
+This module resolves its exports lazily (PEP 562) so component modules
+can import :mod:`repro.api.registry` at definition time without import
+cycles.
+"""
+
+_EXPORTS = {
+    "Component": "repro.api.registry",
+    "ComponentRegistry": "repro.api.registry",
+    "REGISTRY": "repro.api.registry",
+    "register_component": "repro.api.registry",
+    "ENV_PREFIX": "repro.api.spec",
+    "PipelineSpec": "repro.api.spec",
+    "Pipeline": "repro.api.pipeline",
+    "ConfigError": "repro.core.validation",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.api' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return __all__

@@ -1,0 +1,715 @@
+"""`Pipeline`: the one composable facade behind every MoniLog entry point.
+
+Historically the reproduction had four hand-rolled pipeline variants —
+``MoniLog`` (offline, single instance), ``StreamingMoniLog`` (record at
+a time), ``ShardedMoniLog`` (concurrent shards), and
+``StreamingShardedMoniLog`` (both) — plus the ingestion service, each
+re-implementing train/score/drain orchestration.  :class:`Pipeline`
+replaces all four behind **one uniform lifecycle**:
+
+    spec = PipelineSpec(detector="deeplog", shards=4, executor="thread")
+    with Pipeline.from_spec(spec) as pipeline:
+        pipeline.fit(history)
+        alerts = pipeline.process(live)          # offline batch
+        print(pipeline.stats())
+
+    spec = spec.replace(streaming=True, session_timeout=10.0)
+    with Pipeline.from_spec(spec).fit(history) as live_pipeline:
+        for record in tail_the_stream():
+            for alert in live_pipeline.process_record(record):
+                page_someone(alert)
+        live_pipeline.flush()
+
+Internally the builder composes sharding (``spec.shards``), batching
+(``spec.batch_size``), streaming (``spec.streaming`` or
+:meth:`stream`), and ingestion (:meth:`serve` /
+:class:`~repro.ingest.service.IngestService`, which accepts a
+``Pipeline`` directly) from registry-resolved components — instead of
+four class variants duplicating the flow.  The composition preserves
+the legacy facades' semantics *exactly*: a ``Pipeline`` built from the
+equivalent spec produces byte-identical alerts, in identical order, to
+each legacy facade (proven by ``tests/test_api_parity.py``), which is
+what lets those facades survive as thin deprecated shims.
+
+Output does not depend on the executor, the batch size, or
+batch-vs-streaming operation (beyond which windows have closed) — the
+invariants the legacy classes established, inherited wholesale because
+this class *is* their code, merged.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections.abc import Iterable, Iterator
+from os import PathLike
+
+from repro.api.registry import REGISTRY
+from repro.api.spec import PipelineSpec
+from repro.classify.classifier import AnomalyClassifier
+from repro.classify.pools import PoolManager
+from repro.core.calibration import DEFAULT_GRIDS, AutoCalibrator
+from repro.core.distributed import (
+    _detect_shard,
+    _fit_shard,
+    _sessions_by_key,
+    _shard_of,
+)
+from repro.core.executors import ShardExecutor, resolve_executor
+from repro.core.pipeline import PipelineStats
+from repro.core.reports import AnomalyReport, ClassifiedAlert
+from repro.core.streaming import BatchHandoff, StreamingSessionizer
+from repro.detection.base import DetectionResult, Detector
+from repro.detection.windows import sessions_from_parsed, sliding_windows
+from repro.logs.record import LogRecord, ParsedLog
+from repro.parsing.base import BatchParser, Parser, parse_in_batches
+from repro.parsing.drain import DrainParser
+from repro.parsing.logram import LogramParser
+from repro.parsing.masking import default_masker, no_masker
+
+#: Distinguishes "caller said nothing" from an explicit ``None``
+#: (= one batch for the whole list) in :meth:`Pipeline.process`.
+_UNSET = object()
+
+
+class Pipeline:
+    """A full MoniLog pipeline built from a :class:`PipelineSpec`.
+
+    Args:
+        spec: the declarative description; a plain dict is accepted and
+            validated.  ``None`` means all defaults.
+        parser: explicit stage-1 component instance, overriding
+            ``spec.parser`` (single-instance pipelines only — a sharded
+            pipeline builds its own :class:`DistributedDrain` and takes
+            parser knobs via ``spec.parser_options``).
+        detector: explicit stage-2 instance overriding ``spec.detector``
+            (single-instance pipelines only).
+        detector_factory: ``shard -> Detector`` builder for sharded
+            pipelines, overriding ``spec.detector``.
+        executor: a :class:`~repro.core.executors.ShardExecutor`
+            instance overriding ``spec.executor`` (instances cannot be
+            named in a spec file; benches share pools this way).
+
+    Lifecycle: :meth:`fit` → :meth:`process` / :meth:`process_record` /
+    :meth:`run` → :meth:`flush` (streaming) → :meth:`close` (or use the
+    pipeline as a context manager).  :meth:`stats` reports the live
+    counters; :meth:`stream` arms streaming mode post-construction.
+    """
+
+    def __init__(
+        self,
+        spec: PipelineSpec | dict | None = None,
+        *,
+        parser: Parser | None = None,
+        detector: Detector | None = None,
+        detector_factory=None,
+        executor: str | ShardExecutor | None = None,
+    ) -> None:
+        if isinstance(spec, dict):
+            spec = PipelineSpec.from_dict(spec)
+        self.spec = spec if spec is not None else PipelineSpec()
+        spec = self.spec
+        self.executor = resolve_executor(
+            executor if executor is not None else spec.executor
+        )
+        self._sharded = spec.shards > 0
+        masker = default_masker() if spec.masking else no_masker()
+        if self._sharded:
+            if parser is not None or detector is not None:
+                raise ValueError(
+                    "a sharded pipeline builds its own components; use "
+                    "spec.parser_options / detector_factory instead of "
+                    "instances"
+                )
+            self.parser = REGISTRY.create(
+                "parser", "drain-distributed", spec.parser_options,
+                shards=spec.shards,
+                masker=masker,
+                extract_structured=spec.extract_structured,
+                executor=self.executor,
+            )
+            if detector_factory is None:
+                detector_factory = self._default_detector_factory
+            self.detectors: list[Detector] = [
+                detector_factory(shard) for shard in range(spec.detector_shards)
+            ]
+        else:
+            if detector_factory is not None:
+                raise ValueError(
+                    "detector_factory applies to sharded pipelines; pass "
+                    "detector= (or spec.detector) for a single instance"
+                )
+            if parser is not None:
+                self.parser = parser
+            else:
+                self.parser = REGISTRY.create(
+                    "parser", spec.parser, spec.parser_options,
+                    masker=masker,
+                    extract_structured=spec.extract_structured,
+                )
+            self.detectors = [
+                detector if detector is not None
+                else REGISTRY.create("detector", spec.detector,
+                                     spec.detector_options)
+            ]
+        self.pools = PoolManager()
+        self.classifier = AnomalyClassifier().attach(self.pools)
+        self.sessionizer: StreamingSessionizer | None = (
+            StreamingSessionizer(spec.session_timeout,
+                                 spec.max_session_events)
+            if spec.streaming else None
+        )
+        self._stats = PipelineStats()
+        self._trained = False
+        self._report_counter = 0
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: "PipelineSpec | dict | str | PathLike",
+                  **overrides) -> "Pipeline":
+        """Build from a spec object, dict, or ``.toml``/``.json`` path."""
+        if isinstance(spec, (str, PathLike)):
+            spec = PipelineSpec.from_file(spec)
+        elif isinstance(spec, dict):
+            spec = PipelineSpec.from_dict(spec)
+        return cls(spec, **overrides)
+
+    def _default_detector_factory(self, shard: int) -> Detector:
+        """One detector per shard; seed-accepting detectors get their
+        shard index as the seed (decorrelated replicas, the legacy
+        sharded default) unless the spec pins one."""
+        options = dict(self.spec.detector_options)
+        entry = REGISTRY.get("detector", self.spec.detector)
+        if "seed" in entry.signature.parameters and "seed" not in options:
+            options["seed"] = shard
+        return entry.cls(**options)
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def sharded(self) -> bool:
+        return self._sharded
+
+    @property
+    def streaming(self) -> bool:
+        return self.sessionizer is not None
+
+    @property
+    def detector(self) -> Detector:
+        """The stage-2 detector (first shard when sharded)."""
+        return self.detectors[0]
+
+    @property
+    def detector_shards(self) -> int:
+        return len(self.detectors)
+
+    @property
+    def batch_size(self) -> int:
+        """Effective micro-batch size (sharded runtimes never go below 1)."""
+        if self._sharded:
+            return self.spec.batch_size or 1
+        return self.spec.batch_size
+
+    def stats(self) -> PipelineStats:
+        """The live pipeline counters."""
+        return self._stats
+
+    # -- lifecycle: close -------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the executor's worker pool (idempotent)."""
+        self.executor.close()
+
+    def __enter__(self) -> "Pipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- stage 1 ----------------------------------------------------------------
+
+    def maybe_calibrate(self, sample: list[LogRecord]) -> None:
+        """Replace the parser after a calibration sweep, if configured.
+
+        The acquire → calibrate → parse deployment flow; single-instance
+        pipelines only (the sharded runtime keeps its constructor
+        parameters), and only meaningful before any parsing happened.
+        """
+        if not self.spec.auto_calibrate or self._sharded:
+            return
+        if not isinstance(self.parser, DrainParser):
+            raise ValueError(
+                "auto-calibration is wired for DrainParser; pass a "
+                "calibrated parser explicitly for other algorithms"
+            )
+        masker = self.parser.masker
+        extract = self.parser.extract_structured
+
+        def factory(**parameters) -> Parser:
+            return DrainParser(
+                masker=masker, extract_structured=extract, **parameters
+            )
+
+        calibrator = AutoCalibrator(factory, DEFAULT_GRIDS["drain"])
+        self.parser = calibrator.calibrated_parser(
+            sample[: self.spec.calibration_sample]
+        )
+
+    def _parse(self, records: Iterable[LogRecord]) -> Iterator[ParsedLog]:
+        for record in records:
+            parsed = self.parser.parse_record(record)
+            self._stats.records_parsed += 1
+            yield parsed
+
+    def _window(self, parsed: Iterable[ParsedLog]) -> Iterator[list[ParsedLog]]:
+        if self.spec.windowing == "session":
+            # Session windowing must see the whole stream before
+            # closing sessions; materializing per-session lists is the
+            # batch equivalent of a session-timeout flush.
+            for session in sessions_from_parsed(parsed).values():
+                yield session
+        else:
+            yield from sliding_windows(parsed, self.spec.window_size)
+
+    # -- lifecycle: fit ---------------------------------------------------------
+
+    def fit(
+        self,
+        records: Iterable[LogRecord],
+        labels_by_session: dict[str, bool] | None = None,
+    ) -> "Pipeline":
+        """Fit the detector(s) on a historical stream.
+
+        ``labels_by_session`` provides anomaly labels for supervised
+        detectors (LogRobust); unsupervised detectors ignore them.
+        Sharded pipelines partition training sessions across detector
+        shards by session-id hash and fit the shards concurrently on
+        the configured executor (training is executor-independent).
+        """
+        record_list = list(records)
+        if self._sharded:
+            if labels_by_session is not None:
+                raise ValueError(
+                    "sharded pipelines train each detector shard "
+                    "unsupervised; labels_by_session is not supported"
+                )
+            return self._fit_sharded(record_list)
+        self.maybe_calibrate(record_list)
+        if isinstance(self.parser, BatchParser):
+            self.parser.fit(record_list)
+        elif isinstance(self.parser, LogramParser):
+            self.parser.warmup(record_list)
+        # Training materializes the stream anyway, so it always takes
+        # the batched parse path (identical output to a per-record
+        # loop; see Parser.parse_batch).
+        parsed = self.parser.parse_batch(record_list)
+        self._stats.records_parsed += len(parsed)
+        windows = [
+            window
+            for window in self._window(parsed)
+            if len(window) >= self.spec.min_window_events
+        ]
+        labels: list[bool] | None = None
+        if labels_by_session is not None:
+            labels = [
+                labels_by_session.get(window[0].session_id or "", False)
+                for window in windows
+            ]
+        self.detector.fit(windows, labels)
+        self._stats.templates_discovered = self.parser.template_count
+        self._trained = True
+        return self
+
+    def _fit_sharded(self, records: list[LogRecord]) -> "Pipeline":
+        parsed = self._parse_batched(records)
+        sessions = _sessions_by_key(parsed)
+        partitions: list[list[list[ParsedLog]]] = [
+            [] for _ in range(self.detector_shards)
+        ]
+        for key, events in sessions.items():
+            if len(events) < self.spec.min_window_events:
+                continue
+            partitions[_shard_of(key, self.detector_shards)].append(events)
+        for shard, partition in enumerate(partitions):
+            if not partition:
+                raise ValueError(
+                    f"detector shard {shard} received no training sessions; "
+                    "use fewer shards or more training data"
+                )
+        self.detectors = list(self.executor.map(
+            _fit_shard, list(zip(self.detectors, partitions))
+        ))
+        self._stats.templates_discovered = self.parser.template_count
+        self._trained = True
+        return self
+
+    def _require_trained(self, method: str) -> None:
+        if not self._trained:
+            raise RuntimeError(f"Pipeline.fit() must run before {method}()")
+
+    def _parse_batched(self, records: Iterable[LogRecord]) -> list[ParsedLog]:
+        """Drain micro-batches of ``batch_size`` through the shards."""
+        parsed = parse_in_batches(self.parser, records, self.batch_size)
+        self._stats.records_parsed += len(parsed)
+        self._stats.templates_discovered = self.parser.template_count
+        return parsed
+
+    # -- scoring ----------------------------------------------------------------
+
+    def _score_window(self, window: list[ParsedLog]) -> ClassifiedAlert | None:
+        """Detect + classify one closed window; None when not alerted.
+
+        The single-instance scoring routine behind every offline and
+        streaming path — alert identity (report numbering, fallback
+        window ids) is shared by construction.
+        """
+        if len(window) < self.spec.min_window_events:
+            return None
+        self._stats.windows_scored += 1
+        result = self.detector.detect(window)
+        if not result.anomalous:
+            return None
+        self._stats.anomalies_detected += 1
+        report = AnomalyReport(
+            report_id=self._report_counter,
+            session_id=window[0].session_id
+            or f"window-{self._stats.windows_scored}",
+            events=tuple(window),
+            detection=result,
+        )
+        self._report_counter += 1
+        alert = self.classifier.classify(report)
+        alert = self.pools.deliver(alert)
+        self._stats.alerts_classified += 1
+        return alert
+
+    def _detect_keyed(
+        self, keyed_sessions: list[tuple[str, list[ParsedLog]]]
+    ) -> list[DetectionResult]:
+        """Detection results for (key, events) pairs, in input order.
+
+        Sessions group by detector shard and the shard groups score
+        concurrently; each shard sees its own sessions in input order,
+        so results are executor-independent even for stateful
+        detectors.
+        """
+        shards = self.detector_shards
+        shard_of = [_shard_of(key, shards) for key, _ in keyed_sessions]
+        groups: list[list[list[ParsedLog]]] = [[] for _ in range(shards)]
+        for (_, events), shard in zip(keyed_sessions, shard_of):
+            groups[shard].append(events)
+        busy = [shard for shard in range(shards) if groups[shard]]
+        outcomes = self.executor.map(
+            _detect_shard,
+            [(self.detectors[shard], groups[shard]) for shard in busy],
+        )
+        per_shard = {shard: iter(results)
+                     for shard, results in zip(busy, outcomes)}
+        return [next(per_shard[shard]) for shard in shard_of]
+
+    def score_sessions(
+        self, sessions: Iterable[list[ParsedLog]]
+    ) -> list[ClassifiedAlert]:
+        """Detect, report, classify, and deliver closed windows.
+
+        In a sharded pipeline detection fans out per detector shard;
+        report numbering, classification, and pool delivery run on the
+        calling thread in window order, so alert identity and order
+        never depend on the executor.
+        """
+        self._require_trained("score_sessions")
+        if not self._sharded:
+            alerts = []
+            for window in sessions:
+                alert = self._score_window(window)
+                if alert is not None:
+                    alerts.append(alert)
+            return alerts
+        keyed = [
+            (events[0].windowing_key, events)
+            for events in sessions
+            if len(events) >= self.spec.min_window_events
+        ]
+        results = self._detect_keyed(keyed)
+        alerts: list[ClassifiedAlert] = []
+        for (key, events), result in zip(keyed, results):
+            self._stats.windows_scored += 1
+            if not result.anomalous:
+                continue
+            self._stats.anomalies_detected += 1
+            report = AnomalyReport(
+                report_id=self._report_counter,
+                session_id=key,
+                events=tuple(events),
+                detection=result,
+            )
+            self._report_counter += 1
+            alerts.append(self.pools.deliver(self.classifier.classify(report)))
+            self._stats.alerts_classified += 1
+        return alerts
+
+    # -- lifecycle: offline processing ------------------------------------------
+
+    def run(self, records: Iterable[LogRecord]) -> Iterator[ClassifiedAlert]:
+        """Process a stream; yields classified alerts as windows close.
+
+        Offline pipelines window the whole stream (sessions close at
+        end of input); streaming pipelines push record by record and
+        flush at the end, exactly like a :meth:`process_record` loop.
+        """
+        self._require_trained("run")
+        if self.streaming:
+            for record in records:
+                yield from self.process_record(record)
+            yield from self.flush()
+            return
+        yield from self.run_offline(records)
+
+    def run_offline(
+        self, records: Iterable[LogRecord]
+    ) -> Iterator[ClassifiedAlert]:
+        """The whole-stream windowing path, regardless of streaming mode."""
+        self._require_trained("run")
+        if self._sharded:
+            parsed = self._parse_batched(records)
+            yield from self.score_sessions(_sessions_by_key(parsed).values())
+            return
+        parsed = self._parse(records)
+        try:
+            for window in self._window(parsed):
+                alert = self._score_window(window)
+                if alert is not None:
+                    yield alert
+        finally:
+            # Inference discovers templates too; keep the stat current
+            # even when the caller abandons the generator early.
+            self._stats.templates_discovered = self.parser.template_count
+
+    def run_all(self, records: Iterable[LogRecord]) -> list[ClassifiedAlert]:
+        """Materialized :meth:`run`, for scripts and tests."""
+        return list(self.run(records))
+
+    def process(
+        self,
+        records: Iterable[LogRecord],
+        batch_size: "int | None" = _UNSET,
+    ) -> list[ClassifiedAlert]:
+        """Process a finite micro-batch of records; return its alerts.
+
+        The amortized entry point of both modes.  Offline, the records
+        parse in micro-batches (template cache + intra-batch dedup),
+        window, and score — identical alerts to :meth:`run` over the
+        same records.  Streaming, the batch parses in one amortized
+        call and pushes through the sessionizer event by event —
+        identical alerts, in identical order, to a
+        :meth:`process_record` loop; only sessions the batch *closes*
+        are returned (see :meth:`flush`).
+
+        ``batch_size``: unset → ``spec.batch_size``; ``None`` → one
+        batch for the whole list; ``0`` → the per-record reference
+        path.  Output is identical for every choice.
+        """
+        self._require_trained("process")
+        if self.streaming:
+            return self._process_streaming(records, batch_size)
+        return self.process_offline(records, batch_size)
+
+    def process_offline(
+        self, records: Iterable[LogRecord], batch_size
+    ) -> list[ClassifiedAlert]:
+        """The finite-batch windowing path, regardless of streaming mode."""
+        self._require_trained("process")
+        if batch_size is _UNSET:
+            batch_size = self.spec.batch_size
+        if self._sharded:
+            parsed = parse_in_batches(self.parser, records, batch_size or 1)
+            self._stats.records_parsed += len(parsed)
+            self._stats.templates_discovered = self.parser.template_count
+            return self.score_sessions(_sessions_by_key(parsed).values())
+        if batch_size == 0:
+            parsed = list(self._parse(records))
+        else:
+            parsed = parse_in_batches(self.parser, records, batch_size)
+            self._stats.records_parsed += len(parsed)
+        self._stats.templates_discovered = self.parser.template_count
+        alerts = []
+        for window in self._window(parsed):
+            alert = self._score_window(window)
+            if alert is not None:
+                alerts.append(alert)
+        return alerts
+
+    def process_batch(
+        self,
+        records: Iterable[LogRecord],
+        batch_size: "int | None" = _UNSET,
+    ) -> list[ClassifiedAlert]:
+        """Alias of :meth:`process` (the hand-off protocol's spelling)."""
+        return self.process(records, batch_size)
+
+    # -- lifecycle: streaming ---------------------------------------------------
+
+    def stream(
+        self,
+        *,
+        session_timeout: float | None = None,
+        max_session_events: int | None = None,
+        handoff: bool = False,
+    ) -> "Pipeline | BatchHandoff":
+        """Arm (or re-arm) streaming mode; returns the pipeline.
+
+        Installs the incremental sessionizer so :meth:`process_record`,
+        :meth:`process`, and :meth:`flush` operate record-at-a-time
+        with idle-timeout session closing.  Knobs default to the
+        spec's.  With ``handoff=True`` the return value is instead a
+        :class:`~repro.core.streaming.BatchHandoff` over this pipeline
+        — the thread-safe boundary object the async ingestion service
+        scores through.
+
+        Re-arming replaces the sessionizer: any sessions still open are
+        discarded unscored (call :meth:`flush` first to score them) —
+        the semantics of constructing a fresh streaming facade, which
+        is what the legacy shims do.
+        """
+        self.sessionizer = StreamingSessionizer(
+            session_timeout=session_timeout
+            if session_timeout is not None else self.spec.session_timeout,
+            max_session_events=max_session_events
+            if max_session_events is not None else self.spec.max_session_events,
+        )
+        return BatchHandoff(self) if handoff else self
+
+    def process_record(self, record: LogRecord) -> list[ClassifiedAlert]:
+        """Feed one record; return alerts for sessions it closed."""
+        self._require_trained("process_record")
+        if not self.streaming:
+            raise RuntimeError(
+                "process_record() needs streaming mode; set spec.streaming "
+                "or call stream() first"
+            )
+        parsed = self.parser.parse_record(record)
+        self._stats.records_parsed += 1
+        self._stats.templates_discovered = self.parser.template_count
+        closed = self.sessionizer.push(parsed)
+        if self._sharded:
+            return self.score_sessions(closed) if closed else []
+        alerts = []
+        for session in closed:
+            alert = self._score_window(session)
+            if alert is not None:
+                alerts.append(alert)
+        return alerts
+
+    def _process_streaming(
+        self, records: Iterable[LogRecord], batch_size
+    ) -> list[ClassifiedAlert]:
+        if self._sharded:
+            size = self.batch_size if batch_size is _UNSET else (batch_size or 1)
+            parsed = parse_in_batches(self.parser, records, size)
+            self._stats.records_parsed += len(parsed)
+            self._stats.templates_discovered = self.parser.template_count
+            closed: list[list[ParsedLog]] = []
+            for event in parsed:
+                closed.extend(self.sessionizer.push(event))
+            return self.score_sessions(closed) if closed else []
+        records = list(records)
+        if batch_size is _UNSET or batch_size is None:
+            parsed = self.parser.parse_batch(records)
+        else:
+            parsed = parse_in_batches(self.parser, records, batch_size or None)
+        self._stats.records_parsed += len(parsed)
+        self._stats.templates_discovered = self.parser.template_count
+        alerts = []
+        for event in parsed:
+            for session in self.sessionizer.push(event):
+                alert = self._score_window(session)
+                if alert is not None:
+                    alerts.append(alert)
+        return alerts
+
+    def flush(self) -> list[ClassifiedAlert]:
+        """Close and score every open streaming session (shutdown)."""
+        if self.sessionizer is None:
+            return []
+        closed = self.sessionizer.flush()
+        if self._sharded:
+            return self.score_sessions(closed) if closed else []
+        alerts = []
+        for session in closed:
+            alert = self._score_window(session)
+            if alert is not None:
+                alerts.append(alert)
+        return alerts
+
+    # -- lifecycle: ingestion ---------------------------------------------------
+
+    def serve(self, sources=None, *, checkpoint=None, on_alert=None):
+        """An :class:`~repro.ingest.service.IngestService` over this
+        pipeline: ``await pipeline.serve().run()`` tails the spec's (or
+        the given) live sources through the async front-end — watermark
+        merge, micro-batching, credit-based back-pressure — scoring
+        through this pipeline's streaming path.
+
+        ``sources`` defaults to ``spec.sources`` built through the
+        registry; ``checkpoint`` (a path or a
+        :class:`~repro.ingest.checkpoint.CheckpointStore`) defaults to
+        ``spec.checkpoint``.
+        """
+        from repro.ingest.checkpoint import CheckpointStore
+        from repro.ingest.service import IngestService
+
+        if not self.streaming:
+            raise RuntimeError(
+                "serve() needs streaming mode; set spec.streaming or call "
+                "stream() first"
+            )
+        if sources is None:
+            sources = self.spec.build_sources()
+        store = checkpoint if checkpoint is not None else self.spec.checkpoint
+        if isinstance(store, (str, PathLike)):
+            store = CheckpointStore(store)
+        return IngestService(
+            sources, self,
+            config=self.spec.ingest_config(),
+            checkpoint=store,
+            on_alert=on_alert,
+        )
+
+    # -- measurement ------------------------------------------------------------
+
+    def consistency_with(
+        self,
+        reference_verdicts: dict[str, bool],
+        records: Iterable[LogRecord],
+    ) -> float:
+        """Fraction of sessions where this pipeline agrees with a reference.
+
+        ``reference_verdicts`` maps session id → anomalous from a
+        single-instance run over the same records.  Measurement is
+        strictly read-only: records parse through a *snapshot* of the
+        parser (the live templates learn nothing from the probe),
+        detection uses the side-effect-free ``detect``, and nothing is
+        reported, numbered, classified, or delivered.
+        """
+        self._require_trained("consistency_with")
+        parser = copy.deepcopy(self.parser)
+        parsed = parse_in_batches(parser, records, self.batch_size or None)
+        keyed = [
+            (key, events)
+            for key, events in _sessions_by_key(parsed).items()
+            if len(events) >= self.spec.min_window_events
+        ]
+        results = self._detect_keyed(keyed)
+        flagged = {
+            key
+            for (key, _), result in zip(keyed, results)
+            if result.anomalous
+        }
+        if not reference_verdicts:
+            return 1.0
+        agreements = sum(
+            1
+            for session_id, verdict in reference_verdicts.items()
+            if (session_id in flagged) == verdict
+        )
+        return agreements / len(reference_verdicts)

@@ -1,0 +1,165 @@
+"""The component registry: every pluggable piece under one namespace.
+
+MoniLog is assembled from interchangeable components — template miners,
+anomaly detectors, sessionizers, live sources, shard executors.  Each
+component class *self-registers* at definition time via the
+:func:`register_component` decorator, recording its kind, its string
+name, and its constructor signature:
+
+    @register_component("parser", "drain")
+    class DrainParser(OnlineParser): ...
+
+Consumers — :class:`repro.api.spec.PipelineSpec` validation,
+:class:`repro.api.pipeline.Pipeline` construction, and the CLI's
+``--parser``/``--detector`` menus — resolve components by
+``(kind, name)`` through the process-wide :data:`REGISTRY` and never
+import concrete classes directly.  Unknown names and options that do
+not bind to the constructor signature fail with errors that say which
+component, which knob, and what the choices were.
+
+Registration happens on import of the defining module; the registry
+lazily imports the known provider packages the first time a kind is
+queried, so ``names("parser")`` is complete without callers having to
+remember which packages to import.  This module itself depends only on
+the standard library — component modules can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Component kind -> modules whose import registers that kind's
+#: components.  Queried lazily, once per kind.
+_PROVIDERS: dict[str, tuple[str, ...]] = {
+    "parser": ("repro.parsing",),
+    "detector": ("repro.detection",),
+    "sessionizer": ("repro.core.streaming",),
+    "source": ("repro.ingest.sources", "repro.logs.sources"),
+    "executor": ("repro.core.executors",),
+}
+
+
+@dataclass(frozen=True)
+class Component:
+    """One registered component: its class and constructor signature."""
+
+    kind: str
+    name: str
+    cls: type
+    signature: inspect.Signature
+
+    def describe(self) -> str:
+        """``name(param=default, ...)`` — the CLI/docs help line."""
+        return f"{self.name}{self.signature}"
+
+    def option_errors(self, options: dict[str, Any]) -> list[str]:
+        """Why ``options`` cannot construct this component (else [])."""
+        try:
+            self.signature.bind_partial(**options)
+        except TypeError as error:
+            return [
+                f"{self.kind} {self.name!r} does not accept {error}; "
+                f"signature is {self.describe()}"
+            ]
+        return []
+
+
+class ComponentRegistry:
+    """Name -> class lookup for every component kind."""
+
+    def __init__(self) -> None:
+        self._components: dict[tuple[str, str], Component] = {}
+        self._loaded_kinds: set[str] = set()
+
+    # -- registration (called from component modules at import) ---------------
+
+    def add(self, kind: str, name: str, cls: type) -> None:
+        key = (kind, name)
+        existing = self._components.get(key)
+        if existing is not None and existing.cls is not cls:
+            raise ValueError(
+                f"{kind} {name!r} is already registered to "
+                f"{existing.cls.__qualname__}; cannot re-register "
+                f"{cls.__qualname__}"
+            )
+        try:
+            signature = inspect.signature(cls)
+        except (TypeError, ValueError):  # builtins without signatures
+            signature = inspect.Signature()
+        self._components[key] = Component(kind, name, cls, signature)
+
+    # -- lookup ----------------------------------------------------------------
+
+    def _ensure_loaded(self, kind: str) -> None:
+        if kind in self._loaded_kinds:
+            return
+        self._loaded_kinds.add(kind)
+        for module in _PROVIDERS.get(kind, ()):
+            importlib.import_module(module)
+
+    def kinds(self) -> list[str]:
+        return sorted(_PROVIDERS)
+
+    def names(self, kind: str) -> list[str]:
+        """All registered names of one kind, sorted."""
+        self._ensure_loaded(kind)
+        return sorted(name for k, name in self._components if k == kind)
+
+    def get(self, kind: str, name: str) -> Component:
+        """The component entry, or a choices-listing KeyError."""
+        self._ensure_loaded(kind)
+        component = self._components.get((kind, name))
+        if component is None:
+            raise KeyError(
+                f"unknown {kind} {name!r}; choose from {self.names(kind)}"
+            )
+        return component
+
+    def create(self, kind: str, name: str, options: dict[str, Any]
+               | None = None, **extra: Any) -> Any:
+        """Construct ``(kind, name)`` with ``options`` + ``extra`` kwargs.
+
+        ``options`` carry the user's spec knobs; ``extra`` carries knobs
+        the framework injects (maskers, executors).  Options that do not
+        bind to the constructor raise a ValueError naming the component
+        and its signature, before the constructor ever runs.
+        """
+        component = self.get(kind, name)
+        merged = dict(options or {})
+        merged.update(extra)
+        problems = component.option_errors(merged)
+        if problems:
+            raise ValueError("; ".join(problems))
+        return component.cls(**merged)
+
+    def option_errors(self, kind: str, name: str,
+                      options: dict[str, Any]) -> list[str]:
+        """Validation-friendly: error strings instead of raises."""
+        try:
+            component = self.get(kind, name)
+        except KeyError as error:
+            return [str(error).strip('"')]
+        return component.option_errors(options)
+
+
+#: The process-wide registry every component registers into.
+REGISTRY = ComponentRegistry()
+
+
+def register_component(kind: str, name: str):
+    """Class decorator: register ``cls`` as ``(kind, name)``.
+
+    Attaches ``component_kind``/``component_name`` attributes so an
+    instance can report what registry entry built it.
+    """
+
+    def decorate(cls: type) -> type:
+        REGISTRY.add(kind, name, cls)
+        cls.component_kind = kind
+        cls.component_name = name
+        return cls
+
+    return decorate

@@ -4,10 +4,10 @@ Five commands covering the adoption path of a downstream user:
 
 * ``generate`` — write a synthetic ground-truthed corpus to a log file
   (dashed Fig. 2 layout) for trying the tools on disk;
-* ``parse``    — structure a log file with any of the eight miners and
-  print the discovered template inventory;
-* ``detect``   — train a detector on the head of a log file and report
-  anomalous sessions in the tail;
+* ``parse``    — structure a log file with any registered template
+  miner and print the discovered template inventory;
+* ``detect``   — train a registered detector on the head of a log file
+  and report anomalous sessions in the tail;
 * ``pipeline`` — run the full MoniLog system over a history file and a
   live file, printing classified alerts;
 * ``tail``     — train on a history file, then *live-ingest* N files
@@ -15,13 +15,14 @@ Five commands covering the adoption path of a downstream user:
   (:mod:`repro.ingest`): watermark merge, micro-batching, credit-based
   back-pressure, and per-source checkpoints for exact resume.
 
-Every command reads plain text logs; headers are auto-detected via
-:func:`repro.logs.formats.detect_format`.  ``parse`` and ``pipeline``
-take ``--batch-size`` to run the amortized batched fast path (template
-cache + intra-batch dedup) and ``--shards``/``--executor`` to run the
-sharded runtimes with concurrent shard execution (serial / thread pool
-/ process pool).  Output is identical across all of these modes —
-batching, sharding, and the executor change wall-clock only.
+The CLI is a thin veneer over the unified pipeline API
+(:mod:`repro.api`): component menus come from the registry, and the
+``pipeline``/``tail`` flags map 1:1 onto
+:class:`~repro.api.spec.PipelineSpec` fields.  ``--spec path.toml``
+loads a full spec file; precedence is **flags > MONILOG_* environment
+> spec file > defaults**, so a checked-in spec can be nudged per run.
+Output is identical across batch sizes, shard counts, and executors —
+those knobs change wall-clock only.
 """
 
 from __future__ import annotations
@@ -32,32 +33,30 @@ import signal
 import sys
 from collections.abc import Sequence
 
-from repro.core.config import IngestConfig, MoniLogConfig
-from repro.core.distributed import ShardedMoniLog
-from repro.core.executors import EXECUTORS, default_executor_name
-from repro.core.pipeline import MoniLog
-from repro.core.streaming import StreamingMoniLog, StreamingShardedMoniLog
-from repro.ingest import (
-    CheckpointStore,
-    FileTailSource,
-    IngestService,
-    SocketSource,
-)
+from repro.api.pipeline import Pipeline
+from repro.api.registry import REGISTRY
+from repro.api.spec import PipelineSpec
+from repro.core.executors import default_executor_name
+from repro.core.validation import ConfigError
 from repro.datasets import generate_bgl, generate_cloud_platform, generate_hdfs
-from repro.detection import DETECTORS, sessions_from_parsed
-from repro.detection.keyword import KeywordMatchDetector
+from repro.detection import sessions_from_parsed
 from repro.eval import Table
+from repro.ingest import CheckpointStore, IngestService
 from repro.logs.formats import read_log_lines, render_line
 from repro.logs.sessions import SessionKeyExtractor
 from repro.parsing import (
     BATCH_PARSERS,
-    DistributedDrain,
-    ONLINE_PARSERS,
     LogramParser,
     default_masker,
     no_masker,
     parse_in_batches,
 )
+
+#: Parser menu for single-instance construction sites: the distributed
+#: Drain is reached via --shards (it wraps per-shard Drains), not by
+#: name.
+_SINGLE_PARSERS = [name for name in REGISTRY.names("parser")
+                   if name != "drain-distributed"]
 
 _GENERATORS = {
     "hdfs": lambda args: generate_hdfs(
@@ -70,8 +69,6 @@ _GENERATORS = {
         sessions=args.sessions, anomaly_rate=args.anomaly_rate, seed=args.seed
     ),
 }
-
-_ALL_DETECTORS = dict(DETECTORS) | {"keyword": KeywordMatchDetector}
 
 
 def _read_records(path: str, sessionize: bool = False):
@@ -135,14 +132,138 @@ def _socket_spec(text: str) -> tuple[str, int]:
         ) from None
 
 
-def _build_parser_instance(name: str, masking: bool, extract: bool):
-    factories = dict(ONLINE_PARSERS) | dict(BATCH_PARSERS)
-    if name not in factories:
-        raise SystemExit(
-            f"unknown parser {name!r}; choose from {sorted(factories)}"
-        )
-    masker = default_masker() if masking else no_masker()
-    return factories[name](masker=masker, extract_structured=extract)
+#: ``pipeline``/``tail`` argparse dest -> PipelineSpec field.  Every
+#: flag defaults to None so "user said nothing" is distinguishable and
+#: the spec file / environment / dataclass default shows through.
+_SPEC_FLAGS = {
+    "parser": "parser",
+    "detector": "detector",
+    "masking": "masking",
+    "extract": "extract_structured",
+    "batch_size": "batch_size",
+    "shards": "shards",
+    "detector_shards": "detector_shards",
+    "executor": "executor",
+    # tail-only knobs
+    "ingest_batch_size": "ingest_batch_size",
+    "max_batch_age": "max_batch_age",
+    "lateness": "lateness",
+    "credits": "credits",
+    "poll_interval": "poll_interval",
+    "checkpoint": "checkpoint",
+    "session_timeout": "session_timeout",
+}
+
+
+def _spec_from_args(args: argparse.Namespace, **forced) -> PipelineSpec:
+    """flags > MONILOG_* env > ``--spec`` file > defaults, aggregated.
+
+    ``forced`` fields (e.g. ``streaming=True`` for ``tail``) apply
+    last — they are part of the command's contract, not user knobs.
+    """
+    try:
+        spec = (PipelineSpec.from_file(args.spec) if getattr(args, "spec", None)
+                else PipelineSpec())
+        spec = spec.with_env()
+        overrides = {
+            field: getattr(args, flag)
+            for flag, field in _SPEC_FLAGS.items()
+            if getattr(args, flag, None) is not None
+        }
+        overrides.update(forced)
+        return spec.replace(**overrides) if overrides else spec
+    except (ConfigError, ValueError, OSError) as error:
+        raise SystemExit(f"repro: {error}") from None
+
+
+def _add_spec_flags(command: argparse.ArgumentParser,
+                    ingestion: bool = False) -> None:
+    """The PipelineSpec-mapped flags shared by ``pipeline`` and ``tail``."""
+    command.add_argument(
+        "--spec", metavar="PATH",
+        help="PipelineSpec file (.toml or .json); flags override it",
+    )
+    command.add_argument(
+        "--parser", choices=_SINGLE_PARSERS,
+        help="stage-1 template miner (spec field: parser; default drain)",
+    )
+    command.add_argument(
+        "--detector", choices=REGISTRY.names("detector"),
+        help="stage-2 anomaly detector (spec field: detector; "
+             "default deeplog)",
+    )
+    command.add_argument("--masking", action="store_true", default=None,
+                         help="apply the expert regex masker before mining")
+    command.add_argument("--extract", action="store_true", default=None,
+                         help="run JSON/XML payload extraction first "
+                              "(spec field: extract_structured)")
+    command.add_argument(
+        "--batch-size", type=_batch_size,
+        help="micro-batch size for the amortized parse path "
+             "(0 = per-record; alerts are identical either way; "
+             "spec field: batch_size, default 512)",
+    )
+    command.add_argument(
+        "--shards", type=_shard_count,
+        help="run the sharded pipeline with this many parser shards "
+             "(0 = single instance; spec field: shards)",
+    )
+    command.add_argument(
+        "--detector-shards", type=_positive_int,
+        help="detector replicas in the sharded runtime (with --shards; "
+             "spec field: detector_shards)",
+    )
+    command.add_argument(
+        "--executor", choices=REGISTRY.names("executor"),
+        help="how shard work runs with --shards: serially, on a thread "
+             "pool, or on a process pool (output is identical; default "
+             "honors MONILOG_EXECUTOR)",
+    )
+    if not ingestion:
+        return
+    command.add_argument(
+        "--ingest-batch-size", dest="ingest_batch_size", type=_positive_int,
+        help="records per micro-batch handed to the pipeline "
+             "(spec field: ingest_batch_size, default 256)",
+    )
+    command.add_argument(
+        "--max-batch-age", type=_positive_float,
+        help="seconds a non-empty batch may wait before flushing "
+             "(spec field: max_batch_age)",
+    )
+    command.add_argument(
+        "--lateness", type=_nonnegative_float,
+        help="out-of-order tolerance of the live merge in event seconds "
+             "(spec field: lateness)",
+    )
+    command.add_argument(
+        "--credits", type=_positive_int,
+        help="max records in flight between readers and the pipeline "
+             "(spec field: credits)",
+    )
+    command.add_argument(
+        "--poll-interval", type=_positive_float,
+        help="idle-poll cadence for file tails in seconds "
+             "(spec field: poll_interval)",
+    )
+    command.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="offset checkpoint file; resume skips processed records "
+             "(spec field: checkpoint)",
+    )
+    command.add_argument(
+        "--session-timeout", type=_positive_float,
+        help="idle seconds of stream time before a session closes "
+             "(spec field: session_timeout, default 30)",
+    )
+
+
+def _print_alert(alert) -> None:
+    print(
+        f"[{alert.criticality:>8s}] pool={alert.pool} "
+        f"{alert.report.summary()}",
+        flush=True,
+    )
 
 
 def _command_generate(args: argparse.Namespace) -> int:
@@ -166,22 +287,26 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 def _command_parse(args: argparse.Namespace) -> int:
     records = _read_records(args.input)
+    masker = default_masker() if args.masking else no_masker()
     if args.shards:
         if args.parser != "drain":
             raise SystemExit(
                 "--shards runs the distributed Drain; "
                 f"it cannot shard {args.parser!r}"
             )
-        masker = default_masker() if args.masking else no_masker()
-        parser = DistributedDrain(
+        parser = REGISTRY.create(
+            "parser", "drain-distributed", {},
             shards=args.shards,
             masker=masker,
-            extract_structured=args.extract,
+            extract_structured=bool(args.extract),
             executor=args.executor,
         )
         template_of = parser.template_string
     else:
-        parser = _build_parser_instance(args.parser, args.masking, args.extract)
+        parser = REGISTRY.create(
+            "parser", args.parser, {},
+            masker=masker, extract_structured=bool(args.extract),
+        )
         template_of = lambda template_id: parser.store[template_id].template
         if args.parser in BATCH_PARSERS:
             parser.fit(records)
@@ -204,7 +329,8 @@ def _command_parse(args: argparse.Namespace) -> int:
     if args.shards:
         # --batch-size 0 parses record by record, which never fans out
         # to the executor; attribute the run to the path that ran.
-        mode = f"{args.executor} executor" if args.batch_size else "per-record"
+        executor_name = args.executor or parser.executor.name
+        mode = f"{executor_name} executor" if args.batch_size else "per-record"
         loads = ", ".join(str(load) for load in parser.shard_loads)
         print(f"\nshard loads ({mode}): {loads}")
         parser.executor.close()
@@ -214,12 +340,20 @@ def _command_parse(args: argparse.Namespace) -> int:
 def _command_detect(args: argparse.Namespace) -> int:
     records = _read_records(args.input, sessionize=True)
     cut = int(len(records) * args.train_fraction)
-    parser = _build_parser_instance("drain", args.masking, args.extract)
+    masker = default_masker() if args.masking else no_masker()
+    parser = REGISTRY.create(
+        "parser", args.parser, {},
+        masker=masker, extract_structured=bool(args.extract),
+    )
+    if args.parser in BATCH_PARSERS:
+        parser.fit(records[:cut])
+    if isinstance(parser, LogramParser):
+        parser.warmup(records[:cut])
     train_sessions = [
         s for s in sessions_from_parsed(parser.parse_all(records[:cut])).values()
         if len(s) >= 2
     ]
-    detector = _ALL_DETECTORS[args.detector]()
+    detector = REGISTRY.create("detector", args.detector, {})
     detector.fit(train_sessions, [False] * len(train_sessions))
     test_map = sessions_from_parsed(parser.parse_all(records[cut:]))
     flagged = 0
@@ -237,110 +371,85 @@ def _command_detect(args: argparse.Namespace) -> int:
 
 
 def _command_pipeline(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
     history = _read_records(args.history, sessionize=True)
     live = _read_records(args.live, sessionize=True)
-    config = MoniLogConfig(use_masking=args.masking,
-                           extract_structured=args.extract,
-                           executor=args.executor)
-    if args.shards:
-        with ShardedMoniLog(
-            parser_shards=args.shards,
-            detector_shards=args.detector_shards,
-            config=config,
-            # --batch-size 0 means per-record; the sharded runtime's
-            # equivalent is micro-batches of one record.
-            batch_size=args.batch_size or 1,
-        ) as sharded:
-            sharded.train(history)
-            alerts = sharded.run_all(live)
-            for alert in alerts:
-                print(
-                    f"[{alert.criticality:>8s}] pool={alert.pool} "
-                    f"{alert.report.summary()}"
-                )
-            loads = ", ".join(str(load)
-                              for load in sharded.parser.shard_loads)
+    with Pipeline.from_spec(spec) as pipeline:
+        pipeline.fit(history)
+        alerts = pipeline.process(live)
+        for alert in alerts:
             print(
-                f"\nparsed {sum(sharded.parser.shard_loads)} records "
-                f"across {args.shards} shards ({args.executor} executor, "
-                f"loads {loads}), {sharded.parser.template_count} templates, "
+                f"[{alert.criticality:>8s}] pool={alert.pool} "
+                f"{alert.report.summary()}"
+            )
+        if spec.shards:
+            loads = ", ".join(str(load)
+                              for load in pipeline.parser.shard_loads)
+            print(
+                f"\nparsed {sum(pipeline.parser.shard_loads)} records "
+                f"across {spec.shards} shards ({spec.executor} executor, "
+                f"loads {loads}), {pipeline.parser.template_count} templates, "
                 f"{len(alerts)} anomalies"
             )
-        return 0
-    system = MoniLog(config=config)
-    system.train(history)
-    if args.batch_size:
-        alerts = system.process_batch(live, batch_size=args.batch_size)
-    else:
-        alerts = system.run(live)
-    for alert in alerts:
-        print(
-            f"[{alert.criticality:>8s}] pool={alert.pool} "
-            f"{alert.report.summary()}"
-        )
-    stats = system.stats
-    print(
-        f"\nparsed {stats.records_parsed} records, "
-        f"{stats.templates_discovered} templates, "
-        f"{stats.anomalies_detected} anomalies"
-    )
+        else:
+            stats = pipeline.stats()
+            print(
+                f"\nparsed {stats.records_parsed} records, "
+                f"{stats.templates_discovered} templates, "
+                f"{stats.anomalies_detected} anomalies"
+            )
     return 0
 
 
 def _command_tail(args: argparse.Namespace) -> int:
-    if not args.source and not args.socket:
-        raise SystemExit("tail needs at least one --source or --socket")
-    history = _read_records(args.history, sessionize=True)
-    config = MoniLogConfig(use_masking=args.masking,
-                           extract_structured=args.extract,
-                           executor=args.executor)
-    ingest_config = IngestConfig(
-        batch_size=args.batch_size,
-        max_batch_age=args.max_batch_age,
-        lateness=args.lateness,
-        credits=args.credits,
-        poll_interval=args.poll_interval,
-    )
-    if args.shards:
-        system = ShardedMoniLog(
-            parser_shards=args.shards,
-            detector_shards=args.detector_shards,
-            config=config,
-            batch_size=args.batch_size,
-        )
-        system.train(history)
-        streaming = StreamingShardedMoniLog(
-            system, session_timeout=args.session_timeout)
-    else:
-        system = MoniLog(config=config)
-        system.train(history)
-        streaming = StreamingMoniLog(
-            system, session_timeout=args.session_timeout)
+    # Legacy surface: ``tail --batch-size`` always meant records per
+    # ingestion micro-batch.  Keep that meaning unless the explicit
+    # --ingest-batch-size spelling is used.
+    if args.batch_size is not None and args.ingest_batch_size is None:
+        args.ingest_batch_size = args.batch_size
+        args.batch_size = None
+    spec = _spec_from_args(args, streaming=True)
     sources = [
-        FileTailSource(path, follow=not args.once,
-                       poll_interval=args.poll_interval)
+        REGISTRY.create("source", "file", {},
+                        path=path, follow=not args.once,
+                        poll_interval=spec.poll_interval)
         for path in args.source
     ] + [
         # --once must terminate even when nothing is listening: cap the
         # dial attempts instead of retrying forever.
-        SocketSource(host, port, reconnect=not args.once,
-                     max_connect_attempts=3 if args.once else None)
+        REGISTRY.create("source", "socket", {},
+                        host=host, port=port, reconnect=not args.once,
+                        max_connect_attempts=3 if args.once else None)
         for host, port in args.socket
     ]
-    checkpoint = CheckpointStore(args.checkpoint) if args.checkpoint else None
-
-    def print_alert(alert) -> None:
-        print(
-            f"[{alert.criticality:>8s}] pool={alert.pool} "
-            f"{alert.report.summary()}",
-            flush=True,
-        )
-
+    if not sources:
+        # No source flags: fall back to the spec's [[sources]] tables,
+        # injecting the same run-mode defaults the flag path applies —
+        # --once must terminate file tails and cap socket dials, and
+        # file tails inherit the spec's poll cadence.
+        sources = []
+        for entry in spec.sources:
+            options = {key: value for key, value in entry.items()
+                       if key != "type"}
+            if entry["type"] == "file":
+                options.setdefault("follow", not args.once)
+                options.setdefault("poll_interval", spec.poll_interval)
+            elif entry["type"] == "socket" and args.once:
+                options.setdefault("reconnect", False)
+                options.setdefault("max_connect_attempts", 3)
+            sources.append(REGISTRY.create("source", entry["type"], options))
+    if not sources:
+        raise SystemExit("tail needs at least one --source or --socket "
+                         "(or [[sources]] in --spec)")
+    history = _read_records(args.history, sessionize=True)
+    pipeline = Pipeline.from_spec(spec)
+    pipeline.fit(history)
+    checkpoint = CheckpointStore(spec.checkpoint) if spec.checkpoint else None
     service = IngestService(
-        sources, streaming,
-        config=ingest_config,
+        sources, pipeline,
+        config=spec.ingest_config(),
         checkpoint=checkpoint,
-        on_alert=print_alert,
+        on_alert=_print_alert,
     )
 
     async def tail_main() -> None:
@@ -364,8 +473,7 @@ def _command_tail(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     print(f"\n{service.stats().summary()}")
-    if args.shards:
-        system.close()
+    pipeline.close()
     return 0
 
 
@@ -388,7 +496,8 @@ def build_argument_parser() -> argparse.ArgumentParser:
 
     parse = commands.add_parser("parse", help="mine templates from a log file")
     parse.add_argument("--input", required=True)
-    parse.add_argument("--parser", default="drain")
+    parse.add_argument("--parser", default="drain",
+                       choices=_SINGLE_PARSERS)
     parse.add_argument("--masking", action="store_true")
     parse.add_argument("--extract", action="store_true",
                        help="run JSON/XML payload extraction first")
@@ -402,50 +511,31 @@ def build_argument_parser() -> argparse.ArgumentParser:
              "(0 = single instance; requires --parser drain)",
     )
     parse.add_argument(
-        "--executor", choices=sorted(EXECUTORS),
-        default=default_executor_name(),
-        help="how shard work runs with --shards: serially, on a "
-             "thread pool, or on a process pool (output is identical; "
+        "--executor", choices=REGISTRY.names("executor"),
+        default=None,
+        help="how shard work runs with --shards (output is identical; "
              "default honors MONILOG_EXECUTOR)",
     )
     parse.set_defaults(handler=_command_parse)
 
     detect = commands.add_parser("detect", help="find anomalous sessions")
     detect.add_argument("--input", required=True)
-    detect.add_argument("--detector", choices=sorted(_ALL_DETECTORS),
+    detect.add_argument("--detector", choices=REGISTRY.names("detector"),
                         default="deeplog")
+    detect.add_argument("--parser", choices=_SINGLE_PARSERS,
+                        default="drain")
     detect.add_argument("--train-fraction", type=float, default=0.6)
     detect.add_argument("--masking", action="store_true")
     detect.add_argument("--extract", action="store_true")
     detect.set_defaults(handler=_command_detect)
 
-    pipeline = commands.add_parser("pipeline", help="full MoniLog run")
+    pipeline = commands.add_parser(
+        "pipeline", help="full MoniLog run (spec-driven)"
+    )
     pipeline.add_argument("--history", required=True,
                           help="training log file")
     pipeline.add_argument("--live", required=True, help="live log file")
-    pipeline.add_argument("--masking", action="store_true", default=True)
-    pipeline.add_argument("--extract", action="store_true")
-    pipeline.add_argument(
-        "--batch-size", type=_batch_size, default=512,
-        help="micro-batch size for the amortized parse path "
-             "(0 = per-record processing; alerts are identical either way)",
-    )
-    pipeline.add_argument(
-        "--shards", type=_shard_count, default=0,
-        help="run the sharded MoniLog with this many parser shards "
-             "(0 = single-instance pipeline)",
-    )
-    pipeline.add_argument(
-        "--detector-shards", type=_positive_int, default=1,
-        help="detector replicas in the sharded runtime (with --shards)",
-    )
-    pipeline.add_argument(
-        "--executor", choices=sorted(EXECUTORS),
-        default=default_executor_name(),
-        help="how shard work runs with --shards: serially, on a "
-             "thread pool, or on a process pool (alerts are identical; "
-             "default honors MONILOG_EXECUTOR)",
-    )
+    _add_spec_flags(pipeline)
     pipeline.set_defaults(handler=_command_pipeline)
 
     tail = commands.add_parser(
@@ -464,54 +554,10 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="newline-delimited TCP stream to ingest (repeatable)",
     )
     tail.add_argument(
-        "--batch-size", type=_positive_int, default=256,
-        help="records per micro-batch handed to the pipeline",
-    )
-    tail.add_argument(
-        "--max-batch-age", type=_positive_float, default=0.25,
-        help="seconds a non-empty batch may wait before flushing",
-    )
-    tail.add_argument(
-        "--lateness", type=_nonnegative_float, default=0.5,
-        help="out-of-order tolerance of the live merge (event seconds)",
-    )
-    tail.add_argument(
-        "--credits", type=_positive_int, default=4096,
-        help="max records in flight between readers and the pipeline",
-    )
-    tail.add_argument(
-        "--poll-interval", type=_positive_float, default=0.05,
-        help="idle-poll cadence for file tails (seconds)",
-    )
-    tail.add_argument(
-        "--checkpoint", metavar="PATH",
-        help="offset checkpoint file; resume skips processed records",
-    )
-    tail.add_argument(
         "--once", action="store_true",
         help="drain sources to their current end and exit (no follow)",
     )
-    tail.add_argument(
-        "--session-timeout", type=_positive_float, default=30.0,
-        help="idle seconds of stream time before a session closes",
-    )
-    tail.add_argument("--masking", action="store_true", default=True)
-    tail.add_argument("--extract", action="store_true")
-    tail.add_argument(
-        "--shards", type=_shard_count, default=0,
-        help="score through the sharded runtime with this many parser "
-             "shards (0 = single-instance pipeline)",
-    )
-    tail.add_argument(
-        "--detector-shards", type=_positive_int, default=1,
-        help="detector replicas in the sharded runtime (with --shards)",
-    )
-    tail.add_argument(
-        "--executor", choices=sorted(EXECUTORS),
-        default=default_executor_name(),
-        help="how shard work runs with --shards (default honors "
-             "MONILOG_EXECUTOR)",
-    )
+    _add_spec_flags(tail, ingestion=True)
     tail.set_defaults(handler=_command_tail)
     return parser
 
@@ -519,9 +565,10 @@ def build_argument_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     try:
         parser = build_argument_parser()
+        # A typo'd MONILOG_EXECUTOR must fail fast, naming the
+        # variable — not deep inside a command as a traceback.
+        default_executor_name()
     except ValueError as error:
-        # A bad MONILOG_EXECUTOR surfaces while argparse defaults are
-        # built; report it like a usage error, not a traceback.
         raise SystemExit(f"repro: {error}") from None
     arguments = parser.parse_args(argv)
     return arguments.handler(arguments)

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.executors import EXECUTORS, default_executor_name
+from repro.core.validation import Validator
 
 
 @dataclass
@@ -44,21 +45,23 @@ class MoniLogConfig:
     executor: str = field(default_factory=default_executor_name)
 
     def __post_init__(self) -> None:
-        if self.windowing not in ("session", "sliding"):
-            raise ValueError(
-                f"windowing must be 'session' or 'sliding', got {self.windowing!r}"
-            )
-        if self.executor not in EXECUTORS:
-            raise ValueError(
-                f"executor must be one of {sorted(EXECUTORS)}, "
-                f"got {self.executor!r}"
-            )
-        if self.window_size < 1:
-            raise ValueError(f"window_size must be >= 1, got {self.window_size}")
-        if self.calibration_sample < 1:
-            raise ValueError(
-                f"calibration_sample must be >= 1, got {self.calibration_sample}"
-            )
+        # Aggregated: every bad knob reported at once, field-named.
+        check = Validator(type(self).__name__)
+        check.require(
+            self.windowing in ("session", "sliding"), "windowing",
+            f"must be 'session' or 'sliding', got {self.windowing!r}",
+        )
+        check.require(
+            self.executor in EXECUTORS, "executor",
+            f"must be one of {sorted(EXECUTORS)}, got {self.executor!r}",
+        )
+        check.require(self.window_size >= 1, "window_size",
+                      f"must be >= 1, got {self.window_size}")
+        check.require(
+            self.calibration_sample >= 1, "calibration_sample",
+            f"must be >= 1, got {self.calibration_sample}",
+        )
+        check.done()
 
 
 @dataclass
@@ -93,17 +96,15 @@ class IngestConfig:
     poll_interval: float = 0.05
 
     def __post_init__(self) -> None:
-        if self.batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
-        if self.max_batch_age <= 0:
-            raise ValueError(
-                f"max_batch_age must be > 0, got {self.max_batch_age}"
-            )
-        if self.lateness < 0:
-            raise ValueError(f"lateness must be >= 0, got {self.lateness}")
-        if self.credits < 1:
-            raise ValueError(f"credits must be >= 1, got {self.credits}")
-        if self.poll_interval <= 0:
-            raise ValueError(
-                f"poll_interval must be > 0, got {self.poll_interval}"
-            )
+        check = Validator(type(self).__name__)
+        check.require(self.batch_size >= 1, "batch_size",
+                      f"must be >= 1, got {self.batch_size}")
+        check.require(self.max_batch_age > 0, "max_batch_age",
+                      f"must be > 0, got {self.max_batch_age}")
+        check.require(self.lateness >= 0, "lateness",
+                      f"must be >= 0, got {self.lateness}")
+        check.require(self.credits >= 1, "credits",
+                      f"must be >= 1, got {self.credits}")
+        check.require(self.poll_interval > 0, "poll_interval",
+                      f"must be > 0, got {self.poll_interval}")
+        check.done()

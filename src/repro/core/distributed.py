@@ -1,59 +1,34 @@
-"""The sharded MoniLog runtime (paper §II).
+"""The sharded MoniLog runtime (paper §II) — facade now a deprecated shim.
 
-"It is important for MoniLog components to be distributable in order
-to ensure scalability."  This module implements the partitioning
-strategy for each stage and actually runs the shards concurrently on a
-pluggable :class:`~repro.core.executors.ShardExecutor` (thread pool,
-process pool, or serial reference):
+The partitioning strategy lives on: parser shards route by source
+(:class:`~repro.parsing.distributed.DistributedDrain`), detector
+shards route by session-id hash so sequence models stay correct, and
+all merging happens deterministically on the caller's thread — so
+results are independent of batch size and executor.  That orchestration
+now lives in :class:`repro.api.pipeline.Pipeline` (``spec.shards > 0``
+selects it); :class:`ShardedMoniLog` remains as a thin deprecated shim
+delegating to a ``Pipeline`` built from the equivalent spec, with
+byte-identical output.
 
-* **parser shards** — records route by source (one code base's
-  statements stay on one shard; see
-  :class:`~repro.parsing.distributed.DistributedDrain`) and the shard
-  sub-batches parse side by side;
-* **detector shards** — structured events route by session id hash, so
-  a session's whole window lands on one detector shard and sequence
-  models stay correct; shards fit and score their partitions in
-  parallel;
-* **classifier** — stateless per alert given the shared model, so a
-  single instance suffices here; a real deployment would replicate it
-  behind the feedback bus.
-
-Shards drain **micro-batches** rather than single records: the runtime
-chops the stream into ``batch_size`` slices and hands each to
-:meth:`DistributedDrain.parse_batch`, which routes the slice once and
-lets every parser shard exploit its template cache and intra-batch
-dedup.  Determinism is preserved by construction — routing fixes which
-shard sees which records in which relative order, and all merging
-(delivery-order reassembly, report numbering, pool delivery) happens
-on the caller's thread — so results are independent of both the batch
-size and the executor: ``batch_size=1`` under the serial executor
-reproduces the per-record behavior exactly, and every other
-configuration reproduces *that*.
-
-The runtime also *measures* distribution effects (experiment X6 uses
-the parser half; X9 benches the concurrent speedup; the pipeline bench
-F1 reports shard balance): shard template tables are reconciled, and
-:meth:`consistency_with` quantifies agreement with a single-instance
-run — against a snapshot, so measurement never perturbs live state.
+This module keeps the routing/partitioning *primitives* the unified
+pipeline composes: :func:`_shard_of` (session → detector shard),
+:func:`_sessions_by_key` (delivery-order session grouping), and the
+module-level executor task functions :func:`_fit_shard` /
+:func:`_detect_shard` (module-level so the process executor can pickle
+references to them).
 """
 
 from __future__ import annotations
 
-import copy
+import warnings
 import zlib
 from collections.abc import Iterable, Iterator
 
-from repro.classify.classifier import AnomalyClassifier
-from repro.classify.pools import PoolManager
 from repro.core.config import MoniLogConfig
-from repro.core.executors import ShardExecutor, resolve_executor
-from repro.core.reports import AnomalyReport, ClassifiedAlert
+from repro.core.executors import ShardExecutor
+from repro.core.reports import ClassifiedAlert
 from repro.detection.base import DetectionResult, Detector
-from repro.detection.deeplog import DeepLogDetector
 from repro.logs.record import LogRecord, ParsedLog
-from repro.parsing.base import parse_in_batches
-from repro.parsing.distributed import DistributedDrain
-from repro.parsing.masking import default_masker, no_masker
 
 
 def _shard_of(session_id: str, shards: int) -> int:
@@ -109,29 +84,17 @@ def _detect_shard(
 
 
 class ShardedMoniLog:
-    """MoniLog with sharded parsing and detection, executed concurrently.
+    """Deprecated shim over :class:`repro.api.pipeline.Pipeline`.
 
-    Args:
-        parser_shards: Drain shards (stage 1).
-        detector_shards: detector replicas (stage 2), each fitted on
-            its own partition of training sessions.
-        detector_factory: builds one detector per shard; defaults to
-            DeepLog with a shard-specific seed.
-        config: shared pipeline configuration (session windowing only —
-            sliding windows have no session key to route by; a real
-            deployment routes those by source instead).
-        batch_size: micro-batch size drained into the parser shards.
-            Records are routed and parsed ``batch_size`` at a time via
-            :meth:`~repro.parsing.distributed.DistributedDrain.parse_batch`,
-            which amortizes routing and activates each shard's template
-            cache and intra-batch dedup.  Output is identical for every
-            batch size (including 1, the old per-record behavior).
-        executor: a :class:`~repro.core.executors.ShardExecutor`
-            instance or name; ``None`` falls back to
-            ``config.executor`` (itself defaulting to the
-            ``MONILOG_EXECUTOR`` environment variable, else serial).
-            Shared with the parser shards.  Alerts are identical under
-            every executor; only wall-clock changes.
+    The legacy sharded facade.  Equivalent spec::
+
+        PipelineSpec(shards=parser_shards,
+                     detector_shards=detector_shards,
+                     batch_size=batch_size, executor=...)
+
+    Args are unchanged from the legacy class; ``detector_factory``
+    still overrides the per-shard detector construction (the spec
+    default builds DeepLog with a shard-specific seed).
     """
 
     def __init__(
@@ -143,56 +106,80 @@ class ShardedMoniLog:
         batch_size: int = 512,
         executor: str | ShardExecutor | None = None,
     ) -> None:
-        self.config = config or MoniLogConfig()
-        if detector_shards < 1:
-            raise ValueError(
-                f"detector_shards must be >= 1, got {detector_shards}"
-            )
+        warnings.warn(
+            "ShardedMoniLog is deprecated; build a repro.api.Pipeline "
+            "from a PipelineSpec with shards > 0 instead (see docs/api.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.api.pipeline import Pipeline
+        from repro.api.spec import PipelineSpec
+
+        # Validate the legacy-surface knobs with the legacy messages;
+        # everything else aggregates in PipelineSpec validation.
+        if parser_shards < 1:
+            raise ValueError(f"shards must be >= 1, got {parser_shards}")
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-        self.batch_size = batch_size
+        self.config = config or MoniLogConfig()
         if self.config.windowing != "session":
             raise ValueError(
                 "ShardedMoniLog routes detector work by session id and "
                 "therefore requires session windowing"
             )
-        self.executor = resolve_executor(
-            executor if executor is not None else self.config.executor
-        )
-        masker = default_masker() if self.config.use_masking else no_masker()
-        self.parser = DistributedDrain(
+        spec = PipelineSpec.from_config(
+            self.config,
             shards=parser_shards,
-            route_by="source",
-            masker=masker,
-            extract_structured=self.config.extract_structured,
-            executor=self.executor,
+            detector_shards=detector_shards,
+            batch_size=batch_size,
+            executor=self.config.executor,
         )
-        if detector_factory is None:
-            def detector_factory(shard: int) -> Detector:
-                return DeepLogDetector(seed=shard)
-        self.detectors: list[Detector] = [
-            detector_factory(shard) for shard in range(detector_shards)
-        ]
-        self.pools = PoolManager()
-        self.classifier = AnomalyClassifier().attach(self.pools)
-        self._trained = False
-        self._report_counter = 0
+        self._pipeline = Pipeline(
+            spec,
+            detector_factory=detector_factory,
+            executor=executor,
+        )
+
+    # -- delegation -------------------------------------------------------------
+
+    @property
+    def parser(self):
+        return self._pipeline.parser
+
+    @property
+    def detectors(self) -> list[Detector]:
+        return self._pipeline.detectors
 
     @property
     def detector_shards(self) -> int:
-        return len(self.detectors)
+        return self._pipeline.detector_shards
 
-    # -- lifecycle ---------------------------------------------------------------
+    @property
+    def batch_size(self) -> int:
+        return self._pipeline.batch_size
+
+    @property
+    def executor(self) -> ShardExecutor:
+        return self._pipeline.executor
+
+    @property
+    def pools(self):
+        return self._pipeline.pools
+
+    @property
+    def classifier(self):
+        return self._pipeline.classifier
+
+    @property
+    def _trained(self) -> bool:
+        return self._pipeline._trained
+
+    @property
+    def _report_counter(self) -> int:
+        return self._pipeline._report_counter
 
     def close(self) -> None:
-        """Release the executor's worker pool.
-
-        Safe to call on a shared executor — pools rebuild lazily on
-        next use — and on the serial executor it is a no-op, so callers
-        can close unconditionally (or use the runtime as a context
-        manager).
-        """
-        self.executor.close()
+        self._pipeline.close()
 
     def __enter__(self) -> "ShardedMoniLog":
         return self
@@ -200,157 +187,26 @@ class ShardedMoniLog:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    # -- training ----------------------------------------------------------------
-
-    def _parse_batched(self, records: Iterable[LogRecord]) -> list[ParsedLog]:
-        """Drain micro-batches of ``batch_size`` through the shards."""
-        return parse_in_batches(self.parser, records, self.batch_size)
-
     def train(self, records: Iterable[LogRecord]) -> "ShardedMoniLog":
-        """Parse and fit the detector shards, each on its own partition.
-
-        Shard fits run concurrently on the configured executor; every
-        shard's partition (and hence its fitted model) is determined by
-        routing alone, so training is executor-independent.
-        """
-        parsed = self._parse_batched(records)
-        sessions = _sessions_by_key(parsed)
-        partitions: list[list[list[ParsedLog]]] = [
-            [] for _ in range(self.detector_shards)
-        ]
-        for key, events in sessions.items():
-            if len(events) < self.config.min_window_events:
-                continue
-            partitions[_shard_of(key, self.detector_shards)].append(events)
-        for shard, partition in enumerate(partitions):
-            if not partition:
-                raise ValueError(
-                    f"detector shard {shard} received no training sessions; "
-                    "use fewer shards or more training data"
-                )
-        self.detectors = list(self.executor.map(
-            _fit_shard, list(zip(self.detectors, partitions))
-        ))
-        self._trained = True
+        self._pipeline.fit(records)
         return self
-
-    # -- running -------------------------------------------------------------------
-
-    def _detect_keyed(
-        self, keyed_sessions: list[tuple[str, list[ParsedLog]]]
-    ) -> list[DetectionResult]:
-        """Detection results for (key, events) pairs, in input order.
-
-        Sessions group by detector shard and the shard groups score
-        concurrently; each shard sees its own sessions in input order,
-        so results are executor-independent even for stateful
-        detectors.  ``detect`` itself is read-only on every shipped
-        detector, which is what makes concurrent scoring safe alongside
-        in-place shard state.
-        """
-        shards = self.detector_shards
-        shard_of = [_shard_of(key, shards) for key, _ in keyed_sessions]
-        groups: list[list[list[ParsedLog]]] = [[] for _ in range(shards)]
-        for (_, events), shard in zip(keyed_sessions, shard_of):
-            groups[shard].append(events)
-        busy = [shard for shard in range(shards) if groups[shard]]
-        outcomes = self.executor.map(
-            _detect_shard,
-            [(self.detectors[shard], groups[shard]) for shard in busy],
-        )
-        per_shard = {shard: iter(results)
-                     for shard, results in zip(busy, outcomes)}
-        return [next(per_shard[shard]) for shard in shard_of]
 
     def score_sessions(
         self, sessions: Iterable[list[ParsedLog]]
     ) -> list[ClassifiedAlert]:
-        """Detect, report, classify, and deliver closed windows.
-
-        The single scoring routine behind :meth:`run` and
-        :class:`~repro.core.streaming.StreamingShardedMoniLog`.
-        Detection fans out per shard; report numbering, classification,
-        and pool delivery run on the calling thread in window order, so
-        alert identity and order never depend on the executor.
-        """
-        if not self._trained:
-            raise RuntimeError("ShardedMoniLog.train() must run before scoring")
-        keyed = [
-            (_session_key(events), events)
-            for events in sessions
-            if len(events) >= self.config.min_window_events
-        ]
-        results = self._detect_keyed(keyed)
-        alerts: list[ClassifiedAlert] = []
-        for (key, events), result in zip(keyed, results):
-            if not result.anomalous:
-                continue
-            report = AnomalyReport(
-                report_id=self._report_counter,
-                session_id=key,
-                events=tuple(events),
-                detection=result,
-            )
-            self._report_counter += 1
-            alerts.append(self.pools.deliver(self.classifier.classify(report)))
-        return alerts
+        return self._pipeline.score_sessions(sessions)
 
     def run(self, records: Iterable[LogRecord]) -> Iterator[ClassifiedAlert]:
-        """Process a record stream; yields the classified alerts.
-
-        Parsing and detection are batched across shards (and therefore
-        eager); alerts yield in session first-seen order, identical
-        under every executor and batch size.
-        """
-        if not self._trained:
-            raise RuntimeError("ShardedMoniLog.train() must run before run()")
-        parsed = self._parse_batched(records)
-        yield from self.score_sessions(_sessions_by_key(parsed).values())
+        # The offline path explicitly: a streaming facade wrapping this
+        # system must not change run()'s whole-stream windowing.
+        return self._pipeline.run_offline(records)
 
     def run_all(self, records: Iterable[LogRecord]) -> list[ClassifiedAlert]:
-        return list(self.run(records))
-
-    # -- measurement -----------------------------------------------------------------
+        return list(self._pipeline.run_offline(records))
 
     def consistency_with(
         self,
         reference_verdicts: dict[str, bool],
         records: Iterable[LogRecord],
     ) -> float:
-        """Fraction of sessions where this runtime agrees with a reference.
-
-        ``reference_verdicts`` maps session id → anomalous from a
-        single-instance run over the same records.
-
-        Measurement is strictly read-only: records parse through a
-        *snapshot* of the shard parsers (the live Drain trees learn
-        nothing from the probe), detection uses the shards'
-        side-effect-free ``detect``, and nothing is reported, numbered,
-        classified, or delivered — pool contents and the report counter
-        are untouched afterwards.
-        """
-        if not self._trained:
-            raise RuntimeError(
-                "ShardedMoniLog.train() must run before consistency_with()"
-            )
-        parser = copy.deepcopy(self.parser)
-        parsed = parse_in_batches(parser, records, self.batch_size)
-        keyed = [
-            (key, events)
-            for key, events in _sessions_by_key(parsed).items()
-            if len(events) >= self.config.min_window_events
-        ]
-        results = self._detect_keyed(keyed)
-        flagged = {
-            key
-            for (key, _), result in zip(keyed, results)
-            if result.anomalous
-        }
-        if not reference_verdicts:
-            return 1.0
-        agreements = sum(
-            1
-            for session_id, verdict in reference_verdicts.items()
-            if (session_id in flagged) == verdict
-        )
-        return agreements / len(reference_verdicts)
+        return self._pipeline.consistency_with(reference_verdicts, records)

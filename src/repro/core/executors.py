@@ -46,6 +46,7 @@ import sys
 from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor as _FuturesThreadPool
 from typing import Any
+from repro.api.registry import register_component
 
 #: Environment variable naming the default executor (see
 #: :func:`default_executor_name`).
@@ -113,6 +114,7 @@ class ShardExecutor:
         return f"{type(self).__name__}()"
 
 
+@register_component("executor", "serial")
 class SerialExecutor(ShardExecutor):
     """Run every task inline, in order — the reference executor."""
 
@@ -125,6 +127,7 @@ class SerialExecutor(ShardExecutor):
         return [function(task) for task in tasks]
 
 
+@register_component("executor", "thread")
 class ThreadedExecutor(ShardExecutor):
     """Fan tasks out over a lazily-built thread pool.
 
@@ -168,6 +171,7 @@ class ThreadedExecutor(ShardExecutor):
             self._pool = None
 
 
+@register_component("executor", "process")
 class ProcessExecutor(ShardExecutor):
     """Fan tasks out over a lazily-built ``multiprocessing`` pool.
 

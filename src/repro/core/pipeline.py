@@ -1,56 +1,49 @@
-"""The MoniLog pipeline: parse → detect → classify (Fig. 1).
+"""The MoniLog pipeline facade (Fig. 1) — now a deprecated shim.
 
-:class:`MoniLog` wires the three stages over a multi-source log
-stream:
+The orchestration that used to live here (parse → detect → classify,
+two-phase train/run, the batched fast path) moved into the unified
+:class:`repro.api.pipeline.Pipeline`, which composes the same stages
+from a :class:`~repro.api.spec.PipelineSpec`.  :class:`MoniLog`
+survives as a thin delegating shim so existing scripts keep working —
+construction emits a :class:`DeprecationWarning`, and every method
+forwards to an internally-held ``Pipeline`` built from the equivalent
+spec, so outputs are byte-identical to the old implementation (proven
+by ``tests/test_api_parity.py``).
 
-1. a streaming parser structures records into
-   :class:`~repro.logs.record.ParsedLog` events;
-2. windows of the structured stream go through an anomaly detector,
-   producing :class:`~repro.core.reports.AnomalyReport` objects;
-3. the report stream is classified into pools with criticalities,
-   learning passively from admin actions on the attached
-   :class:`~repro.classify.pools.PoolManager`.
+Migrate::
 
-Usage is two-phase, matching deployment: :meth:`train` consumes a
-(normal-dominated) historical stream to fit the detector, then
-:meth:`run` processes live records and yields classified alerts.
+    # before                               # after
+    system = MoniLog(config=cfg)           pipeline = Pipeline.from_spec(spec)
+    system.train(history)                  pipeline.fit(history)
+    alerts = system.run_all(live)          alerts = pipeline.run_all(live)
+    system.process_batch(live)             pipeline.process(live)
+    system.stats.records_parsed            pipeline.stats().records_parsed
 
-:meth:`process_batch` is the batched fast path: it accepts a finite
-record list, feeds the parser micro-batches through
-:meth:`~repro.parsing.base.Parser.parse_batch` (activating the
-exact-match template cache and intra-batch dedup), and returns exactly
-the alerts :meth:`run` would yield over the same records — same
-sessions, same order, same classifications.  Both entry points share
-one window-scoring routine, so parity is structural, not coincidental.
+:class:`PipelineStats` still lives here — it is the counters object
+both the new and the legacy surface expose.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Iterable, Iterator
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.classify.classifier import AnomalyClassifier
-from repro.classify.pools import PoolManager
-from repro.core.calibration import DEFAULT_GRIDS, AutoCalibrator
 from repro.core.config import MoniLogConfig
-from repro.core.reports import AnomalyReport, ClassifiedAlert
+from repro.core.reports import ClassifiedAlert
 from repro.detection.base import Detector
-from repro.detection.deeplog import DeepLogDetector
-from repro.detection.windows import sessions_from_parsed, sliding_windows
 from repro.logs.record import LogRecord, ParsedLog
-from repro.parsing.base import Parser, parse_in_batches
-from repro.parsing.drain import DrainParser
-from repro.parsing.masking import default_masker, no_masker
+from repro.parsing.base import Parser
 
 
 @dataclass
 class PipelineStats:
-    """Counters MoniLog keeps while running (Fig. 1 bench rows)."""
+    """Counters the pipeline keeps while running (Fig. 1 bench rows)."""
 
     records_parsed: int = 0
     #: Current size of the parser's template inventory.  Refreshed by
     #: every parsing path — training *and* inference — so templates
-    #: discovered online during ``run``/``process_batch``/streaming
+    #: discovered online during ``run``/``process``/streaming
     #: operation show up here, not just the training-time count.
     templates_discovered: int = 0
     windows_scored: int = 0
@@ -58,19 +51,27 @@ class PipelineStats:
     alerts_classified: int = 0
 
 
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; build a repro.api.Pipeline from a "
+        f"PipelineSpec instead ({new}; see docs/api.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class MoniLog:
-    """The three-stage anomaly detection system.
+    """Deprecated shim over :class:`repro.api.pipeline.Pipeline`.
+
+    The legacy three-stage facade: single parser instance, single
+    detector, offline windowing.  Equivalent spec::
+
+        PipelineSpec()  # with masking/windowing/... from MoniLogConfig
 
     Args:
-        parser: stage-1 template miner; defaults to Drain (the paper's
-            §IV pick), configured per ``config``.
+        parser: stage-1 template miner; defaults to Drain per config.
         detector: stage-2 anomaly detector; defaults to DeepLog.
-        config: pipeline configuration; see
-            :class:`~repro.core.config.MoniLogConfig`.
-
-    The pool manager and classifier are always constructed and exposed
-    so callers can create pools and attach admin simulators before or
-    during a run.
+        config: legacy pipeline configuration.
     """
 
     def __init__(
@@ -79,168 +80,77 @@ class MoniLog:
         detector: Detector | None = None,
         config: MoniLogConfig | None = None,
     ) -> None:
+        _deprecated("MoniLog", "Pipeline.from_spec(PipelineSpec(...))")
+        from repro.api.pipeline import Pipeline
+        from repro.api.spec import PipelineSpec
+
         self.config = config or MoniLogConfig()
-        if parser is None:
-            parser = DrainParser(
-                masker=default_masker() if self.config.use_masking else no_masker(),
-                extract_structured=self.config.extract_structured,
-            )
-        self.parser = parser
-        self.detector = detector if detector is not None else DeepLogDetector()
-        self.pools = PoolManager()
-        self.classifier = AnomalyClassifier().attach(self.pools)
-        self.stats = PipelineStats()
-        self._trained = False
-        self._report_counter = 0
-
-    # -- stage 1 ---------------------------------------------------------------
-
-    def maybe_calibrate(self, sample: list[LogRecord]) -> None:
-        """Replace the parser after a calibration sweep, if configured.
-
-        Implements the acquire → calibrate → parse flow for Drain; only
-        meaningful before any parsing happened.
-        """
-        if not self.config.auto_calibrate:
-            return
-        if not isinstance(self.parser, DrainParser):
-            raise ValueError(
-                "auto-calibration is wired for DrainParser; pass a "
-                "calibrated parser explicitly for other algorithms"
-            )
-        masker = self.parser.masker
-        extract = self.parser.extract_structured
-
-        def factory(**parameters) -> Parser:
-            return DrainParser(
-                masker=masker, extract_structured=extract, **parameters
-            )
-
-        calibrator = AutoCalibrator(factory, DEFAULT_GRIDS["drain"])
-        self.parser = calibrator.calibrated_parser(
-            sample[: self.config.calibration_sample]
+        self._pipeline = Pipeline(
+            PipelineSpec.from_config(self.config),
+            parser=parser,
+            detector=detector,
         )
 
-    def _parse(self, records: Iterable[LogRecord]) -> Iterator[ParsedLog]:
-        for record in records:
-            parsed = self.parser.parse_record(record)
-            self.stats.records_parsed += 1
-            yield parsed
+    # -- delegation -------------------------------------------------------------
 
-    def _window(self, parsed: Iterable[ParsedLog]) -> Iterator[list[ParsedLog]]:
-        if self.config.windowing == "session":
-            # Session windowing must see the whole stream before
-            # closing sessions; materializing per-session lists is the
-            # batch equivalent of a session-timeout flush.
-            for session in sessions_from_parsed(parsed).values():
-                yield session
-        else:
-            yield from sliding_windows(parsed, self.config.window_size)
+    @property
+    def parser(self) -> Parser:
+        return self._pipeline.parser
 
-    # -- training ---------------------------------------------------------------
+    @parser.setter
+    def parser(self, parser: Parser) -> None:
+        self._pipeline.parser = parser
+
+    @property
+    def detector(self) -> Detector:
+        return self._pipeline.detector
+
+    @property
+    def pools(self):
+        return self._pipeline.pools
+
+    @property
+    def classifier(self):
+        return self._pipeline.classifier
+
+    @property
+    def stats(self) -> PipelineStats:
+        return self._pipeline.stats()
+
+    @property
+    def _trained(self) -> bool:
+        return self._pipeline._trained
+
+    @property
+    def _report_counter(self) -> int:
+        return self._pipeline._report_counter
+
+    def maybe_calibrate(self, sample: list[LogRecord]) -> None:
+        self._pipeline.maybe_calibrate(sample)
 
     def train(
         self,
         records: Iterable[LogRecord],
         labels_by_session: dict[str, bool] | None = None,
     ) -> "MoniLog":
-        """Fit the detector on a historical stream.
-
-        ``labels_by_session`` provides anomaly labels for supervised
-        detectors (LogRobust); unsupervised detectors ignore them.
-        """
-        record_list = list(records)
-        self.maybe_calibrate(record_list)
-        # Training materializes the stream anyway, so it always takes
-        # the batched parse path (identical output to a per-record
-        # loop; see Parser.parse_batch).
-        parsed = self.parser.parse_batch(record_list)
-        self.stats.records_parsed += len(parsed)
-        windows = list(self._window(parsed))
-        windows = [
-            window
-            for window in windows
-            if len(window) >= self.config.min_window_events
-        ]
-        labels: list[bool] | None = None
-        if labels_by_session is not None:
-            labels = [
-                labels_by_session.get(window[0].session_id or "", False)
-                for window in windows
-            ]
-        self.detector.fit(windows, labels)
-        self.stats.templates_discovered = self.parser.template_count
-        self._trained = True
+        self._pipeline.fit(records, labels_by_session)
         return self
 
-    # -- running -----------------------------------------------------------------
-
     def _score_window(self, window: list[ParsedLog]) -> ClassifiedAlert | None:
-        """Detect + classify one closed window; None when not alerted.
-
-        The single scoring routine behind :meth:`run` and
-        :meth:`process_batch` — both paths produce identical alerts
-        because both call this.
-        """
-        if len(window) < self.config.min_window_events:
-            return None
-        self.stats.windows_scored += 1
-        result = self.detector.detect(window)
-        if not result.anomalous:
-            return None
-        self.stats.anomalies_detected += 1
-        report = AnomalyReport(
-            report_id=self._report_counter,
-            session_id=window[0].session_id or f"window-{self.stats.windows_scored}",
-            events=tuple(window),
-            detection=result,
-        )
-        self._report_counter += 1
-        alert = self.classifier.classify(report)
-        alert = self.pools.deliver(alert)
-        self.stats.alerts_classified += 1
-        return alert
+        return self._pipeline._score_window(window)
 
     def run(self, records: Iterable[LogRecord]) -> Iterator[ClassifiedAlert]:
-        """Process a stream; yields classified alerts as windows close."""
-        if not self._trained:
-            raise RuntimeError("MoniLog.train() must run before run()")
-        parsed = self._parse(records)
-        try:
-            for window in self._window(parsed):
-                alert = self._score_window(window)
-                if alert is not None:
-                    yield alert
-        finally:
-            # Inference discovers templates too; keep the stat current
-            # even when the caller abandons the generator early.
-            self.stats.templates_discovered = self.parser.template_count
+        # The offline path explicitly: a streaming facade wrapping this
+        # system must not change run()'s whole-stream windowing.
+        return self._pipeline.run_offline(records)
 
     def run_all(self, records: Iterable[LogRecord]) -> list[ClassifiedAlert]:
-        """Materialized :meth:`run`, for scripts and tests."""
-        return list(self.run(records))
+        return list(self._pipeline.run_offline(records))
 
     def process_batch(
         self,
         records: Iterable[LogRecord],
         batch_size: int | None = None,
     ) -> list[ClassifiedAlert]:
-        """Batched fast path over a finite record list.
-
-        Parses ``records`` in micro-batches of ``batch_size`` (default:
-        one batch for the whole list) through the parser's amortized
-        :meth:`~repro.parsing.base.Parser.parse_batch`, then windows and
-        scores exactly like :meth:`run`.  Alerts are identical to
-        ``run_all(records)`` — same sessions, order, criticalities.
-        """
-        if not self._trained:
-            raise RuntimeError("MoniLog.train() must run before process_batch()")
-        parsed = parse_in_batches(self.parser, records, batch_size)
-        self.stats.records_parsed += len(parsed)
-        self.stats.templates_discovered = self.parser.template_count
-        alerts = []
-        for window in self._window(parsed):
-            alert = self._score_window(window)
-            if alert is not None:
-                alerts.append(alert)
-        return alerts
+        # Legacy default: one parse batch for the whole record list.
+        return self._pipeline.process_offline(records, batch_size)

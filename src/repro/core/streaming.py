@@ -1,52 +1,44 @@
 """Real-time streaming runtime: record in, alerts out.
 
-:class:`repro.core.pipeline.MoniLog` materializes sessions per call,
-which suits experiments; a deployed MoniLog must emit alerts *while
-the stream flows* (the paper's real-time requirement).  This module
-adds the missing pieces:
+Two durable pieces live here:
 
 * :class:`StreamingSessionizer` — incremental session windowing with
   an idle timeout: a session closes (and is released downstream) when
   no event arrives for ``session_timeout`` seconds of *stream time*,
   or when it reaches ``max_session_events``.  Memory stays bounded by
-  the number of concurrently open sessions.
-* :class:`StreamingMoniLog` — wraps a *trained* pipeline and exposes
-  ``process(record) -> list[ClassifiedAlert]``: feed records as they
-  arrive, collect alerts the moment their session closes, ``flush()``
-  at shutdown.
-* :class:`StreamingShardedMoniLog` — the same façade over a trained
-  :class:`~repro.core.distributed.ShardedMoniLog`: micro-batches parse
-  across the parser shards concurrently, closed sessions score across
-  the detector shards concurrently, and alert identity and order stay
-  executor-independent.
+  the number of concurrently open sessions.  This is the component the
+  unified :class:`repro.api.pipeline.Pipeline` installs in streaming
+  mode (registered as sessionizer ``"streaming"``).
 * :class:`BatchHandoff` — the thread-safe hand-off point between an
-  asynchronous ingestion front-end (:mod:`repro.ingest`) and either
-  streaming façade, with a live queue-depth signal the front-end's
+  asynchronous ingestion front-end (:mod:`repro.ingest`) and any
+  streaming pipeline, with a live queue-depth signal the front-end's
   credit-based back-pressure keys off.
 
-For high-throughput ingestion, ``process_batch(records)`` is the
-amortized entry point: a micro-batch is parsed in one
-:meth:`~repro.parsing.base.Parser.parse_batch` call (template cache +
-intra-batch dedup), then pushed through the sessionizer event by
-event.  Because parsing never reads sessionizer state and
-sessionization never feeds back into the parser, batch-then-push
-yields exactly the alerts a ``process()`` loop would, in the same
-order.
+The two facades that used to orchestrate streaming —
+:class:`StreamingMoniLog` and :class:`StreamingShardedMoniLog` — are
+now thin deprecated shims: the unified ``Pipeline`` provides the same
+record-at-a-time operation (``spec.streaming=True`` or
+``pipeline.stream()``), with byte-identical alerts in identical order
+(report numbering and the fallback window ids of unsessioned bursts
+come from the same scoring routine as the batch paths, by
+construction).
 """
 
 from __future__ import annotations
 
 import threading
+import warnings
 from collections import OrderedDict
 from collections.abc import Iterable, Iterator
 
+from repro.api.registry import register_component
 from repro.core.distributed import ShardedMoniLog
 from repro.core.pipeline import MoniLog
 from repro.core.reports import ClassifiedAlert
 from repro.logs.record import LogRecord, ParsedLog
-from repro.parsing.base import parse_in_batches
 
 
+@register_component("sessionizer", "streaming")
 class StreamingSessionizer:
     """Incremental session windowing with idle timeout.
 
@@ -144,22 +136,25 @@ class StreamingSessionizer:
         return remaining
 
 
+def _streaming_shim_warning(old: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; build a repro.api.Pipeline with "
+        "spec.streaming=True (or call pipeline.stream()) instead "
+        "(see docs/api.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class StreamingMoniLog:
-    """Record-at-a-time façade over a trained :class:`MoniLog`.
+    """Deprecated shim: record-at-a-time facade over a trained system.
 
-    The wrapped pipeline supplies the parser, detector, classifier,
-    pool manager, *and the scoring routine* — closed sessions go
-    through :meth:`MoniLog._score_window`, the same code path
-    ``run``/``process_batch`` use, so report numbering and the
-    fallback window ids of unsessioned bursts are identical between
-    batch and streaming operation by construction.
-
-    >>> system = MoniLog().train(history)          # doctest: +SKIP
-    >>> live = StreamingMoniLog(system, session_timeout=10.0)
-    >>> for record in tail_the_stream():           # doctest: +SKIP
-    ...     for alert in live.process(record):
-    ...         page_someone(alert)
-    >>> live.flush()                               # doctest: +SKIP
+    Equivalent: a :class:`~repro.api.pipeline.Pipeline` with
+    ``spec.streaming=True`` (or ``pipeline.stream()`` after fitting).
+    The shim arms streaming mode on the wrapped system's underlying
+    pipeline, so report numbering continues seamlessly across the
+    wrapped system's batch and streaming operation — exactly the
+    legacy behavior.
     """
 
     def __init__(
@@ -168,91 +163,50 @@ class StreamingMoniLog:
         session_timeout: float = 30.0,
         max_session_events: int = 1000,
     ) -> None:
+        _streaming_shim_warning("StreamingMoniLog")
         if not system._trained:
             raise RuntimeError(
                 "StreamingMoniLog wraps a trained MoniLog; call train() first"
             )
         self.system = system
-        self.sessionizer = StreamingSessionizer(
+        self._pipeline = system._pipeline
+        self._pipeline.stream(
             session_timeout=session_timeout,
             max_session_events=max_session_events,
         )
 
-    def _score(self, session: list[ParsedLog]) -> ClassifiedAlert | None:
-        return self.system._score_window(session)
+    @property
+    def sessionizer(self) -> StreamingSessionizer:
+        return self._pipeline.sessionizer
 
     def process(self, record: LogRecord) -> list[ClassifiedAlert]:
         """Feed one record; return alerts for sessions it closed."""
-        parsed = self.system.parser.parse_record(record)
-        stats = self.system.stats
-        stats.records_parsed += 1
-        stats.templates_discovered = self.system.parser.template_count
-        alerts = []
-        for session in self.sessionizer.push(parsed):
-            alert = self._score(session)
-            if alert is not None:
-                alerts.append(alert)
-        return alerts
+        return self._pipeline.process_record(record)
 
     def process_batch(self, records: Iterable[LogRecord]) -> list[ClassifiedAlert]:
-        """Feed a micro-batch; return alerts for sessions it closed.
-
-        Equivalent to ``[a for r in records for a in self.process(r)]``
-        — identical alerts in identical order — but the whole batch is
-        parsed in one amortized :meth:`Parser.parse_batch` call before
-        sessionization.
-        """
-        records = list(records)
-        parsed = self.system.parser.parse_batch(records)
-        stats = self.system.stats
-        stats.records_parsed += len(parsed)
-        stats.templates_discovered = self.system.parser.template_count
-        alerts = []
-        for event in parsed:
-            for session in self.sessionizer.push(event):
-                alert = self._score(session)
-                if alert is not None:
-                    alerts.append(alert)
-        return alerts
+        """Feed a micro-batch; return alerts for sessions it closed."""
+        return self._pipeline.process(records, batch_size=None)
 
     def process_stream(
         self, records: Iterable[LogRecord]
     ) -> Iterator[ClassifiedAlert]:
         """Generator form of :meth:`process` + terminal :meth:`flush`."""
-        for record in records:
-            yield from self.process(record)
-        yield from self.flush()
+        return self._pipeline.run(records)
 
     def flush(self) -> list[ClassifiedAlert]:
         """Close all open sessions and score them (stream shutdown)."""
-        alerts = []
-        for session in self.sessionizer.flush():
-            alert = self._score(session)
-            if alert is not None:
-                alerts.append(alert)
-        return alerts
+        return self._pipeline.flush()
 
 
 class StreamingShardedMoniLog:
-    """Record-at-a-time façade over a trained :class:`ShardedMoniLog`.
+    """Deprecated shim: record-at-a-time facade over a trained
+    :class:`~repro.core.distributed.ShardedMoniLog`.
 
-    Combines the two scalability levers: micro-batches drain into the
-    parser shards concurrently (one routed
-    :meth:`~repro.parsing.distributed.DistributedDrain.parse_batch`
-    per ``batch_size`` slice, shard sub-batches side by side on the
-    system's executor), and the sessions a batch closes score across
-    the detector shards concurrently via
-    :meth:`ShardedMoniLog.score_sessions`.  Sessionization sits between
-    the two stages on the calling thread, so alert identity and order
-    match a record-at-a-time loop exactly, under every executor.
-
-    Args:
-        system: a *trained* sharded runtime; supplies parser shards,
-            detector shards, classifier, pools, and the executor.
-        session_timeout / max_session_events: see
-            :class:`StreamingSessionizer`.
-        batch_size: micro-batch size for :meth:`process_batch`;
-            defaults to the system's ``batch_size``.
+    Equivalent: a sharded :class:`~repro.api.pipeline.Pipeline`
+    (``spec.shards > 0``) with streaming armed.  Micro-batches parse
+    across the parser shards concurrently and closed sessions score
+    across the detector shards concurrently; alert identity and order
+    stay executor-independent.
     """
 
     def __init__(
@@ -262,6 +216,7 @@ class StreamingShardedMoniLog:
         max_session_events: int = 1000,
         batch_size: int | None = None,
     ) -> None:
+        _streaming_shim_warning("StreamingShardedMoniLog")
         if not system._trained:
             raise RuntimeError(
                 "StreamingShardedMoniLog wraps a trained ShardedMoniLog; "
@@ -271,44 +226,33 @@ class StreamingShardedMoniLog:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.system = system
         self.batch_size = batch_size or system.batch_size
-        self.sessionizer = StreamingSessionizer(
+        self._pipeline = system._pipeline
+        self._pipeline.stream(
             session_timeout=session_timeout,
             max_session_events=max_session_events,
         )
 
+    @property
+    def sessionizer(self) -> StreamingSessionizer:
+        return self._pipeline.sessionizer
+
     def process(self, record: LogRecord) -> list[ClassifiedAlert]:
         """Feed one record; return alerts for sessions it closed."""
-        parsed = self.system.parser.parse_record(record)
-        closed = self.sessionizer.push(parsed)
-        return self.system.score_sessions(closed) if closed else []
+        return self._pipeline.process_record(record)
 
     def process_batch(self, records: Iterable[LogRecord]) -> list[ClassifiedAlert]:
-        """Feed a micro-batch; return alerts for sessions it closed.
-
-        The batch parses ``batch_size`` records at a time across the
-        parser shards, events push through the sessionizer in delivery
-        order, and every session the batch closes scores in one
-        concurrent :meth:`ShardedMoniLog.score_sessions` call — in
-        close order, so output equals a :meth:`process` loop exactly.
-        """
-        parsed = parse_in_batches(self.system.parser, records, self.batch_size)
-        closed: list[list[ParsedLog]] = []
-        for event in parsed:
-            closed.extend(self.sessionizer.push(event))
-        return self.system.score_sessions(closed) if closed else []
+        """Feed a micro-batch; return alerts for sessions it closed."""
+        return self._pipeline.process(records, batch_size=self.batch_size)
 
     def process_stream(
         self, records: Iterable[LogRecord]
     ) -> Iterator[ClassifiedAlert]:
         """Generator form of :meth:`process` + terminal :meth:`flush`."""
-        for record in records:
-            yield from self.process(record)
-        yield from self.flush()
+        return self._pipeline.run(records)
 
     def flush(self) -> list[ClassifiedAlert]:
         """Close all open sessions and score them (stream shutdown)."""
-        closed = self.sessionizer.flush()
-        return self.system.score_sessions(closed) if closed else []
+        return self._pipeline.flush()
 
 
 class BatchHandoff:
@@ -318,10 +262,10 @@ class BatchHandoff:
     submitted from executor threads while readers keep filling buffers
     on the loop.  This class is the boundary object between the two
     worlds.  It delegates to the wrapped pipeline's ``process_batch``
-    and ``flush`` and maintains a **depth signal** — records submitted
-    but not yet fully processed — that producers read to decide how
-    hard to push (the credit gate sizes itself against exactly this
-    window).
+    (or ``process``) and ``flush`` and maintains a **depth signal** —
+    records submitted but not yet fully processed — that producers
+    read to decide how hard to push (the credit gate sizes itself
+    against exactly this window).
 
     Depth accounting is thread-safe; the *pipeline* is not expected to
     be.  Callers must serialize ``submit`` calls (the ingestion
@@ -332,6 +276,8 @@ class BatchHandoff:
 
     def __init__(self, pipeline) -> None:
         self.pipeline = pipeline
+        submit = getattr(pipeline, "process_batch", None)
+        self._submit = submit if submit is not None else pipeline.process
         self._lock = threading.Lock()
         self._depth = 0
         self._in_flight = 0
@@ -357,7 +303,7 @@ class BatchHandoff:
             self._in_flight += 1
             self.peak_depth = max(self.peak_depth, self._depth)
         try:
-            return self.pipeline.process_batch(records)
+            return self._submit(records)
         finally:
             with self._lock:
                 self._depth -= len(records)

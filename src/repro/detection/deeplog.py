@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_component
 from repro.detection.base import (
     DetectionResult,
     Detector,
@@ -146,6 +147,7 @@ class _GaussianValueModel:
         return bool((deviation > self.sigmas).any())
 
 
+@register_component("detector", "deeplog")
 class DeepLogDetector(Detector):
     """The two-headed DeepLog detector.
 

@@ -21,6 +21,7 @@ from fractions import Fraction
 
 import numpy as np
 
+from repro.api.registry import register_component
 from repro.detection.base import DetectionResult, Detector, Session
 from repro.detection.count_vector import CountVectorizer
 
@@ -44,6 +45,7 @@ class Invariant:
         )
 
 
+@register_component("detector", "invariants")
 class InvariantMiningDetector(Detector):
     """The linear-invariant detector.
 

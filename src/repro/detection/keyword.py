@@ -18,6 +18,7 @@ from __future__ import annotations
 import re
 from collections.abc import Iterable
 
+from repro.api.registry import register_component
 from repro.detection.base import DetectionResult, Detector, Session
 from repro.logs.record import Severity
 
@@ -28,6 +29,7 @@ DEFAULT_KEYWORDS: tuple[str, ...] = (
 )
 
 
+@register_component("detector", "keyword")
 class KeywordMatchDetector(Detector):
     """Flag sessions containing alarm keywords or high-severity events.
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_component
 from repro.detection.base import DetectionResult, Detector, Session
 from repro.detection.count_vector import CountVectorizer
 
@@ -28,6 +29,7 @@ def _cosine_distance(left: np.ndarray, right: np.ndarray) -> float:
     return 1.0 - float(left @ right) / (norm_left * norm_right)
 
 
+@register_component("detector", "logclustering")
 class LogClusteringDetector(Detector):
     """The knowledge-base clustering detector.
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_component
 from repro.detection.base import (
     DetectionResult,
     Detector,
@@ -65,6 +66,7 @@ class _DualHeadModel(Module):
         self.count_lstm.backward_last(self.count_head.backward(grad_count))
 
 
+@register_component("detector", "loganomaly")
 class LogAnomalyDetector(Detector):
     """The template2vec dual-head detector.
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_component
 from repro.detection.base import DetectionResult, Detector, Session
 from repro.detection.semantics import SemanticVectorizer
 from repro.nn.attention import AdditiveAttention
@@ -49,6 +50,7 @@ class _AttentionBiLstm(Module):
         self.bilstm.backward(grad_states)
 
 
+@register_component("detector", "logrobust")
 class LogRobustDetector(Detector):
     """The attention-BiLSTM session classifier.
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections import Counter
 
+from repro.api.registry import register_component
 from repro.detection.base import (
     DetectionResult,
     Detector,
@@ -30,6 +31,7 @@ _START = -1
 _END = -2
 
 
+@register_component("detector", "markov")
 class MarkovDetector(Detector):
     """First-order template-transition detector.
 

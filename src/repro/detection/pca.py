@@ -16,10 +16,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_component
 from repro.detection.base import DetectionResult, Detector, Session
 from repro.detection.count_vector import CountVectorizer
 
 
+@register_component("detector", "pca")
 class PcaDetector(Detector):
     """The residual-subspace detector.
 

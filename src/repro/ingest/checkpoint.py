@@ -18,6 +18,19 @@ operator has already seen.  Two pieces cooperate:
 Offset semantics are per source kind: byte position after the record's
 line for file tails, a monotone record count for socket streams and
 adapted in-memory sources.
+
+A byte offset alone cannot tell *which file* it refers to: a log
+rotated to a fresh file of the same (or larger) size, or rewritten in
+place, would accept a stale offset and resume mid-way through
+unrelated content.  Sources that can identify their backing file
+therefore store a **file signature** next to the offset — inode/device
+plus a hash of the file's first bytes (see
+:meth:`~repro.ingest.sources.FileTailSource.signature`).  On resume
+the source compares signatures: an inode change is a rotation, a
+same-inode head-hash change is an in-place rewrite/truncation, and
+either restarts tailing from the top instead of trusting the stale
+offset.  Checkpoints written before signatures existed (plain integer
+values) still load and resume by offset alone.
 """
 
 from __future__ import annotations
@@ -75,11 +88,18 @@ class OffsetTracker:
 
 
 class CheckpointStore:
-    """Atomic JSON persistence of per-source committed offsets."""
+    """Atomic JSON persistence of per-source committed offsets.
+
+    Entry format on disk: a plain integer (offset only — the legacy
+    layout, still written for signature-less sources) or an object
+    ``{"offset": N, "signature": {...}}`` when the source supplied a
+    file signature with its last commit.
+    """
 
     def __init__(self, path: str | os.PathLike) -> None:
         self.path = Path(path)
         self._offsets: dict[str, int] = {}
+        self._signatures: dict[str, dict] = {}
         self._dirty = False
         if self.path.exists():
             try:
@@ -92,16 +112,38 @@ class CheckpointStore:
                 raise ValueError(
                     f"checkpoint file {self.path} must hold a JSON object"
                 )
-            self._offsets = {str(name): int(offset)
-                             for name, offset in loaded.items()}
+            for name, entry in loaded.items():
+                if isinstance(entry, dict):
+                    self._offsets[str(name)] = int(entry.get("offset", 0))
+                    signature = entry.get("signature")
+                    if isinstance(signature, dict):
+                        self._signatures[str(name)] = signature
+                else:
+                    self._offsets[str(name)] = int(entry)
 
     def get(self, source: str) -> int:
         """Committed offset for ``source`` (0 when never checkpointed)."""
         return self._offsets.get(source, 0)
 
-    def update(self, source: str, offset: int) -> None:
-        """Record a new committed offset (no-op unless it advanced)."""
-        if self._offsets.get(source, 0) != offset:
+    def get_signature(self, source: str) -> dict | None:
+        """The file signature stored with the offset, if any."""
+        return self._signatures.get(source)
+
+    def update(self, source: str, offset: int,
+               signature: dict | None = None) -> None:
+        """Record a new committed offset (no-op unless something changed).
+
+        ``signature=None`` means "no identity available right now" —
+        e.g. the tailed file is mid-rotation — not "forget the
+        identity": the stored signature is kept, so a commit that
+        lands in the rotation window cannot silently disable the
+        stale-offset protection for the next resume.
+        """
+        changed = self._offsets.get(source, 0) != offset
+        if signature is not None and self._signatures.get(source) != signature:
+            self._signatures[source] = signature
+            changed = True
+        if changed:
             self._offsets[source] = offset
             self._dirty = True
 
@@ -109,9 +151,16 @@ class CheckpointStore:
         """Persist atomically; cheap no-op when nothing changed."""
         if not self._dirty:
             return
+        payload: dict[str, object] = {}
+        for name, offset in self._offsets.items():
+            signature = self._signatures.get(name)
+            payload[name] = (
+                offset if signature is None
+                else {"offset": offset, "signature": signature}
+            )
         temporary = self.path.with_name(self.path.name + ".tmp")
         temporary.write_text(
-            json.dumps(self._offsets, indent=0, sort_keys=True),
+            json.dumps(payload, indent=0, sort_keys=True),
             encoding="utf-8",
         )
         os.replace(temporary, self.path)

@@ -125,6 +125,8 @@ class IngestService:
         if len(set(names)) != len(names):
             raise ValueError(f"source names must be unique, got {names}")
         self.config = config or IngestConfig()
+        self._sources_by_name = {source.name: source
+                                 for source in self.sources}
         self.handoff = (pipeline if isinstance(pipeline, BatchHandoff)
                         else BatchHandoff(pipeline))
         self.checkpoint = checkpoint
@@ -186,6 +188,13 @@ class IngestService:
         readers: list[asyncio.Task] = []
         for source in self.sources:
             start = self.checkpoint.get(source.name) if self.checkpoint else 0
+            if self.checkpoint is not None and start:
+                # Let the source veto a stale offset: a rotated or
+                # rewritten file fails its stored signature and tails
+                # from the top instead of resuming mid-file.
+                start = source.resume_offset(
+                    start, self.checkpoint.get_signature(source.name)
+                )
             tracker = OffsetTracker(start)
             self._trackers[source.name] = tracker
             readers.append(asyncio.get_running_loop().create_task(
@@ -303,11 +312,23 @@ class IngestService:
         for item in batch:
             self._trackers[item.source].note_processed(item.offset)
         if self.checkpoint is not None:
-            for name, tracker in self._trackers.items():
-                self.checkpoint.update(name, tracker.committed)
-            # File I/O per completed batch: keep it off the loop so a
-            # slow checkpoint disk never stalls the readers.
-            await loop.run_in_executor(None, self.checkpoint.save)
+            # Snapshot the commit positions on the loop (cheap), then
+            # do all the file I/O — signature stat/reads and the
+            # checkpoint write — off the loop, so slow storage never
+            # stalls the readers.  Batches are processed one at a
+            # time, so the store sees no concurrent access.
+            committed = {name: tracker.committed
+                         for name, tracker in self._trackers.items()}
+
+            def _commit() -> None:
+                for name, offset in committed.items():
+                    self.checkpoint.update(
+                        name, offset,
+                        self._sources_by_name[name].signature(),
+                    )
+                self.checkpoint.save()
+
+            await loop.run_in_executor(None, _commit)
         self.gate.release(len(batch))
         self._deliver(alerts)
 

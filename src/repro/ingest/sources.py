@@ -31,13 +31,33 @@ the same file offline.
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import os
 from collections.abc import AsyncIterator
 from dataclasses import dataclass
 
+from repro.api.registry import register_component
 from repro.logs.formats import LineFormat, detect_format
 from repro.logs.record import LogRecord, Severity
 from repro.logs.sources import LogSource
+
+#: Bytes of file head hashed into a checkpoint signature.  Appends
+#: never touch them, so the hash is stable across normal growth while
+#: catching rotation-with-same-size and in-place rewrites.
+_SIGNATURE_HEAD_BYTES = 256
+
+
+def _head_matches(path: str, signature: dict) -> bool:
+    """Does the on-disk head still hash to the signature's head?"""
+    length = int(signature.get("head_len", 0))
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(length) if length else b""
+    except (FileNotFoundError, PermissionError):
+        return False
+    if len(head) != length:
+        return False  # shorter than the signed head: rewritten smaller
+    return hashlib.sha1(head).hexdigest() == signature.get("head_sha1")
 
 
 @dataclass(frozen=True, slots=True)
@@ -63,12 +83,28 @@ class AsyncLogSource:
     their offsets monotone from the baseline).  Implementations stop
     iterating when the source is exhausted and not in follow mode, or
     when cancelled by the ingestion service.
+
+    Sources whose offsets refer to a mutable backing file participate
+    in checkpoint signatures: :meth:`signature` describes the current
+    backing file (stored next to the committed offset) and
+    :meth:`resume_offset` decides whether a checkpointed offset is
+    still valid for the file now on disk.  The defaults — no signature,
+    trust the offset — fit sources whose offsets are plain record
+    counts (sockets, adapted iterators).
     """
 
     name: str
 
     def items(self, start_offset: int = 0) -> AsyncIterator[SourceItem]:
         raise NotImplementedError
+
+    def signature(self) -> dict | None:
+        """Identity of the backing file as of now; ``None`` = no file."""
+        return None
+
+    def resume_offset(self, offset: int, signature: dict | None) -> int:
+        """Where to actually resume, given the checkpointed state."""
+        return offset
 
 
 class _LineConverter:
@@ -131,6 +167,7 @@ class _LineConverter:
         return record
 
 
+@register_component("source", "file")
 class FileTailSource(AsyncLogSource):
     """Follow a log file like ``tail -F``, with checkpointable offsets.
 
@@ -199,6 +236,55 @@ class FileTailSource(AsyncLogSource):
             offset = 0
         handle.seek(offset)
         return handle, offset
+
+    def signature(self) -> dict | None:
+        """Identify the file behind this tail's offsets.
+
+        ``inode``/``device`` pin the directory entry's identity;
+        ``head_sha1`` hashes the file's first ``head_len`` (≤ 256)
+        bytes, which appends never change — so the signature survives
+        normal growth but changes under rotation *and* under an
+        in-place rewrite, the two cases a byte offset alone cannot
+        see.  ``None`` while the file does not exist.
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                status = os.fstat(handle.fileno())
+                head = handle.read(_SIGNATURE_HEAD_BYTES)
+        except (FileNotFoundError, PermissionError):
+            return None
+        return {
+            "inode": status.st_ino,
+            "device": status.st_dev,
+            "head_len": len(head),
+            "head_sha1": hashlib.sha1(head).hexdigest(),
+        }
+
+    def resume_offset(self, offset: int, signature: dict | None) -> int:
+        """Validate a checkpointed offset against the file on disk.
+
+        Distinguishes the two ways a same-looking offset can lie:
+        a different inode means the file was **rotated** (counted in
+        ``rotations``), a same-inode head mismatch means it was
+        **rewritten in place** (counted in ``truncations``); both
+        restart from the top.  Without a stored signature (legacy
+        checkpoint) or with the file absent, the offset is trusted
+        as before.
+        """
+        if offset <= 0 or signature is None:
+            return offset
+        current = self.signature()
+        if current is None:
+            return offset
+        rotated = (current.get("inode"), current.get("device")) != (
+            signature.get("inode"), signature.get("device"))
+        if not rotated and _head_matches(self.path, signature):
+            return offset
+        if rotated:
+            self.rotations += 1
+        else:
+            self.truncations += 1
+        return 0
 
     def _stale(self, handle, consumed: int) -> str | None:
         """``"rotated"``/``"truncated"``/``None`` for an EOF'd handle."""
@@ -272,6 +358,7 @@ class FileTailSource(AsyncLogSource):
                 handle.close()
 
 
+@register_component("source", "socket")
 class SocketSource(AsyncLogSource):
     """Newline-delimited TCP log stream with automatic reconnect.
 
@@ -359,6 +446,7 @@ class SocketSource(AsyncLogSource):
             await asyncio.sleep(self.reconnect_delay)
 
 
+@register_component("source", "adapter")
 class AsyncSourceAdapter(AsyncLogSource):
     """Lift a synchronous :class:`LogSource` into the async world.
 

@@ -36,6 +36,7 @@ from __future__ import annotations
 import zlib
 from collections.abc import Iterable, Iterator
 
+from repro.api.registry import register_component
 from repro.core.executors import ShardExecutor, resolve_executor
 from repro.logs.record import LogRecord, ParsedLog
 from repro.parsing.drain import DrainParser
@@ -59,6 +60,7 @@ def _parse_shard(task: tuple[DrainParser, list[LogRecord]]):
     return parser, parser.parse_batch(group)
 
 
+@register_component("parser", "drain-distributed")
 class DistributedDrain:
     """A sharded Drain with template reconciliation.
 

@@ -26,6 +26,7 @@ position is either a wildcard or that sequence's token).
 
 from __future__ import annotations
 
+from repro.api.registry import register_component
 from repro.logs.record import WILDCARD
 from repro.parsing.base import MinedTemplate, OnlineParser
 from repro.parsing.masking import Masker
@@ -45,6 +46,7 @@ class _Node:
         self.clusters: list[MinedTemplate] = []
 
 
+@register_component("parser", "drain")
 class DrainParser(OnlineParser):
     """The fixed-depth-tree online parser.
 

@@ -17,11 +17,13 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 
+from repro.api.registry import register_component
 from repro.logs.record import WILDCARD
 from repro.parsing.base import BatchParser
 from repro.parsing.masking import Masker
 
 
+@register_component("parser", "iplom")
 class IplomParser(BatchParser):
     """The iterative partitioning batch miner.
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 
+from repro.api.registry import register_component
 from repro.parsing.base import MinedTemplate, OnlineParser
 from repro.parsing.masking import Masker
 
@@ -45,6 +46,7 @@ class _LenMaCluster:
         self.lengths = _length_vector(tokens)
 
 
+@register_component("parser", "lenma")
 class LenMaParser(OnlineParser):
     """The word-length clustering parser.
 

@@ -16,11 +16,13 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 
+from repro.api.registry import register_component
 from repro.logs.record import WILDCARD
 from repro.parsing.base import BatchParser
 from repro.parsing.masking import Masker
 
 
+@register_component("parser", "logcluster")
 class LogClusterParser(BatchParser):
     """The frequent-word-sequence batch miner.
 

@@ -17,12 +17,14 @@ from __future__ import annotations
 
 from collections import Counter
 
+from repro.api.registry import register_component
 from repro.logs.record import WILDCARD, tokenize
 from repro.logs.structured import extract_structured_payload
 from repro.parsing.base import MinedTemplate, OnlineParser
 from repro.parsing.masking import Masker
 
 
+@register_component("parser", "logram")
 class LogramParser(OnlineParser):
     """The n-gram dictionary parser.
 

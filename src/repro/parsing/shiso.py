@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 
+from repro.api.registry import register_component
 from repro.logs.record import WILDCARD
 from repro.parsing.base import MinedTemplate, OnlineParser
 from repro.parsing.masking import Masker
@@ -69,6 +70,7 @@ class _ShisoNode:
         self.children: list[_ShisoNode] = []
 
 
+@register_component("parser", "shiso")
 class ShisoParser(OnlineParser):
     """The incremental format-tree parser.
 

@@ -17,11 +17,13 @@ from __future__ import annotations
 
 from collections import Counter
 
+from repro.api.registry import register_component
 from repro.logs.record import WILDCARD
 from repro.parsing.base import BatchParser
 from repro.parsing.masking import Masker
 
 
+@register_component("parser", "slct")
 class SlctParser(BatchParser):
     """The frequent-word clustering batch miner.
 

@@ -18,6 +18,7 @@ in the benchmark, as the paper's automation study would.
 
 from __future__ import annotations
 
+from repro.api.registry import register_component
 from repro.logs.record import WILDCARD
 from repro.parsing.base import MinedTemplate, OnlineParser
 from repro.parsing.masking import Masker
@@ -39,6 +40,7 @@ def _lcs_length(left: list[str], right: list[str]) -> int:
     return previous[-1]
 
 
+@register_component("parser", "spell")
 class SpellParser(OnlineParser):
     """The streaming LCS parser.
 

@@ -1,0 +1,200 @@
+"""Legacy-facade parity: each deprecated shim emits DeprecationWarning
+and produces byte-identical alerts vs the unified ``Pipeline`` built
+from the equivalent ``PipelineSpec``, on a shared fixture corpus.
+
+This is the contract that let the four facades become shims: the new
+API is not "close to" the old behavior, it *is* the old behavior.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Pipeline, PipelineSpec
+from repro.core.distributed import ShardedMoniLog
+from repro.core.pipeline import MoniLog
+from repro.core.streaming import StreamingMoniLog, StreamingShardedMoniLog
+from repro.detection import InvariantMiningDetector
+
+
+def _alert_shape(alert):
+    """A fully structural view of an alert, for exact comparison."""
+    return (
+        alert.report.report_id,
+        alert.report.session_id,
+        tuple(
+            (event.template_id, event.template, event.variables,
+             event.record.message)
+            for event in alert.report.events
+        ),
+        alert.report.detection.anomalous,
+        round(alert.report.detection.score, 12),
+        alert.pool,
+        alert.criticality,
+        round(alert.confidence, 12),
+    )
+
+
+def _shapes(alerts):
+    return [_alert_shape(alert) for alert in alerts]
+
+
+@pytest.fixture(scope="module")
+def corpus(hdfs_small):
+    cut = len(hdfs_small.records) * 6 // 10
+    return hdfs_small.records[:cut], hdfs_small.records[cut:]
+
+
+SPEC = dict(detector="invariants")
+
+
+class TestMoniLogShim:
+    def test_warns_and_matches_pipeline(self, corpus):
+        train, live = corpus
+        with pytest.warns(DeprecationWarning, match="MoniLog is deprecated"):
+            legacy = MoniLog(detector=InvariantMiningDetector())
+        legacy.train(train)
+        expected = legacy.run_all(live)
+        assert expected, "the fixture must produce alerts to compare"
+
+        pipeline = Pipeline(PipelineSpec(**SPEC)).fit(train)
+        assert _shapes(pipeline.run_all(live)) == _shapes(expected)
+        # The shim's stats view is the pipeline's counters object.
+        assert legacy.stats.records_parsed > 0
+        assert legacy.stats is legacy._pipeline.stats()
+
+    def test_process_batch_matches_process(self, corpus):
+        train, live = corpus
+        with pytest.warns(DeprecationWarning):
+            legacy = MoniLog(detector=InvariantMiningDetector()).train(train)
+        expected = legacy.process_batch(live, batch_size=64)
+        pipeline = Pipeline(PipelineSpec(**SPEC)).fit(train)
+        assert _shapes(pipeline.process(live, batch_size=64)) == \
+            _shapes(expected)
+
+
+class TestShardedShim:
+    def test_warns_and_matches_pipeline(self, corpus):
+        train, live = corpus
+        with pytest.warns(DeprecationWarning,
+                          match="ShardedMoniLog is deprecated"):
+            legacy = ShardedMoniLog(
+                parser_shards=3,
+                detector_shards=2,
+                detector_factory=lambda shard: InvariantMiningDetector(),
+            )
+        legacy.train(train)
+        expected = legacy.run_all(live)
+        assert expected
+
+        pipeline = Pipeline(
+            PipelineSpec(shards=3, detector_shards=2, **SPEC)
+        ).fit(train)
+        assert _shapes(pipeline.run_all(live)) == _shapes(expected)
+        assert pipeline.parser.shard_loads == legacy.parser.shard_loads
+
+    def test_default_detector_is_shard_seeded_deeplog(self):
+        # The legacy default was DeepLog(seed=shard); the spec-driven
+        # factory injects the shard index into seed-accepting
+        # detectors, so the default spec is the legacy default.
+        pipeline = Pipeline(PipelineSpec(shards=2, detector_shards=3))
+        with pytest.warns(DeprecationWarning):
+            legacy = ShardedMoniLog(parser_shards=2, detector_shards=3)
+        for built, reference in zip(pipeline.detectors, legacy.detectors):
+            assert type(built) is type(reference)
+            assert built.seed == reference.seed
+
+
+class TestStreamingShims:
+    def test_streaming_monilog_warns_and_matches(self, corpus):
+        train, live = corpus
+        with pytest.warns(DeprecationWarning):
+            host = MoniLog(detector=InvariantMiningDetector()).train(train)
+        with pytest.warns(DeprecationWarning,
+                          match="StreamingMoniLog is deprecated"):
+            legacy = StreamingMoniLog(host, session_timeout=20.0,
+                                      max_session_events=64)
+        expected = []
+        for record in live:
+            expected.extend(legacy.process(record))
+        expected.extend(legacy.flush())
+        assert expected
+
+        pipeline = Pipeline(PipelineSpec(
+            streaming=True, session_timeout=20.0, max_session_events=64,
+            **SPEC,
+        )).fit(train)
+        actual = []
+        for record in live:
+            actual.extend(pipeline.process_record(record))
+        actual.extend(pipeline.flush())
+        assert _shapes(actual) == _shapes(expected)
+
+    def test_streaming_sharded_warns_and_matches(self, corpus):
+        train, live = corpus
+        with pytest.warns(DeprecationWarning):
+            host = ShardedMoniLog(
+                parser_shards=3,
+                detector_shards=2,
+                detector_factory=lambda shard: InvariantMiningDetector(),
+            ).train(train)
+        with pytest.warns(DeprecationWarning,
+                          match="StreamingShardedMoniLog is deprecated"):
+            legacy = StreamingShardedMoniLog(host, session_timeout=20.0,
+                                             max_session_events=64)
+        expected = []
+        for start in range(0, len(live), 50):
+            expected.extend(legacy.process_batch(live[start:start + 50]))
+        expected.extend(legacy.flush())
+        assert expected
+
+        pipeline = Pipeline(PipelineSpec(
+            shards=3, detector_shards=2, streaming=True,
+            session_timeout=20.0, max_session_events=64, **SPEC,
+        )).fit(train)
+        actual = []
+        for start in range(0, len(live), 50):
+            actual.extend(pipeline.process(live[start:start + 50]))
+        actual.extend(pipeline.flush())
+        assert _shapes(actual) == _shapes(expected)
+
+    def test_wrapping_does_not_change_batch_entry_points(self, corpus):
+        # Legacy contract: arming a streaming facade over a system must
+        # not change what the system's own run()/process_batch() do.
+        train, live = corpus
+        with pytest.warns(DeprecationWarning):
+            plain = MoniLog(detector=InvariantMiningDetector()).train(train)
+        expected = plain.run_all(live)
+        with pytest.warns(DeprecationWarning):
+            wrapped = MoniLog(detector=InvariantMiningDetector()).train(train)
+            StreamingMoniLog(wrapped, session_timeout=20.0)
+        assert _shapes(wrapped.run_all(live)) == _shapes(expected)
+
+
+class TestIngestAcceptsPipeline:
+    def test_service_scores_through_a_streaming_pipeline(self, corpus):
+        import asyncio
+
+        from repro.core.config import IngestConfig
+        from repro.ingest import AsyncSourceAdapter, IngestService
+        from repro.logs.sources import ReplaySource
+
+        train, live = corpus
+        reference = Pipeline(PipelineSpec(
+            streaming=True, session_timeout=1e9, **SPEC,
+        )).fit(train)
+        expected = reference.process(live) + reference.flush()
+        assert expected
+
+        pipeline = Pipeline(PipelineSpec(
+            streaming=True, session_timeout=1e9, **SPEC,
+        )).fit(train)
+        service = IngestService(
+            [AsyncSourceAdapter(ReplaySource("replay", live))],
+            pipeline,  # a Pipeline, not a legacy streaming facade
+            config=IngestConfig(batch_size=64, max_batch_age=5.0,
+                                lateness=1e9),
+        )
+        actual = asyncio.run(service.run())
+        actual.extend(pipeline.flush())
+        assert _shapes(actual) == _shapes(expected)

@@ -1,0 +1,91 @@
+"""Tests for the component registry behind the unified pipeline API."""
+
+import pytest
+
+from repro.api import REGISTRY, register_component
+from repro.api.registry import ComponentRegistry
+
+
+class TestBuiltinInventory:
+    def test_all_nine_parsers_registered(self):
+        assert REGISTRY.names("parser") == [
+            "drain", "drain-distributed", "iplom", "lenma", "logcluster",
+            "logram", "shiso", "slct", "spell",
+        ]
+
+    def test_detectors_cover_study_set_and_baselines(self):
+        names = REGISTRY.names("detector")
+        for expected in ("deeplog", "loganomaly", "logrobust", "pca",
+                         "invariants", "logclustering", "keyword", "markov"):
+            assert expected in names
+
+    def test_executors_sessionizers_sources(self):
+        assert REGISTRY.names("executor") == ["process", "serial", "thread"]
+        assert REGISTRY.names("sessionizer") == ["streaming"]
+        assert set(REGISTRY.names("source")) == {
+            "adapter", "file", "replay", "socket",
+        }
+
+    def test_classes_carry_their_registry_identity(self):
+        from repro.parsing import DrainParser
+
+        assert DrainParser.component_kind == "parser"
+        assert DrainParser.component_name == "drain"
+
+
+class TestLookupAndCreate:
+    def test_create_builds_with_options(self):
+        detector = REGISTRY.create("detector", "deeplog",
+                                   {"epochs": 3, "seed": 7})
+        assert detector.epochs == 3
+        assert detector.seed == 7
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(KeyError, match="choose from"):
+            REGISTRY.get("detector", "nonsense")
+
+    def test_bad_option_names_component_and_signature(self):
+        with pytest.raises(ValueError, match="deeplog"):
+            REGISTRY.create("detector", "deeplog", {"bogus_knob": 1})
+
+    def test_option_errors_are_nonraising(self):
+        assert REGISTRY.option_errors("detector", "deeplog", {}) == []
+        assert REGISTRY.option_errors("detector", "deeplog", {"nope": 1})
+        assert REGISTRY.option_errors("detector", "missing", {})
+
+    def test_describe_shows_signature(self):
+        entry = REGISTRY.get("executor", "thread")
+        assert entry.describe().startswith("thread(")
+        assert "max_workers" in entry.describe()
+
+
+class TestRegistration:
+    def test_reregistering_same_class_is_idempotent(self):
+        registry = ComponentRegistry()
+
+        class Widget:
+            def __init__(self, size: int = 1):
+                self.size = size
+
+        registry.add("parser", "widget", Widget)
+        registry.add("parser", "widget", Widget)  # same class: fine
+        assert registry.create("parser", "widget", {"size": 3}).size == 3
+
+    def test_conflicting_registration_rejected(self):
+        registry = ComponentRegistry()
+
+        class A:
+            pass
+
+        class B:
+            pass
+
+        registry.add("parser", "dup", A)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.add("parser", "dup", B)
+
+    def test_decorator_conflict_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @register_component("executor", "serial")
+            class Impostor:
+                pass

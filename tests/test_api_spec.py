@@ -1,0 +1,195 @@
+"""Tests for PipelineSpec: loading, env overrides, aggregated validation."""
+
+import json
+
+import pytest
+
+from repro.api import ConfigError, Pipeline, PipelineSpec
+from repro.core.config import IngestConfig, MoniLogConfig
+
+
+class TestDefaultsAndBridges:
+    def test_defaults_valid(self):
+        spec = PipelineSpec()
+        assert spec.parser == "drain"
+        assert spec.detector == "deeplog"
+        assert spec.shards == 0
+
+    def test_monilog_config_round_trip(self):
+        config = MoniLogConfig(windowing="sliding", window_size=25,
+                               use_masking=False, min_window_events=3)
+        spec = PipelineSpec.from_config(config)
+        assert spec.windowing == "sliding"
+        assert spec.window_size == 25
+        assert spec.masking is False
+        back = spec.monilog_config()
+        assert back == config
+
+    def test_ingest_config_round_trip(self):
+        ingest = IngestConfig(batch_size=32, credits=100, lateness=2.0)
+        spec = PipelineSpec.from_config(None, ingest)
+        assert spec.ingest_batch_size == 32
+        assert spec.ingest_config() == ingest
+
+
+class TestAggregatedValidation:
+    def test_every_bad_knob_reported_at_once(self):
+        with pytest.raises(ConfigError) as failure:
+            PipelineSpec(windowing="bogus", window_size=0,
+                         detector_shards=0, credits=0)
+        message = str(failure.value)
+        assert "4 problems" in message
+        for field in ("windowing", "window_size", "detector_shards",
+                      "credits"):
+            assert field in message
+        assert failure.value.errors[0].startswith("windowing:")
+
+    def test_unknown_component_names_are_field_errors(self):
+        with pytest.raises(ConfigError) as failure:
+            PipelineSpec(parser="dren", detector="deeplug")
+        message = str(failure.value)
+        assert "parser" in message and "dren" in message
+        assert "detector" in message and "deeplug" in message
+        assert "drain" in message  # choices listed
+
+    def test_component_options_checked_against_signature(self):
+        with pytest.raises(ConfigError, match="detector_options"):
+            PipelineSpec(detector="deeplog",
+                         detector_options={"not_a_knob": 1})
+
+    def test_sharding_cross_field_rules(self):
+        with pytest.raises(ConfigError, match="session windowing"):
+            PipelineSpec(shards=2, windowing="sliding")
+        with pytest.raises(ConfigError, match="cannot shard"):
+            PipelineSpec(shards=2, parser="spell")
+
+    def test_source_tables_validated(self):
+        with pytest.raises(ConfigError, match="sources"):
+            PipelineSpec(sources=[{"path": "x.log"}])  # no type
+        with pytest.raises(ConfigError, match="sources"):
+            PipelineSpec(sources=[{"type": "file", "bogus": 1}])
+
+    def test_legacy_configs_also_aggregate(self):
+        with pytest.raises(ConfigError) as failure:
+            MoniLogConfig(windowing="bogus", window_size=0)
+        assert "windowing" in str(failure.value)
+        assert "window_size" in str(failure.value)
+        with pytest.raises(ConfigError) as failure:
+            IngestConfig(batch_size=0, credits=0, poll_interval=0)
+        assert "3 problems" in str(failure.value)
+
+    def test_config_error_is_a_value_error(self):
+        # Callers that caught ValueError keep working.
+        with pytest.raises(ValueError):
+            PipelineSpec(window_size=0)
+
+
+class TestLoading:
+    def test_from_dict_rejects_unknown_fields_aggregated(self):
+        with pytest.raises(ConfigError) as failure:
+            PipelineSpec.from_dict({"detectr": "pca", "window_size": 0})
+        message = str(failure.value)
+        assert "detectr" in message and "unknown field" in message
+        assert "window_size" in message
+
+    def test_from_toml(self, tmp_path):
+        path = tmp_path / "spec.toml"
+        path.write_text(
+            'parser = "drain"\n'
+            'detector = "keyword"\n'
+            'shards = 3\n'
+            'executor = "thread"\n'
+            "[parser_options]\n"
+            "similarity_threshold = 0.5\n"
+            "[[sources]]\n"
+            'type = "file"\n'
+            'path = "live.log"\n'
+        )
+        spec = PipelineSpec.from_file(path)
+        assert spec.detector == "keyword"
+        assert spec.shards == 3
+        assert spec.parser_options == {"similarity_threshold": 0.5}
+        assert spec.sources == [{"type": "file", "path": "live.log"}]
+
+    def test_from_json(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"detector": "pca", "batch_size": 64}))
+        spec = PipelineSpec.from_file(path)
+        assert spec.detector == "pca"
+        assert spec.batch_size == 64
+
+    def test_bad_toml_reports_the_file(self, tmp_path):
+        path = tmp_path / "broken.toml"
+        path.write_text("= nonsense")
+        with pytest.raises(ConfigError, match="broken.toml"):
+            PipelineSpec.from_file(path)
+
+    def test_replace_revalidates(self):
+        spec = PipelineSpec()
+        with pytest.raises(ConfigError, match="shards"):
+            spec.replace(shards=-1)
+
+
+class TestEnvOverrides:
+    def test_scalar_fields_override(self):
+        spec = PipelineSpec().with_env({
+            "MONILOG_DETECTOR": "keyword",
+            "MONILOG_SHARDS": "4",
+            "MONILOG_STREAMING": "true",
+            "MONILOG_SESSION_TIMEOUT": "12.5",
+        })
+        assert spec.detector == "keyword"
+        assert spec.shards == 4
+        assert spec.streaming is True
+        assert spec.session_timeout == 12.5
+
+    def test_no_env_is_identity(self):
+        spec = PipelineSpec()
+        assert spec.with_env({}) is spec
+
+    def test_bad_env_values_aggregate(self):
+        with pytest.raises(ConfigError) as failure:
+            PipelineSpec().with_env({
+                "MONILOG_SHARDS": "many",
+                "MONILOG_STREAMING": "perhaps",
+            })
+        message = str(failure.value)
+        assert "MONILOG_SHARDS" in message
+        assert "MONILOG_STREAMING" in message
+
+    def test_executor_env_spelling_matches_legacy_variable(self):
+        # MONILOG_EXECUTOR was already the suite-wide executor switch;
+        # the spec's env namespace maps it onto the same field.
+        spec = PipelineSpec().with_env({"MONILOG_EXECUTOR": "thread"})
+        assert spec.executor == "thread"
+
+
+class TestPipelineFromSpec:
+    def test_from_spec_accepts_dict_and_path(self, tmp_path):
+        pipeline = Pipeline.from_spec({"detector": "keyword"})
+        assert type(pipeline.detector).__name__ == "KeywordMatchDetector"
+        path = tmp_path / "spec.toml"
+        path.write_text('detector = "keyword"\nshards = 2\n')
+        sharded = Pipeline.from_spec(path)
+        assert sharded.sharded
+        assert sharded.detector_shards == 1
+        sharded.close()
+
+    def test_instance_overrides_conflict_with_sharding(self):
+        from repro.detection import InvariantMiningDetector
+
+        with pytest.raises(ValueError, match="sharded"):
+            Pipeline(PipelineSpec(shards=2),
+                     detector=InvariantMiningDetector())
+        with pytest.raises(ValueError, match="detector_factory"):
+            Pipeline(PipelineSpec(),
+                     detector_factory=lambda shard: None)
+
+    def test_build_sources_through_registry(self, tmp_path):
+        spec = PipelineSpec(sources=[
+            {"type": "file", "path": str(tmp_path / "a.log")},
+            {"type": "socket", "host": "localhost", "port": 9}])
+        sources = spec.build_sources()
+        assert [type(source).__name__ for source in sources] == [
+            "FileTailSource", "SocketSource",
+        ]

@@ -1,10 +1,10 @@
 """Parity regressions for the batched fast path.
 
 The batching contract is exactness, not approximation: the template
-cache, ``Parser.parse_batch``, ``MoniLog.process_batch``,
-``StreamingMoniLog.process_batch``, and ``ShardedMoniLog`` micro-batch
-draining must all produce byte-identical templates and alerts, in the
-same order, as the one-at-a-time path.  Every test here runs both
+cache, ``Parser.parse_batch``, ``Pipeline.process``, the streaming
+micro-batch path, and sharded micro-batch draining must all produce
+byte-identical templates and alerts, in the same order, as the
+one-at-a-time path.  Every test here runs both
 paths on the same stream and compares full structured output.
 """
 
@@ -13,10 +13,7 @@ from __future__ import annotations
 import dataclasses
 
 from conftest import make_record
-from repro.core.config import MoniLogConfig
-from repro.core.distributed import ShardedMoniLog
-from repro.core.pipeline import MoniLog
-from repro.core.streaming import StreamingMoniLog
+from repro.api import Pipeline, PipelineSpec
 from repro.detection.deeplog import DeepLogDetector
 from repro.detection.invariants import InvariantMiningDetector
 from repro.detection.keyword import KeywordMatchDetector
@@ -91,10 +88,9 @@ class TestParserBatchParity:
 
 
 class TestPipelineBatchParity:
-    def _trained_system(self, records) -> MoniLog:
-        system = MoniLog(detector=DeepLogDetector(epochs=4, seed=0),
-                         config=MoniLogConfig())
-        system.train(records)
+    def _trained_system(self, records) -> Pipeline:
+        system = Pipeline(detector=DeepLogDetector(epochs=4, seed=0))
+        system.fit(records)
         return system
 
     def test_process_batch_matches_run_all(self, hdfs_small):
@@ -109,13 +105,15 @@ class TestPipelineBatchParity:
         assert [_alert_shape(a) for a in actual] == [
             _alert_shape(a) for a in expected
         ]
-        assert batched.stats.records_parsed == per_record.stats.records_parsed
-        assert batched.stats.windows_scored == per_record.stats.windows_scored
+        assert batched.stats().records_parsed == \
+            per_record.stats().records_parsed
+        assert batched.stats().windows_scored == \
+            per_record.stats().windows_scored
         # Inference paths keep the template stat current (templates can
         # be discovered online, after training).
-        assert batched.stats.templates_discovered == \
+        assert batched.stats().templates_discovered == \
             batched.parser.template_count
-        assert per_record.stats.templates_discovered == \
+        assert per_record.stats().templates_discovered == \
             per_record.parser.template_count
 
     def test_process_batch_micro_batches_are_invariant(self, hdfs_small):
@@ -133,16 +131,16 @@ class TestPipelineBatchParity:
         records = cloud_small.records
         cut = len(records) * 6 // 10
 
-        def live(trained: MoniLog) -> StreamingMoniLog:
-            return StreamingMoniLog(trained, session_timeout=20.0,
-                                    max_session_events=64)
+        def live(trained: Pipeline) -> Pipeline:
+            return trained.stream(session_timeout=20.0,
+                                  max_session_events=64)
 
         loop = live(self._trained_system(records[:cut]))
         batch = live(self._trained_system(records[:cut]))
 
         expected = []
         for record in records[cut:]:
-            expected.extend(loop.process(record))
+            expected.extend(loop.process_record(record))
         expected.extend(loop.flush())
 
         actual = []
@@ -158,13 +156,12 @@ class TestPipelineBatchParity:
         records = cloud_small.records
         cut = len(records) * 6 // 10
 
-        def build(batch_size: int) -> ShardedMoniLog:
-            return ShardedMoniLog(
-                parser_shards=3,
-                detector_shards=2,
+        def build(batch_size: int) -> Pipeline:
+            return Pipeline(
+                PipelineSpec(shards=3, detector_shards=2,
+                             batch_size=batch_size),
                 detector_factory=lambda shard: InvariantMiningDetector(),
-                batch_size=batch_size,
-            ).train(records[:cut])
+            ).fit(records[:cut])
 
         per_record = build(batch_size=1)
         batched = build(batch_size=256)
@@ -180,35 +177,39 @@ class TestOnlineTemplateStat:
     def test_templates_discovered_tracks_online_discovery(self, hdfs_small):
         records = hdfs_small.records
         cut = len(records) * 6 // 10
-        system = MoniLog(detector=InvariantMiningDetector())
-        system.train(records[:cut])
-        trained_count = system.stats.templates_discovered
+        system = Pipeline(detector=InvariantMiningDetector())
+        system.fit(records[:cut])
+        trained_count = system.stats().templates_discovered
         novel = [
             make_record(f"totally new subsystem event kind {kind}",
                         session_id=f"novel-{kind}", sequence=kind)
             for kind in range(6)
             for _ in range(3)
         ]
-        system.process_batch(records[cut:] + novel)
-        assert system.stats.templates_discovered == system.parser.template_count
-        assert system.stats.templates_discovered > trained_count
+        system.process(records[cut:] + novel)
+        assert system.stats().templates_discovered == \
+            system.parser.template_count
+        assert system.stats().templates_discovered > trained_count
 
     def test_run_refreshes_template_stat(self, hdfs_small):
         records = hdfs_small.records
         cut = len(records) * 6 // 10
-        system = MoniLog(detector=InvariantMiningDetector())
-        system.train(records[:cut])
+        system = Pipeline(detector=InvariantMiningDetector())
+        system.fit(records[:cut])
         system.run_all(records[cut:])
-        assert system.stats.templates_discovered == system.parser.template_count
+        assert system.stats().templates_discovered == \
+            system.parser.template_count
 
     def test_streaming_refreshes_template_stat(self, hdfs_small):
         records = hdfs_small.records
         cut = len(records) * 6 // 10
-        system = MoniLog(detector=InvariantMiningDetector())
-        system.train(records[:cut])
-        live = StreamingMoniLog(system, session_timeout=1e9)
-        live.process(make_record("never seen statement shape", sequence=1))
-        assert system.stats.templates_discovered == system.parser.template_count
+        system = Pipeline(detector=InvariantMiningDetector())
+        system.fit(records[:cut])
+        live = system.stream(session_timeout=1e9)
+        live.process_record(
+            make_record("never seen statement shape", sequence=1))
+        assert system.stats().templates_discovered == \
+            system.parser.template_count
 
 
 class TestUnsessionedFallbackIds:
@@ -220,10 +221,10 @@ class TestUnsessionedFallbackIds:
         return [dataclasses.replace(record, session_id=None)
                 for record in records]
 
-    def _trained(self, train_records, window: int) -> MoniLog:
-        config = MoniLogConfig(windowing="sliding", window_size=window)
-        system = MoniLog(detector=KeywordMatchDetector(), config=config)
-        system.train(train_records)
+    def _trained(self, train_records, window: int) -> Pipeline:
+        spec = PipelineSpec(windowing="sliding", window_size=window)
+        system = Pipeline(spec, detector=KeywordMatchDetector())
+        system.fit(train_records)
         return system
 
     def test_batch_and_streaming_agree_on_fallback_ids(self, bgl_small):
@@ -241,11 +242,11 @@ class TestUnsessionedFallbackIds:
                    for a in expected)
 
         streaming_host = self._trained(records[:cut], window)
-        live = StreamingMoniLog(streaming_host, session_timeout=1e9,
-                                max_session_events=window)
+        live = streaming_host.stream(session_timeout=1e9,
+                                     max_session_events=window)
         actual = []
         for record in records[cut:]:
-            actual.extend(live.process(record))
+            actual.extend(live.process_record(record))
         actual.extend(live.flush())
         assert [_alert_shape(a) for a in actual] == [
             _alert_shape(a) for a in expected
@@ -260,11 +261,11 @@ class TestUnsessionedFallbackIds:
         cut = len(records) // 2
         system = self._trained(records[:cut], window)
         first = system.run_all(records[cut:cut + 10 * window])
-        live = StreamingMoniLog(system, session_timeout=1e9,
-                                max_session_events=window)
+        live = system.stream(session_timeout=1e9,
+                             max_session_events=window)
         second = []
         for record in records[cut + 10 * window:]:
-            second.extend(live.process(record))
+            second.extend(live.process_record(record))
         second.extend(live.flush())
         ids = [a.report.session_id for a in first + second]
         assert len(ids) == len(set(ids)), "fallback ids must never collide"

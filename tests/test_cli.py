@@ -106,6 +106,17 @@ class TestDetect:
         assert exit_code == 0
         assert "invariants" in capsys.readouterr().out
 
+    def test_batch_parser_supported(self, corpus_file, capsys):
+        # Batch miners need a fit pass before parsing; the detect
+        # command must provide it like the parse command does.
+        path, _ = corpus_file
+        exit_code = main([
+            "detect", "--input", str(path), "--detector", "keyword",
+            "--parser", "slct", "--masking",
+        ])
+        assert exit_code == 0
+        assert "sessions flagged" in capsys.readouterr().out
+
 
 class TestPipeline:
     def test_full_pipeline_over_files(self, tmp_path, capsys):
@@ -231,6 +242,26 @@ class TestTail:
             "--once", "--session-timeout", "10",
             "--shards", "2", "--detector-shards", "1",
             "--executor", "thread",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert self._ingested(output) == len(live.read_text().splitlines())
+
+    def test_spec_sources_honor_once(self, corpus, tmp_path, capsys):
+        # [[sources]] declared in a spec file must inherit the run
+        # mode: with --once the file tail drains and terminates
+        # instead of following forever.
+        history, live = corpus
+        spec = tmp_path / "tail.toml"
+        spec.write_text(
+            'detector = "keyword"\n'
+            "session_timeout = 10.0\n"
+            "[[sources]]\n"
+            'type = "file"\n'
+            f'path = "{live}"\n'
+        )
+        exit_code = main([
+            "tail", "--history", str(history), "--spec", str(spec), "--once",
         ])
         assert exit_code == 0
         output = capsys.readouterr().out

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import MoniLog, MoniLogConfig, ShardedMoniLog
+from repro import MoniLogConfig, Pipeline, PipelineSpec
 from repro.classify.feedback import AdministratorSimulator, source_based_policy
 from repro.core.calibration import (
     AutoCalibrator,
@@ -86,14 +86,14 @@ def cloud_split():
 
 class TestMoniLogPipeline:
     def test_requires_training(self):
-        system = MoniLog()
-        with pytest.raises(RuntimeError, match="train"):
+        system = Pipeline()
+        with pytest.raises(RuntimeError, match="fit"):
             system.run_all([])
 
     def test_end_to_end_detects_and_classifies(self, cloud_split):
         data, train, test = cloud_split
-        system = MoniLog(detector=DeepLogDetector(epochs=8, seed=1))
-        system.train(train)
+        system = Pipeline(detector=DeepLogDetector(epochs=8, seed=1))
+        system.fit(train)
         alerts = system.run_all(test)
         assert alerts, "the test stream contains anomalies"
         flagged = {alert.report.session_id for alert in alerts}
@@ -101,40 +101,39 @@ class TestMoniLogPipeline:
         # Flagged sessions should be overwhelmingly real anomalies.
         true_hits = len(flagged & anomalous)
         assert true_hits / len(flagged) >= 0.7
-        assert system.stats.anomalies_detected == len(alerts)
+        assert system.stats().anomalies_detected == len(alerts)
 
     def test_counter_detector_pipeline(self, cloud_split):
         _, train, test = cloud_split
-        system = MoniLog(detector=InvariantMiningDetector())
-        system.train(train)
+        system = Pipeline(detector=InvariantMiningDetector())
+        system.fit(train)
         alerts = system.run_all(test)
-        assert system.stats.windows_scored > 0
+        assert system.stats().windows_scored > 0
         assert all(alert.pool == "default" for alert in alerts)
 
     def test_sliding_window_mode(self, bgl_small):
-        config = MoniLogConfig(windowing="sliding", window_size=100)
-        system = MoniLog(detector=InvariantMiningDetector(),
-                         config=config)
+        spec = PipelineSpec(windowing="sliding", window_size=100)
+        system = Pipeline(spec, detector=InvariantMiningDetector())
         cut = len(bgl_small.records) // 2
-        system.train(bgl_small.records[:cut])
+        system.fit(bgl_small.records[:cut])
         system.run_all(bgl_small.records[cut:])
-        assert system.stats.windows_scored > 0
+        assert system.stats().windows_scored > 0
 
     def test_alert_stream_feeds_admin_loop(self, cloud_split):
         _, train, test = cloud_split
-        system = MoniLog(detector=DeepLogDetector(epochs=8, seed=1))
+        system = Pipeline(detector=DeepLogDetector(epochs=8, seed=1))
         system.pools.create_pool("team-api")
         policy = source_based_policy({"api": "team-api"})
         admin = AdministratorSimulator(system.pools, policy, diligence=1.0)
-        system.train(train)
+        system.fit(train)
         for alert in system.run(test):
             admin.review(alert)
         assert system.classifier.feedback_count >= admin.pool_moves
 
     def test_auto_calibration_flow(self, hdfs_small):
-        config = MoniLogConfig(auto_calibrate=True, calibration_sample=400)
-        system = MoniLog(detector=InvariantMiningDetector(), config=config)
-        system.train(hdfs_small.records)
+        spec = PipelineSpec(auto_calibrate=True, calibration_sample=400)
+        system = Pipeline(spec, detector=InvariantMiningDetector())
+        system.fit(hdfs_small.records)
         assert system.parser.template_count > 0
 
 
@@ -144,28 +143,28 @@ class TestShardedMoniLog:
         cut = len(data.records) * 6 // 10
         train, test = data.records[:cut], data.records[cut:]
 
-        single = MoniLog(detector=InvariantMiningDetector())
-        single.train(train)
+        single = Pipeline(detector=InvariantMiningDetector())
+        single.fit(train)
         flagged = {a.report.session_id for a in single.run(test)}
         test_sessions = {r.session_id for r in test}
         reference = {sid: sid in flagged for sid in test_sessions}
 
-        sharded = ShardedMoniLog(
-            parser_shards=3,
-            detector_shards=2,
+        sharded = Pipeline(
+            PipelineSpec(shards=3, detector_shards=2),
             detector_factory=lambda shard: InvariantMiningDetector(),
         )
-        sharded.train(train)
+        sharded.fit(train)
         agreement = sharded.consistency_with(reference, test)
         assert agreement >= 0.9, f"agreement {agreement:.2f}"
 
     def test_rejects_sliding_windows(self):
         with pytest.raises(ValueError, match="session windowing"):
-            ShardedMoniLog(config=MoniLogConfig(windowing="sliding"))
+            Pipeline(PipelineSpec(shards=2, windowing="sliding"))
 
     def test_requires_training(self):
-        sharded = ShardedMoniLog(
-            detector_factory=lambda shard: InvariantMiningDetector()
+        sharded = Pipeline(
+            PipelineSpec(shards=4, detector_shards=2),
+            detector_factory=lambda shard: InvariantMiningDetector(),
         )
-        with pytest.raises(RuntimeError, match="train"):
+        with pytest.raises(RuntimeError, match="fit"):
             sharded.run_all([])

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import ShardedMoniLog
+from repro import Pipeline, PipelineSpec
 from repro.core.distributed import _shard_of
 from repro.detection import InvariantMiningDetector
 from repro.datasets import generate_hdfs
@@ -18,13 +18,12 @@ class TestShardRouting:
 
     def test_single_detector_shard_sees_everything(self):
         data = generate_hdfs(sessions=80, anomaly_rate=0.1, seed=13)
-        sharded = ShardedMoniLog(
-            parser_shards=2,
-            detector_shards=1,
+        sharded = Pipeline(
+            PipelineSpec(shards=2, detector_shards=1),
             detector_factory=lambda shard: InvariantMiningDetector(),
         )
         cut = len(data.records) * 6 // 10
-        sharded.train(data.records[:cut])
+        sharded.fit(data.records[:cut])
         alerts = sharded.run_all(data.records[cut:])
         anomalous = set(data.anomalous_sessions())
         assert all(
@@ -35,13 +34,12 @@ class TestShardRouting:
 
     def test_too_many_detector_shards_fails_loudly(self):
         data = generate_hdfs(sessions=6, anomaly_rate=0.0, seed=13)
-        sharded = ShardedMoniLog(
-            parser_shards=1,
-            detector_shards=64,
+        sharded = Pipeline(
+            PipelineSpec(shards=1, detector_shards=64),
             detector_factory=lambda shard: InvariantMiningDetector(),
         )
         with pytest.raises(ValueError, match="no training sessions"):
-            sharded.train(data.records)
+            sharded.fit(data.records)
 
 
 class TestEvalHelpers:

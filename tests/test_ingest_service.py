@@ -20,9 +20,9 @@ import time
 
 import pytest
 
+from repro.api import Pipeline, PipelineSpec
 from repro.core.config import IngestConfig
-from repro.core.pipeline import MoniLog
-from repro.core.streaming import BatchHandoff, StreamingMoniLog
+from repro.core.streaming import BatchHandoff
 from repro.detection.keyword import KeywordMatchDetector
 from repro.ingest import AsyncSourceAdapter, CheckpointStore, IngestService
 from repro.logs.sources import ReplaySource
@@ -86,8 +86,8 @@ def trained_base():
     history = (burst_records("svc-a", 6, start=0.0)
                + burst_records("svc-b", 6, start=0.003))
     history.sort(key=lambda record: record.timestamp)
-    system = MoniLog(detector=KeywordMatchDetector())
-    system.train(history)
+    system = Pipeline(detector=KeywordMatchDetector())
+    system.fit(history)
     return system
 
 
@@ -101,13 +101,13 @@ class TestOfflineParity:
                                 (0.004, "svc-c"))
         }
 
-        offline = StreamingMoniLog(copy.deepcopy(base), session_timeout=30.0)
+        offline = copy.deepcopy(base).stream(session_timeout=30.0)
         stream = LogStream([ReplaySource(name, records)
                             for name, records in per_source.items()])
-        expected = offline.process_batch(list(stream)) + offline.flush()
+        expected = offline.process(list(stream)) + offline.flush()
         assert expected, "the corpus must produce alerts to compare"
 
-        live = StreamingMoniLog(copy.deepcopy(base), session_timeout=30.0)
+        live = copy.deepcopy(base).stream(session_timeout=30.0)
         service = IngestService(
             [AsyncSourceAdapter(ReplaySource(name, records), yield_every=4)
              for name, records in per_source.items()],

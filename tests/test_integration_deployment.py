@@ -10,10 +10,9 @@ verdicts survive the restart.
 
 import pytest
 
-from repro import MoniLog, MoniLogConfig
+from repro import Pipeline, PipelineSpec
 from repro.classify import AlertDeduplicator
 from repro.classify.feedback import AdministratorSimulator, source_based_policy
-from repro.core.streaming import StreamingMoniLog
 from repro.datasets import generate_hdfs
 from repro.detection import DeepLogDetector, sessions_from_parsed
 from repro.detection.persistence import load_deeplog, save_deeplog
@@ -41,11 +40,11 @@ def deployment(tmp_path_factory):
         records = list(SessionKeyExtractor().assign(read_log_lines(handle)))
     cut = len(records) * 6 // 10
 
-    system = MoniLog(
+    system = Pipeline(
+        PipelineSpec(auto_calibrate=True, calibration_sample=800),
         detector=DeepLogDetector(epochs=8, seed=0),
-        config=MoniLogConfig(auto_calibrate=True, calibration_sample=800),
     )
-    system.train(records[:cut])
+    system.fit(records[:cut])
     return root, data, records, cut, system
 
 
@@ -64,7 +63,7 @@ class TestDeploymentLifecycle:
 
         raw_alerts = []
         delivered = []
-        for alert in system.run(records[cut:]):
+        for alert in system.run_offline(records[cut:]):
             raw_alerts.append(alert)
             surviving = dedup.offer(alert)
             if surviving is not None:
@@ -83,10 +82,10 @@ class TestDeploymentLifecycle:
 
     def test_streaming_mode_on_same_deployment(self, deployment):
         _, data, records, cut, system = deployment
-        streaming = StreamingMoniLog(system, session_timeout=10.0)
+        streaming = system.stream(session_timeout=10.0)
         flagged = {
             alert.report.session_id
-            for alert in streaming.process_stream(records[cut:])
+            for alert in streaming.run(records[cut:])
         }
         anomalous = set(data.anomalous_sessions())
         assert flagged & anomalous

@@ -16,14 +16,12 @@ from __future__ import annotations
 import pytest
 
 from conftest import make_record
-from repro.core.config import MoniLogConfig
-from repro.core.distributed import ShardedMoniLog
+from repro.api import Pipeline, PipelineSpec
 from repro.core.executors import (
     ProcessExecutor,
     SerialExecutor,
     ThreadedExecutor,
 )
-from repro.core.streaming import StreamingShardedMoniLog
 from repro.detection import InvariantMiningDetector
 from repro.parsing import DistributedDrain, default_masker
 
@@ -93,13 +91,12 @@ class TestDistributedDrainExecutors:
 
 
 class TestShardedMoniLogExecutors:
-    def _build(self, records, executor) -> ShardedMoniLog:
-        return ShardedMoniLog(
-            parser_shards=3,
-            detector_shards=2,
+    def _build(self, records, executor) -> Pipeline:
+        return Pipeline(
+            PipelineSpec(shards=3, detector_shards=2),
             detector_factory=lambda shard: InvariantMiningDetector(),
             executor=executor,
-        ).train(records)
+        ).fit(records)
 
     def test_alerts_identical_across_executors(
         self, hdfs_small, concurrent_executor
@@ -116,27 +113,27 @@ class TestShardedMoniLogExecutors:
         ]
         assert concurrent.parser.shard_loads == serial.parser.shard_loads
 
-    def test_executor_resolves_from_config(self):
-        config = MoniLogConfig(executor="thread")
-        system = ShardedMoniLog(config=config)
+    def test_executor_resolves_from_spec(self):
+        system = Pipeline(PipelineSpec(shards=4, executor="thread"))
         assert isinstance(system.executor, ThreadedExecutor)
         assert system.parser.executor is system.executor
         system.executor.close()
 
-    def test_explicit_executor_overrides_config(self):
+    def test_explicit_executor_overrides_spec(self):
         explicit = SerialExecutor()
-        system = ShardedMoniLog(config=MoniLogConfig(executor="thread"),
-                                executor=explicit)
+        system = Pipeline(PipelineSpec(shards=4, executor="thread"),
+                          executor=explicit)
         assert system.executor is explicit
 
     def test_rejects_bad_shard_counts(self):
         with pytest.raises(ValueError, match="detector_shards"):
-            ShardedMoniLog(detector_shards=0)
+            Pipeline(PipelineSpec(shards=4, detector_shards=0))
         with pytest.raises(ValueError, match="shards"):
-            ShardedMoniLog(parser_shards=0)
+            Pipeline(PipelineSpec(shards=-1))
 
     def test_context_manager_closes_the_executor(self):
-        with ShardedMoniLog(executor=ThreadedExecutor(max_workers=2)) as system:
+        with Pipeline(PipelineSpec(shards=4),
+                      executor=ThreadedExecutor(max_workers=2)) as system:
             assert system.executor.map(len, [[1], [2, 3]]) == [1, 2]
         assert system.executor._pool is None
 
@@ -151,12 +148,11 @@ class TestShardedMoniLogExecutors:
                 f"tick {index} from worker", timestamp=float(index),
                 source=source, sequence=index,
             ))
-        system = ShardedMoniLog(
-            parser_shards=2,
-            detector_shards=2,
+        system = Pipeline(
+            PipelineSpec(shards=2, detector_shards=2),
             detector_factory=lambda shard: InvariantMiningDetector(),
         )
-        system.train(records)  # two pseudo-sessions cover both shards
+        system.fit(records)  # two pseudo-sessions cover both shards
         from repro.core.distributed import _sessions_by_key
         parsed = system.parser.parse_batch(records)
         grouped = _sessions_by_key(parsed)
@@ -166,7 +162,7 @@ class TestShardedMoniLogExecutors:
 
 
 class TestConsistencyWithIsReadOnly:
-    def _snapshot(self, system: ShardedMoniLog):
+    def _snapshot(self, system: Pipeline):
         return (
             system._report_counter,
             {name: len(system.pools.pool(name))
@@ -180,11 +176,10 @@ class TestConsistencyWithIsReadOnly:
     def test_pools_reports_and_parser_state_untouched(self, hdfs_small):
         records = hdfs_small.records
         cut = len(records) * 6 // 10
-        system = ShardedMoniLog(
-            parser_shards=3,
-            detector_shards=2,
+        system = Pipeline(
+            PipelineSpec(shards=3, detector_shards=2),
             detector_factory=lambda shard: InvariantMiningDetector(),
-        ).train(records[:cut])
+        ).fit(records[:cut])
         # Produce real state first so the probe has something to spoil.
         alerts = system.run_all(records[cut:])
         reference = {record.session_id: record.is_anomalous
@@ -193,11 +188,10 @@ class TestConsistencyWithIsReadOnly:
         system.consistency_with(reference, records[cut:])
         assert self._snapshot(system) == before
         # And the live system still scores identically afterwards.
-        rerun = ShardedMoniLog(
-            parser_shards=3,
-            detector_shards=2,
+        rerun = Pipeline(
+            PipelineSpec(shards=3, detector_shards=2),
             detector_factory=lambda shard: InvariantMiningDetector(),
-        ).train(records[:cut]).run_all(records[cut:])
+        ).fit(records[:cut]).run_all(records[cut:])
         assert [a.report.session_id for a in rerun] == [
             a.report.session_id for a in alerts
         ]
@@ -208,11 +202,10 @@ class TestConsistencyWithIsReadOnly:
         # idempotent by construction.
         records = hdfs_small.records
         cut = len(records) * 6 // 10
-        system = ShardedMoniLog(
-            parser_shards=3,
-            detector_shards=2,
+        system = Pipeline(
+            PipelineSpec(shards=3, detector_shards=2),
             detector_factory=lambda shard: InvariantMiningDetector(),
-        ).train(records[:cut])
+        ).fit(records[:cut])
         reference = {record.session_id: record.is_anomalous
                      for record in records[cut:]}
         first = system.consistency_with(reference, records[cut:])
@@ -220,28 +213,29 @@ class TestConsistencyWithIsReadOnly:
         assert first == second
 
     def test_requires_training(self):
-        system = ShardedMoniLog(
-            detector_factory=lambda shard: InvariantMiningDetector()
+        system = Pipeline(
+            PipelineSpec(shards=4, detector_shards=2),
+            detector_factory=lambda shard: InvariantMiningDetector(),
         )
-        with pytest.raises(RuntimeError, match="train"):
+        with pytest.raises(RuntimeError, match="fit"):
             system.consistency_with({}, [])
 
 
-class TestStreamingShardedMoniLog:
-    def _build(self, records, executor) -> ShardedMoniLog:
-        return ShardedMoniLog(
-            parser_shards=3,
-            detector_shards=2,
+class TestStreamingShardedPipeline:
+    def _build(self, records, executor) -> Pipeline:
+        return Pipeline(
+            PipelineSpec(shards=3, detector_shards=2),
             detector_factory=lambda shard: InvariantMiningDetector(),
             executor=executor,
-        ).train(records)
+        ).fit(records)
 
     def test_requires_trained_system(self):
-        system = ShardedMoniLog(
-            detector_factory=lambda shard: InvariantMiningDetector()
+        system = Pipeline(
+            PipelineSpec(shards=4, detector_shards=2, streaming=True),
+            detector_factory=lambda shard: InvariantMiningDetector(),
         )
-        with pytest.raises(RuntimeError, match="train"):
-            StreamingShardedMoniLog(system)
+        with pytest.raises(RuntimeError, match="fit"):
+            system.process_record(make_record("x"))
 
     def test_matches_batch_run_when_nothing_expires_early(
         self, hdfs_small, concurrent_executor
@@ -256,12 +250,12 @@ class TestStreamingShardedMoniLog:
         assert expected
 
         streaming_system = self._build(records[:cut], concurrent_executor)
-        live = StreamingShardedMoniLog(
-            streaming_system, session_timeout=1e9, max_session_events=10 ** 6
+        live = streaming_system.stream(
+            session_timeout=1e9, max_session_events=10 ** 6
         )
         actual = []
         for start in range(0, len(records) - cut, 64):
-            actual.extend(live.process_batch(records[cut:][start:start + 64]))
+            actual.extend(live.process(records[cut:][start:start + 64]))
         actual.extend(live.flush())
         assert [_alert_shape(a) for a in actual] == [
             _alert_shape(a) for a in expected
@@ -272,8 +266,7 @@ class TestStreamingShardedMoniLog:
         cut = len(records) * 6 // 10
 
         def live(executor):
-            return StreamingShardedMoniLog(
-                self._build(records[:cut], executor),
+            return self._build(records[:cut], executor).stream(
                 session_timeout=20.0,
                 max_session_events=64,
             )
@@ -281,7 +274,7 @@ class TestStreamingShardedMoniLog:
         loop = live(SerialExecutor())
         expected = []
         for record in records[cut:]:
-            expected.extend(loop.process(record))
+            expected.extend(loop.process_record(record))
         expected.extend(loop.flush())
 
         threaded = ThreadedExecutor(max_workers=3)
@@ -290,7 +283,7 @@ class TestStreamingShardedMoniLog:
             actual = []
             for start in range(0, len(records) - cut, 50):
                 actual.extend(
-                    batch.process_batch(records[cut:][start:start + 50])
+                    batch.process(records[cut:][start:start + 50])
                 )
             actual.extend(batch.flush())
         finally:
@@ -302,17 +295,15 @@ class TestStreamingShardedMoniLog:
     def test_process_stream_flushes_at_end(self, cloud_small):
         records = cloud_small.records
         cut = len(records) * 6 // 10
-        system = self._build(records[:cut], SerialExecutor())
-        live = StreamingShardedMoniLog(system, session_timeout=1e9)
-        streamed = list(live.process_stream(records[cut:]))
+        live = self._build(records[:cut], SerialExecutor()).stream(
+            session_timeout=1e9)
+        streamed = list(live.run(records[cut:]))
         assert live.sessionizer.open_sessions == 0
         reference = self._build(records[:cut], SerialExecutor())
         assert [_alert_shape(a) for a in streamed] == [
             _alert_shape(a) for a in reference.run_all(records[cut:])
         ]
 
-    def test_rejects_bad_batch_size(self, cloud_small):
-        records = cloud_small.records
-        system = self._build(records, SerialExecutor())
+    def test_rejects_bad_batch_size(self):
         with pytest.raises(ValueError, match="batch_size"):
-            StreamingShardedMoniLog(system, batch_size=0)
+            PipelineSpec(shards=3, batch_size=-1)

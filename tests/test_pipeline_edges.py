@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import MoniLog, MoniLogConfig
+from repro import Pipeline, PipelineSpec
 from repro.core.reports import AnomalyReport, ClassifiedAlert
 from repro.detection import InvariantMiningDetector, LogRobustDetector
 from repro.detection.base import DetectionResult
@@ -51,46 +51,46 @@ class TestReportEdges:
 
 class TestPipelineEdges:
     def test_training_twice_replaces_detector_state(self, cloud_small):
-        system = MoniLog(detector=InvariantMiningDetector())
+        system = Pipeline(detector=InvariantMiningDetector())
         cut = len(cloud_small.records) // 2
-        system.train(cloud_small.records[:cut])
-        first_templates = system.stats.templates_discovered
-        system.train(cloud_small.records)
-        assert system.stats.templates_discovered >= first_templates
+        system.fit(cloud_small.records[:cut])
+        first_templates = system.stats().templates_discovered
+        system.fit(cloud_small.records)
+        assert system.stats().templates_discovered >= first_templates
 
     def test_supervised_detector_receives_session_labels(self, cloud_small):
-        system = MoniLog(detector=LogRobustDetector(epochs=2))
+        system = Pipeline(detector=LogRobustDetector(epochs=2))
         labels = {
             session_id: truth.anomalous
             for session_id, truth in cloud_small.sessions.items()
         }
-        system.train(cloud_small.records, labels_by_session=labels)
+        system.fit(cloud_small.records, labels_by_session=labels)
         # With real labels present the classifier must not degenerate.
         assert not system.detector._degenerate
 
     def test_min_window_events_filters_tiny_sessions(self, cloud_small):
-        config = MoniLogConfig(min_window_events=10_000)
-        system = MoniLog(detector=InvariantMiningDetector(), config=config)
+        spec = PipelineSpec(min_window_events=10_000)
+        system = Pipeline(spec, detector=InvariantMiningDetector())
         with pytest.raises(ValueError):
             # Everything filtered: the detector sees no sessions.
-            system.train(cloud_small.records)
+            system.fit(cloud_small.records)
 
     def test_run_on_empty_stream(self, cloud_small):
-        system = MoniLog(detector=InvariantMiningDetector())
-        system.train(cloud_small.records)
+        system = Pipeline(detector=InvariantMiningDetector())
+        system.fit(cloud_small.records)
         assert system.run_all([]) == []
 
-    def test_structured_extraction_config_reaches_parser(self, cloud_json):
-        config = MoniLogConfig(extract_structured=True)
-        system = MoniLog(detector=InvariantMiningDetector(), config=config)
-        system.train(cloud_json.records)
+    def test_structured_extraction_spec_reaches_parser(self, cloud_json):
+        spec = PipelineSpec(extract_structured=True)
+        system = Pipeline(spec, detector=InvariantMiningDetector())
+        system.fit(cloud_json.records)
         assert system.parser.extract_structured
 
     def test_stats_accumulate_across_runs(self, cloud_small):
-        system = MoniLog(detector=InvariantMiningDetector())
+        system = Pipeline(detector=InvariantMiningDetector())
         cut = len(cloud_small.records) // 2
-        system.train(cloud_small.records[:cut])
+        system.fit(cloud_small.records[:cut])
         system.run_all(cloud_small.records[cut:])
-        first = system.stats.windows_scored
+        first = system.stats().windows_scored
         system.run_all(cloud_small.records[cut:])
-        assert system.stats.windows_scored == 2 * first
+        assert system.stats().windows_scored == 2 * first

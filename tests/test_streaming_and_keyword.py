@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro import MoniLog
-from repro.core.streaming import StreamingMoniLog, StreamingSessionizer
+from repro import Pipeline, PipelineSpec
+from repro.core.streaming import StreamingSessionizer
 from repro.datasets import generate_cloud_platform, generate_hdfs
 from repro.detection import DeepLogDetector, sessions_from_parsed
 from repro.detection.keyword import KeywordMatchDetector
@@ -76,28 +76,29 @@ class TestStreamingSessionizer:
             StreamingSessionizer(max_session_events=0)
 
 
-class TestStreamingMoniLog:
+class TestStreamingPipeline:
     @pytest.fixture(scope="class")
     def trained(self):
         data = generate_cloud_platform(sessions=300, seed=21)
         cut = len(data.records) * 6 // 10
-        system = MoniLog(detector=DeepLogDetector(epochs=8, seed=1))
-        system.train(data.records[:cut])
+        system = Pipeline(detector=DeepLogDetector(epochs=8, seed=1))
+        system.fit(data.records[:cut])
         return system, data, data.records[cut:]
 
     def test_requires_trained_pipeline(self):
-        with pytest.raises(RuntimeError, match="train"):
-            StreamingMoniLog(MoniLog())
+        untrained = Pipeline(PipelineSpec(streaming=True))
+        with pytest.raises(RuntimeError, match="fit"):
+            untrained.process_record(make_record("x"))
 
     def test_streaming_matches_batch_verdicts(self, trained):
         system, data, live = trained
         batch_flagged = {
-            alert.report.session_id for alert in system.run(live)
+            alert.report.session_id for alert in system.run_offline(live)
         }
-        streaming = StreamingMoniLog(system, session_timeout=60.0)
+        streaming = system.stream(session_timeout=60.0)
         streaming_flagged = {
             alert.report.session_id
-            for alert in streaming.process_stream(live)
+            for alert in streaming.run(live)
         }
         # Timeout-based closing may split boundary sessions; verdicts
         # on whole sessions must agree.
@@ -108,10 +109,10 @@ class TestStreamingMoniLog:
 
     def test_alerts_arrive_before_stream_end(self, trained):
         system, data, live = trained
-        streaming = StreamingMoniLog(system, session_timeout=5.0)
+        streaming = system.stream(session_timeout=5.0)
         seen_before_end = 0
         for record in live[: len(live) * 3 // 4]:
-            seen_before_end += len(streaming.process(record))
+            seen_before_end += len(streaming.process_record(record))
         if seen_before_end == 0:
             # At minimum, flushing mid-stream must produce the alerts.
             seen_before_end = len(streaming.flush())
@@ -119,10 +120,10 @@ class TestStreamingMoniLog:
 
     def test_bounded_open_sessions(self, trained):
         system, _, live = trained
-        streaming = StreamingMoniLog(system, session_timeout=2.0)
+        streaming = system.stream(session_timeout=2.0)
         peak = 0
         for record in live:
-            streaming.process(record)
+            streaming.process_record(record)
             peak = max(peak, streaming.sessionizer.open_sessions)
         # Session timeout keeps concurrent state far below total count.
         total_sessions = len({r.session_id for r in live})
