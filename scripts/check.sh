@@ -3,8 +3,11 @@
 # serial, with DeprecationWarning-as-error so internal code never
 # calls the legacy facade shims, and under threaded shard execution)
 # plus seconds-scale smoke runs of the Fig. 1 pipeline bench, the X9
-# parallel-shards bench, the X10 async-ingestion bench, and a
-# spec-file-driven CLI pipeline run (examples/pipeline.toml).
+# parallel-shards bench, the X10 async-ingestion bench, the X11
+# autoscale-convergence bench, a spec-file-driven CLI pipeline run
+# (examples/pipeline.toml), and a telemetry-exposition smoke
+# (`repro stats` JSON + a --metrics-port Prometheus scrape over real
+# HTTP).
 #
 #   scripts/check.sh            # full gate
 #   scripts/check.sh -k drain   # extra args go to the tier-1 pytest
@@ -70,6 +73,12 @@ MONILOG_BENCH_SMOKE=1 python -m pytest \
     -q -p no:cacheprovider --benchmark-disable
 
 echo
+echo "== smoke: benchmarks/bench_x11_autoscale.py =="
+MONILOG_BENCH_SMOKE=1 python -m pytest \
+    benchmarks/bench_x11_autoscale.py \
+    -q -p no:cacheprovider --benchmark-disable
+
+echo
 echo "== smoke: repro pipeline --spec examples/pipeline.toml =="
 spec_tmp="$(mktemp -d)"
 trap 'rm -rf "$spec_tmp"' EXIT
@@ -80,6 +89,35 @@ python -m repro generate --dataset cloud --sessions 30 --anomaly-rate 0.1 \
 python -m repro pipeline --history "$spec_tmp/history.log" \
     --live "$spec_tmp/live.log" --spec examples/pipeline.toml \
     | tail -n 1
+
+echo
+echo "== smoke: repro stats (JSON snapshot + Prometheus scrape) =="
+# The JSON surface must parse and carry the pipeline counters...
+python -m repro stats --history "$spec_tmp/history.log" \
+    --live "$spec_tmp/live.log" 2> /dev/null \
+    | python -c '
+import json, sys
+snapshot = json.load(sys.stdin)
+metrics = snapshot["metrics"]
+assert "monilog_records_parsed_total" in metrics, sorted(metrics)
+assert metrics["monilog_parse_seconds"]["values"][0]["count"] > 0
+print(f"stats JSON well-formed: {len(metrics)} metric families")'
+# ...and --metrics-port --scrape must serve a well-formed Prometheus
+# exposition through a real HTTP round-trip (server + urllib client).
+python -m repro stats --history "$spec_tmp/history.log" \
+    --live "$spec_tmp/live.log" --metrics-port 0 --scrape --autoscale \
+    2> /dev/null \
+    | python -c '
+import sys
+text = sys.stdin.read()
+assert text.startswith("# HELP "), text[:80]
+assert "# TYPE monilog_records_parsed_total counter" in text
+assert "monilog_parse_seconds_bucket{le=" in text
+assert "monilog_autoscale_ticks_total 1" in text
+for line in text.splitlines():
+    if line and not line.startswith("#"):
+        float(line.rpartition(" ")[2])
+print(f"Prometheus exposition well-formed: {len(text.splitlines())} lines")'
 
 echo
 echo "check.sh: all gates passed"

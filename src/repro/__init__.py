@@ -25,7 +25,9 @@ streams), :mod:`repro.datasets` (ground-truthed generators),
 :mod:`repro.nn` (numpy LSTM stack), :mod:`repro.detection`
 (detectors), :mod:`repro.classify` (pool system & passive learning),
 :mod:`repro.metrics`, :mod:`repro.core` (pipeline runtime),
-:mod:`repro.ingest` (async live ingestion), :mod:`repro.eval`.
+:mod:`repro.ingest` (async live ingestion), :mod:`repro.telemetry`
+(runtime metrics + Prometheus/JSON exposition), :mod:`repro.autoscale`
+(adaptive batch/credit control), :mod:`repro.eval`.
 
 The legacy facades (``MoniLog``, ``ShardedMoniLog``, and the streaming
 variants) remain importable as deprecated shims delegating to

@@ -45,6 +45,7 @@ from os import PathLike
 
 from repro.api.registry import REGISTRY
 from repro.api.spec import PipelineSpec
+from repro.autoscale.controller import AutoscaleController
 from repro.classify.classifier import AnomalyClassifier
 from repro.classify.pools import PoolManager
 from repro.core.calibration import DEFAULT_GRIDS, AutoCalibrator
@@ -65,6 +66,8 @@ from repro.parsing.base import BatchParser, Parser, parse_in_batches
 from repro.parsing.drain import DrainParser
 from repro.parsing.logram import LogramParser
 from repro.parsing.masking import default_masker, no_masker
+from repro.telemetry.instrument import PipelineTelemetry
+from repro.telemetry.server import MetricsServer
 
 #: Distinguishes "caller said nothing" from an explicit ``None``
 #: (= one batch for the whole list) in :meth:`Pipeline.process`.
@@ -161,6 +164,27 @@ class Pipeline:
         self._stats = PipelineStats()
         self._trained = False
         self._report_counter = 0
+        # -- observability: telemetry registry + adaptive controller --------
+        self._batch_size_override: int | None = None
+        self._metrics_server: MetricsServer | None = None
+        telemetry_config = spec.telemetry_config()
+        self._telemetry = (
+            PipelineTelemetry(telemetry_config)
+            if telemetry_config is not None else None
+        )
+        if self._telemetry is not None:
+            self._telemetry.attach_pipeline(self)
+        autoscale_config = spec.autoscale_config()
+        self.autoscaler = (
+            AutoscaleController(autoscale_config, pipeline=self,
+                                telemetry=self._telemetry)
+            if autoscale_config is not None else None
+        )
+        if self.autoscaler is not None and self._telemetry is not None:
+            self._telemetry.attach_autoscale(self.autoscaler)
+        if (telemetry_config is not None
+                and telemetry_config.metrics_port is not None):
+            self.start_metrics_server(telemetry_config.metrics_port)
 
     # -- construction -----------------------------------------------------------
 
@@ -205,20 +229,94 @@ class Pipeline:
 
     @property
     def batch_size(self) -> int:
-        """Effective micro-batch size (sharded runtimes never go below 1)."""
+        """Effective micro-batch size (sharded runtimes never go below 1).
+
+        The spec's value, unless the autoscale controller has adjusted
+        it at runtime (:meth:`set_batch_size`) — batch size is
+        output-neutral by the batching invariants, which is what makes
+        it safe to move live.
+        """
+        size = (self._batch_size_override
+                if self._batch_size_override is not None
+                else self.spec.batch_size)
         if self._sharded:
-            return self.spec.batch_size or 1
-        return self.spec.batch_size
+            return size or 1
+        return size
+
+    def set_batch_size(self, batch_size: int) -> None:
+        """Adjust the micro-batch size at runtime (autoscale's knob).
+
+        Alerts are identical for every batch size (proven by
+        ``tests/test_batching.py``); only amortization changes.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self._batch_size_override = batch_size
 
     def stats(self) -> PipelineStats:
         """The live pipeline counters."""
         return self._stats
 
+    # -- observability ----------------------------------------------------------
+
+    @property
+    def telemetry_enabled(self) -> bool:
+        return self._telemetry is not None
+
+    @property
+    def metrics_server(self) -> MetricsServer | None:
+        """The running HTTP endpoint, if one was started."""
+        return self._metrics_server
+
+    def telemetry(self) -> dict | None:
+        """The JSON telemetry snapshot (``None`` with telemetry off).
+
+        The same content the HTTP endpoint serves at ``/telemetry``;
+        ``repro stats`` prints exactly this.
+        """
+        if self._telemetry is None:
+            return None
+        return self._telemetry.snapshot()
+
+    def metrics_text(self) -> str | None:
+        """The Prometheus exposition (``None`` with telemetry off)."""
+        if self._telemetry is None:
+            return None
+        return self._telemetry.render_prometheus()
+
+    def start_metrics_server(self, port: int | None = None) -> MetricsServer:
+        """Serve ``/metrics`` + ``/telemetry`` over HTTP until close.
+
+        Asking for the endpoint *is* opting into telemetry, so a dark
+        pipeline grows a registry here (instrumented from now on).
+        ``port`` defaults to the spec's ``metrics_port`` (else an
+        ephemeral port); a second call returns the running server.
+        """
+        if self._metrics_server is not None:
+            return self._metrics_server
+        if self._telemetry is None:
+            self._telemetry = PipelineTelemetry()
+            self._telemetry.attach_pipeline(self)
+            if self.autoscaler is not None:
+                self.autoscaler.telemetry = self._telemetry
+                self._telemetry.attach_autoscale(self.autoscaler)
+        if port is None:
+            port = (self._telemetry.config.metrics_port
+                    if self._telemetry.config.metrics_port is not None
+                    else 0)
+        self._metrics_server = MetricsServer(self._telemetry.registry,
+                                             port)
+        return self._metrics_server
+
     # -- lifecycle: close -------------------------------------------------------
 
     def close(self) -> None:
-        """Release the executor's worker pool (idempotent)."""
+        """Release the executor's worker pool and the metrics endpoint
+        (idempotent)."""
         self.executor.close()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            self._metrics_server = None
 
     def __enter__(self) -> "Pipeline":
         return self
@@ -349,10 +447,36 @@ class Pipeline:
 
     def _parse_batched(self, records: Iterable[LogRecord]) -> list[ParsedLog]:
         """Drain micro-batches of ``batch_size`` through the shards."""
-        parsed = parse_in_batches(self.parser, records, self.batch_size)
+        parsed = self._timed_parse(records, self.batch_size)
         self._stats.records_parsed += len(parsed)
         self._stats.templates_discovered = self.parser.template_count
         return parsed
+
+    def _timed_parse(self, records: Iterable[LogRecord],
+                     batch_size: int | None) -> list[ParsedLog]:
+        """``parse_in_batches`` with the stage-1 latency observed.
+
+        The telemetry hook is read-only (clock + histogram), so output
+        is byte-identical with telemetry on or off; disabled cost is
+        one ``is None`` check per call.
+        """
+        telemetry = self._telemetry
+        if telemetry is None:
+            return parse_in_batches(self.parser, records, batch_size)
+        start = telemetry.clock()
+        parsed = parse_in_batches(self.parser, records, batch_size)
+        telemetry.observe_parse(len(parsed), telemetry.clock() - start)
+        return parsed
+
+    def _push_sessionizer(self, event: ParsedLog) -> list[list[ParsedLog]]:
+        """``sessionizer.push`` with the sessionize latency observed."""
+        telemetry = self._telemetry
+        if telemetry is None:
+            return self.sessionizer.push(event)
+        start = telemetry.clock()
+        closed = self.sessionizer.push(event)
+        telemetry.observe_sessionize(telemetry.clock() - start)
+        return closed
 
     # -- scoring ----------------------------------------------------------------
 
@@ -366,7 +490,13 @@ class Pipeline:
         if len(window) < self.spec.min_window_events:
             return None
         self._stats.windows_scored += 1
-        result = self.detector.detect(window)
+        telemetry = self._telemetry
+        if telemetry is None:
+            result = self.detector.detect(window)
+        else:
+            start = telemetry.clock()
+            result = self.detector.detect(window)
+            telemetry.observe_detect(1, telemetry.clock() - start)
         if not result.anomalous:
             return None
         self._stats.anomalies_detected += 1
@@ -399,10 +529,15 @@ class Pipeline:
         for (_, events), shard in zip(keyed_sessions, shard_of):
             groups[shard].append(events)
         busy = [shard for shard in range(shards) if groups[shard]]
+        telemetry = self._telemetry
+        start = telemetry.clock() if telemetry is not None else 0.0
         outcomes = self.executor.map(
             _detect_shard,
             [(self.detectors[shard], groups[shard]) for shard in busy],
         )
+        if telemetry is not None:
+            telemetry.observe_detect(len(keyed_sessions),
+                                     telemetry.clock() - start)
         per_shard = {shard: iter(results)
                      for shard, results in zip(busy, outcomes)}
         return [next(per_shard[shard]) for shard in shard_of]
@@ -520,16 +655,16 @@ class Pipeline:
         """The finite-batch windowing path, regardless of streaming mode."""
         self._require_trained("process")
         if batch_size is _UNSET:
-            batch_size = self.spec.batch_size
+            batch_size = self.batch_size
         if self._sharded:
-            parsed = parse_in_batches(self.parser, records, batch_size or 1)
+            parsed = self._timed_parse(records, batch_size or 1)
             self._stats.records_parsed += len(parsed)
             self._stats.templates_discovered = self.parser.template_count
             return self.score_sessions(_sessions_by_key(parsed).values())
         if batch_size == 0:
             parsed = list(self._parse(records))
         else:
-            parsed = parse_in_batches(self.parser, records, batch_size)
+            parsed = self._timed_parse(records, batch_size)
             self._stats.records_parsed += len(parsed)
         self._stats.templates_discovered = self.parser.template_count
         alerts = []
@@ -587,10 +722,16 @@ class Pipeline:
                 "process_record() needs streaming mode; set spec.streaming "
                 "or call stream() first"
             )
-        parsed = self.parser.parse_record(record)
+        telemetry = self._telemetry
+        if telemetry is None:
+            parsed = self.parser.parse_record(record)
+        else:
+            start = telemetry.clock()
+            parsed = self.parser.parse_record(record)
+            telemetry.observe_parse(1, telemetry.clock() - start)
         self._stats.records_parsed += 1
         self._stats.templates_discovered = self.parser.template_count
-        closed = self.sessionizer.push(parsed)
+        closed = self._push_sessionizer(parsed)
         if self._sharded:
             return self.score_sessions(closed) if closed else []
         alerts = []
@@ -605,23 +746,23 @@ class Pipeline:
     ) -> list[ClassifiedAlert]:
         if self._sharded:
             size = self.batch_size if batch_size is _UNSET else (batch_size or 1)
-            parsed = parse_in_batches(self.parser, records, size)
+            parsed = self._timed_parse(records, size)
             self._stats.records_parsed += len(parsed)
             self._stats.templates_discovered = self.parser.template_count
             closed: list[list[ParsedLog]] = []
             for event in parsed:
-                closed.extend(self.sessionizer.push(event))
+                closed.extend(self._push_sessionizer(event))
             return self.score_sessions(closed) if closed else []
         records = list(records)
         if batch_size is _UNSET or batch_size is None:
-            parsed = self.parser.parse_batch(records)
+            parsed = self._timed_parse(records, None)
         else:
-            parsed = parse_in_batches(self.parser, records, batch_size or None)
+            parsed = self._timed_parse(records, batch_size or None)
         self._stats.records_parsed += len(parsed)
         self._stats.templates_discovered = self.parser.template_count
         alerts = []
         for event in parsed:
-            for session in self.sessionizer.push(event):
+            for session in self._push_sessionizer(event):
                 alert = self._score_window(session)
                 if alert is not None:
                     alerts.append(alert)
@@ -643,7 +784,8 @@ class Pipeline:
 
     # -- lifecycle: ingestion ---------------------------------------------------
 
-    def serve(self, sources=None, *, checkpoint=None, on_alert=None):
+    def serve(self, sources=None, *, checkpoint=None, on_alert=None,
+              metrics_port: int | None = None):
         """An :class:`~repro.ingest.service.IngestService` over this
         pipeline: ``await pipeline.serve().run()`` tails the spec's (or
         the given) live sources through the async front-end — watermark
@@ -653,7 +795,10 @@ class Pipeline:
         ``sources`` defaults to ``spec.sources`` built through the
         registry; ``checkpoint`` (a path or a
         :class:`~repro.ingest.checkpoint.CheckpointStore`) defaults to
-        ``spec.checkpoint``.
+        ``spec.checkpoint``.  ``metrics_port`` starts the telemetry
+        HTTP endpoint for the service's lifetime (enabling telemetry
+        if the spec ran dark); the spec's ``[telemetry]`` /
+        ``[autoscale]`` tables wire themselves in automatically.
         """
         from repro.ingest.checkpoint import CheckpointStore
         from repro.ingest.service import IngestService
@@ -663,6 +808,8 @@ class Pipeline:
                 "serve() needs streaming mode; set spec.streaming or call "
                 "stream() first"
             )
+        if metrics_port is not None:
+            self.start_metrics_server(metrics_port)
         if sources is None:
             sources = self.spec.build_sources()
         store = checkpoint if checkpoint is not None else self.spec.checkpoint
@@ -673,6 +820,8 @@ class Pipeline:
             config=self.spec.ingest_config(),
             checkpoint=store,
             on_alert=on_alert,
+            telemetry=self._telemetry,
+            autoscale=self.autoscaler,
         )
 
     # -- measurement ------------------------------------------------------------

@@ -39,6 +39,8 @@ _PROVIDERS: dict[str, tuple[str, ...]] = {
     "sessionizer": ("repro.core.streaming",),
     "source": ("repro.ingest.sources", "repro.logs.sources"),
     "executor": ("repro.core.executors",),
+    "telemetry": ("repro.telemetry.config",),
+    "autoscale": ("repro.autoscale.config",),
 }
 
 

@@ -46,6 +46,10 @@ from repro.core.validation import ConfigError, Validator
 #: Environment-variable prefix of :meth:`PipelineSpec.with_env`.
 ENV_PREFIX = "MONILOG_"
 
+#: Spec table fields that hold registry-validated component options:
+#: field name (== component kind) -> default component name.
+_TABLE_COMPONENTS = {"telemetry": "standard", "autoscale": "aimd"}
+
 _TRUTHY = {"1", "true", "yes", "on"}
 _FALSY = {"0", "false", "no", "off"}
 
@@ -93,6 +97,15 @@ class PipelineSpec:
         sources: live-source declarations for ingestion, each a dict
             with a ``type`` naming a registered source plus its
             constructor kwargs.
+        telemetry: the ``[telemetry]`` table — options of
+            :class:`~repro.telemetry.config.TelemetryConfig` (an
+            optional ``type`` selects a registered implementation).
+            Declaring the table enables runtime telemetry; empty dict
+            (the default) runs dark with zero instrumentation cost.
+        autoscale: the ``[autoscale]`` table — options of
+            :class:`~repro.autoscale.config.AutoscaleConfig`.
+            Declaring it arms the adaptive controller over the
+            ingestion and batching knobs.
     """
 
     # -- stage 1: parsing -------------------------------------------------------
@@ -126,6 +139,9 @@ class PipelineSpec:
     poll_interval: float = 0.05
     checkpoint: str | None = None
     sources: list[dict[str, Any]] = field(default_factory=list)
+    # -- observability ----------------------------------------------------------
+    telemetry: dict[str, Any] = field(default_factory=dict)
+    autoscale: dict[str, Any] = field(default_factory=dict)
 
     # -- validation -------------------------------------------------------------
 
@@ -184,6 +200,33 @@ class PipelineSpec:
                     "source", kind, options
                 ):
                     check.error(label, problem)
+        for table_field, default_type in _TABLE_COMPONENTS.items():
+            table = getattr(self, table_field)
+            if not isinstance(table, dict):
+                check.error(table_field, "must be a table/dict of options")
+                continue
+            if not table:
+                continue
+            name = table.get("type", default_type)
+            options = {k: v for k, v in table.items() if k != "type"}
+            problems = REGISTRY.option_errors(table_field, name, options)
+            for problem in problems:
+                check.error(table_field, problem)
+            if not problems:
+                # The config dataclasses are cheap: construct now so
+                # value-range errors aggregate here, field-named, not
+                # at pipeline build time.  Wrong *types* (a quoted
+                # number in a spec file) surface from the same
+                # construction as TypeError/ValueError — fold them
+                # into the aggregate too instead of letting a raw
+                # traceback escape the validation layer.
+                try:
+                    REGISTRY.create(table_field, name, options)
+                except ConfigError as failure:
+                    for line in failure.errors:
+                        check.error(table_field, line)
+                except (TypeError, ValueError) as failure:
+                    check.error(table_field, str(failure))
 
     def _validate_knobs(self, check: Validator) -> None:
         check.require(
@@ -283,15 +326,20 @@ class PipelineSpec:
 
         Scalar fields only (``MONILOG_SHARDS=4``, ``MONILOG_DETECTOR=pca``,
         ``MONILOG_STREAMING=true``); option tables and sources stay
-        file/flag territory.  Unparseable values aggregate into one
-        :class:`ConfigError` like any other bad knob.
+        file/flag territory — except the ``[telemetry]``/``[autoscale]``
+        tables, whose scalar options override as
+        ``MONILOG_<TABLE>_<OPTION>`` (``MONILOG_TELEMETRY_ENABLED=1``,
+        ``MONILOG_AUTOSCALE_INTERVAL=0.5``): observability must be
+        switchable per run without editing a checked-in spec.
+        Unparseable values aggregate into one :class:`ConfigError`
+        like any other bad knob.
         """
         env = os.environ if env is None else env
         overrides: dict[str, Any] = {}
         errors: list[str] = []
         for spec_field in dataclasses.fields(self):
             if spec_field.name in ("parser_options", "detector_options",
-                                   "sources"):
+                                   "sources", *_TABLE_COMPONENTS):
                 continue
             raw = env.get(ENV_PREFIX + spec_field.name.upper())
             if raw is None:
@@ -304,6 +352,41 @@ class PipelineSpec:
                     f"{spec_field.name}: bad {ENV_PREFIX}"
                     f"{spec_field.name.upper()} value {raw!r} ({error})"
                 )
+        for table_field, default_type in _TABLE_COMPONENTS.items():
+            table = dict(getattr(self, table_field) or {})
+            component = REGISTRY.get(table_field,
+                                     table.get("type", default_type))
+            changed = False
+            for option in dataclasses.fields(component.cls):
+                variable = (f"{ENV_PREFIX}{table_field.upper()}"
+                            f"_{option.name.upper()}")
+                raw = env.get(variable)
+                if raw is None:
+                    continue
+                if option.name in table:
+                    current = table[option.name]
+                elif option.default is not dataclasses.MISSING:
+                    current = option.default
+                else:
+                    current = None
+                try:
+                    table[option.name] = _coerce(raw, current,
+                                                 guess_numeric=True)
+                    changed = True
+                except ValueError as error:
+                    errors.append(
+                        f"{table_field}.{option.name}: bad {variable} "
+                        f"value {raw!r} ({error})"
+                    )
+            if changed:
+                if not getattr(self, table_field) and "enabled" not in table:
+                    # Declaring the table (or MONILOG_<TABLE>_ENABLED,
+                    # or a CLI flag) is the opt-in; a tuning variable
+                    # like MONILOG_AUTOSCALE_INTERVAL exported globally
+                    # must not arm the subsystem on specs that never
+                    # asked for it — carry the tuning, stay dark.
+                    table["enabled"] = False
+                overrides[table_field] = table
         if errors:
             raise ConfigError(type(self).__name__, errors)
         return self.replace(**overrides) if overrides else self
@@ -370,9 +453,45 @@ class PipelineSpec:
             for entry in self.sources
         ]
 
+    def _table_config(self, table_field: str) -> Any | None:
+        table = getattr(self, table_field)
+        if not table:
+            return None
+        config = REGISTRY.create(
+            table_field, table.get("type", _TABLE_COMPONENTS[table_field]),
+            {key: value for key, value in table.items() if key != "type"},
+        )
+        return config if config.enabled else None
 
-def _coerce(raw: str, current: Any) -> Any:
-    """Parse an environment string against the field's current type."""
+    def telemetry_config(self):
+        """The ``[telemetry]`` table as a
+        :class:`~repro.telemetry.config.TelemetryConfig`, or ``None``
+        when telemetry is off (no table, or ``enabled = false``)."""
+        return self._table_config("telemetry")
+
+    def autoscale_config(self):
+        """The ``[autoscale]`` table as an
+        :class:`~repro.autoscale.config.AutoscaleConfig`, or ``None``
+        when autoscaling is off."""
+        return self._table_config("autoscale")
+
+
+def _coerce(raw: str, current: Any, guess_numeric: bool = False) -> Any:
+    """Parse an environment string against the field's current type.
+
+    ``guess_numeric`` governs ``current is None``: table options like
+    ``metrics_port`` default to ``None`` but want the numeric reading,
+    while top-level optional fields like ``checkpoint`` are paths —
+    a checkpoint directory named ``2024`` must stay a string.
+    """
+    if current is None:
+        if guess_numeric:
+            for parse in (int, float):
+                try:
+                    return parse(raw)
+                except ValueError:
+                    continue
+        return raw
     if isinstance(current, bool):
         lowered = raw.strip().lower()
         if lowered in _TRUTHY:

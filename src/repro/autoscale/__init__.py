@@ -1,0 +1,26 @@
+"""Adaptive autoscaling: the measurement-to-control loop.
+
+:class:`AutoscaleController` consumes the signals
+:mod:`repro.telemetry` collects — per-source arrival rates, hand-off
+queue depth, credit-gate pressure, per-batch latency, shard loads —
+and adjusts the knobs that are provably safe to move at runtime:
+the ingestion credit budget, micro-batch size and age, and the
+pipeline's detector micro-batch size.  Shard-count changes are *not*
+safe at runtime, so imbalance surfaces as an advisory instead.
+
+Enable it declaratively::
+
+    spec = PipelineSpec(streaming=True,
+                        telemetry={"metrics_port": 9100},
+                        autoscale={"interval": 2.0})
+    service = Pipeline.from_spec(spec).fit(history).serve()
+    await service.run()
+
+See ``docs/telemetry.md`` for a tuning guide and
+``benchmarks/bench_x11_autoscale.py`` for the convergence proof.
+"""
+
+from repro.autoscale.config import AutoscaleConfig
+from repro.autoscale.controller import AutoscaleController
+
+__all__ = ["AutoscaleConfig", "AutoscaleController"]

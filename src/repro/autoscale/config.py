@@ -1,0 +1,104 @@
+"""Declarative autoscaling configuration (the spec's ``[autoscale]`` table).
+
+Registered in the component registry under kind ``"autoscale"`` (name
+``"aimd"``, after the control family the controller implements), so
+:class:`~repro.api.spec.PipelineSpec` validates the table against this
+constructor exactly like any other component's options.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.registry import register_component
+from repro.core.validation import Validator
+
+
+@register_component("autoscale", "aimd")
+@dataclass
+class AutoscaleConfig:
+    """Knobs of the adaptive controller (see
+    :class:`~repro.autoscale.controller.AutoscaleController`).
+
+    Only *bounds and targets* live here; the controller picks actual
+    knob values at runtime from measured signals.  Every adjustable
+    knob is clamped to its ``[min, max]`` range, so a misbehaving
+    signal can never push the runtime outside the envelope an operator
+    declared safe.
+
+    Attributes:
+        enabled: master switch.  Declaring an ``[autoscale]`` table is
+            the opt-in; ``enabled = false`` keeps the tuning without
+            the control loop.
+        interval: seconds between controller ticks (measurement
+            cadence; each tick reads signal deltas since the last).
+        min_credits / max_credits: envelope of the ingestion credit
+            budget (:class:`~repro.ingest.backpressure.CreditGate`).
+        min_ingest_batch / max_ingest_batch: envelope of the ingestion
+            micro-batch size (:class:`~repro.ingest.batcher.MicroBatcher`).
+        min_batch_age / max_batch_age: envelope of the micro-batcher's
+            age bound, seconds.
+        min_batch_size / max_batch_size: envelope of the pipeline's
+            detector micro-batch size (``Pipeline.batch_size``).
+        target_batch_seconds: per-batch processing latency the detect
+            path should stay under; sustained overshoot halves the
+            pipeline micro-batch.
+        idle_fraction: credit-utilization floor — when in-use credits
+            sit below this fraction of the budget for two consecutive
+            ticks, the budget decays additively toward ``min_credits``.
+        imbalance_threshold: max/mean parser-shard load ratio above
+            which a shard-imbalance advisory is raised.
+    """
+
+    enabled: bool = True
+    interval: float = 1.0
+    min_credits: int = 16
+    max_credits: int = 65536
+    min_ingest_batch: int = 1
+    max_ingest_batch: int = 8192
+    min_batch_age: float = 0.05
+    max_batch_age: float = 1.0
+    min_batch_size: int = 32
+    max_batch_size: int = 8192
+    target_batch_seconds: float = 0.25
+    idle_fraction: float = 0.25
+    imbalance_threshold: float = 2.0
+
+    def __post_init__(self) -> None:
+        check = Validator(type(self).__name__)
+        check.require(self.interval > 0, "interval",
+                      f"must be > 0, got {self.interval}")
+        check.require(self.min_credits >= 1, "min_credits",
+                      f"must be >= 1, got {self.min_credits}")
+        check.require(
+            self.max_credits >= self.min_credits, "max_credits",
+            f"must be >= min_credits ({self.min_credits}), "
+            f"got {self.max_credits}")
+        check.require(self.min_ingest_batch >= 1, "min_ingest_batch",
+                      f"must be >= 1, got {self.min_ingest_batch}")
+        check.require(
+            self.max_ingest_batch >= self.min_ingest_batch,
+            "max_ingest_batch",
+            f"must be >= min_ingest_batch ({self.min_ingest_batch}), "
+            f"got {self.max_ingest_batch}")
+        check.require(self.min_batch_age > 0, "min_batch_age",
+                      f"must be > 0, got {self.min_batch_age}")
+        check.require(
+            self.max_batch_age >= self.min_batch_age, "max_batch_age",
+            f"must be >= min_batch_age ({self.min_batch_age}), "
+            f"got {self.max_batch_age}")
+        check.require(self.min_batch_size >= 1, "min_batch_size",
+                      f"must be >= 1, got {self.min_batch_size}")
+        check.require(
+            self.max_batch_size >= self.min_batch_size, "max_batch_size",
+            f"must be >= min_batch_size ({self.min_batch_size}), "
+            f"got {self.max_batch_size}")
+        check.require(self.target_batch_seconds > 0, "target_batch_seconds",
+                      f"must be > 0, got {self.target_batch_seconds}")
+        check.require(
+            0 < self.idle_fraction < 1, "idle_fraction",
+            f"must be in (0, 1), got {self.idle_fraction}")
+        check.require(
+            self.imbalance_threshold >= 1, "imbalance_threshold",
+            f"must be >= 1, got {self.imbalance_threshold}")
+        check.done()

@@ -1,0 +1,316 @@
+"""The adaptive controller: telemetry signals in, knob movements out.
+
+MoniLog deployments historically froze their scale knobs at
+construction — ingestion micro-batch size, batch age, credit budget,
+detector micro-batch size — which means every deployment is mis-sized
+for some phase of its traffic.  :class:`AutoscaleController` closes
+the measurement→control loop over the signals the telemetry layer
+already collects:
+
+* **credit budget** (:class:`~repro.ingest.backpressure.CreditGate`):
+  AIMD-style — producers observed *blocking* on the gate double the
+  budget (the mis-sized-small case must converge in O(log) ticks);
+  sustained low utilization decays it additively.  Bounded by
+  ``[min_credits, max_credits]``.
+* **ingestion micro-batch size / age**
+  (:class:`~repro.ingest.batcher.MicroBatcher`): the batch is sized to
+  what actually arrives within one age window (measured per-source
+  arrival rates, summed) and to the hand-off backlog — ramped
+  multiplicatively toward the target, decayed additively, so a burst
+  grows it fast and a lull shrinks it gently.  A trickle stream
+  stretches the age bound (fewer, fuller batches); a flood shrinks it
+  back toward the latency floor.
+* **pipeline micro-batch size** (``Pipeline.batch_size``): classic
+  AIMD on measured per-batch processing latency — multiplicative
+  decrease when a batch overshoots ``target_batch_seconds`` (the
+  congestion event: one oversized batch stalls every source through
+  back-pressure), additive increase while there is headroom.
+* **shard imbalance**: *advisory only* — shard counts cannot change
+  safely at runtime (templates live in per-shard state), so a
+  max/mean load ratio beyond the threshold surfaces in telemetry
+  instead of being acted on.
+
+Every knob movement is clamped to the config's ``[min, max]``
+envelope, recorded in :meth:`status`, and counted in telemetry.  The
+controller never touches record data or detector state — alerts are
+byte-identical with the controller on or off (the X11 bench holds it
+to that), because every knob it moves is already proven
+output-neutral.
+
+The tick is **explicit-clock** (`tick(now)`) and single-threaded by
+contract: the ingestion service drives :meth:`maybe_tick` from its
+event loop; offline callers tick between batches.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+
+from repro.autoscale.config import AutoscaleConfig
+
+#: Knob movements kept for ``status()`` (a diagnostic ring, not a log).
+_MAX_ADJUSTMENTS = 64
+
+
+class AutoscaleController:
+    """Adjust runtime knobs from telemetry signals on a cadence.
+
+    Args:
+        config: bounds, targets, and cadence; defaults apply.
+        pipeline: the :class:`~repro.api.pipeline.Pipeline` whose
+            micro-batch size (and shard balance) the controller
+            manages; optional — a service-only controller manages just
+            the ingestion knobs.
+        telemetry: a
+            :class:`~repro.telemetry.instrument.PipelineTelemetry` to
+            count adjustments and carry advisories; optional.
+        clock: the cadence clock (``time.monotonic``); tests inject a
+            fake and drive :meth:`tick` directly.
+    """
+
+    def __init__(self, config: AutoscaleConfig | None = None, *,
+                 pipeline=None, telemetry=None,
+                 clock=time.monotonic) -> None:
+        self.config = config or AutoscaleConfig()
+        self.pipeline = pipeline
+        self.telemetry = telemetry
+        self.clock = clock
+        self.service = None
+        self.ticks = 0
+        self.adjustments: deque[str] = deque(maxlen=_MAX_ADJUSTMENTS)
+        self.advisories: deque[str] = deque(maxlen=_MAX_ADJUSTMENTS)
+        # Ticks run on one thread (the service's event loop), but
+        # status() is read from metrics-scrape threads: the lock keeps
+        # ring iteration safe against concurrent appends.
+        self._lock = threading.Lock()
+        self._next_tick: float | None = None
+        # Signal baselines (deltas are per-tick).
+        self._last_waits = 0
+        self._last_batches = 0
+        self._last_busy = 0.0
+        self._idle_ticks = 0
+
+    # -- wiring ------------------------------------------------------------------
+
+    def bind(self, service) -> "AutoscaleController":
+        """Attach the ingestion service whose knobs this controller owns.
+
+        Called by :class:`~repro.ingest.service.IngestService` when the
+        controller is handed to it.  A pipeline-lifetime controller
+        outlives each single-run service, so binding a *different*
+        service re-baselines the per-tick signal deltas and starts
+        fresh (``Pipeline.serve()`` per run); what stays forbidden is
+        two *concurrent* services sharing one controller — the second
+        bind steals the knobs from under the first, which is why a
+        rebind resets rather than blends state.
+        """
+        if self.service is not service:
+            self.service = service
+            self._next_tick = None
+            self._last_waits = 0
+            self._last_batches = 0
+            self._last_busy = 0.0
+            self._idle_ticks = 0
+        return self
+
+    # -- cadence -----------------------------------------------------------------
+
+    def maybe_tick(self, now: float | None = None) -> bool:
+        """Tick if the cadence interval has elapsed; returns whether."""
+        now = self.clock() if now is None else now
+        if self._next_tick is None:
+            self._next_tick = now + self.config.interval
+            return False
+        if now < self._next_tick:
+            return False
+        self.tick(now)
+        self._next_tick = now + self.config.interval
+        return True
+
+    # -- the control loop --------------------------------------------------------
+
+    def tick(self, now: float | None = None) -> list[str]:
+        """Run one control cycle; returns the adjustments it made."""
+        now = self.clock() if now is None else now
+        self.ticks += 1
+        made: list[str] = []
+        if self.service is not None:
+            made += self._scale_credits()
+            made += self._scale_ingest_batch(now)
+            made += self._scale_pipeline_batch()
+        self._check_shard_balance()
+        return made
+
+    def _adjust(self, knob: str, old, new, reason: str) -> str:
+        message = f"{knob}: {old} -> {new} ({reason})"
+        with self._lock:
+            self.adjustments.append(message)
+        if self.telemetry is not None:
+            self.telemetry.autoscale_adjustments.labels(knob=knob).inc()
+        return message
+
+    def _scale_credits(self) -> list[str]:
+        gate = self.service.gate
+        config = self.config
+        waits_delta = gate.waits - self._last_waits
+        self._last_waits = gate.waits
+        old = gate.capacity
+        if waits_delta > 0:
+            # Producers blocked since the last tick: the budget is the
+            # bottleneck.  Double (bounded) — from a mis-sized budget
+            # of 1 this converges in log2(target) ticks.
+            new = min(config.max_credits, old * 2)
+            if new != old:
+                gate.resize(new)
+                self._idle_ticks = 0
+                return [self._adjust("credits", old, new,
+                                     f"{waits_delta} producers blocked")]
+            return []
+        if gate.in_use < config.idle_fraction * old:
+            self._idle_ticks += 1
+        else:
+            self._idle_ticks = 0
+        if self._idle_ticks >= 2 and old > config.min_credits:
+            # Two quiet ticks: decay additively — slow release keeps
+            # headroom for the next burst (AIMD's gentle half).
+            new = max(config.min_credits, old - max(1, old // 8))
+            gate.resize(new)
+            self._idle_ticks = 0
+            return [self._adjust("credits", old, new,
+                                 "sustained low utilization")]
+        return []
+
+    def _scale_ingest_batch(self, now: float) -> list[str]:
+        batcher = self.service.batcher
+        handoff = self.service.handoff
+        config = self.config
+        made: list[str] = []
+        rate = sum(meter.rate(now) for meter in self.service.meters.values())
+
+        # Size the batch to one age window of measured arrivals, or to
+        # the hand-off backlog if that is deeper (drain pressure).
+        desired = max(math.ceil(rate * batcher.max_age), handoff.depth)
+        desired = max(config.min_ingest_batch,
+                      min(config.max_ingest_batch, desired))
+        old = batcher.max_size
+        if desired > old:
+            # Multiplicative ramp toward the target: a bursty arrival
+            # spike doubles the batch per tick instead of jumping —
+            # each step's effect is measured before the next.
+            new = min(desired, max(old * 2, config.min_ingest_batch))
+            batcher.configure(max_size=new)
+            made.append(self._adjust(
+                "ingest_batch_size", old, new,
+                f"arrival rate {rate:.0f}/s, depth {handoff.depth}"))
+        elif desired < old // 2:
+            # Additive decay: lulls shrink the batch gently so the age
+            # bound, not the size bound, carries quiet periods.
+            new = max(desired, old - max(1, old // 4))
+            batcher.configure(max_size=new)
+            made.append(self._adjust(
+                "ingest_batch_size", old, new,
+                f"arrival rate {rate:.0f}/s"))
+
+        # Age: a trickle (under one record per window) stretches the
+        # bound toward fewer, fuller batches; a flood shrinks it back
+        # toward the latency floor (batches fill by size anyway).
+        old_age = batcher.max_age
+        if rate > 0 and rate * old_age < 1.0:
+            new_age = min(config.max_batch_age, old_age * 1.5)
+            if new_age != old_age:
+                batcher.configure(max_age=new_age)
+                made.append(self._adjust(
+                    "max_batch_age", round(old_age, 4), round(new_age, 4),
+                    f"trickle source ({rate:.2f}/s)"))
+        elif rate * config.min_batch_age >= batcher.max_size > 0 \
+                and old_age > config.min_batch_age:
+            new_age = max(config.min_batch_age, old_age / 1.5)
+            batcher.configure(max_age=new_age)
+            made.append(self._adjust(
+                "max_batch_age", round(old_age, 4), round(new_age, 4),
+                f"flood ({rate:.0f}/s) fills batches by size"))
+        return made
+
+    def _scale_pipeline_batch(self) -> list[str]:
+        handoff = self.service.handoff
+        config = self.config
+        batches_delta = handoff.batches - self._last_batches
+        busy_delta = handoff.busy_seconds - self._last_busy
+        self._last_batches = handoff.batches
+        self._last_busy = handoff.busy_seconds
+        pipeline = self.pipeline
+        if pipeline is None or batches_delta <= 0:
+            return []
+        current = pipeline.batch_size
+        if current == 0:
+            # 0 = the per-record reference mode; an operator chose it
+            # deliberately (debugging), so the controller leaves it be.
+            return []
+        batch_seconds = busy_delta / batches_delta
+        if batch_seconds > config.target_batch_seconds:
+            # Multiplicative decrease: one oversized batch stalls every
+            # source through back-pressure — the congestion event.  A
+            # decrease only ever decreases: a spec batch already below
+            # the configured floor stays where the operator put it.
+            new = max(config.min_batch_size, current // 2)
+            if new < current:
+                pipeline.set_batch_size(new)
+                return [self._adjust(
+                    "batch_size", current, new,
+                    f"batch took {batch_seconds:.3f}s "
+                    f"(target {config.target_batch_seconds}s)")]
+        elif (batch_seconds < config.target_batch_seconds / 4
+              and current < config.max_batch_size):
+            # Additive increase while there is latency headroom.
+            new = min(config.max_batch_size,
+                      current + max(16, current // 8))
+            pipeline.set_batch_size(new)
+            return [self._adjust(
+                "batch_size", current, new,
+                f"batch took {batch_seconds:.3f}s, headroom")]
+        return []
+
+    def _check_shard_balance(self) -> None:
+        pipeline = self.pipeline
+        if pipeline is None or not pipeline.sharded:
+            return
+        loads = pipeline.parser.shard_loads
+        mean = sum(loads) / len(loads)
+        if not mean:
+            return
+        imbalance = max(loads) / mean
+        if imbalance > self.config.imbalance_threshold:
+            hot = loads.index(max(loads))
+            message = (
+                f"shard imbalance {imbalance:.2f}x (threshold "
+                f"{self.config.imbalance_threshold}x): shard {hot} holds "
+                f"{max(loads)} of {sum(loads)} records — consider more "
+                "shards or rebalancing source routing"
+            )
+            with self._lock:
+                if not self.advisories or self.advisories[-1] != message:
+                    self.advisories.append(message)
+            if self.telemetry is not None:
+                self.telemetry.advise(message)
+
+    # -- exposition --------------------------------------------------------------
+
+    def status(self) -> dict:
+        """Current knob positions, tick count, and recent movements."""
+        knobs: dict[str, float] = {}
+        if self.service is not None:
+            knobs["credits"] = self.service.gate.capacity
+            knobs["ingest_batch_size"] = self.service.batcher.max_size
+            knobs["max_batch_age"] = self.service.batcher.max_age
+        if self.pipeline is not None:
+            knobs["batch_size"] = self.pipeline.batch_size
+        with self._lock:
+            return {
+                "ticks": self.ticks,
+                "knobs": knobs,
+                "adjustments": list(self.adjustments),
+                "advisories": list(self.advisories),
+            }

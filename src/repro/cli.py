@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands covering the adoption path of a downstream user:
+Six commands covering the adoption path of a downstream user:
 
 * ``generate`` — write a synthetic ground-truthed corpus to a log file
   (dashed Fig. 2 layout) for trying the tools on disk;
@@ -13,7 +13,16 @@ Five commands covering the adoption path of a downstream user:
 * ``tail``     — train on a history file, then *live-ingest* N files
   and/or sockets concurrently through the async front-end
   (:mod:`repro.ingest`): watermark merge, micro-batching, credit-based
-  back-pressure, and per-source checkpoints for exact resume.
+  back-pressure, and per-source checkpoints for exact resume;
+* ``stats``    — run the pipeline with telemetry enabled and print the
+  JSON metric snapshot (or, with ``--metrics-port``/``--scrape``, the
+  Prometheus exposition fetched through the real HTTP endpoint).
+
+``--telemetry`` / ``--metrics-port`` / ``--autoscale`` arm the
+observability subsystem on ``pipeline`` and ``tail``: metrics serve at
+``http://127.0.0.1:<port>/metrics`` (Prometheus) and ``/telemetry``
+(JSON) while the command runs, and the autoscale controller adapts
+batch/credit knobs live (see ``docs/telemetry.md``).
 
 The CLI is a thin veneer over the unified pipeline API
 (:mod:`repro.api`): component menus come from the registry, and the
@@ -29,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import json
 import signal
 import sys
 from collections.abc import Sequence
@@ -41,7 +51,6 @@ from repro.core.validation import ConfigError
 from repro.datasets import generate_bgl, generate_cloud_platform, generate_hdfs
 from repro.detection import sessions_from_parsed
 from repro.eval import Table
-from repro.ingest import CheckpointStore, IngestService
 from repro.logs.formats import read_log_lines, render_line
 from repro.logs.sessions import SessionKeyExtractor
 from repro.parsing import (
@@ -160,6 +169,9 @@ def _spec_from_args(args: argparse.Namespace, **forced) -> PipelineSpec:
 
     ``forced`` fields (e.g. ``streaming=True`` for ``tail``) apply
     last — they are part of the command's contract, not user knobs.
+    The observability flags merge *into* the spec's tables instead of
+    replacing them: ``--metrics-port`` on top of a ``[telemetry]``
+    table changes the port and keeps the rest.
     """
     try:
         spec = (PipelineSpec.from_file(args.spec) if getattr(args, "spec", None)
@@ -170,6 +182,16 @@ def _spec_from_args(args: argparse.Namespace, **forced) -> PipelineSpec:
             for flag, field in _SPEC_FLAGS.items()
             if getattr(args, flag, None) is not None
         }
+        telemetry = dict(spec.telemetry)
+        if getattr(args, "telemetry", None):
+            telemetry["enabled"] = True
+        if getattr(args, "metrics_port", None) is not None:
+            telemetry["enabled"] = True
+            telemetry["metrics_port"] = args.metrics_port
+        if telemetry != spec.telemetry:
+            overrides["telemetry"] = telemetry
+        if getattr(args, "autoscale", None):
+            overrides["autoscale"] = dict(spec.autoscale, enabled=True)
         overrides.update(forced)
         return spec.replace(**overrides) if overrides else spec
     except (ConfigError, ValueError, OSError) as error:
@@ -219,6 +241,23 @@ def _add_spec_flags(command: argparse.ArgumentParser,
              "pool, or on a process pool (output is identical; default "
              "honors MONILOG_EXECUTOR)",
     )
+    command.add_argument(
+        "--telemetry", action="store_true", default=None,
+        help="enable runtime telemetry (spec table: [telemetry]); "
+             "alerts are byte-identical with it on or off",
+    )
+    command.add_argument(
+        "--metrics-port", type=int, metavar="PORT",
+        help="serve Prometheus metrics at /metrics and the JSON "
+             "snapshot at /telemetry on this port while running "
+             "(0 = free ephemeral port; implies --telemetry)",
+    )
+    command.add_argument(
+        "--autoscale", action="store_true", default=None,
+        help="adapt batch sizes and ingestion credits at runtime from "
+             "measured rates and latencies (spec table: [autoscale]); "
+             "alerts stay byte-identical",
+    )
     if not ingestion:
         return
     command.add_argument(
@@ -255,6 +294,12 @@ def _add_spec_flags(command: argparse.ArgumentParser,
         "--session-timeout", type=_positive_float,
         help="idle seconds of stream time before a session closes "
              "(spec field: session_timeout, default 30)",
+    )
+    command.add_argument(
+        "--socket-framing", choices=["lines", "jsonl"], default=None,
+        help="framing of --socket streams: 'lines' (trusted newline "
+             "protocol) or 'jsonl' (JSON-lines; messages containing "
+             "newlines survive, since JSON escapes them in the frame)",
     )
 
 
@@ -401,6 +446,38 @@ def _command_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_stats(args: argparse.Namespace) -> int:
+    """Run the pipeline with telemetry on; print the exposition.
+
+    Default output is the JSON snapshot (``Pipeline.telemetry()``).
+    With ``--scrape`` the command instead starts the HTTP endpoint
+    (``--metrics-port``, default ephemeral), fetches ``/metrics``
+    through a real HTTP round-trip, and prints the Prometheus text —
+    an end-to-end probe of the scrape path in one process.
+    """
+    spec = _spec_from_args(args)
+    spec = spec.replace(telemetry=dict(spec.telemetry, enabled=True))
+    history = _read_records(args.history, sessionize=True)
+    live = _read_records(args.live, sessionize=True)
+    with Pipeline.from_spec(spec) as pipeline:
+        pipeline.fit(history)
+        alerts = pipeline.process(live)
+        if pipeline.autoscaler is not None:
+            pipeline.autoscaler.tick()
+        if args.scrape:
+            import urllib.request
+
+            server = pipeline.start_metrics_server()
+            with urllib.request.urlopen(
+                f"{server.url}/metrics", timeout=10
+            ) as response:
+                print(response.read().decode("utf-8"), end="")
+        else:
+            print(json.dumps(pipeline.telemetry(), indent=2))
+        print(f"# {len(alerts)} alerts over {args.live}", file=sys.stderr)
+    return 0
+
+
 def _command_tail(args: argparse.Namespace) -> int:
     # Legacy surface: ``tail --batch-size`` always meant records per
     # ingestion micro-batch.  Keep that meaning unless the explicit
@@ -419,7 +496,8 @@ def _command_tail(args: argparse.Namespace) -> int:
         # dial attempts instead of retrying forever.
         REGISTRY.create("source", "socket", {},
                         host=host, port=port, reconnect=not args.once,
-                        max_connect_attempts=3 if args.once else None)
+                        max_connect_attempts=3 if args.once else None,
+                        framing=args.socket_framing or "lines")
         for host, port in args.socket
     ]
     if not sources:
@@ -444,13 +522,12 @@ def _command_tail(args: argparse.Namespace) -> int:
     history = _read_records(args.history, sessionize=True)
     pipeline = Pipeline.from_spec(spec)
     pipeline.fit(history)
-    checkpoint = CheckpointStore(spec.checkpoint) if spec.checkpoint else None
-    service = IngestService(
-        sources, pipeline,
-        config=spec.ingest_config(),
-        checkpoint=checkpoint,
-        on_alert=_print_alert,
-    )
+    if pipeline.metrics_server is not None:
+        print(f"serving metrics on {pipeline.metrics_server.url}/metrics",
+              flush=True)
+    # serve() wires the spec's checkpoint, telemetry collectors, and
+    # autoscale controller into the service.
+    service = pipeline.serve(sources, on_alert=_print_alert)
 
     async def tail_main() -> None:
         loop = asyncio.get_running_loop()
@@ -537,6 +614,22 @@ def build_argument_parser() -> argparse.ArgumentParser:
     pipeline.add_argument("--live", required=True, help="live log file")
     _add_spec_flags(pipeline)
     pipeline.set_defaults(handler=_command_pipeline)
+
+    stats = commands.add_parser(
+        "stats",
+        help="run with telemetry on and print the metric exposition",
+    )
+    stats.add_argument("--history", required=True,
+                       help="training log file")
+    stats.add_argument("--live", required=True, help="live log file")
+    stats.add_argument(
+        "--scrape", action="store_true",
+        help="start the HTTP endpoint, fetch /metrics through a real "
+             "HTTP round-trip, and print the Prometheus text instead "
+             "of the JSON snapshot",
+    )
+    _add_spec_flags(stats)
+    stats.set_defaults(handler=_command_stats)
 
     tail = commands.add_parser(
         "tail",

@@ -27,6 +27,7 @@ construction).
 from __future__ import annotations
 
 import threading
+import time
 import warnings
 from collections import OrderedDict
 from collections.abc import Iterable, Iterator
@@ -284,6 +285,11 @@ class BatchHandoff:
         self.peak_depth = 0
         self.batches = 0
         self.records = 0
+        #: Seconds spent inside ``process_batch`` (cumulative) and the
+        #: last batch's duration — the per-batch latency signal the
+        #: autoscale controller sizes micro-batches from.
+        self.busy_seconds = 0.0
+        self.last_batch_seconds = 0.0
 
     @property
     def depth(self) -> int:
@@ -302,14 +308,18 @@ class BatchHandoff:
             self._depth += len(records)
             self._in_flight += 1
             self.peak_depth = max(self.peak_depth, self._depth)
+        started = time.perf_counter()
         try:
             return self._submit(records)
         finally:
+            elapsed = time.perf_counter() - started
             with self._lock:
                 self._depth -= len(records)
                 self._in_flight -= 1
                 self.batches += 1
                 self.records += len(records)
+                self.busy_seconds += elapsed
+                self.last_batch_seconds = elapsed
 
     def flush(self) -> list[ClassifiedAlert]:
         """Flush the wrapped pipeline's open sessions, if it has any."""

@@ -23,6 +23,7 @@ from repro.ingest.sources import (
     FileTailSource,
     SocketSource,
     SourceItem,
+    render_json_line,
 )
 
 __all__ = [
@@ -38,4 +39,5 @@ __all__ = [
     "OffsetTracker",
     "SocketSource",
     "SourceItem",
+    "render_json_line",
 ]

@@ -20,6 +20,7 @@ completion paths — including executor-thread callbacks marshalled via
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import deque
 
 
@@ -29,8 +30,17 @@ class CreditGate:
     ``capacity`` is the total credit budget.  :meth:`acquire` takes
     credits, blocking while the gate is exhausted; :meth:`release`
     returns them and wakes waiters in arrival order.  ``waits`` counts
-    the times a producer actually had to block — the signal that
-    back-pressure engaged, which the ingestion stats surface.
+    the times a producer actually had to block and ``wait_seconds``
+    accumulates how long they blocked — the two signals that
+    back-pressure engaged, which the ingestion stats (and the
+    telemetry layer's credit-wait metrics) surface.
+
+    The budget is **resizable at runtime** (:meth:`resize`): the
+    autoscale controller grows it when producers block and decays it
+    when credits sit idle.  Shrinking below the credits currently in
+    use is safe — ``available`` simply goes negative until in-flight
+    records complete, which is exactly the bounded-overshoot behavior
+    a live resize needs (nothing already read is ever dropped).
     """
 
     def __init__(self, capacity: int) -> None:
@@ -40,6 +50,7 @@ class CreditGate:
         self._available = capacity
         self._waiters: deque[tuple[int, asyncio.Future]] = deque()
         self.waits = 0
+        self.wait_seconds = 0.0
 
     @property
     def available(self) -> int:
@@ -64,16 +75,21 @@ class CreditGate:
             self._available -= amount
             return
         future = asyncio.get_running_loop().create_future()
-        entry = (amount, future)
+        # A mutable entry: a later resize() re-clamps queued amounts
+        # in place so a shrink can never strand an oversized waiter.
+        entry = [amount, future]
         self._waiters.append(entry)
         self.waits += 1
+        blocked_at = time.monotonic()
         try:
             await future
+            self.wait_seconds += time.monotonic() - blocked_at
         except asyncio.CancelledError:
             if future.done() and not future.cancelled():
                 # Credits were granted between the grant and the
-                # cancellation landing; hand them straight back.
-                self.release(amount)
+                # cancellation landing; hand back what was actually
+                # granted (a resize may have re-clamped the amount).
+                self.release(entry[0])
             else:
                 try:
                     self._waiters.remove(entry)
@@ -86,6 +102,31 @@ class CreditGate:
         if amount < 0:
             raise ValueError(f"amount must be >= 0, got {amount}")
         self._available = min(self.capacity, self._available + amount)
+        self._grant()
+
+    def resize(self, capacity: int) -> None:
+        """Change the credit budget at runtime (autoscale's knob).
+
+        Growing grants waiting producers immediately, in order.
+        Shrinking takes effect as in-flight credits drain back: the
+        delta comes straight off ``available`` (possibly below zero),
+        and :meth:`release`'s clamp settles the pool at the new
+        capacity.
+        """
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        delta = capacity - self.capacity
+        if not delta:
+            return
+        self.capacity = capacity
+        self._available += delta
+        if delta < 0:
+            # Keep acquire()'s no-deadlock invariant under the new
+            # budget: a queued request larger than the whole (shrunken)
+            # budget could never be granted, so re-clamp in place —
+            # exactly the clamp acquire() applies at entry.
+            for entry in self._waiters:
+                entry[0] = min(entry[0], capacity)
         self._grant()
 
     def _grant(self) -> None:

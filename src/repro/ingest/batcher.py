@@ -44,6 +44,26 @@ class MicroBatcher:
         self.size_flushes = 0
         self.age_flushes = 0
 
+    def configure(self, max_size: int | None = None,
+                  max_age: float | None = None) -> None:
+        """Adjust the flush bounds at runtime (autoscale's knobs).
+
+        Takes effect from the next :meth:`add`/:meth:`poll`: an open
+        batch already larger than a shrunken ``max_size`` flushes on
+        its next addition, and the age deadline moves with ``max_age``
+        (the batcher re-derives it from the open batch's start time).
+        Changing bounds never reorders or drops items — batch
+        boundaries are output-neutral by the streaming invariants.
+        """
+        if max_size is not None:
+            if max_size < 1:
+                raise ValueError(f"max_size must be >= 1, got {max_size}")
+            self.max_size = max_size
+        if max_age is not None:
+            if max_age <= 0:
+                raise ValueError(f"max_age must be > 0, got {max_age}")
+            self.max_age = max_age
+
     @property
     def pending(self) -> int:
         """Items waiting in the open batch."""

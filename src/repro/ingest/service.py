@@ -40,6 +40,11 @@ from repro.ingest.batcher import MicroBatcher
 from repro.ingest.checkpoint import CheckpointStore, OffsetTracker
 from repro.ingest.merge import BoundedLatenessMerger
 from repro.ingest.sources import AsyncLogSource, SourceItem
+from repro.telemetry.metrics import RateMeter
+
+#: Sliding-window width (seconds) of the per-source arrival meters
+#: when no telemetry config supplies one.
+_DEFAULT_RATE_WINDOW = 5.0
 
 
 @dataclass(frozen=True)
@@ -60,13 +65,20 @@ class IngestStats:
     peak_depth: int
     alerts: int
     committed: dict[str, int]
+    #: Per-source arrival rates (records/second over a sliding
+    #: window) — the signal the autoscaler sizes batches from.
+    arrival_rates: dict[str, float] = field(default_factory=dict)
+    #: Cumulative seconds producers spent blocked on the credit gate.
+    credit_wait_seconds: float = 0.0
+    #: The autoscale controller's status, when one is attached.
+    autoscale: dict | None = None
 
     def summary(self) -> str:
         """Multi-line human-readable summary (the ``tail`` epilogue)."""
         per_source = ", ".join(
             f"{name}={count}" for name, count in sorted(self.records_in.items())
         ) or "none"
-        return (
+        text = (
             f"ingested {self.records_processed} records "
             f"({per_source}) in {self.batches} batches "
             f"({self.size_flushes} size / {self.age_flushes} age / "
@@ -74,6 +86,17 @@ class IngestStats:
             f"late records: {self.late_records}, credit waits: "
             f"{self.credit_waits}, peak pipeline depth: {self.peak_depth}"
         )
+        if self.autoscale is not None:
+            knobs = ", ".join(
+                f"{knob}={value:g}"
+                for knob, value in sorted(self.autoscale["knobs"].items())
+            )
+            text += (
+                f"\nautoscale: {self.autoscale['ticks']} ticks, "
+                f"{len(self.autoscale['adjustments'])} recent adjustments"
+                f" ({knobs})"
+            )
+        return text
 
 
 @dataclass
@@ -105,6 +128,15 @@ class IngestService:
         on_alert: optional callback invoked per alert, in order, from
             the event loop (live delivery); alerts are also collected
             and returned by :meth:`run`.
+        telemetry: optional
+            :class:`~repro.telemetry.instrument.PipelineTelemetry`;
+            the service attaches its pull-collectors (arrival rates,
+            gate accounting, merge/batcher depths) and observes batch
+            sizes.  ``Pipeline.serve()`` passes the pipeline's own.
+        autoscale: optional
+            :class:`~repro.autoscale.controller.AutoscaleController`;
+            bound to this service and ticked from the run loop, it
+            adjusts the credit budget and micro-batch knobs live.
 
     One service instance supports one :meth:`run`.
     """
@@ -117,6 +149,8 @@ class IngestService:
         config: IngestConfig | None = None,
         checkpoint: CheckpointStore | None = None,
         on_alert: Callable[[ClassifiedAlert], None] | None = None,
+        telemetry=None,
+        autoscale=None,
     ) -> None:
         self.sources = list(sources)
         if not self.sources:
@@ -138,6 +172,20 @@ class IngestService:
         self.alerts: list[ClassifiedAlert] = []
         self.forced_drains = 0
         self._records_in: dict[str, int] = {name: 0 for name in names}
+        rate_window = (telemetry.config.rate_window
+                       if telemetry is not None else _DEFAULT_RATE_WINDOW)
+        #: Per-source arrival meters — always on (a few arithmetic ops
+        #: per record) so ``stats()`` reports rates with or without
+        #: telemetry, and the autoscaler always has its input signal.
+        self.meters: dict[str, RateMeter] = {
+            name: RateMeter(rate_window) for name in names
+        }
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.attach_ingest(self)
+            telemetry.attach_handoff(self.handoff)
+        self.autoscale = autoscale.bind(self) if autoscale is not None \
+            else None
         self._trackers: dict[str, OffsetTracker] = {}
         self._stop = asyncio.Event()
         self._started = False
@@ -155,6 +203,7 @@ class IngestService:
 
     def stats(self) -> IngestStats:
         """Snapshot the front-end's counters (cheap; callable any time)."""
+        now = time.monotonic()
         return IngestStats(
             records_in=dict(self._records_in),
             records_processed=self.handoff.records,
@@ -171,6 +220,11 @@ class IngestService:
             alerts=len(self.alerts),
             committed={name: tracker.committed
                        for name, tracker in self._trackers.items()},
+            arrival_rates={name: meter.rate(now)
+                           for name, meter in self.meters.items()},
+            credit_wait_seconds=self.gate.wait_seconds,
+            autoscale=self.autoscale.status()
+            if self.autoscale is not None else None,
         )
 
     # -- the run loop ----------------------------------------------------------
@@ -223,6 +277,8 @@ class IngestService:
                         await self._ingest(message)
                 if not done:
                     await self._on_idle()
+                if self.autoscale is not None:
+                    self.autoscale.maybe_tick(time.monotonic())
         except asyncio.CancelledError:
             # Hard cancellation of run() itself: treat like stop() and
             # make a best effort to flush before propagating.
@@ -258,9 +314,15 @@ class IngestService:
         deadline = self.batcher.deadline
         if deadline is not None:
             timeout = max(0.0, deadline - time.monotonic())
-        if self.merger.pending and self.gate.available == 0:
+        if self.merger.pending and self.gate.available <= 0:
             poll = self.config.poll_interval
             timeout = poll if timeout is None else min(timeout, poll)
+        if self.autoscale is not None:
+            # Never sleep through a control tick: a mis-sized start
+            # (credits=1 on a quiet merge) otherwise waits out the full
+            # poll cadence between every correction.
+            interval = self.autoscale.config.interval
+            timeout = interval if timeout is None else min(timeout, interval)
         return timeout
 
     async def _on_idle(self) -> None:
@@ -268,24 +330,28 @@ class IngestService:
         batch = self.batcher.poll(time.monotonic())
         if batch is not None:
             await self._process(batch)
-        if self.merger.pending and self.gate.available == 0:
+        if self.merger.pending and self.gate.available <= 0:
             # Every credit is parked behind the watermark and no new
             # arrival can advance it: credit pressure overrides
             # lateness.  Drain the oldest buffered records so the
-            # pipeline (and the credit pool) keep moving.
+            # pipeline (and the credit pool) keep moving.  The batch
+            # bound is the *live* one — the autoscaler may have moved
+            # it since construction.
             self.forced_drains += 1
-            for item in self.merger.drain_oldest(self.config.batch_size):
+            for item in self.merger.drain_oldest(self.batcher.max_size):
                 await self._add_to_batch(item)
 
     async def _read(self, source: AsyncLogSource, tracker: OffsetTracker,
                     arrivals: asyncio.Queue) -> None:
         """One source's reader: credit, track, enqueue; sentinel at end."""
         error: BaseException | None = None
+        meter = self.meters[source.name]
         try:
             async for item in source.items(start_offset=tracker.committed):
                 await self.gate.acquire()
                 tracker.note_read(item.offset)
                 self._records_in[source.name] += 1
+                meter.mark(1, time.monotonic())
                 arrivals.put_nowait(item)
         except asyncio.CancelledError:
             pass  # stop(): unread source data stays unread, by design
@@ -308,6 +374,8 @@ class IngestService:
         """Score one batch off the loop; then commit, release, deliver."""
         loop = asyncio.get_running_loop()
         records = [item.record for item in batch]
+        if self.telemetry is not None:
+            self.telemetry.observe_ingest_batch(len(records))
         alerts = await loop.run_in_executor(None, self.handoff.submit, records)
         for item in batch:
             self._trackers[item.source].note_processed(item.offset)

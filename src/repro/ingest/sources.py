@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import json
 import os
 from collections.abc import AsyncIterator
 from dataclasses import dataclass
@@ -165,6 +166,80 @@ class _LineConverter:
         )
         self._sequence += 1
         return record
+
+    def convert_json(self, line: str) -> LogRecord | None:
+        """One JSON-lines frame to one record (``framing="jsonl"``).
+
+        The frame is a JSON object with a ``message`` field plus
+        optional ``timestamp`` (epoch seconds), ``source``,
+        ``severity``, ``session_id``, and ``labels``.  Because JSON
+        strings escape control characters, a message *containing*
+        newlines travels as ``\\n`` inside one frame — the
+        embedded-newline safety the trusted line protocol cannot
+        offer.  Robustness stance: a line that is not a JSON object
+        with a string message falls back to the plain-line conversion
+        (kept as a whole-line record), never dropped — mirroring how
+        the header parsers treat unparseable lines.
+        """
+        if line.endswith("\n"):
+            line = line[:-1]
+        if line.endswith("\r"):
+            line = line[:-1]
+        if not line.strip():
+            return None
+        try:
+            payload = json.loads(line)
+        except ValueError:
+            payload = None
+        if not isinstance(payload, dict) or not isinstance(
+                payload.get("message"), str):
+            return self.convert(line)
+        timestamp = payload.get("timestamp")
+        if not isinstance(timestamp, (int, float)) or isinstance(
+                timestamp, bool):
+            self._fallback_clock += 1e-3
+            timestamp = self._fallback_clock
+        severity = Severity.INFO
+        if isinstance(payload.get("severity"), str):
+            try:
+                severity = Severity.from_text(payload["severity"])
+            except ValueError:
+                pass
+        session_id = payload.get("session_id")
+        labels = payload.get("labels")
+        record = LogRecord(
+            timestamp=float(timestamp),
+            source=str(payload.get("source") or self._source_name),
+            severity=severity,
+            message=payload["message"],
+            session_id=str(session_id) if session_id is not None else None,
+            sequence=self._sequence,
+            labels=frozenset(str(label) for label in labels)
+            if isinstance(labels, (list, tuple)) else frozenset(),
+        )
+        self._sequence += 1
+        return record
+
+
+def render_json_line(record: LogRecord) -> str:
+    """One record as a JSON-lines frame (the shipper side of
+    ``framing="jsonl"``).
+
+    Newlines inside the message are escaped by JSON, so the frame is
+    always exactly one line — safe to ship over the newline-delimited
+    transport no matter what the message contains.
+    """
+    payload: dict[str, object] = {
+        "timestamp": record.timestamp,
+        "source": record.source,
+        "severity": record.severity.name,
+        "message": record.message,
+    }
+    if record.session_id is not None:
+        payload["session_id"] = record.session_id
+    if record.labels:
+        payload["labels"] = sorted(record.labels)
+    return json.dumps(payload, ensure_ascii=False)
 
 
 @register_component("source", "file")
@@ -365,7 +440,15 @@ class SocketSource(AsyncLogSource):
     Args:
         host / port: the peer emitting one log line per ``\\n``.
         name: source name; defaults to ``host:port``.
-        line_format: header layout; auto-detected when omitted.
+        line_format: header layout; auto-detected when omitted
+            (``framing="lines"`` only).
+        framing: how each line decodes to a record.  ``"lines"`` (the
+            trusted newline protocol): the line *is* the log line,
+            header-parsed like a tailed file.  ``"jsonl"``: each line
+            is a JSON object frame (see
+            :meth:`_LineConverter.convert_json` /
+            :func:`render_json_line`) — messages containing newlines
+            survive because JSON escapes them inside the frame.
         reconnect: dial again after a disconnect (live mode); ``False``
             stops at the first clean disconnect.
         reconnect_delay: back-off between connection attempts.
@@ -379,6 +462,9 @@ class SocketSource(AsyncLogSource):
     ``disconnects`` expose the transport's health for stats.
     """
 
+    #: The line → record framings the socket transport understands.
+    FRAMINGS = ("lines", "jsonl")
+
     def __init__(
         self,
         host: str,
@@ -386,10 +472,15 @@ class SocketSource(AsyncLogSource):
         name: str | None = None,
         *,
         line_format: LineFormat | None = None,
+        framing: str = "lines",
         reconnect: bool = True,
         reconnect_delay: float = 0.05,
         max_connect_attempts: int | None = None,
     ) -> None:
+        if framing not in self.FRAMINGS:
+            raise ValueError(
+                f"framing must be one of {list(self.FRAMINGS)}, "
+                f"got {framing!r}")
         if reconnect_delay <= 0:
             raise ValueError(
                 f"reconnect_delay must be > 0, got {reconnect_delay}")
@@ -401,6 +492,7 @@ class SocketSource(AsyncLogSource):
         self.port = port
         self.name = name or f"{host}:{port}"
         self.line_format = line_format
+        self.framing = framing
         self.reconnect = reconnect
         self.reconnect_delay = reconnect_delay
         self.max_connect_attempts = max_connect_attempts
@@ -410,6 +502,8 @@ class SocketSource(AsyncLogSource):
     async def items(self, start_offset: int = 0) -> AsyncIterator[SourceItem]:
         offset = start_offset
         converter = _LineConverter(self.name, self.line_format)
+        decode = (converter.convert_json if self.framing == "jsonl"
+                  else converter.convert)
         failures = 0
         while True:
             try:
@@ -430,8 +524,7 @@ class SocketSource(AsyncLogSource):
                     if not raw:
                         break
                     offset += 1
-                    record = converter.convert(
-                        raw.decode("utf-8", "replace"))
+                    record = decode(raw.decode("utf-8", "replace"))
                     if record is not None:
                         yield SourceItem(record, self.name, offset)
             finally:

@@ -1,0 +1,45 @@
+"""Runtime telemetry: the pipeline watching itself.
+
+A lock-cheap metrics registry (:mod:`repro.telemetry.metrics`), the
+pipeline's metric catalog and collector wiring
+(:class:`PipelineTelemetry`), a declarative config
+(:class:`TelemetryConfig`, the spec's ``[telemetry]`` table), and a
+stdlib-only HTTP endpoint (:class:`MetricsServer`) serving Prometheus
+text at ``/metrics`` and the JSON snapshot at ``/telemetry``.
+
+Enable it declaratively and everything wires itself through the one
+``Pipeline`` seam::
+
+    spec = PipelineSpec(telemetry={"metrics_port": 9100})
+    with Pipeline.from_spec(spec) as pipeline:
+        ...
+        print(pipeline.telemetry())        # JSON snapshot
+
+See ``docs/telemetry.md`` for the metric catalog and a scrape config.
+"""
+
+from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.instrument import PipelineTelemetry
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RateMeter,
+)
+from repro.telemetry.server import MetricsServer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsServer",
+    "PipelineTelemetry",
+    "RateMeter",
+    "TelemetryConfig",
+]

@@ -1,0 +1,59 @@
+"""Declarative telemetry configuration (the spec's ``[telemetry]`` table).
+
+Registered in the component registry under kind ``"telemetry"`` so
+:class:`~repro.api.spec.PipelineSpec` validates the table's options
+against this constructor signature exactly the way it validates parser
+or detector options — unknown knobs fail up front, field-named and
+aggregated, and ``type = "..."`` selects an implementation by name
+(there is one today; the seam is the point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.registry import register_component
+from repro.core.validation import Validator
+
+
+@register_component("telemetry", "standard")
+@dataclass
+class TelemetryConfig:
+    """Knobs of the runtime-telemetry subsystem.
+
+    Attributes:
+        enabled: master switch.  Defaults on — declaring a
+            ``[telemetry]`` table *is* the opt-in; set
+            ``enabled = false`` to keep the table (ports, windows)
+            while running dark.
+        metrics_port: serve Prometheus text + JSON over HTTP on this
+            port for the lifetime of the pipeline (``0`` binds a free
+            ephemeral port; ``None`` serves nothing — snapshots remain
+            available via ``Pipeline.telemetry()``).
+        rate_window: sliding-window width, in seconds, of the
+            per-source arrival-rate meters.
+    """
+
+    enabled: bool = True
+    metrics_port: int | None = None
+    rate_window: float = 5.0
+
+    def __post_init__(self) -> None:
+        check = Validator(type(self).__name__)
+        if self.metrics_port is not None:
+            # A whole int, not merely int()-able: 9100.5 must fail
+            # here with the field named, not at socket bind time.
+            check.require(
+                isinstance(self.metrics_port, int)
+                and not isinstance(self.metrics_port, bool)
+                and 0 <= self.metrics_port <= 65535,
+                "metrics_port",
+                f"must be a TCP port (0 = ephemeral), got "
+                f"{self.metrics_port!r}",
+            )
+        check.require(
+            isinstance(self.rate_window, (int, float))
+            and not isinstance(self.rate_window, bool)
+            and self.rate_window > 0,
+            "rate_window", f"must be > 0, got {self.rate_window!r}")
+        check.done()

@@ -1,0 +1,519 @@
+"""Lock-cheap metrics primitives: counters, gauges, histograms, meters.
+
+MoniLog is pitched as an *automated* monitoring system, which starts
+with the system being able to watch itself: every stage of the
+pipeline — parsing, detection, sessionizing, ingestion — reports what
+it is doing through the one :class:`MetricsRegistry` the pipeline
+owns.  The design constraints, in order:
+
+* **Hot-path cheap.**  An update is one small-lock critical section
+  (a few arithmetic ops); no allocation after the first touch of a
+  label set, no string formatting, no I/O.  Exposition cost is paid by
+  the scraper, not the stream.
+* **Pull where possible.**  Signals that already live somewhere (shard
+  loads, queue depth, open sessions) are *collected* at snapshot time
+  via registered collector callbacks instead of being pushed per
+  event — zero steady-state overhead.
+* **Explicit clocks.**  Nothing here reads a wall clock on its own:
+  latency observations arrive as values, and :class:`RateMeter` takes
+  ``now`` on every call, so tests drive time deterministically.
+* **Thread-safe by construction.**  Updates may arrive concurrently
+  from shard executor threads and the ingestion loop; each metric
+  family serializes its own updates behind one ``threading.Lock``,
+  and a snapshot sees a consistent per-family state.
+
+Exposition comes in two formats: :meth:`MetricsRegistry.snapshot`
+returns a JSON-friendly dict (the ``Pipeline.telemetry()`` /
+``repro stats`` surface) and :meth:`MetricsRegistry.render_prometheus`
+renders the Prometheus text format the stdlib HTTP endpoint
+(:mod:`repro.telemetry.server`) serves.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from collections.abc import Callable, Iterable, Sequence
+
+#: Default latency buckets (seconds): micro-batch work spans ~100us
+#: (tiny cache-hot batches) to seconds (cold process-pool fits).
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default size buckets (records per batch): powers of two around the
+#: micro-batch sizes the autoscaler ranges over.
+DEFAULT_SIZE_BUCKETS: tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192,
+)
+
+
+def _validate_name(name: str) -> str:
+    if not name or not all(
+        ch.isalnum() or ch == "_" for ch in name
+    ) or name[0].isdigit():
+        raise ValueError(
+            f"metric name must be [a-zA-Z_][a-zA-Z0-9_]*, got {name!r}"
+        )
+    return name
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the Prometheus text format."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value: integers without a trailing ``.0``."""
+    if value == float("inf"):
+        return "+Inf"
+    as_int = int(value)
+    return str(as_int) if as_int == value else repr(value)
+
+
+class _Family:
+    """Shared machinery of one named metric and its labeled children.
+
+    A family with no declared label names has exactly one anonymous
+    child, reached by calling the update methods on the family object
+    itself.  With label names, :meth:`labels` resolves (and lazily
+    creates) the child for one label-value combination.
+    """
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str,
+                 label_names: Sequence[str] = ()) -> None:
+        self.name = _validate_name(name)
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], object] = {}
+        if not self.label_names:
+            self._children[()] = self._new_child()
+
+    def _new_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def labels(self, **labels: object):
+        """The child for one label-value combination (created lazily)."""
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels "
+                f"{list(self.label_names)}, got {sorted(labels)}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._new_child()
+                self._children[key] = child
+            return child
+
+    def _only_child(self):
+        if self.label_names:
+            raise ValueError(
+                f"metric {self.name!r} is labeled by "
+                f"{list(self.label_names)}; call .labels(...) first"
+            )
+        return self._children[()]
+
+    def _sorted_children(self) -> list[tuple[tuple[str, ...], object]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+    def _label_text(self, key: tuple[str, ...],
+                    extra: str = "") -> str:
+        parts = [
+            f'{name}="{_escape_label(value)}"'
+            for name, value in zip(self.label_names, key)
+        ]
+        if extra:
+            parts.append(extra)
+        return "{" + ",".join(parts) + "}" if parts else ""
+
+    # -- exposition --------------------------------------------------------------
+
+    def snapshot_values(self) -> list[dict]:
+        out = []
+        for key, child in self._sorted_children():
+            entry: dict = {}
+            if self.label_names:
+                entry["labels"] = dict(zip(self.label_names, key))
+            entry.update(child.snapshot())
+            out.append(entry)
+        return out
+
+    def render(self) -> Iterable[str]:
+        yield f"# HELP {self.name} {self.help}"
+        yield f"# TYPE {self.name} {self.kind}"
+        for key, child in self._sorted_children():
+            yield from child.render(self.name, self._label_text(key))
+
+
+class _CounterChild:
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    def set_total(self, value: float) -> None:
+        """Pull-collector hook: sync the total to an external counter.
+
+        Monotonicity is the *source's* contract; collectors use this to
+        mirror counters the runtime already keeps (stats objects, queue
+        totals) without double-counting.
+        """
+        with self._lock:
+            self._value = float(value)
+
+    def snapshot(self) -> dict:
+        return {"value": self._value}
+
+    def render(self, name, label_text):
+        yield f"{name}{label_text} {_format_value(self._value)}"
+
+
+class _GaugeChild:
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def snapshot(self) -> dict:
+        return {"value": self._value}
+
+    def render(self, name, label_text):
+        yield f"{name}{label_text} {_format_value(self._value)}"
+
+
+class _HistogramChild:
+    __slots__ = ("_lock", "_bounds", "_buckets", "_sum", "_count")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self._lock = threading.Lock()
+        self._bounds = bounds
+        self._buckets = [0] * (len(bounds) + 1)  # +1: the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self._bounds, value)
+        with self._lock:
+            self._buckets[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            buckets = list(self._buckets)
+            total, count = self._sum, self._count
+        cumulative = 0
+        rendered = {}
+        for bound, bucket in zip(self._bounds, buckets):
+            cumulative += bucket
+            rendered[_format_value(bound)] = cumulative
+        rendered["+Inf"] = count
+        return {"count": count, "sum": total, "buckets": rendered}
+
+    def render(self, name, label_text):
+        snap = self.snapshot()
+        # Append the ``le`` label to whatever key labels are in place.
+        base = label_text[1:-1] if label_text else ""
+        for bound, cumulative in snap["buckets"].items():
+            labels = ",".join(
+                part for part in (base, f'le="{bound}"') if part
+            )
+            yield f"{name}_bucket{{{labels}}} {cumulative}"
+        yield f"{name}_sum{label_text} {_format_value(snap['sum'])}"
+        yield f"{name}_count{label_text} {snap['count']}"
+
+
+class Counter(_Family):
+    """A monotonically-increasing count (optionally labeled)."""
+
+    kind = "counter"
+
+    def _new_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._only_child().inc(amount)
+
+    def set_total(self, value: float) -> None:
+        self._only_child().set_total(value)
+
+    @property
+    def value(self) -> float:
+        return self._only_child().value
+
+
+class Gauge(_Family):
+    """A value that goes up and down (optionally labeled)."""
+
+    kind = "gauge"
+
+    def _new_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._only_child().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._only_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._only_child().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._only_child().value
+
+
+class Histogram(_Family):
+    """A distribution over fixed, pre-declared bucket boundaries.
+
+    Boundaries are **upper bounds, inclusive**, matching Prometheus
+    ``le`` semantics; an implicit ``+Inf`` bucket catches the rest.
+    Fixed buckets keep ``observe`` O(log buckets) with zero allocation
+    — the registry never resizes or rebalances under load.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str,
+                 buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+                 label_names: Sequence[str] = ()) -> None:
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"bucket bounds must be strictly increasing, got {buckets}"
+            )
+        self._bounds = bounds
+        super().__init__(name, help, label_names)
+
+    def _new_child(self) -> _HistogramChild:
+        return _HistogramChild(self._bounds)
+
+    def observe(self, value: float) -> None:
+        self._only_child().observe(value)
+
+    @property
+    def count(self) -> int:
+        return self._only_child().count
+
+    @property
+    def sum(self) -> float:
+        return self._only_child().sum
+
+
+class RateMeter:
+    """Arrival-rate estimate over a short sliding window, explicit-clock.
+
+    Two half-open buckets of width ``window`` seconds: the finished
+    previous bucket and the filling current one.  The rate blends the
+    previous bucket's count by the fraction of it still inside the
+    lookback window — the standard smoothed-sliding-window estimator:
+    O(1) memory, no timestamps stored, deterministic under a fake
+    clock, and it decays to zero when the source goes quiet (calling
+    :meth:`rate` alone advances the window).
+
+    Both :meth:`mark` and :meth:`rate` roll the window, so both are
+    mutations: the lock keeps producer marks (the ingestion loop) and
+    scrape-time reads (the HTTP endpoint's collector thread) from
+    interleaving mid-roll.
+    """
+
+    def __init__(self, window: float = 5.0) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window}")
+        self.window = window
+        self._lock = threading.Lock()
+        self._start: float | None = None
+        self._current = 0
+        self._previous = 0
+        self.total = 0
+
+    def _roll(self, now: float) -> None:
+        if self._start is None:
+            self._start = now
+            return
+        elapsed = now - self._start
+        while elapsed >= self.window:
+            self._previous = self._current
+            self._current = 0
+            self._start += self.window
+            elapsed -= self.window
+            if elapsed >= self.window:
+                # More than one whole window idle: history is stale.
+                self._previous = 0
+                self._start = now - (elapsed % self.window)
+                break
+
+    def mark(self, count: int, now: float) -> None:
+        """Record ``count`` arrivals at time ``now``."""
+        with self._lock:
+            self._roll(now)
+            self._current += count
+            self.total += count
+
+    def rate(self, now: float) -> float:
+        """Arrivals per second over the trailing ~``window`` seconds."""
+        with self._lock:
+            self._roll(now)
+            if self._start is None:
+                return 0.0
+            fraction = (now - self._start) / self.window
+            blended = self._previous * (1.0 - fraction) + self._current
+            return max(0.0, blended / self.window)
+
+
+class MetricsRegistry:
+    """One namespace of metrics plus pull-collectors for exposition.
+
+    ``counter``/``gauge``/``histogram`` create (or return the existing)
+    family for a name — re-declaration with a different type or label
+    set is an error, so two subsystems cannot silently fight over one
+    name.  ``collect(fn)`` registers a callback run before every
+    snapshot/render; collectors refresh gauges and mirrored counters
+    from live runtime state (queue depths, shard loads) so the hot
+    path never pays for them.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+        self._collectors: list[Callable[[], None]] = []
+
+    # -- declaration -------------------------------------------------------------
+
+    def _declare(self, factory, name: str, cls: type,
+                 label_names: Sequence[str] = (),
+                 buckets: Sequence[float] | None = None) -> _Family:
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                # A re-declaration must agree on everything observable
+                # — type, label set, bucket bounds — or two subsystems
+                # are fighting over one name and the loser's updates
+                # would fail (or land in buckets it never declared) at
+                # update time, far from the conflicting declaration.
+                if type(existing) is not cls:
+                    raise ValueError(
+                        f"metric {name!r} already declared as "
+                        f"{existing.kind}, cannot redeclare as "
+                        f"{cls.kind}"
+                    )
+                if existing.label_names != tuple(label_names):
+                    raise ValueError(
+                        f"metric {name!r} already declared with labels "
+                        f"{list(existing.label_names)}, cannot redeclare "
+                        f"with {list(label_names)}"
+                    )
+                if buckets is not None and existing._bounds != tuple(
+                        float(bound) for bound in buckets):
+                    raise ValueError(
+                        f"metric {name!r} already declared with buckets "
+                        f"{existing._bounds}, cannot redeclare with "
+                        f"{tuple(buckets)}"
+                    )
+                return existing
+            family = factory()
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str,
+                label_names: Sequence[str] = ()) -> Counter:
+        return self._declare(
+            lambda: Counter(name, help, label_names), name, Counter,
+            label_names)
+
+    def gauge(self, name: str, help: str,
+              label_names: Sequence[str] = ()) -> Gauge:
+        return self._declare(
+            lambda: Gauge(name, help, label_names), name, Gauge,
+            label_names)
+
+    def histogram(self, name: str, help: str,
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+                  label_names: Sequence[str] = ()) -> Histogram:
+        return self._declare(
+            lambda: Histogram(name, help, buckets, label_names),
+            name, Histogram, label_names, buckets)
+
+    def collect(self, collector: Callable[[], None]) -> None:
+        """Register a pull-collector run before every exposition."""
+        with self._lock:
+            self._collectors.append(collector)
+
+    # -- exposition --------------------------------------------------------------
+
+    def _run_collectors(self) -> None:
+        with self._lock:
+            collectors = list(self._collectors)
+        for collector in collectors:
+            collector()
+
+    def families(self) -> list[_Family]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def snapshot(self) -> dict:
+        """A JSON-friendly dict of every metric's current state."""
+        self._run_collectors()
+        out: dict = {}
+        for family in self.families():
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "values": family.snapshot_values(),
+            }
+        return out
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        self._run_collectors()
+        lines: list[str] = []
+        for family in self.families():
+            lines.extend(family.render())
+        return "\n".join(lines) + "\n"

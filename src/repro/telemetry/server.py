@@ -1,0 +1,110 @@
+"""A stdlib-only HTTP endpoint serving the metrics registry.
+
+Two routes, mirroring the two exposition formats:
+
+* ``GET /metrics``    — Prometheus text format (version 0.0.4), the
+  scrape target a monitoring stack points at;
+* ``GET /telemetry``  — the JSON snapshot, for humans and scripts
+  (``curl :9100/telemetry | jq .``).
+
+The server is a ``ThreadingHTTPServer`` on a daemon thread: scrapes
+run concurrently with the pipeline (registry reads are thread-safe and
+collector-driven), binding to port ``0`` picks a free ephemeral port
+(tests and the ``--metrics-port 0`` CLI spelling), and :meth:`close`
+is idempotent.  No third-party dependency — the whole exposition path
+is ``http.server`` + the registry's own renderers.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.telemetry.metrics import MetricsRegistry
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # The registry is attached to the *server* (one per MetricsServer);
+    # handlers are constructed per request by http.server.
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server's contract
+        registry: MetricsRegistry = self.server.registry  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = registry.render_prometheus().encode("utf-8")
+            content_type = PROMETHEUS_CONTENT_TYPE
+        elif path in ("/telemetry", "/stats"):
+            body = json.dumps(registry.snapshot(), indent=2).encode("utf-8")
+            content_type = "application/json; charset=utf-8"
+        else:
+            self.send_error(404, "try /metrics or /telemetry")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:
+        """Silence per-request access logging (scrapes are periodic)."""
+
+
+class MetricsServer:
+    """Serve one registry over HTTP until :meth:`close`.
+
+    Args:
+        registry: the metrics namespace to expose.
+        port: TCP port to bind; ``0`` picks a free ephemeral port
+            (read it back from :attr:`port`).
+        host: bind address; loopback by default — exposing metrics
+            beyond the host is a deployment decision, not a default.
+    """
+
+    def __init__(self, registry: MetricsRegistry, port: int = 0,
+                 host: str = "127.0.0.1") -> None:
+        self.registry = registry
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._server.registry = registry  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="monilog-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+        self._closed = False
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful after binding port 0)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the endpoint (scrape ``{url}/metrics``)."""
+        host = self._server.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __deepcopy__(self, memo: dict) -> "MetricsServer":
+        """A bound socket cannot be cloned; copies share the endpoint
+        (the executor/telemetry runtime-resource contract)."""
+        return self

@@ -193,3 +193,113 @@ class TestPipelineFromSpec:
         assert [type(source).__name__ for source in sources] == [
             "FileTailSource", "SocketSource",
         ]
+
+
+class TestObservabilityTables:
+    def test_empty_tables_mean_disabled(self):
+        spec = PipelineSpec()
+        assert spec.telemetry_config() is None
+        assert spec.autoscale_config() is None
+
+    def test_tables_build_registry_validated_configs(self):
+        spec = PipelineSpec(
+            telemetry={"metrics_port": 0, "rate_window": 2.0},
+            autoscale={"interval": 0.5, "max_credits": 1024},
+        )
+        telemetry = spec.telemetry_config()
+        assert telemetry.enabled and telemetry.metrics_port == 0
+        autoscale = spec.autoscale_config()
+        assert autoscale.interval == 0.5
+        assert autoscale.max_credits == 1024
+
+    def test_enabled_false_disables_with_table_present(self):
+        spec = PipelineSpec(telemetry={"enabled": False, "metrics_port": 1},
+                            autoscale={"enabled": False})
+        assert spec.telemetry_config() is None
+        assert spec.autoscale_config() is None
+
+    def test_unknown_table_options_aggregate_with_value_errors(self):
+        with pytest.raises(ConfigError) as failure:
+            PipelineSpec(telemetry={"bogus_knob": 1},
+                         autoscale={"interval": -1})
+        message = str(failure.value)
+        assert "telemetry" in message and "bogus_knob" in message
+        assert "autoscale" in message and "interval" in message
+
+    def test_non_dict_table_rejected(self):
+        with pytest.raises(ConfigError, match="telemetry"):
+            PipelineSpec(telemetry="yes")
+
+    def test_unknown_table_type_rejected(self):
+        with pytest.raises(ConfigError, match="unknown telemetry"):
+            PipelineSpec(telemetry={"type": "nope"})
+
+    def test_tables_load_from_toml(self, tmp_path):
+        path = tmp_path / "spec.toml"
+        path.write_text(
+            'detector = "keyword"\n'
+            "[telemetry]\n"
+            "metrics_port = 0\n"
+            "[autoscale]\n"
+            "interval = 2.5\n"
+        )
+        spec = PipelineSpec.from_file(path)
+        assert spec.telemetry == {"metrics_port": 0}
+        assert spec.autoscale_config().interval == 2.5
+
+    def test_nested_env_overrides(self):
+        spec = PipelineSpec(autoscale={"max_credits": 512}).with_env({
+            "MONILOG_TELEMETRY_ENABLED": "true",
+            "MONILOG_TELEMETRY_METRICS_PORT": "9100",
+            "MONILOG_AUTOSCALE_INTERVAL": "0.75",
+        })
+        assert spec.telemetry == {"enabled": True, "metrics_port": 9100}
+        # Env merges into the existing table, not over it.
+        assert spec.autoscale == {"max_credits": 512, "interval": 0.75}
+
+    def test_nested_env_disable_wins(self):
+        spec = PipelineSpec(telemetry={"metrics_port": 1}).with_env(
+            {"MONILOG_TELEMETRY_ENABLED": "0"})
+        assert spec.telemetry_config() is None
+
+    def test_bad_nested_env_values_aggregate(self):
+        with pytest.raises(ConfigError) as failure:
+            PipelineSpec().with_env({
+                "MONILOG_AUTOSCALE_INTERVAL": "soon",
+                "MONILOG_TELEMETRY_ENABLED": "perhaps",
+            })
+        message = str(failure.value)
+        assert "MONILOG_AUTOSCALE_INTERVAL" in message
+        assert "MONILOG_TELEMETRY_ENABLED" in message
+
+    def test_option_only_env_does_not_arm_an_undeclared_table(self):
+        """MONILOG_AUTOSCALE_INTERVAL exported globally tunes where
+        autoscaling is declared; it must not enable it elsewhere."""
+        spec = PipelineSpec().with_env(
+            {"MONILOG_AUTOSCALE_INTERVAL": "2.0"})
+        assert spec.autoscale == {"interval": 2.0, "enabled": False}
+        assert spec.autoscale_config() is None
+        # ...but the tuning is carried: a later explicit enable (CLI
+        # flag or table) picks it up.
+        armed = spec.replace(autoscale=dict(spec.autoscale, enabled=True))
+        assert armed.autoscale_config().interval == 2.0
+
+    def test_none_default_top_level_fields_stay_strings(self):
+        """MONILOG_CHECKPOINT=2024 is a path, not a number."""
+        spec = PipelineSpec().with_env({"MONILOG_CHECKPOINT": "2024"})
+        assert spec.checkpoint == "2024"
+        assert isinstance(spec.checkpoint, str)
+
+    def test_wrongly_typed_table_values_aggregate_not_traceback(self):
+        """A quoted number in a spec file must come back as a
+        field-named ConfigError, not a raw TypeError."""
+        with pytest.raises(ConfigError) as failure:
+            PipelineSpec(telemetry={"rate_window": "fast"},
+                         autoscale={"min_credits": "16"})
+        message = str(failure.value)
+        assert "telemetry" in message and "autoscale" in message
+
+    def test_fractional_metrics_port_rejected_at_validation(self):
+        with pytest.raises(ConfigError, match="metrics_port"):
+            PipelineSpec().with_env(
+                {"MONILOG_TELEMETRY_METRICS_PORT": "9100.5"})

@@ -1,0 +1,397 @@
+"""The adaptive controller: AIMD policies under a fake clock, the
+runtime-adjustable knobs it drives (gate resize, batcher reconfigure,
+pipeline batch size), and end-to-end neutrality of a controlled run."""
+
+import asyncio
+
+import pytest
+
+from repro.api import Pipeline, PipelineSpec
+from repro.autoscale import AutoscaleConfig, AutoscaleController
+from repro.core.validation import ConfigError
+from repro.datasets import generate_cloud_platform
+from repro.ingest import CreditGate, IngestService, MicroBatcher
+from repro.logs.sources import ReplaySource
+from repro.telemetry import PipelineTelemetry
+
+
+class TestAutoscaleConfig:
+    def test_defaults_valid(self):
+        AutoscaleConfig()
+
+    def test_validation_aggregates_every_bad_bound(self):
+        with pytest.raises(ConfigError) as failure:
+            AutoscaleConfig(interval=0, min_credits=0, max_credits=-1,
+                            idle_fraction=2.0)
+        message = str(failure.value)
+        for field in ("interval", "min_credits", "max_credits",
+                      "idle_fraction"):
+            assert field in message
+
+    def test_crossed_envelopes_rejected(self):
+        with pytest.raises(ConfigError, match="max_ingest_batch"):
+            AutoscaleConfig(min_ingest_batch=100, max_ingest_batch=10)
+
+
+class TestCreditGateResize:
+    def test_grow_grants_waiters_in_order(self):
+        async def scenario():
+            gate = CreditGate(1)
+            await gate.acquire()
+            order = []
+
+            async def producer(tag):
+                await gate.acquire()
+                order.append(tag)
+
+            tasks = [asyncio.ensure_future(producer(tag))
+                     for tag in ("a", "b", "c")]
+            await asyncio.sleep(0)
+            assert order == []
+            gate.resize(4)
+            await asyncio.gather(*tasks)
+            return order, gate
+
+        order, gate = asyncio.run(scenario())
+        assert order == ["a", "b", "c"]
+        assert gate.capacity == 4 and gate.in_use == 4
+
+    def test_shrink_below_in_use_settles_via_releases(self):
+        async def scenario():
+            gate = CreditGate(4)
+            for _ in range(4):
+                await gate.acquire()
+            gate.resize(2)
+            assert gate.available == -2
+            assert gate.in_use == 4
+            for _ in range(4):
+                gate.release()
+            return gate
+
+        gate = asyncio.run(scenario())
+        assert gate.available == 2 and gate.in_use == 0
+
+    def test_wait_seconds_accumulates(self):
+        async def scenario():
+            gate = CreditGate(1)
+            await gate.acquire()
+
+            async def blocked():
+                await gate.acquire()
+
+            task = asyncio.ensure_future(blocked())
+            await asyncio.sleep(0.05)
+            gate.release()
+            await task
+            return gate
+
+        gate = asyncio.run(scenario())
+        assert gate.waits == 1
+        assert gate.wait_seconds >= 0.04
+
+    def test_resize_rejects_zero(self):
+        with pytest.raises(ValueError):
+            CreditGate(4).resize(0)
+
+
+class TestMicroBatcherConfigure:
+    def test_new_size_applies_to_next_add(self):
+        batcher = MicroBatcher(max_size=100, max_age=10.0)
+        for index in range(5):
+            assert batcher.add(index, now=0.0) is None
+        batcher.configure(max_size=6)
+        batch = batcher.add(5, now=0.0)
+        assert batch == [0, 1, 2, 3, 4, 5]
+        assert batcher.size_flushes == 1
+
+    def test_new_age_moves_the_open_deadline(self):
+        batcher = MicroBatcher(max_size=100, max_age=10.0)
+        batcher.add("x", now=0.0)
+        assert batcher.poll(1.0) is None
+        batcher.configure(max_age=0.5)
+        assert batcher.deadline == 0.5
+        assert batcher.poll(1.0) == ["x"]
+
+    def test_bad_values_rejected(self):
+        batcher = MicroBatcher(max_size=1, max_age=1.0)
+        with pytest.raises(ValueError):
+            batcher.configure(max_size=0)
+        with pytest.raises(ValueError):
+            batcher.configure(max_age=0)
+
+
+class _FakeHandoff:
+    def __init__(self):
+        self.depth = 0
+        self.batches = 0
+        self.busy_seconds = 0.0
+
+
+class _FakeMeter:
+    def __init__(self, value):
+        self.value = value
+
+    def rate(self, now):
+        return self.value
+
+
+class _FakeService:
+    """Just the signal surface the controller reads."""
+
+    def __init__(self, credits=1, batch_size=1, max_age=0.25, rate=0.0):
+        self.gate = CreditGate(credits)
+        self.batcher = MicroBatcher(batch_size, max_age)
+        self.handoff = _FakeHandoff()
+        self.meters = {"src": _FakeMeter(rate)}
+
+
+class TestControllerPolicies:
+    def _controller(self, service, config=None, pipeline=None):
+        controller = AutoscaleController(
+            config or AutoscaleConfig(min_credits=1, min_ingest_batch=1),
+            pipeline=pipeline, clock=lambda: 0.0)
+        return controller.bind(service)
+
+    def test_credit_waits_double_the_budget(self):
+        service = _FakeService(credits=4)
+        controller = self._controller(service)
+        service.gate.waits = 3  # producers blocked since last tick
+        made = controller.tick(0.0)
+        assert service.gate.capacity == 8
+        assert any("credits" in message for message in made)
+        # No new waits: no further growth.
+        controller.tick(1.0)
+        assert service.gate.capacity == 8
+
+    def test_budget_growth_is_bounded(self):
+        config = AutoscaleConfig(min_credits=1, max_credits=16)
+        service = _FakeService(credits=16)
+        controller = self._controller(service, config)
+        service.gate.waits = 10
+        controller.tick(0.0)
+        assert service.gate.capacity == 16
+
+    def test_idle_budget_decays_after_two_ticks(self):
+        service = _FakeService(credits=64)
+        controller = self._controller(service)
+        controller.tick(0.0)
+        assert service.gate.capacity == 64  # first idle tick: observe
+        controller.tick(1.0)
+        assert service.gate.capacity == 56  # second: additive decay
+
+    def test_batch_sized_to_arrival_rate_with_multiplicative_ramp(self):
+        service = _FakeService(batch_size=1, max_age=0.5, rate=1000.0)
+        controller = self._controller(service)
+        sizes = []
+        for tick in range(12):
+            controller.tick(float(tick))
+            sizes.append(service.batcher.max_size)
+        # Doubles per tick out of the mis-sized start...
+        assert sizes[:3] == [2, 4, 8]
+        # ...while the flood policy walks the age bound down toward
+        # its floor (batches fill by size; shorter age = lower
+        # latency).  The equilibrium is self-consistent: the batch
+        # holds about one age-window of arrivals, with the age within
+        # one 1.5x step of the floor.
+        age = service.batcher.max_age
+        assert 0.05 <= age <= 0.05 * 1.5
+        assert sizes[-1] == pytest.approx(1000.0 * age, rel=0.05)
+        assert sizes[-1] == sizes[-2], "must settle, not oscillate"
+
+    def test_batch_decays_additively_on_lull(self):
+        service = _FakeService(batch_size=1024, max_age=0.5, rate=10.0)
+        controller = self._controller(service)
+        controller.tick(0.0)
+        assert service.batcher.max_size == 768  # -1/4, toward 5
+
+    def test_trickle_stretches_batch_age(self):
+        service = _FakeService(batch_size=8, max_age=0.1, rate=0.5)
+        controller = self._controller(service)
+        controller.tick(0.0)
+        assert service.batcher.max_age == pytest.approx(0.15)
+
+    def test_pipeline_batch_halves_on_latency_overshoot(self):
+        service = _FakeService()
+
+        class _Pipe:
+            sharded = False
+            batch_size = 512
+
+            def set_batch_size(self, size):
+                self.batch_size = size
+
+        pipeline = _Pipe()
+        controller = self._controller(service, pipeline=pipeline)
+        service.handoff.batches = 4
+        service.handoff.busy_seconds = 4.0  # 1s per batch >> 0.25s target
+        controller.tick(0.0)
+        assert pipeline.batch_size == 256
+
+    def test_imbalance_raises_advisory_once(self):
+        telemetry = PipelineTelemetry()
+
+        class _Parser:
+            shard_loads = [100, 1, 1, 1]
+
+        class _Pipe:
+            sharded = True
+            parser = _Parser()
+            batch_size = 64
+
+        controller = AutoscaleController(
+            AutoscaleConfig(imbalance_threshold=2.0),
+            pipeline=_Pipe(), telemetry=telemetry, clock=lambda: 0.0)
+        controller.tick(0.0)
+        controller.tick(1.0)
+        assert len(controller.advisories) == 1
+        assert "shard imbalance" in controller.advisories[0]
+        assert telemetry.snapshot()["advisories"] == \
+            list(controller.advisories)
+
+    def test_maybe_tick_respects_interval(self):
+        service = _FakeService()
+        controller = AutoscaleController(
+            AutoscaleConfig(interval=1.0), clock=lambda: 0.0).bind(service)
+        assert controller.maybe_tick(0.0) is False  # arms the cadence
+        assert controller.maybe_tick(0.5) is False
+        assert controller.maybe_tick(1.0) is True
+        assert controller.maybe_tick(1.5) is False
+        assert controller.ticks == 1
+
+    def test_rebinding_a_new_service_resets_the_signal_baselines(self):
+        """A pipeline-lifetime controller serves one IngestService per
+        run; binding the next run's service must not carry the dead
+        service's wait/batch baselines (or its tick phase) over."""
+        controller = AutoscaleController(
+            AutoscaleConfig(min_credits=1), clock=lambda: 0.0)
+        first = _FakeService(credits=4)
+        controller.bind(first)
+        first.gate.waits = 3
+        controller.tick(0.0)
+        assert first.gate.capacity == 8
+        assert controller._last_waits == 3
+
+        second = _FakeService(credits=4)
+        controller.bind(second)
+        assert controller.service is second
+        assert controller._last_waits == 0
+        # No waits on the new service: no growth from stale deltas.
+        controller.tick(1.0)
+        assert second.gate.capacity == 4
+
+
+def _alert_key(alert):
+    return (alert.report.report_id, alert.report.session_id,
+            alert.report.events, alert.pool, alert.criticality)
+
+
+class TestEndToEndNeutrality:
+    def test_autoscaled_ingestion_produces_identical_alerts(self):
+        """The X11 claim in miniature: a controller moving batch and
+        credit knobs mid-run never changes the alert stream."""
+        data = generate_cloud_platform(sessions=40, anomaly_rate=0.12,
+                                       seed=7)
+        cut = len(data.records) // 2
+        train, live = data.records[:cut], data.records[cut:]
+
+        def run(autoscale: dict) -> tuple[list, object]:
+            spec = PipelineSpec(
+                detector="keyword", streaming=True, session_timeout=10.0,
+                ingest_batch_size=2, credits=2, max_batch_age=0.05,
+                poll_interval=0.005, lateness=5.0, autoscale=autoscale,
+            )
+            with Pipeline.from_spec(spec) as pipeline:
+                pipeline.fit(train)
+                source = ReplaySource("replay", live).as_async()
+                service = pipeline.serve([source])
+                alerts = asyncio.run(service.run())
+                return [_alert_key(alert) for alert in alerts], service
+
+        static, _ = run({})
+        adaptive, service = run(
+            {"interval": 0.01, "min_credits": 1, "min_ingest_batch": 1})
+        assert static, "corpus must alert"
+        assert adaptive == static
+        status = service.stats().autoscale
+        assert status is not None and status["ticks"] > 0
+
+
+class TestReviewRegressions:
+    def test_latency_decrease_never_grows_a_small_batch(self):
+        """A spec batch below the autoscale floor stays put on
+        congestion — a 'decrease' must never increase."""
+        service = _FakeService()
+
+        class _Pipe:
+            sharded = False
+            batch_size = 16  # below the default min_batch_size of 32
+
+            def set_batch_size(self, size):
+                self.batch_size = size
+
+        pipeline = _Pipe()
+        controller = AutoscaleController(
+            AutoscaleConfig(), pipeline=pipeline,
+            clock=lambda: 0.0).bind(service)
+        service.handoff.batches = 2
+        service.handoff.busy_seconds = 4.0  # way over target
+        controller.tick(0.0)
+        assert pipeline.batch_size == 16
+
+    def test_gate_shrink_reclamps_queued_oversized_waiters(self):
+        """resize() below a queued request must keep the gate's
+        no-oversized-deadlock invariant."""
+
+        async def scenario():
+            gate = CreditGate(64)
+            await gate.acquire(64)
+            granted = []
+
+            async def big():
+                await gate.acquire(32)
+                granted.append("big")
+
+            async def small():
+                await gate.acquire(1)
+                granted.append("small")
+
+            tasks = [asyncio.ensure_future(big()),
+                     asyncio.ensure_future(small())]
+            await asyncio.sleep(0)
+            gate.resize(16)          # below the queued 32
+            # Return the 64 originally-held credits, plus the (now
+            # re-clamped to 16) grant "big" holds once it wakes.
+            for _ in range(64 + 16):
+                gate.release()
+            await asyncio.wait_for(asyncio.gather(*tasks), timeout=2)
+            return granted
+
+        assert asyncio.run(scenario()) == ["big", "small"]
+
+    def test_serve_twice_with_autoscale(self):
+        """A pipeline with [autoscale] supports one serve() per run —
+        the controller rebinds to each fresh service."""
+        data = generate_cloud_platform(sessions=40, anomaly_rate=0.1,
+                                       seed=7)
+        cut = len(data.records) // 2
+        spec = PipelineSpec(detector="keyword", streaming=True,
+                            session_timeout=10.0,
+                            telemetry={"enabled": True},
+                            autoscale={"interval": 0.01})
+        with Pipeline.from_spec(spec) as pipeline:
+            pipeline.fit(data.records[:cut])
+            runs = []
+            for _ in range(2):
+                source = ReplaySource("replay",
+                                      data.records[cut:]).as_async()
+                service = pipeline.serve([source])
+                runs.append(asyncio.run(service.run()))
+            assert len(runs[0]) > 0
+            # One collector set, re-pointed: the scrape reflects the
+            # latest run, not an accumulation of dead services.
+            parsed = pipeline.telemetry()["metrics"][
+                "monilog_source_records_total"]["values"]
+            assert parsed == [{
+                "labels": {"source": "replay"},
+                "value": float(len(data.records) - cut),
+            }]

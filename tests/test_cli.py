@@ -288,3 +288,67 @@ class TestTail:
         ])
         assert exit_code == 0
         assert self._ingested(capsys.readouterr().out) == 0
+
+
+class TestStats:
+    @pytest.fixture
+    def corpus(self, tmp_path):
+        history = tmp_path / "history.log"
+        live = tmp_path / "live.log"
+        main(["generate", "--dataset", "cloud", "--sessions", "100",
+              "--anomaly-rate", "0.0", "--seed", "9",
+              "--output", str(history)])
+        main(["generate", "--dataset", "cloud", "--sessions", "40",
+              "--anomaly-rate", "0.1", "--seed", "10",
+              "--output", str(live)])
+        return history, live
+
+    def test_prints_json_snapshot(self, corpus, capsys):
+        import json
+
+        history, live = corpus
+        capsys.readouterr()
+        exit_code = main([
+            "stats", "--history", str(history), "--live", str(live),
+        ])
+        assert exit_code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        metrics = snapshot["metrics"]
+        parsed = metrics["monilog_records_parsed_total"]["values"][0]["value"]
+        total = len(history.read_text().splitlines()) + \
+            len(live.read_text().splitlines())
+        assert parsed == total
+        assert metrics["monilog_parse_seconds"]["values"][0]["count"] > 0
+        assert "advisories" in snapshot
+
+    def test_scrape_serves_well_formed_prometheus_text(self, corpus, capsys):
+        history, live = corpus
+        capsys.readouterr()
+        exit_code = main([
+            "stats", "--history", str(history), "--live", str(live),
+            "--metrics-port", "0", "--scrape", "--autoscale",
+        ])
+        assert exit_code == 0
+        text = capsys.readouterr().out
+        assert "# TYPE monilog_records_parsed_total counter" in text
+        assert "# TYPE monilog_parse_seconds histogram" in text
+        assert 'monilog_parse_seconds_bucket{le="+Inf"}' in text
+        assert "monilog_autoscale_ticks_total 1" in text
+        # Every sample line is "name{labels} value" with a float value.
+        for line in text.splitlines():
+            if line and not line.startswith("#"):
+                name, _, value = line.rpartition(" ")
+                assert name and float(value) is not None
+
+    def test_tail_with_metrics_and_autoscale(self, corpus, capsys):
+        history, live = corpus
+        capsys.readouterr()
+        exit_code = main([
+            "tail", "--history", str(history), "--source", str(live),
+            "--once", "--session-timeout", "10",
+            "--metrics-port", "0", "--autoscale",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "serving metrics on http://127.0.0.1:" in output
+        assert "autoscale:" in output

@@ -8,7 +8,12 @@ resume, and the adapter hook on :class:`LogSource`.
 
 import asyncio
 
-from repro.ingest import AsyncSourceAdapter, FileTailSource, SocketSource
+from repro.ingest import (
+    AsyncSourceAdapter,
+    FileTailSource,
+    SocketSource,
+    render_json_line,
+)
 from repro.ingest.sources import SourceItem
 from repro.logs.formats import read_log_lines, render_line
 from repro.logs.sources import ReplaySource
@@ -166,3 +171,95 @@ class TestSocketSource:
         record = make_record("x", timestamp=0.0)
         item = SourceItem(record=record, source="s", offset=1)
         assert item.record is record
+
+
+class TestSocketJsonlFraming:
+    """``framing="jsonl"``: JSON-object frames, embedded-newline safe."""
+
+    @staticmethod
+    def _serve_lines(lines):
+        """Run a one-shot server emitting ``lines``; return the items a
+        jsonl-framed SocketSource reads from it."""
+
+        async def scenario():
+            async def serve(reader, writer):
+                for line in lines:
+                    writer.write(line.encode("utf-8") + b"\n")
+                await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_server(serve, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            source = SocketSource("127.0.0.1", port, name="shipper",
+                                  framing="jsonl", reconnect=False)
+            items = [item async for item in source.items()]
+            server.close()
+            await server.wait_closed()
+            return items
+
+        return asyncio.run(scenario())
+
+    def test_round_trips_records_through_json_frames(self):
+        records = [
+            make_record(f"request {index} ok", timestamp=float(index),
+                        source="shipper", session_id=f"s{index % 2}",
+                        sequence=index, labels=frozenset(["anomaly"])
+                        if index == 3 else frozenset())
+            for index in range(5)
+        ]
+        items = self._serve_lines([render_json_line(r) for r in records])
+        assert [item.record for item in items] == records
+        assert [item.offset for item in items] == [1, 2, 3, 4, 5]
+
+    def test_message_with_embedded_newline_survives_one_frame(self):
+        """The point of the framing: the trusted newline protocol would
+        split this message into two bogus records."""
+        record = make_record("stack trace:\n  at frame 0\n  at frame 1",
+                             timestamp=5.0, source="shipper")
+        line = render_json_line(record)
+        assert "\n" not in line  # JSON escaped it: still one frame
+        items = self._serve_lines([line])
+        assert len(items) == 1
+        assert items[0].record.message == record.message
+
+    def test_non_json_lines_fall_back_to_plain_conversion(self):
+        items = self._serve_lines([
+            '{"message": "real frame", "timestamp": 1.0}',
+            "not json at all",
+            '["also", "not", "an object"]',
+            '{"no_message_field": 1}',
+        ])
+        assert [item.record.message for item in items] == [
+            "real frame",
+            "not json at all",
+            '["also", "not", "an object"]',
+            '{"no_message_field": 1}',
+        ]
+        # Sequence numbering is shared across frames and fallbacks.
+        assert [item.record.sequence for item in items] == [0, 1, 2, 3]
+
+    def test_partial_frames_get_fallback_clock_and_defaults(self):
+        items = self._serve_lines(['{"message": "bare"}'])
+        record = items[0].record
+        assert record.source == "shipper"
+        assert record.severity.name == "INFO"
+        assert record.timestamp > 0  # fallback clock, monotone
+        assert record.session_id is None
+
+    def test_severity_and_labels_decode(self):
+        items = self._serve_lines([
+            '{"message": "m", "timestamp": 1.0, "severity": "warn", '
+            '"labels": ["anomaly", "x"]}',
+            '{"message": "m2", "timestamp": 2.0, "severity": "nonsense"}',
+        ])
+        assert items[0].record.severity.name == "WARNING"
+        assert items[0].record.labels == frozenset({"anomaly", "x"})
+        assert items[1].record.severity.name == "INFO"
+
+    def test_unknown_framing_rejected(self):
+        try:
+            SocketSource("h", 1, framing="msgpack")
+        except ValueError as error:
+            assert "framing" in str(error)
+        else:
+            raise AssertionError("expected ValueError")

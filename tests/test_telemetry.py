@@ -1,0 +1,299 @@
+"""The telemetry subsystem: metric primitives, exposition, the HTTP
+endpoint, and correctness under concurrent updates."""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    MetricsServer,
+    PipelineTelemetry,
+    RateMeter,
+    TelemetryConfig,
+)
+from repro.core.validation import ConfigError
+
+
+class TestCounter:
+    def test_counts_up(self):
+        counter = MetricsRegistry().counter("c_total", "help")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("c_total", "help")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labeled_children_are_independent(self):
+        counter = MetricsRegistry().counter("c_total", "help", ("source",))
+        counter.labels(source="a").inc(3)
+        counter.labels(source="b").inc()
+        assert counter.labels(source="a").value == 3
+        assert counter.labels(source="b").value == 1
+
+    def test_wrong_label_names_rejected(self):
+        counter = MetricsRegistry().counter("c_total", "help", ("source",))
+        with pytest.raises(ValueError, match="takes labels"):
+            counter.labels(shard=1)
+
+    def test_unlabeled_update_on_labeled_family_rejected(self):
+        counter = MetricsRegistry().counter("c_total", "help", ("source",))
+        with pytest.raises(ValueError, match="labeled by"):
+            counter.inc()
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g", "help")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative_le(self):
+        histogram = MetricsRegistry().histogram("h", "help", (1, 10, 100))
+        for value in (0.5, 1, 5, 10, 99, 1000):
+            histogram.observe(value)
+        snap = histogram.snapshot_values()[0]
+        # le semantics: the boundary value lands in its own bucket.
+        assert snap["buckets"] == {"1": 2, "10": 4, "100": 5, "+Inf": 6}
+        assert snap["count"] == 6
+        assert snap["sum"] == pytest.approx(1115.5)
+
+    def test_rejects_unsorted_bounds(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="strictly increasing"):
+            registry.histogram("h", "help", (10, 1))
+        with pytest.raises(ValueError, match="at least one bucket"):
+            registry.histogram("h2", "help", ())
+
+
+class TestRegistry:
+    def test_redeclaration_returns_same_family(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c", "help") is registry.counter("c", "help")
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("name", "help")
+        with pytest.raises(ValueError, match="already declared"):
+            registry.gauge("name", "help")
+
+    def test_bad_metric_names_rejected(self):
+        registry = MetricsRegistry()
+        for bad in ("", "1abc", "with-dash", "with space"):
+            with pytest.raises(ValueError):
+                registry.counter(bad, "help")
+
+    def test_collectors_run_before_exposition(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", "help")
+        state = {"depth": 0}
+        registry.collect(lambda: gauge.set(state["depth"]))
+        state["depth"] = 42
+        assert registry.snapshot()["depth"]["values"][0]["value"] == 42
+        state["depth"] = 7
+        assert "depth 7" in registry.render_prometheus()
+
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "help", ("source",)).labels(
+            source="svc-a").inc()
+        registry.histogram("h", "help", (1, 2)).observe(1.5)
+        json.dumps(registry.snapshot())
+
+
+class TestPrometheusRendering:
+    def test_full_exposition_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "records", ("source",)).labels(
+            source="a").inc(3)
+        registry.gauge("g", "depth").set(2)
+        registry.histogram("h_seconds", "latency", (0.1, 1)).observe(0.5)
+        text = registry.render_prometheus()
+        assert "# TYPE c_total counter" in text
+        assert 'c_total{source="a"} 3' in text
+        assert "# TYPE g gauge" in text
+        assert "g 2" in text.splitlines()
+        assert 'h_seconds_bucket{le="0.1"} 0' in text
+        assert 'h_seconds_bucket{le="1"} 1' in text
+        assert 'h_seconds_bucket{le="+Inf"} 1' in text
+        assert "h_seconds_sum 0.5" in text
+        assert "h_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "help", ("source",)).labels(
+            source='we"ird\nname\\x').inc()
+        line = [line for line in registry.render_prometheus().splitlines()
+                if line.startswith("c_total{")][0]
+        assert line == 'c_total{source="we\\"ird\\nname\\\\x"} 1'
+
+    def test_histogram_buckets_carry_key_labels(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", "help", (1,), ("shard",))
+        histogram.labels(shard=0).observe(0.5)
+        text = registry.render_prometheus()
+        assert 'h_bucket{shard="0",le="1"} 1' in text
+        assert 'h_sum{shard="0"} 0.5' in text
+
+
+class TestConcurrency:
+    def test_concurrent_counter_and_histogram_updates_are_exact(self):
+        """The satellite claim: shard threads hammering one family
+        lose no updates and histograms stay internally consistent."""
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "help", ("shard",))
+        histogram = registry.histogram("h", "help", (10, 100, 1000))
+        threads, per_thread = 8, 2000
+
+        def hammer(shard: int) -> None:
+            child = counter.labels(shard=shard)
+            for index in range(per_thread):
+                child.inc()
+                histogram.observe(index % 1500)
+
+        workers = [threading.Thread(target=hammer, args=(shard % 4,))
+                   for shard in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+        totals = [counter.labels(shard=shard).value for shard in range(4)]
+        assert totals == [per_thread * 2] * 4
+        snap = histogram.snapshot_values()[0]
+        assert snap["count"] == threads * per_thread
+        assert snap["buckets"]["+Inf"] == threads * per_thread
+        # Cumulative buckets are monotone.
+        counts = list(snap["buckets"].values())
+        assert counts == sorted(counts)
+
+
+class TestRateMeter:
+    def test_rate_over_window(self):
+        meter = RateMeter(window=2.0)
+        meter.mark(10, 0.0)
+        meter.mark(10, 1.0)
+        assert meter.rate(1.999) == pytest.approx(10.0, rel=0.01)
+        assert meter.total == 20
+
+    def test_rate_decays_when_quiet(self):
+        meter = RateMeter(window=1.0)
+        meter.mark(100, 0.0)
+        assert meter.rate(0.5) > 0
+        assert meter.rate(10.0) == 0.0
+
+    def test_blends_previous_window(self):
+        meter = RateMeter(window=1.0)
+        meter.mark(10, 0.5)
+        # The marks' bucket spans [0.5, 1.5); just past its end the
+        # whole bucket is still inside the lookback...
+        assert meter.rate(1.5) == pytest.approx(10.0)
+        # ...and half a window later only half of it still counts.
+        assert meter.rate(2.0) == pytest.approx(5.0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            RateMeter(0)
+
+
+class TestMetricsServer:
+    def test_serves_prometheus_and_json(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "help").inc(5)
+        with MetricsServer(registry, port=0) as server:
+            assert server.port > 0
+            with urllib.request.urlopen(
+                f"{server.url}/metrics", timeout=10
+            ) as response:
+                text = response.read().decode()
+                assert response.headers["Content-Type"].startswith(
+                    "text/plain")
+            assert "c_total 5" in text
+            with urllib.request.urlopen(
+                f"{server.url}/telemetry", timeout=10
+            ) as response:
+                snapshot = json.loads(response.read())
+            assert snapshot["c_total"]["values"][0]["value"] == 5
+
+    def test_unknown_path_is_404(self):
+        with MetricsServer(MetricsRegistry(), port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as failure:
+                urllib.request.urlopen(f"{server.url}/nope", timeout=10)
+            assert failure.value.code == 404
+
+    def test_close_is_idempotent(self):
+        server = MetricsServer(MetricsRegistry(), port=0)
+        server.close()
+        server.close()
+
+
+class TestTelemetryConfig:
+    def test_defaults(self):
+        config = TelemetryConfig()
+        assert config.enabled and config.metrics_port is None
+
+    def test_validation_aggregates(self):
+        with pytest.raises(ConfigError) as failure:
+            TelemetryConfig(metrics_port=99999, rate_window=0)
+        message = str(failure.value)
+        assert "metrics_port" in message and "rate_window" in message
+
+
+class TestPipelineTelemetry:
+    def test_catalog_snapshot_shape(self):
+        telemetry = PipelineTelemetry()
+        telemetry.observe_parse(100, 0.01)
+        telemetry.observe_detect(5, 0.002)
+        telemetry.advise("shard imbalance 3.0x")
+        telemetry.advise("shard imbalance 3.0x")  # dedup of repeats
+        snapshot = telemetry.snapshot()
+        assert snapshot["advisories"] == ["shard imbalance 3.0x"]
+        metrics = snapshot["metrics"]
+        assert metrics["monilog_parse_seconds"]["values"][0]["count"] == 1
+        assert metrics["monilog_advisories_total"]["values"][0]["value"] == 1
+        assert "monilog_handoff_depth" in metrics
+
+
+class TestRuntimeResourceContract:
+    def test_instrumented_pipeline_survives_deepcopy(self):
+        """Snapshot-style deepcopies (consistency probes, bench
+        replicas) must not try to clone locks or bound sockets —
+        telemetry is a shared runtime resource, like executors."""
+        import copy
+
+        from repro.api import Pipeline, PipelineSpec
+
+        with Pipeline.from_spec(PipelineSpec(
+                detector="keyword", telemetry={"enabled": True})) as pipeline:
+            clone = copy.deepcopy(pipeline)
+            assert clone._telemetry is pipeline._telemetry
+
+
+class TestDeclarationConflicts:
+    """Re-declaration must agree on labels and buckets, not just type —
+    a mismatch is two subsystems fighting over one name."""
+
+    def test_label_set_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "help", ("source",))
+        with pytest.raises(ValueError, match="labels"):
+            registry.counter("c_total", "help")
+        with pytest.raises(ValueError, match="labels"):
+            registry.counter("c_total", "help", ("shard",))
+
+    def test_bucket_bounds_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", "help", (1, 10))
+        with pytest.raises(ValueError, match="buckets"):
+            registry.histogram("h", "help", (1, 100))
+        assert registry.histogram("h", "help", (1, 10)) is not None

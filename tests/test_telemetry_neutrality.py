@@ -1,0 +1,102 @@
+"""Telemetry must be byte-transparent: instrumentation reads clocks
+and counters, never state, so alerts are identical with telemetry on
+or off — under every executor, in batch and in streaming mode.  This
+is the contract that makes it safe to run production pipelines
+instrumented."""
+
+import pytest
+
+from repro.api import Pipeline, PipelineSpec
+from repro.datasets import generate_cloud_platform
+
+
+def _alert_key(alert):
+    return (alert.report.report_id, alert.report.session_id,
+            alert.report.events, tuple(alert.report.detection.reasons),
+            alert.pool, alert.criticality)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    data = generate_cloud_platform(sessions=60, anomaly_rate=0.1, seed=11)
+    cut = len(data.records) * 6 // 10
+    return data.records[:cut], data.records[cut:]
+
+
+def _run(spec: PipelineSpec, corpus) -> list:
+    train, live = corpus
+    with Pipeline.from_spec(spec) as pipeline:
+        pipeline.fit(train)
+        alerts = pipeline.process(live)
+        if pipeline.streaming:
+            alerts += pipeline.flush()
+        if pipeline.telemetry_enabled:
+            # Exposition itself must also be side-effect free; snapshot
+            # mid-run and keep going.
+            assert pipeline.telemetry() is not None
+    return [_alert_key(alert) for alert in alerts]
+
+
+class TestOfflineNeutrality:
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_sharded_alerts_identical_with_telemetry(self, corpus, executor):
+        base = dict(shards=2, detector_shards=2, detector="keyword",
+                    executor=executor, batch_size=64)
+        dark = _run(PipelineSpec(**base), corpus)
+        lit = _run(PipelineSpec(**base, telemetry={"enabled": True}),
+                   corpus)
+        assert dark, "corpus must produce alerts for the claim to bite"
+        assert lit == dark
+
+    def test_single_instance_alerts_identical(self, corpus):
+        dark = _run(PipelineSpec(detector="keyword"), corpus)
+        lit = _run(PipelineSpec(detector="keyword",
+                                telemetry={"enabled": True}), corpus)
+        assert lit == dark
+
+
+class TestStreamingNeutrality:
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_streaming_sharded_alerts_identical(self, corpus, executor):
+        base = dict(shards=2, detector_shards=2, detector="keyword",
+                    executor=executor, streaming=True,
+                    session_timeout=10.0)
+        dark = _run(PipelineSpec(**base), corpus)
+        lit = _run(PipelineSpec(**base, telemetry={"enabled": True}),
+                   corpus)
+        assert dark
+        assert lit == dark
+
+    def test_per_record_path_identical(self, corpus):
+        train, live = corpus
+        results = []
+        for telemetry in ({}, {"enabled": True}):
+            spec = PipelineSpec(detector="keyword", streaming=True,
+                                session_timeout=10.0, telemetry=telemetry)
+            with Pipeline.from_spec(spec) as pipeline:
+                pipeline.fit(train)
+                alerts = []
+                for record in live:
+                    alerts += pipeline.process_record(record)
+                alerts += pipeline.flush()
+            results.append([_alert_key(alert) for alert in alerts])
+        assert results[0] == results[1]
+
+
+class TestStatsNeutrality:
+    def test_pipeline_stats_identical_with_telemetry(self, corpus):
+        train, live = corpus
+        counters = []
+        for telemetry in ({}, {"enabled": True}):
+            spec = PipelineSpec(detector="keyword", shards=2,
+                                telemetry=telemetry)
+            with Pipeline.from_spec(spec) as pipeline:
+                pipeline.fit(train)
+                pipeline.process(live)
+                stats = pipeline.stats()
+                counters.append((stats.records_parsed,
+                                 stats.templates_discovered,
+                                 stats.windows_scored,
+                                 stats.anomalies_detected,
+                                 stats.alerts_classified))
+        assert counters[0] == counters[1]
