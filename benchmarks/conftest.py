@@ -15,6 +15,7 @@ stream) so a bench doubles as a seconds-scale smoke test —
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -22,6 +23,10 @@ import pytest
 from repro.datasets import generate_bgl, generate_cloud_platform, generate_hdfs
 
 _SMOKE = bool(os.environ.get("MONILOG_BENCH_SMOKE"))
+_SNAPSHOT_DIR = os.environ.get(
+    "MONILOG_BENCH_SNAPSHOT_DIR",
+    os.path.join(os.path.dirname(__file__), "results"),
+)
 
 
 def _scaled(full: int, smoke: int) -> int:
@@ -60,6 +65,29 @@ def cloud_json_bench():
     return generate_cloud_platform(
         sessions=_scaled(300, 120), anomaly_rate=0.05, json_suffix=True, seed=5
     )
+
+
+@pytest.fixture
+def snapshot():
+    """Persist a machine-readable result row next to the printed table.
+
+    Writes ``BENCH_<name>.json`` under ``benchmarks/results/`` (or
+    ``MONILOG_BENCH_SNAPSHOT_DIR``) so CI and the repo's check gate can
+    diff headline numbers across runs without scraping stdout.  The
+    payload always records whether it came from a smoke-sized run —
+    smoke and full numbers are not comparable.
+    """
+
+    def _snapshot(name: str, payload: dict) -> str:
+        os.makedirs(_SNAPSHOT_DIR, exist_ok=True)
+        path = os.path.join(_SNAPSHOT_DIR, f"BENCH_{name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"smoke": _SMOKE, **payload}, handle,
+                      indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    return _snapshot
 
 
 def once(benchmark, function):

@@ -4,10 +4,11 @@
 # calls the legacy facade shims, and under threaded shard execution)
 # plus seconds-scale smoke runs of the Fig. 1 pipeline bench, the X9
 # parallel-shards bench, the X10 async-ingestion bench, the X11
-# autoscale-convergence bench, a spec-file-driven CLI pipeline run
-# (examples/pipeline.toml), and a telemetry-exposition smoke
-# (`repro stats` JSON + a --metrics-port Prometheus scrape over real
-# HTTP).
+# autoscale-convergence bench, the X12 elastic-resharding bench (with
+# a check of its machine-readable BENCH_*.json snapshots), a
+# spec-file-driven CLI pipeline run (examples/pipeline.toml), and a
+# telemetry-exposition smoke (`repro stats` JSON + a --metrics-port
+# Prometheus scrape over real HTTP).
 #
 #   scripts/check.sh            # full gate
 #   scripts/check.sh -k drain   # extra args go to the tier-1 pytest
@@ -77,6 +78,27 @@ echo "== smoke: benchmarks/bench_x11_autoscale.py =="
 MONILOG_BENCH_SMOKE=1 python -m pytest \
     benchmarks/bench_x11_autoscale.py \
     -q -p no:cacheprovider --benchmark-disable
+
+echo
+echo "== smoke: benchmarks/bench_x12_elastic_resharding.py =="
+MONILOG_BENCH_SMOKE=1 python -m pytest \
+    benchmarks/bench_x12_elastic_resharding.py \
+    -q -p no:cacheprovider --benchmark-disable
+# The bench persists machine-readable snapshots next to its printed
+# tables (benchmarks/conftest.py `snapshot` fixture); validate that
+# the headline numbers survived the round-trip so CI can diff them.
+python -c '
+import json
+with open("benchmarks/results/BENCH_x12_elastic_resharding.json") as fh:
+    reshard = json.load(fh)
+assert reshard["smoke"] is True, reshard
+assert reshard["speedup"] >= 1.5, reshard
+with open("benchmarks/results/BENCH_x12_alert_parity.json") as fh:
+    parity = json.load(fh)
+assert parity["smoke"] is True, parity
+speedup, alerts = reshard["speedup"], parity["alerts"]
+print(f"x12 snapshots well-formed: speedup {speedup:.2f}x, "
+      f"{alerts} byte-identical alerts")'
 
 echo
 echo "== smoke: repro pipeline --spec examples/pipeline.toml =="

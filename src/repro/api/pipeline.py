@@ -253,6 +253,27 @@ class Pipeline:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self._batch_size_override = batch_size
 
+    def reshard(self, shards: int):
+        """Resize the parser shard count live (autoscale's elastic knob).
+
+        Delegates to
+        :meth:`~repro.parsing.distributed.DistributedDrain.resize`:
+        rendezvous routing relocates a minimal key slice, relocated
+        keys take their template state with them, and global template
+        ids never change — so alerts are byte-identical across the
+        resize.  Detector shards are untouched (windows route by
+        session, not by parser shard).  Returns the
+        :class:`~repro.parsing.distributed.ReshardReport`.
+        """
+        if not self._sharded:
+            raise RuntimeError("reshard applies to sharded pipelines "
+                               "(spec.shards > 0)")
+        report = self.parser.resize(shards)
+        self.spec = self.spec.replace(shards=shards)
+        if self._telemetry is not None:
+            self._telemetry.observe_reshard(report)
+        return report
+
     def stats(self) -> PipelineStats:
         """The live pipeline counters."""
         return self._stats

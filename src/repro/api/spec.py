@@ -80,7 +80,11 @@ class PipelineSpec:
             a constructor that accepts ``seed`` (and has no pinned
             ``seed`` option) receives ``seed=<shard index>``, matching
             the legacy default of per-shard DeepLog seeds.
-        shards: parser shards; 0 = single-instance pipeline.
+        shards: parser shards; 0 = single-instance pipeline.  The
+            *initial* count — ``Pipeline.reshard`` (or the autoscaler,
+            with ``[autoscale] reshard = true``) resizes it live;
+            rendezvous routing and template migration keep alerts
+            byte-identical across a resize.
         detector_shards: detector replicas in the sharded runtime.
         batch_size: micro-batch size of the amortized parse path;
             0 = per-record processing.
@@ -105,7 +109,9 @@ class PipelineSpec:
         autoscale: the ``[autoscale]`` table — options of
             :class:`~repro.autoscale.config.AutoscaleConfig`.
             Declaring it arms the adaptive controller over the
-            ingestion and batching knobs.
+            ingestion and batching knobs; ``reshard = true`` (with
+            ``min_shards`` / ``max_shards`` / ``reshard_cooldown``)
+            additionally lets it resize the parser shard count.
     """
 
     # -- stage 1: parsing -------------------------------------------------------

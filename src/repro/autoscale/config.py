@@ -47,7 +47,17 @@ class AutoscaleConfig:
             sit below this fraction of the budget for two consecutive
             ticks, the budget decays additively toward ``min_credits``.
         imbalance_threshold: max/mean parser-shard load ratio above
-            which a shard-imbalance advisory is raised.
+            which a shard-imbalance advisory is raised (and, with
+            ``reshard`` on, a resize is considered).
+        reshard: graduate the shard-imbalance advisory into an actual
+            live resize (``Pipeline.reshard``).  Off by default: a
+            reshard migrates template state, so it is the one knob an
+            operator must opt into.
+        min_shards / max_shards: envelope of the parser shard count
+            the controller may resize within.
+        reshard_cooldown: seconds between resizes — template migration
+            is cheap but not free, and the load model needs time to
+            reflect the new placement before it is judged again.
     """
 
     enabled: bool = True
@@ -63,6 +73,10 @@ class AutoscaleConfig:
     target_batch_seconds: float = 0.25
     idle_fraction: float = 0.25
     imbalance_threshold: float = 2.0
+    reshard: bool = False
+    min_shards: int = 1
+    max_shards: int = 16
+    reshard_cooldown: float = 10.0
 
     def __post_init__(self) -> None:
         check = Validator(type(self).__name__)
@@ -101,4 +115,12 @@ class AutoscaleConfig:
         check.require(
             self.imbalance_threshold >= 1, "imbalance_threshold",
             f"must be >= 1, got {self.imbalance_threshold}")
+        check.require(self.min_shards >= 1, "min_shards",
+                      f"must be >= 1, got {self.min_shards}")
+        check.require(
+            self.max_shards >= self.min_shards, "max_shards",
+            f"must be >= min_shards ({self.min_shards}), "
+            f"got {self.max_shards}")
+        check.require(self.reshard_cooldown >= 0, "reshard_cooldown",
+                      f"must be >= 0, got {self.reshard_cooldown}")
         check.done()

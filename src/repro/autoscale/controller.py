@@ -25,10 +25,16 @@ already collects:
   decrease when a batch overshoots ``target_batch_seconds`` (the
   congestion event: one oversized batch stalls every source through
   back-pressure), additive increase while there is headroom.
-* **shard imbalance**: *advisory only* — shard counts cannot change
-  safely at runtime (templates live in per-shard state), so a
-  max/mean load ratio beyond the threshold surfaces in telemetry
-  instead of being acted on.
+* **shard count** (``Pipeline.reshard``): with ``reshard = true``, a
+  max/mean load ratio beyond ``imbalance_threshold`` triggers a live
+  resize when the parser's per-key load model *predicts* the new
+  placement actually helps (rendezvous routing makes some skews
+  unfixable — one elephant key is one elephant key at any shard
+  count); resizes are rate-limited by ``reshard_cooldown`` and clamped
+  to ``[min_shards, max_shards]``.  Template state migrates with the
+  relocated keys and global ids never change, so alerts stay
+  byte-identical across a resize.  Without the opt-in the signal
+  stays what it always was: an advisory in telemetry.
 
 Every knob movement is clamped to the config's ``[min, max]``
 envelope, recorded in :meth:`status`, and counted in telemetry.  The
@@ -92,6 +98,7 @@ class AutoscaleController:
         self._last_batches = 0
         self._last_busy = 0.0
         self._idle_ticks = 0
+        self._last_reshard: float | None = None
 
     # -- wiring ------------------------------------------------------------------
 
@@ -141,7 +148,7 @@ class AutoscaleController:
             made += self._scale_credits()
             made += self._scale_ingest_batch(now)
             made += self._scale_pipeline_batch()
-        self._check_shard_balance()
+        made += self._check_shard_balance(now)
         return made
 
     def _adjust(self, knob: str, old, new, reason: str) -> str:
@@ -273,15 +280,19 @@ class AutoscaleController:
                 f"batch took {batch_seconds:.3f}s, headroom")]
         return []
 
-    def _check_shard_balance(self) -> None:
+    def _check_shard_balance(self, now: float) -> list[str]:
         pipeline = self.pipeline
         if pipeline is None or not pipeline.sharded:
-            return
+            return []
         loads = pipeline.parser.shard_loads
         mean = sum(loads) / len(loads)
         if not mean:
-            return
+            return []
         imbalance = max(loads) / mean
+        if self.config.reshard:
+            made = self._maybe_reshard(now, imbalance, len(loads))
+            if made:
+                return made
         if imbalance > self.config.imbalance_threshold:
             hot = loads.index(max(loads))
             message = (
@@ -295,6 +306,64 @@ class AutoscaleController:
                     self.advisories.append(message)
             if self.telemetry is not None:
                 self.telemetry.advise(message)
+        return []
+
+    def _maybe_reshard(self, now: float, imbalance: float,
+                       current: int) -> list[str]:
+        """Resize the parser shard count when the load model says it helps.
+
+        Growth: the smallest count within the envelope whose *predicted*
+        imbalance (the per-key load history replayed through rendezvous
+        placement) clears the threshold — or, failing that, the best
+        candidate if it improves on today by at least 10% (a single
+        elephant key is unfixable by resharding and must not trigger a
+        resize storm).  Shrink: shards beyond the distinct-key count
+        can never receive a record, so they are folded away — but only
+        when the model predicts the fold improves balance, so grow and
+        shrink can never cycle.  Resizes respect ``reshard_cooldown``.
+        """
+        config = self.config
+        parser = self.pipeline.parser
+        if (self._last_reshard is not None
+                and now - self._last_reshard < config.reshard_cooldown):
+            return []
+        target = None
+        reason = ""
+        if (imbalance > config.imbalance_threshold
+                and current < config.max_shards):
+            best: tuple[int, float] | None = None
+            for candidate in range(current + 1, config.max_shards + 1):
+                predicted = parser.predicted_imbalance(candidate)
+                if predicted <= config.imbalance_threshold:
+                    target = candidate
+                    reason = (f"imbalance {imbalance:.2f}x, predicted "
+                              f"{predicted:.2f}x at {candidate} shards")
+                    break
+                if best is None or predicted < best[1]:
+                    best = (candidate, predicted)
+            if target is None and best is not None \
+                    and best[1] <= imbalance * 0.9:
+                target = best[0]
+                reason = (f"imbalance {imbalance:.2f}x, best achievable "
+                          f"{best[1]:.2f}x at {best[0]} shards")
+        elif (0 < parser.distinct_keys < current
+                and current > config.min_shards):
+            candidate = max(config.min_shards, parser.distinct_keys)
+            predicted = parser.predicted_imbalance(candidate)
+            # Fold empty shards away only when that strictly improves
+            # balance — otherwise a grow that spread K keys over more
+            # than K shards would be immediately undone and the two
+            # branches would resize forever in a cycle.
+            if predicted < imbalance:
+                target = candidate
+                reason = (f"{parser.distinct_keys} distinct routing keys "
+                          f"cannot fill {current} shards (predicted "
+                          f"{predicted:.2f}x)")
+        if target is None or target == current:
+            return []
+        self.pipeline.reshard(target)
+        self._last_reshard = now
+        return [self._adjust("shards", current, target, reason)]
 
     # -- exposition --------------------------------------------------------------
 

@@ -190,8 +190,14 @@ def _spec_from_args(args: argparse.Namespace, **forced) -> PipelineSpec:
             telemetry["metrics_port"] = args.metrics_port
         if telemetry != spec.telemetry:
             overrides["telemetry"] = telemetry
+        autoscale = dict(spec.autoscale)
         if getattr(args, "autoscale", None):
-            overrides["autoscale"] = dict(spec.autoscale, enabled=True)
+            autoscale["enabled"] = True
+        if getattr(args, "autoscale_reshard", None):
+            autoscale["enabled"] = True
+            autoscale["reshard"] = True
+        if autoscale != spec.autoscale:
+            overrides["autoscale"] = autoscale
         overrides.update(forced)
         return spec.replace(**overrides) if overrides else spec
     except (ConfigError, ValueError, OSError) as error:
@@ -257,6 +263,13 @@ def _add_spec_flags(command: argparse.ArgumentParser,
         help="adapt batch sizes and ingestion credits at runtime from "
              "measured rates and latencies (spec table: [autoscale]); "
              "alerts stay byte-identical",
+    )
+    command.add_argument(
+        "--autoscale-reshard", action="store_true", default=None,
+        help="let the autoscaler also resize the parser shard count "
+             "live (implies --autoscale; spec key: [autoscale] "
+             "reshard; template state migrates with relocated keys "
+             "and alerts stay byte-identical)",
     )
     if not ingestion:
         return

@@ -44,6 +44,7 @@ import multiprocessing
 import os
 import sys
 from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor as _FuturesProcessPool
 from concurrent.futures import ThreadPoolExecutor as _FuturesThreadPool
 from typing import Any
 from repro.api.registry import register_component
@@ -97,6 +98,23 @@ class ShardExecutor:
         exactly one shard.
         """
         raise NotImplementedError
+
+    def map_sticky(
+        self,
+        function: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        keys: Sequence[int],
+    ) -> list[Any]:
+        """Like :meth:`map`, but route each task by its integer key.
+
+        The same key always lands on the same worker, so tasks may keep
+        per-key warm state *in* the worker (the distributed parser's
+        template-store replicas).  In-memory executors share the
+        caller's state anyway, so stickiness is vacuous and this
+        defaults to :meth:`map`; the process executor overrides it with
+        key-pinned worker slots.
+        """
+        return self.map(function, tasks)
 
     def close(self) -> None:
         """Release pooled workers (idempotent; pools rebuild lazily)."""
@@ -198,20 +216,34 @@ class ProcessExecutor(ShardExecutor):
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers or (os.cpu_count() or 1)
         self._pool = None
+        self._slots: list[_FuturesProcessPool | None] = []
+
+    @staticmethod
+    def _context():
+        # Never plain fork: by the time a pool is first needed the
+        # process may hold live threads (a ThreadedExecutor pool,
+        # the caller's own), and forking a multi-threaded process
+        # can deadlock children on locks snapshotted mid-hold.
+        # Linux uses forkserver — workers fork from a clean,
+        # single-threaded server process, keeping startup cheap;
+        # other platforms take their default (spawn).
+        method = "forkserver" if sys.platform == "linux" else None
+        return multiprocessing.get_context(method)
 
     def _ensure_pool(self):
         if self._pool is None:
-            # Never plain fork: by the time a pool is first needed the
-            # process may hold live threads (a ThreadedExecutor pool,
-            # the caller's own), and forking a multi-threaded process
-            # can deadlock children on locks snapshotted mid-hold.
-            # Linux uses forkserver — workers fork from a clean,
-            # single-threaded server process, keeping startup cheap;
-            # other platforms take their default (spawn).
-            method = "forkserver" if sys.platform == "linux" else None
-            context = multiprocessing.get_context(method)
-            self._pool = context.Pool(processes=self.max_workers)
+            self._pool = self._context().Pool(processes=self.max_workers)
         return self._pool
+
+    def _slot(self, index: int) -> _FuturesProcessPool:
+        if not self._slots:
+            self._slots = [None] * self.max_workers
+        pool = self._slots[index]
+        if pool is None:
+            pool = self._slots[index] = _FuturesProcessPool(
+                max_workers=1, mp_context=self._context()
+            )
+        return pool
 
     def map(
         self, function: Callable[[Any], Any], tasks: Sequence[Any]
@@ -220,11 +252,35 @@ class ProcessExecutor(ShardExecutor):
             return [function(task) for task in tasks]
         return self._ensure_pool().map(function, tasks, chunksize=1)
 
+    def map_sticky(
+        self,
+        function: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        keys: Sequence[int],
+    ) -> list[Any]:
+        """Key-pinned fan-out over single-worker slots.
+
+        Slot ``key % max_workers`` always serves a given key, so
+        module-level worker state keyed by the task (the distributed
+        parser's shard replicas) survives between calls.  Unlike
+        :meth:`map`, a single task is *not* inlined — the whole point
+        is that its state lives in the worker, not the parent.
+        """
+        futures = [
+            self._slot(key % self.max_workers).submit(function, task)
+            for task, key in zip(tasks, keys)
+        ]
+        return [future.result() for future in futures]
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+        for pool in self._slots:
+            if pool is not None:
+                pool.shutdown(wait=True)
+        self._slots = []
 
 
 #: Name → constructor, the ``--executor`` / ``MONILOG_EXECUTOR`` menu.

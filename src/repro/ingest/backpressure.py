@@ -77,7 +77,10 @@ class CreditGate:
         future = asyncio.get_running_loop().create_future()
         # A mutable entry: a later resize() re-clamps queued amounts
         # in place so a shrink can never strand an oversized waiter.
-        entry = [amount, future]
+        # The original request rides along so a grow can restore it —
+        # the clamp is a function of the *current* capacity, not a
+        # one-way haircut.
+        entry = [amount, future, amount]
         self._waiters.append(entry)
         self.waits += 1
         blocked_at = time.monotonic()
@@ -120,18 +123,19 @@ class CreditGate:
             return
         self.capacity = capacity
         self._available += delta
-        if delta < 0:
-            # Keep acquire()'s no-deadlock invariant under the new
-            # budget: a queued request larger than the whole (shrunken)
-            # budget could never be granted, so re-clamp in place —
-            # exactly the clamp acquire() applies at entry.
-            for entry in self._waiters:
-                entry[0] = min(entry[0], capacity)
+        # Keep acquire()'s no-deadlock invariant under the new budget:
+        # a queued request larger than the whole (shrunken) budget
+        # could never be granted, so re-clamp — against the *original*
+        # request, so a later grow restores what a dip took away
+        # (clamping in place only would grant a producer that queued
+        # acquire(8) during a dip to 2 just 2 credits forever).
+        for entry in self._waiters:
+            entry[0] = min(entry[2], capacity)
         self._grant()
 
     def _grant(self) -> None:
         while self._waiters:
-            amount, future = self._waiters[0]
+            amount, future = self._waiters[0][0], self._waiters[0][1]
             if future.cancelled():
                 self._waiters.popleft()
                 continue

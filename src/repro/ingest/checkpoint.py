@@ -159,9 +159,28 @@ class CheckpointStore:
                 else {"offset": offset, "signature": signature}
             )
         temporary = self.path.with_name(self.path.name + ".tmp")
-        temporary.write_text(
-            json.dumps(payload, indent=0, sort_keys=True),
-            encoding="utf-8",
-        )
+        # Atomicity needs more than temp-file + rename: without an
+        # fsync of the data before the rename, a crash can promote an
+        # empty/truncated temp file over the good checkpoint; without
+        # an fsync of the directory after it, the rename itself may
+        # not survive — either way "resume never re-emits" breaks.
+        with open(temporary, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, indent=0, sort_keys=True))
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(temporary, self.path)
+        try:
+            directory = os.open(self.path.parent, os.O_RDONLY)
+        except OSError:
+            # Directory fds are not universally openable (some
+            # platforms/filesystems); the data fsync above still
+            # bounds the damage to losing the rename, never the data.
+            pass
+        else:
+            try:
+                os.fsync(directory)
+            except OSError:
+                pass
+            finally:
+                os.close(directory)
         self._dirty = False

@@ -91,7 +91,7 @@ class MinedTemplate:
         if refined:
             self._joined = None
             if self.store is not None:
-                self.store.note_refinement()
+                self.store.note_refinement(self.template_id)
         return refined
 
     def extract_variables(self, tokens: Sequence[str]) -> tuple[str, ...]:
@@ -136,11 +136,16 @@ class TemplateStore:
     way that could alter classification: a template is created, or an
     existing one refines (gains a wildcard).  :class:`TemplateCache`
     entries are valid only for the generation they were written at.
+
+    ``dirty`` collects the ids of templates refined since the last
+    :meth:`clear_dirty` — the change-set the distributed parser's delta
+    sync ships between replicas instead of re-pickling every template.
     """
 
     def __init__(self) -> None:
         self._templates: list[MinedTemplate] = []
         self.generation = 0
+        self.dirty: set[int] = set()
 
     def create(self, tokens: Sequence[str]) -> MinedTemplate:
         template = MinedTemplate(template_id=len(self._templates), tokens=tokens)
@@ -149,9 +154,15 @@ class TemplateStore:
         self.generation += 1
         return template
 
-    def note_refinement(self) -> None:
+    def note_refinement(self, template_id: int | None = None) -> None:
         """Record that some template's token list changed."""
         self.generation += 1
+        if template_id is not None:
+            self.dirty.add(template_id)
+
+    def clear_dirty(self) -> None:
+        """Reset the refinement change-set (delta-sync bookkeeping)."""
+        self.dirty.clear()
 
     def __len__(self) -> int:
         return len(self._templates)

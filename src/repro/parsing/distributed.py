@@ -8,10 +8,19 @@ parsing method as we already have some encouraging results." (§IV)
 :class:`~repro.parsing.drain.DrainParser` instances behind a router and
 adds the pieces a real deployment needs:
 
-* **routing** — records are partitioned deterministically; the default
-  routes by source name (each source's statements come from one code
-  base, so its templates live on one shard), with a hash of the first
-  message token for unattributed records.
+* **routing** — records are partitioned deterministically with
+  rendezvous (highest-random-weight) hashing over the partition key;
+  the default routes by source name (each source's statements come
+  from one code base, so its templates live on one shard), with the
+  first message token as the key for unattributed records.  Rendezvous
+  hashing makes the shard count elastic: growing N → N+1 shards
+  relocates only ~1/(N+1) of the keyspace, and shrinking relocates
+  only the keys owned by the removed shards.
+* **elastic resharding** — :meth:`resize` changes the shard count
+  *live*: the template state owned by every relocated key is migrated
+  to its new shard (same tree address, same match counts), and the
+  global-id table is remapped in place, so global ids — and therefore
+  every downstream alert — are byte-identical across a reshard.
 * **concurrent execution** — :meth:`parse_batch` routes a batch once
   and then drains every shard's sub-sequence through a pluggable
   :class:`~repro.core.executors.ShardExecutor`: serially, on a thread
@@ -19,7 +28,12 @@ adds the pieces a real deployment needs:
   shard's parser, so shards genuinely run side by side; the merge back
   into delivery order and the global-id assignment stay single-threaded
   and deterministic, which makes the output byte-identical across
-  executors (and to a ``parse_record`` loop).
+  executors (and to a ``parse_record`` loop).  Under the process
+  executor each shard is pinned to a warm worker
+  (:meth:`~repro.core.executors.ShardExecutor.map_sticky`) and only
+  template-store **deltas** cross the process boundary after the first
+  batch — serialization cost is proportional to what changed, not to
+  the accumulated template state.
 * **reconciliation** — shards discover templates independently, so the
   same statement may receive different local ids on different shards.
   :meth:`global_templates` merges the shard template sets into a global
@@ -28,13 +42,21 @@ adds the pieces a real deployment needs:
 
 Experiment X6 measures the cost of distribution (template-set agreement
 with a single-instance Drain, per-shard load balance); X9 measures its
-payoff (parse throughput under concurrent shard execution).
+payoff (parse throughput under concurrent shard execution); X12
+measures elasticity (reshard cost and the throughput reclaimed by
+fixing a mis-sized static shard count).
 """
 
 from __future__ import annotations
 
+import copy
+import itertools
+import pickle
+import time
 import zlib
-from collections.abc import Iterable, Iterator
+from collections import OrderedDict
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
 
 from repro.api.registry import register_component
 from repro.core.executors import ShardExecutor, resolve_executor
@@ -42,30 +64,151 @@ from repro.logs.record import LogRecord, ParsedLog
 from repro.parsing.drain import DrainParser
 from repro.parsing.masking import Masker
 
+_MASK64 = (1 << 64) - 1
+
 
 def _stable_hash(text: str) -> int:
-    """Deterministic string hash (``hash()`` is salted per process)."""
-    return zlib.crc32(text.encode("utf-8"))
+    """Deterministic string hash (``hash()`` is salted per process).
+
+    crc32 alone is unusable as a rendezvous weight: it is linear over
+    GF(2), so the weights of two shard ids differ by a *key-independent*
+    XOR constant and one shard structurally captures far more than its
+    fair share (measured: half the keyspace at three shards).  The
+    splitmix64-style avalanche finalizer breaks that linearity — after
+    mixing, the per-shard weights of a key are effectively independent.
+    """
+    mixed = zlib.crc32(text.encode("utf-8"))
+    mixed = (mixed * 0xFF51AFD7ED558CCD) & _MASK64
+    mixed = ((mixed ^ (mixed >> 33)) * 0xC4CEB9FE1A85EC53) & _MASK64
+    return mixed ^ (mixed >> 33)
 
 
-def _parse_shard(task: tuple[DrainParser, list[LogRecord]]):
+def rendezvous_shard(key: str, shards: "int | Iterable[int]") -> int:
+    """Rendezvous (HRW) placement of ``key`` over a shard id set.
+
+    Every (key, shard) pair gets an independent deterministic weight
+    and the key lives on the heaviest shard.  Properties the router
+    depends on:
+
+    * placement is a pure function of the key and the shard *ids* —
+      independent of enumeration order (ties break to the smallest id);
+    * adding shard N+1 relocates exactly the keys whose new weight
+      beats all previous ones (~1/(N+1) of the keyspace in
+      expectation); every other key keeps its argmax untouched;
+    * removing a shard relocates only the keys it owned.
+
+    ``shards`` is a count (meaning ids ``0..shards-1``) or an explicit
+    iterable of ids.
+    """
+    ids = range(shards) if isinstance(shards, int) else shards
+    best = -1
+    best_weight = -1
+    for shard in ids:
+        weight = _stable_hash(f"{key}\x00{shard}")
+        if weight > best_weight or (weight == best_weight and shard < best):
+            best, best_weight = shard, weight
+    if best < 0:
+        raise ValueError("rendezvous_shard needs at least one shard id")
+    return best
+
+
+def _parse_shard(task: "tuple[DrainParser, list[LogRecord]]"):
     """One shard's batch parse, in the executor's uniform task shape.
 
     Returns ``(parser, parsed)`` so the caller can reinstall the parser:
-    in-memory executors hand back the same (mutated-in-place) object,
-    the process executor hands back the advanced copy from the worker.
-    Module-level so the process executor can pickle a reference to it.
+    in-memory executors hand back the same (mutated-in-place) object.
+    Module-level so executors can pickle a reference to it.
     """
     parser, group = task
     return parser, parser.parse_batch(group)
 
 
+#: Warm per-worker replica table: (router token, shard) -> (version,
+#: DrainParser).  Lives in the pool worker's module globals; bounded so
+#: abandoned routers (dead pipelines, deep-copied probes) can only cost
+#: a resync, never unbounded memory.
+_REPLICA_STATES: "OrderedDict[tuple[int, int], tuple[int, DrainParser]]" = (
+    OrderedDict()
+)
+_REPLICA_CAP = 128
+
+#: Router identity for worker-state keying; deep copies take a fresh
+#: token so read-only probes can never touch a live router's replicas.
+_ROUTER_TOKENS = itertools.count(1)
+
+
+def _parse_shard_synced(task):
+    """One shard's batch parse against a warm worker-resident replica.
+
+    ``task`` is ``(token, shard, payload, group)`` where ``payload``
+    brings the replica up to the router's version first:
+
+    * ``("full", version, blob)`` — replace the replica with a pickled
+      parser (first contact, or after the router lost track of us);
+    * ``("ops", base, version, blob)`` — apply a pickled list of
+      template-store deltas (reshard migrations) to version ``base``;
+    * ``("none", version)`` — the replica is already current.
+
+    Returns ``("ok", parsed, delta_bytes, new_version)`` — the parse
+    results plus the pickled delta of everything this batch changed —
+    or ``("resync",)`` when the replica is missing or at the wrong
+    version, asking the router to resend in full.  On a parse failure
+    the replica is dropped (it was mutated mid-batch), so a poisoned
+    batch costs one resync instead of silent state divergence.
+    """
+    token, shard, payload, group = task
+    state_key = (token, shard)
+    state = _REPLICA_STATES.get(state_key)
+    tag = payload[0]
+    if tag == "full":
+        version = payload[1]
+        parser = pickle.loads(payload[2])
+    else:
+        if state is None:
+            return ("resync",)
+        held_version, parser = state
+        if tag == "ops":
+            base, version = payload[1], payload[2]
+            if held_version != base:
+                return ("resync",)
+            for delta in pickle.loads(payload[3]):
+                parser.apply_sync(delta)
+        else:  # "none"
+            version = payload[1]
+            if held_version != version:
+                return ("resync",)
+    _REPLICA_STATES.pop(state_key, None)
+    mark = parser.sync_mark()
+    parsed = parser.parse_batch(group)
+    delta = parser.sync_delta(mark)
+    new_version = version + 1
+    _REPLICA_STATES[state_key] = (new_version, parser)
+    while len(_REPLICA_STATES) > _REPLICA_CAP:
+        _REPLICA_STATES.popitem(last=False)
+    return ("ok", parsed, pickle.dumps(delta, pickle.HIGHEST_PROTOCOL),
+            new_version)
+
+
+@dataclass(frozen=True)
+class ReshardReport:
+    """What one :meth:`DistributedDrain.resize` did and what it cost."""
+
+    old_shards: int
+    new_shards: int
+    keys_total: int
+    keys_moved: int
+    templates_moved: int
+    bytes_moved: int
+    seconds: float
+
+
 @register_component("parser", "drain-distributed")
 class DistributedDrain:
-    """A sharded Drain with template reconciliation.
+    """A sharded Drain with template reconciliation and live resizing.
 
     Args:
-        shards: number of parser shards.
+        shards: number of parser shards (the *initial* count;
+            :meth:`resize` changes it live).
         route_by: ``"source"`` (default) or ``"token"`` — the partition
             key.  Routing by source keeps each code base's statements
             on one shard (best template consistency); routing by first
@@ -97,17 +240,16 @@ class DistributedDrain:
         self.shards = shards
         self.route_by = route_by
         self.executor = resolve_executor(executor)
-        self.parsers = [
-            DrainParser(
-                depth=depth,
-                similarity_threshold=similarity_threshold,
-                max_children=max_children,
-                masker=masker,
-                extract_structured=extract_structured,
-                cache_size=cache_size,
-            )
-            for _ in range(shards)
-        ]
+        self._parser_kwargs = dict(
+            depth=depth,
+            similarity_threshold=similarity_threshold,
+            max_children=max_children,
+            masker=masker,
+            extract_structured=extract_structured,
+            cache_size=cache_size,
+        )
+        self.parsers = [DrainParser(**self._parser_kwargs)
+                        for _ in range(shards)]
         # Global id table: (shard, local id) -> global id, plus the
         # reverse map from template string for cross-shard dedup and
         # the first-sighting (shard, local id) per global id so the
@@ -116,28 +258,66 @@ class DistributedDrain:
         self._by_template: dict[str, int] = {}
         self._gid_first_seen: list[tuple[int, int]] = []
         self._shard_loads = [0] * shards
+        # Elasticity bookkeeping: per-key record counts (the reshard
+        # planner's load model), the first-sighting template ownership
+        # per key (what a relocated key takes with it), and the
+        # placement memo invalidated on every resize.
+        self._key_loads: dict[str, int] = {}
+        self._templates_by_key: dict[str, list[tuple[int, int]]] = {}
+        self._route_cache: dict[str, int] = {}
+        self.last_reshard: ReshardReport | None = None
+        # Delta-sync bookkeeping for warm process-pool replicas: the
+        # router-side replica version per shard, the version we believe
+        # the worker replica holds (None = must send full state), and
+        # the queued deltas covering (worker version, version].
+        self._sync_token = next(_ROUTER_TOKENS)
+        self._version = [0] * shards
+        self._worker_version: list[int | None] = [None] * shards
+        self._pending: list[list[dict]] = [[] for _ in range(shards)]
+        self._sync_stats = {
+            "full_syncs": 0,
+            "delta_syncs": 0,
+            "bytes_to_workers": 0,
+            "bytes_from_workers": 0,
+        }
+
+    # -- routing ------------------------------------------------------------
+
+    def route_key(self, record: LogRecord) -> str:
+        """The partition key a record routes by (deterministic)."""
+        if self.route_by == "source":
+            return record.source
+        tokens = record.tokens
+        return tokens[0] if tokens else ""
+
+    def _place(self, key: str) -> int:
+        shard = self._route_cache.get(key)
+        if shard is None:
+            shard = rendezvous_shard(key, self.shards)
+            if len(self._route_cache) < 65536:
+                self._route_cache[key] = shard
+        return shard
 
     def shard_for(self, record: LogRecord) -> int:
         """The shard a record routes to (deterministic)."""
-        if self.route_by == "source":
-            key = record.source
-        else:
-            tokens = record.tokens
-            key = tokens[0] if tokens else ""
-        return _stable_hash(key) % self.shards
+        return self._place(self.route_key(record))
 
-    def _globalize(self, shard: int, parsed: ParsedLog) -> ParsedLog:
-        key = (shard, parsed.template_id)
-        global_id = self._global_ids.get(key)
+    # -- parsing ------------------------------------------------------------
+
+    def _globalize(self, shard: int, parsed: ParsedLog, key: str) -> ParsedLog:
+        local = (shard, parsed.template_id)
+        global_id = self._global_ids.get(local)
         if global_id is None:
             # First sighting of this shard-local template: dedup by
-            # template string across shards.
+            # template string across shards, and record which routing
+            # key owns it (what a reshard must migrate with the key).
             global_id = self._by_template.setdefault(
                 parsed.template, len(self._by_template)
             )
-            self._global_ids[key] = global_id
+            self._global_ids[local] = global_id
             if global_id == len(self._gid_first_seen):
-                self._gid_first_seen.append(key)
+                self._gid_first_seen.append(local)
+            self._templates_by_key.setdefault(key, []).append(local)
         return ParsedLog(
             record=parsed.record,
             template_id=global_id,
@@ -147,9 +327,21 @@ class DistributedDrain:
         )
 
     def parse_record(self, record: LogRecord) -> ParsedLog:
-        shard = self.shard_for(record)
+        key = self.route_key(record)
+        shard = self._place(key)
+        if not self.executor.shares_memory:
+            # Direct parsing advances the router-side replica past
+            # anything expressible as a queued delta; the worker
+            # replica (if any) is stale until the next full sync.
+            self._version[shard] += 1
+            self._worker_version[shard] = None
+            self._pending[shard] = []
+        parsed = self._globalize(
+            shard, self.parsers[shard].parse_record(record), key
+        )
         self._shard_loads[shard] += 1
-        return self._globalize(shard, self.parsers[shard].parse_record(record))
+        self._key_loads[key] = self._key_loads.get(key, 0) + 1
+        return parsed
 
     def parse_stream(self, records: Iterable[LogRecord]) -> Iterator[ParsedLog]:
         for record in records:
@@ -173,27 +365,288 @@ class DistributedDrain:
         to a ``parse_record`` loop: every shard sees exactly its own
         records in the same relative order, and global ids are still
         assigned at first sighting in delivery order.
+
+        Load accounting is deferred until every shard outcome is back:
+        a poisoned batch (any shard task raising) leaves
+        :attr:`shard_loads` and the per-key load model exactly as they
+        were, so the autoscaler's imbalance signal never counts records
+        that were not parsed.
         """
         records = list(records)
-        shard_of = [self.shard_for(record) for record in records]
+        keys = [self.route_key(record) for record in records]
+        shard_of = [self._place(key) for key in keys]
         groups: list[list[LogRecord]] = [[] for _ in range(self.shards)]
         for record, shard in zip(records, shard_of):
             groups[shard].append(record)
-            self._shard_loads[shard] += 1
         busy = [shard for shard in range(self.shards) if groups[shard]]
-        outcomes = self.executor.map(
-            _parse_shard, [(self.parsers[shard], groups[shard]) for shard in busy]
-        )
+        if self.executor.shares_memory:
+            outcomes = self.executor.map(
+                _parse_shard,
+                [(self.parsers[shard], groups[shard]) for shard in busy],
+            )
+            parsed_lists = []
+            for shard, (parser, parsed) in zip(busy, outcomes):
+                # Reinstall the shard parser (a no-op for in-memory
+                # executors, kept for the uniform executor contract).
+                self.parsers[shard] = parser
+                parsed_lists.append(parsed)
+        else:
+            parsed_lists = self._parse_busy_synced(busy, groups)
         parsed_per_shard: list[Iterator[ParsedLog] | None] = [None] * self.shards
-        for shard, (parser, parsed) in zip(busy, outcomes):
-            # Reinstall the shard parser: a no-op for in-memory
-            # executors, the state hand-back for the process executor.
-            self.parsers[shard] = parser
+        for shard, parsed in zip(busy, parsed_lists):
             parsed_per_shard[shard] = iter(parsed)
+        for shard in busy:
+            self._shard_loads[shard] += len(groups[shard])
+        key_loads = self._key_loads
+        for key in keys:
+            key_loads[key] = key_loads.get(key, 0) + 1
         return [
-            self._globalize(shard, next(parsed_per_shard[shard]))
-            for shard in shard_of
+            self._globalize(shard, next(parsed_per_shard[shard]), key)
+            for shard, key in zip(shard_of, keys)
         ]
+
+    # -- warm-replica delta sync (process executor) -------------------------
+
+    def _sync_payload(self, shard: int):
+        version = self._version[shard]
+        worker_version = self._worker_version[shard]
+        if worker_version == version and not self._pending[shard]:
+            return ("none", version)
+        if worker_version is not None and self._pending[shard]:
+            blob = pickle.dumps(self._pending[shard],
+                                pickle.HIGHEST_PROTOCOL)
+            self._sync_stats["bytes_to_workers"] += len(blob)
+            self._sync_stats["delta_syncs"] += 1
+            return ("ops", worker_version, version, blob)
+        blob = pickle.dumps(self.parsers[shard], pickle.HIGHEST_PROTOCOL)
+        self._sync_stats["bytes_to_workers"] += len(blob)
+        self._sync_stats["full_syncs"] += 1
+        self._pending[shard] = []
+        return ("full", version, blob)
+
+    def _parse_busy_synced(self, busy: list[int], groups) -> list[list[ParsedLog]]:
+        """Fan busy shards out to their sticky workers, delta-synced.
+
+        Each worker brings its warm replica to the router's version,
+        parses, and sends back only the delta; the router applies that
+        delta to its own authoritative replica so ``global_templates``
+        / ``template_string`` / future full syncs stay exact.  Workers
+        that lost their replica answer ``resync`` and are retried once
+        with full state.  If any shard task raises, every busy shard's
+        worker is marked unsynced (full resend next batch) and no
+        router state has changed — the batch is a clean no-op.
+        """
+        token = self._sync_token
+        tasks = [(token, shard, self._sync_payload(shard), groups[shard])
+                 for shard in busy]
+        try:
+            results = self.executor.map_sticky(
+                _parse_shard_synced, tasks, busy
+            )
+            retries = [i for i, result in enumerate(results)
+                       if result[0] == "resync"]
+            if retries:
+                for i in retries:
+                    self._worker_version[busy[i]] = None
+                retry_tasks = [
+                    (token, busy[i], self._sync_payload(busy[i]),
+                     groups[busy[i]])
+                    for i in retries
+                ]
+                retry_results = self.executor.map_sticky(
+                    _parse_shard_synced, retry_tasks,
+                    [busy[i] for i in retries],
+                )
+                for i, result in zip(retries, retry_results):
+                    if result[0] == "resync":
+                        raise RuntimeError(
+                            f"shard {busy[i]} worker refused a full sync"
+                        )
+                    results[i] = result
+        except Exception:
+            for shard in busy:
+                self._worker_version[shard] = None
+                self._pending[shard] = []
+            raise
+        parsed_lists = []
+        for shard, (_, parsed, delta_bytes, new_version) in zip(busy, results):
+            self._sync_stats["bytes_from_workers"] += len(delta_bytes)
+            self.parsers[shard].apply_sync(pickle.loads(delta_bytes))
+            self._version[shard] = new_version
+            self._worker_version[shard] = new_version
+            self._pending[shard] = []
+            parsed_lists.append(parsed)
+        return parsed_lists
+
+    @property
+    def sync_stats(self) -> dict[str, int]:
+        """Replica delta-sync counters (bytes and sync kinds)."""
+        return dict(self._sync_stats)
+
+    # -- elastic resharding -------------------------------------------------
+
+    def predicted_imbalance(self, shards: int) -> float:
+        """The load imbalance the current traffic would see at ``shards``.
+
+        Replays the per-key load model through rendezvous placement
+        over ``shards`` shards and returns max/mean shard load — the
+        same statistic the autoscaler reads from :attr:`shard_loads`.
+        Returns 1.0 (perfectly balanced) with no traffic observed.
+        """
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        total = sum(self._key_loads.values())
+        if total == 0:
+            return 1.0
+        loads = [0] * shards
+        for key, count in self._key_loads.items():
+            loads[rendezvous_shard(key, shards)] += count
+        return max(loads) / (total / shards)
+
+    @property
+    def distinct_keys(self) -> int:
+        """Distinct routing keys observed (an upper bound on useful shards)."""
+        return len(self._key_loads)
+
+    def resize(self, shards: int) -> ReshardReport:
+        """Change the shard count live, migrating relocated template state.
+
+        Rendezvous routing relocates only the keys whose argmax changes
+        (~``1/new_shards`` of the keyspace on grow; exactly the removed
+        shards' keys on shrink).  For each relocated key, every
+        template it first-sighted is copied to the destination shard —
+        same tokens, same match count, same creation-time tree address
+        — and the global-id table maps the destination's new local id
+        to the *existing* global id, so parsed events and alerts are
+        byte-identical across the reshard.  Sources keep their copies
+        (other keys on the shard may share a leaf), which keeps
+        :meth:`template_string` resolvable for every pre-reshard global
+        id; on shrink, first-sighting pointers into removed shards are
+        repointed at the migrated copies before the shards are dropped.
+
+        Migrations are queued as template-store deltas for the warm
+        process-pool replicas, so a reshard ships only what moved —
+        never whole parsers.  Returns a :class:`ReshardReport`;
+        ``bytes_moved`` is the serialized size of those deltas (also
+        computed under in-memory executors, as the cost model).
+        """
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        start = time.perf_counter()
+        old = self.shards
+        keys_total = len(self._key_loads)
+        if shards == old:
+            report = ReshardReport(old, shards, keys_total, 0, 0, 0,
+                                   time.perf_counter() - start)
+            self.last_reshard = report
+            return report
+        if shards > old:
+            for _ in range(old, shards):
+                self.parsers.append(DrainParser(**self._parser_kwargs))
+                self._shard_loads.append(0)
+                self._version.append(0)
+                self._worker_version.append(None)
+                self._pending.append([])
+        moved_keys = sorted(
+            key
+            for key in set(self._key_loads) | set(self._templates_by_key)
+            if rendezvous_shard(key, old) != rendezvous_shard(key, shards)
+        )
+        mapping: dict[tuple[int, int], tuple[int, int]] = {}
+        deltas: dict[int, dict] = {}
+        templates_moved = 0
+        for key in moved_keys:
+            destination = rendezvous_shard(key, shards)
+            owned = self._templates_by_key.get(key, [])
+            for index, local in enumerate(owned):
+                source_shard, local_id = local
+                exported = self.parsers[source_shard].template_export(local_id)
+                tokens, count, placement = exported
+                delta = deltas.get(destination)
+                if delta is None:
+                    delta = deltas[destination] = {
+                        "base": len(self.parsers[destination].store),
+                        "created": [], "refined": [], "counts": [],
+                    }
+                installed = self.parsers[destination].install_template(
+                    tokens, count, placement
+                )
+                delta["created"].append(
+                    (installed.template_id, tokens, count, placement)
+                )
+                new_local = (destination, installed.template_id)
+                global_id = self._global_ids.get(local)
+                if global_id is not None:
+                    self._global_ids[new_local] = global_id
+                    if self._gid_first_seen[global_id] == local:
+                        # The first-sighting pointer follows the owning
+                        # key's copy: the destination replica is the one
+                        # the key's traffic keeps generalizing, and a
+                        # later shrink can only map pointers that track
+                        # their owner's current shard.
+                        self._gid_first_seen[global_id] = new_local
+                mapping[local] = new_local
+                owned[index] = new_local
+                templates_moved += 1
+        bytes_moved = sum(
+            len(pickle.dumps([delta], pickle.HIGHEST_PROTOCOL))
+            for delta in deltas.values()
+        )
+        for destination, delta in deltas.items():
+            self._version[destination] += 1
+            if self._worker_version[destination] is not None:
+                self._pending[destination].append(delta)
+        if shards < old:
+            for global_id, local in enumerate(self._gid_first_seen):
+                if local[0] >= shards:
+                    replacement = mapping.get(local)
+                    if replacement is None:
+                        raise RuntimeError(
+                            f"global id {global_id} first seen on removed "
+                            f"shard {local[0]} has no migrated copy"
+                        )
+                    self._gid_first_seen[global_id] = replacement
+            for local in [entry for entry in self._global_ids
+                          if entry[0] >= shards]:
+                del self._global_ids[local]
+            del self.parsers[shards:]
+            del self._version[shards:]
+            del self._worker_version[shards:]
+            del self._pending[shards:]
+        self.shards = shards
+        self._route_cache.clear()
+        loads = [0] * shards
+        for key, count in self._key_loads.items():
+            loads[rendezvous_shard(key, shards)] += count
+        self._shard_loads = loads
+        report = ReshardReport(
+            old_shards=old,
+            new_shards=shards,
+            keys_total=keys_total,
+            keys_moved=len(moved_keys),
+            templates_moved=templates_moved,
+            bytes_moved=bytes_moved,
+            seconds=time.perf_counter() - start,
+        )
+        self.last_reshard = report
+        return report
+
+    def __deepcopy__(self, memo: dict) -> "DistributedDrain":
+        # Snapshots (read-only measurement probes) must never reuse the
+        # live router's worker replicas: they take a fresh sync token
+        # and cold worker versions, so their first process-pool batch —
+        # if they ever run one — starts from a full sync.
+        cls = self.__class__
+        clone = cls.__new__(cls)
+        memo[id(self)] = clone
+        for name, value in self.__dict__.items():
+            setattr(clone, name, copy.deepcopy(value, memo))
+        clone._sync_token = next(_ROUTER_TOKENS)
+        clone._worker_version = [None] * clone.shards
+        clone._pending = [[] for _ in range(clone.shards)]
+        return clone
+
+    # -- reconciliation -----------------------------------------------------
 
     def global_templates(self) -> list[str]:
         """The reconciled global template table (current, deduplicated).
@@ -223,7 +676,12 @@ class DistributedDrain:
 
     @property
     def shard_loads(self) -> list[int]:
-        """Records routed per shard (load-balance measurement for X6)."""
+        """Records routed per shard (load-balance measurement for X6).
+
+        After a :meth:`resize` the history is re-attributed under the
+        new placement, so the imbalance the autoscaler reads reflects
+        the *current* routing, not a mix of regimes.
+        """
         return list(self._shard_loads)
 
     @property

@@ -87,6 +87,13 @@ class DrainParser(OnlineParser):
         self.similarity_threshold = similarity_threshold
         self.max_children = max_children
         self._length_roots: dict[int, _Node] = {}
+        # template id -> (token count, routing child-key path), recorded
+        # at creation time.  A cluster is only ever matched at the leaf
+        # it was appended to, so this path is the template's permanent
+        # tree address — replicas and reshard migrations replay it with
+        # :meth:`install_template` instead of re-deriving a route from
+        # the (possibly refined) current tokens.
+        self._placements: dict[int, tuple[int, tuple[str, ...]]] = {}
 
     def _route(self, tokens: list[str]) -> _Node:
         """Walk (creating) the tree path for a token sequence."""
@@ -106,6 +113,24 @@ class DrainParser(OnlineParser):
             node = child
         return node
 
+    def _route_path(self, tokens: list[str]) -> tuple[str, ...]:
+        """The child-key path :meth:`_route` walks for ``tokens``.
+
+        Called right after :meth:`_route`, so every child on the path
+        already exists and the overflow fallback can only re-trace the
+        walk ``_route`` just took (the wildcard branch is taken exactly
+        when the literal child is absent).
+        """
+        node = self._length_roots[len(tokens)]
+        path: list[str] = []
+        for level in range(min(self.depth, len(tokens))):
+            token = tokens[level]
+            if _has_digit(token) or token not in node.children:
+                token = WILDCARD
+            path.append(token)
+            node = node.children[token]
+        return tuple(path)
+
     def _classify(self, tokens: list[str]) -> MinedTemplate:
         leaf = self._route(tokens)
         best: MinedTemplate | None = None
@@ -119,4 +144,121 @@ class DrainParser(OnlineParser):
             return best
         template = self.store.create(tokens)
         leaf.clusters.append(template)
+        self._placements[template.template_id] = (
+            len(tokens), self._route_path(tokens)
+        )
         return template
+
+    # -- replica synchronization -------------------------------------------
+    #
+    # The distributed parser keeps warm DrainParser replicas (in process
+    # pool workers and in the router's own shard table) and reconciles
+    # them by shipping *changes* instead of whole pickled parsers.  A
+    # delta is a plain dict of primitives:
+    #
+    #   {"base": <store length at the mark>,
+    #    "created": [(id, tokens, count, placement), ...],
+    #    "refined": [(id, tokens, count), ...],
+    #    "counts":  [(id, count), ...]}
+    #
+    # ``created`` entries carry their creation-time placement so the
+    # receiver rebuilds the identical tree address; ``refined`` ships
+    # the current token list of templates that generalized; ``counts``
+    # covers match-count drift on otherwise-unchanged templates.
+
+    def install_template(
+        self,
+        tokens: list[str],
+        count: int = 1,
+        placement: tuple[int, tuple[str, ...]] | None = None,
+    ) -> MinedTemplate:
+        """Install a template mined elsewhere (replica sync / migration).
+
+        Creates the store entry (next sequential id), sets its match
+        count, and appends the cluster at ``placement`` — the
+        creation-time tree address recorded by the original miner — so
+        future messages classify against it exactly as they would have
+        on the source shard.  Without a placement the address is
+        re-derived from the tokens.
+        """
+        template = self.store.create(tokens)
+        template.count = count
+        if placement is None:
+            leaf = self._route(list(tokens))
+            placement = (len(tokens), self._route_path(list(tokens)))
+        else:
+            length, path = placement
+            node = self._length_roots.setdefault(length, _Node())
+            for key in path:
+                child = node.children.get(key)
+                if child is None:
+                    child = _Node()
+                    node.children[key] = child
+                node = child
+            leaf = node
+        leaf.clusters.append(template)
+        self._placements[template.template_id] = placement
+        return template
+
+    def template_export(
+        self, template_id: int
+    ) -> tuple[list[str], int, tuple[int, tuple[str, ...]]]:
+        """One template's ``install_template`` payload (tokens, count,
+        placement)."""
+        template = self.store[template_id]
+        placement = self._placements.get(template_id)
+        if placement is None:
+            placement = (len(template.tokens),
+                         self._route_path(template.tokens))
+        return list(template.tokens), template.count, placement
+
+    def sync_mark(self) -> tuple[int, list[int]]:
+        """Begin a sync window: snapshot counts, reset the change-set."""
+        self.store.clear_dirty()
+        return len(self.store), [t.count for t in self.store]
+
+    def sync_delta(self, mark: tuple[int, list[int]]) -> dict:
+        """Everything that changed since ``mark``, as a plain delta."""
+        base, counts = mark
+        store = self.store
+        created = [
+            (tid, *self.template_export(tid))
+            for tid in range(base, len(store))
+        ]
+        refined = [
+            (tid, list(store[tid].tokens), store[tid].count)
+            for tid in sorted(self.store.dirty)
+            if tid < base
+        ]
+        shipped = {tid for tid, *_ in refined}
+        changed_counts = [
+            (tid, store[tid].count)
+            for tid in range(base)
+            if store[tid].count != counts[tid] and tid not in shipped
+        ]
+        return {"base": base, "created": created, "refined": refined,
+                "counts": changed_counts}
+
+    def apply_sync(self, delta: dict) -> None:
+        """Apply a peer's :meth:`sync_delta` to this replica."""
+        store = self.store
+        if delta["base"] != len(store):
+            raise ValueError(
+                f"sync delta expects store length {delta['base']}, "
+                f"replica has {len(store)}"
+            )
+        for tid, tokens, count, placement in delta["created"]:
+            installed = self.install_template(tokens, count, placement)
+            if installed.template_id != tid:
+                raise ValueError(
+                    f"sync delta created id {tid}, replica assigned "
+                    f"{installed.template_id}"
+                )
+        for tid, tokens, count in delta["refined"]:
+            template = store[tid]
+            template.tokens = list(tokens)
+            template._joined = None
+            template.count = count
+            store.note_refinement(tid)
+        for tid, count in delta["counts"]:
+            store[tid].count = count

@@ -112,6 +112,9 @@ class PipelineTelemetry:
         self.shard_imbalance = registry.gauge(
             "monilog_shard_imbalance",
             "max/mean parser shard load (1.0 = perfectly balanced)")
+        self.shards = registry.gauge(
+            "monilog_shards",
+            "Current parser shard count (reshard-adjustable)")
         self.open_sessions = registry.gauge(
             "monilog_open_sessions", "Streaming sessions currently open")
 
@@ -172,6 +175,30 @@ class PipelineTelemetry:
         self.advisories_total = registry.counter(
             "monilog_advisories_total", "Operator advisories raised")
 
+        # -- elastic resharding (pushed per resize, pulled for sync) -----------
+        self.reshard_total = registry.counter(
+            "monilog_reshard_total", "Live parser shard-count resizes")
+        self.reshard_keys_moved = registry.counter(
+            "monilog_reshard_keys_moved_total",
+            "Routing keys relocated by resizes")
+        self.reshard_templates_moved = registry.counter(
+            "monilog_reshard_templates_moved_total",
+            "Templates migrated to relocated shards by resizes")
+        self.reshard_bytes = registry.counter(
+            "monilog_reshard_bytes_total",
+            "Serialized bytes of migrated template state")
+        self.reshard_seconds = registry.histogram(
+            "monilog_reshard_seconds",
+            "Wall-clock latency per resize (seconds)",
+            DEFAULT_LATENCY_BUCKETS)
+        self.template_sync_bytes = registry.counter(
+            "monilog_template_sync_bytes_total",
+            "Template-store delta-sync bytes between router and "
+            "process-pool workers", ("direction",))
+        self.template_full_syncs = registry.counter(
+            "monilog_template_full_syncs_total",
+            "Whole-parser (non-delta) syncs to process-pool workers")
+
     def __deepcopy__(self, memo: dict) -> "PipelineTelemetry":
         """Telemetry is a runtime resource, not model state: snapshots
         of an instrumented pipeline (``consistency_with`` probes,
@@ -195,6 +222,14 @@ class PipelineTelemetry:
 
     def observe_ingest_batch(self, records: int) -> None:
         self.ingest_batch_records.observe(records)
+
+    def observe_reshard(self, report) -> None:
+        """Record one :class:`~repro.parsing.distributed.ReshardReport`."""
+        self.reshard_total.inc()
+        self.reshard_keys_moved.inc(report.keys_moved)
+        self.reshard_templates_moved.inc(report.templates_moved)
+        self.reshard_bytes.inc(report.bytes_moved)
+        self.reshard_seconds.observe(report.seconds)
 
     def advise(self, message: str) -> None:
         """Raise an operator advisory (kept in the snapshot ring)."""
@@ -222,12 +257,23 @@ class PipelineTelemetry:
             self.templates.set(stats.templates_discovered)
             self.batch_size.set(pipeline.batch_size)
             if pipeline.sharded:
-                loads = pipeline.parser.shard_loads
+                parser = pipeline.parser
+                loads = parser.shard_loads
                 for shard, load in enumerate(loads):
                     self.shard_load.labels(shard=shard).set(load)
                 mean = sum(loads) / len(loads)
                 self.shard_imbalance.set(
                     max(loads) / mean if mean else 1.0)
+                self.shards.set(len(loads))
+                sync = getattr(parser, "sync_stats", None)
+                if sync is not None:
+                    self.template_sync_bytes.labels(
+                        direction="to_workers"
+                    ).set_total(sync["bytes_to_workers"])
+                    self.template_sync_bytes.labels(
+                        direction="from_workers"
+                    ).set_total(sync["bytes_from_workers"])
+                    self.template_full_syncs.set_total(sync["full_syncs"])
             sessionizer = pipeline.sessionizer
             if sessionizer is not None:
                 self.open_sessions.set(sessionizer.open_sessions)

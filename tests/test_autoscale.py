@@ -89,6 +89,27 @@ class TestCreditGateResize:
         assert gate.waits == 1
         assert gate.wait_seconds >= 0.04
 
+    def test_shrink_then_grow_restores_original_request(self):
+        # A producer that queues acquire(8) during a dip to capacity 2
+        # must get its full 8 credits back once the budget recovers —
+        # the dip's clamp is not a permanent haircut.
+        async def scenario():
+            gate = CreditGate(8)
+            await gate.acquire(8)
+            waiter = asyncio.ensure_future(gate.acquire(8))
+            await asyncio.sleep(0)
+            gate.resize(2)
+            gate.resize(8)
+            gate.release(8)
+            await waiter
+            return gate
+
+        gate = asyncio.run(scenario())
+        assert gate.in_use == 8
+        assert gate.available == 0
+        gate.release(8)
+        assert gate.available == 8
+
     def test_resize_rejects_zero(self):
         with pytest.raises(ValueError):
             CreditGate(4).resize(0)

@@ -272,6 +272,34 @@ class TestCheckpointStore:
         assert path.exists()
         assert not (tmp_path / "ckpt.json.tmp").exists()
 
+    def test_save_fsyncs_data_and_directory(self, tmp_path, monkeypatch):
+        # Atomicity needs durability: the temp file must reach disk
+        # before the rename, and the rename must reach disk via the
+        # parent directory — otherwise a crash can promote a torn or
+        # vanished checkpoint.
+        import os
+        import stat
+
+        import repro.ingest.checkpoint as checkpoint_module
+
+        synced = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            synced.append(os.fstat(fd).st_mode)
+            real_fsync(fd)
+
+        monkeypatch.setattr(checkpoint_module.os, "fsync", recording_fsync)
+        store = CheckpointStore(tmp_path / "ckpt.json")
+        store.update("a", 1)
+        store.save()
+        assert any(stat.S_ISREG(mode) for mode in synced)
+        assert any(stat.S_ISDIR(mode) for mode in synced)
+        # A clean save resets dirtiness: no further fsync traffic.
+        synced.clear()
+        store.save()
+        assert synced == []
+
     def test_rejects_corrupt_checkpoint(self, tmp_path):
         path = tmp_path / "ckpt.json"
         path.write_text("{not json", encoding="utf-8")

@@ -1,0 +1,440 @@
+"""Elastic resharding: routing stability, live template migration,
+replica delta-sync, and load-accounting correctness.
+
+Three contracts pin the tentpole:
+
+* **Rendezvous routing** is deterministic, independent of shard
+  enumeration order, and minimally disruptive — growing N -> N+1
+  relocates about 1/(N+1) of the keyspace (all of it onto the new
+  shard) and shrinking relocates exactly the removed shards' keys.
+* **Live migration** (:meth:`DistributedDrain.resize`) carries each
+  relocated key's template state with it: every pre-reshard global id
+  still resolves to the same template string, and continued parsing
+  is byte-identical to a twin that never resharded.
+* **Delta sync** ships template-store deltas — not whole pickled
+  parsers — to warm process-pool replicas: warm batches cost bytes
+  proportional to *new* templates, never to total store size.
+
+Source names here are digit-free NATO words on purpose: Drain routes
+the first ``depth`` tokens literally when they contain no digits, so
+each source parses in its own subtree and output cannot depend on
+which sources happen to share a shard.  That isolation is what lets
+the tests compare a resharded parser against a differently-sharded
+twin token for token.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from conftest import make_record
+from repro.api import Pipeline, PipelineSpec
+from repro.autoscale import AutoscaleConfig, AutoscaleController
+from repro.core.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
+)
+from repro.parsing import DistributedDrain, default_masker
+from repro.parsing.distributed import rendezvous_shard
+
+# Placement of these names is pinned by the stable hash; tests below
+# hard-code facts read off this table (e.g. alpha/delta share shard 0
+# of 2 but split 0/2 at three shards).
+SOURCES = ["alpha", "bravo", "charlie", "delta", "echo",
+           "foxtrot", "golf", "hotel", "india", "juliet"]
+# Two sources per shard at two shards — the delta-sync tests need
+# every process-pool replica to actually see traffic.
+SPLIT_SOURCES = ["alpha", "echo", "bravo", "golf"]
+
+
+def _records(sources, statements=3, repeats=4, start=0.0, family="op"):
+    """Per-source log lines: ``statements`` templates per source.
+
+    Each statement index gets a distinct trailing length, so template
+    identity is deterministic; the ``family`` token sits at routing
+    depth, so a new family is guaranteed to mint new templates.
+    """
+    records = []
+    sequence = 0
+    for repeat in range(repeats):
+        for source in sources:
+            for index in range(statements):
+                suffix = " detail" * index
+                records.append(make_record(
+                    f"{source} {family} finished request "
+                    f"{repeat * 31 + index} in {repeat + index} ms{suffix}",
+                    timestamp=start + sequence, source=source,
+                    sequence=sequence))
+                sequence += 1
+    return records
+
+
+def _shapes(events):
+    return [(event.template_id, event.template, event.variables)
+            for event in events]
+
+
+class TestRendezvousRouting:
+    def test_deterministic_and_in_range(self):
+        for shards in (1, 3, 7):
+            for index in range(200):
+                key = f"key-{index}"
+                shard = rendezvous_shard(key, shards)
+                assert 0 <= shard < shards
+                assert rendezvous_shard(key, shards) == shard
+
+    def test_enumeration_order_independent(self):
+        ids = list(range(9))
+        shuffled = list(reversed(ids))
+        mixed = ids[:]
+        random.Random(7).shuffle(mixed)
+        for index in range(500):
+            key = f"key-{index}"
+            expected = rendezvous_shard(key, 9)
+            assert rendezvous_shard(key, shuffled) == expected
+            assert rendezvous_shard(key, mixed) == expected
+
+    def test_grow_relocates_bounded_fraction_onto_new_shard(self):
+        keys = [f"key-{index}" for index in range(10_000)]
+        for shards in (2, 4, 8):
+            before = {key: rendezvous_shard(key, shards) for key in keys}
+            after = {key: rendezvous_shard(key, shards + 1) for key in keys}
+            moved = [key for key in keys if after[key] != before[key]]
+            # Expectation is 1/(N+1) of the keyspace; allow 2x slack
+            # for hash lumpiness but never silent mass relocation.
+            assert 0 < len(moved) <= 2 * len(keys) / (shards + 1)
+            assert all(after[key] == shards for key in moved)
+
+    def test_shrink_moves_only_orphaned_keys(self):
+        for index in range(10_000):
+            key = f"key-{index}"
+            survivor = rendezvous_shard(key, 4)
+            if survivor < 3:
+                assert rendezvous_shard(key, 3) == survivor
+
+
+class TestLiveMigration:
+    def test_grow_preserves_global_ids_and_template_strings(self):
+        parser = DistributedDrain(shards=3, masker=default_masker())
+        twin = DistributedDrain(shards=3, masker=default_masker())
+        records = _records(SOURCES)
+        parser.parse_batch(records)
+        twin.parse_batch(records)
+
+        before = {gid: parser.template_string(gid)
+                  for gid in range(parser.template_count)}
+        report = parser.resize(5)
+        assert (report.old_shards, report.new_shards) == (3, 5)
+        assert report.keys_moved > 0  # alpha/bravo/charlie/delta/juliet
+        assert report.templates_moved > 0
+        assert report.bytes_moved > 0
+        assert len(parser.parsers) == 5
+
+        for gid, template in before.items():
+            assert parser.template_string(gid) == template
+        assert parser.global_templates() == twin.global_templates()
+
+        # Continued parsing on 5 shards is byte-identical to the twin
+        # that stayed at 3 — same global ids, templates, variables.
+        follow_up = _records(SOURCES, repeats=3, start=1000.0)
+        assert _shapes(parser.parse_batch(follow_up)) == \
+            _shapes(twin.parse_batch(follow_up))
+        assert parser.global_templates() == twin.global_templates()
+
+    def test_shrink_repoints_template_addressing(self):
+        parser = DistributedDrain(shards=4, masker=default_masker())
+        twin = DistributedDrain(shards=4, masker=default_masker())
+        records = _records(SOURCES[:6])
+        parser.parse_batch(records)
+        twin.parse_batch(records)
+
+        before = {gid: parser.template_string(gid)
+                  for gid in range(parser.template_count)}
+        report = parser.resize(2)
+        assert report.new_shards == 2
+        assert len(parser.parsers) == 2
+        # charlie/delta (shard 3) and foxtrot (shard 2) relocate.
+        assert report.keys_moved >= 3
+
+        for gid, template in before.items():
+            assert parser.template_string(gid) == template
+        follow_up = _records(SOURCES[:6], repeats=2, start=1000.0)
+        assert _shapes(parser.parse_batch(follow_up)) == \
+            _shapes(twin.parse_batch(follow_up))
+        # Migrated copies shift the inventory's shard-order listing;
+        # the reconciled template *set* must survive the shrink.
+        assert sorted(parser.global_templates()) == \
+            sorted(twin.global_templates())
+
+    def test_resize_noop_and_validation(self):
+        parser = DistributedDrain(shards=3)
+        report = parser.resize(3)
+        assert report.keys_moved == 0
+        assert report.new_shards == 3
+        with pytest.raises(ValueError):
+            parser.resize(0)
+
+    @pytest.mark.parametrize("executor_name", ["thread", "process"])
+    def test_mid_run_reshard_identical_across_executors(self, executor_name):
+        executor = {"thread": ThreadedExecutor,
+                    "process": ProcessExecutor}[executor_name](max_workers=3)
+        try:
+            reference = DistributedDrain(shards=2, masker=default_masker(),
+                                         executor=SerialExecutor())
+            concurrent = DistributedDrain(shards=2, masker=default_masker(),
+                                          executor=executor)
+            records = _records(SOURCES, repeats=6)
+            half = len(records) // 2
+            assert _shapes(concurrent.parse_batch(records[:half])) == \
+                _shapes(reference.parse_batch(records[:half]))
+            # Same reshard schedule on both sides: under the process
+            # executor this queues migration deltas for warm replicas.
+            reference.resize(5)
+            concurrent.resize(5)
+            assert _shapes(concurrent.parse_batch(records[half:])) == \
+                _shapes(reference.parse_batch(records[half:]))
+            assert concurrent.global_templates() == \
+                reference.global_templates()
+            assert concurrent.shard_loads == reference.shard_loads
+        finally:
+            executor.close()
+
+
+class TestLoadAccounting:
+    def test_poisoned_batch_leaves_loads_unchanged(self):
+        parser = DistributedDrain(shards=3, masker=default_masker())
+        records = _records(SOURCES[:6])
+        parser.parse_batch(records)
+        loads_before = list(parser.shard_loads)
+        keys_before = parser.distinct_keys
+
+        victim = parser.shard_for(records[0])
+
+        def poisoned(batch):
+            raise RuntimeError("poisoned batch")
+
+        parser.parsers[victim].parse_batch = poisoned
+        with pytest.raises(RuntimeError, match="poisoned"):
+            parser.parse_batch(records)
+        # The failed fan-out must not inflate the balance signal the
+        # autoscaler resizes on.
+        assert parser.shard_loads == loads_before
+        assert parser.distinct_keys == keys_before
+
+    def test_resize_reattributes_loads_without_inventing_records(self):
+        parser = DistributedDrain(shards=3, masker=default_masker())
+        records = _records(SOURCES)
+        parser.parse_batch(records)
+        total = sum(parser.shard_loads)
+        assert total == len(records)
+        parser.resize(5)
+        assert sum(parser.shard_loads) == total
+        parser.resize(2)
+        assert sum(parser.shard_loads) == total
+
+
+class TestDeltaSync:
+    def test_warm_batches_ship_deltas_not_parsers(self):
+        executor = ProcessExecutor(max_workers=2)
+        try:
+            parser = DistributedDrain(shards=2, masker=default_masker(),
+                                      executor=executor)
+            base = _records(SPLIT_SOURCES, statements=6, repeats=3)
+            parser.parse_batch(base)
+            cold = parser.sync_stats
+            assert cold["full_syncs"] == 2  # one per shard, then warm
+
+            parser.parse_batch(_records(SPLIT_SOURCES, statements=6,
+                                        repeats=3, start=1000.0))
+            warm = parser.sync_stats
+            assert warm["full_syncs"] == 2
+            full_size = sum(
+                len(pickle.dumps(shard, pickle.HIGHEST_PROTOCOL))
+                for shard in parser.parsers)
+            # Nothing new to teach the workers: zero bytes out, and the
+            # count-only deltas back are a sliver of a parser pickle.
+            assert warm["bytes_to_workers"] == cold["bytes_to_workers"]
+            counts_only = (warm["bytes_from_workers"]
+                           - cold["bytes_from_workers"])
+            assert 0 < counts_only < full_size / 4
+
+            # New templates cost bytes proportional to *their* count,
+            # not to the total store size: a batch minting 4x the
+            # templates ships more delta, and both ship a fraction of
+            # what re-pickling the parsers would.
+            parser.parse_batch(_records(SPLIT_SOURCES, statements=2,
+                                        repeats=2, start=2000.0,
+                                        family="sweep"))
+            after_few = parser.sync_stats
+            few = after_few["bytes_from_workers"] \
+                - warm["bytes_from_workers"]
+            parser.parse_batch(_records(SPLIT_SOURCES, statements=8,
+                                        repeats=2, start=3000.0,
+                                        family="flush"))
+            many = parser.sync_stats["bytes_from_workers"] \
+                - after_few["bytes_from_workers"]
+            assert counts_only < few < many
+            grown_full_size = sum(
+                len(pickle.dumps(shard, pickle.HIGHEST_PROTOCOL))
+                for shard in parser.parsers)
+            assert many < grown_full_size / 2
+            assert parser.sync_stats["full_syncs"] == 2
+        finally:
+            executor.close()
+
+    def test_shrink_ships_pending_ops_to_warm_replicas(self):
+        # A grow only populates brand-new shards (cold replicas, full
+        # sync anyway); a shrink migrates into *surviving* shards whose
+        # replicas are already warm — the one case where the migration
+        # must ride the incremental ops channel, not a re-pickle.
+        executor = ProcessExecutor(max_workers=2)
+        try:
+            reference = DistributedDrain(shards=3, masker=default_masker(),
+                                         executor=SerialExecutor())
+            parser = DistributedDrain(shards=3, masker=default_masker(),
+                                      executor=executor)
+            base = _records(["alpha", "delta", "echo"])  # shards 0/2/1
+            assert _shapes(parser.parse_batch(base)) == \
+                _shapes(reference.parse_batch(base))
+            warm = parser.sync_stats
+            assert warm["delta_syncs"] == 0
+            reference.resize(2)
+            parser.resize(2)  # delta relocates onto warm shard 0
+            follow_up = _records(["alpha", "delta", "echo"], repeats=2,
+                                 start=1000.0)
+            assert _shapes(parser.parse_batch(follow_up)) == \
+                _shapes(reference.parse_batch(follow_up))
+            after = parser.sync_stats
+            assert after["delta_syncs"] >= 1
+            assert after["full_syncs"] == warm["full_syncs"]
+        finally:
+            executor.close()
+
+    def test_worker_restart_resyncs_transparently(self):
+        executor = ProcessExecutor(max_workers=2)
+        try:
+            reference = DistributedDrain(shards=2, masker=default_masker(),
+                                         executor=SerialExecutor())
+            parser = DistributedDrain(shards=2, masker=default_masker(),
+                                      executor=executor)
+            base = _records(SPLIT_SOURCES)
+            assert _shapes(parser.parse_batch(base)) == \
+                _shapes(reference.parse_batch(base))
+            # Kill the workers: their replicas vanish, but the router
+            # still believes they are warm.  The next batch must detect
+            # the cold replica and recover with a full resync.
+            executor.close()
+            follow_up = _records(SPLIT_SOURCES, repeats=2, start=1000.0)
+            assert _shapes(parser.parse_batch(follow_up)) == \
+                _shapes(reference.parse_batch(follow_up))
+            assert parser.sync_stats["full_syncs"] >= 3
+        finally:
+            executor.close()
+
+
+class _ReshardPipe:
+    """The controller-facing slice of a sharded Pipeline."""
+
+    def __init__(self, parser):
+        self.parser = parser
+        self.sharded = True
+        self.batch_size = 64
+        self.reports = []
+
+    def reshard(self, shards):
+        report = self.parser.resize(shards)
+        self.reports.append(report)
+        return report
+
+
+def _skew(parser, counts):
+    """Parse ``counts`` records per source, building the load model."""
+    for source, count in counts.items():
+        parser.parse_batch(_records([source], statements=1, repeats=count))
+
+
+class TestAutoscaleReshard:
+    def _controller(self, parser, **overrides):
+        config = AutoscaleConfig(enabled=True, reshard=True,
+                                 imbalance_threshold=1.5, **overrides)
+        return AutoscaleController(config, pipeline=_ReshardPipe(parser),
+                                   clock=lambda: 0.0)
+
+    def test_imbalance_graduates_to_resize(self):
+        # alpha and delta share shard 0 of 2 but split 0/2 at three
+        # shards: growing genuinely fixes this skew, and the predicted
+        # imbalance (1.5 at 3 shards) says so.
+        parser = DistributedDrain(shards=2, masker=default_masker())
+        _skew(parser, {"alpha": 30, "delta": 30})
+        controller = self._controller(parser)
+        made = controller.tick(0.0)
+        assert parser.shards == 3
+        assert any("shards: 2 -> 3" in message for message in made)
+        assert controller.pipeline.reports[0].keys_moved == 1  # delta
+        # The load model was re-attributed, not reset.
+        assert sum(parser.shard_loads) == 60
+
+    def test_reshard_respects_cooldown(self):
+        parser = DistributedDrain(shards=2, masker=default_masker())
+        _skew(parser, {"alpha": 30, "delta": 30})
+        controller = self._controller(parser, reshard_cooldown=10.0)
+        assert controller.tick(0.0)
+        assert parser.shards == 3
+        # Fresh skew that would justify another resize: oscar and
+        # juliet share shard 0 of 3 but split 0/4 at five shards.
+        _skew(parser, {"oscar": 300, "juliet": 300})
+        assert controller.tick(5.0) == []  # inside the cooldown
+        assert parser.shards == 3
+        made = controller.tick(50.0)  # cooldown elapsed
+        assert parser.shards > 3
+        assert any("shards" in message for message in made)
+
+    def test_single_elephant_key_never_resizes(self):
+        # One key's load cannot be split by resharding: predicted
+        # imbalance only worsens with more shards, so the controller
+        # must fall back to the advisory rather than thrash.
+        parser = DistributedDrain(shards=2, masker=default_masker())
+        _skew(parser, {"elephant": 50})
+        controller = self._controller(parser)
+        assert controller.tick(0.0) == []
+        assert parser.shards == 2
+        assert controller.advisories
+        assert "shard imbalance" in controller.advisories[0]
+
+    def test_sparse_keyspace_shrinks_to_distinct_keys(self):
+        # Two keys on six shards: four shards can never see a record.
+        # With growth capped, the controller folds the dead shards
+        # away instead of advising.
+        parser = DistributedDrain(shards=6, masker=default_masker())
+        _skew(parser, {"india": 20, "charlie": 20})
+        before = {gid: parser.template_string(gid)
+                  for gid in range(parser.template_count)}
+        controller = self._controller(parser, max_shards=6)
+        made = controller.tick(0.0)
+        assert parser.shards == 2
+        assert any("shards: 6 -> 2" in message for message in made)
+        for gid, template in before.items():
+            assert parser.template_string(gid) == template
+
+
+class TestPipelineReshard:
+    def test_reshard_updates_spec_and_metrics(self):
+        pipeline = Pipeline(PipelineSpec(shards=3,
+                                         telemetry={"enabled": True}))
+        pipeline.parser.parse_batch(_records(SOURCES))
+        report = pipeline.reshard(5)
+        assert report.new_shards == 5
+        assert pipeline.spec.shards == 5
+        text = pipeline.metrics_text()
+        assert "monilog_reshard_total 1" in text
+        assert "monilog_shards 5" in text
+        assert "monilog_reshard_keys_moved_total" in text
+
+    def test_reshard_requires_sharded_pipeline(self):
+        pipeline = Pipeline(PipelineSpec())
+        with pytest.raises(RuntimeError, match="sharded"):
+            pipeline.reshard(4)
