@@ -144,7 +144,8 @@ def _alert_key(alert):
             alert.report.events, alert.pool, alert.criticality)
 
 
-def bench_x10_concurrent_tailing(benchmark, emit, tmp_path_factory):
+def bench_x10_concurrent_tailing(benchmark, emit, snapshot,
+                                 tmp_path_factory):
     root = tmp_path_factory.mktemp("x10")
     history, paths = _write_corpora(root)
 
@@ -219,6 +220,15 @@ def bench_x10_concurrent_tailing(benchmark, emit, tmp_path_factory):
     emit(f"\nalerts: {len(actual)} (identical to offline), "
          f"late records: {concurrent.merger.late}, "
          f"credit waits: {concurrent.gate.waits}")
+    snapshot("x10_async_ingestion", {
+        "sources": _SOURCES,
+        "records": total,
+        "sequential_seconds": round(sequential_s, 4),
+        "concurrent_seconds": round(concurrent_s, 4),
+        "speedup": round(speedup, 3),
+        "alerts": len(actual),
+        "late_records": concurrent.merger.late,
+    })
     assert speedup >= _MIN_SPEEDUP, (
         f"concurrent tailing must sustain >= {_MIN_SPEEDUP}x sequential "
         f"draining at {_SOURCES} sources, got {speedup:.2f}x"

@@ -150,7 +150,7 @@ def _serve(base: Pipeline, live, autoscale: dict):
     return [_alert_key(alert) for alert in alerts], elapsed, service
 
 
-def bench_x11_autoscale_convergence(benchmark, emit):
+def bench_x11_autoscale_convergence(benchmark, emit, snapshot):
     history, live = _corpora()
     total = sum(len(records) for records in live.values())
 
@@ -208,6 +208,16 @@ def bench_x11_autoscale_convergence(benchmark, emit):
          f"autoscaled), late in adaptive run: "
          f"{adaptive_service.merger.late}, "
          f"adjustments: {len(status['adjustments'])}")
+    snapshot("x11_autoscale", {
+        "records": total,
+        "static_seconds": round(static_s, 4),
+        "autoscaled_seconds": round(adaptive_s, 4),
+        "speedup": round(speedup, 3),
+        "alerts": len(expected),
+        "ticks": status["ticks"],
+        "end_credits": round(knobs["credits"]),
+        "end_ingest_batch": round(knobs["ingest_batch_size"]),
+    })
     assert speedup >= _MIN_SPEEDUP, (
         f"autoscaling must reach >= {_MIN_SPEEDUP}x the mis-sized "
         f"throughput, got {speedup:.2f}x"

@@ -1,0 +1,190 @@
+"""X13 — multi-tenant gateway: noisy-neighbor isolation over shared pools.
+
+The gateway (:mod:`repro.gateway`) multiplexes N per-tenant pipelines
+over one executor, one metrics registry, and one checkpoint store.
+The claim worth benchmarking is the isolation contract, not raw
+throughput: a tenant that floods the gateway on a starved credit
+budget must stall **only itself**.  Three checks, each load-bearing:
+
+* **backpressure isolation** — the noisy tenant exhausts its own
+  credit gate (``credit_waits > 0``) while every quiet tenant ingests
+  without a single credit wait;
+* **alert parity** — each quiet tenant's alerts are byte-identical
+  (report ids, sessions, events, pools, criticality) to a standalone
+  single-tenant pipeline fed the same corpus, noisy neighbor or not;
+* **latency bound** — quiet tenants finish draining well before the
+  flooding tenant does; a shared (broken) gate would drag them to the
+  noisy tenant's completion time.
+"""
+
+import asyncio
+import os
+import time
+
+from conftest import once
+from repro.api import Pipeline, PipelineSpec
+from repro.eval import Table
+from repro.gateway import Gateway
+from repro.ingest import AsyncSourceAdapter
+from repro.logs.record import LogRecord, Severity
+
+_SMOKE = bool(os.environ.get("MONILOG_BENCH_SMOKE"))
+_QUIET_TENANTS = ("acme", "globex")
+_QUIET_SESSIONS = 12 if _SMOKE else 60
+_NOISY_SESSIONS = 120 if _SMOKE else 900
+_NOISY_CREDITS = 16
+_SESSION_TIMEOUT = 30.0
+_GAP_S = 40.0  # event-time gap between sessions (> session timeout)
+#: Quiet tenants must drain in at most this fraction of the noisy
+#: tenant's wall clock.  Deliberately generous — a shared gate would
+#: put the ratio near 1.0; real isolation lands far below the bound.
+_MAX_QUIET_FRACTION = 0.75
+
+
+def _sessions(prefix, count, anomalous_every):
+    records = []
+    for session in range(count):
+        sid = f"{prefix}-{session}"
+        start = session * _GAP_S
+        request = session * 1000 + 31
+        messages = (
+            [f"request {request} accepted"]
+            + [f"request {request} fetched 4096 bytes"] * 3
+            + (["backend timeout error detected",
+                "retrying request now please"] * 2
+               if anomalous_every and session % anomalous_every == 2 else [])
+            + [f"request {request} completed fine"]
+        )
+        for sequence, message in enumerate(messages):
+            severity = (Severity.ERROR if "error" in message
+                        else Severity.INFO)
+            records.append(LogRecord(
+                timestamp=round(start + sequence * 0.040, 3),
+                source=prefix, severity=severity, message=message,
+                session_id=sid, sequence=sequence,
+            ))
+    return records
+
+
+class _TimedAdapter(AsyncSourceAdapter):
+    """An adapter that records when its tenant finished draining it."""
+
+    def __init__(self, records, name, done):
+        super().__init__(records, name=name)
+        self._done = done
+
+    async def items(self, start_offset=0):
+        async for item in super().items(start_offset):
+            yield item
+        self._done[self.name] = time.perf_counter()
+
+
+def _alert_key(alert):
+    return (alert.report.report_id, alert.report.session_id,
+            alert.report.events, alert.pool, alert.criticality)
+
+
+def bench_x13_noisy_neighbor_isolation(benchmark, emit, snapshot):
+    history = _sessions("hist", 8, anomalous_every=0)
+    quiet_live = {name: _sessions(name, _QUIET_SESSIONS, anomalous_every=3)
+                  for name in _QUIET_TENANTS}
+    noisy_live = _sessions("noisy", _NOISY_SESSIONS, anomalous_every=3)
+
+    spec = PipelineSpec.from_dict({
+        "detector": "keyword",
+        "session_timeout": _SESSION_TIMEOUT,
+        "tenants": {
+            # The small ingest batch keeps the starved tenant flushing
+            # on size rather than stalling out the max_batch_age timer:
+            # the bench measures gate contention, not timer latency.
+            "noisy": {"credits": _NOISY_CREDITS, "ingest_batch_size": 8},
+            **{name: {} for name in _QUIET_TENANTS},
+        },
+    })
+
+    # Standalone references: each quiet tenant's spec alone, no
+    # gateway, no neighbors — the parity baseline.
+    expected = {}
+    for name in _QUIET_TENANTS:
+        with Pipeline(spec.tenant_spec(name).replace(streaming=True)) \
+                as standalone:
+            standalone.fit(history)
+            expected[name] = [_alert_key(alert)
+                              for alert in standalone.run_all(quiet_live[name])]
+        assert expected[name], \
+            "the injected error sessions must produce alerts"
+
+    done: dict = {}
+    gateway = Gateway(spec)
+    gateway.fit(history)
+    service = gateway.serve(sources={
+        "noisy": [_TimedAdapter(noisy_live, "noisy", done)],
+        **{name: [_TimedAdapter(quiet_live[name], name, done)]
+           for name in _QUIET_TENANTS},
+    })
+
+    start = time.perf_counter()
+    alerts = once(benchmark, lambda: asyncio.run(service.run()))
+    total_s = time.perf_counter() - start
+    stats = service.stats()
+    gateway.close()
+
+    # Backpressure isolation: the flood stalls only itself.
+    assert stats["noisy"].credit_waits > 0, (
+        f"the noisy tenant must exhaust its {_NOISY_CREDITS}-credit "
+        "budget; the bench would otherwise measure nothing"
+    )
+    for name in _QUIET_TENANTS:
+        assert stats[name].credit_waits == 0, (
+            f"quiet tenant {name!r} hit the credit gate "
+            f"({stats[name].credit_waits} waits) — budgets are leaking "
+            "across tenants"
+        )
+
+    # Alert parity: the gateway changes nothing about quiet alerts.
+    for name in _QUIET_TENANTS:
+        served = [_alert_key(tagged.alert) for tagged in alerts
+                  if tagged.tenant == name]
+        assert served == expected[name], (
+            f"tenant {name!r} alerts diverged from its standalone "
+            "pipeline — served tenants must be byte-identical"
+        )
+
+    # Latency bound: quiet tenants finish long before the flood does.
+    noisy_s = done["noisy"] - start
+    quiet_s = {name: done[name] - start for name in _QUIET_TENANTS}
+    worst_quiet = max(quiet_s.values())
+    assert worst_quiet <= _MAX_QUIET_FRACTION * noisy_s, (
+        f"quiet tenants must not ride the noisy tenant's stall: worst "
+        f"quiet drain {worst_quiet:.3f}s vs noisy {noisy_s:.3f}s "
+        f"(bound {_MAX_QUIET_FRACTION:.0%})"
+    )
+
+    total = sum(entry.records_processed for entry in stats.values())
+    table = Table(
+        f"X13 — gateway serving {len(stats)} tenants, {total:,} records "
+        f"(noisy budget: {_NOISY_CREDITS} credits)",
+        ["tenant", "records", "drain s", "credit waits", "alerts"],
+    )
+    for name in ("noisy", *_QUIET_TENANTS):
+        drained = noisy_s if name == "noisy" else quiet_s[name]
+        table.add_row(
+            name, f"{stats[name].records_processed:,}", f"{drained:.3f}",
+            stats[name].credit_waits,
+            sum(1 for tagged in alerts if tagged.tenant == name),
+        )
+    emit()
+    emit(table.render())
+    emit(f"\nquiet/noisy drain ratio: "
+         f"{worst_quiet / noisy_s:.2f} (bound {_MAX_QUIET_FRACTION}), "
+         f"quiet alerts identical to standalone pipelines")
+    snapshot("x13_multitenant_gateway", {
+        "tenants": len(stats),
+        "records": total,
+        "noisy_credit_waits": stats["noisy"].credit_waits,
+        "noisy_drain_seconds": round(noisy_s, 4),
+        "worst_quiet_drain_seconds": round(worst_quiet, 4),
+        "quiet_noisy_ratio": round(worst_quiet / noisy_s, 4),
+        "total_seconds": round(total_s, 4),
+        "alerts": len(alerts),
+    })

@@ -95,7 +95,7 @@ def _repetitive_stream(lines: int, seed: int = 7) -> list[LogRecord]:
     return records[:lines]
 
 
-def bench_x8_parser_fast_path(benchmark, emit):
+def bench_x8_parser_fast_path(benchmark, emit, snapshot):
     records = _repetitive_stream(_LINES)
 
     baseline = DrainParser(masker=default_masker(), cache_size=0)
@@ -127,13 +127,20 @@ def bench_x8_parser_fast_path(benchmark, emit):
          f"hits, {cache.line_misses:,}/{cache.misses:,} line/template "
          f"misses, {cache.invalidations} invalidations "
          f"({hit_rate:.0%} hit rate)")
+    snapshot("x8_parser_fast_path", {
+        "lines": len(records),
+        "per_record_seconds": round(per_record_s, 4),
+        "batched_seconds": round(batched_s, 4),
+        "speedup": round(speedup, 3),
+        "cache_hit_rate": round(hit_rate, 4),
+    })
     assert speedup >= _MIN_SPEEDUP, (
         f"batched+cached path must be >= {_MIN_SPEEDUP}x faster on a "
         f"repetitive stream, got {speedup:.2f}x"
     )
 
 
-def bench_x8_pipeline_batched(benchmark, emit):
+def bench_x8_pipeline_batched(benchmark, emit, snapshot):
     records = _repetitive_stream(_LINES)
     cut = len(records) * 2 // 10
     train, live = records[:cut], records[cut:]
@@ -185,6 +192,13 @@ def bench_x8_pipeline_batched(benchmark, emit):
     truth = {record.session_id for record in live if record.is_anomalous}
     emit(f"\nflagged {len(flagged)} sessions ({len(flagged & truth)} of "
          f"{len(truth)} injected anomalies)")
+    snapshot("x8_pipeline_batched", {
+        "live_records": len(live),
+        "per_record_seconds": round(per_record_s, 4),
+        "batched_seconds": round(batched_s, 4),
+        "speedup": round(speedup, 3),
+        "alerts": len(actual),
+    })
     assert speedup >= 1.2, (
         f"batching must pay for itself end to end, got {speedup:.2f}x"
     )

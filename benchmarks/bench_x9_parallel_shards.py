@@ -155,7 +155,7 @@ def _remote_drain(executor) -> tuple[DistributedDrain, _ConcurrencyWitness]:
     return drain, witness
 
 
-def bench_x9_parse_throughput(benchmark, emit):
+def bench_x9_parse_throughput(benchmark, emit, snapshot):
     records = _stream(_LINES)
 
     serial, serial_witness = _remote_drain(SerialExecutor())
@@ -197,6 +197,13 @@ def bench_x9_parse_throughput(benchmark, emit):
     emit()
     emit(table.render())
     emit(f"\nshard loads: {serial.shard_loads}")
+    snapshot("x9_parse_throughput", {
+        "lines": len(records),
+        "shards": _SHARDS,
+        "serial_seconds": round(serial_s, 4),
+        "threaded_seconds": round(threaded_s, 4),
+        "speedup": round(speedup, 3),
+    })
     assert speedup >= _MIN_SPEEDUP, (
         f"threaded shard execution must be >= {_MIN_SPEEDUP}x serial at "
         f"{_SHARDS} shards, got {speedup:.2f}x"
@@ -219,7 +226,8 @@ def _pool_sizes(system: Pipeline) -> dict[str, int]:
             for name in system.pools.pool_names}
 
 
-def bench_x9_pipeline_parity_and_readonly_measurement(benchmark, emit):
+def bench_x9_pipeline_parity_and_readonly_measurement(benchmark, emit,
+                                                      snapshot):
     records = _stream(_LINES)
     cut = len(records) * 2 // 10
     train, live = records[:cut], records[cut:]
@@ -276,3 +284,10 @@ def bench_x9_pipeline_parity_and_readonly_measurement(benchmark, emit):
     emit(table.render())
     emit(f"\nconsistency with single-run verdicts: {agreement:.3f} "
          f"(probe was read-only)")
+    snapshot("x9_pipeline_parity", {
+        "live_records": len(live),
+        "serial_seconds": round(serial_s, 4),
+        "threaded_seconds": round(threaded_s, 4),
+        "alerts": len(actual),
+        "consistency": round(agreement, 4),
+    })

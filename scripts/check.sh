@@ -4,11 +4,13 @@
 # calls the legacy facade shims, and under threaded shard execution)
 # plus seconds-scale smoke runs of the Fig. 1 pipeline bench, the X9
 # parallel-shards bench, the X10 async-ingestion bench, the X11
-# autoscale-convergence bench, the X12 elastic-resharding bench (with
-# a check of its machine-readable BENCH_*.json snapshots), a
-# spec-file-driven CLI pipeline run (examples/pipeline.toml), and a
+# autoscale-convergence bench, the X12 elastic-resharding bench, the
+# X13 multi-tenant-gateway bench (with a schema check of every
+# machine-readable BENCH_*.json snapshot the smokes wrote), a
+# spec-file-driven CLI pipeline run (examples/pipeline.toml), a
 # telemetry-exposition smoke (`repro stats` JSON + a --metrics-port
-# Prometheus scrape over real HTTP).
+# Prometheus scrape over real HTTP), and a framed-TLS `repro serve`
+# round-trip over an ephemeral self-signed certificate.
 #
 #   scripts/check.sh            # full gate
 #   scripts/check.sh -k drain   # extra args go to the tier-1 pytest
@@ -84,21 +86,46 @@ echo "== smoke: benchmarks/bench_x12_elastic_resharding.py =="
 MONILOG_BENCH_SMOKE=1 python -m pytest \
     benchmarks/bench_x12_elastic_resharding.py \
     -q -p no:cacheprovider --benchmark-disable
-# The bench persists machine-readable snapshots next to its printed
-# tables (benchmarks/conftest.py `snapshot` fixture); validate that
-# the headline numbers survived the round-trip so CI can diff them.
+
+echo
+echo "== smoke: benchmarks/bench_x13_multitenant_gateway.py =="
+MONILOG_BENCH_SMOKE=1 python -m pytest \
+    benchmarks/bench_x13_multitenant_gateway.py \
+    -q -p no:cacheprovider --benchmark-disable
+
+# The benches persist machine-readable snapshots next to their printed
+# tables (benchmarks/conftest.py `snapshot` fixture); validate every
+# BENCH_*.json against the shared schema — a `smoke` bool plus numeric
+# headline fields (optionally one level of nested numeric tables) — so
+# CI can diff the numbers across runs, then pin the two headline
+# claims of the newest subsystems.
 python -c '
-import json
+import glob, json
+paths = sorted(glob.glob("benchmarks/results/BENCH_*.json"))
+assert paths, "bench smokes wrote no snapshots"
+for path in paths:
+    with open(path) as fh:
+        payload = json.load(fh)
+    assert isinstance(payload.get("smoke"), bool), path
+    for key, value in payload.items():
+        if key == "smoke":
+            continue
+        if isinstance(value, dict):
+            assert all(isinstance(inner, (int, float)) and
+                       not isinstance(inner, bool)
+                       for inner in value.values()), (path, key)
+        else:
+            assert isinstance(value, (int, float)) and \
+                not isinstance(value, bool), (path, key)
 with open("benchmarks/results/BENCH_x12_elastic_resharding.json") as fh:
-    reshard = json.load(fh)
-assert reshard["smoke"] is True, reshard
-assert reshard["speedup"] >= 1.5, reshard
-with open("benchmarks/results/BENCH_x12_alert_parity.json") as fh:
-    parity = json.load(fh)
-assert parity["smoke"] is True, parity
-speedup, alerts = reshard["speedup"], parity["alerts"]
-print(f"x12 snapshots well-formed: speedup {speedup:.2f}x, "
-      f"{alerts} byte-identical alerts")'
+    assert json.load(fh)["speedup"] >= 1.5
+with open("benchmarks/results/BENCH_x13_multitenant_gateway.json") as fh:
+    x13 = json.load(fh)
+assert x13["noisy_credit_waits"] > 0, x13
+ratio = x13["quiet_noisy_ratio"]
+assert ratio <= 0.75, x13
+print(f"{len(paths)} bench snapshots well-formed "
+      f"(x13 quiet/noisy drain ratio {ratio:.2f})")'
 
 echo
 echo "== smoke: repro pipeline --spec examples/pipeline.toml =="
@@ -140,6 +167,89 @@ for line in text.splitlines():
     if line and not line.startswith("#"):
         float(line.rpartition(" ")[2])
 print(f"Prometheus exposition well-formed: {len(text.splitlines())} lines")'
+
+echo
+echo "== smoke: repro serve (framed TLS socket -> multi-tenant gateway) =="
+# End-to-end secure ingestion: mint an ephemeral self-signed cert,
+# stream framed records through a real TLS socket in the background,
+# and drain it with `repro serve --once` over a [tenants.*] spec —
+# the full tenant-tagged alert path under real ssl.
+if command -v openssl > /dev/null 2>&1; then
+    openssl req -x509 -newkey rsa:2048 -keyout "$spec_tmp/key.pem" \
+        -out "$spec_tmp/cert.pem" -days 1 -nodes -subj "/CN=localhost" \
+        -addext "subjectAltName=DNS:localhost,IP:127.0.0.1" \
+        > /dev/null 2>&1
+    python - "$spec_tmp/cert.pem" "$spec_tmp/key.pem" "$spec_tmp/port" << 'PY' &
+import asyncio, ssl, sys
+from repro.ingest import render_framed_record
+from repro.logs.record import LogRecord, Severity
+
+cert, key, portfile = sys.argv[1:4]
+records = []
+for session in range(6):
+    sid = f"s{session}"
+    messages = [f"request {session * 10 + i} handled fine" for i in range(5)]
+    if session == 4:
+        messages[2:2] = ["backend timeout error detected"] * 3
+    for sequence, message in enumerate(messages):
+        records.append(LogRecord(
+            timestamp=float(session * 100 + sequence), source="shipper",
+            severity=Severity.ERROR if "error" in message else Severity.INFO,
+            message=message, session_id=sid, sequence=sequence))
+
+async def main():
+    served = asyncio.Event()
+
+    async def handle(reader, writer):
+        for record in records:
+            writer.write(render_framed_record(record, tenant="acme"))
+        await writer.drain()
+        writer.close()
+        served.set()
+
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+    context.load_cert_chain(cert, key)
+    server = await asyncio.start_server(handle, "127.0.0.1", 0, ssl=context)
+    with open(portfile, "w") as handle_:
+        handle_.write(str(server.sockets[0].getsockname()[1]))
+    try:
+        await asyncio.wait_for(served.wait(), timeout=30)
+    finally:
+        server.close()
+        await server.wait_closed()
+
+asyncio.run(main())
+PY
+    emitter_pid=$!
+    for _ in $(seq 1 100); do
+        [ -s "$spec_tmp/port" ] && break
+        sleep 0.1
+    done
+    [ -s "$spec_tmp/port" ] || { echo "TLS emitter never bound"; exit 1; }
+    cat > "$spec_tmp/gateway.toml" << TOML
+detector = "keyword"
+session_timeout = 10.0
+history = "$spec_tmp/history.log"
+[tenants.acme]
+[[tenants.acme.sources]]
+type = "socket"
+host = "127.0.0.1"
+port = $(cat "$spec_tmp/port")
+framing = "framed"
+tls = true
+tls_cafile = "$spec_tmp/cert.pem"
+TOML
+    serve_out="$(python -m repro serve --spec "$spec_tmp/gateway.toml" --once)"
+    wait "$emitter_pid"
+    echo "$serve_out" | grep -q "serving tenants: acme" \
+        || { echo "serve never announced its tenant"; exit 1; }
+    echo "$serve_out" | grep -q "tenant=acme" \
+        || { echo "no tenant-tagged alert over framed TLS"; exit 1; }
+    echo "$serve_out" | grep "total alerts:"
+    echo "framed TLS round-trip through repro serve verified"
+else
+    echo "openssl not on PATH; skipping the TLS serve smoke"
+fi
 
 echo
 echo "check.sh: all gates passed"

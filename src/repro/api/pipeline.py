@@ -66,6 +66,7 @@ from repro.parsing.base import BatchParser, Parser, parse_in_batches
 from repro.parsing.drain import DrainParser
 from repro.parsing.logram import LogramParser
 from repro.parsing.masking import default_masker, no_masker
+from repro.telemetry.config import TelemetryConfig
 from repro.telemetry.instrument import PipelineTelemetry
 from repro.telemetry.server import MetricsServer
 
@@ -91,6 +92,13 @@ class Pipeline:
         executor: a :class:`~repro.core.executors.ShardExecutor`
             instance overriding ``spec.executor`` (instances cannot be
             named in a spec file; benches share pools this way).
+        metrics_registry: where telemetry families are declared,
+            overriding the default private registry — the gateway
+            passes each tenant a
+            :class:`~repro.telemetry.metrics.ScopedRegistry` view of
+            one shared registry.  Passing one opts into telemetry even
+            without a ``[telemetry]`` table (unless the table
+            explicitly disables it).
 
     Lifecycle: :meth:`fit` → :meth:`process` / :meth:`process_record` /
     :meth:`run` → :meth:`flush` (streaming) → :meth:`close` (or use the
@@ -106,6 +114,7 @@ class Pipeline:
         detector: Detector | None = None,
         detector_factory=None,
         executor: str | ShardExecutor | None = None,
+        metrics_registry=None,
     ) -> None:
         if isinstance(spec, dict):
             spec = PipelineSpec.from_dict(spec)
@@ -168,8 +177,13 @@ class Pipeline:
         self._batch_size_override: int | None = None
         self._metrics_server: MetricsServer | None = None
         telemetry_config = spec.telemetry_config()
+        if (telemetry_config is None and metrics_registry is not None
+                and not spec.telemetry):
+            # An injected registry is an explicit opt-in; only a table
+            # that says enabled = false keeps the pipeline dark.
+            telemetry_config = TelemetryConfig()
         self._telemetry = (
-            PipelineTelemetry(telemetry_config)
+            PipelineTelemetry(telemetry_config, registry=metrics_registry)
             if telemetry_config is not None else None
         )
         if self._telemetry is not None:

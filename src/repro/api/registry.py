@@ -41,6 +41,7 @@ _PROVIDERS: dict[str, tuple[str, ...]] = {
     "executor": ("repro.core.executors",),
     "telemetry": ("repro.telemetry.config",),
     "autoscale": ("repro.autoscale.config",),
+    "gateway": ("repro.gateway",),
 }
 
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -52,6 +53,10 @@ _TABLE_COMPONENTS = {"telemetry": "standard", "autoscale": "aimd"}
 
 _TRUTHY = {"1", "true", "yes", "on"}
 _FALSY = {"0", "false", "no", "off"}
+
+#: Tenant names key metric labels, checkpoint namespaces, and alert
+#: tags, so they are restricted to a filesystem/exposition-safe set.
+_TENANT_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
 
 @dataclass
@@ -98,9 +103,19 @@ class PipelineSpec:
             poll_interval: async ingestion front-end knobs (see
             :class:`~repro.core.config.IngestConfig`).
         checkpoint: offset checkpoint file path for ingestion resume.
+        history: optional path of a training corpus; ``repro serve``
+            (and ``repro stats`` without an explicit ``--history``)
+            fits pipelines from it.
         sources: live-source declarations for ingestion, each a dict
             with a ``type`` naming a registered source plus its
             constructor kwargs.
+        tenants: the ``[tenants.*]`` tables of a multi-tenant gateway
+            spec.  Each value is a table of spec-field overrides
+            applied on top of this spec for that tenant
+            (:meth:`tenant_spec`); overrides validate exactly like the
+            base fields, errors prefixed ``tenants.<name>``.  A
+            non-empty table is what makes a spec servable by
+            :class:`repro.gateway.Gateway` / ``repro serve``.
         telemetry: the ``[telemetry]`` table — options of
             :class:`~repro.telemetry.config.TelemetryConfig` (an
             optional ``type`` selects a registered implementation).
@@ -144,10 +159,13 @@ class PipelineSpec:
     credits: int = 4096
     poll_interval: float = 0.05
     checkpoint: str | None = None
+    history: str | None = None
     sources: list[dict[str, Any]] = field(default_factory=list)
     # -- observability ----------------------------------------------------------
     telemetry: dict[str, Any] = field(default_factory=dict)
     autoscale: dict[str, Any] = field(default_factory=dict)
+    # -- multi-tenant serving ---------------------------------------------------
+    tenants: dict[str, dict[str, Any]] = field(default_factory=dict)
 
     # -- validation -------------------------------------------------------------
 
@@ -155,6 +173,7 @@ class PipelineSpec:
         check = Validator(type(self).__name__)
         self._validate_components(check)
         self._validate_knobs(check)
+        self._validate_tenants(check)
         check.done()
 
     def _validate_components(self, check: Validator) -> None:
@@ -277,6 +296,43 @@ class PipelineSpec:
         check.require(self.poll_interval > 0, "poll_interval",
                       f"must be > 0, got {self.poll_interval}")
 
+    def _validate_tenants(self, check: Validator) -> None:
+        if not isinstance(self.tenants, dict):
+            check.error("tenants", "must be a table of per-tenant tables")
+            return
+        overridable = set(self.field_names()) - {"tenants"}
+        for name, table in self.tenants.items():
+            if not isinstance(name, str) or not _TENANT_NAME.match(name):
+                check.error(
+                    "tenants",
+                    f"tenant name {name!r} must match "
+                    "[A-Za-z0-9][A-Za-z0-9._-]* — it keys metric labels "
+                    "and checkpoint namespaces",
+                )
+                continue
+            label = f"tenants.{name}"
+            if not isinstance(table, dict):
+                check.error(label, "must be a table of spec-field overrides")
+                continue
+            unknown = [key for key in table if key not in overridable]
+            for key in unknown:
+                check.error(
+                    label,
+                    f"{key}: " + ("tenant tables cannot nest tenants"
+                                  if key == "tenants" else "unknown field"),
+                )
+            if unknown:
+                continue
+            # A tenant's effective spec is this spec with the table
+            # overriding; constructing it runs the full validation so
+            # a bad per-tenant knob reports here, field-named, instead
+            # of detonating when the gateway builds that tenant.
+            try:
+                self.replace(tenants={}, **table)
+            except ConfigError as failure:
+                for line in failure.errors:
+                    check.error(label, line)
+
     # -- loading ----------------------------------------------------------------
 
     @classmethod
@@ -345,7 +401,7 @@ class PipelineSpec:
         errors: list[str] = []
         for spec_field in dataclasses.fields(self):
             if spec_field.name in ("parser_options", "detector_options",
-                                   "sources", *_TABLE_COMPONENTS):
+                                   "sources", "tenants", *_TABLE_COMPONENTS):
                 continue
             raw = env.get(ENV_PREFIX + spec_field.name.upper())
             if raw is None:
@@ -448,6 +504,18 @@ class PipelineSpec:
             credits=self.credits,
             poll_interval=self.poll_interval,
         )
+
+    def tenant_spec(self, name: str) -> "PipelineSpec":
+        """The effective spec of one declared tenant.
+
+        This spec with the tenant's ``[tenants.<name>]`` table
+        overriding and the tenants table cleared — the single-pipeline
+        spec the gateway builds that tenant from.
+        """
+        if name not in self.tenants:
+            raise KeyError(
+                f"unknown tenant {name!r}; declared: {sorted(self.tenants)}")
+        return self.replace(tenants={}, **self.tenants[name])
 
     def build_sources(self) -> list[Any]:
         """Construct the declared live sources through the registry."""

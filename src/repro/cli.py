@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands covering the adoption path of a downstream user:
+Seven commands covering the adoption path of a downstream user:
 
 * ``generate`` — write a synthetic ground-truthed corpus to a log file
   (dashed Fig. 2 layout) for trying the tools on disk;
@@ -16,7 +16,15 @@ Six commands covering the adoption path of a downstream user:
   back-pressure, and per-source checkpoints for exact resume;
 * ``stats``    — run the pipeline with telemetry enabled and print the
   JSON metric snapshot (or, with ``--metrics-port``/``--scrape``, the
-  Prometheus exposition fetched through the real HTTP endpoint).
+  Prometheus exposition fetched through the real HTTP endpoint).  On a
+  multi-tenant spec the whole gateway runs and ``--tenant NAME`` cuts
+  the exposition down to one tenant's samples;
+* ``serve``    — run the multi-tenant gateway of a spec with
+  ``[tenants.*]`` tables: every tenant's sources ingest concurrently
+  through per-tenant back-pressured services over shared executor
+  pools, alerts print tagged with their tenant, and one ``/metrics``
+  endpoint serves every tenant with a ``tenant`` label (see
+  ``docs/gateway.md``).
 
 ``--telemetry`` / ``--metrics-port`` / ``--autoscale`` arm the
 observability subsystem on ``pipeline`` and ``tail``: metrics serve at
@@ -309,10 +317,13 @@ def _add_spec_flags(command: argparse.ArgumentParser,
              "(spec field: session_timeout, default 30)",
     )
     command.add_argument(
-        "--socket-framing", choices=["lines", "jsonl"], default=None,
+        "--socket-framing", choices=["lines", "jsonl", "framed"],
+        default=None,
         help="framing of --socket streams: 'lines' (trusted newline "
-             "protocol) or 'jsonl' (JSON-lines; messages containing "
-             "newlines survive, since JSON escapes them in the frame)",
+             "protocol), 'jsonl' (JSON-lines; messages containing "
+             "newlines survive, since JSON escapes them in the frame), "
+             "or 'framed' (length-prefixed binary frames carrying a "
+             "tenant id; see docs/gateway.md)",
     )
 
 
@@ -467,8 +478,20 @@ def _command_stats(args: argparse.Namespace) -> int:
     (``--metrics-port``, default ephemeral), fetches ``/metrics``
     through a real HTTP round-trip, and prints the Prometheus text —
     an end-to-end probe of the scrape path in one process.
+
+    On a spec with ``[tenants.*]`` tables the whole gateway runs (every
+    tenant fits on the history and processes the live file through its
+    own pipeline), the shared exposition carries a ``tenant`` label on
+    every family, and ``--tenant NAME`` filters it to one tenant.
     """
     spec = _spec_from_args(args)
+    if spec.tenants:
+        return _stats_gateway(args, spec)
+    if args.tenant:
+        raise SystemExit(
+            "repro: --tenant needs a multi-tenant spec "
+            "([tenants.*] tables); this spec declares none"
+        )
     spec = spec.replace(telemetry=dict(spec.telemetry, enabled=True))
     history = _read_records(args.history, sessionize=True)
     live = _read_records(args.live, sessionize=True)
@@ -488,6 +511,47 @@ def _command_stats(args: argparse.Namespace) -> int:
         else:
             print(json.dumps(pipeline.telemetry(), indent=2))
         print(f"# {len(alerts)} alerts over {args.live}", file=sys.stderr)
+    return 0
+
+
+def _stats_gateway(args: argparse.Namespace, spec) -> int:
+    """The multi-tenant ``stats`` path: one gateway, filtered output."""
+    from repro.gateway import Gateway
+    from repro.telemetry.metrics import filter_prometheus, filter_snapshot
+
+    gateway = Gateway(spec)
+    if args.tenant and args.tenant not in gateway.tenants:
+        raise SystemExit(
+            f"repro: unknown tenant {args.tenant!r}; "
+            f"declared: {gateway.tenants}"
+        )
+    history = _read_records(args.history, sessionize=True)
+    live = _read_records(args.live, sessionize=True)
+    with gateway:
+        gateway.fit(history)
+        alerts = gateway.process({name: live for name in gateway.tenants})
+        if args.scrape:
+            import urllib.request
+
+            server = gateway.start_metrics_server(args.metrics_port or 0)
+            with urllib.request.urlopen(
+                f"{server.url}/metrics", timeout=10
+            ) as response:
+                text = response.read().decode("utf-8")
+            if args.tenant:
+                text = filter_prometheus(text, tenant=args.tenant)
+            print(text, end="")
+        else:
+            snapshot = gateway.telemetry()
+            if args.tenant:
+                snapshot = filter_snapshot(snapshot, tenant=args.tenant)
+            print(json.dumps(snapshot, indent=2))
+        per_tenant = ", ".join(
+            f"{name}={sum(1 for a in alerts if a.tenant == name)}"
+            for name in gateway.tenants
+        )
+        print(f"# {len(alerts)} alerts over {args.live} ({per_tenant})",
+              file=sys.stderr)
     return 0
 
 
@@ -567,6 +631,107 @@ def _command_tail(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_tenant_alert(tagged) -> None:
+    alert = tagged.alert
+    print(
+        f"[{alert.criticality:>8s}] tenant={tagged.tenant} "
+        f"pool={alert.pool} {alert.report.summary()}",
+        flush=True,
+    )
+
+
+def _build_declared_sources(tenant_spec, once: bool) -> list:
+    """A tenant's ``[[sources]]`` with the run-mode defaults injected.
+
+    The same conventions ``tail`` applies to its spec fallback:
+    ``--once`` must terminate file tails and cap socket dials, and file
+    tails inherit the spec's poll cadence.
+    """
+    sources = []
+    for entry in tenant_spec.sources:
+        options = {key: value for key, value in entry.items()
+                   if key != "type"}
+        if entry["type"] == "file":
+            options.setdefault("follow", not once)
+            options.setdefault("poll_interval", tenant_spec.poll_interval)
+        elif entry["type"] == "socket" and once:
+            options.setdefault("reconnect", False)
+            options.setdefault("max_connect_attempts", 3)
+        sources.append(REGISTRY.create("source", entry["type"], options))
+    return sources
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant gateway of a ``[tenants.*]`` spec."""
+    from repro.gateway import Gateway
+
+    try:
+        spec = PipelineSpec.from_file(args.spec).with_env()
+    except (ConfigError, OSError) as error:
+        raise SystemExit(f"repro: {error}") from None
+    if not spec.tenants:
+        raise SystemExit(
+            "repro: serve needs a spec with [tenants.<name>] tables; "
+            "use `repro tail` for a single-tenant spec"
+        )
+    if args.checkpoint:
+        spec = spec.replace(checkpoint=args.checkpoint)
+    gateway = Gateway(spec)
+    histories: dict[str, list] = {}
+    sources: dict[str, list] = {}
+    for name in gateway.tenants:
+        tenant_spec = gateway.pipeline(name).spec
+        history_path = tenant_spec.history or args.history
+        if history_path is None:
+            raise SystemExit(
+                f"repro: tenant {name!r} has no training corpus; set "
+                f"[tenants.{name}] history = \"...\" (or a top-level "
+                f"history) in the spec, or pass --history"
+            )
+        histories[name] = _read_records(history_path, sessionize=True)
+        tenant_sources = _build_declared_sources(tenant_spec, args.once)
+        if not tenant_sources:
+            raise SystemExit(
+                f"repro: tenant {name!r} declares no [[sources]]; every "
+                "served tenant needs at least one live source"
+            )
+        sources[name] = tenant_sources
+    gateway.fit(histories)
+    service = gateway.serve(
+        sources=sources,
+        on_alert=_print_tenant_alert,
+        metrics_port=args.metrics_port,
+    )
+    if gateway.metrics_server is not None:
+        print(f"serving metrics on {gateway.metrics_server.url}/metrics",
+              flush=True)
+    print(f"serving tenants: {', '.join(gateway.tenants)}", flush=True)
+
+    async def serve_main() -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, service.stop)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix loops: Ctrl-C falls through as KeyboardInterrupt
+        try:
+            await service.run()
+        finally:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.remove_signal_handler(signum)
+                except (NotImplementedError, RuntimeError):
+                    pass
+
+    try:
+        asyncio.run(serve_main())
+    except KeyboardInterrupt:
+        pass
+    print(f"\n{service.summary()}")
+    gateway.close()
+    return 0
+
+
 def build_argument_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -641,6 +806,11 @@ def build_argument_parser() -> argparse.ArgumentParser:
              "HTTP round-trip, and print the Prometheus text instead "
              "of the JSON snapshot",
     )
+    stats.add_argument(
+        "--tenant", metavar="NAME",
+        help="on a multi-tenant spec, filter the exposition down to "
+             "this tenant's samples (families carry a tenant label)",
+    )
     _add_spec_flags(stats)
     stats.set_defaults(handler=_command_stats)
 
@@ -665,6 +835,37 @@ def build_argument_parser() -> argparse.ArgumentParser:
     )
     _add_spec_flags(tail, ingestion=True)
     tail.set_defaults(handler=_command_tail)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the multi-tenant gateway of a [tenants.*] spec",
+    )
+    serve.add_argument(
+        "--spec", metavar="PATH", required=True,
+        help="gateway spec file (.toml or .json) with [tenants.<name>] "
+             "tables; each tenant's [[sources]] ingest concurrently",
+    )
+    serve.add_argument(
+        "--history", metavar="PATH",
+        help="fallback training log file for tenants whose table sets "
+             "no history = \"...\" path",
+    )
+    serve.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="shared offset checkpoint file (per-tenant namespaced "
+             "views keep keys disjoint; spec field: checkpoint)",
+    )
+    serve.add_argument(
+        "--metrics-port", type=int, metavar="PORT",
+        help="serve the shared /metrics endpoint on this port; every "
+             "family carries a tenant label (0 = ephemeral port)",
+    )
+    serve.add_argument(
+        "--once", action="store_true",
+        help="drain every tenant's sources to their current end and "
+             "exit (no follow)",
+    )
+    serve.set_defaults(handler=_command_serve)
     return parser
 
 

@@ -1,0 +1,16 @@
+"""Multi-tenant serving: N tenant pipelines over shared pools.
+
+One :class:`Gateway` multiplexes per-tenant
+:class:`~repro.api.pipeline.Pipeline`\\ s — built from the
+``[tenants.*]`` tables of a single spec — over one shared executor
+pool, one shared metrics registry (``tenant`` label on every family),
+and one shared checkpoint store (namespaced per tenant), while keeping
+back-pressure, parser/detector state, and alert identity strictly
+per-tenant.  ``repro serve --spec gateway.toml`` is the CLI spelling;
+see ``docs/gateway.md`` for the isolation model and the wire format of
+the tenant-carrying ``framed`` transport.
+"""
+
+from repro.gateway.gateway import Gateway, GatewayService, TenantAlert
+
+__all__ = ["Gateway", "GatewayService", "TenantAlert"]

@@ -1,0 +1,445 @@
+"""The multi-tenant gateway: N tenant pipelines over shared pools.
+
+:class:`Gateway` takes one :class:`~repro.api.spec.PipelineSpec` whose
+``[tenants.*]`` tables declare the tenants, and builds one streaming
+:class:`~repro.api.pipeline.Pipeline` per tenant from
+:meth:`~repro.api.spec.PipelineSpec.tenant_spec`.  What is shared and
+what is isolated is the whole point:
+
+**Shared** (cost amortized across tenants):
+
+* one executor pool — every tenant's shard work runs on the same
+  :class:`~repro.core.executors.ShardExecutor`, resolved once from the
+  base spec (worker threads/processes are the expensive resource);
+* one :class:`~repro.telemetry.metrics.MetricsRegistry` and one
+  ``/metrics`` endpoint — each tenant's telemetry declares through a
+  :class:`~repro.telemetry.metrics.ScopedRegistry` view, so every
+  ``monilog_*`` family carries a ``tenant`` label;
+* one checkpoint file — per-tenant
+  :meth:`~repro.ingest.checkpoint.CheckpointStore.namespaced` views
+  keep offsets disjoint even when tenants name their sources alike.
+
+**Isolated** (one tenant cannot hurt another):
+
+* parser/detector state — each tenant has its own pipeline; templates
+  and models never mix;
+* back-pressure — each tenant's
+  :class:`~repro.ingest.service.IngestService` owns its own
+  :class:`~repro.ingest.backpressure.CreditGate`, so a flooding tenant
+  exhausts *its* credit budget and stalls *its* readers only;
+* alert identity — alerts are produced by the tenant's own pipeline
+  (byte-identical to a standalone run of the same spec) and delivered
+  tagged as :class:`TenantAlert`.
+
+Serving is :meth:`Gateway.serve` → :class:`GatewayService`, the
+multiplexed analogue of ``Pipeline.serve()``::
+
+    gateway = Gateway.from_spec("gateway.toml")
+    gateway.fit({"acme": acme_history, "globex": globex_history})
+    service = gateway.serve(metrics_port=9100)
+    alerts = asyncio.run(service.run())   # list[TenantAlert]
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from os import PathLike
+
+from repro.api.pipeline import Pipeline
+from repro.api.registry import register_component
+from repro.api.spec import PipelineSpec
+from repro.core.reports import ClassifiedAlert
+from repro.ingest.checkpoint import CheckpointStore, NamespacedCheckpoints
+from repro.ingest.service import IngestService, IngestStats
+from repro.logs.record import LogRecord
+from repro.telemetry.metrics import MetricsRegistry, ScopedRegistry
+from repro.telemetry.server import MetricsServer
+
+#: The comment block the shared registry emits at the top of
+#: ``/metrics`` — the endpoint documents its own label convention.
+_PREAMBLE = (
+    "MoniLog multi-tenant gateway exposition.\n"
+    "Every monilog_* family carries a 'tenant' label naming the\n"
+    "pipeline that produced the sample; select one tenant with\n"
+    '{tenant="<name>"} in PromQL, or `repro stats --tenant <name>`.'
+)
+
+
+@dataclass(frozen=True)
+class TenantAlert:
+    """One classified alert, tagged with the tenant that produced it.
+
+    The ``alert`` is exactly what the tenant's standalone pipeline
+    would have produced — the gateway tags, it never rewrites.
+    """
+
+    tenant: str
+    alert: ClassifiedAlert
+
+    def summary(self) -> str:
+        return (
+            f"[{self.tenant}] {self.alert.report.summary()} "
+            f"pool={self.alert.pool} criticality={self.alert.criticality}"
+        )
+
+
+@register_component("gateway", "standard")
+class Gateway:
+    """N per-tenant pipelines multiplexed over shared pools.
+
+    Args:
+        spec: the gateway spec — a :class:`PipelineSpec` (or dict) with
+            a non-empty ``tenants`` table.  Each tenant's effective
+            spec is the base spec with its table overriding
+            (:meth:`PipelineSpec.tenant_spec`), forced to streaming
+            mode; the base spec's top-level fields are the shared
+            defaults.
+        executor: optional
+            :class:`~repro.core.executors.ShardExecutor` instance (or
+            registry name) overriding ``spec.executor`` — every tenant
+            pipeline runs on this one pool.
+
+    Telemetry is on by default: the gateway exists to watch tenants
+    side by side, so each pipeline gets a ``tenant``-scoped view of the
+    shared registry unless its ``[telemetry]`` table says
+    ``enabled = false``.  Per-tenant ``metrics_port`` values are
+    ignored — the gateway serves one endpoint over the shared registry
+    (:meth:`start_metrics_server` / ``serve(metrics_port=...)``).
+    """
+
+    def __init__(self, spec: PipelineSpec | dict | None = None, *,
+                 executor=None) -> None:
+        if isinstance(spec, dict):
+            spec = PipelineSpec.from_dict(spec)
+        if spec is None or not spec.tenants:
+            raise ValueError(
+                "a gateway spec needs at least one [tenants.<name>] table; "
+                "use Pipeline for a single-tenant spec"
+            )
+        self.spec = spec
+        self.registry = MetricsRegistry()
+        self.registry.preamble = _PREAMBLE
+        # Resolve the pool once; Pipeline passes instances through, so
+        # every tenant shares these workers.  close() is idempotent,
+        # which is what lets each pipeline's close() stay oblivious.
+        from repro.core.executors import resolve_executor
+        self.executor = resolve_executor(
+            executor if executor is not None else spec.executor
+        )
+        self._metrics_server: MetricsServer | None = None
+        self._pipelines: dict[str, Pipeline] = {}
+        for name in spec.tenants:
+            self._pipelines[name] = Pipeline(
+                self._tenant_pipeline_spec(name),
+                executor=self.executor,
+                metrics_registry=self._tenant_registry(name),
+            )
+
+    def _tenant_pipeline_spec(self, name: str) -> PipelineSpec:
+        """The spec a tenant's pipeline is built from.
+
+        Streaming is forced (the gateway serves live streams), and a
+        per-tenant ``metrics_port`` is stripped — one shared endpoint,
+        not N auto-started servers.
+        """
+        tenant_spec = self.spec.tenant_spec(name).replace(streaming=True)
+        if tenant_spec.telemetry.get("metrics_port") is not None:
+            telemetry = {key: value
+                         for key, value in tenant_spec.telemetry.items()
+                         if key != "metrics_port"}
+            tenant_spec = tenant_spec.replace(telemetry=telemetry)
+        return tenant_spec
+
+    def _tenant_registry(self, name: str) -> ScopedRegistry | None:
+        """The tenant's scoped view, or None when its table opts out."""
+        tenant_spec = self.spec.tenant_spec(name)
+        if tenant_spec.telemetry and tenant_spec.telemetry_config() is None:
+            return None  # enabled = false: this tenant runs dark
+        return ScopedRegistry(self.registry, tenant=name)
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: "PipelineSpec | dict | str | PathLike",
+                  **overrides) -> "Gateway":
+        """Build from a spec object, dict, or ``.toml``/``.json`` path."""
+        if isinstance(spec, (str, PathLike)):
+            spec = PipelineSpec.from_file(spec)
+        elif isinstance(spec, dict):
+            spec = PipelineSpec.from_dict(spec)
+        return cls(spec, **overrides)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def tenants(self) -> list[str]:
+        """Tenant names, in declaration order."""
+        return list(self._pipelines)
+
+    def pipeline(self, tenant: str) -> Pipeline:
+        """One tenant's pipeline (KeyError names the declared set)."""
+        try:
+            return self._pipelines[tenant]
+        except KeyError:
+            raise KeyError(
+                f"unknown tenant {tenant!r}; declared: {self.tenants}"
+            ) from None
+
+    # -- lifecycle: fit ----------------------------------------------------------
+
+    def fit(
+        self,
+        histories: Mapping[str, Iterable[LogRecord]] | Iterable[LogRecord],
+    ) -> "Gateway":
+        """Fit every tenant's detector on its historical stream.
+
+        ``histories`` is either a mapping ``tenant -> records`` (every
+        declared tenant must be covered, unknown names are an error) or
+        one iterable of records shared by all tenants (a common
+        baseline corpus) — each tenant still fits its *own* parser and
+        detector state on it.
+        """
+        if isinstance(histories, Mapping):
+            unknown = sorted(set(histories) - set(self._pipelines))
+            missing = sorted(set(self._pipelines) - set(histories))
+            if unknown or missing:
+                problems = []
+                if unknown:
+                    problems.append(f"unknown tenants {unknown}")
+                if missing:
+                    problems.append(f"missing histories for {missing}")
+                raise ValueError(
+                    f"fit() histories must cover the declared tenants "
+                    f"{self.tenants} exactly: " + "; ".join(problems)
+                )
+            for name, records in histories.items():
+                self._pipelines[name].fit(records)
+            return self
+        shared = list(histories)
+        for pipeline in self._pipelines.values():
+            pipeline.fit(shared)
+        return self
+
+    # -- lifecycle: offline processing -------------------------------------------
+
+    def process(
+        self, records: Mapping[str, Iterable[LogRecord]]
+    ) -> list[TenantAlert]:
+        """Score finite per-tenant batches; return tagged alerts.
+
+        Each tenant's records run through its own pipeline end to end
+        (push + flush, the streaming-offline equivalence path), so the
+        alerts are byte-identical to that tenant running standalone.
+        Tenants absent from ``records`` are skipped; results follow
+        tenant declaration order.
+        """
+        alerts: list[TenantAlert] = []
+        for name in self._pipelines:
+            if name not in records:
+                continue
+            for alert in self.pipeline(name).run_all(records[name]):
+                alerts.append(TenantAlert(name, alert))
+        unknown = sorted(set(records) - set(self._pipelines))
+        if unknown:
+            raise KeyError(
+                f"unknown tenants {unknown}; declared: {self.tenants}")
+        return alerts
+
+    # -- lifecycle: serving ------------------------------------------------------
+
+    def serve(
+        self,
+        *,
+        sources: Mapping[str, Sequence] | None = None,
+        checkpoint=None,
+        on_alert: Callable[[TenantAlert], None] | None = None,
+        metrics_port: int | None = None,
+    ) -> "GatewayService":
+        """A :class:`GatewayService` over every tenant's live sources.
+
+        Per tenant, this is ``pipeline.serve()``: the tenant spec's
+        ``[[sources]]`` build through the registry (or come from the
+        ``sources`` mapping, for tests and ``--once`` injection), its
+        ingestion knobs configure its own
+        :class:`~repro.ingest.service.IngestService` — own credit
+        gate, own merge, own batcher.  ``checkpoint`` (a path, a
+        :class:`~repro.ingest.checkpoint.CheckpointStore`, default the
+        base spec's ``checkpoint``) is shared through per-tenant
+        namespaced views; a tenant overriding ``checkpoint`` in its
+        table gets its own store.  ``metrics_port`` starts the one
+        shared endpoint.  ``on_alert`` sees every
+        :class:`TenantAlert`, in delivery order.
+        """
+        if metrics_port is not None:
+            self.start_metrics_server(metrics_port)
+        base_store = self._coerce_store(
+            checkpoint if checkpoint is not None else self.spec.checkpoint)
+        service = GatewayService(self, on_alert=on_alert)
+        ingest: dict[str, IngestService] = {}
+        for name, pipeline in self._pipelines.items():
+            tenant_sources = (sources.get(name)
+                              if sources is not None else None)
+            if tenant_sources is None and not pipeline.spec.sources:
+                raise ValueError(
+                    f"tenant {name!r} declares no [[sources]]; every "
+                    "served tenant needs at least one live source"
+                )
+            store = self._tenant_store(name, pipeline.spec, base_store)
+
+            def deliver(alert: ClassifiedAlert, tenant: str = name) -> None:
+                service._deliver(tenant, alert)
+
+            ingest[name] = pipeline.serve(
+                sources=tenant_sources,
+                checkpoint=store,
+                on_alert=deliver,
+            )
+        service._attach(ingest)
+        return service
+
+    @staticmethod
+    def _coerce_store(checkpoint) -> CheckpointStore | None:
+        if checkpoint is None:
+            return None
+        if isinstance(checkpoint, (str, PathLike)):
+            return CheckpointStore(checkpoint)
+        return checkpoint
+
+    def _tenant_store(
+        self, name: str, tenant_spec: PipelineSpec,
+        base_store: CheckpointStore | None,
+    ) -> NamespacedCheckpoints | None:
+        """The tenant's checkpoint view: shared store, disjoint keys.
+
+        A tenant overriding ``checkpoint`` in its table gets its own
+        store at that path; everyone else shares the base store.  The
+        namespace applies either way, so two tenants tailing sources
+        with the same name never collide on a key.
+        """
+        store = base_store
+        if (tenant_spec.checkpoint is not None
+                and tenant_spec.checkpoint != self.spec.checkpoint):
+            store = CheckpointStore(tenant_spec.checkpoint)
+        if store is None:
+            return None
+        return store.namespaced(name)
+
+    # -- observability -----------------------------------------------------------
+
+    def telemetry(self) -> dict:
+        """The shared registry's JSON snapshot (all tenants)."""
+        return self.registry.snapshot()
+
+    def metrics_text(self) -> str:
+        """The shared Prometheus exposition (all tenants)."""
+        return self.registry.render_prometheus()
+
+    @property
+    def metrics_server(self) -> MetricsServer | None:
+        return self._metrics_server
+
+    def start_metrics_server(self, port: int = 0) -> MetricsServer:
+        """Serve the shared registry over HTTP (one endpoint for all
+        tenants); a second call returns the running server."""
+        if self._metrics_server is None:
+            self._metrics_server = MetricsServer(self.registry, port)
+        return self._metrics_server
+
+    # -- lifecycle: close --------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the shared pool and the endpoint (idempotent)."""
+        for pipeline in self._pipelines.values():
+            pipeline.close()
+        self.executor.close()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            self._metrics_server = None
+
+    def __enter__(self) -> "Gateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class GatewayService:
+    """N per-tenant ingestion services running as one serving unit.
+
+    Built by :meth:`Gateway.serve`; one instance supports one
+    :meth:`run`.  Each tenant's
+    :class:`~repro.ingest.service.IngestService` runs as its own task
+    on one event loop: a tenant exhausting its credit budget blocks
+    only its own reader coroutines, never the loop.  If any tenant's
+    service fails, the whole gateway shuts down cleanly — every other
+    tenant drains what it read, checkpoints, and then the original
+    failure propagates.
+    """
+
+    def __init__(self, gateway: Gateway, *,
+                 on_alert: Callable[[TenantAlert], None] | None = None
+                 ) -> None:
+        self.gateway = gateway
+        self.on_alert = on_alert
+        self.alerts: list[TenantAlert] = []
+        self.services: dict[str, IngestService] = {}
+        self._started = False
+
+    def _attach(self, services: dict[str, IngestService]) -> None:
+        self.services = services
+
+    def _deliver(self, tenant: str, alert: ClassifiedAlert) -> None:
+        tagged = TenantAlert(tenant, alert)
+        self.alerts.append(tagged)
+        if self.on_alert is not None:
+            self.on_alert(tagged)
+
+    # -- control -----------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Request a clean shutdown of every tenant (idempotent)."""
+        for service in self.services.values():
+            service.stop()
+
+    def stats(self) -> dict[str, IngestStats]:
+        """Per-tenant front-end snapshots, keyed by tenant name."""
+        return {name: service.stats()
+                for name, service in self.services.items()}
+
+    def summary(self) -> str:
+        """Multi-line per-tenant summary (the ``serve`` epilogue)."""
+        blocks = []
+        for name, service in self.services.items():
+            body = service.stats().summary().replace("\n", "\n  ")
+            blocks.append(f"tenant {name}:\n  {body}")
+        blocks.append(f"total alerts: {len(self.alerts)}")
+        return "\n".join(blocks)
+
+    # -- the run loop ------------------------------------------------------------
+
+    async def run(self) -> list[TenantAlert]:
+        """Serve every tenant until all sources end or :meth:`stop`.
+
+        Returns every :class:`TenantAlert`, in delivery order across
+        tenants (the same list ``on_alert`` saw entry by entry).
+        """
+        if self._started:
+            raise RuntimeError("GatewayService.run() supports a single run")
+        self._started = True
+        loop = asyncio.get_running_loop()
+        tasks = [
+            loop.create_task(service.run(), name=f"monilog-tenant-{name}")
+            for name, service in self.services.items()
+        ]
+        try:
+            await asyncio.gather(*tasks)
+        except BaseException:
+            # One tenant failed (or run() was cancelled): stop the
+            # rest, let their lossless-shutdown drains finish, then
+            # surface the original failure.
+            self.stop()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            raise
+        return self.alerts

@@ -14,7 +14,11 @@ CLI command wraps exactly that.
 
 from repro.ingest.backpressure import CreditGate
 from repro.ingest.batcher import MicroBatcher
-from repro.ingest.checkpoint import CheckpointStore, OffsetTracker
+from repro.ingest.checkpoint import (
+    CheckpointStore,
+    NamespacedCheckpoints,
+    OffsetTracker,
+)
 from repro.ingest.merge import BoundedLatenessMerger
 from repro.ingest.service import IngestService, IngestStats
 from repro.ingest.sources import (
@@ -23,6 +27,9 @@ from repro.ingest.sources import (
     FileTailSource,
     SocketSource,
     SourceItem,
+    client_tls_context,
+    encode_frame,
+    render_framed_record,
     render_json_line,
 )
 
@@ -36,8 +43,12 @@ __all__ = [
     "IngestService",
     "IngestStats",
     "MicroBatcher",
+    "NamespacedCheckpoints",
     "OffsetTracker",
     "SocketSource",
     "SourceItem",
+    "client_tls_context",
+    "encode_frame",
+    "render_framed_record",
     "render_json_line",
 ]

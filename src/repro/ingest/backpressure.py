@@ -15,6 +15,12 @@ The gate is a plain asyncio primitive (single event loop, no locks):
 ``acquire`` is awaitable and FIFO-fair, ``release`` is synchronous so
 completion paths — including executor-thread callbacks marshalled via
 ``call_soon_threadsafe`` — can hand credits back without awaiting.
+
+Tenant isolation in the multi-tenant gateway builds directly on this:
+every per-tenant ingestion service owns its *own* gate (sized by its
+tenant's ``credits`` budget), so a noisy tenant exhausting its credits
+stalls only its own readers — the other tenants' gates, and therefore
+their end-to-end latency, never see the pressure (docs/gateway.md).
 """
 
 from __future__ import annotations

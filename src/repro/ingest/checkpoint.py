@@ -31,12 +31,22 @@ same-inode head-hash change is an in-place rewrite/truncation, and
 either restarts tailing from the top instead of trusting the stale
 offset.  Checkpoints written before signatures existed (plain integer
 values) still load and resume by offset alone.
+
+Multi-tenant deployments share one store across N per-tenant
+pipelines.  Keys used to be bare source names, so two tenants tailing
+identically-named sources (every tenant calls its app log ``app.log``)
+would clobber each other's offsets; :meth:`CheckpointStore.namespaced`
+returns a per-tenant view that prefixes every key with the namespace,
+keeping entries disjoint inside one file.  The store is also
+thread-safe: the gateway's tenant services commit from executor
+threads concurrently.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 from collections import deque
 from pathlib import Path
 
@@ -101,6 +111,8 @@ class CheckpointStore:
         self._offsets: dict[str, int] = {}
         self._signatures: dict[str, dict] = {}
         self._dirty = False
+        self._lock = threading.Lock()
+        self._save_lock = threading.Lock()
         if self.path.exists():
             try:
                 loaded = json.loads(self.path.read_text(encoding="utf-8"))
@@ -123,11 +135,13 @@ class CheckpointStore:
 
     def get(self, source: str) -> int:
         """Committed offset for ``source`` (0 when never checkpointed)."""
-        return self._offsets.get(source, 0)
+        with self._lock:
+            return self._offsets.get(source, 0)
 
     def get_signature(self, source: str) -> dict | None:
         """The file signature stored with the offset, if any."""
-        return self._signatures.get(source)
+        with self._lock:
+            return self._signatures.get(source)
 
     def update(self, source: str, offset: int,
                signature: dict | None = None) -> None:
@@ -139,48 +153,102 @@ class CheckpointStore:
         lands in the rotation window cannot silently disable the
         stale-offset protection for the next resume.
         """
-        changed = self._offsets.get(source, 0) != offset
-        if signature is not None and self._signatures.get(source) != signature:
-            self._signatures[source] = signature
-            changed = True
-        if changed:
-            self._offsets[source] = offset
-            self._dirty = True
+        with self._lock:
+            changed = self._offsets.get(source, 0) != offset
+            if (signature is not None
+                    and self._signatures.get(source) != signature):
+                self._signatures[source] = signature
+                changed = True
+            if changed:
+                self._offsets[source] = offset
+                self._dirty = True
+
+    def namespaced(self, namespace: str) -> "NamespacedCheckpoints":
+        """A view of this store scoped to one tenant/pipeline.
+
+        Entries commit under ``"<namespace>/<source>"``, so views with
+        distinct namespaces never collide even when their sources share
+        names.  Namespaces themselves may not contain ``/``.
+        """
+        return NamespacedCheckpoints(self, namespace)
 
     def save(self) -> None:
         """Persist atomically; cheap no-op when nothing changed."""
-        if not self._dirty:
-            return
-        payload: dict[str, object] = {}
-        for name, offset in self._offsets.items():
-            signature = self._signatures.get(name)
-            payload[name] = (
-                offset if signature is None
-                else {"offset": offset, "signature": signature}
-            )
-        temporary = self.path.with_name(self.path.name + ".tmp")
-        # Atomicity needs more than temp-file + rename: without an
-        # fsync of the data before the rename, a crash can promote an
-        # empty/truncated temp file over the good checkpoint; without
-        # an fsync of the directory after it, the rename itself may
-        # not survive — either way "resume never re-emits" breaks.
-        with open(temporary, "w", encoding="utf-8") as handle:
-            handle.write(json.dumps(payload, indent=0, sort_keys=True))
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temporary, self.path)
-        try:
-            directory = os.open(self.path.parent, os.O_RDONLY)
-        except OSError:
-            # Directory fds are not universally openable (some
-            # platforms/filesystems); the data fsync above still
-            # bounds the damage to losing the rename, never the data.
-            pass
-        else:
+        # _save_lock serializes whole writes (concurrent savers would
+        # race on the shared temp name); _lock guards the in-memory
+        # state just long enough to snapshot it, so committers are
+        # never blocked behind an fsync.
+        with self._save_lock:
+            with self._lock:
+                if not self._dirty:
+                    return
+                payload: dict[str, object] = {}
+                for name, offset in self._offsets.items():
+                    signature = self._signatures.get(name)
+                    payload[name] = (
+                        offset if signature is None
+                        else {"offset": offset, "signature": signature}
+                    )
+                self._dirty = False
+            temporary = self.path.with_name(self.path.name + ".tmp")
+            # Atomicity needs more than temp-file + rename: without an
+            # fsync of the data before the rename, a crash can promote
+            # an empty/truncated temp file over the good checkpoint;
+            # without an fsync of the directory after it, the rename
+            # itself may not survive — either way "resume never
+            # re-emits" breaks.
+            with open(temporary, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(payload, indent=0, sort_keys=True))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temporary, self.path)
             try:
-                os.fsync(directory)
+                directory = os.open(self.path.parent, os.O_RDONLY)
             except OSError:
+                # Directory fds are not universally openable (some
+                # platforms/filesystems); the data fsync above still
+                # bounds the damage to losing the rename, never the
+                # data.
                 pass
-            finally:
-                os.close(directory)
-        self._dirty = False
+            else:
+                try:
+                    os.fsync(directory)
+                except OSError:
+                    pass
+                finally:
+                    os.close(directory)
+
+
+class NamespacedCheckpoints:
+    """A per-tenant/pipeline view of a shared :class:`CheckpointStore`.
+
+    Presents the same ``get``/``get_signature``/``update``/``save``
+    surface the ingestion service expects, but commits every entry
+    under ``"<namespace>/<source>"`` — so N views over one store keep
+    their offsets disjoint even when tenants name their sources
+    identically.  Legacy un-namespaced keys in the same file are
+    untouched.
+    """
+
+    def __init__(self, store: CheckpointStore, namespace: str) -> None:
+        if not namespace or "/" in namespace:
+            raise ValueError(
+                f"namespace must be non-empty and '/'-free, got {namespace!r}")
+        self.store = store
+        self.namespace = namespace
+
+    def _key(self, source: str) -> str:
+        return f"{self.namespace}/{source}"
+
+    def get(self, source: str) -> int:
+        return self.store.get(self._key(source))
+
+    def get_signature(self, source: str) -> dict | None:
+        return self.store.get_signature(self._key(source))
+
+    def update(self, source: str, offset: int,
+               signature: dict | None = None) -> None:
+        self.store.update(self._key(source), offset, signature)
+
+    def save(self) -> None:
+        self.store.save()

@@ -37,7 +37,11 @@ from repro.core.reports import ClassifiedAlert
 from repro.core.streaming import BatchHandoff
 from repro.ingest.backpressure import CreditGate
 from repro.ingest.batcher import MicroBatcher
-from repro.ingest.checkpoint import CheckpointStore, OffsetTracker
+from repro.ingest.checkpoint import (
+    CheckpointStore,
+    NamespacedCheckpoints,
+    OffsetTracker,
+)
 from repro.ingest.merge import BoundedLatenessMerger
 from repro.ingest.sources import AsyncLogSource, SourceItem
 from repro.telemetry.metrics import RateMeter
@@ -122,7 +126,11 @@ class IngestService:
             passed directly.
         config: front-end knobs; see
             :class:`~repro.core.config.IngestConfig`.
-        checkpoint: optional offset store; when given, sources resume
+        checkpoint: optional offset store — a
+            :class:`~repro.ingest.checkpoint.CheckpointStore`, or a
+            :class:`~repro.ingest.checkpoint.NamespacedCheckpoints`
+            view when several services (the gateway's per-tenant
+            pipelines) share one file; when given, sources resume
             after their last committed offset and commits advance as
             batches complete.
         on_alert: optional callback invoked per alert, in order, from
@@ -147,7 +155,7 @@ class IngestService:
         pipeline,
         *,
         config: IngestConfig | None = None,
-        checkpoint: CheckpointStore | None = None,
+        checkpoint: CheckpointStore | NamespacedCheckpoints | None = None,
         on_alert: Callable[[ClassifiedAlert], None] | None = None,
         telemetry=None,
         autoscale=None,
@@ -383,8 +391,9 @@ class IngestService:
             # Snapshot the commit positions on the loop (cheap), then
             # do all the file I/O — signature stat/reads and the
             # checkpoint write — off the loop, so slow storage never
-            # stalls the readers.  Batches are processed one at a
-            # time, so the store sees no concurrent access.
+            # stalls the readers.  One service processes batches one
+            # at a time, but N gateway services may share the store —
+            # it serializes concurrent commits internally.
             committed = {name: tracker.committed
                          for name, tracker in self._trackers.items()}
 

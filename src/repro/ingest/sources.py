@@ -10,9 +10,12 @@ This module provides the async counterparts:
   arrives, rotation (inode change / file vanishing) and truncation
   (file shrinking) detected and survived, byte-offset checkpoints for
   exact resume.
-* :class:`SocketSource` — a newline-delimited TCP client with
-  automatic reconnect and back-off; the transport model of a log
-  shipper feeding MoniLog over the network.
+* :class:`SocketSource` — a TCP client with automatic reconnect and
+  back-off; the transport model of a log shipper feeding MoniLog over
+  the network.  Three framings: newline-delimited plain lines,
+  JSON-lines, and the length-prefixed binary ``framed`` protocol that
+  carries a tenant id with every record (docs/gateway.md).  Any of
+  the three can run over TLS (``tls = true`` plus cert/key paths).
 * :class:`AsyncSourceAdapter` — lifts any synchronous
   :class:`~repro.logs.sources.LogSource` into the async world
   (cooperatively yielding so one in-memory source cannot monopolize
@@ -34,18 +37,31 @@ import asyncio
 import hashlib
 import json
 import os
+import ssl
 from collections.abc import AsyncIterator
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.api.registry import register_component
 from repro.logs.formats import LineFormat, detect_format
-from repro.logs.record import LogRecord, Severity
+from repro.logs.record import DEFAULT_TENANT, LogRecord, Severity
 from repro.logs.sources import LogSource
 
 #: Bytes of file head hashed into a checkpoint signature.  Appends
 #: never touch them, so the hash is stable across normal growth while
 #: catching rotation-with-same-size and in-place rewrites.
 _SIGNATURE_HEAD_BYTES = 256
+
+#: ``framed`` wire format (docs/gateway.md): every frame is a 4-byte
+#: big-endian body length, then a 2-byte big-endian tenant length, the
+#: tenant id (UTF-8), and the payload — one JSON-lines record frame
+#: (:func:`render_json_line`) or a plain log line.
+_FRAME_LEN_BYTES = 4
+_TENANT_LEN_BYTES = 2
+
+#: Default ceiling on one framed-transport frame.  A length prefix
+#: larger than this is treated as a protocol error (corrupt stream or
+#: a non-framed peer), not an allocation request.
+DEFAULT_MAX_FRAME_BYTES = 1 << 20
 
 
 def _head_matches(path: str, signature: dict) -> bool:
@@ -69,11 +85,14 @@ class SourceItem:
     byte offset for file tails, record count for sockets and adapted
     sources.  Committing it (see :mod:`repro.ingest.checkpoint`) means
     "everything up to and including this record was processed".
+    ``tenant`` mirrors ``record.tenant`` so routing layers (the
+    multi-tenant gateway) can dispatch without touching the record.
     """
 
     record: LogRecord
     source: str
     offset: int
+    tenant: str = DEFAULT_TENANT
 
 
 class AsyncLogSource:
@@ -120,10 +139,12 @@ class _LineConverter:
     """
 
     def __init__(self, source_name: str,
-                 line_format: LineFormat | None = None) -> None:
+                 line_format: LineFormat | None = None,
+                 tenant: str = DEFAULT_TENANT) -> None:
         self._source_name = source_name
         self._format = line_format
         self._detected = line_format is not None
+        self._tenant = tenant
         self._sequence = 0
         self._fallback_clock = 0.0
 
@@ -163,6 +184,7 @@ class _LineConverter:
             session_id=record.session_id,
             sequence=self._sequence,
             labels=record.labels,
+            tenant=self._tenant,
         )
         self._sequence += 1
         return record
@@ -207,6 +229,7 @@ class _LineConverter:
                 pass
         session_id = payload.get("session_id")
         labels = payload.get("labels")
+        tenant = payload.get("tenant")
         record = LogRecord(
             timestamp=float(timestamp),
             source=str(payload.get("source") or self._source_name),
@@ -216,6 +239,8 @@ class _LineConverter:
             sequence=self._sequence,
             labels=frozenset(str(label) for label in labels)
             if isinstance(labels, (list, tuple)) else frozenset(),
+            tenant=tenant if isinstance(tenant, str) and tenant
+            else self._tenant,
         )
         self._sequence += 1
         return record
@@ -239,7 +264,66 @@ def render_json_line(record: LogRecord) -> str:
         payload["session_id"] = record.session_id
     if record.labels:
         payload["labels"] = sorted(record.labels)
+    if record.tenant != DEFAULT_TENANT:
+        payload["tenant"] = record.tenant
     return json.dumps(payload, ensure_ascii=False)
+
+
+def encode_frame(payload: str | bytes, tenant: str = "") -> bytes:
+    """Wire-encode one ``framed``-transport frame (the shipper side).
+
+    Layout: a 4-byte big-endian body length, then the body — a 2-byte
+    big-endian tenant length, the tenant id (UTF-8), and the payload
+    bytes.  An empty tenant means "use the receiving source's default
+    tenant".  The payload is normally a JSON-lines record frame
+    (:func:`render_json_line`); a plain log line works too because the
+    receiver falls back to header parsing.
+    """
+    raw = payload.encode("utf-8") if isinstance(payload, str) else bytes(payload)
+    tenant_bytes = tenant.encode("utf-8")
+    if len(tenant_bytes) > 0xFFFF:
+        raise ValueError(
+            f"tenant id exceeds {0xFFFF} UTF-8 bytes: {tenant[:64]!r}...")
+    body = (len(tenant_bytes).to_bytes(_TENANT_LEN_BYTES, "big")
+            + tenant_bytes + raw)
+    if len(body) > 0xFFFFFFFF:
+        raise ValueError(f"frame body exceeds 2**32-1 bytes: {len(body)}")
+    return len(body).to_bytes(_FRAME_LEN_BYTES, "big") + body
+
+
+def render_framed_record(record: LogRecord, tenant: str | None = None) -> bytes:
+    """One record as a ``framed``-transport frame.
+
+    The tenant header defaults to the record's own tenant; pass
+    ``tenant`` to override (e.g. a shipper multiplexing customers over
+    one connection).
+    """
+    return encode_frame(render_json_line(record),
+                        record.tenant if tenant is None else tenant)
+
+
+def client_tls_context(
+    cafile: str | None = None,
+    certfile: str | None = None,
+    keyfile: str | None = None,
+    *,
+    verify: bool = True,
+) -> ssl.SSLContext:
+    """Build the client-side :class:`ssl.SSLContext` the transport uses.
+
+    ``cafile`` pins the trust root (a private CA or the shipper's
+    self-signed cert); ``certfile``/``keyfile`` present a client
+    certificate for mutual TLS.  ``verify=False`` disables certificate
+    and hostname checks — debugging only, never production.
+    """
+    context = ssl.create_default_context(ssl.Purpose.SERVER_AUTH,
+                                         cafile=cafile)
+    if certfile:
+        context.load_cert_chain(certfile, keyfile)
+    if not verify:
+        context.check_hostname = False
+        context.verify_mode = ssl.CERT_NONE
+    return context
 
 
 @register_component("source", "file")
@@ -260,6 +344,8 @@ class FileTailSource(AsyncLogSource):
         poll_interval: seconds between checks while the file is idle.
         chunk_size: bytes per read; the unit the bench's storage-
             latency simulation charges for.
+        tenant: tenant stamped on every record this tail emits; the
+            default keeps legacy single-stream behavior byte-identical.
 
     A partial line at end-of-file stays buffered until its newline
     arrives (mid-line EOF is how live files look mid-write); in drain
@@ -277,6 +363,7 @@ class FileTailSource(AsyncLogSource):
         follow: bool = True,
         poll_interval: float = 0.05,
         chunk_size: int = 65536,
+        tenant: str = DEFAULT_TENANT,
     ) -> None:
         if poll_interval <= 0:
             raise ValueError(f"poll_interval must be > 0, got {poll_interval}")
@@ -288,6 +375,7 @@ class FileTailSource(AsyncLogSource):
         self.follow = follow
         self.poll_interval = poll_interval
         self.chunk_size = chunk_size
+        self.tenant = tenant
         self.rotations = 0
         self.truncations = 0
 
@@ -379,7 +467,7 @@ class FileTailSource(AsyncLogSource):
         offset = start_offset
         buffer = b""
         handle = None
-        converter = _LineConverter(self.name, self.line_format)
+        converter = _LineConverter(self.name, self.line_format, self.tenant)
         try:
             while True:
                 if handle is None:
@@ -403,7 +491,8 @@ class FileTailSource(AsyncLogSource):
                             offset += len(raw) + 1
                             record = converter.convert(line)
                             if record is not None:
-                                yield SourceItem(record, self.name, offset)
+                                yield SourceItem(record, self.name, offset,
+                                                 record.tenant)
                     continue
                 # End of file: decide between waiting, restarting, stopping.
                 stale = self._stale(handle, offset + len(buffer))
@@ -416,7 +505,8 @@ class FileTailSource(AsyncLogSource):
                             buffer.decode("utf-8", "replace"))
                         buffer = b""
                         if record is not None:
-                            yield SourceItem(record, self.name, offset)
+                            yield SourceItem(record, self.name, offset,
+                                             record.tenant)
                     if stale is None:
                         return
                     if stale == "rotated":
@@ -435,35 +525,55 @@ class FileTailSource(AsyncLogSource):
 
 @register_component("source", "socket")
 class SocketSource(AsyncLogSource):
-    """Newline-delimited TCP log stream with automatic reconnect.
+    """TCP log stream with automatic reconnect, optional TLS.
 
     Args:
-        host / port: the peer emitting one log line per ``\\n``.
+        host / port: the peer emitting log records.
         name: source name; defaults to ``host:port``.
         line_format: header layout; auto-detected when omitted
             (``framing="lines"`` only).
-        framing: how each line decodes to a record.  ``"lines"`` (the
-            trusted newline protocol): the line *is* the log line,
-            header-parsed like a tailed file.  ``"jsonl"``: each line
-            is a JSON object frame (see
+        framing: how the byte stream decodes to records.  ``"lines"``
+            (the trusted newline protocol): each line *is* the log
+            line, header-parsed like a tailed file.  ``"jsonl"``: each
+            line is a JSON object frame (see
             :meth:`_LineConverter.convert_json` /
             :func:`render_json_line`) — messages containing newlines
             survive because JSON escapes them inside the frame.
+            ``"framed"``: length-prefixed binary frames carrying a
+            tenant id plus a JSON record payload
+            (:func:`encode_frame` / :func:`render_framed_record`) —
+            the multi-tenant gateway transport.
+        tenant: tenant stamped on records when the transport does not
+            carry one (``lines``/``jsonl`` without an explicit frame
+            tenant, ``framed`` frames with an empty tenant header).
+        max_frame_bytes: ceiling on one ``framed`` frame; a larger
+            length prefix is a protocol error — the frame is rejected,
+            ``frame_errors`` incremented, and the connection cleanly
+            re-dialed.
         reconnect: dial again after a disconnect (live mode); ``False``
             stops at the first clean disconnect.
         reconnect_delay: back-off between connection attempts.
         max_connect_attempts: give up after this many *consecutive*
             failed dials (``None``: retry forever).  A successful
             connection resets the counter.
+        tls: wrap the connection in TLS.  The remaining ``tls_*``
+            options shape the :class:`ssl.SSLContext` (see
+            :func:`client_tls_context`): ``tls_cafile`` pins the trust
+            root, ``tls_certfile``/``tls_keyfile`` present a client
+            certificate, ``tls_verify=False`` disables verification
+            (debugging only), and ``tls_server_hostname`` overrides
+            the name checked against the server certificate (useful
+            when dialing an IP address whose cert names a host).
 
     Offsets count records emitted (a socket cannot be replayed from a
     byte position); ``start_offset`` seeds the counter so checkpoint
-    offsets stay monotone across restarts.  ``connects`` and
-    ``disconnects`` expose the transport's health for stats.
+    offsets stay monotone across restarts.  ``connects``,
+    ``disconnects``, and ``frame_errors`` expose the transport's
+    health for stats.
     """
 
-    #: The line → record framings the socket transport understands.
-    FRAMINGS = ("lines", "jsonl")
+    #: The byte stream → record framings the socket transport understands.
+    FRAMINGS = ("lines", "jsonl", "framed")
 
     def __init__(
         self,
@@ -473,9 +583,17 @@ class SocketSource(AsyncLogSource):
         *,
         line_format: LineFormat | None = None,
         framing: str = "lines",
+        tenant: str = DEFAULT_TENANT,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         reconnect: bool = True,
         reconnect_delay: float = 0.05,
         max_connect_attempts: int | None = None,
+        tls: bool = False,
+        tls_cafile: str | None = None,
+        tls_certfile: str | None = None,
+        tls_keyfile: str | None = None,
+        tls_verify: bool = True,
+        tls_server_hostname: str | None = None,
     ) -> None:
         if framing not in self.FRAMINGS:
             raise ValueError(
@@ -488,27 +606,86 @@ class SocketSource(AsyncLogSource):
             raise ValueError(
                 "max_connect_attempts must be >= 1 or None, "
                 f"got {max_connect_attempts}")
+        if max_frame_bytes < _TENANT_LEN_BYTES + 1:
+            raise ValueError(
+                f"max_frame_bytes must be >= {_TENANT_LEN_BYTES + 1}, "
+                f"got {max_frame_bytes}")
+        if not tls and (tls_cafile or tls_certfile or tls_keyfile
+                        or tls_server_hostname or not tls_verify):
+            raise ValueError("tls_* options require tls = true")
         self.host = host
         self.port = port
         self.name = name or f"{host}:{port}"
         self.line_format = line_format
         self.framing = framing
+        self.tenant = tenant
+        self.max_frame_bytes = max_frame_bytes
         self.reconnect = reconnect
         self.reconnect_delay = reconnect_delay
         self.max_connect_attempts = max_connect_attempts
+        self.tls = tls
+        self.tls_server_hostname = tls_server_hostname
+        self._ssl = client_tls_context(
+            tls_cafile, tls_certfile, tls_keyfile, verify=tls_verify,
+        ) if tls else None
         self.connects = 0
         self.disconnects = 0
+        self.frame_errors = 0
+
+    async def _connect(self):
+        """One dial, TLS-wrapped when configured."""
+        kwargs: dict[str, object] = {}
+        if self._ssl is not None:
+            kwargs["ssl"] = self._ssl
+            if self.tls_server_hostname is not None:
+                kwargs["server_hostname"] = self.tls_server_hostname
+        return await asyncio.open_connection(self.host, self.port, **kwargs)
+
+    async def _read_frame(self, reader) -> tuple[str, str] | None:
+        """Read one length-prefixed frame; ``None`` ends the connection.
+
+        A length prefix split across TCP segments is reassembled by
+        ``readexactly``.  Protocol errors — an oversized or impossible
+        length, a tenant length pointing past the body, a mid-frame
+        EOF — count into ``frame_errors`` and return ``None`` so the
+        caller drops the connection and re-dials from a clean frame
+        boundary (resynchronizing inside a corrupt byte stream is not
+        attempted).
+        """
+        try:
+            header = await reader.readexactly(_FRAME_LEN_BYTES)
+        except asyncio.IncompleteReadError as error:
+            if error.partial:
+                self.frame_errors += 1
+            return None
+        length = int.from_bytes(header, "big")
+        if length < _TENANT_LEN_BYTES or length > self.max_frame_bytes:
+            self.frame_errors += 1
+            return None
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            self.frame_errors += 1
+            return None
+        tenant_length = int.from_bytes(body[:_TENANT_LEN_BYTES], "big")
+        payload_start = _TENANT_LEN_BYTES + tenant_length
+        if payload_start > length:
+            self.frame_errors += 1
+            return None
+        tenant = body[_TENANT_LEN_BYTES:payload_start].decode(
+            "utf-8", "replace")
+        payload = body[payload_start:].decode("utf-8", "replace")
+        return tenant, payload
 
     async def items(self, start_offset: int = 0) -> AsyncIterator[SourceItem]:
         offset = start_offset
-        converter = _LineConverter(self.name, self.line_format)
-        decode = (converter.convert_json if self.framing == "jsonl"
+        converter = _LineConverter(self.name, self.line_format, self.tenant)
+        decode = (converter.convert_json if self.framing in ("jsonl", "framed")
                   else converter.convert)
         failures = 0
         while True:
             try:
-                reader, writer = await asyncio.open_connection(
-                    self.host, self.port)
+                reader, writer = await self._connect()
             except OSError:
                 failures += 1
                 if (self.max_connect_attempts is not None
@@ -520,13 +697,23 @@ class SocketSource(AsyncLogSource):
             self.connects += 1
             try:
                 while True:
-                    raw = await reader.readline()
-                    if not raw:
-                        break
+                    if self.framing == "framed":
+                        frame = await self._read_frame(reader)
+                        if frame is None:
+                            break
+                        tenant, line = frame
+                    else:
+                        raw = await reader.readline()
+                        if not raw:
+                            break
+                        tenant, line = "", raw.decode("utf-8", "replace")
                     offset += 1
-                    record = decode(raw.decode("utf-8", "replace"))
-                    if record is not None:
-                        yield SourceItem(record, self.name, offset)
+                    record = decode(line)
+                    if record is None:
+                        continue
+                    if tenant and record.tenant != tenant:
+                        record = replace(record, tenant=tenant)
+                    yield SourceItem(record, self.name, offset, record.tenant)
             finally:
                 writer.close()
                 try:
@@ -547,16 +734,20 @@ class AsyncSourceAdapter(AsyncLogSource):
     to the event loop every ``yield_every`` records so an in-memory
     source cannot starve live tails of loop time.  Offsets count
     records, so ``start_offset`` skips an already-processed prefix —
-    which makes replayed corpora resumable just like files.
+    which makes replayed corpora resumable just like files.  A
+    non-default ``tenant`` is stamped on replayed records that do not
+    already carry one.
     """
 
     def __init__(self, source: LogSource, name: str | None = None,
-                 *, yield_every: int = 64) -> None:
+                 *, yield_every: int = 64,
+                 tenant: str = DEFAULT_TENANT) -> None:
         if yield_every < 1:
             raise ValueError(f"yield_every must be >= 1, got {yield_every}")
         self.source = source
         self.name = name or getattr(source, "name", type(source).__name__)
         self.yield_every = yield_every
+        self.tenant = tenant
 
     async def items(self, start_offset: int = 0) -> AsyncIterator[SourceItem]:
         emitted = 0
@@ -566,4 +757,7 @@ class AsyncSourceAdapter(AsyncLogSource):
             emitted += 1
             if emitted % self.yield_every == 0:
                 await asyncio.sleep(0)
-            yield SourceItem(record, self.name, count)
+            if (self.tenant != DEFAULT_TENANT
+                    and record.tenant == DEFAULT_TENANT):
+                record = replace(record, tenant=self.tenant)
+            yield SourceItem(record, self.name, count, record.tenant)

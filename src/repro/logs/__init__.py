@@ -17,7 +17,7 @@ from repro.logs.formats import (
     render_line,
 )
 from repro.logs.instability import InstabilityInjector, InstabilityKind
-from repro.logs.record import LogRecord, ParsedLog, Severity
+from repro.logs.record import DEFAULT_TENANT, LogRecord, ParsedLog, Severity
 from repro.logs.sessions import DEFAULT_SESSION_PATTERNS, SessionKeyExtractor
 from repro.logs.sources import (
     LogSource,
@@ -37,6 +37,7 @@ from repro.logs.structured import StructuredExtraction, extract_structured_paylo
 __all__ = [
     "BUILTIN_FORMATS",
     "DEFAULT_SESSION_PATTERNS",
+    "DEFAULT_TENANT",
     "DuplicationNoise",
     "InstabilityInjector",
     "InstabilityKind",

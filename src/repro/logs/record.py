@@ -18,6 +18,12 @@ from dataclasses import dataclass, field, replace
 #: conventional wildcard used by Drain and the LogHub benchmarks.
 WILDCARD = "<*>"
 
+#: Tenant assigned to records that arrive without an explicit tenant.
+#: Single-stream deployments never mention tenancy and everything lands
+#: here; the multi-tenant gateway (repro.gateway) stamps real tenant
+#: ids at the transport edge.
+DEFAULT_TENANT = "default"
+
 _WHITESPACE = re.compile(r"\s+")
 
 
@@ -83,7 +89,9 @@ class LogRecord:
     arbitrary epoch, and ``session_id`` optionally carries the execution
     context (e.g. an HDFS block id) used for session windowing.
     ``sequence`` is the emission order within the source; stream noise
-    may deliver records out of ``sequence`` order.
+    may deliver records out of ``sequence`` order.  ``tenant`` names the
+    customer the record belongs to in a multi-tenant deployment; legacy
+    single-stream paths leave it at :data:`DEFAULT_TENANT`.
     """
 
     timestamp: float
@@ -93,6 +101,7 @@ class LogRecord:
     session_id: str | None = None
     sequence: int = 0
     labels: frozenset[str] = frozenset()
+    tenant: str = DEFAULT_TENANT
 
     @property
     def tokens(self) -> list[str]:
@@ -153,6 +162,10 @@ class ParsedLog:
     @property
     def session_id(self) -> str | None:
         return self.record.session_id
+
+    @property
+    def tenant(self) -> str:
+        return self.record.tenant
 
     @property
     def windowing_key(self) -> str:

@@ -23,15 +23,20 @@ from repro.telemetry.instrument import PipelineTelemetry
 from repro.telemetry.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     DEFAULT_SIZE_BUCKETS,
+    BoundFamily,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     RateMeter,
+    ScopedRegistry,
+    filter_prometheus,
+    filter_snapshot,
 )
 from repro.telemetry.server import MetricsServer
 
 __all__ = [
+    "BoundFamily",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
@@ -41,5 +46,8 @@ __all__ = [
     "MetricsServer",
     "PipelineTelemetry",
     "RateMeter",
+    "ScopedRegistry",
     "TelemetryConfig",
+    "filter_prometheus",
+    "filter_snapshot",
 ]

@@ -46,13 +46,18 @@ class PipelineTelemetry:
             :class:`TelemetryConfig`.
         clock: the latency clock for the push hooks' callers
             (``time.perf_counter`` in production; tests inject a fake).
+        registry: where the catalog's families are declared.  Defaults
+            to a fresh private :class:`MetricsRegistry`; the gateway
+            passes a :class:`~repro.telemetry.metrics.ScopedRegistry`
+            view so N tenants' telemetry lands tenant-labeled in one
+            shared registry.
     """
 
     def __init__(self, config: TelemetryConfig | None = None,
-                 clock=time.perf_counter) -> None:
+                 clock=time.perf_counter, *, registry=None) -> None:
         self.config = config or TelemetryConfig()
         self.clock = clock
-        self.registry = MetricsRegistry()
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._advisories: deque[str] = deque(maxlen=_MAX_ADVISORIES)
         self._advisory_lock = threading.Lock()
         # Collector targets.  Each attach_* registers its collector

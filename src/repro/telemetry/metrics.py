@@ -27,6 +27,16 @@ returns a JSON-friendly dict (the ``Pipeline.telemetry()`` /
 ``repro stats`` surface) and :meth:`MetricsRegistry.render_prometheus`
 renders the Prometheus text format the stdlib HTTP endpoint
 (:mod:`repro.telemetry.server`) serves.
+
+Multi-tenant serving shares one registry across N per-tenant
+pipelines: each pipeline's telemetry declares its families through a
+:class:`ScopedRegistry` view, which appends a fixed label set (e.g.
+``tenant="acme"``) to every declaration and binds every update to
+those label values — so instrumentation written against an unlabeled
+registry works unchanged, and one ``/metrics`` endpoint serves every
+tenant with a ``tenant`` label on each sample.
+:func:`filter_snapshot` / :func:`filter_prometheus` cut either
+exposition format down to one label value (``repro stats --tenant``).
 """
 
 from __future__ import annotations
@@ -347,6 +357,64 @@ class Histogram(_Family):
         return self._only_child().sum
 
 
+class BoundFamily:
+    """A labeled family with some label values pre-bound.
+
+    Update methods (``inc``/``set``/``observe``/...) land on the child
+    for the bound values; :meth:`labels` merges the bound values with
+    the caller's, so instrumentation that labels explicitly (per-shard
+    gauges, per-source counters) composes with the scope transparently.
+    Only the methods the underlying family kind supports exist on its
+    children — calling ``observe`` on a bound counter fails just as it
+    would on the family itself.
+    """
+
+    def __init__(self, family: _Family, bound: dict[str, str]) -> None:
+        self._family = family
+        self._bound = dict(bound)
+
+    @property
+    def name(self) -> str:
+        return self._family.name
+
+    @property
+    def kind(self) -> str:
+        return self._family.kind
+
+    def labels(self, **labels: object):
+        return self._family.labels(**{**self._bound, **labels})
+
+    def _child(self):
+        return self._family.labels(**self._bound)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._child().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._child().set(value)
+
+    def set_total(self, value: float) -> None:
+        self._child().set_total(value)
+
+    def observe(self, value: float) -> None:
+        self._child().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._child().value
+
+    @property
+    def count(self) -> int:
+        return self._child().count
+
+    @property
+    def sum(self) -> float:
+        return self._child().sum
+
+
 class RateMeter:
     """Arrival-rate estimate over a short sliding window, explicit-clock.
 
@@ -424,6 +492,11 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._families: dict[str, _Family] = {}
         self._collectors: list[Callable[[], None]] = []
+        #: Optional comment block emitted at the top of the Prometheus
+        #: exposition (lines are ``# ``-prefixed automatically).  The
+        #: gateway uses it to document the tenant label convention on
+        #: the endpoint itself.
+        self.preamble: str | None = None
 
     # -- declaration -------------------------------------------------------------
 
@@ -514,6 +587,126 @@ class MetricsRegistry:
         """The Prometheus text exposition format (version 0.0.4)."""
         self._run_collectors()
         lines: list[str] = []
+        if self.preamble:
+            lines.extend(f"# {line}" if line else "#"
+                         for line in self.preamble.splitlines())
         for family in self.families():
             lines.extend(family.render())
         return "\n".join(lines) + "\n"
+
+
+class ScopedRegistry:
+    """A label-scoped view of a shared :class:`MetricsRegistry`.
+
+    Every family declared through the view carries extra fixed label
+    names appended to its declaration, and every update made through
+    the returned :class:`BoundFamily` lands on the child bound to the
+    view's values.  The gateway gives each tenant's
+    :class:`~repro.telemetry.instrument.PipelineTelemetry` a
+    ``ScopedRegistry(shared, tenant=name)`` so N pipelines share one
+    registry (and one ``/metrics`` endpoint) without a line of their
+    instrumentation changing.
+
+    Exposition passes through to the base registry — a scoped view is
+    a declaration/update scope, not a filter (use
+    :func:`filter_snapshot` / :func:`filter_prometheus` to cut an
+    exposition down to one label value).
+    """
+
+    def __init__(self, base: MetricsRegistry, **labels: object) -> None:
+        if not labels:
+            raise ValueError("ScopedRegistry needs at least one fixed label")
+        self.base = base
+        self.scope = {name: str(value) for name, value in labels.items()}
+
+    def _extended(self, label_names: Sequence[str]) -> tuple[str, ...]:
+        clash = set(label_names) & set(self.scope)
+        if clash:
+            raise ValueError(
+                f"label names {sorted(clash)} are fixed by this scope")
+        return tuple(label_names) + tuple(self.scope)
+
+    def counter(self, name: str, help: str,
+                label_names: Sequence[str] = ()) -> BoundFamily:
+        return BoundFamily(
+            self.base.counter(name, help, self._extended(label_names)),
+            self.scope)
+
+    def gauge(self, name: str, help: str,
+              label_names: Sequence[str] = ()) -> BoundFamily:
+        return BoundFamily(
+            self.base.gauge(name, help, self._extended(label_names)),
+            self.scope)
+
+    def histogram(self, name: str, help: str,
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+                  label_names: Sequence[str] = ()) -> BoundFamily:
+        return BoundFamily(
+            self.base.histogram(name, help, buckets,
+                                self._extended(label_names)),
+            self.scope)
+
+    def collect(self, collector: Callable[[], None]) -> None:
+        self.base.collect(collector)
+
+    def snapshot(self) -> dict:
+        return self.base.snapshot()
+
+    def render_prometheus(self) -> str:
+        return self.base.render_prometheus()
+
+
+def filter_snapshot(metrics: dict, **labels: object) -> dict:
+    """Cut a :meth:`MetricsRegistry.snapshot` down to one label value.
+
+    Keeps, per family, only the value entries whose labels include
+    every ``name=value`` pair given; families left with no entries are
+    dropped entirely.
+    """
+    wanted = {name: str(value) for name, value in labels.items()}
+    out: dict = {}
+    for name, family in metrics.items():
+        values = [
+            entry for entry in family.get("values", [])
+            if all(entry.get("labels", {}).get(key) == value
+                   for key, value in wanted.items())
+        ]
+        if values:
+            out[name] = {**family, "values": values}
+    return out
+
+
+def filter_prometheus(text: str, **labels: object) -> str:
+    """Cut a Prometheus exposition down to one label value.
+
+    Keeps sample lines carrying every ``name="value"`` pair given,
+    along with their family's ``# HELP``/``# TYPE`` header; families
+    with no matching samples (and free-standing comments) are dropped.
+    """
+    needles = [
+        f'{name}="{_escape_label(str(value))}"'
+        for name, value in labels.items()
+    ]
+    out: list[str] = []
+    header: list[str] = []
+    samples: list[str] = []
+
+    def _flush() -> None:
+        if samples:
+            out.extend(header)
+            out.extend(samples)
+        header.clear()
+        samples.clear()
+
+    for line in text.splitlines():
+        if line.startswith("# HELP"):
+            _flush()
+            header.append(line)
+        elif line.startswith("#"):
+            if header:
+                header.append(line)
+        elif line.strip():
+            if all(needle in line for needle in needles):
+                samples.append(line)
+    _flush()
+    return "\n".join(out) + "\n" if out else ""

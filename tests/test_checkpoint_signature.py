@@ -169,3 +169,38 @@ class TestResumeDecisions:
         os.remove(log)
         source = FileTailSource(log, name="tail", follow=False)
         assert source.resume_offset(offset, signature) == offset
+
+
+class TestNamespacedCheckpoints:
+    """Per-tenant views over one shared store (the gateway's layout)."""
+
+    def test_namespaces_keep_same_source_names_disjoint(self, tmp_path):
+        store = CheckpointStore(tmp_path / "shared.json")
+        acme = store.namespaced("acme")
+        globex = store.namespaced("globex")
+        acme.update("tail", 100, {"kind": "sig"})
+        globex.update("tail", 7, None)
+        acme.save()
+        assert acme.get("tail") == 100
+        assert globex.get("tail") == 7
+        assert acme.get_signature("tail") == {"kind": "sig"}
+        assert globex.get_signature("tail") is None
+        # The backing store sees the prefixed keys, nothing else.
+        reloaded = CheckpointStore(tmp_path / "shared.json")
+        assert reloaded.get("acme/tail") == 100
+        assert reloaded.get("globex/tail") == 7
+        assert reloaded.get("tail") == 0
+
+    def test_legacy_unprefixed_keys_are_untouched(self, tmp_path):
+        store = CheckpointStore(tmp_path / "shared.json")
+        store.update("tail", 42)
+        view = store.namespaced("acme")
+        view.update("tail", 5)
+        assert store.get("tail") == 42
+        assert view.get("tail") == 5
+
+    @pytest.mark.parametrize("bad", ["", "a/b", "/"])
+    def test_invalid_namespace_rejected(self, bad, tmp_path):
+        store = CheckpointStore(tmp_path / "shared.json")
+        with pytest.raises(ValueError, match="namespace"):
+            store.namespaced(bad)

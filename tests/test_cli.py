@@ -352,3 +352,101 @@ class TestStats:
         output = capsys.readouterr().out
         assert "serving metrics on http://127.0.0.1:" in output
         assert "autoscale:" in output
+
+
+class TestServe:
+    """The multi-tenant gateway command."""
+
+    @pytest.fixture
+    def gateway_spec(self, tmp_path):
+        history = tmp_path / "history.log"
+        live_a = tmp_path / "acme.log"
+        live_b = tmp_path / "globex.log"
+        main(["generate", "--dataset", "cloud", "--sessions", "80",
+              "--anomaly-rate", "0.0", "--seed", "3",
+              "--output", str(history)])
+        main(["generate", "--dataset", "cloud", "--sessions", "30",
+              "--anomaly-rate", "0.2", "--seed", "4",
+              "--output", str(live_a)])
+        main(["generate", "--dataset", "cloud", "--sessions", "20",
+              "--anomaly-rate", "0.0", "--seed", "5",
+              "--output", str(live_b)])
+        spec = tmp_path / "gateway.toml"
+        spec.write_text(
+            'detector = "keyword"\n'
+            "session_timeout = 10.0\n"
+            f'history = "{history}"\n'
+            "[tenants.acme]\n"
+            "[[tenants.acme.sources]]\n"
+            'type = "file"\n'
+            f'path = "{live_a}"\n'
+            "[tenants.globex]\n"
+            "[[tenants.globex.sources]]\n"
+            'type = "file"\n'
+            f'path = "{live_b}"\n'
+        )
+        return spec, history, live_a
+
+    def test_serve_once_tags_alerts_and_summarizes_tenants(
+            self, gateway_spec, capsys):
+        spec, _, _ = gateway_spec
+        capsys.readouterr()
+        exit_code = main(["serve", "--spec", str(spec), "--once"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "serving tenants: acme, globex" in output
+        assert "tenant=acme" in output  # live_a carries anomalies
+        assert "tenant acme" in output and "tenant globex" in output
+        assert "total alerts:" in output
+
+    def test_serve_rejects_single_tenant_spec(self, tmp_path):
+        spec = tmp_path / "plain.toml"
+        spec.write_text('detector = "keyword"\n')
+        with pytest.raises(SystemExit, match="repro tail"):
+            main(["serve", "--spec", str(spec), "--once"])
+
+    def test_serve_requires_tenant_history(self, gateway_spec, tmp_path):
+        text = gateway_spec[0].read_text()
+        spec = tmp_path / "nohist.toml"
+        spec.write_text("\n".join(
+            line for line in text.splitlines()
+            if not line.startswith("history")) + "\n")
+        with pytest.raises(SystemExit, match="training corpus"):
+            main(["serve", "--spec", str(spec), "--once"])
+
+    def test_serve_requires_tenant_sources(self, gateway_spec, tmp_path):
+        text = gateway_spec[0].read_text()
+        spec = tmp_path / "nosrc.toml"
+        spec.write_text(text + "[tenants.initech]\n")
+        with pytest.raises(SystemExit, match="initech"):
+            main(["serve", "--spec", str(spec), "--once"])
+
+    def test_stats_tenant_filters_the_scrape(self, gateway_spec, capsys):
+        spec, history, live = gateway_spec
+        capsys.readouterr()
+        exit_code = main([
+            "stats", "--history", str(history), "--live", str(live),
+            "--spec", str(spec),
+            "--scrape", "--tenant", "acme",
+        ])
+        assert exit_code == 0
+        text = capsys.readouterr().out
+        sample_lines = [line for line in text.splitlines()
+                        if line and not line.startswith("#")]
+        assert sample_lines
+        assert all('tenant="acme"' in line for line in sample_lines)
+        assert 'tenant="globex"' not in text
+
+    def test_stats_tenant_needs_multitenant_spec(self, tmp_path):
+        live = tmp_path / "live.log"
+        main(["generate", "--dataset", "cloud", "--sessions", "10",
+              "--output", str(live)])
+        with pytest.raises(SystemExit, match="tenants"):
+            main(["stats", "--history", str(live), "--live", str(live),
+                  "--tenant", "acme"])
+
+    def test_stats_unknown_tenant_rejected(self, gateway_spec):
+        spec, history, live = gateway_spec
+        with pytest.raises(SystemExit, match="declared"):
+            main(["stats", "--history", str(history), "--live", str(live),
+                  "--spec", str(spec), "--tenant", "nope"])

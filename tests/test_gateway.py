@@ -1,0 +1,338 @@
+"""Gateway tests: tenant isolation over shared pools.
+
+The tenancy tentpole's serving layer.  The claims, in order of how
+much they matter:
+
+* **alert parity** — a tenant served through the gateway produces
+  byte-identical alerts to the same spec running standalone (shared
+  executor, shared registry, and co-tenants change nothing);
+* **isolation** — tenants keep separate parser/detector state,
+  separate credit gates, separate checkpoint namespaces; one tenant's
+  failure shuts the gateway down without losing what others read;
+* **shared surfaces** — one executor instance, one metrics registry
+  with a ``tenant`` label on every family, one checkpoint file.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.api import Pipeline, PipelineSpec
+from repro.api.registry import REGISTRY
+from repro.core.validation import ConfigError
+from repro.gateway import Gateway, GatewayService, TenantAlert
+from repro.ingest import AsyncSourceAdapter, CheckpointStore
+
+from conftest import make_record
+
+
+def corpus(prefix, sessions=5, anomalous=()):
+    records = []
+    for session in range(sessions):
+        sid = f"{prefix}-{session}"
+        messages = [f"request {index} handled in 10 ms"
+                    for index in range(6)]
+        if session in anomalous:
+            messages[2:2] = ["backend error timeout detected"] * 3
+        for sequence, message in enumerate(messages):
+            records.append(make_record(
+                message, timestamp=float(session * 100 + sequence),
+                source=prefix, session_id=sid, sequence=sequence))
+    return records
+
+
+def two_tenant_spec(**base):
+    return PipelineSpec.from_dict({
+        "detector": "keyword",
+        "session_timeout": 5.0,
+        "tenants": {"acme": {}, "globex": {}},
+        **base,
+    })
+
+
+def alert_key(alert):
+    report = alert.report
+    return (report.report_id, report.session_id, alert.pool,
+            alert.criticality,
+            tuple((e.template_id, e.record.message) for e in report.events))
+
+
+class TestConstruction:
+    def test_requires_tenants(self):
+        with pytest.raises(ValueError, match="tenants"):
+            Gateway(PipelineSpec())
+
+    def test_tenants_in_declaration_order(self):
+        with Gateway(two_tenant_spec()) as gateway:
+            assert gateway.tenants == ["acme", "globex"]
+
+    def test_unknown_tenant_lookup_names_choices(self):
+        with Gateway(two_tenant_spec()) as gateway:
+            with pytest.raises(KeyError, match="acme"):
+                gateway.pipeline("nope")
+
+    def test_pipelines_share_one_executor(self):
+        with Gateway(two_tenant_spec()) as gateway:
+            assert gateway.pipeline("acme").executor \
+                is gateway.pipeline("globex").executor
+            assert gateway.pipeline("acme").executor is gateway.executor
+
+    def test_tenant_pipelines_are_streaming(self):
+        with Gateway(two_tenant_spec()) as gateway:
+            assert all(gateway.pipeline(name).streaming
+                       for name in gateway.tenants)
+
+    def test_registered_as_gateway_component(self):
+        assert REGISTRY.get("gateway", "standard").cls is Gateway
+
+    def test_tenant_metrics_port_is_stripped(self):
+        """One shared endpoint; a tenant's metrics_port must not
+        auto-start a private server."""
+        spec = two_tenant_spec()
+        spec = spec.replace(tenants={
+            "acme": {"telemetry": {"metrics_port": 0}}, "globex": {},
+        })
+        with Gateway(spec) as gateway:
+            assert gateway.pipeline("acme").metrics_server is None
+
+    def test_tenant_can_opt_out_of_telemetry(self):
+        spec = two_tenant_spec()
+        spec = spec.replace(tenants={
+            "acme": {"telemetry": {"enabled": False}}, "globex": {},
+        })
+        with Gateway(spec) as gateway:
+            assert not gateway.pipeline("acme").telemetry_enabled
+            assert gateway.pipeline("globex").telemetry_enabled
+
+
+class TestTelemetrySharing:
+    def test_every_family_carries_the_tenant_label(self):
+        with Gateway(two_tenant_spec()) as gateway:
+            gateway.fit(corpus("hist"))
+            gateway.process({"acme": corpus("live"),
+                             "globex": corpus("live")})
+            text = gateway.metrics_text()
+        for line in text.splitlines():
+            if line.startswith("#") or not line.strip():
+                continue
+            assert 'tenant="' in line, f"unlabeled sample: {line}"
+        assert 'tenant="acme"' in text and 'tenant="globex"' in text
+
+    def test_preamble_documents_the_label_convention(self):
+        with Gateway(two_tenant_spec()) as gateway:
+            text = gateway.metrics_text()
+        assert text.startswith("# ")
+        assert "tenant" in text.splitlines()[1]
+
+    def test_snapshot_filterable_per_tenant(self):
+        from repro.telemetry import filter_snapshot
+        with Gateway(two_tenant_spec()) as gateway:
+            gateway.fit(corpus("hist"))
+            gateway.process({"acme": corpus("live")})
+            snapshot = filter_snapshot(gateway.telemetry(), tenant="acme")
+        assert snapshot
+        for family in snapshot.values():
+            assert all(entry["labels"]["tenant"] == "acme"
+                       for entry in family["values"])
+
+
+class TestFit:
+    def test_dict_histories_must_cover_tenants_exactly(self):
+        with Gateway(two_tenant_spec()) as gateway:
+            with pytest.raises(ValueError, match="missing histories"):
+                gateway.fit({"acme": corpus("hist")})
+            with pytest.raises(ValueError, match="unknown tenants"):
+                gateway.fit({"acme": corpus("hist"),
+                             "globex": corpus("hist"),
+                             "nope": corpus("hist")})
+
+    def test_shared_iterable_fits_every_tenant(self):
+        with Gateway(two_tenant_spec()) as gateway:
+            gateway.fit(iter(corpus("hist")))
+            alerts = gateway.process({
+                "acme": corpus("live", anomalous=(1,)),
+                "globex": corpus("live"),
+            })
+        assert [a.tenant for a in alerts] == ["acme"]
+
+
+class TestOfflineParity:
+    def test_gateway_tenant_matches_standalone_pipeline(self):
+        """The parity invariant: shared pools and co-tenants change
+        nothing about one tenant's alerts."""
+        spec = two_tenant_spec()
+        history = corpus("hist")
+        live = corpus("live", anomalous=(1, 3))
+        noise = corpus("noise", sessions=8, anomalous=(0, 2, 4))
+
+        with Gateway(spec) as gateway:
+            gateway.fit(history)
+            tagged = gateway.process({"acme": live, "globex": noise})
+        gateway_alerts = [a.alert for a in tagged if a.tenant == "acme"]
+
+        standalone_spec = spec.tenant_spec("acme").replace(streaming=True)
+        with Pipeline(standalone_spec) as standalone:
+            standalone.fit(history)
+            standalone_alerts = standalone.run_all(live)
+
+        assert [alert_key(a) for a in gateway_alerts] == \
+            [alert_key(a) for a in standalone_alerts]
+
+    def test_unknown_process_tenant_raises(self):
+        with Gateway(two_tenant_spec()) as gateway:
+            gateway.fit(corpus("hist"))
+            with pytest.raises(KeyError, match="nope"):
+                gateway.process({"nope": corpus("live")})
+
+    def test_tenant_alert_summary_names_the_tenant(self):
+        with Gateway(two_tenant_spec()) as gateway:
+            gateway.fit(corpus("hist"))
+            alerts = gateway.process({"acme": corpus("live",
+                                                     anomalous=(1,))})
+        assert len(alerts) == 1
+        assert isinstance(alerts[0], TenantAlert)
+        assert alerts[0].summary().startswith("[acme]")
+
+
+class TestServing:
+    def _sources(self, per_tenant):
+        return {name: [AsyncSourceAdapter(records, name="mem")]
+                for name, records in per_tenant.items()}
+
+    def test_serve_tags_alerts_and_isolates_state(self):
+        with Gateway(two_tenant_spec()) as gateway:
+            gateway.fit(corpus("hist"))
+            service = gateway.serve(sources=self._sources({
+                "acme": corpus("live", anomalous=(1,)),
+                "globex": corpus("live"),
+            }))
+            alerts = asyncio.run(service.run())
+        assert [(a.tenant, a.alert.report.session_id) for a in alerts] == \
+            [("acme", "live-1")]
+        stats = service.stats()
+        assert stats["acme"].records_processed == len(
+            corpus("live", anomalous=(1,)))
+        assert stats["globex"].alerts == 0
+        assert "tenant acme" in service.summary()
+
+    def test_on_alert_sees_tagged_alerts_in_order(self):
+        seen = []
+        with Gateway(two_tenant_spec()) as gateway:
+            gateway.fit(corpus("hist"))
+            service = gateway.serve(
+                sources=self._sources({"acme": corpus("live", anomalous=(0,)),
+                                       "globex": corpus("live")}),
+                on_alert=seen.append,
+            )
+            alerts = asyncio.run(service.run())
+        assert seen == alerts
+
+    def test_shared_checkpoint_namespaces_per_tenant(self, tmp_path):
+        """Two tenants tailing a source with the same name commit to
+        disjoint keys of one store."""
+        path = tmp_path / "ckpt.json"
+        with Gateway(two_tenant_spec()) as gateway:
+            gateway.fit(corpus("hist"))
+            service = gateway.serve(
+                sources=self._sources({"acme": corpus("live"),
+                                       "globex": corpus("live", sessions=3)}),
+                checkpoint=path,
+            )
+            asyncio.run(service.run())
+        store = CheckpointStore(path)
+        assert store.get("acme/mem") == len(corpus("live"))
+        assert store.get("globex/mem") == len(corpus("live", sessions=3))
+        assert store.get("mem") == 0  # no un-namespaced key
+
+    def test_tenant_checkpoint_override_gets_its_own_store(self, tmp_path):
+        shared, private = tmp_path / "shared.json", tmp_path / "acme.json"
+        spec = two_tenant_spec(checkpoint=str(shared))
+        spec = spec.replace(tenants={
+            "acme": {"checkpoint": str(private)}, "globex": {},
+        })
+        with Gateway(spec) as gateway:
+            gateway.fit(corpus("hist"))
+            service = gateway.serve(sources=self._sources({
+                "acme": corpus("live"), "globex": corpus("live"),
+            }))
+            asyncio.run(service.run())
+        assert CheckpointStore(private).get("acme/mem") == len(corpus("live"))
+        assert CheckpointStore(shared).get("globex/mem") == len(corpus("live"))
+        assert CheckpointStore(shared).get("acme/mem") == 0
+
+    def test_serve_requires_sources_per_tenant(self):
+        with Gateway(two_tenant_spec()) as gateway:
+            gateway.fit(corpus("hist"))
+            with pytest.raises(ValueError, match="acme"):
+                gateway.serve()
+
+    def test_single_run_only(self):
+        with Gateway(two_tenant_spec()) as gateway:
+            gateway.fit(corpus("hist"))
+            service = gateway.serve(sources=self._sources({
+                "acme": corpus("live"), "globex": corpus("live"),
+            }))
+            asyncio.run(service.run())
+            with pytest.raises(RuntimeError, match="single run"):
+                asyncio.run(service.run())
+
+    def test_one_tenant_failure_stops_all_without_losing_reads(self):
+        """A dying tenant takes the gateway down cleanly: the error
+        propagates, and healthy tenants drain what they read."""
+
+        class Exploding(AsyncSourceAdapter):
+            async def items(self, start_offset=0):
+                raise RuntimeError("tenant backend on fire")
+                yield  # pragma: no cover - makes this an async generator
+
+        healthy = corpus("live")
+        with Gateway(two_tenant_spec()) as gateway:
+            gateway.fit(corpus("hist"))
+            service = gateway.serve(sources={
+                "acme": [Exploding(healthy, name="boom")],
+                "globex": [AsyncSourceAdapter(healthy, name="mem")],
+            })
+            with pytest.raises(RuntimeError, match="on fire"):
+                asyncio.run(service.run())
+        assert service.stats()["globex"].records_processed == len(healthy)
+
+
+class TestSpecValidation:
+    def test_bad_tenant_knob_reports_prefixed(self):
+        with pytest.raises(ConfigError) as failure:
+            PipelineSpec.from_dict({
+                "tenants": {"acme": {"credits": 0}},
+            })
+        assert any("tenants.acme" in line and "credits" in line
+                   for line in failure.value.errors)
+
+    def test_unknown_tenant_field_reports(self):
+        with pytest.raises(ConfigError) as failure:
+            PipelineSpec.from_dict({"tenants": {"acme": {"wat": 1}}})
+        assert any("tenants.acme" in line and "wat" in line
+                   for line in failure.value.errors)
+
+    def test_nested_tenants_rejected(self):
+        with pytest.raises(ConfigError) as failure:
+            PipelineSpec.from_dict({
+                "tenants": {"acme": {"tenants": {"sub": {}}}},
+            })
+        assert any("cannot nest" in line for line in failure.value.errors)
+
+    def test_bad_tenant_name_rejected(self):
+        with pytest.raises(ConfigError) as failure:
+            PipelineSpec.from_dict({"tenants": {"no/slash": {}}})
+        assert any("no/slash" in line for line in failure.value.errors)
+
+    def test_tenant_spec_applies_overrides(self):
+        spec = two_tenant_spec()
+        spec = spec.replace(tenants={"acme": {"credits": 7}, "globex": {}})
+        assert spec.tenant_spec("acme").credits == 7
+        assert spec.tenant_spec("acme").tenants == {}
+        assert spec.tenant_spec("globex").credits == spec.credits
+        with pytest.raises(KeyError, match="acme"):
+            spec.tenant_spec("nope")
+
+
+def test_gateway_service_type_is_exported():
+    assert GatewayService is not None

@@ -1,0 +1,259 @@
+"""Tests for the length-prefixed ``framed`` socket transport.
+
+The framing satellite of the multi-tenant gateway: tenant-carrying
+binary frames must round-trip records byte-identically, survive length
+prefixes split across TCP segments, and reject oversized or malformed
+frames by dropping the connection and re-dialing from a clean frame
+boundary — never by guessing a resync point inside a corrupt stream.
+``lines``/``jsonl`` parity pins that the new framing changed nothing
+for the legacy transports.
+"""
+
+import asyncio
+
+from repro.ingest import (
+    SocketSource,
+    encode_frame,
+    render_framed_record,
+    render_json_line,
+)
+from repro.logs.record import DEFAULT_TENANT
+
+from conftest import make_record
+
+
+def serve_chunks(chunk_lists, **source_kwargs):
+    """Serve ``chunk_lists[i]`` (a list of byte chunks, drained and
+    slightly spaced) to the i-th accepted connection; return the
+    ``(source, items)`` a framed SocketSource read from it."""
+
+    async def scenario():
+        connection = 0
+
+        async def serve(reader, writer):
+            nonlocal connection
+            chunks = chunk_lists[min(connection, len(chunk_lists) - 1)]
+            connection += 1
+            for chunk in chunks:
+                writer.write(chunk)
+                await writer.drain()
+                await asyncio.sleep(0.01)
+            writer.close()
+            if connection >= len(chunk_lists):
+                server.close()
+
+        server = await asyncio.start_server(serve, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        kwargs = {"name": "shipper", "framing": "framed",
+                  "reconnect": False, **source_kwargs}
+        source = SocketSource("127.0.0.1", port, **kwargs)
+        items = [item async for item in source.items()]
+        server.close()
+        await server.wait_closed()
+        return source, items
+
+    return asyncio.run(scenario())
+
+
+class TestFrameEncoding:
+    def test_encode_frame_layout(self):
+        frame = encode_frame("payload", tenant="acme")
+        body = b"\x00\x04" + b"acme" + b"payload"
+        assert frame == len(body).to_bytes(4, "big") + body
+
+    def test_empty_tenant_encodes_zero_length_header(self):
+        frame = encode_frame("p")
+        assert frame[:4] == (3).to_bytes(4, "big")
+        assert frame[4:6] == b"\x00\x00"
+
+    def test_oversized_tenant_rejected(self):
+        try:
+            encode_frame("p", tenant="x" * 70000)
+        except ValueError as error:
+            assert "tenant" in str(error)
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_render_framed_record_carries_record_tenant(self):
+        from dataclasses import replace
+        record = replace(make_record("m", timestamp=1.0), tenant="acme")
+        assert render_framed_record(record) == encode_frame(
+            render_json_line(record), tenant="acme")
+
+    def test_render_framed_record_default_tenant(self):
+        record = make_record("m", timestamp=1.0)
+        assert render_framed_record(record) == encode_frame(
+            render_json_line(record), tenant=DEFAULT_TENANT)
+
+    def test_render_json_line_omits_default_tenant(self):
+        """Legacy jsonl output stays byte-identical: the tenant key
+        only appears for non-default tenants."""
+        record = make_record("m", timestamp=1.0)
+        assert "tenant" not in render_json_line(record)
+        from dataclasses import replace
+        tagged = replace(record, tenant="acme")
+        assert '"tenant": "acme"' in render_json_line(tagged)
+
+
+class TestFramedTransport:
+    def test_round_trips_records_with_tenants(self):
+        from dataclasses import replace
+        records = [
+            replace(make_record(f"request {index} ok", timestamp=float(index),
+                                source="shipper", sequence=index,
+                                session_id=f"s{index % 2}"),
+                    tenant="acme" if index % 2 else DEFAULT_TENANT)
+            for index in range(6)
+        ]
+        chunks = [render_framed_record(record) for record in records]
+        source, items = serve_chunks([chunks])
+        assert [item.record for item in items] == records
+        assert [item.offset for item in items] == [1, 2, 3, 4, 5, 6]
+        assert [item.tenant for item in items] == \
+            [record.tenant for record in records]
+        assert source.frame_errors == 0
+
+    def test_frame_tenant_overrides_record_tenant(self):
+        record = make_record("m", timestamp=1.0)
+        frame = encode_frame(render_json_line(record), tenant="globex")
+        _, items = serve_chunks([[frame]])
+        assert items[0].record.tenant == "globex"
+        assert items[0].tenant == "globex"
+
+    def test_empty_frame_tenant_falls_back_to_source_default(self):
+        record = make_record("m", timestamp=1.0)
+        frame = encode_frame(render_json_line(record), tenant="")
+        _, items = serve_chunks([[frame]], tenant="globex")
+        assert items[0].record.tenant == "globex"
+
+    def test_embedded_newline_survives_one_frame(self):
+        record = make_record("trace:\n  frame 0\n  frame 1", timestamp=2.0,
+                             source="shipper")
+        _, items = serve_chunks([[render_framed_record(record)]])
+        assert len(items) == 1
+        assert items[0].record.message == record.message
+
+    def test_non_json_payload_falls_back_to_plain_conversion(self):
+        frame = encode_frame("not json at all", tenant="acme")
+        _, items = serve_chunks([[frame]])
+        assert items[0].record.message == "not json at all"
+        assert items[0].record.tenant == "acme"
+
+    def test_length_prefix_split_across_reads(self):
+        """readexactly must reassemble a header the TCP layer split."""
+        record = make_record("split prefix ok", timestamp=3.0,
+                             source="shipper")
+        frame = render_framed_record(record)
+        # 2 bytes of the length prefix, then the rest — each chunk is
+        # drained and spaced so the reader genuinely sees two reads.
+        _, items = serve_chunks([[frame[:2], frame[2:]]])
+        assert [item.record for item in items] == [record]
+
+    def test_body_split_across_reads(self):
+        record = make_record("split body ok", timestamp=4.0,
+                             source="shipper")
+        frame = render_framed_record(record)
+        middle = len(frame) // 2
+        _, items = serve_chunks([[frame[:middle], frame[middle:]]])
+        assert [item.record for item in items] == [record]
+
+    def test_oversized_frame_rejected_with_clean_reconnect(self):
+        """A frame above max_frame_bytes is a protocol error: count it,
+        drop the connection, re-dial, and read on from the next clean
+        frame boundary."""
+        record = make_record("after reconnect", timestamp=5.0,
+                             source="shipper")
+        oversized = (500).to_bytes(4, "big") + b"\x00\x00" + b"x" * 500
+        source, items = serve_chunks(
+            [[oversized], [render_framed_record(record)]],
+            reconnect=True, reconnect_delay=0.01, max_connect_attempts=1,
+            max_frame_bytes=256,
+        )
+        assert [item.record for item in items] == [record]
+        assert source.frame_errors == 1
+        assert source.connects == 2
+
+    def test_tenant_length_past_body_is_a_frame_error(self):
+        body = b"\x00\x63" + b"short"  # tenant length 99 > body
+        malformed = len(body).to_bytes(4, "big") + body
+        source, items = serve_chunks([[malformed]])
+        assert items == []
+        assert source.frame_errors == 1
+
+    def test_truncated_frame_at_eof_is_a_frame_error(self):
+        frame = render_framed_record(make_record("m", timestamp=1.0))
+        source, items = serve_chunks([[frame[:len(frame) - 3]]])
+        assert items == []
+        assert source.frame_errors == 1
+
+    def test_clean_eof_between_frames_is_not_an_error(self):
+        record = make_record("m", timestamp=1.0, source="shipper")
+        source, items = serve_chunks([[render_framed_record(record)]])
+        assert len(items) == 1
+        assert source.frame_errors == 0
+        assert source.disconnects == 1
+
+
+class TestFramingParity:
+    """The framed transport yields the very records jsonl yields."""
+
+    def _records(self):
+        return [
+            make_record(f"request {index} ok", timestamp=float(index),
+                        source="shipper", session_id=f"s{index % 3}",
+                        sequence=index)
+            for index in range(10)
+        ]
+
+    def test_framed_matches_jsonl_byte_for_byte(self):
+        records = self._records()
+        _, framed = serve_chunks(
+            [[render_framed_record(record) for record in records]])
+
+        async def jsonl_scenario():
+            async def serve(reader, writer):
+                for record in records:
+                    writer.write(render_json_line(record).encode() + b"\n")
+                await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_server(serve, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            source = SocketSource("127.0.0.1", port, name="shipper",
+                                  framing="jsonl", reconnect=False)
+            items = [item async for item in source.items()]
+            server.close()
+            await server.wait_closed()
+            return items
+
+        jsonl = asyncio.run(jsonl_scenario())
+        assert [item.record for item in framed] == \
+            [item.record for item in jsonl]
+        assert [item.offset for item in framed] == \
+            [item.offset for item in jsonl]
+
+
+class TestTlsOptionValidation:
+    def test_tls_options_require_tls(self):
+        try:
+            SocketSource("h", 1, tls_cafile="ca.pem")
+        except ValueError as error:
+            assert "tls" in str(error)
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_tls_verify_false_requires_tls(self):
+        try:
+            SocketSource("h", 1, tls_verify=False)
+        except ValueError as error:
+            assert "tls" in str(error)
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_tiny_max_frame_bytes_rejected(self):
+        try:
+            SocketSource("h", 1, framing="framed", max_frame_bytes=2)
+        except ValueError as error:
+            assert "max_frame_bytes" in str(error)
+        else:
+            raise AssertionError("expected ValueError")

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.logs.record import (
+    DEFAULT_TENANT,
     LogRecord,
     ParsedLog,
     Severity,
@@ -98,6 +99,14 @@ class TestLogRecord:
         with pytest.raises(AttributeError):
             record.message = "changed"
 
+    def test_tenant_defaults_and_participates_in_identity(self):
+        import dataclasses
+        record = make_record("m")
+        assert record.tenant == DEFAULT_TENANT
+        tagged = dataclasses.replace(record, tenant="acme")
+        assert tagged != record
+        assert hash(tagged) != hash(record) or tagged != record
+
 
 class TestParsedLog:
     def _parsed(self) -> ParsedLog:
@@ -125,6 +134,14 @@ class TestParsedLog:
         parsed = ParsedLog(record=record, template_id=0,
                            template=f"a {WILDCARD}", variables=())
         assert parsed.reconstruct() == f"a {WILDCARD}"
+
+    def test_tenant_delegates_to_record(self):
+        import dataclasses
+        parsed = self._parsed()
+        assert parsed.tenant == DEFAULT_TENANT
+        tagged = dataclasses.replace(
+            parsed, record=dataclasses.replace(parsed.record, tenant="acme"))
+        assert tagged.tenant == "acme"
 
 
 class TestTemplateOf:
