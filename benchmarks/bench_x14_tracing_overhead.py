@@ -1,0 +1,213 @@
+"""X14 — tracing overhead: strictly pay-for-what-you-sample.
+
+The observability tier (:mod:`repro.telemetry.tracing`) promises that
+end-to-end tracing is free when off and near-free when sampled low.
+Three checks, each load-bearing:
+
+* **alert identity** — alerts are byte-identical (report ids,
+  sessions, events, pools, criticality) with tracing off, fully on
+  (rate 1.0), and sparsely sampled (rate 0.01), under the serial,
+  thread, and process executors.  Instrumentation reads clocks and
+  counters, never state;
+* **throughput bound** — a rate-0.01 traced run must keep at least
+  95% of the untraced (telemetry on, tracing off) pipeline's record
+  throughput — interleaved best-of-N on a chunked offline stream; an
+  unsampled batch costs one counter increment, nothing more;
+* **provenance completeness** — in a traced run *every* alert (not
+  just sampled ones) resolves through ``Pipeline.explain`` to its
+  source names, checkpoint offsets, template ids, detector window,
+  and pool decision.  Alerts are rare; causality must not be.
+"""
+
+import os
+import time
+
+from conftest import once
+from repro.api import Pipeline, PipelineSpec
+from repro.eval import Table
+from repro.logs.record import LogRecord, Severity
+
+_SMOKE = bool(os.environ.get("MONILOG_BENCH_SMOKE"))
+_SESSIONS = 150 if _SMOKE else 700
+#: The identity matrix runs on _SESSIONS; the throughput comparison
+#: drains a larger corpus so each round is long enough that scheduler
+#: noise does not swamp a sub-5% bound.
+_TIMING_SESSIONS = 800 if _SMOKE else 2000
+_TIMING_REPEATS = 5 if _SMOKE else 7
+_CHUNK = 256
+_SESSION_TIMEOUT = 30.0
+_GAP_S = 40.0  # event-time gap between sessions (> session timeout)
+_SPARSE_RATE = 0.01
+#: A sparsely sampled run must keep this fraction of the untraced
+#: pipeline's throughput.
+_MIN_THROUGHPUT_RATIO = 0.95
+_EXECUTORS = ("serial", "thread", "process")
+_TELEMETRY = {
+    "off": {},
+    "full": {"enabled": True, "tracing": True},
+    "sampled": {"enabled": True, "tracing": True,
+                "trace_sample_rate": _SPARSE_RATE},
+}
+#: Timing baseline: telemetry on, tracing off — the ratio isolates the
+#: *marginal* cost of sampled tracing, not of metric collection.
+_UNTRACED = {"enabled": True}
+
+
+def _sessions(prefix, count, anomalous_every):
+    records = []
+    for session in range(count):
+        sid = f"{prefix}-{session}"
+        start = session * _GAP_S
+        request = session * 1000 + 31
+        messages = (
+            [f"request {request} accepted"]
+            + [f"request {request} fetched 4096 bytes"] * 3
+            + (["backend timeout error detected",
+                "retrying request now please"] * 2
+               if anomalous_every and session % anomalous_every == 2 else [])
+            + [f"request {request} completed fine"]
+        )
+        for sequence, message in enumerate(messages):
+            severity = (Severity.ERROR if "error" in message
+                        else Severity.INFO)
+            records.append(LogRecord(
+                timestamp=round(start + sequence * 0.040, 3),
+                source=prefix, severity=severity, message=message,
+                session_id=sid, sequence=sequence,
+            ))
+    return records
+
+
+def _alert_key(alert):
+    return (alert.report.report_id, alert.report.session_id,
+            alert.report.events, alert.pool, alert.criticality)
+
+
+def _spec(executor, telemetry):
+    return PipelineSpec.from_dict({
+        "detector": "keyword",
+        "executor": executor,
+        "shards": 2,
+        "detector_shards": 2,
+        "batch_size": 64,
+        "session_timeout": _SESSION_TIMEOUT,
+        "telemetry": dict(telemetry),
+    })
+
+
+def _run(spec, history, live):
+    with Pipeline.from_spec(spec) as pipeline:
+        pipeline.fit(history)
+        alerts = pipeline.process(live)
+    return [_alert_key(alert) for alert in alerts]
+
+
+def _drain_once(telemetry, history, live):
+    """One fit + chunked drain; returns its wall seconds."""
+    with Pipeline.from_spec(_spec("serial", telemetry)) as pipeline:
+        pipeline.fit(history)
+        start = time.perf_counter()
+        for cursor in range(0, len(live), _CHUNK):
+            pipeline.process(live[cursor:cursor + _CHUNK])
+        return time.perf_counter() - start
+
+
+def _timed_pair(history, live):
+    """Interleaved best-of-N drains: (untraced rec/s, sampled rec/s).
+
+    Interleaving the two variants repeat by repeat decorrelates the
+    comparison from machine drift — each variant's best round is drawn
+    from the same stretch of wall clock.
+    """
+    best = {"untraced": float("inf"), "sampled": float("inf")}
+    for _ in range(_TIMING_REPEATS):
+        best["untraced"] = min(
+            best["untraced"], _drain_once(_UNTRACED, history, live))
+        best["sampled"] = min(
+            best["sampled"],
+            _drain_once(_TELEMETRY["sampled"], history, live))
+    return len(live) / best["untraced"], len(live) / best["sampled"]
+
+
+def bench_x14_tracing_overhead(benchmark, emit, snapshot):
+    history = _sessions("hist", 8, anomalous_every=0)
+    live = _sessions("live", _SESSIONS, anomalous_every=3)
+    # Alert-sparse (4%) like production streams: the throughput bound
+    # is about what *unsampled batches* cost, not per-alert provenance.
+    timing_live = _sessions("timing", _TIMING_SESSIONS, anomalous_every=25)
+
+    def measure():
+        # Alert identity: off / full / sampled × three executors.
+        matrix = {}
+        for executor in _EXECUTORS:
+            for mode, telemetry in _TELEMETRY.items():
+                matrix[(executor, mode)] = _run(
+                    _spec(executor, telemetry), history, live)
+        # Throughput: untraced baseline vs sparsely sampled.
+        off_rate, sampled_rate = _timed_pair(history, timing_live)
+        return matrix, off_rate, sampled_rate
+
+    matrix, off_rate, sampled_rate = once(benchmark, measure)
+
+    reference = matrix[("serial", "off")]
+    assert reference, "the injected error sessions must produce alerts"
+    for (executor, mode), keys in matrix.items():
+        assert keys == reference, (
+            f"alerts diverged under executor={executor!r} "
+            f"tracing={mode!r} — tracing must be byte-transparent"
+        )
+
+    ratio = sampled_rate / off_rate
+    assert ratio >= _MIN_THROUGHPUT_RATIO, (
+        f"rate-{_SPARSE_RATE} tracing kept only {ratio:.1%} of the "
+        f"untraced throughput (bound {_MIN_THROUGHPUT_RATIO:.0%}) — "
+        "unsampled batches must cost one counter increment"
+    )
+
+    # Provenance completeness: every alert of a traced run explains
+    # back to offsets and template ids, sampled or not.
+    explained = 0
+    with Pipeline.from_spec(_spec("serial", _TELEMETRY["sampled"])) \
+            as pipeline:
+        pipeline.fit(history)
+        alerts = pipeline.process(live)
+        for alert in alerts:
+            provenance = pipeline.explain(alert.report.report_id)
+            report = alert.report
+            assert provenance.session_id == report.session_id
+            assert len(provenance.records) == len(report.events)
+            for event, (source, offset, template_id) in zip(
+                    report.events, provenance.records):
+                assert source == event.source
+                assert offset == event.record.sequence
+                assert template_id == event.template_id
+            explained += 1
+        dump = pipeline.trace_dump()
+    assert explained == len(alerts)
+
+    table = Table(
+        f"X14 — tracing overhead: identity over {len(live):,} records, "
+        f"throughput over {len(timing_live):,} (keyword detector)",
+        ["mode", "records/s", "vs untraced", "alerts"],
+    )
+    table.add_row("untraced", f"{off_rate:,.0f}", "1.00x",
+                  len(reference))
+    table.add_row(f"sampled ({_SPARSE_RATE})", f"{sampled_rate:,.0f}",
+                  f"{ratio:.2f}x", len(reference))
+    emit()
+    emit(table.render())
+    emit(f"\nalerts byte-identical across {len(matrix)} "
+         f"executor x tracing cells; {explained} alerts explained to "
+         f"offsets + template ids ({len(dump['spans'])} spans sampled "
+         f"at rate {_SPARSE_RATE})")
+    snapshot("x14_tracing_overhead", {
+        "records": len(live),
+        "identity_cells": len(matrix),
+        "alerts": len(reference),
+        "explained": explained,
+        "untraced_records_per_s": round(off_rate, 1),
+        "sampled_records_per_s": round(sampled_rate, 1),
+        "throughput_ratio": round(ratio, 4),
+        "sample_rate": _SPARSE_RATE,
+        "sampled_spans": len(dump["spans"]),
+    })

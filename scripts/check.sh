@@ -5,12 +5,15 @@
 # plus seconds-scale smoke runs of the Fig. 1 pipeline bench, the X9
 # parallel-shards bench, the X10 async-ingestion bench, the X11
 # autoscale-convergence bench, the X12 elastic-resharding bench, the
-# X13 multi-tenant-gateway bench (with a schema check of every
-# machine-readable BENCH_*.json snapshot the smokes wrote), a
-# spec-file-driven CLI pipeline run (examples/pipeline.toml), a
-# telemetry-exposition smoke (`repro stats` JSON + a --metrics-port
-# Prometheus scrape over real HTTP), and a framed-TLS `repro serve`
-# round-trip over an ephemeral self-signed certificate.
+# X13 multi-tenant-gateway bench, the X14 tracing-overhead bench (with
+# a schema check of every machine-readable BENCH_*.json snapshot the
+# smokes wrote), a spec-file-driven CLI pipeline run
+# (examples/pipeline.toml), a telemetry-exposition smoke (`repro
+# stats` JSON + a --metrics-port Prometheus scrape over real HTTP), a
+# tracing smoke (`repro pipeline --trace` then `repro explain` on the
+# first alert id), a /healthz + /readyz probe of a live `repro serve
+# --once`, and a framed-TLS `repro serve` round-trip over an ephemeral
+# self-signed certificate.
 #
 #   scripts/check.sh            # full gate
 #   scripts/check.sh -k drain   # extra args go to the tier-1 pytest
@@ -93,6 +96,12 @@ MONILOG_BENCH_SMOKE=1 python -m pytest \
     benchmarks/bench_x13_multitenant_gateway.py \
     -q -p no:cacheprovider --benchmark-disable
 
+echo
+echo "== smoke: benchmarks/bench_x14_tracing_overhead.py =="
+MONILOG_BENCH_SMOKE=1 python -m pytest \
+    benchmarks/bench_x14_tracing_overhead.py \
+    -q -p no:cacheprovider --benchmark-disable
+
 # The benches persist machine-readable snapshots next to their printed
 # tables (benchmarks/conftest.py `snapshot` fixture); validate every
 # BENCH_*.json against the shared schema — a `smoke` bool plus numeric
@@ -124,8 +133,14 @@ with open("benchmarks/results/BENCH_x13_multitenant_gateway.json") as fh:
 assert x13["noisy_credit_waits"] > 0, x13
 ratio = x13["quiet_noisy_ratio"]
 assert ratio <= 0.75, x13
+with open("benchmarks/results/BENCH_x14_tracing_overhead.json") as fh:
+    x14 = json.load(fh)
+tratio = x14["throughput_ratio"]
+assert tratio >= 0.95, x14
+assert x14["explained"] == x14["alerts"] > 0, x14
 print(f"{len(paths)} bench snapshots well-formed "
-      f"(x13 quiet/noisy drain ratio {ratio:.2f})")'
+      f"(x13 quiet/noisy drain ratio {ratio:.2f}, "
+      f"x14 traced throughput ratio {tratio:.2f})")'
 
 echo
 echo "== smoke: repro pipeline --spec examples/pipeline.toml =="
@@ -167,6 +182,136 @@ for line in text.splitlines():
     if line and not line.startswith("#"):
         float(line.rpartition(" ")[2])
 print(f"Prometheus exposition well-formed: {len(text.splitlines())} lines")'
+
+echo
+echo "== smoke: repro pipeline --trace -> repro explain (alert provenance) =="
+# End-to-end causality: trace a run, dump the span + provenance JSON,
+# and resolve the first printed alert id back to source offsets and
+# template ids through `repro explain` — plus byte-identity of the
+# alert lines against the same run untraced.
+trace_out="$(python -m repro pipeline --history "$spec_tmp/history.log" \
+    --live "$spec_tmp/live.log" --detector keyword \
+    --trace --trace-dump "$spec_tmp/trace.json")"
+dark_out="$(python -m repro pipeline --history "$spec_tmp/history.log" \
+    --live "$spec_tmp/live.log" --detector keyword)"
+[ "$(echo "$trace_out" | grep 'pool=')" = "$(echo "$dark_out" | grep 'pool=')" ] \
+    || { echo "tracing changed the printed alerts"; exit 1; }
+alert_id="$(echo "$trace_out" | grep -o 'report #[0-9]*' | head -n 1 \
+    | grep -o '[0-9]*')"
+[ -n "$alert_id" ] || { echo "traced run produced no alerts"; exit 1; }
+explain_out="$(python -m repro explain "$alert_id" \
+    --trace-file "$spec_tmp/trace.json")"
+echo "$explain_out" | grep -q "alert #$alert_id" \
+    || { echo "explain did not resolve alert #$alert_id"; exit 1; }
+echo "$explain_out" | grep -q "source offsets:" \
+    || { echo "explain carried no source offsets"; exit 1; }
+echo "$explain_out" | grep -q "templates (" \
+    || { echo "explain carried no template inventory"; exit 1; }
+echo "alert #$alert_id explained to offsets + templates; traced run byte-identical"
+
+echo
+echo "== smoke: /healthz + /readyz during repro serve --once =="
+# Liveness/readiness over real HTTP while the gateway serves: a plain
+# framed-socket emitter holds its connection open a few seconds so the
+# serve stays up long enough to probe both endpoints.
+python - "$spec_tmp/plainport" << 'PY' &
+import asyncio, sys
+from repro.ingest import render_framed_record
+from repro.logs.record import LogRecord, Severity
+
+portfile = sys.argv[1]
+records = []
+for session in range(6):
+    sid = f"s{session}"
+    messages = [f"request {session * 10 + i} handled fine" for i in range(5)]
+    if session == 4:
+        messages[2:2] = ["backend timeout error detected"] * 3
+    for sequence, message in enumerate(messages):
+        records.append(LogRecord(
+            timestamp=float(session * 100 + sequence), source="shipper",
+            severity=Severity.ERROR if "error" in message else Severity.INFO,
+            message=message, session_id=sid, sequence=sequence))
+
+async def main():
+    served = asyncio.Event()
+
+    async def handle(reader, writer):
+        for record in records:
+            writer.write(render_framed_record(record, tenant="acme"))
+        await writer.drain()
+        # Hold the stream open so --once keeps serving while the
+        # health probes run, then close to let it drain and exit.
+        await asyncio.sleep(3.0)
+        writer.close()
+        served.set()
+
+    server = await asyncio.start_server(handle, "127.0.0.1", 0)
+    with open(portfile, "w") as handle_:
+        handle_.write(str(server.sockets[0].getsockname()[1]))
+    try:
+        await asyncio.wait_for(served.wait(), timeout=30)
+    finally:
+        server.close()
+        await server.wait_closed()
+
+asyncio.run(main())
+PY
+health_emitter_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$spec_tmp/plainport" ] && break
+    sleep 0.1
+done
+[ -s "$spec_tmp/plainport" ] || { echo "health emitter never bound"; exit 1; }
+cat > "$spec_tmp/health.toml" << TOML
+detector = "keyword"
+session_timeout = 10.0
+history = "$spec_tmp/history.log"
+[telemetry]
+tracing = true
+[tenants.acme]
+[[tenants.acme.sources]]
+type = "socket"
+host = "127.0.0.1"
+port = $(cat "$spec_tmp/plainport")
+framing = "framed"
+TOML
+python -m repro serve --spec "$spec_tmp/health.toml" --once \
+    --metrics-port 0 > "$spec_tmp/serve.out" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "serving metrics on" "$spec_tmp/serve.out" 2> /dev/null && break
+    sleep 0.1
+done
+metrics_url="$(grep -o 'http://[^/]*' "$spec_tmp/serve.out" | head -n 1)"
+[ -n "$metrics_url" ] || { echo "serve never announced its endpoint"; exit 1; }
+python - "$metrics_url" << 'PY'
+import json, sys, time, urllib.error, urllib.request
+url = sys.argv[1]
+with urllib.request.urlopen(f"{url}/healthz", timeout=10) as response:
+    assert json.load(response)["status"] == "alive"
+# Readiness converges once the ingest loop beats and the socket source
+# connects; poll until it does (the emitter holds the stream open).
+deadline = time.monotonic() + 10.0
+body = None
+while time.monotonic() < deadline:
+    try:
+        with urllib.request.urlopen(f"{url}/readyz", timeout=10) as response:
+            body = json.load(response)
+    except urllib.error.HTTPError as error:
+        body = json.load(error)
+    if (body["status"] == "ready"
+            and any(probe.endswith("ingest") for probe in body["probes"])):
+        break
+    time.sleep(0.1)
+assert body is not None and body["status"] == "ready", body
+assert any(probe.endswith("ingest") for probe in body["probes"]), body
+print(f"healthz alive, readyz ready ({len(body['probes'])} probes)")
+PY
+wait "$serve_pid"
+wait "$health_emitter_pid"
+grep -q "tenant=acme" "$spec_tmp/serve.out" \
+    || { echo "no tenant-tagged alert during the health smoke"; exit 1; }
+echo "health probes answered during a live serve"
 
 echo
 echo "== smoke: repro serve (framed TLS socket -> multi-tenant gateway) =="

@@ -69,6 +69,13 @@ from repro.parsing.masking import default_masker, no_masker
 from repro.telemetry.config import TelemetryConfig
 from repro.telemetry.instrument import PipelineTelemetry
 from repro.telemetry.server import MetricsServer
+from repro.telemetry.tracing import (
+    AlertProvenance,
+    HealthMonitor,
+    TraceContext,
+    Tracer,
+    TraceStore,
+)
 
 #: Distinguishes "caller said nothing" from an explicit ``None``
 #: (= one batch for the whole list) in :meth:`Pipeline.process`.
@@ -99,6 +106,16 @@ class Pipeline:
             one shared registry.  Passing one opts into telemetry even
             without a ``[telemetry]`` table (unless the table
             explicitly disables it).
+        tracer: a :class:`~repro.telemetry.tracing.Tracer` instance
+            overriding the spec-built one — the gateway passes each
+            tenant a tenant-scoped tracer over one shared
+            :class:`~repro.telemetry.tracing.TraceStore`.
+        health: a shared :class:`~repro.telemetry.tracing.HealthMonitor`
+            for ``/readyz`` probes (the gateway shares one across
+            tenants); defaults to a private monitor whenever telemetry
+            is enabled.
+        probe_scope: prefix for this pipeline's probe names on a
+            shared health monitor (the gateway passes ``"<tenant>."``).
 
     Lifecycle: :meth:`fit` → :meth:`process` / :meth:`process_record` /
     :meth:`run` → :meth:`flush` (streaming) → :meth:`close` (or use the
@@ -115,6 +132,9 @@ class Pipeline:
         detector_factory=None,
         executor: str | ShardExecutor | None = None,
         metrics_registry=None,
+        tracer: Tracer | None = None,
+        health: HealthMonitor | None = None,
+        probe_scope: str = "",
     ) -> None:
         if isinstance(spec, dict):
             spec = PipelineSpec.from_dict(spec)
@@ -188,6 +208,28 @@ class Pipeline:
         )
         if self._telemetry is not None:
             self._telemetry.attach_pipeline(self)
+        # -- tracing + provenance + readiness probes -------------------------
+        self._trace: TraceContext | None = None
+        self._probe_scope = probe_scope
+        if tracer is not None:
+            self._tracer: Tracer | None = tracer
+        elif telemetry_config is not None and telemetry_config.tracing:
+            self._tracer = Tracer(
+                TraceStore(telemetry_config.trace_buffer),
+                sample_rate=telemetry_config.trace_sample_rate,
+            )
+        else:
+            self._tracer = None
+        if self._tracer is not None and self._telemetry is not None:
+            self._telemetry.attach_tracer(self._tracer)
+        if health is not None:
+            self._health: HealthMonitor | None = health
+        else:
+            self._health = (HealthMonitor()
+                            if self._telemetry is not None else None)
+        if self._health is not None:
+            self._health.check(f"{probe_scope}pipeline",
+                               lambda: self._trained)
         autoscale_config = spec.autoscale_config()
         self.autoscaler = (
             AutoscaleController(autoscale_config, pipeline=self,
@@ -299,6 +341,75 @@ class Pipeline:
         return self._telemetry is not None
 
     @property
+    def tracing_enabled(self) -> bool:
+        return self._tracer is not None
+
+    @property
+    def tracer(self) -> Tracer | None:
+        """The span/provenance recorder (``None`` with tracing off)."""
+        return self._tracer
+
+    @property
+    def health(self) -> HealthMonitor | None:
+        """The readiness-probe aggregate behind ``/readyz``."""
+        return self._health
+
+    def explain(self, alert_id: int) -> AlertProvenance:
+        """Provenance of one delivered alert (``repro explain``).
+
+        ``alert_id`` is the report id printed as ``report #N`` in alert
+        summaries.  Raises ``KeyError`` for unknown ids and
+        ``RuntimeError`` when tracing is off.
+        """
+        if self._tracer is None:
+            raise RuntimeError(
+                "tracing is not enabled; set [telemetry] tracing = true "
+                "(or pass --trace) to record alert provenance"
+            )
+        return self._tracer.explain(alert_id)
+
+    def trace_spans(self, **filters):
+        """Retained spans (``trace_id=`` / ``name=`` / ``limit=`` filters)."""
+        if self._tracer is None:
+            return []
+        return self._tracer.store.spans(**filters)
+
+    def trace_dump(self) -> dict:
+        """The portable trace artifact: every retained span + every
+        provenance record, as plain JSON-ready dicts (written by
+        ``repro pipeline --trace-dump`` and read back by
+        ``repro explain --trace-file``)."""
+        if self._tracer is None:
+            raise RuntimeError("tracing is not enabled; nothing to dump")
+        store = self._tracer.store
+        return {
+            "sample_rate": self._tracer.sample_rate,
+            "buffered": len(store),
+            "evicted": store.evicted,
+            "spans": store.snapshot(),
+            "alerts": [provenance.as_dict()
+                       for provenance in self._tracer.provenance()],
+        }
+
+    # -- tracing plumbing (root spans per processing call) -----------------------
+
+    def _trace_begin(self, kind: str, records: int) -> TraceContext | None:
+        """Root (or adopt) the sampled trace for one processing call."""
+        ctx = self._tracer.begin(
+            kind,
+            records=records,
+            executor=self.executor.name,
+            shards=self.spec.shards,
+            detector_shards=self.detector_shards,
+        )
+        self._trace = ctx
+        return ctx
+
+    def _trace_end(self, ctx: TraceContext | None) -> None:
+        self._trace = None
+        self._tracer.finish(ctx)
+
+    @property
     def metrics_server(self) -> MetricsServer | None:
         """The running HTTP endpoint, if one was started."""
         return self._metrics_server
@@ -335,12 +446,20 @@ class Pipeline:
             if self.autoscaler is not None:
                 self.autoscaler.telemetry = self._telemetry
                 self._telemetry.attach_autoscale(self.autoscaler)
+        if self._health is None:
+            self._health = HealthMonitor()
+            self._health.check(f"{self._probe_scope}pipeline",
+                               lambda: self._trained)
         if port is None:
             port = (self._telemetry.config.metrics_port
                     if self._telemetry.config.metrics_port is not None
                     else 0)
-        self._metrics_server = MetricsServer(self._telemetry.registry,
-                                             port)
+        self._metrics_server = MetricsServer(
+            self._telemetry.registry, port,
+            trace_store=self._tracer.store if self._tracer is not None
+            else None,
+            health=self._health,
+        )
         return self._metrics_server
 
     # -- lifecycle: close -------------------------------------------------------
@@ -496,21 +615,39 @@ class Pipeline:
         one ``is None`` check per call.
         """
         telemetry = self._telemetry
-        if telemetry is None:
+        trace = self._trace
+        if telemetry is None and trace is None:
             return parse_in_batches(self.parser, records, batch_size)
-        start = telemetry.clock()
-        parsed = parse_in_batches(self.parser, records, batch_size)
-        telemetry.observe_parse(len(parsed), telemetry.clock() - start)
+        start = telemetry.clock() if telemetry is not None else 0.0
+        if trace is not None:
+            with trace.span("parse") as span:
+                parsed = parse_in_batches(self.parser, records, batch_size)
+                span.annotate(records=len(parsed),
+                              templates=self.parser.template_count)
+        else:
+            parsed = parse_in_batches(self.parser, records, batch_size)
+        if telemetry is not None:
+            telemetry.observe_parse(len(parsed), telemetry.clock() - start)
         return parsed
 
     def _push_sessionizer(self, event: ParsedLog) -> list[list[ParsedLog]]:
         """``sessionizer.push`` with the sessionize latency observed."""
         telemetry = self._telemetry
-        if telemetry is None:
+        trace = self._trace
+        if telemetry is None and trace is None:
             return self.sessionizer.push(event)
-        start = telemetry.clock()
-        closed = self.sessionizer.push(event)
-        telemetry.observe_sessionize(telemetry.clock() - start)
+        start = telemetry.clock() if telemetry is not None else 0.0
+        # Span only on record-granular traces: a batch trace would mint
+        # one sessionize span per record and flood the ring buffer.
+        if trace is not None and trace.kind == "record":
+            with trace.span("sessionize") as span:
+                closed = self.sessionizer.push(event)
+                span.annotate(closed=len(closed),
+                              open=self.sessionizer.open_sessions)
+        else:
+            closed = self.sessionizer.push(event)
+        if telemetry is not None:
+            telemetry.observe_sessionize(telemetry.clock() - start)
         return closed
 
     # -- scoring ----------------------------------------------------------------
@@ -526,12 +663,22 @@ class Pipeline:
             return None
         self._stats.windows_scored += 1
         telemetry = self._telemetry
-        if telemetry is None:
+        trace = self._trace
+        if telemetry is None and trace is None:
             result = self.detector.detect(window)
         else:
-            start = telemetry.clock()
-            result = self.detector.detect(window)
-            telemetry.observe_detect(1, telemetry.clock() - start)
+            start = telemetry.clock() if telemetry is not None else 0.0
+            if trace is not None:
+                with trace.span("detect") as span:
+                    result = self.detector.detect(window)
+                    span.annotate(session=window[0].windowing_key,
+                                  events=len(window),
+                                  score=result.score,
+                                  anomalous=result.anomalous)
+            else:
+                result = self.detector.detect(window)
+            if telemetry is not None:
+                telemetry.observe_detect(1, telemetry.clock() - start)
         if not result.anomalous:
             return None
         self._stats.anomalies_detected += 1
@@ -543,9 +690,20 @@ class Pipeline:
             detection=result,
         )
         self._report_counter += 1
-        alert = self.classifier.classify(report)
-        alert = self.pools.deliver(alert)
+        if trace is not None:
+            with trace.span("classify") as span:
+                predicted = self.classifier.classify(report)
+                alert = self.pools.deliver(predicted)
+                span.annotate(alert_id=report.report_id, pool=alert.pool,
+                              criticality=alert.criticality)
+        else:
+            predicted = self.classifier.classify(report)
+            alert = self.pools.deliver(predicted)
         self._stats.alerts_classified += 1
+        if self._tracer is not None:
+            self._tracer.record_alert(
+                alert, predicted_pool=predicted.pool,
+                trace_id=trace.trace_id if trace is not None else None)
         return alert
 
     def _detect_keyed(
@@ -565,11 +723,23 @@ class Pipeline:
             groups[shard].append(events)
         busy = [shard for shard in range(shards) if groups[shard]]
         telemetry = self._telemetry
+        trace = self._trace
         start = telemetry.clock() if telemetry is not None else 0.0
-        outcomes = self.executor.map(
-            _detect_shard,
-            [(self.detectors[shard], groups[shard]) for shard in busy],
-        )
+        if trace is not None:
+            with trace.span("detect") as span:
+                outcomes = self.executor.map(
+                    _detect_shard,
+                    [(self.detectors[shard], groups[shard])
+                     for shard in busy],
+                )
+                span.annotate(sessions=len(keyed_sessions),
+                              busy_shards=len(busy),
+                              executor=self.executor.name)
+        else:
+            outcomes = self.executor.map(
+                _detect_shard,
+                [(self.detectors[shard], groups[shard]) for shard in busy],
+            )
         if telemetry is not None:
             telemetry.observe_detect(len(keyed_sessions),
                                      telemetry.clock() - start)
@@ -601,6 +771,7 @@ class Pipeline:
             if len(events) >= self.spec.min_window_events
         ]
         results = self._detect_keyed(keyed)
+        trace = self._trace
         alerts: list[ClassifiedAlert] = []
         for (key, events), result in zip(keyed, results):
             self._stats.windows_scored += 1
@@ -614,8 +785,22 @@ class Pipeline:
                 detection=result,
             )
             self._report_counter += 1
-            alerts.append(self.pools.deliver(self.classifier.classify(report)))
+            if trace is not None:
+                with trace.span("classify") as span:
+                    predicted = self.classifier.classify(report)
+                    alert = self.pools.deliver(predicted)
+                    span.annotate(alert_id=report.report_id,
+                                  pool=alert.pool,
+                                  criticality=alert.criticality)
+            else:
+                predicted = self.classifier.classify(report)
+                alert = self.pools.deliver(predicted)
+            alerts.append(alert)
             self._stats.alerts_classified += 1
+            if self._tracer is not None:
+                self._tracer.record_alert(
+                    alert, predicted_pool=predicted.pool,
+                    trace_id=trace.trace_id if trace is not None else None)
         return alerts
 
     # -- lifecycle: offline processing ------------------------------------------
@@ -680,9 +865,23 @@ class Pipeline:
         path.  Output is identical for every choice.
         """
         self._require_trained("process")
-        if self.streaming:
-            return self._process_streaming(records, batch_size)
-        return self.process_offline(records, batch_size)
+        if self._tracer is None:
+            if self.streaming:
+                return self._process_streaming(records, batch_size)
+            return self.process_offline(records, batch_size)
+        if not isinstance(records, list):
+            records = list(records)
+        ctx = self._trace_begin("batch", len(records))
+        try:
+            if self.streaming:
+                alerts = self._process_streaming(records, batch_size)
+            else:
+                alerts = self.process_offline(records, batch_size)
+            if ctx is not None:
+                ctx.annotate(alerts=len(alerts))
+            return alerts
+        finally:
+            self._trace_end(ctx)
 
     def process_offline(
         self, records: Iterable[LogRecord], batch_size
@@ -757,13 +956,33 @@ class Pipeline:
                 "process_record() needs streaming mode; set spec.streaming "
                 "or call stream() first"
             )
+        if self._tracer is None:
+            return self._process_one(record)
+        ctx = self._trace_begin("record", 1)
+        try:
+            alerts = self._process_one(record)
+            if ctx is not None:
+                ctx.annotate(alerts=len(alerts))
+            return alerts
+        finally:
+            self._trace_end(ctx)
+
+    def _process_one(self, record: LogRecord) -> list[ClassifiedAlert]:
         telemetry = self._telemetry
-        if telemetry is None:
+        trace = self._trace
+        if telemetry is None and trace is None:
             parsed = self.parser.parse_record(record)
         else:
-            start = telemetry.clock()
-            parsed = self.parser.parse_record(record)
-            telemetry.observe_parse(1, telemetry.clock() - start)
+            start = telemetry.clock() if telemetry is not None else 0.0
+            if trace is not None:
+                with trace.span("parse") as span:
+                    parsed = self.parser.parse_record(record)
+                    span.annotate(records=1,
+                                  template_id=parsed.template_id)
+            else:
+                parsed = self.parser.parse_record(record)
+            if telemetry is not None:
+                telemetry.observe_parse(1, telemetry.clock() - start)
         self._stats.records_parsed += 1
         self._stats.templates_discovered = self.parser.template_count
         closed = self._push_sessionizer(parsed)
@@ -808,6 +1027,22 @@ class Pipeline:
         if self.sessionizer is None:
             return []
         closed = self.sessionizer.flush()
+        if self._tracer is None:
+            return self._score_closed(closed)
+        ctx = self._trace_begin("flush", 0)
+        try:
+            if ctx is not None:
+                ctx.annotate(sessions=len(closed))
+            alerts = self._score_closed(closed)
+            if ctx is not None:
+                ctx.annotate(alerts=len(alerts))
+            return alerts
+        finally:
+            self._trace_end(ctx)
+
+    def _score_closed(
+        self, closed: list[list[ParsedLog]]
+    ) -> list[ClassifiedAlert]:
         if self._sharded:
             return self.score_sessions(closed) if closed else []
         alerts = []
@@ -857,6 +1092,9 @@ class Pipeline:
             on_alert=on_alert,
             telemetry=self._telemetry,
             autoscale=self.autoscaler,
+            tracer=self._tracer,
+            health=self._health,
+            probe_scope=self._probe_scope,
         )
 
     # -- measurement ------------------------------------------------------------

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven commands covering the adoption path of a downstream user:
+Nine commands covering the adoption path of a downstream user:
 
 * ``generate`` — write a synthetic ground-truthed corpus to a log file
   (dashed Fig. 2 layout) for trying the tools on disk;
@@ -24,7 +24,15 @@ Seven commands covering the adoption path of a downstream user:
   through per-tenant back-pressured services over shared executor
   pools, alerts print tagged with their tenant, and one ``/metrics``
   endpoint serves every tenant with a ``tenant`` label (see
-  ``docs/gateway.md``).
+  ``docs/gateway.md``);
+* ``trace``    — run the pipeline with end-to-end tracing enabled and
+  print the sampled span table (source read → merge → parse → detect →
+  classify), with ``--stage``/``--last`` filters, ``--json``, and
+  ``--dump PATH`` for the full trace+provenance JSON;
+* ``explain``  — resolve one alert id to its full provenance: source
+  names and byte offsets, template ids, detector window and score,
+  and the pool decision — from a ``--trace-file`` dump or by rerunning
+  ``--history``/``--live`` with tracing forced on.
 
 ``--telemetry`` / ``--metrics-port`` / ``--autoscale`` arm the
 observability subsystem on ``pipeline`` and ``tail``: metrics serve at
@@ -135,6 +143,15 @@ def _nonnegative_float(text: str) -> float:
     return value
 
 
+def _sample_rate(text: str) -> float:
+    value = float(text)
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"sample rate must be in 0.0..1.0, got {value}"
+        )
+    return value
+
+
 def _socket_spec(text: str) -> tuple[str, int]:
     host, separator, port = text.rpartition(":")
     if not separator or not host:
@@ -196,6 +213,13 @@ def _spec_from_args(args: argparse.Namespace, **forced) -> PipelineSpec:
         if getattr(args, "metrics_port", None) is not None:
             telemetry["enabled"] = True
             telemetry["metrics_port"] = args.metrics_port
+        if getattr(args, "trace", None):
+            telemetry["enabled"] = True
+            telemetry["tracing"] = True
+        if getattr(args, "trace_sample_rate", None) is not None:
+            telemetry["enabled"] = True
+            telemetry["tracing"] = True
+            telemetry["trace_sample_rate"] = args.trace_sample_rate
         if telemetry != spec.telemetry:
             overrides["telemetry"] = telemetry
         autoscale = dict(spec.autoscale)
@@ -265,6 +289,18 @@ def _add_spec_flags(command: argparse.ArgumentParser,
         help="serve Prometheus metrics at /metrics and the JSON "
              "snapshot at /telemetry on this port while running "
              "(0 = free ephemeral port; implies --telemetry)",
+    )
+    command.add_argument(
+        "--trace", action="store_true", default=None,
+        help="enable sampled end-to-end tracing and alert provenance "
+             "(spec key: [telemetry] tracing; implies --telemetry); "
+             "alerts stay byte-identical, see `repro explain`",
+    )
+    command.add_argument(
+        "--trace-sample-rate", type=_sample_rate, metavar="RATE",
+        help="fraction of batches/records that carry a full span tree "
+             "(deterministic counter sampling, no RNG; 1.0 = all, "
+             "implies --trace; spec key: [telemetry] trace_sample_rate)",
     )
     command.add_argument(
         "--autoscale", action="store_true", default=None,
@@ -467,6 +503,17 @@ def _command_pipeline(args: argparse.Namespace) -> int:
                 f"{stats.templates_discovered} templates, "
                 f"{stats.anomalies_detected} anomalies"
             )
+        if pipeline.tracing_enabled and getattr(args, "trace_dump", None):
+            with open(args.trace_dump, "w", encoding="utf-8") as handle:
+                json.dump(pipeline.trace_dump(), handle, indent=2)
+            print(f"wrote trace dump to {args.trace_dump}")
+        if (pipeline.tracing_enabled and alerts
+                and getattr(args, "trace_dump", None)):
+            ids = ", ".join(
+                str(alert.report.report_id) for alert in alerts[:5])
+            print(f"explain an alert: repro explain <id> "
+                  f"--trace-file {args.trace_dump} "
+                  f"(ids: {ids}{', ...' if len(alerts) > 5 else ''})")
     return 0
 
 
@@ -501,13 +548,9 @@ def _command_stats(args: argparse.Namespace) -> int:
         if pipeline.autoscaler is not None:
             pipeline.autoscaler.tick()
         if args.scrape:
-            import urllib.request
-
             server = pipeline.start_metrics_server()
-            with urllib.request.urlopen(
-                f"{server.url}/metrics", timeout=10
-            ) as response:
-                print(response.read().decode("utf-8"), end="")
+            print(_scrape(f"{server.url}/metrics", args.scrape_timeout),
+                  end="")
         else:
             print(json.dumps(pipeline.telemetry(), indent=2))
         print(f"# {len(alerts)} alerts over {args.live}", file=sys.stderr)
@@ -531,13 +574,8 @@ def _stats_gateway(args: argparse.Namespace, spec) -> int:
         gateway.fit(history)
         alerts = gateway.process({name: live for name in gateway.tenants})
         if args.scrape:
-            import urllib.request
-
             server = gateway.start_metrics_server(args.metrics_port or 0)
-            with urllib.request.urlopen(
-                f"{server.url}/metrics", timeout=10
-            ) as response:
-                text = response.read().decode("utf-8")
+            text = _scrape(f"{server.url}/metrics", args.scrape_timeout)
             if args.tenant:
                 text = filter_prometheus(text, tenant=args.tenant)
             print(text, end="")
@@ -552,6 +590,113 @@ def _stats_gateway(args: argparse.Namespace, spec) -> int:
         )
         print(f"# {len(alerts)} alerts over {args.live} ({per_tenant})",
               file=sys.stderr)
+    return 0
+
+
+def _scrape(url: str, timeout: float) -> str:
+    """One HTTP GET with a bounded connect/read timeout.
+
+    ``urllib`` errors (connection refused, timeouts, DNS) all subclass
+    :class:`OSError`; a scrape failure becomes a one-line diagnosis
+    instead of a traceback.
+    """
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.read().decode("utf-8")
+    except OSError as error:
+        raise SystemExit(
+            f"repro: scrape of {url} failed: {error}") from None
+
+
+def _traced_pipeline(args: argparse.Namespace) -> Pipeline:
+    """Fit-and-process a pipeline with tracing forced on.
+
+    The rerun backbone of ``repro trace`` and ``repro explain``:
+    identical spec resolution to ``repro pipeline``, with
+    ``[telemetry] enabled/tracing`` forced true so every alert gets a
+    provenance record (alerts themselves are byte-identical to an
+    untraced run).
+    """
+    spec = _spec_from_args(args)
+    spec = spec.replace(
+        telemetry=dict(spec.telemetry, enabled=True, tracing=True))
+    history = _read_records(args.history, sessionize=True)
+    live = _read_records(args.live, sessionize=True)
+    pipeline = Pipeline.from_spec(spec)
+    pipeline.fit(history)
+    pipeline.process(live)
+    return pipeline
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    """Run with tracing on and print the sampled span table."""
+    with _traced_pipeline(args) as pipeline:
+        dump = pipeline.trace_dump()
+        if args.dump:
+            with open(args.dump, "w", encoding="utf-8") as handle:
+                json.dump(dump, handle, indent=2)
+            print(f"wrote trace dump to {args.dump}", file=sys.stderr)
+        spans = dump["spans"]
+        if args.stage:
+            spans = [span for span in spans if span["name"] == args.stage]
+        if args.last:
+            spans = spans[-args.last:]
+        if args.json:
+            print(json.dumps(spans, indent=2))
+        else:
+            table = Table(
+                f"{len(spans)} spans over {args.live} "
+                f"(sample rate {dump['sample_rate']}, "
+                f"{dump['evicted']} evicted)",
+                ["trace", "span", "duration_ms", "cpu_ms", "detail"],
+            )
+            for span in spans:
+                detail = ", ".join(
+                    f"{key}={value}"
+                    for key, value in sorted(span["attributes"].items()))
+                table.add_row(
+                    span["trace"], span["name"],
+                    f"{span['duration'] * 1000:.3f}",
+                    f"{span['cpu'] * 1000:.3f}",
+                    detail,
+                )
+            table.print()
+        print(f"# {len(dump['alerts'])} alerts carry provenance "
+              f"(repro explain <id>)", file=sys.stderr)
+    return 0
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    """Resolve one alert id to its provenance record."""
+    from repro.telemetry.tracing import AlertProvenance
+
+    if args.trace_file:
+        with open(args.trace_file, encoding="utf-8") as handle:
+            dump = json.load(handle)
+        ledger = {entry["alert_id"]: entry
+                  for entry in dump.get("alerts", [])}
+        if args.alert_id not in ledger:
+            known = ", ".join(str(alert_id) for alert_id in sorted(ledger))
+            raise SystemExit(
+                f"repro: no provenance for alert {args.alert_id} in "
+                f"{args.trace_file}; known ids: {known or '(none)'}"
+            )
+        print(AlertProvenance.from_dict(ledger[args.alert_id]).render())
+        return 0
+    if not (args.history and args.live):
+        raise SystemExit(
+            "repro: explain needs either --trace-file DUMP.json (from "
+            "`repro pipeline --trace --trace-dump` or `repro trace "
+            "--dump`) or --history/--live to rerun with tracing on"
+        )
+    with _traced_pipeline(args) as pipeline:
+        try:
+            provenance = pipeline.explain(args.alert_id)
+        except KeyError as error:
+            raise SystemExit(f"repro: {error.args[0]}") from None
+        print(provenance.render())
     return 0
 
 
@@ -791,6 +936,11 @@ def build_argument_parser() -> argparse.ArgumentParser:
                           help="training log file")
     pipeline.add_argument("--live", required=True, help="live log file")
     _add_spec_flags(pipeline)
+    pipeline.add_argument(
+        "--trace-dump", metavar="PATH",
+        help="with --trace: write the span + provenance JSON here for "
+             "offline `repro explain --trace-file PATH`",
+    )
     pipeline.set_defaults(handler=_command_pipeline)
 
     stats = commands.add_parser(
@@ -811,8 +961,64 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="on a multi-tenant spec, filter the exposition down to "
              "this tenant's samples (families carry a tenant label)",
     )
+    stats.add_argument(
+        "--scrape-timeout", type=_positive_float, default=5.0,
+        metavar="SECONDS",
+        help="connect/read timeout for the --scrape HTTP round-trip "
+             "(default 5.0; a failed scrape is a one-line error, not "
+             "a traceback)",
+    )
     _add_spec_flags(stats)
     stats.set_defaults(handler=_command_stats)
+
+    trace = commands.add_parser(
+        "trace",
+        help="run with end-to-end tracing and print the span table",
+    )
+    trace.add_argument("--history", required=True,
+                       help="training log file")
+    trace.add_argument("--live", required=True, help="live log file")
+    trace.add_argument(
+        "--stage", metavar="NAME",
+        help="show only spans of this stage (ingest, parse, "
+             "sessionize, detect, classify, batch, record, flush)",
+    )
+    trace.add_argument(
+        "--last", type=_positive_int, metavar="N",
+        help="show only the newest N matching spans",
+    )
+    trace.add_argument(
+        "--json", action="store_true",
+        help="print the matching spans as JSON instead of a table",
+    )
+    trace.add_argument(
+        "--dump", metavar="PATH",
+        help="also write the full span + provenance JSON here for "
+             "offline `repro explain --trace-file PATH`",
+    )
+    _add_spec_flags(trace)
+    trace.set_defaults(handler=_command_trace)
+
+    explain = commands.add_parser(
+        "explain",
+        help="resolve an alert id to sources, offsets, templates, "
+             "scores, and the pool decision",
+    )
+    explain.add_argument(
+        "alert_id", type=int, metavar="ALERT_ID",
+        help="the alert's report id (printed as 'report #N' in alert "
+             "summaries)",
+    )
+    explain.add_argument(
+        "--trace-file", metavar="PATH",
+        help="trace dump JSON written by `repro pipeline --trace "
+             "--trace-dump` or `repro trace --dump`",
+    )
+    explain.add_argument("--history", help="training log file (to rerun "
+                                           "with tracing forced on)")
+    explain.add_argument("--live", help="live log file (with --history)")
+    _add_spec_flags(explain)
+    explain.set_defaults(handler=_command_explain)
 
     tail = commands.add_parser(
         "tail",
@@ -878,7 +1084,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ValueError as error:
         raise SystemExit(f"repro: {error}") from None
     arguments = parser.parse_args(argv)
-    return arguments.handler(arguments)
+    try:
+        return arguments.handler(arguments)
+    except ConfigError as error:
+        # Late construction-time validation (e.g. a metrics port
+        # already in use) reads as a diagnosis, not a traceback.
+        raise SystemExit(f"repro: {error}") from None
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -56,6 +56,7 @@ from repro.ingest.service import IngestService, IngestStats
 from repro.logs.record import LogRecord
 from repro.telemetry.metrics import MetricsRegistry, ScopedRegistry
 from repro.telemetry.server import MetricsServer
+from repro.telemetry.tracing import HealthMonitor, Tracer, TraceStore
 
 #: The comment block the shared registry emits at the top of
 #: ``/metrics`` — the endpoint documents its own label convention.
@@ -130,11 +131,47 @@ class Gateway:
         )
         self._metrics_server: MetricsServer | None = None
         self._pipelines: dict[str, Pipeline] = {}
+        # Tracing and health follow the same shared/isolated split as
+        # metrics: one TraceStore ring and one HealthMonitor for the
+        # whole gateway, one Tracer per tracing tenant so every span
+        # and provenance record carries that tenant's name.  Dark
+        # tenants (telemetry ``enabled = false``) stay dark here too.
+        specs = {name: self._tenant_pipeline_spec(name)
+                 for name in spec.tenants}
+        registries = {name: self._tenant_registry(name)
+                      for name in spec.tenants}
+        configs = {
+            name: (specs[name].telemetry_config()
+                   if registries[name] is not None else None)
+            for name in spec.tenants
+        }
+        self._health: HealthMonitor | None = (
+            HealthMonitor()
+            if any(config is not None for config in configs.values())
+            else None
+        )
+        self._trace_store: TraceStore | None = None
+        for name, config in configs.items():
+            if config is not None and config.tracing:
+                self._trace_store = TraceStore(config.trace_buffer)
+                break
         for name in spec.tenants:
+            config = configs[name]
+            tracer = None
+            if (config is not None and config.tracing
+                    and self._trace_store is not None):
+                tracer = Tracer(
+                    self._trace_store,
+                    sample_rate=config.trace_sample_rate,
+                    tenant=name,
+                )
             self._pipelines[name] = Pipeline(
-                self._tenant_pipeline_spec(name),
+                specs[name],
                 executor=self.executor,
-                metrics_registry=self._tenant_registry(name),
+                metrics_registry=registries[name],
+                tracer=tracer,
+                health=self._health,
+                probe_scope=f"{name}.",
             )
 
     def _tenant_pipeline_spec(self, name: str) -> PipelineSpec:
@@ -328,6 +365,33 @@ class Gateway:
 
     # -- observability -----------------------------------------------------------
 
+    @property
+    def health(self) -> HealthMonitor | None:
+        """The shared probe aggregate (``/readyz``), or None when
+        every tenant runs dark."""
+        return self._health
+
+    @property
+    def trace_store(self) -> TraceStore | None:
+        """The shared span ring, or None when no tenant traces.
+
+        All tracing tenants share one ring (capacity from the first
+        tracing tenant's ``trace_buffer``); each span carries its
+        tenant name, so ``/traces?tenant=<name>`` scopes the view.
+        """
+        return self._trace_store
+
+    def explain(self, tenant: str, alert_id: int):
+        """One tenant's alert provenance (``repro explain``).
+
+        Delegates to that tenant's
+        :meth:`~repro.api.pipeline.Pipeline.explain`; KeyError names
+        the declared tenants, RuntimeError means the tenant does not
+        trace, and an unknown alert id raises KeyError listing the
+        ids the tenant's ledger knows.
+        """
+        return self.pipeline(tenant).explain(alert_id)
+
     def telemetry(self) -> dict:
         """The shared registry's JSON snapshot (all tenants)."""
         return self.registry.snapshot()
@@ -344,7 +408,11 @@ class Gateway:
         """Serve the shared registry over HTTP (one endpoint for all
         tenants); a second call returns the running server."""
         if self._metrics_server is None:
-            self._metrics_server = MetricsServer(self.registry, port)
+            self._metrics_server = MetricsServer(
+                self.registry, port,
+                trace_store=self._trace_store,
+                health=self._health,
+            )
         return self._metrics_server
 
     # -- lifecycle: close --------------------------------------------------------

@@ -145,6 +145,17 @@ class IngestService:
             :class:`~repro.autoscale.controller.AutoscaleController`;
             bound to this service and ticked from the run loop, it
             adjusts the credit budget and micro-batch knobs live.
+        tracer: optional :class:`~repro.telemetry.tracing.Tracer` (the
+            pipeline's); the service registers checkpoint offsets for
+            alert provenance and roots sampled ``ingest`` traces that
+            the pipeline's batch spans join.
+        health: optional
+            :class:`~repro.telemetry.tracing.HealthMonitor`; the run
+            loop heartbeats an ``ingest`` probe every iteration and
+            each source contributes a ``source:<name>`` pull check
+            (``/readyz`` sees flapping sockets and vanished files).
+        probe_scope: prefix for probe names on a shared monitor (the
+            gateway passes ``"<tenant>."``).
 
     One service instance supports one :meth:`run`.
     """
@@ -159,6 +170,9 @@ class IngestService:
         on_alert: Callable[[ClassifiedAlert], None] | None = None,
         telemetry=None,
         autoscale=None,
+        tracer=None,
+        health=None,
+        probe_scope: str = "",
     ) -> None:
         self.sources = list(sources)
         if not self.sources:
@@ -194,6 +208,16 @@ class IngestService:
             telemetry.attach_handoff(self.handoff)
         self.autoscale = autoscale.bind(self) if autoscale is not None \
             else None
+        self.tracer = tracer
+        self.health = health
+        self._probe = f"{probe_scope}ingest"
+        if health is not None:
+            for source in self.sources:
+                health.check(
+                    f"{probe_scope}source:{source.name}",
+                    # Bind per iteration; `healthy` is a live property.
+                    (lambda src=source: src.healthy),
+                )
         self._trackers: dict[str, OffsetTracker] = {}
         self._stop = asyncio.Event()
         self._started = False
@@ -265,8 +289,12 @@ class IngestService:
         stop_wait = asyncio.ensure_future(self._stop.wait())
         pending_get: asyncio.Future | None = None
         live = len(readers)
+        if self.health is not None:
+            self.health.beat(self._probe)
         try:
             while live > 0 and not self._stop.is_set():
+                if self.health is not None:
+                    self.health.beat(self._probe)
                 if pending_get is None:
                     pending_get = asyncio.ensure_future(arrivals.get())
                 done, _ = await asyncio.wait(
@@ -331,6 +359,12 @@ class IngestService:
             # poll cadence between every correction.
             interval = self.autoscale.config.interval
             timeout = interval if timeout is None else min(timeout, interval)
+        if self.health is not None:
+            # Keep the heartbeat fresher than the staleness budget even
+            # on an idle stream — an unbounded sleep would read as a
+            # wedged loop on /readyz.
+            beat = self.health.stale_after / 3
+            timeout = beat if timeout is None else min(timeout, beat)
         return timeout
 
     async def _on_idle(self) -> None:
@@ -384,6 +418,27 @@ class IngestService:
         records = [item.record for item in batch]
         if self.telemetry is not None:
             self.telemetry.observe_ingest_batch(len(records))
+        if self.tracer is not None:
+            # Offsets feed alert provenance for *every* batch; the
+            # sampled ingest trace (source read + merge attribution) is
+            # adopted by the pipeline's batch span inside the executor
+            # thread.  hand_off also records a negative decision so the
+            # pipeline never draws a second sample for this batch.
+            self.tracer.note_offsets(batch)
+            ctx = self.tracer.begin("ingest", records=len(batch))
+            if ctx is not None:
+                offsets_by_source: dict[str, list[int]] = {}
+                for item in batch:
+                    offsets_by_source.setdefault(
+                        item.source, []).append(item.offset)
+                for name, offsets in offsets_by_source.items():
+                    ctx.event("source.read", source=name,
+                              records=len(offsets),
+                              first_offset=min(offsets),
+                              last_offset=max(offsets))
+                ctx.event("merge", pending=self.merger.pending,
+                          late=self.merger.late)
+            self.tracer.hand_off(ctx)
         alerts = await loop.run_in_executor(None, self.handoff.submit, records)
         for item in batch:
             self._trackers[item.source].note_processed(item.offset)

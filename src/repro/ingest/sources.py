@@ -115,6 +115,17 @@ class AsyncLogSource:
 
     name: str
 
+    @property
+    def healthy(self) -> bool:
+        """Is the source currently able to deliver records?
+
+        Exported as the ``monilog_source_healthy`` gauge and consulted
+        by ``/readyz`` pull checks.  The default (always healthy) fits
+        sources with no degraded state (in-memory adapters); file tails
+        and sockets override it with their live transport state.
+        """
+        return True
+
     def items(self, start_offset: int = 0) -> AsyncIterator[SourceItem]:
         raise NotImplementedError
 
@@ -379,6 +390,20 @@ class FileTailSource(AsyncLogSource):
         self.rotations = 0
         self.truncations = 0
 
+    @property
+    def healthy(self) -> bool:
+        """The tailed file currently exists and is readable.
+
+        A follow-mode tail waiting for the file to appear reads as
+        degraded on purpose: an operator watching ``/readyz`` should
+        see "the file is not there" rather than a silent idle tail.
+        """
+        try:
+            os.stat(self.path)
+        except OSError:
+            return False
+        return True
+
     async def _read_chunk(self, handle) -> bytes:
         """One incremental read; subclassable to model storage latency."""
         return handle.read(self.chunk_size)
@@ -569,7 +594,9 @@ class SocketSource(AsyncLogSource):
     byte position); ``start_offset`` seeds the counter so checkpoint
     offsets stay monotone across restarts.  ``connects``,
     ``disconnects``, and ``frame_errors`` expose the transport's
-    health for stats.
+    health for stats; the live connected/disconnected state is the
+    :attr:`healthy` property, exported as the
+    ``monilog_source_healthy`` gauge and a ``/readyz`` pull check.
     """
 
     #: The byte stream → record framings the socket transport understands.
@@ -631,6 +658,17 @@ class SocketSource(AsyncLogSource):
         self.connects = 0
         self.disconnects = 0
         self.frame_errors = 0
+        self._connected = False
+
+    @property
+    def healthy(self) -> bool:
+        """Currently connected to the peer.
+
+        ``False`` before the first dial, between reconnect attempts,
+        and after the stream ends — the flapping-source signal the
+        ``monilog_source_healthy`` gauge and ``/readyz`` surface.
+        """
+        return self._connected
 
     async def _connect(self):
         """One dial, TLS-wrapped when configured."""
@@ -695,6 +733,7 @@ class SocketSource(AsyncLogSource):
                 continue
             failures = 0
             self.connects += 1
+            self._connected = True
             try:
                 while True:
                     if self.framing == "framed":
@@ -715,6 +754,7 @@ class SocketSource(AsyncLogSource):
                         record = replace(record, tenant=tenant)
                     yield SourceItem(record, self.name, offset, record.tenant)
             finally:
+                self._connected = False
                 writer.close()
                 try:
                     await writer.wait_closed()

@@ -5,7 +5,12 @@ pipeline's metric catalog and collector wiring
 (:class:`PipelineTelemetry`), a declarative config
 (:class:`TelemetryConfig`, the spec's ``[telemetry]`` table), and a
 stdlib-only HTTP endpoint (:class:`MetricsServer`) serving Prometheus
-text at ``/metrics`` and the JSON snapshot at ``/telemetry``.
+text at ``/metrics``, the JSON snapshot at ``/telemetry``, sampled
+spans at ``/traces``, and liveness/readiness probes at ``/healthz`` /
+``/readyz``.  :mod:`repro.telemetry.tracing` adds the causality tier:
+sampled end-to-end spans (:class:`Tracer` + :class:`TraceStore`),
+per-alert provenance (:class:`AlertProvenance`, ``repro explain``),
+and the :class:`HealthMonitor` probe aggregate.
 
 Enable it declaratively and everything wires itself through the one
 ``Pipeline`` seam::
@@ -34,20 +39,34 @@ from repro.telemetry.metrics import (
     filter_snapshot,
 )
 from repro.telemetry.server import MetricsServer
+from repro.telemetry.tracing import (
+    AlertProvenance,
+    HealthMonitor,
+    Span,
+    TraceContext,
+    Tracer,
+    TraceStore,
+)
 
 __all__ = [
+    "AlertProvenance",
     "BoundFamily",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
     "Gauge",
+    "HealthMonitor",
     "Histogram",
     "MetricsRegistry",
     "MetricsServer",
     "PipelineTelemetry",
     "RateMeter",
     "ScopedRegistry",
+    "Span",
     "TelemetryConfig",
+    "TraceContext",
+    "Tracer",
+    "TraceStore",
     "filter_prometheus",
     "filter_snapshot",
 ]

@@ -32,11 +32,24 @@ class TelemetryConfig:
             available via ``Pipeline.telemetry()``).
         rate_window: sliding-window width, in seconds, of the
             per-source arrival-rate meters.
+        tracing: record sampled end-to-end spans and per-alert
+            provenance (:mod:`repro.telemetry.tracing`).  Off by
+            default — tracing is strictly pay-for-what-you-sample and
+            this is the master switch for that cost.
+        trace_sample_rate: fraction of batches/records to trace,
+            ``0.0..1.0``.  Sampling is deterministic (every
+            ``round(1/rate)``-th candidate); alert provenance is
+            captured for every alert regardless of the rate.
+        trace_buffer: capacity (spans) of the in-process trace ring
+            buffer; oldest spans are evicted first.
     """
 
     enabled: bool = True
     metrics_port: int | None = None
     rate_window: float = 5.0
+    tracing: bool = False
+    trace_sample_rate: float = 1.0
+    trace_buffer: int = 2048
 
     def __post_init__(self) -> None:
         check = Validator(type(self).__name__)
@@ -56,4 +69,19 @@ class TelemetryConfig:
             and not isinstance(self.rate_window, bool)
             and self.rate_window > 0,
             "rate_window", f"must be > 0, got {self.rate_window!r}")
+        check.require(
+            isinstance(self.tracing, bool),
+            "tracing", f"must be a bool, got {self.tracing!r}")
+        check.require(
+            isinstance(self.trace_sample_rate, (int, float))
+            and not isinstance(self.trace_sample_rate, bool)
+            and 0.0 <= self.trace_sample_rate <= 1.0,
+            "trace_sample_rate",
+            f"must be in 0.0..1.0, got {self.trace_sample_rate!r}")
+        check.require(
+            isinstance(self.trace_buffer, int)
+            and not isinstance(self.trace_buffer, bool)
+            and self.trace_buffer >= 1,
+            "trace_buffer",
+            f"must be a whole number >= 1, got {self.trace_buffer!r}")
         check.done()

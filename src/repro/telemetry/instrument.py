@@ -70,6 +70,7 @@ class PipelineTelemetry:
         self._handoff = None
         self._ingest = None
         self._autoscale = None
+        self._tracer = None
         registry = self.registry
 
         # -- stage latencies and batch sizes (push) ----------------------------
@@ -167,6 +168,26 @@ class PipelineTelemetry:
         self.credit_wait_seconds = registry.counter(
             "monilog_credit_wait_seconds_total",
             "Seconds producers spent blocked on the credit gate")
+        self.source_healthy = registry.gauge(
+            "monilog_source_healthy",
+            "1 while a live source is connected/readable, 0 while degraded "
+            "(reconnecting socket, missing file)", ("source",))
+
+        # -- tracing / provenance (pulled from the tracer) ---------------------
+        self.traces_sampled = registry.counter(
+            "monilog_traces_sampled_total",
+            "End-to-end traces sampled into the ring buffer")
+        self.trace_spans = registry.counter(
+            "monilog_trace_spans_total", "Spans recorded (lifetime)")
+        self.trace_evictions = registry.counter(
+            "monilog_trace_evictions_total",
+            "Spans evicted from the ring buffer (grow trace_buffer if > 0)")
+        self.trace_buffered = registry.gauge(
+            "monilog_trace_buffered_spans",
+            "Spans currently retained in the ring buffer")
+        self.alert_provenance = registry.gauge(
+            "monilog_alert_provenance_records",
+            "Alert provenance ledger entries held for `repro explain`")
 
         # -- autoscale (pushed by the controller, pulled for gauges) -----------
         self.autoscale_ticks = registry.counter(
@@ -332,6 +353,27 @@ class PipelineTelemetry:
             self.credits_in_use.set(service.gate.in_use)
             self.credit_waits.set_total(service.gate.waits)
             self.credit_wait_seconds.set_total(service.gate.wait_seconds)
+            for source in service.sources:
+                self.source_healthy.labels(source=source.name).set(
+                    1 if getattr(source, "healthy", True) else 0)
+
+        self.registry.collect(collect)
+
+    def attach_tracer(self, tracer) -> None:
+        """Mirror the trace ring and provenance ledger sizes."""
+        already = self._tracer is not None
+        self._tracer = tracer
+        if already:
+            return
+
+        def collect() -> None:
+            tracer = self._tracer
+            store = tracer.store
+            self.traces_sampled.set_total(tracer.sampled)
+            self.trace_spans.set_total(store.added)
+            self.trace_evictions.set_total(store.evicted)
+            self.trace_buffered.set(len(store))
+            self.alert_provenance.set(len(tracer.alert_ids))
 
         self.registry.collect(collect)
 

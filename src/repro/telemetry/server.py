@@ -1,18 +1,27 @@
 """A stdlib-only HTTP endpoint serving the metrics registry.
 
-Two routes, mirroring the two exposition formats:
+Five routes, mirroring the exposition surfaces:
 
 * ``GET /metrics``    — Prometheus text format (version 0.0.4), the
   scrape target a monitoring stack points at;
 * ``GET /telemetry``  — the JSON snapshot, for humans and scripts
-  (``curl :9100/telemetry | jq .``).
+  (``curl :9100/telemetry | jq .``);
+* ``GET /traces``     — JSON spans from the trace ring buffer when a
+  :class:`~repro.telemetry.tracing.TraceStore` is attached
+  (``?trace=``, ``?name=``, ``?tenant=``, ``?limit=`` filters);
+* ``GET /healthz``    — liveness: 200 whenever the process can answer;
+* ``GET /readyz``     — readiness: 200/503 from the attached
+  :class:`~repro.telemetry.tracing.HealthMonitor` probes, with the
+  per-probe detail in the JSON body.
 
 The server is a ``ThreadingHTTPServer`` on a daemon thread: scrapes
 run concurrently with the pipeline (registry reads are thread-safe and
 collector-driven), binding to port ``0`` picks a free ephemeral port
 (tests and the ``--metrics-port 0`` CLI spelling), and :meth:`close`
-is idempotent.  No third-party dependency — the whole exposition path
-is ``http.server`` + the registry's own renderers.
+is idempotent.  A port that is already taken surfaces as a
+:class:`~repro.core.validation.ConfigError` naming the endpoint, not a
+raw ``OSError`` traceback.  No third-party dependency — the whole
+exposition path is ``http.server`` + the registry's own renderers.
 """
 
 from __future__ import annotations
@@ -20,34 +29,101 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs
 
+from repro.core.validation import ConfigError
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import HealthMonitor, TraceStore
 
 #: Content type of the Prometheus text exposition format.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
+_JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+#: Spans returned by ``/traces`` when no ``?limit=`` is given.
+DEFAULT_TRACE_LIMIT = 256
+
 
 class _Handler(BaseHTTPRequestHandler):
-    # The registry is attached to the *server* (one per MetricsServer);
-    # handlers are constructed per request by http.server.
+    # The registry/trace store/health monitor are attached to the
+    # *server* (one per MetricsServer); handlers are constructed per
+    # request by http.server.
 
     def do_GET(self) -> None:  # noqa: N802 - http.server's contract
         registry: MetricsRegistry = self.server.registry  # type: ignore[attr-defined]
-        path = self.path.split("?", 1)[0]
+        path, _, query = self.path.partition("?")
+        status = 200
         if path == "/metrics":
             body = registry.render_prometheus().encode("utf-8")
             content_type = PROMETHEUS_CONTENT_TYPE
         elif path in ("/telemetry", "/stats"):
             body = json.dumps(registry.snapshot(), indent=2).encode("utf-8")
-            content_type = "application/json; charset=utf-8"
+            content_type = _JSON_CONTENT_TYPE
+        elif path == "/traces":
+            store: TraceStore | None = self.server.trace_store  # type: ignore[attr-defined]
+            if store is None:
+                self.send_error(
+                    404, "tracing is not enabled ([telemetry] tracing)")
+                return
+            body = self._render_traces(store, query)
+            content_type = _JSON_CONTENT_TYPE
+        elif path == "/healthz":
+            # Liveness: a process that can answer HTTP is alive.
+            body = json.dumps({"status": "alive"}).encode("utf-8")
+            content_type = _JSON_CONTENT_TYPE
+        elif path == "/readyz":
+            health: HealthMonitor | None = self.server.health  # type: ignore[attr-defined]
+            if health is None:
+                ready, probes = True, {}
+            else:
+                ready, probes = health.ready()
+            status = 200 if ready else 503
+            body = json.dumps(
+                {"status": "ready" if ready else "unready",
+                 "probes": probes},
+                indent=2,
+            ).encode("utf-8")
+            content_type = _JSON_CONTENT_TYPE
         else:
-            self.send_error(404, "try /metrics or /telemetry")
+            self.send_error(
+                404, "try /metrics, /telemetry, /traces, /healthz, /readyz")
             return
-        self.send_response(200)
+        self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    @staticmethod
+    def _render_traces(store: TraceStore, query: str) -> bytes:
+        params = parse_qs(query)
+
+        def first(name: str) -> str | None:
+            values = params.get(name)
+            return values[0] if values else None
+
+        limit = DEFAULT_TRACE_LIMIT
+        raw_limit = first("limit")
+        if raw_limit is not None:
+            try:
+                limit = max(0, int(raw_limit))
+            except ValueError:
+                limit = DEFAULT_TRACE_LIMIT
+        spans = store.snapshot(
+            trace_id=first("trace"),
+            name=first("name"),
+            tenant=first("tenant"),
+            limit=limit,
+        )
+        return json.dumps(
+            {
+                "spans": spans,
+                "buffered": len(store),
+                "capacity": store.capacity,
+                "evicted": store.evicted,
+            },
+            indent=2,
+        ).encode("utf-8")
 
     def log_message(self, format: str, *args) -> None:
         """Silence per-request access logging (scrapes are periodic)."""
@@ -62,14 +138,28 @@ class MetricsServer:
             (read it back from :attr:`port`).
         host: bind address; loopback by default — exposing metrics
             beyond the host is a deployment decision, not a default.
+        trace_store: optional span ring buffer behind ``/traces``.
+        health: optional probe aggregate behind ``/readyz``.
     """
 
     def __init__(self, registry: MetricsRegistry, port: int = 0,
-                 host: str = "127.0.0.1") -> None:
+                 host: str = "127.0.0.1", *,
+                 trace_store: TraceStore | None = None,
+                 health: HealthMonitor | None = None) -> None:
         self.registry = registry
-        self._server = ThreadingHTTPServer((host, port), _Handler)
+        try:
+            self._server = ThreadingHTTPServer((host, port), _Handler)
+        except OSError as error:
+            # Port already taken (or unbindable host): a deployment
+            # problem, reported like every other config problem.
+            reason = error.strerror or str(error)
+            raise ConfigError("MetricsServer", [
+                f"metrics_port: cannot bind {host}:{port} ({reason})",
+            ]) from error
         self._server.daemon_threads = True
         self._server.registry = registry  # type: ignore[attr-defined]
+        self._server.trace_store = trace_store  # type: ignore[attr-defined]
+        self._server.health = health  # type: ignore[attr-defined]
         self._thread = threading.Thread(
             target=self._server.serve_forever,
             name="monilog-metrics",

@@ -1,0 +1,559 @@
+"""End-to-end tracing, alert provenance, and health/readiness probes.
+
+The observability tier's contracts: the span ring evicts oldest-first
+and counts what it dropped, sampling is deterministic (no RNG), every
+alert of a traced run round-trips through ``explain`` to sources /
+offsets / template ids, ``/healthz`` answers while ``/readyz``
+discriminates, and — the load-bearing claim — tracing never changes an
+alert (byte-identity on or off, every executor)."""
+
+import copy
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import Pipeline, PipelineSpec
+from repro.core.validation import ConfigError
+from repro.datasets import generate_cloud_platform
+from repro.telemetry import (
+    AlertProvenance,
+    HealthMonitor,
+    MetricsRegistry,
+    MetricsServer,
+    Span,
+    Tracer,
+    TraceStore,
+)
+
+
+def _alert_key(alert):
+    return (alert.report.report_id, alert.report.session_id,
+            alert.report.events, tuple(alert.report.detection.reasons),
+            alert.pool, alert.criticality)
+
+
+def _span(store_or_id, index=0, name="stage", trace_id="t-000001",
+          tenant="default"):
+    return Span(trace_id=trace_id, span_id=index, parent_id=None,
+                name=name, tenant=tenant, wall_start=float(index),
+                duration=0.001, cpu=0.001, attributes={"index": index})
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    data = generate_cloud_platform(sessions=60, anomaly_rate=0.1, seed=11)
+    cut = len(data.records) * 6 // 10
+    return data.records[:cut], data.records[cut:]
+
+
+class TestTraceStore:
+    def test_ring_evicts_oldest_first(self):
+        store = TraceStore(capacity=3)
+        for index in range(5):
+            store.add(_span(store, index))
+        assert len(store) == 3
+        assert store.added == 5
+        assert store.evicted == 2
+        # Survivors are the newest three, still oldest-first.
+        assert [span.span_id for span in store.spans()] == [2, 3, 4]
+
+    def test_filters_and_limit(self):
+        store = TraceStore(capacity=16)
+        store.add(_span(store, 0, name="parse", trace_id="a"))
+        store.add(_span(store, 1, name="detect", trace_id="a"))
+        store.add(_span(store, 2, name="parse", trace_id="b", tenant="acme"))
+        assert [s.span_id for s in store.spans(name="parse")] == [0, 2]
+        assert [s.span_id for s in store.spans(trace_id="a")] == [0, 1]
+        assert [s.span_id for s in store.spans(tenant="acme")] == [2]
+        # limit keeps the newest N, order preserved.
+        assert [s.span_id for s in store.spans(limit=2)] == [1, 2]
+        assert store.trace_ids() == ["a", "b"]
+
+    def test_rejects_degenerate_capacity(self):
+        with pytest.raises(ValueError):
+            TraceStore(capacity=0)
+
+    def test_span_dict_roundtrip(self):
+        span = _span(None, 7, name="detect", tenant="acme")
+        assert Span.from_dict(span.as_dict()) == span
+
+
+class TestDeterministicSampling:
+    def test_rate_one_samples_everything(self):
+        tracer = Tracer(TraceStore(64), sample_rate=1.0)
+        contexts = [tracer.begin("batch") for _ in range(5)]
+        assert all(ctx is not None for ctx in contexts)
+        assert tracer.sampled == 5
+
+    def test_rate_zero_samples_nothing(self):
+        tracer = Tracer(TraceStore(64), sample_rate=0.0)
+        assert all(tracer.begin("batch") is None for _ in range(10))
+        assert tracer.sampled == 0
+
+    def test_fractional_rate_is_every_nth(self):
+        tracer = Tracer(TraceStore(256), sample_rate=0.25)
+        decisions = [tracer.begin("batch") is not None for _ in range(12)]
+        # Counter-based: candidates 4, 8, 12 — no RNG, same corpus
+        # always samples the same batches.
+        assert decisions == [False, False, False, True] * 3
+
+    def test_handoff_transfers_ownership_without_resampling(self):
+        tracer = Tracer(TraceStore(64), sample_rate=1.0)
+        ctx = tracer.begin("ingest", records=3)
+        tracer.hand_off(ctx)
+        adopted = tracer.begin("batch", executor="serial")
+        assert adopted is ctx
+        assert tracer.sampled == 1  # no second sample for the batch
+
+    def test_handoff_of_negative_decision_skips(self):
+        tracer = Tracer(TraceStore(64), sample_rate=1.0)
+        tracer.hand_off(None)
+        assert tracer.begin("batch") is None
+        # The skip is consumed: the next candidate samples normally.
+        assert tracer.begin("batch") is not None
+
+    def test_spans_nest_under_root(self):
+        store = TraceStore(64)
+        tracer = Tracer(store, sample_rate=1.0, tenant="acme")
+        ctx = tracer.begin("batch", records=2)
+        with ctx.span("parse", records=2) as span:
+            span.annotate(templates=4)
+        ctx.event("merge", pending=0)
+        tracer.finish(ctx)
+        spans = store.spans()
+        assert [span.name for span in spans] == ["parse", "merge", "batch"]
+        parse, merge, root = spans
+        assert parse.parent_id == root.span_id
+        assert merge.parent_id == root.span_id
+        assert root.parent_id is None
+        assert parse.attributes["templates"] == 4
+        assert all(span.tenant == "acme" for span in spans)
+        assert all(span.trace_id == "acme-000001" for span in spans)
+
+
+class TestProvenance:
+    def test_every_alert_explains_to_offsets_and_templates(self, corpus):
+        train, live = corpus
+        spec = PipelineSpec(detector="keyword",
+                            telemetry={"enabled": True, "tracing": True})
+        with Pipeline.from_spec(spec) as pipeline:
+            pipeline.fit(train)
+            alerts = pipeline.process(live)
+            assert alerts, "corpus must produce alerts for the claim to bite"
+            for alert in alerts:
+                provenance = pipeline.explain(alert.report.report_id)
+                report = alert.report
+                assert provenance.alert_id == report.report_id
+                assert provenance.session_id == report.session_id
+                assert provenance.events == len(report.events)
+                assert provenance.sources == report.sources
+                # One (source, offset, template_id) triple per event,
+                # in window order; offline offsets are sequences.
+                assert len(provenance.records) == len(report.events)
+                for event, (source, offset, template_id) in zip(
+                        report.events, provenance.records):
+                    assert source == event.source
+                    assert offset == event.record.sequence
+                    assert template_id == event.template_id
+                assert set(provenance.template_ids) == {
+                    event.template_id for event in report.events}
+                rendered = provenance.render()
+                assert f"alert #{report.report_id}" in rendered
+                assert "source offsets:" in rendered
+
+    def test_unknown_alert_id_names_known_ids(self, corpus):
+        train, live = corpus
+        spec = PipelineSpec(detector="keyword",
+                            telemetry={"enabled": True, "tracing": True})
+        with Pipeline.from_spec(spec) as pipeline:
+            pipeline.fit(train)
+            pipeline.process(live)
+            with pytest.raises(KeyError, match="known alert ids"):
+                pipeline.explain(10**9)
+
+    def test_explain_requires_tracing(self, corpus):
+        with Pipeline.from_spec(PipelineSpec(detector="keyword")) as pipeline:
+            with pytest.raises(RuntimeError, match="tracing"):
+                pipeline.explain(0)
+
+    def test_provenance_dict_roundtrip(self, corpus):
+        train, live = corpus
+        spec = PipelineSpec(detector="keyword",
+                            telemetry={"enabled": True, "tracing": True})
+        with Pipeline.from_spec(spec) as pipeline:
+            pipeline.fit(train)
+            alerts = pipeline.process(live)
+            provenance = pipeline.explain(alerts[0].report.report_id)
+        # JSON round-trip: what `repro explain --trace-file` consumes.
+        payload = json.loads(json.dumps(provenance.as_dict()))
+        assert AlertProvenance.from_dict(payload) == provenance
+
+    def test_trace_dump_shape(self, corpus):
+        train, live = corpus
+        spec = PipelineSpec(detector="keyword",
+                            telemetry={"enabled": True, "tracing": True})
+        with Pipeline.from_spec(spec) as pipeline:
+            pipeline.fit(train)
+            alerts = pipeline.process(live)
+            dump = pipeline.trace_dump()
+        assert dump["sample_rate"] == 1.0
+        assert dump["buffered"] == len(dump["spans"])
+        stage_names = {span["name"] for span in dump["spans"]}
+        assert {"batch", "parse", "detect", "classify"} <= stage_names
+        assert len(dump["alerts"]) == len(alerts)
+
+
+class TestTracingNeutrality:
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_alerts_identical_traced_or_dark(self, corpus, executor):
+        train, live = corpus
+        base = dict(shards=2, detector_shards=2, detector="keyword",
+                    executor=executor, batch_size=64)
+        keys = []
+        for telemetry in ({}, {"enabled": True, "tracing": True},
+                          {"enabled": True, "tracing": True,
+                           "trace_sample_rate": 0.1}):
+            with Pipeline.from_spec(
+                    PipelineSpec(**base, telemetry=telemetry)) as pipeline:
+                pipeline.fit(train)
+                keys.append([_alert_key(alert)
+                             for alert in pipeline.process(live)])
+        assert keys[0], "corpus must produce alerts for the claim to bite"
+        assert keys[1] == keys[0]
+        assert keys[2] == keys[0]
+
+    def test_sampled_run_still_explains_every_alert(self, corpus):
+        train, live = corpus
+        spec = PipelineSpec(detector="keyword",
+                            telemetry={"enabled": True, "tracing": True,
+                                       "trace_sample_rate": 0.05})
+        with Pipeline.from_spec(spec) as pipeline:
+            pipeline.fit(train)
+            alerts = pipeline.process(live)
+            # Spans are sampled; provenance is not.
+            for alert in alerts:
+                assert pipeline.explain(alert.report.report_id) is not None
+
+
+class TestTracingConfig:
+    def test_defaults_off(self):
+        from repro.telemetry import TelemetryConfig
+        config = TelemetryConfig()
+        assert not config.tracing
+        assert config.trace_sample_rate == 1.0
+        assert config.trace_buffer == 2048
+
+    def test_validation_aggregates(self):
+        from repro.telemetry import TelemetryConfig
+        with pytest.raises(ConfigError) as failure:
+            TelemetryConfig(tracing="yes", trace_sample_rate=3.0,
+                            trace_buffer=0)
+        message = str(failure.value)
+        assert "tracing" in message
+        assert "trace_sample_rate" in message
+        assert "trace_buffer" in message
+
+
+class TestHealthMonitor:
+    def test_heartbeat_goes_stale(self):
+        now = [0.0]
+        monitor = HealthMonitor(stale_after=5.0, clock=lambda: now[0])
+        monitor.beat("ingest")
+        ready, probes = monitor.ready()
+        assert ready and probes["ingest"]["ready"]
+        now[0] = 6.0
+        ready, probes = monitor.ready()
+        assert not ready
+        assert not probes["ingest"]["ready"]
+        # A fresh beat recovers readiness.
+        monitor.beat("ingest")
+        assert monitor.ready()[0]
+
+    def test_pull_checks_and_flags(self):
+        monitor = HealthMonitor()
+        healthy = [True]
+        monitor.check("source:app", lambda: healthy[0])
+        monitor.set_ready("pipeline", True, "trained")
+        assert monitor.ready()[0]
+        healthy[0] = False
+        ready, probes = monitor.ready()
+        assert not ready
+        assert probes["source:app"]["detail"] == "check reported unready"
+
+    def test_raising_check_reads_unready(self):
+        monitor = HealthMonitor()
+        def boom():
+            raise OSError("stat failed")
+        monitor.check("source:gone", boom)
+        ready, probes = monitor.ready()
+        assert not ready
+        assert "stat failed" in probes["source:gone"]["detail"]
+
+
+class TestHealthEndpoints:
+    def test_healthz_always_alive_readyz_discriminates(self):
+        monitor = HealthMonitor()
+        monitor.set_ready("pipeline", False, "not trained")
+        registry = MetricsRegistry()
+        with MetricsServer(registry, port=0, health=monitor) as server:
+            with urllib.request.urlopen(
+                    f"{server.url}/healthz", timeout=10) as response:
+                assert json.loads(response.read())["status"] == "alive"
+            with pytest.raises(urllib.error.HTTPError) as failure:
+                urllib.request.urlopen(f"{server.url}/readyz", timeout=10)
+            assert failure.value.code == 503
+            body = json.loads(failure.value.read())
+            assert body["status"] == "unready"
+            assert body["probes"]["pipeline"]["detail"] == "not trained"
+            monitor.set_ready("pipeline", True, "trained")
+            with urllib.request.urlopen(
+                    f"{server.url}/readyz", timeout=10) as response:
+                assert json.loads(response.read())["status"] == "ready"
+
+    def test_readyz_without_monitor_is_ready(self):
+        with MetricsServer(MetricsRegistry(), port=0) as server:
+            with urllib.request.urlopen(
+                    f"{server.url}/readyz", timeout=10) as response:
+                assert json.loads(response.read())["status"] == "ready"
+
+
+class TestTracesEndpoint:
+    def test_serves_spans_with_filters(self):
+        store = TraceStore(64)
+        tracer = Tracer(store, sample_rate=1.0, tenant="acme")
+        ctx = tracer.begin("batch", records=8)
+        with ctx.span("parse", records=8):
+            pass
+        tracer.finish(ctx)
+        with MetricsServer(MetricsRegistry(), port=0,
+                           trace_store=store) as server:
+            with urllib.request.urlopen(
+                    f"{server.url}/traces", timeout=10) as response:
+                payload = json.loads(response.read())
+            assert payload["buffered"] == 2
+            assert payload["capacity"] == 64
+            assert {span["name"] for span in payload["spans"]} == {
+                "batch", "parse"}
+            with urllib.request.urlopen(
+                    f"{server.url}/traces?name=parse&tenant=acme",
+                    timeout=10) as response:
+                filtered = json.loads(response.read())
+            assert [span["name"] for span in filtered["spans"]] == ["parse"]
+            with urllib.request.urlopen(
+                    f"{server.url}/traces?limit=1", timeout=10) as response:
+                limited = json.loads(response.read())
+            assert len(limited["spans"]) == 1
+
+    def test_404_when_tracing_disabled(self):
+        with MetricsServer(MetricsRegistry(), port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as failure:
+                urllib.request.urlopen(f"{server.url}/traces", timeout=10)
+            assert failure.value.code == 404
+
+
+class TestPortInUse:
+    def test_bind_failure_is_config_error(self):
+        blocker = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            with pytest.raises(ConfigError) as failure:
+                MetricsServer(MetricsRegistry(), port=port)
+            message = str(failure.value)
+            assert "metrics_port" in message
+            assert str(port) in message
+        finally:
+            blocker.close()
+
+
+class TestSourceHealth:
+    def test_file_source_healthy_tracks_stat(self, tmp_path):
+        from repro.ingest.sources import FileTailSource
+        path = tmp_path / "app.log"
+        source = FileTailSource(path, follow=False)
+        assert not source.healthy  # not created yet
+        path.write_text("hello\n")
+        assert source.healthy
+
+    def test_socket_source_healthy_tracks_connection(self):
+        from repro.ingest.sources import SocketSource
+        source = SocketSource("127.0.0.1", 1, reconnect=False,
+                              max_connect_attempts=1)
+        assert not source.healthy  # never connected
+
+    def test_healthy_gauge_exported(self):
+        from repro.telemetry import PipelineTelemetry
+
+        class _Gate:
+            capacity = in_use = waits = 0
+            wait_seconds = 0.0
+
+        class _Merger:
+            pending = late = 0
+
+        class _Batcher:
+            pending = size_flushes = age_flushes = 0
+
+        class _Source:
+            def __init__(self, name, healthy):
+                self.name = name
+                self.healthy = healthy
+
+        class _Service:
+            _records_in = {}
+            meters = {}
+            merger = _Merger()
+            batcher = _Batcher()
+            gate = _Gate()
+            forced_drains = 0
+            sources = [_Source("app", True), _Source("gone", False)]
+
+        telemetry = PipelineTelemetry()
+        telemetry.attach_ingest(_Service())
+        text = telemetry.registry.render_prometheus()
+        assert 'monilog_source_healthy{source="app"} 1' in text
+        assert 'monilog_source_healthy{source="gone"} 0' in text
+
+
+class TestGatewayTracing:
+    def _spec(self, tracing=True):
+        telemetry = {"enabled": True}
+        if tracing:
+            telemetry.update(tracing=True)
+        return PipelineSpec.from_dict({
+            "detector": "keyword",
+            "telemetry": telemetry,
+            "tenants": {
+                "acme": {},
+                "globex": {},
+            },
+        })
+
+    def test_per_tenant_tracers_share_one_ring(self, corpus):
+        from repro.gateway import Gateway
+        train, live = corpus
+        with Gateway(self._spec()) as gateway:
+            gateway.fit(train)
+            alerts = gateway.process(
+                {name: live for name in gateway.tenants})
+            assert alerts
+            store = gateway.trace_store
+            assert store is not None
+            tenants = {span.tenant for span in store.spans()}
+            assert tenants == {"acme", "globex"}
+            for tagged in alerts:
+                provenance = gateway.explain(
+                    tagged.tenant, tagged.alert.report.report_id)
+                assert provenance.tenant == tagged.tenant
+
+    def test_shared_health_scopes_probes_by_tenant(self, corpus):
+        from repro.gateway import Gateway
+        with Gateway(self._spec(tracing=False)) as gateway:
+            assert gateway.trace_store is None
+            ready, probes = gateway.health.ready()
+            assert {"acme.pipeline", "globex.pipeline"} <= set(probes)
+            assert not ready  # nothing trained yet
+            gateway.fit(corpus[0])
+            assert gateway.health.ready()[0]
+
+    def test_traces_endpoint_scopes_by_tenant(self, corpus):
+        from repro.gateway import Gateway
+        train, live = corpus
+        with Gateway(self._spec()) as gateway:
+            gateway.fit(train)
+            gateway.process({name: live for name in gateway.tenants})
+            server = gateway.start_metrics_server(0)
+            with urllib.request.urlopen(
+                    f"{server.url}/traces?tenant=acme",
+                    timeout=10) as response:
+                payload = json.loads(response.read())
+            assert payload["spans"]
+            assert all(span["tenant"] == "acme"
+                       for span in payload["spans"])
+
+
+class TestRuntimeResourceContract:
+    def test_traced_pipeline_survives_deepcopy(self):
+        spec = PipelineSpec(detector="keyword",
+                            telemetry={"enabled": True, "tracing": True})
+        with Pipeline.from_spec(spec) as pipeline:
+            clone = copy.deepcopy(pipeline)
+            assert clone.tracer is pipeline.tracer
+            assert clone.health is pipeline.health
+
+    def test_primitives_deepcopy_to_self(self):
+        store = TraceStore(8)
+        tracer = Tracer(store)
+        monitor = HealthMonitor()
+        assert copy.deepcopy(store) is store
+        assert copy.deepcopy(tracer) is tracer
+        assert copy.deepcopy(monitor) is monitor
+
+
+class TestConcurrentScrapes:
+    def test_metrics_telemetry_and_traces_scrape_under_load(self, corpus):
+        """Satellite claim: /metrics, /telemetry, and /traces answer
+        concurrently while the pipeline is busy producing spans."""
+        train, live = corpus
+        spec = PipelineSpec(detector="keyword",
+                            telemetry={"enabled": True, "tracing": True})
+        with Pipeline.from_spec(spec) as pipeline:
+            pipeline.fit(train)
+            server = pipeline.start_metrics_server()
+            failures = []
+            stop = threading.Event()
+
+            def scrape(path, check):
+                while not stop.is_set():
+                    try:
+                        with urllib.request.urlopen(
+                                f"{server.url}{path}", timeout=10) as resp:
+                            check(resp.read())
+                    except Exception as error:  # noqa: BLE001
+                        failures.append((path, error))
+                        return
+
+            scrapers = [
+                threading.Thread(target=scrape, args=(
+                    "/metrics", lambda b: b.index(b"monilog_"))),
+                threading.Thread(target=scrape, args=(
+                    "/telemetry", json.loads)),
+                threading.Thread(target=scrape, args=(
+                    "/traces", json.loads)),
+            ]
+            for thread in scrapers:
+                thread.start()
+            try:
+                for _ in range(3):
+                    pipeline.process(live)
+            finally:
+                stop.set()
+                for thread in scrapers:
+                    thread.join()
+            assert not failures
+
+    def test_scoped_registry_filters_tenant_with_tracing(self, corpus):
+        """ScopedRegistry views stay tenant-disjoint when the trace
+        metric families are live."""
+        from repro.gateway import Gateway
+        from repro.telemetry.metrics import filter_prometheus
+        train, live = corpus
+        spec = PipelineSpec.from_dict({
+            "detector": "keyword",
+            "telemetry": {"enabled": True, "tracing": True},
+            "tenants": {"acme": {}, "globex": {}},
+        })
+        with Gateway(spec) as gateway:
+            gateway.fit(train)
+            gateway.process({name: live for name in gateway.tenants})
+            text = gateway.metrics_text()
+            acme = filter_prometheus(text, tenant="acme")
+            assert 'tenant="acme"' in acme
+            assert 'tenant="globex"' not in acme
+            assert "monilog_traces_sampled_total" in acme
+            assert "monilog_alert_provenance_records" in acme
