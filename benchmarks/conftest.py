@@ -90,6 +90,28 @@ def snapshot():
     return _snapshot
 
 
+@pytest.fixture
+def eval_snapshot():
+    """Persist detector-quality results (``EVAL_<name>.json``).
+
+    The eval counterpart of :func:`snapshot`: per-detector
+    precision/recall/F1 rows, nested ``{dataset: {detector: row}}``,
+    written alongside the ``BENCH_*.json`` perf snapshots so the
+    quality trajectory is diffable exactly like the perf trajectory.
+    """
+
+    def _eval_snapshot(name: str, payload: dict) -> str:
+        os.makedirs(_SNAPSHOT_DIR, exist_ok=True)
+        path = os.path.join(_SNAPSHOT_DIR, f"EVAL_{name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"smoke": _SMOKE, **payload}, handle,
+                      indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    return _eval_snapshot
+
+
 def once(benchmark, function):
     """Run ``function`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(function, rounds=1, iterations=1,

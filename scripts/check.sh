@@ -5,10 +5,12 @@
 # plus seconds-scale smoke runs of the Fig. 1 pipeline bench, the X9
 # parallel-shards bench, the X10 async-ingestion bench, the X11
 # autoscale-convergence bench, the X12 elastic-resharding bench, the
-# X13 multi-tenant-gateway bench, the X14 tracing-overhead bench (with
-# a schema check of every machine-readable BENCH_*.json snapshot the
-# smokes wrote), a spec-file-driven CLI pipeline run
-# (examples/pipeline.toml), a telemetry-exposition smoke (`repro
+# X13 multi-tenant-gateway bench, the X14 tracing-overhead bench, the
+# X15 semantic-tier bench (with a schema check of every
+# machine-readable BENCH_*.json snapshot the smokes wrote plus the
+# EVAL_semantic_tier.json quality table), a spec-file-driven CLI
+# pipeline run (examples/pipeline.toml) and a second one with the
+# semantic-tier `lof` detector, a telemetry-exposition smoke (`repro
 # stats` JSON + a --metrics-port Prometheus scrape over real HTTP), a
 # tracing smoke (`repro pipeline --trace` then `repro explain` on the
 # first alert id), a /healthz + /readyz probe of a live `repro serve
@@ -102,6 +104,12 @@ MONILOG_BENCH_SMOKE=1 python -m pytest \
     benchmarks/bench_x14_tracing_overhead.py \
     -q -p no:cacheprovider --benchmark-disable
 
+echo
+echo "== smoke: benchmarks/bench_x15_semantic_tier.py =="
+MONILOG_BENCH_SMOKE=1 python -m pytest \
+    benchmarks/bench_x15_semantic_tier.py \
+    -q -p no:cacheprovider --benchmark-disable
+
 # The benches persist machine-readable snapshots next to their printed
 # tables (benchmarks/conftest.py `snapshot` fixture); validate every
 # BENCH_*.json against the shared schema — a `smoke` bool plus numeric
@@ -138,9 +146,36 @@ with open("benchmarks/results/BENCH_x14_tracing_overhead.json") as fh:
 tratio = x14["throughput_ratio"]
 assert tratio >= 0.95, x14
 assert x14["explained"] == x14["alerts"] > 0, x14
+with open("benchmarks/results/BENCH_x15_semantic_tier.json") as fh:
+    x15 = json.load(fh)
+assert x15["cache_speedup"] >= 5.0, x15
+assert x15["embeds_double"] == x15["embeds_single"] == x15["templates"], x15
+# lof scores are threshold-normalized (>= 1.0 means anomalous); the
+# pca score is its raw Q-statistic, so pin its verdict, not its scale.
+assert x15["lof_planted_score"] >= 1.0, x15
+assert x15["pca_planted_anomalous"] == 0, x15
+# The quality table rides along as EVAL_semantic_tier.json: per-dataset
+# per-detector precision/recall/f1, every value a probability.
+with open("benchmarks/results/EVAL_semantic_tier.json") as fh:
+    quality = json.load(fh)
+assert isinstance(quality.get("smoke"), bool), quality
+datasets = quality["datasets"]
+assert set(datasets) == {"bgl", "hdfs"}, sorted(datasets)
+for dataset, per_detector in datasets.items():
+    assert {"lof", "rollingwindow"} <= set(per_detector), (
+        dataset, sorted(per_detector))
+    for detector, row in per_detector.items():
+        assert {"precision", "recall", "f1"} <= set(row), (dataset, detector)
+        for metric, value in row.items():
+            assert isinstance(value, (int, float)) and 0.0 <= value <= 1.0, \
+                (dataset, detector, metric, value)
+speedup = x15["cache_speedup"]
 print(f"{len(paths)} bench snapshots well-formed "
       f"(x13 quiet/noisy drain ratio {ratio:.2f}, "
-      f"x14 traced throughput ratio {tratio:.2f})")'
+      f"x14 traced throughput ratio {tratio:.2f}, "
+      f"x15 cache speedup {speedup:.1f}x); "
+      f"EVAL quality table covers {len(datasets)} datasets x "
+      f"{len(next(iter(datasets.values())))} detectors")'
 
 echo
 echo "== smoke: repro pipeline --spec examples/pipeline.toml =="
@@ -152,6 +187,20 @@ python -m repro generate --dataset cloud --sessions 30 --anomaly-rate 0.1 \
     --seed 2 --output "$spec_tmp/live.log" > /dev/null
 python -m repro pipeline --history "$spec_tmp/history.log" \
     --live "$spec_tmp/live.log" --spec examples/pipeline.toml \
+    | tail -n 1
+
+echo
+echo "== smoke: repro pipeline --spec with the semantic-tier lof detector =="
+# The semantic tier resolves from an ordinary spec like any detector:
+# same pipeline, `detector = "lof"` — end-to-end through the CLI.
+cat > "$spec_tmp/lof.toml" << 'TOML'
+detector = "lof"
+session_timeout = 30.0
+[detector_options]
+k = 3
+TOML
+python -m repro pipeline --history "$spec_tmp/history.log" \
+    --live "$spec_tmp/live.log" --spec "$spec_tmp/lof.toml" \
     | tail -n 1
 
 echo

@@ -250,7 +250,7 @@ def _add_spec_flags(command: argparse.ArgumentParser,
     command.add_argument(
         "--detector", choices=REGISTRY.names("detector"),
         help="stage-2 anomaly detector (spec field: detector; "
-             "default deeplog)",
+             "default deeplog; catalog in docs/detectors.md)",
     )
     command.add_argument("--masking", action="store_true", default=None,
                          help="apply the expert regex masker before mining")
@@ -921,7 +921,9 @@ def build_argument_parser() -> argparse.ArgumentParser:
     detect = commands.add_parser("detect", help="find anomalous sessions")
     detect.add_argument("--input", required=True)
     detect.add_argument("--detector", choices=REGISTRY.names("detector"),
-                        default="deeplog")
+                        default="deeplog",
+                        help="anomaly detector (catalog in "
+                             "docs/detectors.md)")
     detect.add_argument("--parser", choices=_SINGLE_PARSERS,
                         default="drain")
     detect.add_argument("--train-fraction", type=float, default=0.6)

@@ -14,6 +14,14 @@ Shared infrastructure: session/sliding windowing
 (:mod:`repro.detection.windows`), event count matrices
 (:mod:`repro.detection.count_vector`) and semantic vectorization
 (:mod:`repro.detection.semantics`).
+
+Beyond the study set, the semantic tier
+(:mod:`repro.detection.semantic_tier`) adds
+:class:`~repro.detection.semantic_tier.LofDetector` (embedding
+k-NN/LOF over a generation-validated
+:class:`~repro.detection.semantic_tier.TemplateEmbeddingCache`) and
+:class:`~repro.detection.semantic_tier.RollingWindowDetector`
+(flood/repetition-burst coverage).
 """
 
 from repro.detection.base import Detector, DetectionResult
@@ -32,6 +40,11 @@ from repro.detection.loganomaly import LogAnomalyDetector
 from repro.detection.logrobust import LogRobustDetector
 from repro.detection.keyword import KeywordMatchDetector
 from repro.detection.markov import MarkovDetector
+from repro.detection.semantic_tier import (
+    LofDetector,
+    RollingWindowDetector,
+    TemplateEmbeddingCache,
+)
 
 #: The paper's §III study set by short name (the keyword baseline is
 #: exported separately — it is the §I practice the study set replaces).
@@ -53,11 +66,14 @@ __all__ = [
     "DetectionResult",
     "Detector",
     "InvariantMiningDetector",
+    "LofDetector",
     "LogAnomalyDetector",
     "LogClusteringDetector",
     "LogRobustDetector",
     "PcaDetector",
+    "RollingWindowDetector",
     "SemanticVectorizer",
+    "TemplateEmbeddingCache",
     "sessions_from_parsed",
     "sliding_windows",
     "time_windows",

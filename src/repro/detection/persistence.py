@@ -1,17 +1,20 @@
-"""Detector persistence: save and restore trained deep models.
+"""Detector persistence: save and restore trained detectors.
 
-Training the LSTM detectors is the expensive step of a deployment;
-restarts must not repeat it.  Each saver writes a directory holding
+Training is the expensive step of a deployment; restarts must not
+repeat it.  Each saver writes a directory holding
 
 * ``config.json`` — constructor arguments plus the learned discrete
   state (template vocabularies, IDF statistics, value-model metadata);
-* one ``.npz`` per neural module (via :mod:`repro.nn.serialize`), so
-  weight shapes are validated on load.
+* ``state.npz`` for detectors whose learned state is plain numpy
+  arrays, and one ``.npz`` per neural module (via
+  :mod:`repro.nn.serialize`), so weight shapes are validated on load.
 
-Covered detectors: :class:`~repro.detection.deeplog.DeepLogDetector`
-and :class:`~repro.detection.logrobust.LogRobustDetector` (the two
-whose training dominates pipeline start-up).  Counter-based detectors
-retrain in milliseconds and need no persistence.
+Every registered detector is covered — the generic entry points
+:func:`save_detector` / :func:`load_detector` dispatch on the
+component registry name recorded in ``config.json``, so a detector
+trained under one spec restores without the caller knowing its kind
+(and the parametrized round-trip test holds every future registration
+to the same contract).
 """
 
 from __future__ import annotations
@@ -28,7 +31,17 @@ from repro.detection.deeplog import (
     _SequenceModel,
     _ValueModel,
 )
+from repro.detection.invariants import Invariant, InvariantMiningDetector
+from repro.detection.keyword import KeywordMatchDetector
+from repro.detection.loganomaly import LogAnomalyDetector, _DualHeadModel
+from repro.detection.log_clustering import LogClusteringDetector
 from repro.detection.logrobust import LogRobustDetector, _AttentionBiLstm
+from repro.detection.markov import MarkovDetector
+from repro.detection.pca import PcaDetector
+from repro.detection.semantic_tier import LofDetector, RollingWindowDetector
+from repro.detection.count_vector import CountVectorizer
+from repro.detection.semantics import SemanticVectorizer
+from repro.logs.record import Severity
 from repro.nn.serialize import load_module, save_module
 
 _FORMAT_VERSION = 1
@@ -192,3 +205,422 @@ def load_logrobust(directory: str | os.PathLike[str]) -> LogRobustDetector:
     )
     load_module(detector._model, path / "classifier.npz")
     return detector
+
+
+# -- shared sub-state helpers -------------------------------------------------
+
+
+def _dump_count_vectorizer(vectorizer: CountVectorizer) -> dict:
+    if vectorizer._column_of is None:
+        raise ValueError("cannot save an unfitted CountVectorizer")
+    return {
+        str(template_id): column
+        for template_id, column in vectorizer._column_of.items()
+    }
+
+
+def _load_count_vectorizer(payload: dict) -> CountVectorizer:
+    vectorizer = CountVectorizer()
+    vectorizer._column_of = {
+        int(template_id): column for template_id, column in payload.items()
+    }
+    return vectorizer
+
+
+def _dump_semantic_vectorizer(vectorizer: SemanticVectorizer) -> dict:
+    return {
+        "document_count": vectorizer._document_count,
+        "document_frequency": vectorizer._document_frequency,
+    }
+
+
+def _restore_semantic_vectorizer(
+    vectorizer: SemanticVectorizer, payload: dict
+) -> None:
+    vectorizer._document_count = payload["document_count"]
+    vectorizer._document_frequency = dict(payload["document_frequency"])
+
+
+# -- PCA ----------------------------------------------------------------------
+
+
+def save_pca(detector: PcaDetector,
+             directory: str | os.PathLike[str]) -> None:
+    """Persist a fitted PCA detector to ``directory``."""
+    if detector._threshold is None:
+        raise ValueError("cannot save an unfitted PcaDetector")
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    _write_config(path, {
+        "kind": "pca",
+        "hyperparameters": {
+            "variance_retained": detector.variance_retained,
+            "alpha": detector.alpha,
+            "tfidf": detector.tfidf,
+        },
+        "vocabulary": _dump_count_vectorizer(detector.vectorizer),
+        "threshold": detector._threshold,
+    })
+    arrays = {
+        "mean": detector._mean,
+        "residual_basis": detector._residual_basis,
+    }
+    if detector._idf is not None:
+        arrays["idf"] = detector._idf
+    np.savez(path / "state.npz", **arrays)
+
+
+def load_pca(directory: str | os.PathLike[str]) -> PcaDetector:
+    """Restore a PCA detector saved by :func:`save_pca`."""
+    path = Path(directory)
+    payload = _read_config(path, "pca")
+    detector = PcaDetector(**payload["hyperparameters"])
+    detector.vectorizer = _load_count_vectorizer(payload["vocabulary"])
+    detector._threshold = payload["threshold"]
+    with np.load(path / "state.npz") as arrays:
+        detector._mean = arrays["mean"]
+        detector._residual_basis = arrays["residual_basis"]
+        detector._idf = arrays["idf"] if "idf" in arrays else None
+    return detector
+
+
+# -- Invariant mining ---------------------------------------------------------
+
+
+def save_invariants(detector: InvariantMiningDetector,
+                    directory: str | os.PathLike[str]) -> None:
+    """Persist a fitted invariant-mining detector to ``directory``."""
+    if detector.invariants is None:
+        raise ValueError("cannot save an unfitted InvariantMiningDetector")
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    _write_config(path, {
+        "kind": "invariants",
+        "hyperparameters": {
+            "support": detector.support,
+            "max_coefficient": detector.max_coefficient,
+            "min_cooccurrence": detector.min_cooccurrence,
+        },
+        "vocabulary": _dump_count_vectorizer(detector.vectorizer),
+        "invariants": [
+            [invariant.column_i, invariant.column_j,
+             invariant.a, invariant.b]
+            for invariant in detector.invariants
+        ],
+    })
+
+
+def load_invariants(
+    directory: str | os.PathLike[str],
+) -> InvariantMiningDetector:
+    """Restore a detector saved by :func:`save_invariants`."""
+    path = Path(directory)
+    payload = _read_config(path, "invariants")
+    detector = InvariantMiningDetector(**payload["hyperparameters"])
+    detector.vectorizer = _load_count_vectorizer(payload["vocabulary"])
+    detector.invariants = [
+        Invariant(column_i, column_j, a, b)
+        for column_i, column_j, a, b in payload["invariants"]
+    ]
+    return detector
+
+
+# -- Log clustering -----------------------------------------------------------
+
+
+def save_logclustering(detector: LogClusteringDetector,
+                       directory: str | os.PathLike[str]) -> None:
+    """Persist a fitted log-clustering detector to ``directory``."""
+    if detector._representatives is None:
+        raise ValueError("cannot save an unfitted LogClusteringDetector")
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    _write_config(path, {
+        "kind": "logclustering",
+        "hyperparameters": {
+            "cluster_threshold": detector.cluster_threshold,
+            "detect_threshold": detector.detect_threshold,
+        },
+        "vocabulary": _dump_count_vectorizer(detector.vectorizer),
+        "members": detector._members,
+    })
+    np.savez(path / "state.npz",
+             idf=detector._idf,
+             representatives=detector._representatives)
+
+
+def load_logclustering(
+    directory: str | os.PathLike[str],
+) -> LogClusteringDetector:
+    """Restore a detector saved by :func:`save_logclustering`."""
+    path = Path(directory)
+    payload = _read_config(path, "logclustering")
+    detector = LogClusteringDetector(**payload["hyperparameters"])
+    detector.vectorizer = _load_count_vectorizer(payload["vocabulary"])
+    detector._members = list(payload["members"])
+    with np.load(path / "state.npz") as arrays:
+        detector._idf = arrays["idf"]
+        detector._representatives = arrays["representatives"]
+    return detector
+
+
+# -- Keyword baseline ---------------------------------------------------------
+
+
+def save_keyword(detector: KeywordMatchDetector,
+                 directory: str | os.PathLike[str]) -> None:
+    """Persist a keyword detector (configuration only — fit is a no-op)."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    _write_config(path, {
+        "kind": "keyword",
+        "hyperparameters": {
+            "keywords": list(detector.keywords),
+            "patterns": [pattern.pattern for pattern in detector.patterns],
+            "severity_threshold": detector.severity_threshold.name,
+        },
+    })
+
+
+def load_keyword(directory: str | os.PathLike[str]) -> KeywordMatchDetector:
+    """Restore a detector saved by :func:`save_keyword`."""
+    payload = _read_config(Path(directory), "keyword")
+    hyper = payload["hyperparameters"]
+    return KeywordMatchDetector(
+        keywords=hyper["keywords"],
+        patterns=hyper["patterns"],
+        severity_threshold=Severity[hyper["severity_threshold"]],
+    )
+
+
+# -- Markov -------------------------------------------------------------------
+
+
+def save_markov(detector: MarkovDetector,
+                directory: str | os.PathLike[str]) -> None:
+    """Persist a fitted Markov detector to ``directory``."""
+    if detector._transitions is None:
+        raise ValueError("cannot save an unfitted MarkovDetector")
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    _write_config(path, {
+        "kind": "markov",
+        "hyperparameters": {
+            "threshold": detector.threshold,
+            "smoothing": detector.smoothing,
+        },
+        "transitions": {
+            str(state): {str(target): count
+                         for target, count in counts.items()}
+            for state, counts in detector._transitions.items()
+        },
+        "totals": {str(state): count
+                   for state, count in detector._totals.items()},
+        "states": sorted(detector._states),
+    })
+
+
+def load_markov(directory: str | os.PathLike[str]) -> MarkovDetector:
+    """Restore a detector saved by :func:`save_markov`."""
+    from collections import Counter
+
+    payload = _read_config(Path(directory), "markov")
+    detector = MarkovDetector(**payload["hyperparameters"])
+    detector._transitions = {
+        int(state): Counter({int(target): count
+                             for target, count in counts.items()})
+        for state, counts in payload["transitions"].items()
+    }
+    detector._totals = Counter({int(state): count
+                                for state, count in payload["totals"].items()})
+    detector._states = set(payload["states"])
+    return detector
+
+
+# -- LogAnomaly ---------------------------------------------------------------
+
+
+def save_loganomaly(detector: LogAnomalyDetector,
+                    directory: str | os.PathLike[str]) -> None:
+    """Persist a fitted LogAnomaly detector to ``directory``."""
+    if detector._model is None or detector._index_of is None:
+        raise ValueError("cannot save an unfitted LogAnomalyDetector")
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    _write_config(path, {
+        "kind": "loganomaly",
+        "hyperparameters": {
+            "window": detector.window,
+            "top_g": detector.top_g,
+            "hidden": detector.hidden,
+            "semantic_dim": detector.semantic_dim,
+            "match_threshold": detector.match_threshold,
+            "epochs": detector.epochs,
+            "seed": detector.seed,
+        },
+        "vocabulary": {
+            str(template_id): index
+            for template_id, index in detector._index_of.items()
+        },
+        "templates": detector._template_of_index,
+        "idf": _dump_semantic_vectorizer(detector.vectorizer),
+    })
+    save_module(detector._model, path / "dual_head.npz")
+
+
+def load_loganomaly(
+    directory: str | os.PathLike[str],
+) -> LogAnomalyDetector:
+    """Restore a detector saved by :func:`save_loganomaly`."""
+    path = Path(directory)
+    payload = _read_config(path, "loganomaly")
+    detector = LogAnomalyDetector(**payload["hyperparameters"])
+    detector._index_of = {
+        int(template_id): index
+        for template_id, index in payload["vocabulary"].items()
+    }
+    detector._template_of_index = list(payload["templates"])
+    _restore_semantic_vectorizer(detector.vectorizer, payload["idf"])
+    detector._model = _DualHeadModel(
+        detector.semantic_dim, len(detector._template_of_index),
+        detector.hidden, seed=detector.seed,
+    )
+    load_module(detector._model, path / "dual_head.npz")
+    return detector
+
+
+# -- Semantic tier: LOF -------------------------------------------------------
+
+
+def save_lof(detector: LofDetector,
+             directory: str | os.PathLike[str]) -> None:
+    """Persist a fitted LOF detector to ``directory``.
+
+    Saves the template library and the embedding cache's *logical*
+    state — IDF statistics, generation, accumulated drift and the set
+    of observed templates — but not memoized vectors or counters:
+    vectors are a deterministic function of the IDF state and rebuild
+    on first use, so the restored detector's verdicts are identical
+    while its cache starts cold.
+    """
+    if detector._library_texts is None:
+        raise ValueError("cannot save an unfitted LofDetector")
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    cache = detector.embedding_cache
+    _write_config(path, {
+        "kind": "lof",
+        "hyperparameters": {
+            "k": detector.k,
+            "lof_threshold": detector.lof_threshold,
+            "distance_threshold": detector.distance_threshold,
+            "dimension": detector.dimension,
+            "idf_tolerance": detector.idf_tolerance,
+            "cache_capacity": detector.cache_capacity,
+            "seed": detector.seed,
+        },
+        "library_texts": detector._library_texts,
+        "library_ids": detector._library_ids,
+        "observed": sorted(detector._observed),
+        "cache": {
+            "generation": cache.generation,
+            "drift": cache._drift,
+        },
+        "idf": _dump_semantic_vectorizer(cache.vectorizer),
+    })
+
+
+def load_lof(directory: str | os.PathLike[str]) -> LofDetector:
+    """Restore a detector saved by :func:`save_lof`."""
+    payload = _read_config(Path(directory), "lof")
+    detector = LofDetector(**payload["hyperparameters"])
+    cache = detector.embedding_cache
+    _restore_semantic_vectorizer(cache.vectorizer, payload["idf"])
+    cache.generation = payload["cache"]["generation"]
+    cache._drift = payload["cache"]["drift"]
+    detector._library_texts = list(payload["library_texts"])
+    detector._library_ids = list(payload["library_ids"])
+    detector._known = set(detector._library_texts)
+    detector._observed = set(payload["observed"])
+    detector._rebuild_library()
+    return detector
+
+
+# -- Semantic tier: rolling window --------------------------------------------
+
+
+def save_rollingwindow(detector: RollingWindowDetector,
+                       directory: str | os.PathLike[str]) -> None:
+    """Persist a fitted rolling-window detector to ``directory``."""
+    if detector._max_window_events is None:
+        raise ValueError("cannot save an unfitted RollingWindowDetector")
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    _write_config(path, {
+        "kind": "rollingwindow",
+        "hyperparameters": {
+            "window_seconds": detector.window_seconds,
+            "rate_factor": detector.rate_factor,
+            "burst_factor": detector.burst_factor,
+            "min_events": detector.min_events,
+        },
+        "max_window_events": detector._max_window_events,
+        "max_run": detector._max_run,
+    })
+
+
+def load_rollingwindow(
+    directory: str | os.PathLike[str],
+) -> RollingWindowDetector:
+    """Restore a detector saved by :func:`save_rollingwindow`."""
+    payload = _read_config(Path(directory), "rollingwindow")
+    detector = RollingWindowDetector(**payload["hyperparameters"])
+    detector._max_window_events = payload["max_window_events"]
+    detector._max_run = payload["max_run"]
+    return detector
+
+
+# -- generic dispatch ----------------------------------------------------------
+
+#: registry name → (detector class, saver, loader).  One entry per
+#: registered detector; the parametrized persistence test fails when a
+#: new registration lands without one.
+_PERSISTENCE = {
+    "deeplog": (DeepLogDetector, save_deeplog, load_deeplog),
+    "invariants": (InvariantMiningDetector, save_invariants,
+                   load_invariants),
+    "keyword": (KeywordMatchDetector, save_keyword, load_keyword),
+    "lof": (LofDetector, save_lof, load_lof),
+    "loganomaly": (LogAnomalyDetector, save_loganomaly, load_loganomaly),
+    "logclustering": (LogClusteringDetector, save_logclustering,
+                      load_logclustering),
+    "logrobust": (LogRobustDetector, save_logrobust, load_logrobust),
+    "markov": (MarkovDetector, save_markov, load_markov),
+    "pca": (PcaDetector, save_pca, load_pca),
+    "rollingwindow": (RollingWindowDetector, save_rollingwindow,
+                      load_rollingwindow),
+}
+
+
+def save_detector(detector, directory: str | os.PathLike[str]) -> None:
+    """Persist any registered detector, dispatching on its type."""
+    for _, (cls, saver, _loader) in _PERSISTENCE.items():
+        if type(detector) is cls:
+            saver(detector, directory)
+            return
+    raise ValueError(
+        f"no persistence support for {type(detector).__name__}"
+    )
+
+
+def load_detector(directory: str | os.PathLike[str]):
+    """Restore a detector saved by :func:`save_detector`.
+
+    The archive's recorded kind picks the loader — callers need not
+    know what was trained.
+    """
+    payload = json.loads((Path(directory) / "config.json").read_text())
+    kind = payload.get("kind")
+    if kind not in _PERSISTENCE:
+        raise ValueError(f"unknown detector archive kind: {kind!r}")
+    return _PERSISTENCE[kind][2](directory)

@@ -1,0 +1,539 @@
+"""The semantic detection tier: embedding k-NN/LOF + rolling-window
+flood detection behind a shared template-vector cache.
+
+All eight pre-existing detectors reason over template *ids* and
+counts, so a never-seen-but-benign template ("request 7 handled okay"
+where training said "handled fine") and a never-seen-and-alarming one
+("irrecoverable data corruption on sector 9") are indistinguishable —
+both are just an unknown id.  This module closes that gap with two
+scenario classes the id view cannot express:
+
+* :class:`LofDetector` (registry name ``"lof"``) embeds templates with
+  :class:`~repro.detection.semantics.SemanticVectorizer` and scores
+  *novel* templates by k-nearest-neighbour distance plus local outlier
+  factor against the trained template library — a minor variant of a
+  known statement lands near its old self (inlier), an alarming alien
+  statement lands far from everything (outlier);
+* :class:`RollingWindowDetector` (``"rollingwindow"``) covers log
+  floods and repetition bursts: windows whose rolling event rate or
+  longest same-template run exceeds a multiple of the trained maxima
+  are flagged, independent of *which* templates they contain.
+
+Both consume sessions exactly as every other
+:class:`~repro.detection.base.Detector` — offline windows or
+:class:`~repro.core.streaming.StreamingSessionizer` output — so
+``detector = "lof"`` in a spec works end-to-end through
+``repro pipeline`` and ``repro serve`` tenant tables.
+
+Embedding is the hot-path cost, and real streams repeat a small
+statement inventory, so vectors are memoized per *template* in a
+:class:`TemplateEmbeddingCache` — generation-validated exactly like
+the two-tier parse cache (:class:`~repro.parsing.base.TemplateCache`):
+every :meth:`TemplateEmbeddingCache.observe` folds a newly discovered
+template into the vectorizer's IDF statistics and accumulates the
+worst-case IDF shift; once the accumulated drift crosses
+``idf_tolerance`` the cache's generation advances and every older
+entry is lazily invalidated (recomputations after an invalidation are
+counted as *rebuilds*).  Under the tolerance, cached vectors are
+served unchanged — embedding work is proportional to distinct
+templates, not records (bench X15 holds the tier to ≥5x cached
+throughput and record-count-independent embed calls).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.api.registry import register_component
+from repro.detection.base import DetectionResult, Detector, Session
+from repro.detection.semantics import SemanticVectorizer
+
+
+class TemplateEmbeddingCache:
+    """Generation-validated memo of template → semantic vector.
+
+    Mirrors the parse cache's correctness contract: an entry is served
+    only while its recorded generation equals the cache's current one.
+    The generation advances when the IDF statistics have drifted past
+    ``idf_tolerance`` since the entries were written — below the
+    tolerance a stale-weighted vector is indistinguishable from a
+    fresh one for neighbour ranking, above it every entry lazily
+    invalidates and recomputes on next use (a *rebuild*).
+
+    Thread-safe: one lock guards the entry map and the wrapped
+    vectorizer's IDF state, so a cache shared across threads (the
+    ``MONILOG_EXECUTOR=thread`` shard pool, telemetry scrape threads)
+    never serves a torn entry.  The lock is dropped on pickling and
+    re-created on restore, so detectors owning a cache travel to
+    process-pool workers like any other component.
+
+    Counters (exported as the ``monilog_embedding_cache_*`` telemetry
+    families): ``hits`` / ``misses`` for lookups, ``evictions`` for
+    LRU drops beyond ``capacity``, ``rebuilds`` for recomputations
+    forced by a generation change.
+
+    Args:
+        vectorizer: the owned :class:`SemanticVectorizer`; all IDF
+            mutation must go through :meth:`observe` so drift is
+            accounted.
+        capacity: LRU bound on memoized vectors.
+        idf_tolerance: accumulated worst-case IDF shift (absolute, in
+            log-weight units) tolerated before the generation advances.
+    """
+
+    def __init__(
+        self,
+        vectorizer: SemanticVectorizer | None = None,
+        capacity: int = 4096,
+        idf_tolerance: float = 0.25,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if idf_tolerance < 0.0:
+            raise ValueError(
+                f"idf_tolerance must be >= 0, got {idf_tolerance}"
+            )
+        self.vectorizer = (
+            vectorizer if vectorizer is not None else SemanticVectorizer()
+        )
+        self.capacity = capacity
+        self.idf_tolerance = idf_tolerance
+        self.generation = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.rebuilds = 0
+        self._drift = 0.0
+        self._entries: OrderedDict[str, tuple[int, np.ndarray]] = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- pickling (process-pool workers) --------------------------------------
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # -- lookup ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def embed_calls(self) -> int:
+        """Full embedding computations through this cache's vectorizer."""
+        return self.vectorizer.embed_calls
+
+    def vector(self, template: str) -> np.ndarray:
+        """The semantic vector of ``template``, memoized per generation."""
+        with self._lock:
+            entry = self._entries.get(template)
+            stale = False
+            if entry is not None:
+                generation, vector = entry
+                if generation == self.generation:
+                    self._entries.move_to_end(template)
+                    self.hits += 1
+                    return vector
+                # Stale: IDF drifted past tolerance since this was
+                # written; recompute under the current weights.
+                del self._entries[template]
+                stale = True
+            vector = self.vectorizer.embed(template)
+            if stale:
+                self.rebuilds += 1
+            else:
+                self.misses += 1
+            self._entries[template] = (self.generation, vector)
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return vector
+
+    def observe(self, template: str) -> None:
+        """Fold one template into IDF, accounting the resulting drift.
+
+        The worst-case shift of any single token's IDF weight is the
+        larger of (a) the global shift every token pays from the
+        document count growing and (b) the shift of the observed
+        template's own tokens, whose document frequency also moved.
+        Shifts accumulate across observations; crossing
+        ``idf_tolerance`` advances the generation (lazily invalidating
+        every entry) and re-arms the accumulator.
+        """
+        vectorizer = self.vectorizer
+        with self._lock:
+            tokens = set(vectorizer._tokens(template))
+            before = {token: vectorizer._idf(token) for token in tokens}
+            count_before = vectorizer._document_count
+            vectorizer.observe(template)
+            shift = abs(
+                math.log((1 + vectorizer._document_count)
+                         / (1 + count_before))
+            )
+            for token in tokens:
+                shift = max(
+                    shift, abs(vectorizer._idf(token) - before[token])
+                )
+            if not vectorizer.use_tfidf:
+                return  # unweighted vectors never go stale
+            self._drift += shift
+            if self._drift > self.idf_tolerance:
+                self.generation += 1
+                self._drift = 0.0
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot for telemetry collectors (one lock hold)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "rebuilds": self.rebuilds,
+                "entries": len(self._entries),
+                "generation": self.generation,
+                "embed_calls": self.vectorizer.embed_calls,
+            }
+
+
+@register_component("detector", "lof")
+class LofDetector(Detector):
+    """k-NN distance + local-outlier-factor over template embeddings.
+
+    Training learns the template library (distinct templates across
+    training sessions) and its local density structure: each library
+    vector's k-distance and local reachability density (lrd), the
+    standard LOF preliminaries.  Detection embeds each *novel*
+    template of a session (templates outside the trained library),
+    finds its k nearest library neighbours, and computes
+
+    * the mean k-NN distance — the crude novelty signal — and
+    * LOF = mean(lrd of neighbours) / lrd(query) — the density-aware
+      one: ≈1 for a template as densely surrounded as its neighbours
+      (a minor variant of a known statement), ≫1 for an isolated
+      alien.
+
+    A session is anomalous when any novel template's LOF reaches
+    ``lof_threshold`` or its mean k-NN distance reaches
+    ``distance_threshold`` (the fallback that still fires when the
+    library is too sparse for densities to mean much).  Known
+    templates are normal by definition — sequence anomalies over known
+    templates are DeepLog's job, not this tier's.
+
+    Deterministic end to end: embeddings are seeded random indexing,
+    neighbour ranking is pure numpy.  ``seed`` is accepted for the
+    sharded detector-factory contract (each shard gets its index as
+    the seed, like DeepLog) and recorded for persistence parity; it
+    feeds no randomness.
+
+    Every embedding flows through one :class:`TemplateEmbeddingCache`;
+    novel templates are :meth:`~TemplateEmbeddingCache.observe`-d into
+    the IDF statistics (once each), and the library's LOF structure
+    lazily rebuilds whenever the cache generation advances, so library
+    and query vectors always share one weighting.
+    """
+
+    name = "lof"
+    supervised = False
+
+    def __init__(
+        self,
+        k: int = 3,
+        lof_threshold: float = 1.5,
+        distance_threshold: float = 1.2,
+        dimension: int = 48,
+        idf_tolerance: float = 0.25,
+        cache_capacity: int = 4096,
+        seed: int = 0,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if lof_threshold <= 0.0:
+            raise ValueError(
+                f"lof_threshold must be > 0, got {lof_threshold}"
+            )
+        if distance_threshold <= 0.0:
+            raise ValueError(
+                f"distance_threshold must be > 0, got {distance_threshold}"
+            )
+        self.k = k
+        self.lof_threshold = lof_threshold
+        self.distance_threshold = distance_threshold
+        self.dimension = dimension
+        self.idf_tolerance = idf_tolerance
+        self.cache_capacity = cache_capacity
+        self.seed = seed
+        self.embedding_cache = TemplateEmbeddingCache(
+            SemanticVectorizer(dimension=dimension),
+            capacity=cache_capacity,
+            idf_tolerance=idf_tolerance,
+        )
+        self._library_texts: list[str] | None = None
+        self._library_ids: list[int] = []
+        self._known: set[str] = set()
+        self._observed: set[str] = set()
+        self._matrix: np.ndarray | None = None
+        self._k_distance: np.ndarray | None = None
+        self._lrd: np.ndarray | None = None
+        self._matrix_generation = -1
+
+    # -- training --------------------------------------------------------------
+
+    def fit(
+        self, sessions: list[Session], labels: list[bool] | None = None
+    ) -> "LofDetector":
+        texts: list[str] = []
+        ids: list[int] = []
+        seen: set[str] = set()
+        for session in sessions:
+            for event in session:
+                if event.template not in seen:
+                    seen.add(event.template)
+                    texts.append(event.template)
+                    ids.append(event.template_id)
+        if not texts:
+            raise ValueError("LofDetector needs non-empty training sessions")
+        self._library_texts = texts
+        self._library_ids = ids
+        self._known = seen
+        self._observed = set()
+        self.embedding_cache.vectorizer.fit(texts)
+        self._rebuild_library()
+        return self
+
+    def _rebuild_library(self) -> None:
+        """(Re)compute library vectors and LOF preliminaries.
+
+        Runs at fit and again whenever the embedding cache's
+        generation has advanced past the one the matrix was built
+        under — the detector-side half of the generation discipline.
+        """
+        assert self._library_texts is not None
+        cache = self.embedding_cache
+        self._matrix = np.stack(
+            [cache.vector(text) for text in self._library_texts]
+        )
+        self._matrix_generation = cache.generation
+        library = self._matrix
+        size = library.shape[0]
+        k = min(self.k, size - 1)
+        if k < 1:
+            # A one-template library has no neighbour structure; the
+            # distance fallback carries detection alone.
+            self._k_distance = np.zeros(size)
+            self._lrd = np.full(size, 1.0)
+            return
+        deltas = library[:, None, :] - library[None, :, :]
+        distances = np.sqrt((deltas ** 2).sum(axis=2))
+        np.fill_diagonal(distances, np.inf)
+        order = np.argsort(distances, axis=1, kind="stable")[:, :k]
+        neighbour_distances = np.take_along_axis(distances, order, axis=1)
+        self._k_distance = neighbour_distances[:, -1]
+        # lrd(p) = 1 / mean reachability distance to p's neighbours,
+        # reach(p, o) = max(d(p, o), k_distance(o)).
+        reach = np.maximum(neighbour_distances, self._k_distance[order])
+        self._lrd = 1.0 / np.maximum(reach.mean(axis=1), 1e-12)
+
+    # -- detection --------------------------------------------------------------
+
+    def _score_novel(self, vector: np.ndarray) -> tuple[
+        float, float, list[tuple[int, float]]
+    ]:
+        """(mean k-NN distance, LOF, [(neighbour template id, distance)])."""
+        assert self._matrix is not None
+        assert self._k_distance is not None and self._lrd is not None
+        distances = np.sqrt(((self._matrix - vector) ** 2).sum(axis=1))
+        k = min(self.k, distances.shape[0])
+        order = np.argsort(distances, kind="stable")[:k]
+        neighbour_distances = distances[order]
+        knn_distance = float(neighbour_distances.mean())
+        reach = np.maximum(neighbour_distances, self._k_distance[order])
+        lrd_query = 1.0 / max(float(reach.mean()), 1e-12)
+        lof = float(self._lrd[order].mean()) / lrd_query
+        neighbours = [
+            (self._library_ids[int(index)], float(distances[int(index)]))
+            for index in order
+        ]
+        return knn_distance, lof, neighbours
+
+    def detect(self, session: Session) -> DetectionResult:
+        self._require_fitted("_library_texts")
+        cache = self.embedding_cache
+        novel: list[tuple[int, str]] = []
+        seen_here: set[str] = set()
+        for event in session:
+            text = event.template
+            if text in self._known or text in seen_here:
+                continue
+            seen_here.add(text)
+            novel.append((event.template_id, text))
+            if text not in self._observed:
+                self._observed.add(text)
+                cache.observe(text)
+        if cache.generation != self._matrix_generation:
+            self._rebuild_library()
+        worst = 0.0
+        violations = 0
+        reasons: list[str] = []
+        for template_id, text in novel:
+            knn_distance, lof, neighbours = self._score_novel(
+                cache.vector(text)
+            )
+            # Threshold-normalized outlyingness: >= 1 means anomalous,
+            # comparable across the two criteria (and with the
+            # rolling-window detector's ratio scores).
+            worst = max(worst, lof / self.lof_threshold,
+                        knn_distance / self.distance_threshold)
+            outlying = (lof >= self.lof_threshold
+                        or knn_distance >= self.distance_threshold)
+            if not outlying:
+                continue
+            violations += 1
+            if len(reasons) < 5:
+                nearest = ", ".join(
+                    f"template#{neighbour_id} d={distance:.3f}"
+                    for neighbour_id, distance in neighbours
+                )
+                reasons.append(
+                    f"novel template {text!r} (template#{template_id}) is a "
+                    f"semantic outlier: lof={lof:.2f} "
+                    f"knn-distance={knn_distance:.3f} (k={min(self.k, len(self._library_ids))}); "
+                    f"nearest: {nearest}"
+                )
+        return DetectionResult(
+            anomalous=violations > 0, score=worst, reasons=tuple(reasons)
+        )
+
+
+@register_component("detector", "rollingwindow")
+class RollingWindowDetector(Detector):
+    """Flood/volume detector: rate + repetition bursts over windows.
+
+    The scenario class the semantic and sequence detectors both skip:
+    a window of entirely *known*, individually-normal templates that
+    arrive far too fast (a log flood) or repeat one statement in an
+    implausibly long run (a retry storm).  Training learns two maxima
+    over the training windows — the densest ``window_seconds`` rolling
+    burst (events inside any such span) and the longest consecutive
+    same-template run — and detection flags a window when either
+    statistic exceeds ``rate_factor`` / ``burst_factor`` times its
+    trained maximum.  ``min_events`` floors both limits so near-empty
+    training baselines cannot make trivial sessions alarm.
+
+    Purely arithmetic over timestamps and template ids: deterministic,
+    training is one pass, and the verdict is independent of executor
+    and batching like every other detector.
+    """
+
+    name = "rollingwindow"
+    supervised = False
+
+    def __init__(
+        self,
+        window_seconds: float = 10.0,
+        rate_factor: float = 3.0,
+        burst_factor: float = 3.0,
+        min_events: int = 8,
+    ) -> None:
+        if window_seconds <= 0.0:
+            raise ValueError(
+                f"window_seconds must be > 0, got {window_seconds}"
+            )
+        if rate_factor < 1.0 or burst_factor < 1.0:
+            raise ValueError(
+                "rate_factor and burst_factor must be >= 1, got "
+                f"{rate_factor} / {burst_factor}"
+            )
+        self.window_seconds = window_seconds
+        self.rate_factor = rate_factor
+        self.burst_factor = burst_factor
+        self.min_events = min_events
+        self._max_window_events: int | None = None
+        self._max_run: int = 1
+
+    def _window_peak(self, session: Session) -> int:
+        """Most events inside any ``window_seconds`` rolling span."""
+        timestamps = sorted(event.timestamp for event in session)
+        peak = 0
+        start = 0
+        for end, timestamp in enumerate(timestamps):
+            while timestamp - timestamps[start] > self.window_seconds:
+                start += 1
+            peak = max(peak, end - start + 1)
+        return peak
+
+    @staticmethod
+    def _longest_run(session: Session) -> tuple[int, int | None]:
+        """(longest same-template run, its template id)."""
+        best = 0
+        best_id: int | None = None
+        run = 0
+        previous: int | None = None
+        for event in session:
+            if event.template_id == previous:
+                run += 1
+            else:
+                run = 1
+                previous = event.template_id
+            if run > best:
+                best = run
+                best_id = event.template_id
+        return best, best_id
+
+    def fit(
+        self, sessions: list[Session], labels: list[bool] | None = None
+    ) -> "RollingWindowDetector":
+        if not sessions:
+            raise ValueError(
+                "RollingWindowDetector needs non-empty training sessions"
+            )
+        self._max_window_events = max(
+            (self._window_peak(session) for session in sessions), default=0
+        )
+        self._max_run = max(
+            (self._longest_run(session)[0] for session in sessions),
+            default=1,
+        )
+        return self
+
+    def detect(self, session: Session) -> DetectionResult:
+        self._require_fitted("_max_window_events")
+        assert self._max_window_events is not None
+        reasons: list[str] = []
+        peak = self._window_peak(session)
+        flood_limit = max(
+            self.rate_factor * max(self._max_window_events, 1),
+            float(self.min_events),
+        )
+        flood_ratio = peak / flood_limit
+        if peak > flood_limit:
+            reasons.append(
+                f"log flood: {peak} events inside "
+                f"{self.window_seconds:g}s (trained max "
+                f"{self._max_window_events}, limit {flood_limit:g})"
+            )
+        run, run_id = self._longest_run(session)
+        burst_limit = max(
+            self.burst_factor * max(self._max_run, 1),
+            float(self.min_events),
+        )
+        burst_ratio = run / burst_limit
+        if run > burst_limit:
+            reasons.append(
+                f"repetition burst: template#{run_id} repeated {run}x "
+                f"consecutively (trained max {self._max_run}, limit "
+                f"{burst_limit:g})"
+            )
+        return DetectionResult(
+            anomalous=bool(reasons),
+            score=max(flood_ratio, burst_ratio),
+            reasons=tuple(reasons),
+        )

@@ -56,6 +56,10 @@ class SemanticVectorizer:
             raise ValueError(f"dimension must be >= 1, got {dimension}")
         self.dimension = dimension
         self.use_tfidf = use_tfidf
+        #: Full (uncached) embedding computations — the denominator of
+        #: every cache-effectiveness claim (bench X15 asserts this grows
+        #: with *distinct* templates, not records).
+        self.embed_calls = 0
         self._document_count = 0
         self._document_frequency: dict[str, int] = {}
         self._cache: dict[str, np.ndarray] = {}
@@ -79,13 +83,19 @@ class SemanticVectorizer:
         """Incrementally fold one template into the IDF statistics.
 
         Streams keep discovering templates after training; observing
-        them keeps IDF meaningful without refitting from scratch.
+        them keeps IDF meaningful without refitting from scratch.  The
+        internal memo is dropped because every cached vector was
+        weighted with the pre-observation IDF (callers that need
+        tolerance-gated invalidation instead of eager recomputation
+        wrap this class in a
+        :class:`~repro.detection.semantic_tier.TemplateEmbeddingCache`).
         """
         self._document_count += 1
         for token in set(self._tokens(template)):
             self._document_frequency[token] = (
                 self._document_frequency.get(token, 0) + 1
             )
+        self._cache.clear()
 
     def _idf(self, token: str) -> float:
         if not self.use_tfidf or self._document_count == 0:
@@ -93,25 +103,37 @@ class SemanticVectorizer:
         frequency = self._document_frequency.get(token, 0)
         return math.log((1 + self._document_count) / (1 + frequency)) + 1.0
 
+    def embed(self, template: str) -> np.ndarray:
+        """Compute the semantic vector of a template, uncached.
+
+        Well-defined for every input: an empty template, or one whose
+        tokens are all masked wildcards, embeds to the zero vector
+        (nothing is semantically similar to nothing), and embedding
+        before :meth:`fit` weights every token equally (IDF is 1 with
+        no documents observed).
+        """
+        self.embed_calls += 1
+        tokens = self._tokens(template)
+        if not tokens:
+            return np.zeros(self.dimension)
+        counts: dict[str, int] = {}
+        for token in tokens:
+            counts[token] = counts.get(token, 0) + 1
+        vector = np.zeros(self.dimension)
+        for token, count in counts.items():
+            weight = (count / len(tokens)) * self._idf(token)
+            vector += weight * _token_vector(token, self.dimension)
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector = vector / norm
+        return vector
+
     def vectorize(self, template: str) -> np.ndarray:
         """The (cached) semantic vector of a template, L2-normalized."""
         cached = self._cache.get(template)
         if cached is not None:
             return cached
-        tokens = self._tokens(template)
-        if not tokens:
-            vector = np.zeros(self.dimension)
-        else:
-            counts: dict[str, int] = {}
-            for token in tokens:
-                counts[token] = counts.get(token, 0) + 1
-            vector = np.zeros(self.dimension)
-            for token, count in counts.items():
-                weight = (count / len(tokens)) * self._idf(token)
-                vector += weight * _token_vector(token, self.dimension)
-            norm = np.linalg.norm(vector)
-            if norm > 0:
-                vector = vector / norm
+        vector = self.embed(template)
         self._cache[template] = vector
         return vector
 
@@ -132,10 +154,17 @@ class SemanticVectorizer:
         This is LogAnomaly's template-matching step for unseen
         templates ("the majority of the new templates are just a minor
         variant of an existing one", paper §III).
+
+        An empty candidate library, or a query that embeds to the zero
+        vector (empty / all-masked template), has no meaningful nearest
+        neighbour and returns ``(None, 0.0)`` rather than an arbitrary
+        candidate at similarity zero.
         """
         if not candidates:
             return None, 0.0
         query = self.vectorize(template)
+        if not np.any(query):
+            return None, 0.0
         matrix = self.vectorize_many(candidates)
         scores = matrix @ query
         best = int(np.argmax(scores))

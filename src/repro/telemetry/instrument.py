@@ -189,6 +189,29 @@ class PipelineTelemetry:
             "monilog_alert_provenance_records",
             "Alert provenance ledger entries held for `repro explain`")
 
+        # -- semantic-tier embedding cache (pulled from detectors) -------------
+        self.embedding_cache_hits = registry.counter(
+            "monilog_embedding_cache_hits_total",
+            "Template-vector lookups served from the embedding cache")
+        self.embedding_cache_misses = registry.counter(
+            "monilog_embedding_cache_misses_total",
+            "Template-vector lookups that computed a fresh embedding")
+        self.embedding_cache_evictions = registry.counter(
+            "monilog_embedding_cache_evictions_total",
+            "Embedding cache entries dropped by the LRU capacity bound")
+        self.embedding_cache_rebuilds = registry.counter(
+            "monilog_embedding_cache_rebuilds_total",
+            "Embeddings recomputed after an IDF-drift generation change")
+        self.embedding_cache_entries = registry.gauge(
+            "monilog_embedding_cache_entries",
+            "Template vectors currently memoized (all detector shards)")
+        self.embedding_cache_generation = registry.gauge(
+            "monilog_embedding_cache_generation",
+            "Highest embedding-cache generation across detector shards")
+        self.embedding_embed_calls = registry.counter(
+            "monilog_embedding_embed_calls_total",
+            "Full (uncached) template embedding computations")
+
         # -- autoscale (pushed by the controller, pulled for gauges) -----------
         self.autoscale_ticks = registry.counter(
             "monilog_autoscale_ticks_total", "Autoscale controller ticks")
@@ -303,6 +326,27 @@ class PipelineTelemetry:
             sessionizer = pipeline.sessionizer
             if sessionizer is not None:
                 self.open_sessions.set(sessionizer.open_sessions)
+            caches = [
+                detector.embedding_cache
+                for detector in getattr(pipeline, "detectors", ())
+                if hasattr(detector, "embedding_cache")
+            ]
+            if caches:
+                stats = [cache.stats() for cache in caches]
+                self.embedding_cache_hits.set_total(
+                    sum(s["hits"] for s in stats))
+                self.embedding_cache_misses.set_total(
+                    sum(s["misses"] for s in stats))
+                self.embedding_cache_evictions.set_total(
+                    sum(s["evictions"] for s in stats))
+                self.embedding_cache_rebuilds.set_total(
+                    sum(s["rebuilds"] for s in stats))
+                self.embedding_cache_entries.set(
+                    sum(s["entries"] for s in stats))
+                self.embedding_cache_generation.set(
+                    max(s["generation"] for s in stats))
+                self.embedding_embed_calls.set_total(
+                    sum(s["embed_calls"] for s in stats))
 
         self.registry.collect(collect)
 

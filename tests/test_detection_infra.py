@@ -171,6 +171,47 @@ class TestSemanticVectorizer:
         vectorizer = SemanticVectorizer()
         assert np.all(vectorizer.vectorize("") == 0.0)
 
+    def test_all_masked_template_zero_vector(self):
+        vectorizer = SemanticVectorizer()
+        assert np.all(
+            vectorizer.vectorize(f"{WILDCARD} {WILDCARD} {WILDCARD}") == 0.0
+        )
+
+    def test_vectorize_before_fit_is_well_defined(self):
+        # No documents observed: every token weights equally (IDF 1)
+        # and the vector is still unit-norm and deterministic.
+        vector = SemanticVectorizer().vectorize("disk write failed")
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+        again = SemanticVectorizer().vectorize("disk write failed")
+        assert np.array_equal(vector, again)
+
+    def test_nearest_zero_vector_query_matches_nothing(self):
+        vectorizer = SemanticVectorizer()
+        candidates = ["alpha beta", "gamma delta"]
+        for query in ("", f"{WILDCARD} {WILDCARD}"):
+            match, similarity = vectorizer.nearest(query, candidates)
+            assert match is None
+            assert similarity == 0.0
+
+    def test_observe_drops_stale_cached_vectors(self):
+        vectorizer = SemanticVectorizer()
+        vectorizer.fit(["alpha beta", "alpha gamma"])
+        before = vectorizer.vectorize("alpha beta")
+        for _ in range(10):
+            vectorizer.observe("alpha delta")
+        after = vectorizer.vectorize("alpha beta")
+        # "alpha" got much more common; a memo kept across observe
+        # would have returned the pre-drift weighting unchanged.
+        assert not np.allclose(before, after)
+
+    def test_embed_counts_uncached_computations(self):
+        vectorizer = SemanticVectorizer()
+        vectorizer.vectorize("alpha beta")
+        vectorizer.vectorize("alpha beta")  # memoized: no new embed
+        assert vectorizer.embed_calls == 1
+        vectorizer.embed("alpha beta")  # embed() always computes
+        assert vectorizer.embed_calls == 2
+
     def test_observe_updates_idf(self):
         vectorizer = SemanticVectorizer()
         vectorizer.fit(["alpha beta"])

@@ -1,12 +1,16 @@
-"""Tests for deep-detector save/load round-trips."""
+"""Tests for detector save/load round-trips."""
 
 import pytest
 
+from repro.api.registry import REGISTRY
 from repro.detection import DeepLogDetector, LogRobustDetector
 from repro.detection.persistence import (
+    _PERSISTENCE,
     load_deeplog,
+    load_detector,
     load_logrobust,
     save_deeplog,
+    save_detector,
     save_logrobust,
 )
 from repro.logs.record import ParsedLog, WILDCARD
@@ -120,3 +124,56 @@ class TestLogRobustPersistence:
     def test_unfitted_save_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="unfitted"):
             save_logrobust(LogRobustDetector(), tmp_path / "nope")
+
+
+#: Deep detectors train at full size in minutes; the registry-wide
+#: round-trip only needs *fidelity*, so shrink their training knobs.
+_FAST_OPTIONS = {
+    "deeplog": {"window": 4, "top_g": 2, "epochs": 2, "hidden": 8,
+                "min_value_observations": 100, "seed": 0},
+    "loganomaly": {"window": 4, "epochs": 2, "hidden": 8, "seed": 0},
+    "logrobust": {"max_length": 10, "epochs": 4, "hidden": 8, "seed": 0},
+}
+
+
+class TestEveryRegisteredDetectorRoundTrips:
+    """Save/load fidelity for the whole registry, not a curated list.
+
+    Parametrized over ``REGISTRY.names("detector")`` so a 9th/10th
+    detector registration cannot ship without persistence support:
+    :func:`save_detector` raises for any type missing from the
+    dispatch table, failing the new parameter automatically.
+    """
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        sessions = [_normal_session(index) for index in range(30)]
+        labels = [False] * 30
+        for index in range(6):
+            bad = _normal_session(100 + index)
+            bad.insert(3, _event(3, session=f"bad{index}"))
+            sessions.append(bad)
+            labels.append(True)
+        anomalous_probe = _normal_session(77)
+        anomalous_probe.insert(3, _event(3, session="probe"))
+        probes = [_normal_session(55), anomalous_probe]
+        return sessions, labels, probes
+
+    def test_dispatch_table_covers_the_registry(self):
+        assert set(_PERSISTENCE) == set(REGISTRY.names("detector"))
+
+    @pytest.mark.parametrize("name", sorted(REGISTRY.names("detector")))
+    def test_roundtrip_preserves_detection(self, name, corpus, tmp_path):
+        sessions, labels, probes = corpus
+        detector = REGISTRY.create(
+            "detector", name, dict(_FAST_OPTIONS.get(name, {})))
+        detector.fit(sessions, labels)
+        before = [detector.detect(probe) for probe in probes]
+        save_detector(detector, tmp_path / name)
+        restored = load_detector(tmp_path / name)
+        after = [restored.detect(probe) for probe in probes]
+        assert after == before
+
+    def test_save_detector_rejects_unknown_types(self, tmp_path):
+        with pytest.raises(ValueError, match="no persistence support"):
+            save_detector(object(), tmp_path / "nope")

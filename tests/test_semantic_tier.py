@@ -1,0 +1,447 @@
+"""Tests for the semantic detection tier.
+
+:class:`TemplateEmbeddingCache` generation discipline + counters,
+:class:`LofDetector` discrimination and provenance,
+:class:`RollingWindowDetector` flood/burst coverage, and both
+detectors' registry-to-pipeline integration (spec resolution, executor
+parity, embedding-cache telemetry families).
+"""
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import Pipeline, PipelineSpec
+from repro.api.registry import REGISTRY
+from repro.detection import (
+    LofDetector,
+    RollingWindowDetector,
+    TemplateEmbeddingCache,
+)
+from repro.detection.semantics import SemanticVectorizer
+from repro.detection.windows import sessions_from_parsed
+from repro.logs.record import LogRecord, Severity
+from repro.parsing import DrainParser
+
+from conftest import make_record  # noqa: F401  (shared fixture import)
+
+_BASE_MESSAGES = [
+    "request {r} accepted from client {c}",
+    "request {r} fetched {n} bytes from disk",
+    "cache lookup hit for key {k}",
+    "request {r} completed fine with status 200",
+    "heartbeat received from node {b}",
+    "connection {c} opened to backend {b}",
+    "connection {c} closed normally",
+    "scheduled job {k} finished in {n} ms",
+]
+_ALIEN = "irrecoverable data corruption detected on sector 9 halting"
+
+
+def _records(messages, session_id, start=0.0, step=1.0):
+    return [
+        LogRecord(timestamp=start + index * step, source="app",
+                  severity=Severity.INFO, message=message,
+                  session_id=session_id, sequence=index)
+        for index, message in enumerate(messages)
+    ]
+
+
+def _session_messages(s):
+    return [
+        base.format(r=s * 100, c=s % 9, b=(s + t) % 5,
+                    n=512 * (t + 1), k=s * 10 + t)
+        for t, base in enumerate(_BASE_MESSAGES)
+    ]
+
+
+@pytest.fixture
+def corpus():
+    # Function-scoped on purpose: Drain generalizes templates as it
+    # parses, so a shared parser would leak one test's template drift
+    # into the next test's "known template" expectations.
+    parser = DrainParser()
+    records = []
+    for s in range(12):
+        records += _records(_session_messages(s), f"train-{s}",
+                            start=s * 100.0)
+    train = list(sessions_from_parsed(parser.parse_all(records)).values())
+    return parser, train
+
+
+def _one_session(parser, messages, session_id, start, step=1.0):
+    parsed = parser.parse_all(
+        _records(messages, session_id, start=start, step=step))
+    return list(sessions_from_parsed(parsed).values())[0]
+
+
+class TestTemplateEmbeddingCache:
+    def _cache(self, **kwargs):
+        cache = TemplateEmbeddingCache(
+            SemanticVectorizer(dimension=16), **kwargs)
+        cache.vectorizer.fit(["request accepted", "request completed"])
+        return cache
+
+    def test_hit_miss_counters(self):
+        cache = self._cache()
+        first = cache.vector("request accepted")
+        second = cache.vector("request accepted")
+        assert np.array_equal(first, second)
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.embed_calls == 1
+
+    def test_lru_eviction_beyond_capacity(self):
+        cache = self._cache(capacity=2)
+        cache.vector("a b")
+        cache.vector("c d")
+        cache.vector("e f")  # evicts "a b"
+        assert cache.evictions == 1
+        assert len(cache) == 2
+        cache.vector("c d")  # still memoized
+        assert cache.hits == 1
+
+    def test_observe_past_tolerance_advances_generation(self):
+        cache = self._cache(idf_tolerance=0.05)
+        assert cache.generation == 0
+        cache.observe("completely fresh statement body")
+        assert cache.generation == 1
+
+    def test_observe_under_tolerance_keeps_entries_live(self):
+        cache = self._cache(idf_tolerance=100.0)
+        cache.vector("request accepted")
+        cache.observe("completely fresh statement body")
+        cache.vector("request accepted")
+        assert cache.generation == 0
+        assert cache.hits == 1 and cache.rebuilds == 0
+
+    def test_stale_generation_recomputes_as_rebuild(self):
+        cache = self._cache(idf_tolerance=0.05)
+        before = cache.vector("request accepted")
+        cache.observe("completely fresh statement body")
+        after = cache.vector("request accepted")
+        assert cache.rebuilds == 1 and cache.misses == 1
+        # The rebuilt vector reflects the post-drift IDF weighting.
+        assert not np.allclose(before, after)
+
+    def test_drift_accumulates_across_observations(self):
+        # Each tiny shift stays under tolerance; enough of them cross.
+        cache = self._cache(idf_tolerance=0.75)
+        for i in range(40):
+            cache.observe("request accepted")
+            if cache.generation:
+                break
+        assert cache.generation == 1
+
+    def test_tfidf_disabled_never_invalidates(self):
+        cache = TemplateEmbeddingCache(
+            SemanticVectorizer(dimension=16, use_tfidf=False),
+            idf_tolerance=0.0)
+        cache.vector("request accepted")
+        cache.observe("completely fresh statement body")
+        assert cache.generation == 0  # unweighted vectors cannot go stale
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TemplateEmbeddingCache(capacity=0)
+        with pytest.raises(ValueError):
+            TemplateEmbeddingCache(idf_tolerance=-0.1)
+
+    def test_pickle_drops_and_restores_lock(self):
+        cache = self._cache()
+        cache.vector("request accepted")
+        clone = pickle.loads(pickle.dumps(cache))
+        assert isinstance(clone._lock, type(threading.Lock()))
+        assert np.array_equal(clone.vector("request accepted"),
+                              cache.vector("request accepted"))
+
+    def test_thread_safety_under_concurrent_lookups(self):
+        cache = self._cache(capacity=8)
+        templates = [f"statement number {i} body" for i in range(16)]
+        errors = []
+
+        def worker(offset):
+            try:
+                for i in range(300):
+                    template = templates[(i + offset) % len(templates)]
+                    vector = cache.vector(template)
+                    assert vector.shape == (16,)
+                    if i % 50 == 0:
+                        cache.observe(template)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] + stats["rebuilds"] == 1200
+        assert len(cache) <= 8
+
+    def test_stats_snapshot_shape(self):
+        stats = self._cache().stats()
+        assert set(stats) == {"hits", "misses", "evictions", "rebuilds",
+                              "entries", "generation", "embed_calls"}
+
+
+class TestLofDetector:
+    def test_registered(self):
+        assert "lof" in REGISTRY.names("detector")
+        detector = REGISTRY.create("detector", "lof", {"k": 2, "seed": 3})
+        assert detector.k == 2 and detector.seed == 3
+
+    def test_flags_alien_passes_benign_variant(self, corpus):
+        parser, train = corpus
+        detector = LofDetector().fit(train)
+        benign = _one_session(
+            parser,
+            ["request 990 accepted from client 8",
+             "request 990 fetched 2048 bytes from disk",
+             "request 990 completed okay with status 200"],
+            "benign", 5000.0)
+        alien_messages = _session_messages(50)
+        alien_messages.insert(2, _ALIEN)
+        alien = _one_session(parser, alien_messages, "alien", 6000.0)
+        assert not detector.detect(benign).anomalous
+        result = detector.detect(alien)
+        assert result.anomalous
+        assert result.score >= 1.0
+
+    def test_reasons_carry_nearest_neighbour_provenance(self, corpus):
+        parser, train = corpus
+        detector = LofDetector().fit(train)
+        messages = _session_messages(60)
+        messages.append(_ALIEN)
+        result = detector.detect(
+            _one_session(parser, messages, "alien", 7000.0))
+        assert result.anomalous
+        (reason,) = result.reasons
+        assert "nearest:" in reason and "lof=" in reason
+        assert reason.count("template#") >= detector.k + 1
+
+    def test_known_templates_are_never_outliers(self, corpus):
+        parser, train = corpus
+        detector = LofDetector().fit(train)
+        replay = _one_session(parser, _session_messages(3), "replay", 8000.0)
+        result = detector.detect(replay)
+        assert not result.anomalous
+        assert result.score == 0.0
+
+    def test_deterministic_across_seeds_and_pickling(self, corpus):
+        parser, train = corpus
+        messages = _session_messages(70)
+        messages.insert(1, _ALIEN)
+        session = _one_session(parser, messages, "alien", 9000.0)
+        results = []
+        for seed in (0, 7):
+            detector = LofDetector(seed=seed).fit(train)
+            detector = pickle.loads(pickle.dumps(detector))
+            results.append(detector.detect(session))
+        assert results[0] == results[1]
+
+    def test_observation_rebuilds_library_on_drift(self, corpus):
+        parser, train = corpus
+        detector = LofDetector(idf_tolerance=0.05).fit(train)
+        built_under = detector._matrix_generation
+        novelty = _one_session(
+            parser,
+            ["entirely novel maintenance chatter begins now",
+             "request 30 completed fine with status 200"],
+            "novel", 10000.0)
+        detector.detect(novelty)
+        assert detector.embedding_cache.generation > built_under
+        assert detector._matrix_generation == \
+            detector.embedding_cache.generation
+
+    def test_single_template_library_uses_distance_fallback(self, corpus):
+        parser, _ = corpus
+        train = [_one_session(parser, ["heartbeat received from node 1"],
+                              "mono", 0.0)]
+        detector = LofDetector().fit(train)
+        alien = _one_session(parser, [_ALIEN], "alien", 100.0)
+        assert detector.detect(alien).anomalous
+
+    def test_unfitted_raises(self, corpus):
+        parser, _ = corpus
+        session = _one_session(parser, ["anything goes"], "s", 0.0)
+        with pytest.raises(RuntimeError):
+            LofDetector().detect(session)
+        with pytest.raises(ValueError):
+            LofDetector().fit([])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LofDetector(k=0)
+        with pytest.raises(ValueError):
+            LofDetector(lof_threshold=0.0)
+        with pytest.raises(ValueError):
+            LofDetector(distance_threshold=-1.0)
+
+
+class TestRollingWindowDetector:
+    def test_registered(self):
+        assert "rollingwindow" in REGISTRY.names("detector")
+        detector = REGISTRY.create(
+            "detector", "rollingwindow", {"window_seconds": 5.0})
+        assert detector.window_seconds == 5.0
+
+    def test_flags_flood(self, corpus):
+        parser, train = corpus
+        detector = RollingWindowDetector(window_seconds=10.0).fit(train)
+        flood = _one_session(
+            parser,
+            [f"request {i} accepted from client 1" for i in range(60)],
+            "flood", 20000.0, step=0.05)
+        result = detector.detect(flood)
+        assert result.anomalous
+        assert any("flood" in reason for reason in result.reasons)
+
+    def test_flags_repetition_burst(self, corpus):
+        parser, train = corpus
+        detector = RollingWindowDetector(window_seconds=10.0).fit(train)
+        burst = _one_session(
+            parser, ["cache lookup hit for key 55"] * 40,
+            "burst", 30000.0, step=5.0)  # slow: rate stays normal
+        result = detector.detect(burst)
+        assert result.anomalous
+        assert any("burst" in reason for reason in result.reasons)
+
+    def test_passes_normal_traffic(self, corpus):
+        parser, train = corpus
+        detector = RollingWindowDetector(window_seconds=10.0).fit(train)
+        result = detector.detect(
+            _one_session(parser, _session_messages(4), "ok", 40000.0))
+        assert not result.anomalous
+        assert result.score < 1.0
+
+    def test_min_events_floors_trivial_floods(self, corpus):
+        parser, _ = corpus
+        sparse = [_one_session(parser, ["heartbeat received from node 1"],
+                               "sparse", 0.0)]
+        detector = RollingWindowDetector(
+            window_seconds=10.0, min_events=8).fit(sparse)
+        # 4 events in a window: above 3x the trained max of 1, but
+        # under the absolute floor — not a flood worth waking anyone.
+        small = _one_session(
+            parser, [f"request {i} accepted" for i in range(4)],
+            "small", 100.0, step=0.1)
+        assert not detector.detect(small).anomalous
+
+    def test_unfitted_and_validation(self):
+        with pytest.raises(ValueError):
+            RollingWindowDetector(window_seconds=0.0)
+        with pytest.raises(ValueError):
+            RollingWindowDetector(rate_factor=0.5)
+        with pytest.raises(ValueError):
+            RollingWindowDetector().fit([])
+
+
+def _stream_records(prefix, count, alien_every=0):
+    records = []
+    for s in range(count):
+        start = s * 40.0
+        request = s * 1000 + 17
+        messages = (
+            [f"request {request} accepted"]
+            + [f"request {request} fetched 4096 bytes"] * 3
+            + ([_ALIEN] if alien_every and s % alien_every == 2 else [])
+            + [f"request {request} completed fine"]
+        )
+        for sequence, message in enumerate(messages):
+            records.append(LogRecord(
+                timestamp=round(start + sequence * 0.040, 3),
+                source=prefix, severity=Severity.INFO, message=message,
+                session_id=f"{prefix}-{s}", sequence=sequence,
+            ))
+    return records
+
+
+def _alert_key(alert):
+    return (alert.report.report_id, alert.report.session_id,
+            alert.report.events, alert.pool, alert.criticality)
+
+
+class TestPipelineIntegration:
+    def _spec(self, detector, executor="serial", telemetry=None):
+        payload = {
+            "detector": detector, "executor": executor, "shards": 2,
+            "detector_shards": 2, "batch_size": 64,
+            "session_timeout": 30.0,
+        }
+        if telemetry:
+            payload["telemetry"] = telemetry
+        return PipelineSpec.from_dict(payload)
+
+    def test_lof_resolves_from_spec_and_alerts(self):
+        history = _stream_records("hist", 8)
+        live = _stream_records("live", 30, alien_every=5)
+        with Pipeline.from_spec(self._spec("lof")) as pipeline:
+            pipeline.fit(history)
+            alerts = pipeline.process(live)
+        assert alerts
+        assert all("live-" in alert.report.session_id for alert in alerts)
+
+    def test_serial_and_thread_alerts_identical(self):
+        history = _stream_records("hist", 8)
+        live = _stream_records("live", 30, alien_every=5)
+        keys = {}
+        for executor in ("serial", "thread"):
+            with Pipeline.from_spec(self._spec("lof", executor)) as pipeline:
+                pipeline.fit(history)
+                keys[executor] = [
+                    _alert_key(alert) for alert in pipeline.process(live)
+                ]
+        assert keys["serial"] == keys["thread"]
+
+    def test_alert_provenance_includes_neighbours(self):
+        history = _stream_records("hist", 8)
+        live = _stream_records("live", 20, alien_every=5)
+        spec = self._spec("lof", telemetry={"enabled": True,
+                                            "tracing": True})
+        with Pipeline.from_spec(spec) as pipeline:
+            pipeline.fit(history)
+            alerts = pipeline.process(live)
+            assert alerts
+            provenance = pipeline.explain(alerts[0].report.report_id)
+        assert any("nearest:" in reason for reason in provenance.reasons)
+        assert any("template#" in reason for reason in provenance.reasons)
+
+    def test_embedding_cache_telemetry_families(self):
+        history = _stream_records("hist", 8)
+        live = _stream_records("live", 20, alien_every=5)
+        spec = self._spec("lof", telemetry={"enabled": True})
+        with Pipeline.from_spec(spec) as pipeline:
+            pipeline.fit(history)
+            pipeline.process(live)
+            metrics = pipeline._telemetry.snapshot()["metrics"]
+        for family in ("monilog_embedding_cache_hits_total",
+                       "monilog_embedding_cache_misses_total",
+                       "monilog_embedding_cache_evictions_total",
+                       "monilog_embedding_cache_rebuilds_total",
+                       "monilog_embedding_cache_entries",
+                       "monilog_embedding_cache_generation",
+                       "monilog_embedding_embed_calls_total"):
+            assert family in metrics, family
+        misses = metrics["monilog_embedding_cache_misses_total"]
+        assert misses["values"][0]["value"] > 0
+
+    def test_rollingwindow_resolves_and_flags_floods(self):
+        history = _stream_records("hist", 8)
+        flood = []
+        for i in range(120):
+            flood.append(LogRecord(
+                timestamp=round(5000.0 + i * 0.01, 3), source="live",
+                severity=Severity.INFO,
+                message=f"request {i} fetched 4096 bytes",
+                session_id="live-flood", sequence=i,
+            ))
+        with Pipeline.from_spec(self._spec("rollingwindow")) as pipeline:
+            pipeline.fit(history)
+            alerts = pipeline.process(flood)
+        assert alerts
+        assert alerts[0].report.session_id == "live-flood"
