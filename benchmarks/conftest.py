@@ -21,11 +21,19 @@ import os
 import pytest
 
 from repro.datasets import generate_bgl, generate_cloud_platform, generate_hdfs
+from repro.perf.trajectory import append_entry
 
 _SMOKE = bool(os.environ.get("MONILOG_BENCH_SMOKE"))
 _SNAPSHOT_DIR = os.environ.get(
     "MONILOG_BENCH_SNAPSHOT_DIR",
     os.path.join(os.path.dirname(__file__), "results"),
+)
+#: The append-only perf ledger (scripts/perf_diff.py gates it); it
+#: follows the snapshot dir so redirected runs keep their history
+#: separate from the committed one.
+_TRAJECTORY = os.environ.get(
+    "MONILOG_BENCH_TRAJECTORY",
+    os.path.join(_SNAPSHOT_DIR, "TRAJECTORY.jsonl"),
 )
 
 
@@ -76,6 +84,12 @@ def snapshot():
     diff headline numbers across runs without scraping stdout.  The
     payload always records whether it came from a smoke-sized run —
     smoke and full numbers are not comparable.
+
+    Every numeric headline additionally lands as one appended line in
+    the perf-trajectory ledger (``TRAJECTORY.jsonl``, same directory),
+    keyed by bench name, git commit, and the smoke flag —
+    ``scripts/perf_diff.py`` / ``repro perf`` gate the latest entry of
+    each bench against the median of its own history.
     """
 
     def _snapshot(name: str, payload: dict) -> str:
@@ -85,6 +99,13 @@ def snapshot():
             json.dump({"smoke": _SMOKE, **payload}, handle,
                       indent=2, sort_keys=True)
             handle.write("\n")
+        metrics = {
+            key: value for key, value in payload.items()
+            if isinstance(value, (int, float))
+            and not isinstance(value, bool)
+        }
+        if metrics:
+            append_entry(_TRAJECTORY, name, metrics, smoke=_SMOKE)
         return path
 
     return _snapshot

@@ -6,16 +6,20 @@
 # parallel-shards bench, the X10 async-ingestion bench, the X11
 # autoscale-convergence bench, the X12 elastic-resharding bench, the
 # X13 multi-tenant-gateway bench, the X14 tracing-overhead bench, the
-# X15 semantic-tier bench (with a schema check of every
-# machine-readable BENCH_*.json snapshot the smokes wrote plus the
-# EVAL_semantic_tier.json quality table), a spec-file-driven CLI
-# pipeline run (examples/pipeline.toml) and a second one with the
-# semantic-tier `lof` detector, a telemetry-exposition smoke (`repro
-# stats` JSON + a --metrics-port Prometheus scrape over real HTTP), a
-# tracing smoke (`repro pipeline --trace` then `repro explain` on the
-# first alert id), a /healthz + /readyz probe of a live `repro serve
-# --once`, and a framed-TLS `repro serve` round-trip over an ephemeral
-# self-signed certificate.
+# X15 semantic-tier bench, the X16 profiling-overhead bench (with a
+# schema check of every machine-readable BENCH_*.json snapshot the
+# smokes wrote plus the EVAL_semantic_tier.json quality table), the
+# perf-trajectory gate (TRAJECTORY.jsonl schema, the perf_diff
+# self-test proving the gate fires, then the real latest-vs-median
+# diff), a spec-file-driven CLI pipeline run (examples/pipeline.toml)
+# and a second one with the semantic-tier `lof` detector, a
+# telemetry-exposition smoke (`repro stats` JSON + a --metrics-port
+# Prometheus scrape over real HTTP), a profiling smoke (`repro
+# profile` JSON hotspots + a collapsed-stack dump), a tracing smoke
+# (`repro pipeline --trace` then `repro explain` on the first alert
+# id), a /healthz + /readyz probe of a live `repro serve --once`, and
+# a framed-TLS `repro serve` round-trip over an ephemeral self-signed
+# certificate.
 #
 #   scripts/check.sh            # full gate
 #   scripts/check.sh -k drain   # extra args go to the tier-1 pytest
@@ -110,6 +114,12 @@ MONILOG_BENCH_SMOKE=1 python -m pytest \
     benchmarks/bench_x15_semantic_tier.py \
     -q -p no:cacheprovider --benchmark-disable
 
+echo
+echo "== smoke: benchmarks/bench_x16_profiling_overhead.py =="
+MONILOG_BENCH_SMOKE=1 python -m pytest \
+    benchmarks/bench_x16_profiling_overhead.py \
+    -q -p no:cacheprovider --benchmark-disable
+
 # The benches persist machine-readable snapshots next to their printed
 # tables (benchmarks/conftest.py `snapshot` fixture); validate every
 # BENCH_*.json against the shared schema — a `smoke` bool plus numeric
@@ -169,13 +179,47 @@ for dataset, per_detector in datasets.items():
         for metric, value in row.items():
             assert isinstance(value, (int, float)) and 0.0 <= value <= 1.0, \
                 (dataset, detector, metric, value)
+with open("benchmarks/results/BENCH_x16_profiling_overhead.json") as fh:
+    x16 = json.load(fh)
+pratio = x16["throughput_ratio"]
+attributed = x16["attributed_fraction"]
+assert pratio >= 0.95, x16
+assert attributed >= 0.8, x16
+assert x16["identity_cells"] == 6 and x16["alerts"] > 0, x16
 speedup = x15["cache_speedup"]
 print(f"{len(paths)} bench snapshots well-formed "
       f"(x13 quiet/noisy drain ratio {ratio:.2f}, "
       f"x14 traced throughput ratio {tratio:.2f}, "
-      f"x15 cache speedup {speedup:.1f}x); "
+      f"x15 cache speedup {speedup:.1f}x, "
+      f"x16 profiled throughput ratio {pratio:.2f} at "
+      f"{attributed:.0%} attribution); "
       f"EVAL quality table covers {len(datasets)} datasets x "
       f"{len(next(iter(datasets.values())))} detectors")'
+
+# The bench smokes above appended their headline numbers to the
+# perf-trajectory ledger; validate every line against the shared
+# schema, prove the regression gate can fire (self-test synthesizes a
+# regression in a scratch ledger and demands a non-zero exit), then
+# gate the real ledger: the latest entry of each bench against the
+# median of its own history, per-metric, within tolerance bands.
+echo
+echo "== perf trajectory: schema + self-test + regression gate =="
+python -c '
+from repro.perf.trajectory import load_entries
+entries = load_entries("benchmarks/results/TRAJECTORY.jsonl")
+assert entries, "the bench smokes appended no trajectory entries"
+for entry in entries:  # load_entries schema-checks; assert the shape
+    assert isinstance(entry["bench"], str) and entry["bench"]
+    assert isinstance(entry["sha"], str)
+    assert isinstance(entry["smoke"], bool)
+    assert entry["metrics"] and all(
+        isinstance(value, (int, float)) and not isinstance(value, bool)
+        for value in entry["metrics"].values())
+benches = {entry["bench"] for entry in entries}
+print(f"TRAJECTORY.jsonl well-formed: {len(entries)} entries, "
+      f"{len(benches)} benches")'
+python scripts/perf_diff.py --self-test
+python scripts/perf_diff.py
 
 echo
 echo "== smoke: repro pipeline --spec examples/pipeline.toml =="
@@ -231,6 +275,40 @@ for line in text.splitlines():
     if line and not line.startswith("#"):
         float(line.rpartition(" ")[2])
 print(f"Prometheus exposition well-formed: {len(text.splitlines())} lines")'
+
+echo
+echo "== smoke: repro profile (stage-attributed hotspots + collapsed dump) =="
+# The profiling CLI end to end: force the sampler on at a high rate,
+# drain repeatedly so it accumulates samples, and demand the JSON
+# profile carries stage-attributed samples plus a well-formed
+# collapsed-stack dump (every line "frame;frame;... count").
+python -m repro profile --history "$spec_tmp/history.log" \
+    --live "$spec_tmp/live.log" --detector keyword --profile-hz 500 \
+    --repeat 10 --json --collapsed "$spec_tmp/collapsed.txt" \
+    2> /dev/null \
+    | python -c '
+import json, sys
+profile = json.load(sys.stdin)
+stats = profile["stats"]
+assert stats["samples"] > 0, stats
+stages = set()
+for key in stats["stage_samples"]:
+    tenant, _, stage = key.rpartition("/")
+    stages.add(stage)
+assert stages & {"parse", "sessionize", "detect", "classify", "fit"}, stats
+assert profile["hotspots"], "no hotspot stacks ranked"
+samples = stats["samples"]
+print(f"profile JSON well-formed: {samples} samples "
+      f"across stages {sorted(stages)}")'
+python -c '
+import sys
+lines = open(sys.argv[1]).read().splitlines()
+assert lines, "collapsed dump is empty"
+for line in lines:
+    stack, _, count = line.rpartition(" ")
+    assert stack and int(count) > 0, line
+print(f"collapsed dump well-formed: {len(lines)} stacks")' \
+    "$spec_tmp/collapsed.txt"
 
 echo
 echo "== smoke: repro pipeline --trace -> repro explain (alert provenance) =="

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Gate the perf-trajectory ledger from the command line.
+
+A thin launcher: the whole implementation lives in
+``repro.perf.trajectory`` (``repro perf`` is the same code path), this
+file only makes it runnable from a fresh checkout without installing
+the package or exporting ``PYTHONPATH``::
+
+    python scripts/perf_diff.py                # diff the real ledger
+    python scripts/perf_diff.py --self-test    # prove the gate fires
+
+Exit status: 0 when nothing regressed (or there is no ledger yet),
+1 on a regression beyond a metric's tolerance band, 2 on a malformed
+ledger.
+"""
+
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro.perf.trajectory import (  # noqa: E402 - after sys.path bootstrap
+    DEFAULT_TRAJECTORY,
+    main,
+)
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    if "--trajectory" not in argv:
+        # Anchor the default ledger at the repo root so the script
+        # works from any working directory; an explicit --trajectory
+        # stays exactly as the caller wrote it.
+        argv = ["--trajectory",
+                os.path.join(_REPO_ROOT, DEFAULT_TRAJECTORY)] + argv
+    sys.exit(main(argv))

@@ -61,13 +61,18 @@ from repro.core.reports import AnomalyReport, ClassifiedAlert
 from repro.core.streaming import BatchHandoff, StreamingSessionizer
 from repro.detection.base import DetectionResult, Detector
 from repro.detection.windows import sessions_from_parsed, sliding_windows
-from repro.logs.record import LogRecord, ParsedLog
+from repro.logs.record import DEFAULT_TENANT, LogRecord, ParsedLog
 from repro.parsing.base import BatchParser, Parser, parse_in_batches
 from repro.parsing.drain import DrainParser
 from repro.parsing.logram import LogramParser
 from repro.parsing.masking import default_masker, no_masker
 from repro.telemetry.config import TelemetryConfig
 from repro.telemetry.instrument import PipelineTelemetry
+from repro.telemetry.profiling import (
+    SamplingProfiler,
+    pop_stage,
+    push_stage,
+)
 from repro.telemetry.server import MetricsServer
 from repro.telemetry.tracing import (
     AlertProvenance,
@@ -116,6 +121,14 @@ class Pipeline:
             is enabled.
         probe_scope: prefix for this pipeline's probe names on a
             shared health monitor (the gateway passes ``"<tenant>."``).
+        profiler: a running
+            :class:`~repro.telemetry.profiling.SamplingProfiler`
+            overriding the spec-built one — the gateway passes every
+            profiling tenant the one shared sampler (stage markers
+            carry the tenant name, so attribution stays per-tenant).
+            An injected profiler's lifecycle belongs to its owner;
+            a spec-built one (``[telemetry] profile = true``) starts
+            here and stops at :meth:`close`.
 
     Lifecycle: :meth:`fit` → :meth:`process` / :meth:`process_record` /
     :meth:`run` → :meth:`flush` (streaming) → :meth:`close` (or use the
@@ -135,6 +148,7 @@ class Pipeline:
         tracer: Tracer | None = None,
         health: HealthMonitor | None = None,
         probe_scope: str = "",
+        profiler: SamplingProfiler | None = None,
     ) -> None:
         if isinstance(spec, dict):
             spec = PipelineSpec.from_dict(spec)
@@ -222,6 +236,30 @@ class Pipeline:
             self._tracer = None
         if self._tracer is not None and self._telemetry is not None:
             self._telemetry.attach_tracer(self._tracer)
+        # -- continuous profiling: one sampler, stage-attributed -------------
+        # Stage markers carry a tenant name so a shared (gateway)
+        # profiler attributes per tenant; a standalone pipeline reuses
+        # the tracer's tenant, else the probe scope, else the default.
+        if tracer is not None:
+            self._profile_tenant = tracer.tenant
+        else:
+            self._profile_tenant = (probe_scope.rstrip(".")
+                                    or DEFAULT_TENANT)
+        self._owns_profiler = False
+        if profiler is not None:
+            # Injected (the gateway's shared sampler): the owner
+            # attaches it to the shared registry and drives start/stop.
+            self._profiler: SamplingProfiler | None = profiler
+        elif telemetry_config is not None and telemetry_config.profile:
+            self._profiler = SamplingProfiler(
+                hz=telemetry_config.profile_hz,
+                max_stacks=telemetry_config.profile_stacks,
+            )
+            self._owns_profiler = True
+            self._telemetry.attach_profiler(self._profiler)
+            self._profiler.start()
+        else:
+            self._profiler = None
         if health is not None:
             self._health: HealthMonitor | None = health
         else:
@@ -354,6 +392,34 @@ class Pipeline:
         """The readiness-probe aggregate behind ``/readyz``."""
         return self._health
 
+    @property
+    def profiling_enabled(self) -> bool:
+        return self._profiler is not None
+
+    @property
+    def profiler(self) -> SamplingProfiler | None:
+        """The continuous sampler (``None`` with profiling off)."""
+        return self._profiler
+
+    def profile(self, limit: int = 20) -> dict:
+        """The live profile: aggregate counters + top-``limit`` stacks.
+
+        The same content the HTTP endpoint serves at ``/profile``
+        (``repro profile`` prints exactly this as a table).  Raises
+        ``RuntimeError`` when profiling is off — like :meth:`explain`
+        with tracing off, asking for an artifact the run never
+        recorded is a config error, not an empty answer.
+        """
+        if self._profiler is None:
+            raise RuntimeError(
+                "profiling is not enabled; set [telemetry] profile = true "
+                "(or pass --profile) to run the sampling profiler"
+            )
+        return {
+            "stats": self._profiler.stats(),
+            "hotspots": self._profiler.top(limit),
+        }
+
     def explain(self, alert_id: int) -> AlertProvenance:
         """Provenance of one delivered alert (``repro explain``).
 
@@ -459,15 +525,18 @@ class Pipeline:
             trace_store=self._tracer.store if self._tracer is not None
             else None,
             health=self._health,
+            profiler=self._profiler,
         )
         return self._metrics_server
 
     # -- lifecycle: close -------------------------------------------------------
 
     def close(self) -> None:
-        """Release the executor's worker pool and the metrics endpoint
-        (idempotent)."""
+        """Release the executor's worker pool, the metrics endpoint,
+        and the pipeline-owned profiler thread (idempotent)."""
         self.executor.close()
+        if self._owns_profiler and self._profiler is not None:
+            self._profiler.stop()
         if self._metrics_server is not None:
             self._metrics_server.close()
             self._metrics_server = None
@@ -538,6 +607,20 @@ class Pipeline:
         shards by session-id hash and fit the shards concurrently on
         the configured executor (training is executor-independent).
         """
+        profiler = self._profiler
+        if profiler is not None:
+            push_stage(self._profile_tenant, "fit")
+        try:
+            return self._fit_impl(records, labels_by_session)
+        finally:
+            if profiler is not None:
+                pop_stage()
+
+    def _fit_impl(
+        self,
+        records: Iterable[LogRecord],
+        labels_by_session: dict[str, bool] | None,
+    ) -> "Pipeline":
         record_list = list(records)
         if self._sharded:
             if labels_by_session is not None:
@@ -618,17 +701,26 @@ class Pipeline:
         trace = self._trace
         if telemetry is None and trace is None:
             return parse_in_batches(self.parser, records, batch_size)
-        start = telemetry.clock() if telemetry is not None else 0.0
-        if trace is not None:
-            with trace.span("parse") as span:
+        profiler = self._profiler
+        if profiler is not None:
+            push_stage(self._profile_tenant, "parse")
+        try:
+            start = telemetry.clock() if telemetry is not None else 0.0
+            if trace is not None:
+                with trace.span("parse") as span:
+                    parsed = parse_in_batches(
+                        self.parser, records, batch_size)
+                    span.annotate(records=len(parsed),
+                                  templates=self.parser.template_count)
+            else:
                 parsed = parse_in_batches(self.parser, records, batch_size)
-                span.annotate(records=len(parsed),
-                              templates=self.parser.template_count)
-        else:
-            parsed = parse_in_batches(self.parser, records, batch_size)
-        if telemetry is not None:
-            telemetry.observe_parse(len(parsed), telemetry.clock() - start)
-        return parsed
+            if telemetry is not None:
+                telemetry.observe_parse(
+                    len(parsed), telemetry.clock() - start)
+            return parsed
+        finally:
+            if profiler is not None:
+                pop_stage()
 
     def _push_sessionizer(self, event: ParsedLog) -> list[list[ParsedLog]]:
         """``sessionizer.push`` with the sessionize latency observed."""
@@ -636,19 +728,27 @@ class Pipeline:
         trace = self._trace
         if telemetry is None and trace is None:
             return self.sessionizer.push(event)
-        start = telemetry.clock() if telemetry is not None else 0.0
-        # Span only on record-granular traces: a batch trace would mint
-        # one sessionize span per record and flood the ring buffer.
-        if trace is not None and trace.kind == "record":
-            with trace.span("sessionize") as span:
+        profiler = self._profiler
+        if profiler is not None:
+            push_stage(self._profile_tenant, "sessionize")
+        try:
+            start = telemetry.clock() if telemetry is not None else 0.0
+            # Span only on record-granular traces: a batch trace would
+            # mint one sessionize span per record and flood the ring
+            # buffer.
+            if trace is not None and trace.kind == "record":
+                with trace.span("sessionize") as span:
+                    closed = self.sessionizer.push(event)
+                    span.annotate(closed=len(closed),
+                                  open=self.sessionizer.open_sessions)
+            else:
                 closed = self.sessionizer.push(event)
-                span.annotate(closed=len(closed),
-                              open=self.sessionizer.open_sessions)
-        else:
-            closed = self.sessionizer.push(event)
-        if telemetry is not None:
-            telemetry.observe_sessionize(telemetry.clock() - start)
-        return closed
+            if telemetry is not None:
+                telemetry.observe_sessionize(telemetry.clock() - start)
+            return closed
+        finally:
+            if profiler is not None:
+                pop_stage()
 
     # -- scoring ----------------------------------------------------------------
 
@@ -664,21 +764,28 @@ class Pipeline:
         self._stats.windows_scored += 1
         telemetry = self._telemetry
         trace = self._trace
+        profiler = self._profiler
         if telemetry is None and trace is None:
             result = self.detector.detect(window)
         else:
-            start = telemetry.clock() if telemetry is not None else 0.0
-            if trace is not None:
-                with trace.span("detect") as span:
+            if profiler is not None:
+                push_stage(self._profile_tenant, "detect")
+            try:
+                start = telemetry.clock() if telemetry is not None else 0.0
+                if trace is not None:
+                    with trace.span("detect") as span:
+                        result = self.detector.detect(window)
+                        span.annotate(session=window[0].windowing_key,
+                                      events=len(window),
+                                      score=result.score,
+                                      anomalous=result.anomalous)
+                else:
                     result = self.detector.detect(window)
-                    span.annotate(session=window[0].windowing_key,
-                                  events=len(window),
-                                  score=result.score,
-                                  anomalous=result.anomalous)
-            else:
-                result = self.detector.detect(window)
-            if telemetry is not None:
-                telemetry.observe_detect(1, telemetry.clock() - start)
+                if telemetry is not None:
+                    telemetry.observe_detect(1, telemetry.clock() - start)
+            finally:
+                if profiler is not None:
+                    pop_stage()
         if not result.anomalous:
             return None
         self._stats.anomalies_detected += 1
@@ -690,15 +797,22 @@ class Pipeline:
             detection=result,
         )
         self._report_counter += 1
-        if trace is not None:
-            with trace.span("classify") as span:
+        if profiler is not None:
+            push_stage(self._profile_tenant, "classify")
+        try:
+            if trace is not None:
+                with trace.span("classify") as span:
+                    predicted = self.classifier.classify(report)
+                    alert = self.pools.deliver(predicted)
+                    span.annotate(alert_id=report.report_id,
+                                  pool=alert.pool,
+                                  criticality=alert.criticality)
+            else:
                 predicted = self.classifier.classify(report)
                 alert = self.pools.deliver(predicted)
-                span.annotate(alert_id=report.report_id, pool=alert.pool,
-                              criticality=alert.criticality)
-        else:
-            predicted = self.classifier.classify(report)
-            alert = self.pools.deliver(predicted)
+        finally:
+            if profiler is not None:
+                pop_stage()
         self._stats.alerts_classified += 1
         if self._tracer is not None:
             self._tracer.record_alert(
@@ -724,25 +838,35 @@ class Pipeline:
         busy = [shard for shard in range(shards) if groups[shard]]
         telemetry = self._telemetry
         trace = self._trace
-        start = telemetry.clock() if telemetry is not None else 0.0
-        if trace is not None:
-            with trace.span("detect") as span:
+        profiler = self._profiler
+        if profiler is not None:
+            # Attributes the fan-out's calling-thread share (serial
+            # executor: all of it); worker threads sample as "other".
+            push_stage(self._profile_tenant, "detect")
+        try:
+            start = telemetry.clock() if telemetry is not None else 0.0
+            if trace is not None:
+                with trace.span("detect") as span:
+                    outcomes = self.executor.map(
+                        _detect_shard,
+                        [(self.detectors[shard], groups[shard])
+                         for shard in busy],
+                    )
+                    span.annotate(sessions=len(keyed_sessions),
+                                  busy_shards=len(busy),
+                                  executor=self.executor.name)
+            else:
                 outcomes = self.executor.map(
                     _detect_shard,
                     [(self.detectors[shard], groups[shard])
                      for shard in busy],
                 )
-                span.annotate(sessions=len(keyed_sessions),
-                              busy_shards=len(busy),
-                              executor=self.executor.name)
-        else:
-            outcomes = self.executor.map(
-                _detect_shard,
-                [(self.detectors[shard], groups[shard]) for shard in busy],
-            )
-        if telemetry is not None:
-            telemetry.observe_detect(len(keyed_sessions),
-                                     telemetry.clock() - start)
+            if telemetry is not None:
+                telemetry.observe_detect(len(keyed_sessions),
+                                         telemetry.clock() - start)
+        finally:
+            if profiler is not None:
+                pop_stage()
         per_shard = {shard: iter(results)
                      for shard, results in zip(busy, outcomes)}
         return [next(per_shard[shard]) for shard in shard_of]
@@ -973,16 +1097,23 @@ class Pipeline:
         if telemetry is None and trace is None:
             parsed = self.parser.parse_record(record)
         else:
-            start = telemetry.clock() if telemetry is not None else 0.0
-            if trace is not None:
-                with trace.span("parse") as span:
+            profiler = self._profiler
+            if profiler is not None:
+                push_stage(self._profile_tenant, "parse")
+            try:
+                start = telemetry.clock() if telemetry is not None else 0.0
+                if trace is not None:
+                    with trace.span("parse") as span:
+                        parsed = self.parser.parse_record(record)
+                        span.annotate(records=1,
+                                      template_id=parsed.template_id)
+                else:
                     parsed = self.parser.parse_record(record)
-                    span.annotate(records=1,
-                                  template_id=parsed.template_id)
-            else:
-                parsed = self.parser.parse_record(record)
-            if telemetry is not None:
-                telemetry.observe_parse(1, telemetry.clock() - start)
+                if telemetry is not None:
+                    telemetry.observe_parse(1, telemetry.clock() - start)
+            finally:
+                if profiler is not None:
+                    pop_stage()
         self._stats.records_parsed += 1
         self._stats.templates_discovered = self.parser.template_count
         closed = self._push_sessionizer(parsed)

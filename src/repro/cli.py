@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Nine commands covering the adoption path of a downstream user:
+Eleven commands covering the adoption path of a downstream user:
 
 * ``generate`` — write a synthetic ground-truthed corpus to a log file
   (dashed Fig. 2 layout) for trying the tools on disk;
@@ -32,7 +32,17 @@ Nine commands covering the adoption path of a downstream user:
 * ``explain``  — resolve one alert id to its full provenance: source
   names and byte offsets, template ids, detector window and score,
   and the pool decision — from a ``--trace-file`` dump or by rerunning
-  ``--history``/``--live`` with tracing forced on.
+  ``--history``/``--live`` with tracing forced on;
+* ``profile``  — run the pipeline with the continuous sampling
+  profiler forced on and print the top-N hottest stacks,
+  stage-attributed, with ``--collapsed FILE`` dumping the full
+  flamegraph.pl-ready collapsed-stack text (see
+  ``docs/profiling.md``);
+* ``perf``     — diff the append-only perf-trajectory ledger
+  (``benchmarks/results/TRAJECTORY.jsonl``): the latest entry of each
+  bench against the median of its history, exiting non-zero on a
+  regression beyond the tolerance band (the same code path as
+  ``scripts/perf_diff.py``).
 
 ``--telemetry`` / ``--metrics-port`` / ``--autoscale`` arm the
 observability subsystem on ``pipeline`` and ``tail``: metrics serve at
@@ -55,6 +65,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import signal
 import sys
 from collections.abc import Sequence
@@ -220,6 +231,13 @@ def _spec_from_args(args: argparse.Namespace, **forced) -> PipelineSpec:
             telemetry["enabled"] = True
             telemetry["tracing"] = True
             telemetry["trace_sample_rate"] = args.trace_sample_rate
+        if getattr(args, "profile", None):
+            telemetry["enabled"] = True
+            telemetry["profile"] = True
+        if getattr(args, "profile_hz", None) is not None:
+            telemetry["enabled"] = True
+            telemetry["profile"] = True
+            telemetry["profile_hz"] = args.profile_hz
         if telemetry != spec.telemetry:
             overrides["telemetry"] = telemetry
         autoscale = dict(spec.autoscale)
@@ -301,6 +319,19 @@ def _add_spec_flags(command: argparse.ArgumentParser,
         help="fraction of batches/records that carry a full span tree "
              "(deterministic counter sampling, no RNG; 1.0 = all, "
              "implies --trace; spec key: [telemetry] trace_sample_rate)",
+    )
+    command.add_argument(
+        "--profile", action="store_true", default=None,
+        help="run the continuous sampling profiler for the lifetime "
+             "of the run (spec key: [telemetry] profile; implies "
+             "--telemetry); stage-attributed hotspots at /profile and "
+             "`repro profile`, alerts stay byte-identical",
+    )
+    command.add_argument(
+        "--profile-hz", type=_positive_float, metavar="HZ",
+        help="profiler sampling rate in samples/second (implies "
+             "--profile; spec key: [telemetry] profile_hz, "
+             "default 100)",
     )
     command.add_argument(
         "--autoscale", action="store_true", default=None,
@@ -668,6 +699,75 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_profile(args: argparse.Namespace) -> int:
+    """Run with profiling forced on; print the hotspot ranking.
+
+    The offline counterpart of scraping ``/profile`` from a live
+    pipeline: fit on the history, drain the live file (``--repeat``
+    times — more passes mean more samples), stop the sampler, and
+    print the top stacks.  ``--collapsed FILE`` additionally dumps the
+    full profile in flamegraph.pl-ready collapsed-stack text.
+    """
+    spec = _spec_from_args(args)
+    if spec.tenants:
+        raise SystemExit(
+            "repro: profile runs a single-tenant spec; for a gateway, "
+            "scrape /profile from `repro serve --metrics-port`"
+        )
+    spec = spec.replace(
+        telemetry=dict(spec.telemetry, enabled=True, profile=True))
+    history = _read_records(args.history, sessionize=True)
+    live = _read_records(args.live, sessionize=True)
+    with Pipeline.from_spec(spec) as pipeline:
+        pipeline.fit(history)
+        alerts: list = []
+        for _ in range(args.repeat):
+            alerts = pipeline.process(live)
+        profiler = pipeline.profiler
+        profiler.stop()
+        if args.collapsed:
+            with open(args.collapsed, "w", encoding="utf-8") as handle:
+                handle.write(profiler.collapsed())
+            print(f"wrote collapsed stacks to {args.collapsed}",
+                  file=sys.stderr)
+        profile = pipeline.profile(limit=args.limit)
+        if args.json:
+            print(json.dumps(profile, indent=2))
+        else:
+            stats = profile["stats"]
+            table = Table(
+                f"top {len(profile['hotspots'])} of {stats['stacks']} "
+                f"stacks ({stats['samples']} samples at "
+                f"{stats['hz']:g} Hz)",
+                ["samples", "share", "stack"],
+            )
+            for spot in profile["hotspots"]:
+                table.add_row(spot["samples"], f"{spot['share']:.1%}",
+                              spot["stack"])
+            table.print()
+            stages = ", ".join(f"{stage}={count}" for stage, count
+                               in stats["stage_samples"].items())
+            print(f"# stages: {stages or '(no samples)'}",
+                  file=sys.stderr)
+        print(f"# {len(alerts)} alerts per pass over {args.live} "
+              f"(x{args.repeat}); sampler overhead "
+              f"{profile['stats']['overhead_seconds']:.3f}s",
+              file=sys.stderr)
+    return 0
+
+
+def _command_perf(args: argparse.Namespace) -> int:
+    """Diff the perf-trajectory ledger (``scripts/perf_diff.py``)."""
+    from repro.perf.trajectory import TrajectoryError, run_diff, self_test
+
+    try:
+        if args.self_test:
+            return self_test()
+        return run_diff(args.trajectory)
+    except TrajectoryError as error:
+        raise SystemExit(f"repro: {error}") from None
+
+
 def _command_explain(args: argparse.Namespace) -> int:
     """Resolve one alert id to its provenance record."""
     from repro.telemetry.tracing import AlertProvenance
@@ -1021,6 +1121,54 @@ def build_argument_parser() -> argparse.ArgumentParser:
     explain.add_argument("--live", help="live log file (with --history)")
     _add_spec_flags(explain)
     explain.set_defaults(handler=_command_explain)
+
+    profile = commands.add_parser(
+        "profile",
+        help="run with the sampling profiler on; print the hottest "
+             "stacks per pipeline stage",
+    )
+    profile.add_argument("--history", required=True,
+                         help="training log file (offline history)")
+    profile.add_argument("--live", required=True, help="live log file")
+    profile.add_argument(
+        "--limit", type=_positive_int, default=20, metavar="N",
+        help="hotspot stacks to print (default 20)",
+    )
+    profile.add_argument(
+        "--repeat", type=_positive_int, default=1, metavar="N",
+        help="drain the live file N times — more passes, more samples "
+             "(alerts are identical every pass; default 1)",
+    )
+    profile.add_argument(
+        "--collapsed", metavar="PATH",
+        help="also write the full profile as collapsed-stack text "
+             "(`flamegraph.pl PATH > flame.svg`)",
+    )
+    profile.add_argument(
+        "--json", action="store_true",
+        help="print the profile as JSON (the /profile payload) "
+             "instead of a table",
+    )
+    _add_spec_flags(profile)
+    profile.set_defaults(handler=_command_profile)
+
+    perf = commands.add_parser(
+        "perf",
+        help="gate the latest bench numbers against the "
+             "perf-trajectory ledger",
+    )
+    perf.add_argument(
+        "--trajectory", metavar="PATH",
+        default=os.path.join("benchmarks", "results", "TRAJECTORY.jsonl"),
+        help="the JSONL ledger to diff (default: "
+             "benchmarks/results/TRAJECTORY.jsonl)",
+    )
+    perf.add_argument(
+        "--self-test", action="store_true",
+        help="synthesize a regression in a scratch ledger and verify "
+             "the gate fires",
+    )
+    perf.set_defaults(handler=_command_perf)
 
     tail = commands.add_parser(
         "tail",

@@ -56,6 +56,7 @@ from repro.ingest.service import IngestService, IngestStats
 from repro.logs.record import LogRecord
 from repro.telemetry.metrics import MetricsRegistry, ScopedRegistry
 from repro.telemetry.server import MetricsServer
+from repro.telemetry.profiling import SamplingProfiler
 from repro.telemetry.tracing import HealthMonitor, Tracer, TraceStore
 
 #: The comment block the shared registry emits at the top of
@@ -155,6 +156,23 @@ class Gateway:
             if config is not None and config.tracing:
                 self._trace_store = TraceStore(config.trace_buffer)
                 break
+        # One shared sampler for the whole process — a wall-clock
+        # profiler is per-interpreter by nature.  Rate/capacity come
+        # from the first profiling tenant's table; the stage-samples
+        # family carries (tenant, stage) labels itself, so it attaches
+        # to the *base* registry, never a tenant-scoped view (which
+        # would stamp a clashing ``tenant`` label on every family).
+        self._profiler: SamplingProfiler | None = None
+        for name, config in configs.items():
+            if config is not None and config.profile:
+                self._profiler = SamplingProfiler(
+                    hz=config.profile_hz,
+                    max_stacks=config.profile_stacks,
+                )
+                break
+        if self._profiler is not None:
+            self._profiler.attach(self.registry)
+            self._profiler.start()
         for name in spec.tenants:
             config = configs[name]
             tracer = None
@@ -172,6 +190,9 @@ class Gateway:
                 tracer=tracer,
                 health=self._health,
                 probe_scope=f"{name}.",
+                profiler=(self._profiler
+                          if config is not None and config.profile
+                          else None),
             )
 
     def _tenant_pipeline_spec(self, name: str) -> PipelineSpec:
@@ -381,6 +402,18 @@ class Gateway:
         """
         return self._trace_store
 
+    @property
+    def profiler(self) -> SamplingProfiler | None:
+        """The shared sampler, or None when no tenant profiles.
+
+        All profiling tenants share one wall-clock sampler (rate and
+        stack capacity from the first profiling tenant's table); every
+        sample is stage-attributed with its tenant's name, so the
+        ``monilog_profile_stage_samples_total`` family and the
+        collapsed stacks separate tenants by label/root frame.
+        """
+        return self._profiler
+
     def explain(self, tenant: str, alert_id: int):
         """One tenant's alert provenance (``repro explain``).
 
@@ -412,16 +445,20 @@ class Gateway:
                 self.registry, port,
                 trace_store=self._trace_store,
                 health=self._health,
+                profiler=self._profiler,
             )
         return self._metrics_server
 
     # -- lifecycle: close --------------------------------------------------------
 
     def close(self) -> None:
-        """Release the shared pool and the endpoint (idempotent)."""
+        """Release the shared pool, the sampler, and the endpoint
+        (idempotent)."""
         for pipeline in self._pipelines.values():
             pipeline.close()
         self.executor.close()
+        if self._profiler is not None:
+            self._profiler.stop()
         if self._metrics_server is not None:
             self._metrics_server.close()
             self._metrics_server = None

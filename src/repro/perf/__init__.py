@@ -1,0 +1,35 @@
+"""Persisted performance trajectory and regression gating.
+
+Benchmarks append their headline numbers to an append-only JSONL
+ledger (``benchmarks/results/TRAJECTORY.jsonl``);
+:mod:`repro.perf.trajectory` replays that ledger and gates the latest
+run of each bench against the median of its own history, per-metric,
+with explicit tolerance bands — ``repro perf`` and
+``scripts/perf_diff.py`` are two front doors to the same diff.
+"""
+
+from repro.perf.trajectory import (
+    DEFAULT_TRAJECTORY,
+    POLICY,
+    TrajectoryError,
+    append_entry,
+    diff_trajectory,
+    git_sha,
+    load_entries,
+    render_diff,
+    run_diff,
+    self_test,
+)
+
+__all__ = [
+    "DEFAULT_TRAJECTORY",
+    "POLICY",
+    "TrajectoryError",
+    "append_entry",
+    "diff_trajectory",
+    "git_sha",
+    "load_entries",
+    "render_diff",
+    "run_diff",
+    "self_test",
+]

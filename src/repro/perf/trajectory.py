@@ -1,0 +1,305 @@
+"""The perf-trajectory ledger: append, validate, and gate.
+
+Every bench run appends one JSON line to an **append-only** ledger::
+
+    {"bench": "x16_profiling_overhead", "sha": "b726213",
+     "smoke": false, "metrics": {"throughput_ratio": 0.99, ...}}
+
+and the diff replays the ledger in order: for each ``(bench, smoke)``
+group, the *latest* entry is compared against the **median of its own
+prior entries** — the baseline is the bench's history, not a number
+frozen in a config file, so it tracks legitimate drift while a sudden
+regression still stands out against the median.
+
+Only **machine-independent ratios** are gated (:data:`POLICY`): a
+throughput ratio or a speedup factor means the same thing on a laptop
+and in CI, while raw records/second does not — raw numbers ride along
+in the ledger as context but never fail a build.  Tolerance bands are
+deliberately *wider* than the corresponding bench's own assertion
+margins: the bench gates one run against a hard floor, the trajectory
+gates runs against each other, and the second check firing on noise
+the first check already passed would just teach people to ignore it.
+
+``smoke`` and full-size runs are never compared — the sizes differ by
+an order of magnitude, so their ratios live in separate histories.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+
+#: Ledger location relative to the repository root.
+DEFAULT_TRAJECTORY = os.path.join(
+    "benchmarks", "results", "TRAJECTORY.jsonl")
+
+#: Gated metrics: name -> (direction, relative tolerance).  Direction
+#: is the healthy side — ``higher`` means a drop beyond the band is a
+#: regression, ``lower`` means a rise is.  Everything not listed here
+#: is informational (recorded, printed, never gating).
+POLICY: dict[str, tuple[str, float]] = {
+    # Overhead ratios hover near 1.0 but the paired best-of-N measure
+    # still swings ~±15% at smoke sizes; 25% separates "noise" from
+    # "the slow path got hooked unconditionally".
+    "throughput_ratio": ("higher", 0.25),
+    # Parallel/autoscale speedups vary with machine load (X11 has
+    # measured 3.5-6.8x at unchanged code); gate only a halving.
+    "speedup": ("higher", 0.50),
+    "cache_speedup": ("higher", 0.50),
+    # Tiny lower-is-better ratios (X13 measures ~0.005) need a wide
+    # relative band: 1.5 flags only a multiple-of-baseline blowup.
+    "quiet_noisy_ratio": ("lower", 1.50),
+    "attributed_fraction": ("higher", 0.10),
+}
+
+
+class TrajectoryError(ValueError):
+    """A malformed ledger (bad JSON or a schema violation)."""
+
+
+def git_sha() -> str:
+    """The current short commit id, or ``"unknown"`` outside git."""
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10.0, check=True,
+        )
+        return result.stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def validate_entry(entry: object, where: str = "entry") -> dict:
+    """One schema check used by both the writer and the reader.
+
+    Validating on *append* keeps a bad run from poisoning the ledger;
+    validating on *load* keeps a hand-edited ledger from silently
+    skewing every later diff.
+    """
+    if not isinstance(entry, dict):
+        raise TrajectoryError(f"{where}: must be a JSON object, "
+                              f"got {type(entry).__name__}")
+    bench = entry.get("bench")
+    if not isinstance(bench, str) or not bench:
+        raise TrajectoryError(
+            f"{where}: 'bench' must be a non-empty string, got {bench!r}")
+    if not isinstance(entry.get("sha"), str):
+        raise TrajectoryError(
+            f"{where}: 'sha' must be a string, got {entry.get('sha')!r}")
+    if not isinstance(entry.get("smoke"), bool):
+        raise TrajectoryError(
+            f"{where}: 'smoke' must be a bool, got {entry.get('smoke')!r}")
+    metrics = entry.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        raise TrajectoryError(
+            f"{where}: 'metrics' must be a non-empty object, "
+            f"got {metrics!r}")
+    for name, value in metrics.items():
+        if not isinstance(name, str) or not name:
+            raise TrajectoryError(
+                f"{where}: metric names must be non-empty strings, "
+                f"got {name!r}")
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TrajectoryError(
+                f"{where}: metric {name!r} must be a number, "
+                f"got {value!r}")
+    return entry
+
+
+def append_entry(path: str, bench: str, metrics: dict, *,
+                 smoke: bool, sha: str | None = None) -> dict:
+    """Append one validated line to the ledger (creating it)."""
+    entry = validate_entry({
+        "bench": bench,
+        "sha": sha if sha is not None else git_sha(),
+        "smoke": smoke,
+        "metrics": dict(metrics),
+    })
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def load_entries(path: str) -> list[dict]:
+    """Every ledger line, in append order, schema-checked."""
+    entries: list[dict] = []
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            where = f"{path}:{number}"
+            try:
+                raw = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise TrajectoryError(
+                    f"{where}: not valid JSON ({error})") from None
+            entries.append(validate_entry(raw, where))
+    return entries
+
+
+def diff_trajectory(entries: list[dict]) -> list[dict]:
+    """Latest-vs-median rows for every ``(bench, smoke)`` group.
+
+    Returns one row per metric of each group's latest entry:
+    ``status`` is ``"regressed"`` / ``"ok"`` for gated metrics with a
+    history, ``"new"`` when the group has no prior entries, and
+    ``"info"`` for ungated metrics.
+    """
+    groups: dict[tuple[str, bool], list[dict]] = {}
+    for entry in entries:
+        groups.setdefault((entry["bench"], entry["smoke"]), []).append(entry)
+    rows: list[dict] = []
+    for (bench, smoke), history in sorted(groups.items()):
+        latest, prior = history[-1], history[:-1]
+        for metric, value in sorted(latest["metrics"].items()):
+            row = {
+                "bench": bench,
+                "smoke": smoke,
+                "metric": metric,
+                "latest": value,
+                "sha": latest["sha"],
+                "baseline": None,
+                "runs": len(prior),
+            }
+            policy = POLICY.get(metric)
+            samples = [entry["metrics"][metric] for entry in prior
+                       if metric in entry["metrics"]]
+            if samples:
+                row["baseline"] = statistics.median(samples)
+                row["runs"] = len(samples)
+            if policy is None:
+                row["status"] = "info"
+            elif row["baseline"] is None:
+                row["status"] = "new"
+            else:
+                direction, tolerance = policy
+                baseline = row["baseline"]
+                if direction == "higher":
+                    regressed = value < baseline * (1.0 - tolerance)
+                else:
+                    regressed = value > baseline * (1.0 + tolerance)
+                row["direction"] = direction
+                row["tolerance"] = tolerance
+                row["status"] = "regressed" if regressed else "ok"
+            rows.append(row)
+    return rows
+
+
+def render_diff(rows: list[dict]) -> str:
+    """The diff as an aligned text report, one line per metric."""
+    if not rows:
+        return "perf trajectory: no entries yet\n"
+    lines = []
+    width = max(len(f"{row['bench']}[smoke]") for row in rows)
+    for row in rows:
+        bench = row["bench"] + ("[smoke]" if row["smoke"] else "")
+        if row["baseline"] is None:
+            detail = f"{row['latest']:.6g} (first run)"
+        else:
+            detail = (f"{row['latest']:.6g} vs median {row['baseline']:.6g} "
+                      f"over {row['runs']} run(s)")
+        if "tolerance" in row:
+            detail += (f", {row['direction']} within "
+                       f"{row['tolerance']:.0%}")
+        lines.append(f"{row['status']:>9s}  {bench:<{width}s}  "
+                     f"{row['metric']:<22s}  {detail}")
+    regressed = sum(1 for row in rows if row["status"] == "regressed")
+    gated = sum(1 for row in rows if row["status"] in ("ok", "regressed"))
+    lines.append(f"perf trajectory: {gated} gated metric(s), "
+                 f"{regressed} regressed")
+    return "\n".join(lines) + "\n"
+
+
+def run_diff(path: str, out=sys.stdout) -> int:
+    """Load, diff, report; non-zero exactly when something regressed.
+
+    A missing ledger is not a failure — the first run of a fresh
+    clone has no history to gate against.
+    """
+    if not os.path.exists(path):
+        out.write(f"perf trajectory: {path} does not exist yet "
+                  f"(no history to gate)\n")
+        return 0
+    entries = load_entries(path)
+    rows = diff_trajectory(entries)
+    out.write(render_diff(rows))
+    return 1 if any(row["status"] == "regressed" for row in rows) else 0
+
+
+def self_test(out=sys.stdout) -> int:
+    """Prove the gate fires: synthesize a regression, expect exit 1.
+
+    CI runs this before trusting the real diff — a gate that cannot
+    fail is not a gate.
+    """
+    import io
+
+    with tempfile.TemporaryDirectory() as workdir:
+        path = os.path.join(workdir, "TRAJECTORY.jsonl")
+        for ratio in (1.00, 0.99, 1.01):
+            append_entry(path, "selftest_bench",
+                         {"throughput_ratio": ratio, "records_per_s": 1e5},
+                         smoke=True, sha="selftest")
+        healthy = run_diff(path, out=io.StringIO())
+        if healthy != 0:
+            raise AssertionError(
+                "perf_diff self-test: healthy trajectory reported a "
+                "regression")
+        append_entry(path, "selftest_bench",
+                     {"throughput_ratio": 0.50, "records_per_s": 9e4},
+                     smoke=True, sha="selftest")
+        regressed = run_diff(path, out=io.StringIO())
+        if regressed == 0:
+            raise AssertionError(
+                "perf_diff self-test: a 50% throughput_ratio drop was "
+                "not flagged")
+        try:
+            validate_entry({"bench": "x", "sha": "s", "smoke": True,
+                            "metrics": {"m": True}})
+        except TrajectoryError:
+            pass
+        else:
+            raise AssertionError(
+                "perf_diff self-test: a boolean metric passed validation")
+    out.write("perf_diff self-test: ok\n")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """The shared entry point of ``repro perf`` and
+    ``scripts/perf_diff.py``."""
+    parser = argparse.ArgumentParser(
+        prog="perf_diff",
+        description="gate the latest bench numbers against the "
+                    "perf-trajectory ledger",
+    )
+    parser.add_argument(
+        "--trajectory", metavar="PATH", default=DEFAULT_TRAJECTORY,
+        help=f"the JSONL ledger to diff (default: {DEFAULT_TRAJECTORY})",
+    )
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="synthesize a regression in a scratch ledger and verify "
+             "the gate fires (exits non-zero if it does not)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        if args.self_test:
+            return self_test()
+        return run_diff(args.trajectory)
+    except TrajectoryError as error:
+        sys.stderr.write(f"perf_diff: {error}\n")
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via scripts/
+    sys.exit(main())

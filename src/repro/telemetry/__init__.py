@@ -11,6 +11,10 @@ spans at ``/traces``, and liveness/readiness probes at ``/healthz`` /
 sampled end-to-end spans (:class:`Tracer` + :class:`TraceStore`),
 per-alert provenance (:class:`AlertProvenance`, ``repro explain``),
 and the :class:`HealthMonitor` probe aggregate.
+:mod:`repro.telemetry.profiling` adds the continuous-profiling tier:
+a stdlib-only wall-clock sampler (:class:`SamplingProfiler`) whose
+collapsed stacks are stage- and tenant-attributed, served at
+``/profile`` and ranked by ``repro profile``.
 
 Enable it declaratively and everything wires itself through the one
 ``Pipeline`` seam::
@@ -38,6 +42,13 @@ from repro.telemetry.metrics import (
     filter_prometheus,
     filter_snapshot,
 )
+from repro.telemetry.profiling import (
+    DEFAULT_PROFILE_HZ,
+    SamplingProfiler,
+    current_stage,
+    pop_stage,
+    push_stage,
+)
 from repro.telemetry.server import MetricsServer
 from repro.telemetry.tracing import (
     AlertProvenance,
@@ -53,6 +64,7 @@ __all__ = [
     "BoundFamily",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_PROFILE_HZ",
     "DEFAULT_SIZE_BUCKETS",
     "Gauge",
     "HealthMonitor",
@@ -61,12 +73,16 @@ __all__ = [
     "MetricsServer",
     "PipelineTelemetry",
     "RateMeter",
+    "SamplingProfiler",
     "ScopedRegistry",
     "Span",
     "TelemetryConfig",
     "TraceContext",
     "Tracer",
     "TraceStore",
+    "current_stage",
     "filter_prometheus",
     "filter_snapshot",
+    "pop_stage",
+    "push_stage",
 ]

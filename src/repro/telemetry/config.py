@@ -42,6 +42,17 @@ class TelemetryConfig:
             captured for every alert regardless of the rate.
         trace_buffer: capacity (spans) of the in-process trace ring
             buffer; oldest spans are evicted first.
+        profile: run the continuous sampling profiler
+            (:mod:`repro.telemetry.profiling`) for the pipeline's
+            lifetime.  Off by default — the profiler is strictly
+            pay-for-what-you-use and this is the master switch for
+            that cost; alerts are byte-identical either way.
+        profile_hz: samples per second the profiler takes
+            (wall-clock sampling; ~100 Hz costs well under 5% of
+            throughput at the default).
+        profile_stacks: bound on distinct collapsed stacks the
+            profiler retains; the minimum-count entry is evicted
+            (and counted) when a new stack arrives at capacity.
     """
 
     enabled: bool = True
@@ -50,6 +61,9 @@ class TelemetryConfig:
     tracing: bool = False
     trace_sample_rate: float = 1.0
     trace_buffer: int = 2048
+    profile: bool = False
+    profile_hz: float = 100.0
+    profile_stacks: int = 2048
 
     def __post_init__(self) -> None:
         check = Validator(type(self).__name__)
@@ -84,4 +98,20 @@ class TelemetryConfig:
             and self.trace_buffer >= 1,
             "trace_buffer",
             f"must be a whole number >= 1, got {self.trace_buffer!r}")
+        check.require(
+            isinstance(self.profile, bool),
+            "profile", f"must be a bool, got {self.profile!r}")
+        check.require(
+            isinstance(self.profile_hz, (int, float))
+            and not isinstance(self.profile_hz, bool)
+            and 0 < self.profile_hz <= 10_000,
+            "profile_hz",
+            f"must be in (0, 10000] samples/second, got "
+            f"{self.profile_hz!r}")
+        check.require(
+            isinstance(self.profile_stacks, int)
+            and not isinstance(self.profile_stacks, bool)
+            and self.profile_stacks >= 1,
+            "profile_stacks",
+            f"must be a whole number >= 1, got {self.profile_stacks!r}")
         check.done()

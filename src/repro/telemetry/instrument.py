@@ -71,6 +71,7 @@ class PipelineTelemetry:
         self._ingest = None
         self._autoscale = None
         self._tracer = None
+        self._profiler = None
         registry = self.registry
 
         # -- stage latencies and batch sizes (push) ----------------------------
@@ -420,6 +421,20 @@ class PipelineTelemetry:
             self.alert_provenance.set(len(tracer.alert_ids))
 
         self.registry.collect(collect)
+
+    def attach_profiler(self, profiler) -> None:
+        """Expose a :class:`~repro.telemetry.profiling.SamplingProfiler`.
+
+        Unlike every other family in the catalog, the
+        ``monilog_profile_*`` families are declared *here*, not in
+        ``__init__`` — a profiler-off pipeline must expose zero
+        profile families (absence is the "off" signal), so the
+        declaration rides with the attachment.  The profiler itself
+        guards re-attachment, matching the re-point contract of the
+        other ``attach_*`` methods.
+        """
+        self._profiler = profiler
+        profiler.attach(self.registry)
 
     def attach_autoscale(self, controller) -> None:
         """Mirror the controller's knob positions and tick count."""

@@ -76,6 +76,40 @@ def _escape_label(value: str) -> str:
     )
 
 
+#: Quantiles estimated for every histogram snapshot (JSON surface
+#: only; the Prometheus exposition stays raw buckets — PromQL's
+#: ``histogram_quantile`` owns estimation there).
+ESTIMATED_QUANTILES: tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+def _estimate_quantile(bounds: Sequence[float], buckets: Sequence[int],
+                       count: int, quantile: float) -> float | None:
+    """Estimate one quantile from cumulative-free bucket counts.
+
+    The standard linear-interpolation-within-bucket estimator —
+    the same model PromQL's ``histogram_quantile`` applies to the
+    exposition, computed here so the JSON surface (``repro stats``,
+    ``/telemetry``) carries ready percentiles.  Observations landing
+    in the ``+Inf`` bucket clamp to the largest finite bound (their
+    true magnitude is unknowable from bucket counts alone); an empty
+    histogram has no quantiles (``None``).
+    """
+    if count == 0:
+        return None
+    rank = quantile * count
+    cumulative = 0
+    for index, bucket in enumerate(buckets[:-1]):
+        previous = cumulative
+        cumulative += bucket
+        if cumulative >= rank:
+            upper = bounds[index]
+            lower = bounds[index - 1] if index > 0 else min(0.0, upper)
+            if bucket == 0:
+                return upper
+            return lower + (upper - lower) * (rank - previous) / bucket
+    return bounds[-1]
+
+
 def _format_value(value: float) -> str:
     """Render a sample value: integers without a trailing ``.0``."""
     if value == float("inf"):
@@ -262,7 +296,13 @@ class _HistogramChild:
             cumulative += bucket
             rendered[_format_value(bound)] = cumulative
         rendered["+Inf"] = count
-        return {"count": count, "sum": total, "buckets": rendered}
+        quantiles = {
+            f"p{round(quantile * 100)}": _estimate_quantile(
+                self._bounds, buckets, count, quantile)
+            for quantile in ESTIMATED_QUANTILES
+        }
+        return {"count": count, "sum": total, "buckets": rendered,
+                "quantiles": quantiles}
 
     def render(self, name, label_text):
         snap = self.snapshot()

@@ -1,6 +1,6 @@
 """A stdlib-only HTTP endpoint serving the metrics registry.
 
-Five routes, mirroring the exposition surfaces:
+Six routes, mirroring the exposition surfaces:
 
 * ``GET /metrics``    — Prometheus text format (version 0.0.4), the
   scrape target a monitoring stack points at;
@@ -9,10 +9,20 @@ Five routes, mirroring the exposition surfaces:
 * ``GET /traces``     — JSON spans from the trace ring buffer when a
   :class:`~repro.telemetry.tracing.TraceStore` is attached
   (``?trace=``, ``?name=``, ``?tenant=``, ``?limit=`` filters);
+* ``GET /profile``    — the continuous profiler's hotspot ranking
+  when a :class:`~repro.telemetry.profiling.SamplingProfiler` is
+  attached: JSON top-N by default (``?limit=``),
+  ``?format=collapsed`` for the flamegraph-ready collapsed-stack
+  text (``curl :9100/profile?format=collapsed | flamegraph.pl``);
 * ``GET /healthz``    — liveness: 200 whenever the process can answer;
 * ``GET /readyz``     — readiness: 200/503 from the attached
   :class:`~repro.telemetry.tracing.HealthMonitor` probes, with the
   per-probe detail in the JSON body.
+
+Malformed query parameters (a non-integer ``limit``, an unknown
+``format``) answer a clean 400 with a JSON error body naming the
+offending parameter — operator typos read as diagnoses, not 500
+tracebacks or silently-defaulted answers.
 
 The server is a ``ThreadingHTTPServer`` on a daemon thread: scrapes
 run concurrently with the pipeline (registry reads are thread-safe and
@@ -33,60 +43,102 @@ from urllib.parse import parse_qs
 
 from repro.core.validation import ConfigError
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profiling import SamplingProfiler
 from repro.telemetry.tracing import HealthMonitor, TraceStore
 
 #: Content type of the Prometheus text exposition format.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 _JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+_TEXT_CONTENT_TYPE = "text/plain; charset=utf-8"
 
 #: Spans returned by ``/traces`` when no ``?limit=`` is given.
 DEFAULT_TRACE_LIMIT = 256
 
+#: Hotspot stacks returned by ``/profile`` when no ``?limit=`` is given.
+DEFAULT_PROFILE_LIMIT = 50
+
+
+class _BadQuery(ValueError):
+    """A malformed query parameter (answered as a 400 + JSON body)."""
+
+
+def _first(params: dict, name: str) -> str | None:
+    values = params.get(name)
+    return values[0] if values else None
+
+
+def _int_param(params: dict, name: str, default: int) -> int:
+    """A non-negative integer query parameter, or a named 400."""
+    raw = _first(params, name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise _BadQuery(
+            f"query parameter {name!r} must be an integer, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise _BadQuery(
+            f"query parameter {name!r} must be >= 0, got {raw!r}")
+    return value
+
 
 class _Handler(BaseHTTPRequestHandler):
-    # The registry/trace store/health monitor are attached to the
-    # *server* (one per MetricsServer); handlers are constructed per
-    # request by http.server.
+    # The registry/trace store/health monitor/profiler are attached to
+    # the *server* (one per MetricsServer); handlers are constructed
+    # per request by http.server.
 
     def do_GET(self) -> None:  # noqa: N802 - http.server's contract
         registry: MetricsRegistry = self.server.registry  # type: ignore[attr-defined]
         path, _, query = self.path.partition("?")
         status = 200
-        if path == "/metrics":
-            body = registry.render_prometheus().encode("utf-8")
-            content_type = PROMETHEUS_CONTENT_TYPE
-        elif path in ("/telemetry", "/stats"):
-            body = json.dumps(registry.snapshot(), indent=2).encode("utf-8")
-            content_type = _JSON_CONTENT_TYPE
-        elif path == "/traces":
-            store: TraceStore | None = self.server.trace_store  # type: ignore[attr-defined]
-            if store is None:
-                self.send_error(
-                    404, "tracing is not enabled ([telemetry] tracing)")
-                return
-            body = self._render_traces(store, query)
-            content_type = _JSON_CONTENT_TYPE
-        elif path == "/healthz":
-            # Liveness: a process that can answer HTTP is alive.
-            body = json.dumps({"status": "alive"}).encode("utf-8")
-            content_type = _JSON_CONTENT_TYPE
-        elif path == "/readyz":
-            health: HealthMonitor | None = self.server.health  # type: ignore[attr-defined]
-            if health is None:
-                ready, probes = True, {}
+        content_type = _JSON_CONTENT_TYPE
+        try:
+            if path == "/metrics":
+                body = registry.render_prometheus().encode("utf-8")
+                content_type = PROMETHEUS_CONTENT_TYPE
+            elif path in ("/telemetry", "/stats"):
+                body = json.dumps(
+                    registry.snapshot(), indent=2).encode("utf-8")
+            elif path == "/traces":
+                store: TraceStore | None = self.server.trace_store  # type: ignore[attr-defined]
+                if store is None:
+                    self.send_error(
+                        404, "tracing is not enabled ([telemetry] tracing)")
+                    return
+                body = self._render_traces(store, query)
+            elif path == "/profile":
+                profiler: SamplingProfiler | None = self.server.profiler  # type: ignore[attr-defined]
+                if profiler is None:
+                    self.send_error(
+                        404,
+                        "profiling is not enabled ([telemetry] profile)")
+                    return
+                body, content_type = self._render_profile(profiler, query)
+            elif path == "/healthz":
+                # Liveness: a process that can answer HTTP is alive.
+                body = json.dumps({"status": "alive"}).encode("utf-8")
+            elif path == "/readyz":
+                health: HealthMonitor | None = self.server.health  # type: ignore[attr-defined]
+                if health is None:
+                    ready, probes = True, {}
+                else:
+                    ready, probes = health.ready()
+                status = 200 if ready else 503
+                body = json.dumps(
+                    {"status": "ready" if ready else "unready",
+                     "probes": probes},
+                    indent=2,
+                ).encode("utf-8")
             else:
-                ready, probes = health.ready()
-            status = 200 if ready else 503
-            body = json.dumps(
-                {"status": "ready" if ready else "unready",
-                 "probes": probes},
-                indent=2,
-            ).encode("utf-8")
-            content_type = _JSON_CONTENT_TYPE
-        else:
-            self.send_error(
-                404, "try /metrics, /telemetry, /traces, /healthz, /readyz")
+                self.send_error(
+                    404, "try /metrics, /telemetry, /traces, /profile, "
+                         "/healthz, /readyz")
+                return
+        except _BadQuery as error:
+            self._send_json_error(400, str(error))
             return
         self.send_response(status)
         self.send_header("Content-Type", content_type)
@@ -94,25 +146,23 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_json_error(self, status: int, message: str) -> None:
+        """A clean JSON error body (operator typos are diagnoses)."""
+        body = json.dumps({"error": message}, indent=2).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", _JSON_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     @staticmethod
     def _render_traces(store: TraceStore, query: str) -> bytes:
         params = parse_qs(query)
-
-        def first(name: str) -> str | None:
-            values = params.get(name)
-            return values[0] if values else None
-
-        limit = DEFAULT_TRACE_LIMIT
-        raw_limit = first("limit")
-        if raw_limit is not None:
-            try:
-                limit = max(0, int(raw_limit))
-            except ValueError:
-                limit = DEFAULT_TRACE_LIMIT
+        limit = _int_param(params, "limit", DEFAULT_TRACE_LIMIT)
         spans = store.snapshot(
-            trace_id=first("trace"),
-            name=first("name"),
-            tenant=first("tenant"),
+            trace_id=_first(params, "trace"),
+            name=_first(params, "name"),
+            tenant=_first(params, "tenant"),
             limit=limit,
         )
         return json.dumps(
@@ -124,6 +174,28 @@ class _Handler(BaseHTTPRequestHandler):
             },
             indent=2,
         ).encode("utf-8")
+
+    @staticmethod
+    def _render_profile(profiler: SamplingProfiler,
+                        query: str) -> tuple[bytes, str]:
+        params = parse_qs(query)
+        fmt = _first(params, "format") or "json"
+        if fmt == "collapsed":
+            return (profiler.collapsed().encode("utf-8"),
+                    _TEXT_CONTENT_TYPE)
+        if fmt != "json":
+            raise _BadQuery(
+                f"query parameter 'format' must be 'json' or "
+                f"'collapsed', got {fmt!r}")
+        limit = _int_param(params, "limit", DEFAULT_PROFILE_LIMIT)
+        body = json.dumps(
+            {
+                "stats": profiler.stats(),
+                "hotspots": profiler.top(limit),
+            },
+            indent=2,
+        ).encode("utf-8")
+        return body, _JSON_CONTENT_TYPE
 
     def log_message(self, format: str, *args) -> None:
         """Silence per-request access logging (scrapes are periodic)."""
@@ -140,12 +212,14 @@ class MetricsServer:
             beyond the host is a deployment decision, not a default.
         trace_store: optional span ring buffer behind ``/traces``.
         health: optional probe aggregate behind ``/readyz``.
+        profiler: optional continuous profiler behind ``/profile``.
     """
 
     def __init__(self, registry: MetricsRegistry, port: int = 0,
                  host: str = "127.0.0.1", *,
                  trace_store: TraceStore | None = None,
-                 health: HealthMonitor | None = None) -> None:
+                 health: HealthMonitor | None = None,
+                 profiler: SamplingProfiler | None = None) -> None:
         self.registry = registry
         try:
             self._server = ThreadingHTTPServer((host, port), _Handler)
@@ -160,6 +234,7 @@ class MetricsServer:
         self._server.registry = registry  # type: ignore[attr-defined]
         self._server.trace_store = trace_store  # type: ignore[attr-defined]
         self._server.health = health  # type: ignore[attr-defined]
+        self._server.profiler = profiler  # type: ignore[attr-defined]
         self._thread = threading.Thread(
             target=self._server.serve_forever,
             name="monilog-metrics",

@@ -1,0 +1,185 @@
+"""The perf-trajectory ledger's contracts.
+
+Append-only JSONL with a schema both the writer and reader enforce;
+the diff gates each bench's latest entry against the *median of its
+own history*, per-metric, with explicit tolerance bands — higher-is-
+better and lower-is-better metrics both, smoke and full histories
+never mixed, unknown metrics informational.  ``run_diff`` exits
+non-zero exactly when something regressed, and the built-in self-test
+proves the gate can fire."""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.perf.trajectory import (
+    POLICY,
+    TrajectoryError,
+    append_entry,
+    diff_trajectory,
+    load_entries,
+    render_diff,
+    run_diff,
+    self_test,
+    validate_entry,
+)
+
+
+def _entry(bench="bench_a", smoke=False, sha="abc1234", **metrics):
+    return {"bench": bench, "sha": sha, "smoke": smoke,
+            "metrics": metrics or {"throughput_ratio": 1.0}}
+
+
+class TestLedgerIO:
+    def test_append_then_load_round_trips(self, tmp_path):
+        path = str(tmp_path / "nested" / "TRAJECTORY.jsonl")
+        first = append_entry(path, "bench_a", {"speedup": 2.5},
+                             smoke=False, sha="f00")
+        append_entry(path, "bench_b", {"throughput_ratio": 0.99},
+                     smoke=True, sha="f00")
+        entries = load_entries(path)
+        assert entries[0] == first
+        assert [entry["bench"] for entry in entries] == \
+            ["bench_a", "bench_b"]
+        # Append-only: a second run adds a line, never rewrites.
+        append_entry(path, "bench_a", {"speedup": 2.4},
+                     smoke=False, sha="f01")
+        assert len(load_entries(path)) == 3
+
+    def test_append_stamps_a_git_sha_by_default(self, tmp_path):
+        path = str(tmp_path / "TRAJECTORY.jsonl")
+        entry = append_entry(path, "bench_a", {"speedup": 1.0},
+                             smoke=False)
+        assert isinstance(entry["sha"], str) and entry["sha"]
+
+    def test_blank_lines_are_tolerated(self, tmp_path):
+        path = tmp_path / "TRAJECTORY.jsonl"
+        path.write_text(json.dumps(_entry()) + "\n\n" +
+                        json.dumps(_entry(sha="def")) + "\n")
+        assert len(load_entries(str(path))) == 2
+
+    @pytest.mark.parametrize("corrupt", [
+        "not json at all",
+        json.dumps({"sha": "x", "smoke": False, "metrics": {"m": 1}}),
+        json.dumps({"bench": "", "sha": "x", "smoke": False,
+                    "metrics": {"m": 1}}),
+        json.dumps({"bench": "b", "sha": 1, "smoke": False,
+                    "metrics": {"m": 1}}),
+        json.dumps({"bench": "b", "sha": "x", "smoke": "no",
+                    "metrics": {"m": 1}}),
+        json.dumps({"bench": "b", "sha": "x", "smoke": False,
+                    "metrics": {}}),
+        json.dumps({"bench": "b", "sha": "x", "smoke": False,
+                    "metrics": {"m": "fast"}}),
+        json.dumps({"bench": "b", "sha": "x", "smoke": False,
+                    "metrics": {"m": True}}),
+    ])
+    def test_corrupt_lines_fail_naming_the_line(self, tmp_path, corrupt):
+        path = tmp_path / "TRAJECTORY.jsonl"
+        path.write_text(json.dumps(_entry()) + "\n" + corrupt + "\n")
+        with pytest.raises(TrajectoryError, match=":2"):
+            load_entries(str(path))
+
+    def test_validate_rejects_at_append_time(self, tmp_path):
+        path = str(tmp_path / "TRAJECTORY.jsonl")
+        with pytest.raises(TrajectoryError):
+            append_entry(path, "bench_a", {"m": "fast"}, smoke=False)
+        assert not os.path.exists(path)  # nothing half-written
+
+    def test_validate_entry_returns_the_entry(self):
+        entry = _entry()
+        assert validate_entry(entry) is entry
+
+
+class TestDiff:
+    def test_latest_gates_against_median_of_prior(self):
+        entries = [_entry(throughput_ratio=ratio)
+                   for ratio in (1.00, 0.98, 1.02, 0.50)]
+        rows = diff_trajectory(entries)
+        (row,) = [r for r in rows if r["metric"] == "throughput_ratio"]
+        assert row["status"] == "regressed"
+        assert row["baseline"] == pytest.approx(1.00)  # median of prior
+
+    def test_within_tolerance_is_ok(self):
+        direction, tolerance = POLICY["throughput_ratio"]
+        assert direction == "higher"
+        entries = [_entry(throughput_ratio=1.0),
+                   _entry(throughput_ratio=1.0 - tolerance + 0.01)]
+        (row,) = diff_trajectory(entries)
+        assert row["status"] == "ok"
+
+    def test_lower_is_better_metrics_gate_the_other_way(self):
+        entries = [_entry(quiet_noisy_ratio=0.10),
+                   _entry(quiet_noisy_ratio=0.30)]
+        (row,) = diff_trajectory(entries)
+        assert row["status"] == "regressed"
+        improving = [_entry(quiet_noisy_ratio=0.10),
+                     _entry(quiet_noisy_ratio=0.05)]
+        (row,) = diff_trajectory(improving)
+        assert row["status"] == "ok"
+
+    def test_first_run_and_unknown_metrics_never_gate(self):
+        entries = [_entry(throughput_ratio=0.1, records_per_s=5.0)]
+        rows = {row["metric"]: row for row in diff_trajectory(entries)}
+        assert rows["throughput_ratio"]["status"] == "new"
+        assert rows["records_per_s"]["status"] == "info"
+
+    def test_smoke_and_full_histories_stay_separate(self):
+        # A smoke ratio of 0.5 must not drag down the full baseline.
+        entries = [_entry(smoke=True, throughput_ratio=0.50),
+                   _entry(smoke=False, throughput_ratio=1.00),
+                   _entry(smoke=False, throughput_ratio=0.99)]
+        rows = diff_trajectory(entries)
+        full = [row for row in rows if not row["smoke"]]
+        assert [row["status"] for row in full] == ["ok"]
+
+    def test_benches_are_independent(self):
+        entries = [_entry(bench="bench_a", throughput_ratio=1.0),
+                   _entry(bench="bench_b", throughput_ratio=0.2),
+                   _entry(bench="bench_a", throughput_ratio=0.99)]
+        by_bench = {(row["bench"], row["status"])
+                    for row in diff_trajectory(entries)}
+        assert ("bench_a", "ok") in by_bench
+        assert ("bench_b", "new") in by_bench
+
+
+class TestRunDiff:
+    def test_missing_ledger_is_not_a_failure(self, tmp_path, capsys=None):
+        out = io.StringIO()
+        assert run_diff(str(tmp_path / "absent.jsonl"), out=out) == 0
+        assert "does not exist" in out.getvalue()
+
+    def test_exit_codes_and_report(self, tmp_path):
+        path = str(tmp_path / "TRAJECTORY.jsonl")
+        for ratio in (1.00, 0.99):
+            append_entry(path, "bench_a", {"throughput_ratio": ratio},
+                         smoke=False, sha="aaa")
+        out = io.StringIO()
+        assert run_diff(path, out=out) == 0
+        assert "0 regressed" in out.getvalue()
+        append_entry(path, "bench_a", {"throughput_ratio": 0.40},
+                     smoke=False, sha="bbb")
+        out = io.StringIO()
+        assert run_diff(path, out=out) == 1
+        report = out.getvalue()
+        assert "regressed" in report
+        assert "bench_a" in report
+
+    def test_render_handles_an_empty_ledger(self):
+        assert "no entries" in render_diff([])
+
+    def test_self_test_proves_the_gate_fires(self):
+        out = io.StringIO()
+        assert self_test(out=out) == 0
+        assert "ok" in out.getvalue()
+
+    def test_cli_wrapper_shares_the_code_path(self, tmp_path):
+        from repro.cli import main
+        path = str(tmp_path / "TRAJECTORY.jsonl")
+        for ratio in (1.00, 0.40):
+            append_entry(path, "bench_a", {"throughput_ratio": ratio},
+                         smoke=False, sha="ccc")
+        assert main(["perf", "--trajectory", path]) == 1
+        assert main(["perf", "--self-test"]) == 0

@@ -1,0 +1,363 @@
+"""The continuous profiling tier's contracts.
+
+A wall-clock sampler watches the pipeline from the outside, so the
+load-bearing claims are about what it *doesn't* do: alerts are
+byte-identical with the profiler off, on, or never constructed, under
+every executor; a profiler-off pipeline exposes zero
+``monilog_profile_*`` families; start/stop cycle idempotently; and
+what it *does* do: samples carry the (tenant, stage) active on the
+sampled thread, the stack table stays bounded by evicting the
+minimum-count entry, ``/profile`` serves JSON hotspots and
+flamegraph-ready collapsed text, and malformed query parameters on
+``/profile`` and ``/traces`` answer clean 400s."""
+
+import copy
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import Pipeline, PipelineSpec
+from repro.datasets import generate_cloud_platform
+from repro.telemetry import MetricsRegistry, MetricsServer, SamplingProfiler
+from repro.telemetry.profiling import (
+    UNATTRIBUTED_STAGE,
+    current_stage,
+    pop_stage,
+    push_stage,
+)
+
+
+def _alert_key(alert):
+    return (alert.report.report_id, alert.report.session_id,
+            alert.report.events, tuple(alert.report.detection.reasons),
+            alert.pool, alert.criticality)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    data = generate_cloud_platform(sessions=60, anomaly_rate=0.1, seed=11)
+    cut = len(data.records) * 6 // 10
+    return data.records[:cut], data.records[cut:]
+
+
+def _spec(executor="serial", telemetry=None):
+    return PipelineSpec.from_dict({
+        "detector": "keyword",
+        "executor": executor,
+        "shards": 2,
+        "detector_shards": 2,
+        "batch_size": 64,
+        "telemetry": dict(telemetry or {}),
+    })
+
+
+class TestStageMarkers:
+    def test_push_pop_nest_and_unwind(self):
+        assert current_stage() is None
+        push_stage("acme", "parse")
+        assert current_stage() == ("acme", "parse")
+        push_stage("acme", "detect")
+        assert current_stage() == ("acme", "detect")
+        pop_stage()
+        assert current_stage() == ("acme", "parse")
+        pop_stage()
+        assert current_stage() is None
+
+    def test_pop_on_empty_stack_is_noop(self):
+        pop_stage()
+        assert current_stage() is None
+
+    def test_markers_are_per_thread(self):
+        seen = {}
+
+        def worker():
+            seen["before"] = current_stage()
+            push_stage("tenant-b", "fit")
+            seen["after"] = current_stage()
+            pop_stage()
+
+        push_stage("tenant-a", "parse")
+        try:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        finally:
+            pop_stage()
+        assert seen["before"] is None
+        assert seen["after"] == ("tenant-b", "fit")
+
+
+class TestSamplingProfiler:
+    def test_validates_constructor_arguments(self):
+        with pytest.raises(ValueError, match="hz"):
+            SamplingProfiler(hz=0)
+        with pytest.raises(ValueError, match="max_stacks"):
+            SamplingProfiler(max_stacks=0)
+
+    def test_samples_a_marked_busy_thread(self):
+        profiler = SamplingProfiler(hz=400)
+        done = threading.Event()
+
+        def busy():
+            push_stage("acme", "detect")
+            try:
+                while not done.is_set():
+                    sum(range(200))
+            finally:
+                pop_stage()
+
+        thread = threading.Thread(target=busy)
+        thread.start()
+        profiler.start()
+        try:
+            deadline = time.monotonic() + 10.0
+            while (profiler.stats()["samples"] < 5
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+        finally:
+            done.set()
+            thread.join()
+            profiler.stop()
+        stats = profiler.stats()
+        assert stats["samples"] >= 5
+        assert stats["stage_samples"].get("acme/detect", 0) >= 1
+        assert any(stack.startswith("detect;") for stack in
+                   (spot["stack"] for spot in profiler.top()))
+
+    def test_start_stop_are_idempotent_and_cycle(self):
+        profiler = SamplingProfiler(hz=200)
+        assert not profiler.running
+        profiler.stop()  # stop before any start: no-op
+        profiler.start()
+        profiler.start()  # second start: same thread keeps running
+        assert profiler.running
+        assert sum(1 for thread in threading.enumerate()
+                   if thread.name == "monilog-profiler") == 1
+        profiler.stop()
+        profiler.stop()
+        assert not profiler.running
+        profiler.start()  # restart after stop: a fresh cycle
+        assert profiler.running
+        profiler.stop()
+
+    def test_eviction_bounds_the_stack_table(self):
+        profiler = SamplingProfiler(max_stacks=4)
+        for index in range(4):
+            profiler._record_sample(f"other;stack-{index}", "", "other")
+            profiler._record_sample("other;stack-0", "", "other")
+        assert profiler.stats()["evictions"] == 0
+        profiler._record_sample("other;newcomer", "", "other")
+        stats = profiler.stats()
+        assert stats["stacks"] == 4
+        assert stats["evictions"] == 1
+        assert stats["samples"] == 9
+        stacks = {spot["stack"] for spot in profiler.top(limit=10)}
+        # The minimum-count entry went; the hot stack-0 survived.
+        assert "other;stack-0" in stacks
+        assert "other;newcomer" in stacks
+
+    def test_collapsed_round_trips_counts(self):
+        profiler = SamplingProfiler()
+        profiler._record_sample("parse;a;b", "t", "parse")
+        profiler._record_sample("parse;a;b", "t", "parse")
+        profiler._record_sample("detect;c", "t", "detect")
+        assert profiler.collapsed() == "detect;c 1\nparse;a;b 2\n"
+        assert SamplingProfiler().collapsed() == ""
+
+    def test_attributed_fraction(self):
+        profiler = SamplingProfiler()
+        assert profiler.attributed_fraction() == 0.0
+        profiler._record_sample("parse;a", "t", "parse")
+        profiler._record_sample(f"{UNATTRIBUTED_STAGE};b", "",
+                                UNATTRIBUTED_STAGE)
+        assert profiler.attributed_fraction() == pytest.approx(0.5)
+
+    def test_deepcopy_shares_the_profiler(self):
+        profiler = SamplingProfiler()
+        assert copy.deepcopy(profiler) is profiler
+
+
+class TestProfilerNeutrality:
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_alerts_identical_off_on_and_never(self, corpus, executor):
+        history, live = corpus
+        keys = {}
+        for mode, telemetry in (
+            ("never", {}),                       # no telemetry at all
+            ("off", {"enabled": True}),          # telemetry, no profiler
+            ("on", {"enabled": True, "profile": True}),
+        ):
+            with Pipeline.from_spec(_spec(executor, telemetry)) as pipeline:
+                pipeline.fit(history)
+                keys[mode] = [_alert_key(alert)
+                              for alert in pipeline.process(live)]
+        assert keys["never"], "corpus must alert for identity to mean much"
+        assert keys["off"] == keys["never"]
+        assert keys["on"] == keys["never"]
+
+    def test_off_means_zero_profile_families(self, corpus):
+        history, live = corpus
+        with Pipeline.from_spec(
+                _spec(telemetry={"enabled": True})) as pipeline:
+            pipeline.fit(history)
+            pipeline.process(live)
+            assert not pipeline.profiling_enabled
+            assert pipeline.profiler is None
+            families = pipeline.telemetry()["metrics"]
+            assert not [name for name in families
+                        if name.startswith("monilog_profile_")]
+            assert "monilog_profile" not in pipeline.metrics_text()
+            with pytest.raises(RuntimeError, match="profile"):
+                pipeline.profile()
+
+    def test_on_exposes_families_and_stops_with_close(self, corpus):
+        history, live = corpus
+        pipeline = Pipeline.from_spec(
+            _spec(telemetry={"enabled": True, "profile": True,
+                             "profile_hz": 400}))
+        with pipeline:
+            pipeline.fit(history)
+            deadline = time.monotonic() + 10.0
+            while (pipeline.profiler.stats()["samples"] < 3
+                   and time.monotonic() < deadline):
+                pipeline.process(live)
+            families = pipeline.telemetry()["metrics"]
+            for name in ("monilog_profile_samples_total",
+                         "monilog_profile_stacks",
+                         "monilog_profile_evictions_total",
+                         "monilog_profile_overhead_seconds_total",
+                         "monilog_profile_stage_samples_total"):
+                assert name in families, name
+            profile = pipeline.profile(limit=5)
+            assert profile["stats"]["samples"] >= 3
+            assert len(profile["hotspots"]) <= 5
+        assert not pipeline.profiler.running  # close() stopped it
+
+
+class TestProfileEndpoint:
+    def _served(self, profiler=None):
+        return MetricsServer(MetricsRegistry(), 0, profiler=profiler)
+
+    def test_404_without_a_profiler(self):
+        with self._served() as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{server.url}/profile", timeout=10)
+            assert excinfo.value.code == 404
+
+    def test_json_hotspots_and_collapsed_round_trip(self):
+        profiler = SamplingProfiler()
+        profiler._record_sample("parse;a;b", "t", "parse")
+        profiler._record_sample("parse;a;b", "t", "parse")
+        profiler._record_sample("detect;c", "t", "detect")
+        with self._served(profiler) as server:
+            with urllib.request.urlopen(
+                    f"{server.url}/profile?limit=1", timeout=10) as response:
+                body = json.loads(response.read())
+            assert body["stats"]["samples"] == 3
+            assert body["hotspots"] == [
+                {"stack": "parse;a;b", "samples": 2,
+                 "share": pytest.approx(2 / 3)},
+            ]
+            with urllib.request.urlopen(
+                    f"{server.url}/profile?format=collapsed",
+                    timeout=10) as response:
+                assert response.headers["Content-Type"].startswith(
+                    "text/plain")
+                text = response.read().decode()
+        assert text == profiler.collapsed()
+        counts = dict(line.rsplit(" ", 1) for line in text.splitlines())
+        assert counts == {"parse;a;b": "2", "detect;c": "1"}
+
+    @pytest.mark.parametrize("query", [
+        "limit=abc", "limit=-1", "format=xml", "format=collapsed&limit=x"
+    ])
+    def test_malformed_profile_query_is_a_clean_400(self, query):
+        # format=collapsed ignores limit entirely, so the last case
+        # answers 200 — collapsed output has no notion of a limit.
+        expect_ok = query.startswith("format=collapsed")
+        with self._served(SamplingProfiler()) as server:
+            url = f"{server.url}/profile?{query}"
+            if expect_ok:
+                with urllib.request.urlopen(url, timeout=10) as response:
+                    assert response.status == 200
+                return
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(url, timeout=10)
+            assert excinfo.value.code == 400
+            error = json.loads(excinfo.value.read())
+            assert "limit" in error["error"] or "format" in error["error"]
+
+    def test_malformed_traces_limit_is_a_clean_400(self):
+        from repro.telemetry import TraceStore
+        with MetricsServer(MetricsRegistry(), 0,
+                           trace_store=TraceStore(8)) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    f"{server.url}/traces?limit=soon", timeout=10)
+            assert excinfo.value.code == 400
+            assert "limit" in json.loads(excinfo.value.read())["error"]
+
+
+class TestProfilingConfig:
+    def test_validates_profile_knobs(self):
+        from repro.core.validation import ConfigError
+        from repro.telemetry import TelemetryConfig
+        for bad in ({"profile": "yes"}, {"profile_hz": 0},
+                    {"profile_hz": True}, {"profile_stacks": 0},
+                    {"profile_stacks": 2.5}):
+            with pytest.raises(ConfigError):
+                TelemetryConfig(**bad)
+
+    def test_spec_flags_reach_the_profiler(self, corpus):
+        with Pipeline.from_spec(_spec(telemetry={
+                "enabled": True, "profile": True, "profile_hz": 17,
+                "profile_stacks": 9})) as pipeline:
+            assert pipeline.profiler.hz == 17
+            assert pipeline.profiler.max_stacks == 9
+
+
+class TestGatewayProfiling:
+    def _gateway_spec(self, profile_tenants=("acme",)):
+        tenants = {
+            name: ({"telemetry": {"profile": True, "profile_hz": 400}}
+                   if name in profile_tenants else {})
+            for name in ("acme", "globex")
+        }
+        return {"detector": "keyword", "session_timeout": 30.0,
+                "tenants": tenants}
+
+    def test_one_shared_profiler_attributed_per_tenant(self, corpus):
+        from repro.gateway import Gateway
+        history, live = corpus
+        with Gateway(self._gateway_spec()) as gateway:
+            assert gateway.profiler is not None
+            assert gateway.profiler.running
+            assert gateway.pipeline("acme").profiler is gateway.profiler
+            assert gateway.pipeline("globex").profiler is None
+            gateway.fit(history)
+            deadline = time.monotonic() + 10.0
+            while (not gateway.profiler.stats()["stage_samples"].get(
+                        "acme/parse")
+                   and time.monotonic() < deadline):
+                gateway.pipeline("acme").process(live)
+            stages = gateway.profiler.stats()["stage_samples"]
+            assert any(key.startswith("acme/") for key in stages)
+            assert not any(key.startswith("globex/") for key in stages)
+            families = gateway.telemetry()
+            assert "monilog_profile_stage_samples_total" in families
+            server = gateway.start_metrics_server(0)
+            with urllib.request.urlopen(
+                    f"{server.url}/profile", timeout=10) as response:
+                assert json.loads(response.read())["stats"]["samples"] > 0
+        assert not gateway.profiler.running
+
+    def test_no_profiling_tenant_means_no_profiler(self, corpus):
+        from repro.gateway import Gateway
+        with Gateway(self._gateway_spec(profile_tenants=())) as gateway:
+            assert gateway.profiler is None
+            assert not [name for name in gateway.telemetry()
+                        if name.startswith("monilog_profile_")]
